@@ -1,0 +1,88 @@
+package tsg
+
+import (
+	"tsg/internal/cycles"
+	"tsg/internal/cycletime"
+	"tsg/internal/maxplus"
+	"tsg/internal/mcr"
+	"tsg/internal/timesim"
+)
+
+// This file exposes the secondary analyses around the core algorithm:
+// timing slacks and what-if sensitivity, the classical baselines, the
+// enumeration oracle, and PERT analysis of acyclic graphs.
+
+// ArcSlack is the timing slack of one arc at the cycle time.
+type ArcSlack = cycletime.ArcSlack
+
+// Slacks computes per-arc timing slacks at the given cycle time: tight
+// (zero-slack) arcs include every critical cycle; positive slack is the
+// delay increase the arc can absorb before the cycle time moves.
+func Slacks(g *Graph, lambda Ratio) ([]ArcSlack, error) {
+	return cycletime.Slacks(g, lambda)
+}
+
+// Sensitivity re-analyses the graph with one arc's delay replaced,
+// reporting the resulting cycle time. The input graph is not modified.
+func Sensitivity(g *Graph, arc int, newDelay float64) (Ratio, error) {
+	return cycletime.Sensitivity(g, arc, newDelay)
+}
+
+// CriticalPath performs PERT analysis of an acyclic project network
+// (a graph whose events are all non-repetitive): the makespan and one
+// critical chain of events (§II of the paper).
+func CriticalPath(g *Graph) (makespan float64, path []EventID, err error) {
+	return timesim.CriticalPath(g)
+}
+
+// Cycle is a simple cycle with its effective length (§V).
+type Cycle = cycles.Cycle
+
+// EnumerateCycles lists every simple cycle of the repetitive core
+// (Johnson's algorithm). The count can be exponential; limit caps it
+// (0 = a large default). This is the reference oracle the paper's
+// algorithm is validated against.
+func EnumerateCycles(g *Graph, limit int) ([]Cycle, error) {
+	return cycles.Enumerate(g, limit)
+}
+
+// CycleTimeKarp computes the cycle time with Karp's algorithm on the
+// token-graph reduction — one of the classical baselines of §I.
+func CycleTimeKarp(g *Graph) (Ratio, error) { return mcr.Karp(g) }
+
+// CycleTimeHoward computes the cycle time with Howard's policy
+// iteration (max-plus spectral theory, Baccelli et al.).
+func CycleTimeHoward(g *Graph) (Ratio, error) { return mcr.Howard(g) }
+
+// CycleTimeLawler computes the cycle time by Lawler's binary search —
+// the decision form of the Burns linear program — to within eps
+// (0 selects a small default).
+func CycleTimeLawler(g *Graph, eps float64) (float64, error) {
+	return mcr.Lawler(g, eps)
+}
+
+// BoundsResult carries cycle-time bounds under interval delays.
+type BoundsResult = cycletime.Bounds
+
+// AnalyzeBounds brackets the cycle time when every arc delay may vary
+// inside [lo(a), hi(a)]; λ is monotone in each delay, so the two
+// extreme assignments are exact bounds.
+func AnalyzeBounds(g *Graph, lo, hi func(arc int, nominal float64) float64) (*BoundsResult, error) {
+	return cycletime.AnalyzeBounds(g, lo, hi)
+}
+
+// Jitter builds ±fraction interval functions for AnalyzeBounds.
+func Jitter(f float64) (lo, hi func(int, float64) float64) {
+	return cycletime.Jitter(f)
+}
+
+// CycleTimeMaxPlus computes the cycle time as the max-plus eigenvalue
+// of the graph's token matrix (the "eventually periodic max-functions"
+// view of Gunawardena cited in §I of the paper).
+func CycleTimeMaxPlus(g *Graph) (Ratio, error) {
+	m, _, err := maxplus.FromGraph(g)
+	if err != nil {
+		return Ratio{}, err
+	}
+	return m.Eigenvalue()
+}

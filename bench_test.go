@@ -1,0 +1,374 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// bench per artefact; see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded results). Run with
+//
+//	go test -bench=. -benchmem
+package tsg_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"tsg"
+	"tsg/internal/cycles"
+	"tsg/internal/cycletime"
+	"tsg/internal/exp"
+	"tsg/internal/gen"
+	"tsg/internal/maxplus"
+	"tsg/internal/mcr"
+	"tsg/internal/timesim"
+)
+
+// runExp benches a full experiment from the harness (output discarded).
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 1 -----------------------------------------------------------
+
+func BenchmarkFig1cTimingDiagram(b *testing.B) {
+	g := gen.Oscillator()
+	for i := 0; i < b.N; i++ {
+		tr, err := timesim.Run(g, timesim.Options{Periods: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Diagram().Render(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1dInitiatedDiagram(b *testing.B) {
+	g := gen.Oscillator()
+	origin := g.MustEvent("a+")
+	for i := 0; i < b.N; i++ {
+		tr, err := timesim.RunFrom(g, origin, timesim.Options{Periods: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Diagram().Render(io.Discard, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Examples 3-7 ------------------------------------------------------
+
+func BenchmarkExample3Simulation(b *testing.B) {
+	g := gen.Oscillator()
+	for i := 0; i < b.N; i++ {
+		if _, err := timesim.Run(g, timesim.Options{Periods: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExample4Initiated(b *testing.B) {
+	g := gen.Oscillator()
+	origin := g.MustEvent("b+")
+	for i := 0; i < b.N; i++ {
+		if _, err := timesim.RunFrom(g, origin, timesim.Options{Periods: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExample5CycleOracle(b *testing.B) {
+	g := gen.Oscillator()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cycles.MaxRatio(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExample7CutSets(b *testing.B) {
+	g := gen.Oscillator()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.AllMinimumCutSets(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 4 ------------------------------------------------------------
+
+func BenchmarkFig4Asymptotics(b *testing.B) {
+	runExp(b, "FIG4")
+}
+
+// --- §VIII tables ------------------------------------------------------
+
+func BenchmarkTableVIIICOscillator(b *testing.B) {
+	g := gen.Oscillator()
+	for i := 0; i < b.N; i++ {
+		if _, err := cycletime.Analyze(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVIIIDMullerRing measures the full §VIII.D flow: gate
+// level -> extraction -> cycle-time analysis.
+func BenchmarkTableVIIIDMullerRing(b *testing.B) {
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := tsg.AnalyzeCircuit(c, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := res.CycleTime.Normalize(); r.Num != 20 || r.Den != 3 {
+			b.Fatalf("λ = %v, want 20/3", res.CycleTime)
+		}
+	}
+}
+
+// BenchmarkTableVIIIDAnalysisOnly isolates the analysis step on the
+// extracted ring graph.
+func BenchmarkTableVIIIDAnalysisOnly(b *testing.B) {
+	g, err := gen.MullerRing(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cycletime.Analyze(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §VIII.B stack performance -----------------------------------------
+
+// BenchmarkStack66Events is the paper's performance claim: the analysis
+// of a 66-event stack graph (74 ms on a 1994 DEC 5000).
+func BenchmarkStack66Events(b *testing.B) {
+	g, err := gen.Stack(31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.NumEvents() != 66 {
+		b.Fatalf("stack has %d events, want 66", g.NumEvents())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cycletime.Analyze(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §VII complexity ----------------------------------------------------
+
+// BenchmarkComplexitySweepM: runtime versus m at fixed b (linear law).
+func BenchmarkComplexitySweepM(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		g, err := gen.RandomLive(rng, gen.RandomOptions{Events: n, Border: 4, ExtraArcs: n, MaxDelay: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", g.NumArcs()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cycletime.Analyze(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComplexitySweepB: runtime versus b at fixed n, m (quadratic law).
+func BenchmarkComplexitySweepB(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, border := range []int{2, 4, 8, 16, 32} {
+		g, err := gen.RandomLive(rng, gen.RandomOptions{Events: 3000, Border: border, ExtraArcs: 3000, MaxDelay: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("b=%d", border), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cycletime.Analyze(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §I baselines --------------------------------------------------------
+
+func benchmarkAlgos(b *testing.B, g *tsg.Graph) {
+	b.Run("NielsenKishinevsky", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycletime.Analyze(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Karp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcr.Karp(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Howard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcr.Howard(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Lawler", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcr.Lawler(g, 1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBaselineRing5(b *testing.B) {
+	g, err := gen.MullerRing(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkAlgos(b, g)
+	b.Run("Oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cycles.MaxRatio(g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBaselineRandom2000(b *testing.B) {
+	g, err := gen.RandomLive(rand.New(rand.NewSource(31)),
+		gen.RandomOptions{Events: 2000, Border: 8, ExtraArcs: 2000, MaxDelay: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkAlgos(b, g)
+}
+
+// --- extraction ----------------------------------------------------------
+
+// BenchmarkExtractRing measures the TRASPEC-substitute extraction alone.
+func BenchmarkExtractRing(b *testing.B) {
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsg.ExtractGraph(c, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §2) --------------------------------------------
+
+// BenchmarkAblationCutSet compares the border-set analysis (b
+// simulations) against the minimum-cut-set analysis (k simulations,
+// same b-period depth) on a stack where k ≈ b/2.
+func BenchmarkAblationCutSet(b *testing.B) {
+	g, err := gen.Stack(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	min, err := g.MinimumCutSet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("border", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycletime.Analyze(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("minimum-cut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{CutSet: min}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallel compares serial and parallel simulation
+// scheduling on the b ≈ n worst case (gains require multiple CPUs).
+func BenchmarkAblationParallel(b *testing.B) {
+	g, err := gen.Stack(31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{Parallel: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMaxPlusEigenvalue measures the (max,+) spectral route to the
+// cycle time (token matrix construction + Karp eigenvalue).
+func BenchmarkMaxPlusEigenvalue(b *testing.B) {
+	g, err := gen.MullerRing(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := maxplus.FromGraph(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Eigenvalue(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifySemimodularity measures the exhaustive state-space
+// check on the five-stage ring (160 states).
+func BenchmarkVerifySemimodularity(b *testing.B) {
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsg.VerifyCircuit(c, tsg.VerifyOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

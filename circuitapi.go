@@ -1,0 +1,123 @@
+package tsg
+
+import (
+	"io"
+	"os"
+
+	"tsg/internal/circuit"
+	"tsg/internal/extract"
+	"tsg/internal/netlist"
+)
+
+// Circuit is an immutable gate-level netlist with an initial state
+// (§VIII of the paper).
+type Circuit = circuit.Circuit
+
+// CircuitBuilder accumulates inputs and gates and validates on Build.
+type CircuitBuilder = circuit.Builder
+
+// SignalID identifies a signal within a Circuit.
+type SignalID = circuit.SignalID
+
+// Level is a binary signal level.
+type Level = circuit.Level
+
+// Signal levels.
+const (
+	Low  = circuit.Low
+	High = circuit.High
+)
+
+// GateType enumerates the gate library.
+type GateType = circuit.GateType
+
+// The gate library (C-element, NOR, NAND, AND, OR, INV, BUF, XOR, MAJ).
+const (
+	CElement = circuit.CElement
+	Nor      = circuit.Nor
+	Nand     = circuit.Nand
+	And      = circuit.And
+	Or       = circuit.Or
+	Inv      = circuit.Inv
+	Buf      = circuit.Buf
+	Xor      = circuit.Xor
+	Majority = circuit.Majority
+)
+
+// InputEvent is a scripted transition on a primary input.
+type InputEvent = circuit.InputEvent
+
+// CircuitSimOptions bounds a timed circuit simulation.
+type CircuitSimOptions = circuit.SimOptions
+
+// CircuitSimResult is the outcome of a timed circuit simulation.
+type CircuitSimResult = circuit.SimResult
+
+// NewCircuit returns a builder for a gate-level circuit.
+func NewCircuit(name string) *CircuitBuilder { return circuit.NewBuilder(name) }
+
+// SimulateCircuit runs the timed event-driven simulation of §VIII with
+// per-pin pure delays and hazard detection.
+func SimulateCircuit(c *Circuit, opts CircuitSimOptions) (*CircuitSimResult, error) {
+	return circuit.Simulate(c, opts)
+}
+
+// ExtractOptions tunes Signal Graph extraction.
+type ExtractOptions = extract.Options
+
+// ExtractGraph derives the Timed Signal Graph of a circuit from its
+// initial state and input script — the TRASPEC step of the paper's flow
+// (§VIII.B, [9]). The inputs script the environment's one-shot actions.
+func ExtractGraph(c *Circuit, inputs []InputEvent) (*Graph, error) {
+	return extract.Extract(c, extract.Options{Inputs: inputs})
+}
+
+// ExtractGraphOpts is ExtractGraph with explicit options.
+func ExtractGraphOpts(c *Circuit, opts ExtractOptions) (*Graph, error) {
+	return extract.Extract(c, opts)
+}
+
+// VerifyOptions bounds the exhaustive semi-modularity check.
+type VerifyOptions = extract.VerifyOptions
+
+// VerifyCircuit exhaustively checks semi-modularity (speed-independence)
+// of a small circuit over all interleavings, returning the number of
+// explored states. Analysis results are only meaningful for circuits
+// that pass (§VIII.A: distributive circuits).
+func VerifyCircuit(c *Circuit, opts VerifyOptions) (int, error) {
+	return extract.Verify(c, opts)
+}
+
+// AnalyzeCircuit is the end-to-end flow of §VIII: extract the Timed
+// Signal Graph of the circuit and run the cycle-time analysis on it.
+// It returns both the result and the extracted graph.
+func AnalyzeCircuit(c *Circuit, inputs []InputEvent) (*Result, *Graph, error) {
+	g, err := ExtractGraph(c, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Analyze(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, g, nil
+}
+
+// Netlist bundles a parsed circuit with its scripted input transitions.
+type Netlist = netlist.Netlist
+
+// ReadCircuit parses a .ckt netlist file.
+func ReadCircuit(r io.Reader) (*Netlist, error) { return netlist.ReadCKT(r) }
+
+// WriteCircuit serialises a netlist in .ckt format.
+func WriteCircuit(w io.Writer, n *Netlist) error { return netlist.WriteCKT(w, n) }
+
+// LoadCircuit reads a .ckt file from disk.
+func LoadCircuit(path string) (*Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCircuit(f)
+}

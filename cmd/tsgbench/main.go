@@ -1,0 +1,65 @@
+// Command tsgbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints measured numbers next to the
+// paper's and fails loudly on mismatch, so a clean run is an acceptance
+// test of the whole reproduction.
+//
+// Usage:
+//
+//	tsgbench -list
+//	tsgbench -run TAB8D
+//	tsgbench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tsg/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tsgbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.ID, err)
+			failed++
+		} else {
+			fmt.Printf("ok   %s (%v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tsgbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command tsggen emits the repository's workload families as .tsg or
+// .ckt files: the paper's oscillator and Muller ring, stacks, pipelines
+// and random live graphs for complexity experiments.
+//
+// Usage:
+//
+//	tsggen -kind oscillator            > osc.tsg
+//	tsggen -kind oscillator -ckt       > osc.ckt
+//	tsggen -kind ring -stages 5        > ring5.tsg
+//	tsggen -kind stack -cells 31       > stack.tsg
+//	tsggen -kind pipeline -stages 8 -tokens 2 > pipe.tsg
+//	tsggen -kind random -events 1000 -border 8 -arcs 2000 -seed 7 > rnd.tsg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tsg"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+)
+
+func main() {
+	kind := flag.String("kind", "oscillator", "oscillator, ring, stack, pipeline, random")
+	ckt := flag.Bool("ckt", false, "emit the gate-level .ckt netlist instead of the .tsg graph (oscillator, ring, pipeline)")
+	stages := flag.Int("stages", 5, "ring/pipeline stages")
+	tokens := flag.Int("tokens", 1, "pipeline data tokens")
+	cells := flag.Int("cells", 31, "stack cells")
+	events := flag.Int("events", 1000, "random graph events")
+	border := flag.Int("border", 8, "random graph border size")
+	arcs := flag.Int("arcs", 2000, "random graph total arcs")
+	seed := flag.Int64("seed", 1994, "random seed")
+	flag.Parse()
+
+	var (
+		g   *sg.Graph
+		err error
+	)
+	switch *kind {
+	case "oscillator":
+		if *ckt {
+			c, script := gen.OscillatorCircuit()
+			emitCKT(c, script)
+			return
+		}
+		g = gen.Oscillator()
+	case "ring":
+		if *ckt {
+			c, cerr := gen.MullerRingCircuit(gen.RingOptions{Stages: *stages, InitialHigh: []int{*stages}})
+			if cerr != nil {
+				fatal(cerr)
+			}
+			emitCKT(c, nil)
+			return
+		}
+		g, err = gen.MullerRing(*stages)
+	case "pipeline":
+		if *ckt {
+			c, cerr := gen.MullerPipelineCircuit(*stages, *tokens, 1, 1)
+			if cerr != nil {
+				fatal(cerr)
+			}
+			emitCKT(c, nil)
+			return
+		}
+		g, err = gen.MullerPipeline(*stages, *tokens, 1, 1)
+	case "stack":
+		g, err = gen.Stack(*cells)
+	case "random":
+		extra := *arcs - *events
+		if extra < 0 {
+			fatal(fmt.Errorf("arcs (%d) must be >= events (%d)", *arcs, *events))
+		}
+		g, err = gen.RandomLive(rand.New(rand.NewSource(*seed)), gen.RandomOptions{
+			Events: *events, Border: *border, ExtraArcs: extra,
+		})
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *ckt {
+		fatal(fmt.Errorf("-ckt is not available for kind %q", *kind))
+	}
+	if err := tsg.WriteGraph(os.Stdout, g); err != nil {
+		fatal(err)
+	}
+}
+
+func emitCKT(c *tsg.Circuit, inputs []tsg.InputEvent) {
+	if err := netlist.WriteCKT(os.Stdout, &netlist.Netlist{Circuit: c, Inputs: inputs}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsggen:", err)
+	os.Exit(1)
+}

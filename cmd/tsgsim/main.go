@@ -1,0 +1,76 @@
+// Command tsgsim runs the timed event-driven simulation of a gate-level
+// circuit (.ckt netlist) and reports the transition trace, optionally
+// exporting a VCD waveform for any standard viewer.
+//
+// Usage:
+//
+//	tsgsim [-t maxtime] [-n maxtransitions] [-vcd out.vcd] circuit.ckt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsg"
+	"tsg/internal/circuit"
+)
+
+func main() {
+	maxTime := flag.Float64("t", 0, "stop at this simulation time (0 = unbounded)")
+	maxTr := flag.Int("n", 200, "stop after this many transitions")
+	vcdOut := flag.String("vcd", "", "write a VCD waveform to this file")
+	quiet := flag.Bool("q", false, "suppress the transition listing")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tsgsim [flags] circuit.ckt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	n, err := tsg.LoadCircuit(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tsg.SimulateCircuit(n.Circuit, tsg.CircuitSimOptions{
+		Inputs:         n.Inputs,
+		MaxTime:        *maxTime,
+		MaxTransitions: *maxTr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		for _, tr := range res.Transitions {
+			dir := "-"
+			if tr.Level == tsg.High {
+				dir = "+"
+			}
+			fmt.Printf("%10.4g  %s%s\n", tr.Time, n.Circuit.Signal(tr.Signal).Name, dir)
+		}
+	}
+	for _, h := range res.Hazards {
+		fmt.Fprintf(os.Stderr, "tsgsim: HAZARD on gate %s at t=%g\n", h.Gate, h.Time)
+	}
+	if *vcdOut != "" {
+		f, err := os.Create(*vcdOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteVCD(f, circuit.VCDOptions{}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tsgsim: wrote %s (%d transitions)\n", *vcdOut, len(res.Transitions))
+	}
+	if len(res.Hazards) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tsgsim:", err)
+	os.Exit(1)
+}

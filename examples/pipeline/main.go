@@ -1,0 +1,123 @@
+// Muller pipeline throughput study: close an n-stage pipeline with its
+// environment into a ring, then explore how the cycle time (inverse
+// throughput) responds to occupancy and to unbalanced stage delays —
+// the workload the paper's introduction motivates (finding the
+// bottleneck, i.e. the critical cycle, of a concurrent system).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsg"
+)
+
+// buildPipeline builds the Signal Graph of an (n+1)-stage ring: an
+// n-stage Muller pipeline with producer/consumer environment folded in,
+// holding the given number of data tokens. Stage delays come from
+// cDelay(k); inverters take invDelay.
+func buildPipeline(n, tokens int, cDelay func(int) float64, invDelay float64) (*tsg.Graph, error) {
+	stages := n + 1
+	high := make([]bool, stages+1)
+	// Spread the tokens at maximal spacing: adjacent initially-high
+	// stages would merge into a single data token (NRZ encoding).
+	for t := 0; t < tokens; t++ {
+		high[stages-(t*stages)/tokens] = true
+	}
+	mod := func(k int) int { return (k-1+stages)%stages + 1 }
+	o := func(k int) string { return fmt.Sprintf("o%d", mod(k)) }
+	i := func(k int) string { return fmt.Sprintf("i%d", mod(k)) }
+	init := map[string]bool{}
+	for k := 1; k <= stages; k++ {
+		init[o(k)] = high[k]
+		init[i(k)] = !high[mod(k+1)]
+	}
+	b := tsg.NewGraph(fmt.Sprintf("pipeline-%d-t%d", n, tokens))
+	for k := 1; k <= stages; k++ {
+		b.Events(o(k)+"+", o(k)+"-", i(k)+"+", i(k)+"-")
+	}
+	arc := func(u, v string, d float64) {
+		// Initial marking: the source's level is already established
+		// and the target's first transition consumes it.
+		post := u[len(u)-1:] == "+"
+		first := "+"
+		if init[v[:len(v)-1]] {
+			first = "-"
+		}
+		if init[u[:len(u)-1]] == post && v[len(v)-1:] == first {
+			b.Arc(u, v, d, tsg.Marked())
+		} else {
+			b.Arc(u, v, d)
+		}
+	}
+	for k := 1; k <= stages; k++ {
+		d := cDelay(mod(k))
+		arc(o(k-1)+"+", o(k)+"+", d)
+		arc(i(k)+"+", o(k)+"+", d)
+		arc(o(k-1)+"-", o(k)+"-", d)
+		arc(i(k)+"-", o(k)+"-", d)
+		arc(o(k+1)+"+", i(k)+"-", invDelay)
+		arc(o(k+1)+"-", i(k)+"+", invDelay)
+	}
+	return b.Build()
+}
+
+func main() {
+	unit := func(int) float64 { return 1 }
+
+	// Occupancy sweep: the canonical throughput-vs-tokens curve. Few
+	// tokens: forward latency dominates (token-limited). Many tokens:
+	// bubbles become scarce (bubble-limited). The optimum sits between.
+	const n = 11 // 12-stage ring
+	fmt.Println("occupancy sweep (11-stage pipeline + environment, unit delays):")
+	fmt.Println("  tokens  λ        throughput (1/λ)")
+	for tokens := 1; tokens <= 10; tokens++ {
+		g, err := buildPipeline(n, tokens, unit, 1)
+		if err != nil {
+			fmt.Printf("  %-7d (unbuildable: %v)\n", tokens, err)
+			continue
+		}
+		res, err := tsg.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lam := res.CycleTime.Float()
+		fmt.Printf("  %-7d %-8v %.4f\n", tokens, res.CycleTime, 1/lam)
+	}
+
+	// Bottleneck hunting: slow down stage 4 and watch the critical
+	// cycle localise around it.
+	fmt.Println("\nbottleneck study (one slow stage, 3 tokens):")
+	for _, slow := range []float64{1, 2, 4, 8} {
+		delay := func(k int) float64 {
+			if k == 4 {
+				return slow
+			}
+			return 1
+		}
+		g, err := buildPipeline(n, 3, delay, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tsg.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  stage-4 delay %-3g -> λ = %-8v critical cycle touches: %v\n",
+			slow, res.CycleTime, criticalSignals(g, res))
+	}
+}
+
+// criticalSignals lists the distinct signals on the first critical cycle.
+func criticalSignals(g *tsg.Graph, res *tsg.Result) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range res.Critical[0].Events {
+		s := g.Event(e).Signal
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

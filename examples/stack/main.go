@@ -1,0 +1,82 @@
+// Asynchronous stack (§VIII.B of the paper): the paper benchmarks its
+// algorithm on the Signal Graph of an asynchronous stack with constant
+// response time — 66 events and on the order of a hundred arcs. This
+// example builds the stack control graph at several depths, shows that
+// the cycle time (the push-to-push period seen by the environment) is
+// independent of depth, and times the analysis at the paper's size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tsg"
+)
+
+// buildStack models the control of a constant-response-time stack of n
+// cells: a four-phase handshake at the top (r+ a+ r- a-), a shift ripple
+// s1+ .. sn+ running down the cells concurrently with the
+// acknowledgement, and tokenised completion dependencies so that depth
+// adds concurrency rather than latency.
+func buildStack(n int) (*tsg.Graph, error) {
+	s := func(k int) string { return fmt.Sprintf("s%d", k) }
+	b := tsg.NewGraph(fmt.Sprintf("stack-%d", n)).
+		Events("r+", "a+", "r-", "a-").
+		Arc("r+", "a+", 1).
+		Arc("a+", "r-", 1).
+		Arc("r-", "a-", 1).
+		Arc("a-", "r+", 1, tsg.Marked())
+	for k := 1; k <= n; k++ {
+		b.Events(s(k)+"+", s(k)+"-")
+	}
+	b.Arc(s(1)+"-", "a+", 1, tsg.Marked()).
+		Arc("a+", s(1)+"+", 1)
+	for k := 1; k <= n; k++ {
+		b.Arc(s(k)+"-", s(k)+"+", 1, tsg.Marked())
+		if k < n {
+			b.Arc(s(k)+"+", s(k+1)+"+", 1)
+			b.Arc(s(k+1)+"-", s(k)+"-", 1, tsg.Marked())
+		}
+		b.Arc(s(k)+"+", s(k)+"-", 1)
+	}
+	return b.Build()
+}
+
+func main() {
+	fmt.Println("constant response time: λ vs stack depth")
+	fmt.Println("  cells  events  arcs  border  λ")
+	for _, n := range []int{1, 2, 4, 8, 16, 31, 64} {
+		g, err := buildStack(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tsg.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6d %-7d %-5d %-7d %v\n",
+			n, g.NumEvents(), g.NumArcs(), len(g.BorderEvents()), res.CycleTime)
+	}
+
+	// The paper's benchmark size: 66 events (31 cells). The paper
+	// reports 74 CPU ms on a DEC 5000 (§VIII.B).
+	g, err := buildStack(31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const runs = 50
+	start := time.Now()
+	var res *tsg.Result
+	for i := 0; i < runs; i++ {
+		res, err = tsg.Analyze(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	per := time.Since(start) / runs
+	fmt.Printf("\n%s: %d events, %d arcs\n", g.Name(), g.NumEvents(), g.NumArcs())
+	fmt.Printf("cycle time λ = %v, critical cycle: %s\n",
+		res.CycleTime, res.Critical[0].Format(g))
+	fmt.Printf("analysis time: %v per run (paper: 74 ms on a 1994 DEC 5000)\n", per)
+}

@@ -1,0 +1,297 @@
+// Package circuit models gate-level asynchronous circuits: the substrate
+// of §VIII of the paper. Circuits are built from C-elements, NOR/NAND/
+// AND/OR gates, inverters, buffers, XORs and majority gates, with an
+// individual propagation delay per gate *input* (§VIII.A: "delays
+// associated with different in-arcs of the same event can differ",
+// reflecting transistor-level input-output characteristics).
+//
+// The package provides construction/validation (this file), gate
+// excitation semantics (gate.go) and a timed event-driven simulator with
+// hazard detection (sim.go). Package extract derives Signal Graphs from
+// circuits; the timed simulator independently cross-checks the derived
+// graph's timing simulation.
+package circuit
+
+import (
+	"fmt"
+)
+
+// SignalID identifies a signal (a wire) within a Circuit.
+type SignalID int
+
+// Level is a binary signal level.
+type Level uint8
+
+// Signal levels.
+const (
+	Low  Level = 0
+	High Level = 1
+)
+
+func (l Level) String() string {
+	if l == High {
+		return "1"
+	}
+	return "0"
+}
+
+// Toggle returns the opposite level.
+func (l Level) Toggle() Level { return l ^ 1 }
+
+// Signal is a named wire with an initial level. A signal is either a
+// primary input or the output of exactly one gate.
+type Signal struct {
+	Name    string
+	Initial Level
+	IsInput bool
+	Driver  int // gate index, or -1 for primary inputs
+}
+
+// Gate is a logic element with one output and per-input pin delays.
+type Gate struct {
+	Name   string
+	Type   GateType
+	Out    SignalID
+	Ins    []SignalID
+	Delays []float64 // pin delay per input, same length as Ins
+}
+
+// Circuit is an immutable gate-level netlist with an initial state.
+type Circuit struct {
+	name    string
+	signals []Signal
+	gates   []Gate
+	byName  map[string]SignalID
+	fanout  [][]int // gate indices reading each signal
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.name }
+
+// NumSignals returns the number of signals.
+func (c *Circuit) NumSignals() int { return len(c.signals) }
+
+// NumGates returns the number of gates.
+func (c *Circuit) NumGates() int { return len(c.gates) }
+
+// Signal returns the signal with the given ID.
+func (c *Circuit) Signal(id SignalID) Signal { return c.signals[id] }
+
+// Gate returns the gate with the given index.
+func (c *Circuit) Gate(i int) Gate { return c.gates[i] }
+
+// SignalByName returns the ID of the named signal.
+func (c *Circuit) SignalByName(name string) (SignalID, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// MustSignal returns the ID of the named signal, panicking if absent.
+// Intended for tests and examples working with known circuits.
+func (c *Circuit) MustSignal(name string) SignalID {
+	id, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("circuit: %q has no signal %q", c.name, name))
+	}
+	return id
+}
+
+// Fanout returns the gates reading signal s (shared slice).
+func (c *Circuit) Fanout(s SignalID) []int { return c.fanout[s] }
+
+// Inputs returns the primary input signals in ID order.
+func (c *Circuit) Inputs() []SignalID {
+	var ids []SignalID
+	for i, s := range c.signals {
+		if s.IsInput {
+			ids = append(ids, SignalID(i))
+		}
+	}
+	return ids
+}
+
+// InitialLevels returns a fresh copy of the initial state.
+func (c *Circuit) InitialLevels() []Level {
+	levels := make([]Level, len(c.signals))
+	for i, s := range c.signals {
+		levels[i] = s.Initial
+	}
+	return levels
+}
+
+// InitiallyStable reports whether no gate is excited at the initial
+// state, i.e. the circuit is quiescent until an input changes.
+func (c *Circuit) InitiallyStable() bool {
+	levels := c.InitialLevels()
+	for i := range c.gates {
+		if c.Excited(i, levels) {
+			return false
+		}
+	}
+	return true
+}
+
+// Excited reports whether gate i's output differs from its target value
+// under the given levels.
+func (c *Circuit) Excited(i int, levels []Level) bool {
+	g := &c.gates[i]
+	target, ok := g.Type.Eval(gateInputs(g, levels), levels[g.Out])
+	return ok && target != levels[g.Out]
+}
+
+func gateInputs(g *Gate, levels []Level) []Level {
+	in := make([]Level, len(g.Ins))
+	for i, s := range g.Ins {
+		in[i] = levels[s]
+	}
+	return in
+}
+
+// Builder accumulates signals and gates; the first error is reported by
+// Build.
+type Builder struct {
+	name    string
+	signals []Signal
+	gates   []Gate
+	byName  map[string]SignalID
+	err     error
+}
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]SignalID)}
+}
+
+func (b *Builder) signal(name string, initial Level, isInput bool) SignalID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := SignalID(len(b.signals))
+	b.byName[name] = id
+	b.signals = append(b.signals, Signal{Name: name, Initial: initial, IsInput: isInput, Driver: -1})
+	return id
+}
+
+// Input declares a primary input with its initial level.
+func (b *Builder) Input(name string, initial Level) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if id, ok := b.byName[name]; ok {
+		if b.signals[id].IsInput {
+			b.err = fmt.Errorf("circuit: duplicate input %q", name)
+		} else {
+			b.err = fmt.Errorf("circuit: input %q collides with a gate output", name)
+		}
+		return b
+	}
+	b.signal(name, initial, true)
+	return b
+}
+
+// Gate adds a gate driving out from the given inputs. The variadic
+// delays give per-input pin delays; a single value applies to all pins,
+// and no value defaults every pin to 1. The output's initial level is
+// set with Init (default Low).
+func (b *Builder) Gate(typ GateType, out string, ins []string, delays ...float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := typ.CheckArity(len(ins)); err != nil {
+		b.err = fmt.Errorf("circuit: gate %q: %w", out, err)
+		return b
+	}
+	outID := b.signal(out, Low, false)
+	if b.signals[outID].IsInput {
+		b.err = fmt.Errorf("circuit: gate output %q is declared as an input", out)
+		return b
+	}
+	if b.signals[outID].Driver != -1 {
+		b.err = fmt.Errorf("circuit: signal %q driven by two gates", out)
+		return b
+	}
+	var pins []float64
+	switch len(delays) {
+	case 0:
+		pins = make([]float64, len(ins))
+		for i := range pins {
+			pins[i] = 1
+		}
+	case 1:
+		pins = make([]float64, len(ins))
+		for i := range pins {
+			pins[i] = delays[0]
+		}
+	case len(ins):
+		pins = append([]float64(nil), delays...)
+	default:
+		b.err = fmt.Errorf("circuit: gate %q has %d inputs but %d delays", out, len(ins), len(delays))
+		return b
+	}
+	for _, d := range pins {
+		if d < 0 {
+			b.err = fmt.Errorf("circuit: gate %q has negative pin delay %g", out, d)
+			return b
+		}
+	}
+	inIDs := make([]SignalID, len(ins))
+	for i, n := range ins {
+		inIDs[i] = b.signal(n, Low, false)
+	}
+	gi := len(b.gates)
+	b.gates = append(b.gates, Gate{
+		Name: out, Type: typ, Out: outID, Ins: inIDs, Delays: pins,
+	})
+	b.signals[outID].Driver = gi
+	return b
+}
+
+// Init sets the initial level of a signal (inputs default to the level
+// given at declaration; gate outputs default to Low).
+func (b *Builder) Init(name string, level Level) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id, ok := b.byName[name]
+	if !ok {
+		b.err = fmt.Errorf("circuit: Init of unknown signal %q", name)
+		return b
+	}
+	b.signals[id].Initial = level
+	return b
+}
+
+// Build validates and returns the immutable Circuit. Every signal must
+// be an input or driven by a gate.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.signals) == 0 {
+		return nil, fmt.Errorf("circuit: %q has no signals", b.name)
+	}
+	for _, s := range b.signals {
+		if !s.IsInput && s.Driver == -1 {
+			return nil, fmt.Errorf("circuit: signal %q is neither an input nor a gate output", s.Name)
+		}
+	}
+	c := &Circuit{
+		name:    b.name,
+		signals: append([]Signal(nil), b.signals...),
+		gates:   append([]Gate(nil), b.gates...),
+		byName:  make(map[string]SignalID, len(b.signals)),
+	}
+	for n, id := range b.byName {
+		c.byName[n] = id
+	}
+	c.fanout = make([][]int, len(c.signals))
+	for gi := range c.gates {
+		for _, in := range c.gates[gi].Ins {
+			c.fanout[in] = append(c.fanout[in], gi)
+		}
+	}
+	return c, nil
+}

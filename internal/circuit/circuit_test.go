@@ -1,0 +1,310 @@
+package circuit_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsg/internal/circuit"
+	"tsg/internal/gen"
+)
+
+func TestOscillatorCircuitStructure(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	if c.NumSignals() != 5 {
+		t.Errorf("NumSignals = %d, want 5 (a b c e f)", c.NumSignals())
+	}
+	if c.NumGates() != 4 {
+		t.Errorf("NumGates = %d, want 4 (C + 2 NOR + BUF)", c.NumGates())
+	}
+	if len(script) != 1 || script[0].Signal != "e" {
+		t.Errorf("input script = %v, want single e- transition", script)
+	}
+	if !c.InitiallyStable() {
+		t.Error("oscillator circuit not quiescent before the input falls")
+	}
+	e := c.MustSignal("e")
+	if sig := c.Signal(e); !sig.IsInput || sig.Initial != circuit.High {
+		t.Errorf("signal e = %+v, want input initially high", sig)
+	}
+	if sig := c.Signal(c.MustSignal("f")); sig.Initial != circuit.High {
+		t.Errorf("signal f initial = %v, want 1 (Fig. 1 caption)", sig.Initial)
+	}
+	// Fanout of c: gates a and b read it.
+	names := map[string]bool{}
+	for _, gi := range c.Fanout(c.MustSignal("c")) {
+		names[c.Gate(gi).Name] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Errorf("fanout of c = %v, want gates a and b", names)
+	}
+}
+
+// TestOscillatorTimedSim verifies the timed event-driven simulation of
+// the Fig. 1a circuit against the timing-simulation table of Example 3:
+// the gate-level simulator and the Signal Graph MAX rule must produce
+// identical occurrence times.
+func TestOscillatorTimedSim(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	res, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs:         script,
+		MaxTransitions: 60,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Hazards) != 0 {
+		t.Fatalf("hazards in a distributive circuit: %v", res.Hazards)
+	}
+	want := map[string][]float64{
+		"e": {0},
+		"f": {3},
+		"a": {2, 8, 13, 18, 23}, // a+0 a-0 a+1 a-1 a+2 (Example 3 + Fig. 1c)
+		"b": {4, 7, 12, 17, 22},
+		"c": {6, 11, 16, 21, 26},
+	}
+	for name, times := range want {
+		got := res.Times(c.MustSignal(name))
+		if len(got) < len(times) {
+			t.Fatalf("signal %s: %d transitions, want >= %d (got %v)", name, len(got), len(times), got)
+		}
+		for i, w := range times {
+			if got[i] != w {
+				t.Errorf("signal %s transition %d at t=%g, want %g (Example 3)", name, i, got[i], w)
+			}
+		}
+	}
+	// Steady state: c oscillates with period 10 (cycle time of §VIII.C).
+	ct := res.Times(c.MustSignal("c"))
+	for i := 2; i+2 < len(ct); i++ {
+		if d := ct[i+2] - ct[i]; d != 10 {
+			t.Errorf("c period between transitions %d and %d = %g, want 10", i, i+2, d)
+		}
+	}
+}
+
+func TestSimulateBounds(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	res, err := circuit.Simulate(c, circuit.SimOptions{Inputs: script, MaxTransitions: 7})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Transitions) != 7 {
+		t.Errorf("transition count = %d, want exactly 7 (bounded)", len(res.Transitions))
+	}
+	res, err = circuit.Simulate(c, circuit.SimOptions{Inputs: script, MaxTime: 11.5})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	for _, tr := range res.Transitions {
+		if tr.Time > 11.5 {
+			t.Errorf("transition at %g past MaxTime", tr.Time)
+		}
+	}
+	if got := res.Count(c.MustSignal("c")); got != 2 {
+		t.Errorf("c transitions before t=11.5: %d, want 2 (at 6 and 11)", got)
+	}
+}
+
+func TestSimulateInputErrors(t *testing.T) {
+	c, _ := gen.OscillatorCircuit()
+	if _, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{{Signal: "zz", Time: 0, Level: circuit.Low}},
+	}); err == nil {
+		t.Error("unknown scripted signal accepted")
+	}
+	if _, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{{Signal: "a", Time: 0, Level: circuit.Low}},
+	}); err == nil {
+		t.Error("scripting a gate output accepted")
+	}
+	if _, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{{Signal: "e", Time: 0, Level: circuit.High}},
+	}); err == nil {
+		t.Error("no-op input transition accepted")
+	}
+	if _, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{{Signal: "e", Time: -1, Level: circuit.Low}},
+	}); err == nil {
+		t.Error("negative-time input accepted")
+	}
+}
+
+func TestMullerRingCircuitSim(t *testing.T) {
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		t.Fatalf("MullerRingCircuit: %v", err)
+	}
+	if c.NumGates() != 10 || c.NumSignals() != 10 {
+		t.Errorf("ring has %d gates / %d signals, want 10/10", c.NumGates(), c.NumSignals())
+	}
+	res, err := circuit.Simulate(c, circuit.SimOptions{MaxTransitions: 400})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Hazards) != 0 {
+		t.Fatalf("hazards in the Muller ring: %v", res.Hazards)
+	}
+	// §VIII.D: o1 rises at 0, 6, 13, 20, 26, 33, ... (t_{a+0}(a+i) with
+	// the whole ring started at time 0).
+	got := res.Times(c.MustSignal("o1"))
+	// o1's transitions alternate +,-; the rises are the even positions.
+	var rises []float64
+	for i := 0; i < len(got); i += 2 {
+		rises = append(rises, got[i])
+	}
+	want := []float64{0, 6, 13, 20, 26, 33, 40, 46, 53, 60, 66}
+	if len(rises) < len(want) {
+		t.Fatalf("only %d rises of o1 (%v), want >= %d", len(rises), rises, len(want))
+	}
+	for i, w := range want {
+		if rises[i] != w {
+			t.Errorf("o1 rise %d at t=%g, want %g (§VIII.D)", i, rises[i], w)
+		}
+	}
+}
+
+func TestGateEval(t *testing.T) {
+	cases := []struct {
+		typ     circuit.GateType
+		in      []circuit.Level
+		current circuit.Level
+		want    circuit.Level
+		forced  bool
+	}{
+		{circuit.CElement, []circuit.Level{1, 1}, 0, 1, true},
+		{circuit.CElement, []circuit.Level{0, 0}, 1, 0, true},
+		{circuit.CElement, []circuit.Level{1, 0}, 0, 0, false},
+		{circuit.CElement, []circuit.Level{0, 1}, 1, 1, false},
+		{circuit.Nor, []circuit.Level{0, 0}, 0, 1, true},
+		{circuit.Nor, []circuit.Level{1, 0}, 1, 0, true},
+		{circuit.Nand, []circuit.Level{1, 1}, 1, 0, true},
+		{circuit.Nand, []circuit.Level{0, 1}, 0, 1, true},
+		{circuit.And, []circuit.Level{1, 1}, 0, 1, true},
+		{circuit.Or, []circuit.Level{0, 1}, 0, 1, true},
+		{circuit.Inv, []circuit.Level{1}, 1, 0, true},
+		{circuit.Buf, []circuit.Level{1}, 0, 1, true},
+		{circuit.Xor, []circuit.Level{1, 1}, 1, 0, true},
+		{circuit.Xor, []circuit.Level{1, 0}, 0, 1, true},
+		{circuit.Majority, []circuit.Level{1, 1, 0}, 0, 1, true},
+		{circuit.Majority, []circuit.Level{0, 0, 1}, 1, 0, true},
+	}
+	for _, tc := range cases {
+		got, ok := tc.typ.Eval(tc.in, tc.current)
+		if got != tc.want || ok != tc.forced {
+			t.Errorf("%v.Eval(%v, %v) = (%v, %v), want (%v, %v)",
+				tc.typ, tc.in, tc.current, got, ok, tc.want, tc.forced)
+		}
+	}
+}
+
+func TestGateTypeParse(t *testing.T) {
+	for _, name := range []string{"C", "NOR", "NAND", "AND", "OR", "INV", "BUF", "XOR", "MAJ"} {
+		typ, err := circuit.ParseGateType(name)
+		if err != nil {
+			t.Errorf("ParseGateType(%q): %v", name, err)
+		}
+		if typ.String() != name {
+			t.Errorf("round-trip %q -> %v", name, typ)
+		}
+	}
+	if _, err := circuit.ParseGateType("FOO"); err == nil {
+		t.Error("ParseGateType(FOO) succeeded")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *circuit.Builder
+		want string
+	}{
+		{
+			"empty",
+			circuit.NewBuilder("x"),
+			"no signals",
+		},
+		{
+			"double driver",
+			circuit.NewBuilder("x").Input("i", 0).
+				Gate(circuit.Inv, "a", []string{"i"}).
+				Gate(circuit.Buf, "a", []string{"i"}),
+			"driven by two gates",
+		},
+		{
+			"undriven signal",
+			circuit.NewBuilder("x").Gate(circuit.Inv, "a", []string{"ghost"}),
+			"neither an input nor a gate output",
+		},
+		{
+			"input collision",
+			circuit.NewBuilder("x").Input("i", 0).
+				Gate(circuit.Inv, "a", []string{"i"}).Input("a", 0),
+			"collides",
+		},
+		{
+			"bad arity",
+			circuit.NewBuilder("x").Input("i", 0).Gate(circuit.Inv, "a", []string{"i", "i"}),
+			"exactly 1 input",
+		},
+		{
+			"bad majority",
+			circuit.NewBuilder("x").Input("i", 0).Gate(circuit.Majority, "a", []string{"i", "i"}),
+			"odd number",
+		},
+		{
+			"delay count",
+			circuit.NewBuilder("x").Input("i", 0).Input("j", 0).
+				Gate(circuit.And, "a", []string{"i", "j"}, 1, 2, 3),
+			"delays",
+		},
+		{
+			"negative delay",
+			circuit.NewBuilder("x").Input("i", 0).Gate(circuit.Inv, "a", []string{"i"}, -2),
+			"negative pin delay",
+		},
+		{
+			"unknown init",
+			circuit.NewBuilder("x").Input("i", 0).Gate(circuit.Inv, "a", []string{"i"}).Init("zz", 1),
+			"unknown signal",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.b.Build(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Build() error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHazardDetection: a pulse shorter than an AND gate's slow pin
+// withdraws the excitation; the simulator must record a hazard instead
+// of emitting the output change.
+func TestHazardDetection(t *testing.T) {
+	c, err := circuit.NewBuilder("glitch").
+		Input("p", circuit.Low).
+		Input("q", circuit.High).
+		Gate(circuit.And, "y", []string{"p", "q"}, 5, 5).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{
+			{Signal: "p", Time: 1, Level: circuit.High}, // y scheduled for t=6
+			{Signal: "p", Time: 2, Level: circuit.Low},  // withdrawn before firing
+		},
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Hazards) != 1 {
+		t.Fatalf("hazards = %v, want exactly one", res.Hazards)
+	}
+	if res.Hazards[0].Gate != "y" || res.Hazards[0].Time != 2 {
+		t.Errorf("hazard = %+v, want gate y at t=2", res.Hazards[0])
+	}
+	if got := res.Count(c.MustSignal("y")); got != 0 {
+		t.Errorf("y transitioned %d times despite the glitch", got)
+	}
+}

@@ -1,0 +1,203 @@
+package circuit
+
+import "fmt"
+
+// GateType enumerates the supported logic elements.
+type GateType int
+
+// The gate library. CElement and Majority are state-holding (their
+// output holds when inputs disagree); the rest are combinational.
+const (
+	CElement GateType = iota // Muller C-element: all-1 sets, all-0 resets
+	Nor
+	Nand
+	And
+	Or
+	Inv
+	Buf
+	Xor
+	Majority // strict majority of an odd number of inputs; ties hold
+)
+
+var gateNames = map[GateType]string{
+	CElement: "C", Nor: "NOR", Nand: "NAND", And: "AND", Or: "OR",
+	Inv: "INV", Buf: "BUF", Xor: "XOR", Majority: "MAJ",
+}
+
+// String returns the conventional gate mnemonic.
+func (t GateType) String() string {
+	if n, ok := gateNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// ParseGateType maps a mnemonic ("C", "NOR", ...) to its GateType.
+func ParseGateType(s string) (GateType, error) {
+	for t, n := range gateNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: unknown gate type %q", s)
+}
+
+// CheckArity validates the input count for the gate type.
+func (t GateType) CheckArity(n int) error {
+	switch t {
+	case Inv, Buf:
+		if n != 1 {
+			return fmt.Errorf("%s gate needs exactly 1 input, got %d", t, n)
+		}
+	case Majority:
+		if n < 3 || n%2 == 0 {
+			return fmt.Errorf("MAJ gate needs an odd number of inputs >= 3, got %d", n)
+		}
+	default:
+		if n < 1 {
+			return fmt.Errorf("%s gate needs at least 1 input", t)
+		}
+	}
+	return nil
+}
+
+// Eval returns the target output value for the given input levels and
+// the current output value. ok is false when the gate holds its state
+// (C-element/majority with disagreeing inputs), in which case target
+// equals current.
+func (t GateType) Eval(in []Level, current Level) (target Level, ok bool) {
+	switch t {
+	case CElement:
+		if allAt(in, High) {
+			return High, true
+		}
+		if allAt(in, Low) {
+			return Low, true
+		}
+		return current, false
+	case Majority:
+		ones := 0
+		for _, l := range in {
+			if l == High {
+				ones++
+			}
+		}
+		switch {
+		case 2*ones > len(in):
+			return High, true
+		case 2*ones < len(in):
+			return Low, true
+		default:
+			return current, false
+		}
+	case Nor:
+		return boolLevel(allAt(in, Low)), true
+	case Nand:
+		return boolLevel(!allAt(in, High)), true
+	case And:
+		return boolLevel(allAt(in, High)), true
+	case Or:
+		return boolLevel(!allAt(in, Low)), true
+	case Inv:
+		return in[0].Toggle(), true
+	case Buf:
+		return in[0], true
+	case Xor:
+		var acc Level
+		for _, l := range in {
+			acc ^= l
+		}
+		return acc, true
+	default:
+		return current, false
+	}
+}
+
+// SupportKind classifies how a gate's inputs cause a transition of its
+// output to the given target: either every input must sit at its
+// required level (AND-causality: the MAX timing rule of §III.C), or any
+// single input at a forcing level suffices (OR-causality, which Signal
+// Graphs cannot express — distributive circuits guarantee a unique
+// forcing input in every reachable context).
+type SupportKind int
+
+// Causality classes returned by Support.
+const (
+	SupportAnd SupportKind = iota
+	SupportOr
+)
+
+// Support returns, for a transition of the gate's output to target under
+// the given input levels, the causality class and the indices of the
+// supporting inputs: for AND-causality all inputs (each at its required
+// level), for OR-causality the inputs currently at the forcing level.
+func (t GateType) Support(in []Level, target Level) (SupportKind, []int) {
+	all := func() []int {
+		idx := make([]int, len(in))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	at := func(l Level) []int {
+		var idx []int
+		for i, v := range in {
+			if v == l {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	switch t {
+	case CElement:
+		return SupportAnd, all()
+	case Majority:
+		// The inputs at the winning level carry the majority; all of
+		// them jointly force the output (AND over the coalition).
+		return SupportAnd, at(target)
+	case Nor:
+		if target == High {
+			return SupportAnd, all() // all inputs low
+		}
+		return SupportOr, at(High)
+	case Nand:
+		if target == Low {
+			return SupportAnd, all() // all inputs high
+		}
+		return SupportOr, at(Low)
+	case And:
+		if target == High {
+			return SupportAnd, all()
+		}
+		return SupportOr, at(Low)
+	case Or:
+		if target == Low {
+			return SupportAnd, all()
+		}
+		return SupportOr, at(High)
+	case Inv, Buf:
+		return SupportAnd, all()
+	case Xor:
+		// Every input change toggles an XOR; the most recent change is
+		// the cause. Treated as OR over all inputs by the simulator.
+		return SupportOr, all()
+	default:
+		return SupportAnd, all()
+	}
+}
+
+func allAt(in []Level, l Level) bool {
+	for _, v := range in {
+		if v != l {
+			return false
+		}
+	}
+	return true
+}
+
+func boolLevel(b bool) Level {
+	if b {
+		return High
+	}
+	return Low
+}

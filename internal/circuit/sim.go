@@ -1,0 +1,287 @@
+package circuit
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// InputEvent is a scripted transition on a primary input.
+type InputEvent struct {
+	Signal string
+	Time   float64
+	Level  Level
+}
+
+// Transition is one recorded signal change of a timed simulation.
+type Transition struct {
+	Signal SignalID
+	Index  int // 0-based occurrence count on this signal
+	Time   float64
+	Level  Level // level after the transition
+}
+
+// Hazard records an excitation that was cancelled before the output
+// fired: the input pattern enabling the change was withdrawn. Hazards
+// never occur in semi-modular (distributive) circuits; their presence
+// means the Signal Graph model does not apply.
+type Hazard struct {
+	Gate string
+	Time float64
+}
+
+// SimOptions bounds a timed simulation.
+type SimOptions struct {
+	// MaxTransitions stops the simulation after this many transitions
+	// in total (default 10,000).
+	MaxTransitions int
+	// MaxTime stops the simulation at this time (default +Inf).
+	MaxTime float64
+	// Inputs scripts primary-input transitions.
+	Inputs []InputEvent
+}
+
+// SimResult is the outcome of a timed simulation.
+type SimResult struct {
+	c           *Circuit
+	Transitions []Transition
+	Hazards     []Hazard
+	// Final holds the levels at the end of the simulation.
+	Final []Level
+}
+
+// Times returns the transition times of the given signal in occurrence
+// order.
+func (r *SimResult) Times(s SignalID) []float64 {
+	var out []float64
+	for _, t := range r.Transitions {
+		if t.Signal == s {
+			out = append(out, t.Time)
+		}
+	}
+	return out
+}
+
+// Count returns how many times the signal transitioned.
+func (r *SimResult) Count(s SignalID) int { return len(r.Times(s)) }
+
+// pending is a scheduled output change.
+type pending struct {
+	time  float64
+	seq   int // tie-break: schedule order, for determinism
+	gate  int
+	level Level
+	valid bool // invalidated entries are skipped when popped
+}
+
+type pendingQueue []*pending
+
+func (q pendingQueue) Len() int { return len(q) }
+func (q pendingQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pendingQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pendingQueue) Push(x interface{}) { *q = append(*q, x.(*pending)) }
+func (q *pendingQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Simulate runs the timed event-driven simulation under the pure
+// per-pin-delay model: when a gate becomes excited towards a target
+// value, the output fires at
+//
+//   - max over supporting inputs of (input transition time + pin delay)
+//     for AND-causality (the MAX rule of §III.C), and
+//   - min over forcing inputs of (input transition time + pin delay)
+//     for OR-causality (the earliest cause drives the output).
+//
+// If an input change withdraws a pending excitation, the event is
+// cancelled and recorded as a hazard. For distributive circuits the
+// transition times coincide with the timing simulation of the extracted
+// Signal Graph, which the tests assert.
+func Simulate(c *Circuit, opts SimOptions) (*SimResult, error) {
+	maxTr := opts.MaxTransitions
+	if maxTr == 0 {
+		maxTr = 10_000
+	}
+	maxTime := opts.MaxTime
+	if maxTime == 0 {
+		maxTime = math.Inf(1)
+	}
+
+	levels := c.InitialLevels()
+	lastChange := make([]float64, c.NumSignals()) // time of latest transition per signal
+	counts := make([]int, c.NumSignals())
+	slot := make([]*pending, c.NumGates()) // pending change per gate
+	var queue pendingQueue
+	seq := 0
+
+	res := &SimResult{c: c}
+
+	// Scripted input events become queue entries on pseudo-gate -1-i.
+	inputs := append([]InputEvent(nil), opts.Inputs...)
+	sort.SliceStable(inputs, func(i, j int) bool { return inputs[i].Time < inputs[j].Time })
+	type inputChange struct {
+		time   float64
+		signal SignalID
+		level  Level
+	}
+	var script []inputChange
+	for _, ev := range inputs {
+		id, ok := c.SignalByName(ev.Signal)
+		if !ok {
+			return nil, fmt.Errorf("circuit: scripted input %q not found", ev.Signal)
+		}
+		if !c.Signal(id).IsInput {
+			return nil, fmt.Errorf("circuit: scripted signal %q is not a primary input", ev.Signal)
+		}
+		if ev.Time < 0 {
+			return nil, fmt.Errorf("circuit: scripted input %q at negative time %g", ev.Signal, ev.Time)
+		}
+		script = append(script, inputChange{time: ev.Time, signal: id, level: ev.Level})
+	}
+
+	// reschedule recomputes gate gi's pending change after an input (or
+	// its own output) changed at time now.
+	reschedule := func(gi int, now float64) {
+		g := c.Gate(gi)
+		in := gateInputs(&g, levels)
+		target, forced := g.Type.Eval(in, levels[g.Out])
+		excited := forced && target != levels[g.Out]
+		if !excited {
+			if slot[gi] != nil && slot[gi].valid {
+				slot[gi].valid = false
+				res.Hazards = append(res.Hazards, Hazard{Gate: g.Name, Time: now})
+			}
+			slot[gi] = nil
+			return
+		}
+		kind, support := g.Type.Support(in, target)
+		// An input that never transitioned carries its initial level,
+		// available at time 0 with no propagation cost (the initial
+		// tokens of the Signal Graph); only real transitions incur the
+		// pin delay.
+		contribution := func(pi int) float64 {
+			s := g.Ins[pi]
+			if counts[s] == 0 {
+				return 0
+			}
+			return lastChange[s] + g.Delays[pi]
+		}
+		var fire float64
+		switch kind {
+		case SupportAnd:
+			fire = math.Inf(-1)
+			for _, pi := range support {
+				if t := contribution(pi); t > fire {
+					fire = t
+				}
+			}
+		case SupportOr:
+			fire = math.Inf(1)
+			for _, pi := range support {
+				if t := contribution(pi); t < fire {
+					fire = t
+				}
+			}
+		}
+		if math.IsInf(fire, 0) {
+			fire = now
+		}
+		if fire < now {
+			// The cause predates "now" (e.g. an input that settled long
+			// ago): the output reacts immediately.
+			fire = now
+		}
+		if slot[gi] != nil && slot[gi].valid && slot[gi].time == fire && slot[gi].level == target {
+			return // unchanged
+		}
+		if slot[gi] != nil {
+			slot[gi].valid = false
+		}
+		p := &pending{time: fire, seq: seq, gate: gi, level: target, valid: true}
+		seq++
+		slot[gi] = p
+		heap.Push(&queue, p)
+	}
+
+	applyChange := func(s SignalID, level Level, now float64) {
+		levels[s] = level
+		lastChange[s] = now
+		res.Transitions = append(res.Transitions, Transition{
+			Signal: s, Index: counts[s], Time: now, Level: level,
+		})
+		counts[s]++
+		for _, gi := range c.Fanout(s) {
+			reschedule(gi, now)
+		}
+	}
+
+	// Initial excitation (non-quiescent circuits start working at t=0).
+	for gi := 0; gi < c.NumGates(); gi++ {
+		reschedule(gi, 0)
+	}
+
+	si := 0
+	for len(res.Transitions) < maxTr {
+		// Next event: scripted input or pending gate change.
+		var nextGate *pending
+		for queue.Len() > 0 {
+			p := queue[0]
+			if !p.valid {
+				heap.Pop(&queue)
+				continue
+			}
+			nextGate = p
+			break
+		}
+		var now float64
+		useInput := false
+		switch {
+		case si < len(script) && (nextGate == nil || script[si].time <= nextGate.time):
+			now = script[si].time
+			useInput = true
+		case nextGate != nil:
+			now = nextGate.time
+		default:
+			return res.finish(levels), nil // quiescent
+		}
+		if now > maxTime {
+			return res.finish(levels), nil
+		}
+		if useInput {
+			chg := script[si]
+			si++
+			if levels[chg.signal] == chg.level {
+				return nil, fmt.Errorf("circuit: scripted input %s already at %v at time %g",
+					c.Signal(chg.signal).Name, chg.level, chg.time)
+			}
+			applyChange(chg.signal, chg.level, now)
+			continue
+		}
+		heap.Pop(&queue)
+		if !nextGate.valid {
+			continue
+		}
+		gi := nextGate.gate
+		slot[gi] = nil
+		g := c.Gate(gi)
+		applyChange(g.Out, nextGate.level, now)
+		// The gate may be re-excited immediately (oscillators).
+		reschedule(gi, now)
+	}
+	return res.finish(levels), nil
+}
+
+func (r *SimResult) finish(levels []Level) *SimResult {
+	r.Final = append([]Level(nil), levels...)
+	return r
+}

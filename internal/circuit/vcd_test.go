@@ -1,0 +1,78 @@
+package circuit_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsg/internal/circuit"
+	"tsg/internal/gen"
+)
+
+func TestWriteVCD(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	res, err := circuit.Simulate(c, circuit.SimOptions{Inputs: script, MaxTransitions: 8})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var sb strings.Builder
+	if err := res.WriteVCD(&sb, circuit.VCDOptions{}); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module oscillator $end",
+		"$var wire 1",
+		"$dumpvars",
+		"$enddefinitions $end",
+		"#0", "#2", "#3", "#6", // e-, a+, f-, c+ ticks
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The header declares every signal exactly once.
+	if got := strings.Count(out, "$var wire 1 "); got != c.NumSignals() {
+		t.Errorf("VCD declares %d signals, want %d", got, c.NumSignals())
+	}
+	// Value changes for 8 transitions plus 5 initial dumps.
+	changes := 0
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) >= 2 && (line[0] == '0' || line[0] == '1') {
+			changes++
+		}
+	}
+	if changes != 8+c.NumSignals() {
+		t.Errorf("VCD has %d value changes, want %d", changes, 8+c.NumSignals())
+	}
+}
+
+func TestWriteVCDScaling(t *testing.T) {
+	c, err := circuit.NewBuilder("half").
+		Input("p", circuit.Low).
+		Gate(circuit.Buf, "y", []string{"p"}, 0.5).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := circuit.Simulate(c, circuit.SimOptions{
+		Inputs: []circuit.InputEvent{{Signal: "p", Time: 0, Level: circuit.High}},
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var sb strings.Builder
+	if err := res.WriteVCD(&sb, circuit.VCDOptions{TicksPerUnit: 10, Timescale: "100ps"}); err != nil {
+		t.Fatalf("WriteVCD: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$timescale 100ps $end") {
+		t.Errorf("custom timescale missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#5") { // 0.5 time units x 10 ticks
+		t.Errorf("scaled tick #5 missing:\n%s", out)
+	}
+	if err := res.WriteVCD(&sb, circuit.VCDOptions{TicksPerUnit: -1}); err == nil {
+		t.Error("negative TicksPerUnit accepted")
+	}
+}

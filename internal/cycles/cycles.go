@@ -1,0 +1,217 @@
+// Package cycles enumerates the simple cycles of a Signal Graph and
+// evaluates their effective lengths (§V of the paper): every simple cycle
+// C covering ε periods (ε = tokens on C) has effective length C/ε, and
+// the cycle time is the maximum over all simple cycles,
+//
+//	λ = max{ C_i/ε_i | C_i ∈ C }.
+//
+// Enumeration is Johnson's algorithm; the number of simple cycles can be
+// exponential in the number of arcs (§II), which is exactly why the paper
+// proposes timing simulation instead. This package is the reference
+// oracle the fast algorithms are validated against, and implements the
+// "straightforward approach" the paper compares itself to.
+package cycles
+
+import (
+	"fmt"
+
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// Cycle is a simple cycle of the repetitive core.
+type Cycle struct {
+	// Events in arc order; Events[0] follows the last element.
+	Events []sg.EventID
+	// Arcs connecting consecutive events; Arcs[len-1] closes the cycle.
+	Arcs []int
+	// Length is the total delay around the cycle.
+	Length float64
+	// Tokens is the total initial marking on the cycle: its occurrence
+	// period ε.
+	Tokens int
+}
+
+// Ratio returns the effective length C/ε.
+func (c *Cycle) Ratio() stat.Ratio { return stat.NewRatio(c.Length, c.Tokens) }
+
+// DefaultLimit bounds enumeration; beyond this many cycles Enumerate
+// reports an error rather than exhausting memory.
+const DefaultLimit = 1 << 20
+
+// Enumerate returns every simple cycle of the repetitive core of g, in
+// Johnson's canonical order. limit caps the number of cycles (0 means
+// DefaultLimit); exceeding it is an error. A cycle without tokens is
+// reported as an error (the graph would not be live).
+func Enumerate(g *sg.Graph, limit int) ([]Cycle, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	n := g.NumEvents()
+	var (
+		result  []Cycle
+		blocked = make([]bool, n)
+		bLists  = make([][]sg.EventID, n)
+		stackEv []sg.EventID
+		stackAr []int
+	)
+	var unblock func(v sg.EventID)
+	unblock = func(v sg.EventID) {
+		blocked[v] = false
+		for _, w := range bLists[v] {
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+		bLists[v] = bLists[v][:0]
+	}
+
+	var circuit func(v, s sg.EventID) (bool, error)
+	circuit = func(v, s sg.EventID) (bool, error) {
+		found := false
+		blocked[v] = true
+		stackEv = append(stackEv, v)
+		for _, ai := range g.OutArcs(v) {
+			a := g.Arc(ai)
+			w := a.To
+			if !g.Event(w).Repetitive || w < s {
+				continue // restrict to subgraph induced by events >= s
+			}
+			if w == s {
+				cyc, err := makeCycle(g, stackEv, append(stackAr, ai))
+				if err != nil {
+					return false, err
+				}
+				result = append(result, cyc)
+				if len(result) > limit {
+					return false, fmt.Errorf("cycles: more than %d simple cycles in graph %q; enumeration aborted", limit, g.Name())
+				}
+				found = true
+				continue
+			}
+			if !blocked[w] {
+				stackAr = append(stackAr, ai)
+				f, err := circuit(w, s)
+				stackAr = stackAr[:len(stackAr)-1]
+				if err != nil {
+					return false, err
+				}
+				if f {
+					found = true
+				}
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, ai := range g.OutArcs(v) {
+				w := g.Arc(ai).To
+				if !g.Event(w).Repetitive || w < s {
+					continue
+				}
+				// v waits on w's unblocking.
+				bLists[w] = append(bLists[w], v)
+			}
+		}
+		stackEv = stackEv[:len(stackEv)-1]
+		return found, nil
+	}
+
+	for s := sg.EventID(0); int(s) < n; s++ {
+		if !g.Event(s).Repetitive {
+			continue
+		}
+		for i := range blocked {
+			blocked[i] = false
+			bLists[i] = bLists[i][:0]
+		}
+		if _, err := circuit(s, s); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+func makeCycle(g *sg.Graph, evs []sg.EventID, arcs []int) (Cycle, error) {
+	c := Cycle{
+		Events: append([]sg.EventID(nil), evs...),
+		Arcs:   append([]int(nil), arcs...),
+	}
+	for _, ai := range c.Arcs {
+		a := g.Arc(ai)
+		c.Length += a.Delay
+		if a.Marked {
+			c.Tokens++
+		}
+	}
+	if c.Tokens == 0 {
+		return Cycle{}, fmt.Errorf("cycles: cycle %v carries no token; graph %q is not live",
+			g.EventNames(c.Events), g.Name())
+	}
+	return c, nil
+}
+
+// MaxRatio returns the cycle time as the maximum effective length over
+// all simple cycles, together with one cycle attaining it. This is the
+// exponential-time oracle for the fast algorithms.
+func MaxRatio(g *sg.Graph, limit int) (stat.Ratio, *Cycle, error) {
+	all, err := Enumerate(g, limit)
+	if err != nil {
+		return stat.Ratio{}, nil, err
+	}
+	if len(all) == 0 {
+		return stat.Ratio{}, nil, fmt.Errorf("cycles: graph %q has no cycles", g.Name())
+	}
+	best := 0
+	for i := 1; i < len(all); i++ {
+		if all[best].Ratio().Less(all[i].Ratio()) {
+			best = i
+		}
+	}
+	r := all[best].Ratio().Normalize()
+	return r, &all[best], nil
+}
+
+// AllCritical returns every simple cycle attaining the cycle time — the
+// complete critical-cycle set. The paper's algorithm backtracks one
+// critical cycle per on-critical border event; this oracle lists them
+// all, at enumeration cost.
+func AllCritical(g *sg.Graph, limit int) (stat.Ratio, []Cycle, error) {
+	all, err := Enumerate(g, limit)
+	if err != nil {
+		return stat.Ratio{}, nil, err
+	}
+	if len(all) == 0 {
+		return stat.Ratio{}, nil, fmt.Errorf("cycles: graph %q has no cycles", g.Name())
+	}
+	best := all[0].Ratio()
+	for _, c := range all[1:] {
+		if best.Less(c.Ratio()) {
+			best = c.Ratio()
+		}
+	}
+	var crit []Cycle
+	for _, c := range all {
+		if c.Ratio().Equal(best) {
+			crit = append(crit, c)
+		}
+	}
+	return best.Normalize(), crit, nil
+}
+
+// MaxOccurrencePeriod returns the largest occurrence period ε over all
+// simple cycles — the quantity Prop. 6 bounds by the size of a minimum
+// cut set.
+func MaxOccurrencePeriod(g *sg.Graph, limit int) (int, error) {
+	all, err := Enumerate(g, limit)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, c := range all {
+		if c.Tokens > max {
+			max = c.Tokens
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,115 @@
+package cycles_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"tsg/internal/cycles"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// TestExample5 checks the cycle inventory of Example 5/6: the oscillator
+// graph has exactly four simple cycles with lengths 10, 8, 8, 6, all with
+// occurrence period 1, and the cycle time is max{10,8,8,6} = 10.
+func TestExample5(t *testing.T) {
+	g := gen.Oscillator()
+	all, err := cycles.Enumerate(g, 0)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("found %d simple cycles, want 4 (Example 5)", len(all))
+	}
+	var lengths []float64
+	for _, c := range all {
+		lengths = append(lengths, c.Length)
+		if c.Tokens != 1 {
+			t.Errorf("cycle %v has ε = %d, want 1", g.EventNames(c.Events), c.Tokens)
+		}
+		if len(c.Events) != 4 {
+			t.Errorf("cycle %v has %d events, want 4", g.EventNames(c.Events), len(c.Events))
+		}
+	}
+	sort.Float64s(lengths)
+	want := []float64{6, 8, 8, 10}
+	for i := range want {
+		if lengths[i] != want[i] {
+			t.Fatalf("cycle lengths = %v, want %v (Example 5)", lengths, want)
+		}
+	}
+
+	r, crit, err := cycles.MaxRatio(g, 0)
+	if err != nil {
+		t.Fatalf("MaxRatio: %v", err)
+	}
+	if r.Float() != 10 || r.Den != 1 {
+		t.Errorf("cycle time = %v, want 10 (Example 6)", r)
+	}
+	// The critical cycle is C1 = {a+, c+, a-, c-} (§II; the §VIII.C text
+	// names C2 but that is an erratum — C2 has length 8).
+	names := strings.Join(g.EventNames(crit.Events), " ")
+	for _, ev := range []string{"a+", "c+", "a-", "c-"} {
+		if !strings.Contains(names, ev) {
+			t.Errorf("critical cycle = %s, want the a/c cycle C1", names)
+		}
+	}
+	if crit.Ratio().Float() != 10 {
+		t.Errorf("critical cycle ratio = %v, want 10", crit.Ratio())
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	g := gen.Oscillator()
+	if _, err := cycles.Enumerate(g, 2); err == nil {
+		t.Error("Enumerate with limit 2 succeeded, want error (4 cycles exist)")
+	}
+}
+
+func TestTokenlessCycleError(t *testing.T) {
+	// Build an unmarked cycle via BuildUnchecked; Enumerate must report
+	// the liveness violation rather than dividing by zero.
+	g, err := sg.NewBuilder("dead").Events("a+", "b+").
+		Arc("a+", "b+", 1).Arc("b+", "a+", 1).BuildUnchecked()
+	if err != nil {
+		t.Fatalf("BuildUnchecked: %v", err)
+	}
+	if _, err := cycles.Enumerate(g, 0); err == nil {
+		t.Error("Enumerate on tokenless cycle succeeded, want error")
+	}
+}
+
+func TestNoCycles(t *testing.T) {
+	// Purely acyclic (non-repetitive) graph: MaxRatio must error.
+	g, err := sg.NewBuilder("acyclic").
+		Event("e-", sg.NonRepetitive()).
+		Event("f-", sg.NonRepetitive()).
+		Arc("e-", "f-", 1).BuildUnchecked()
+	if err != nil {
+		t.Fatalf("BuildUnchecked: %v", err)
+	}
+	if _, _, err := cycles.MaxRatio(g, 0); err == nil {
+		t.Error("MaxRatio on acyclic graph succeeded, want error")
+	}
+}
+
+// TestMullerRingCycles sanity-checks enumeration on the five-stage ring:
+// the maximum effective length must be the paper's 20/3.
+func TestMullerRingCycles(t *testing.T) {
+	g, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	r, crit, err := cycles.MaxRatio(g, 0)
+	if err != nil {
+		t.Fatalf("MaxRatio: %v", err)
+	}
+	rn := r.Normalize()
+	if rn.Num != 20 || rn.Den != 3 {
+		t.Errorf("ring cycle time = %v, want 20/3 (§VIII.D)", r)
+	}
+	if crit.Tokens != 3 {
+		t.Errorf("critical cycle ε = %d, want 3 (covers 3 periods)", crit.Tokens)
+	}
+}

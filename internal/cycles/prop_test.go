@@ -1,0 +1,276 @@
+package cycles_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"tsg/internal/cycles"
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// TestEpsilonBoundedByBorder checks the bound the paper's algorithm
+// actually relies on, which holds for every initially-safe graph: the
+// occurrence period of any simple cycle is at most b, because the ε
+// tokens of a simple cycle sit on ε distinct marked arcs whose targets
+// are ε distinct border events. (Prop. 6's stronger claim — ε_max
+// bounded by the minimum cut set size — fails even on safe graphs; see
+// TestProp6CounterexampleSafe.)
+func TestEpsilonBoundedByBorder(t *testing.T) {
+	var loads []*sg.Graph
+	loads = append(loads, gen.Oscillator())
+	for _, n := range []int{3, 5, 7} {
+		g, err := gen.MullerRing(n)
+		if err != nil {
+			t.Fatalf("MullerRing(%d): %v", n, err)
+		}
+		loads = append(loads, g)
+	}
+	for _, cells := range []int{2, 5} {
+		g, err := gen.Stack(cells)
+		if err != nil {
+			t.Fatalf("Stack(%d): %v", cells, err)
+		}
+		loads = append(loads, g)
+	}
+	pipe, err := gen.MullerPipeline(4, 2, 1, 1)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	loads = append(loads, pipe)
+	for _, g := range loads {
+		epsMax, err := cycles.MaxOccurrencePeriod(g, 1<<18)
+		if err != nil {
+			t.Fatalf("%s: MaxOccurrencePeriod: %v", g.Name(), err)
+		}
+		if epsMax > len(g.BorderEvents()) {
+			t.Errorf("%s: ε_max = %d > b = %d", g.Name(), epsMax, len(g.BorderEvents()))
+		}
+	}
+	// The two workloads the paper reasons about do satisfy the k_min
+	// bound (oscillator: ε_max = 1 = k_min; ring-5: ε_max = 3 = k_min),
+	// which is presumably how Prop. 6 escaped notice.
+	for i, want := range map[int]int{0: 1, 2: 3} {
+		g := loads[i]
+		epsMax, err := cycles.MaxOccurrencePeriod(g, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		min, err := g.MinimumCutSet()
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if epsMax != want || len(min) != want {
+			t.Errorf("%s: ε_max = %d, k_min = %d, want both %d", g.Name(), epsMax, len(min), want)
+		}
+	}
+}
+
+// TestProp6CounterexampleSafe documents erratum E2 on a *safe* graph:
+// the seven-stage Muller ring — extracted from a speed-independent
+// circuit, hence safe — has a simple cycle covering five periods while
+// a four-event cut set exists. Prop. 6 as stated is therefore unsound
+// even under the safety assumption; only ε_max <= b holds in general.
+func TestProp6CounterexampleSafe(t *testing.T) {
+	g, err := gen.MullerRing(7)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	epsMax, err := cycles.MaxOccurrencePeriod(g, 0)
+	if err != nil {
+		t.Fatalf("MaxOccurrencePeriod: %v", err)
+	}
+	min, err := g.MinimumCutSet()
+	if err != nil {
+		t.Fatalf("MinimumCutSet: %v", err)
+	}
+	if !(epsMax > len(min)) {
+		t.Errorf("expected the documented violation; got ε_max = %d, k_min = %d", epsMax, len(min))
+	}
+	if epsMax > len(g.BorderEvents()) {
+		t.Errorf("ε_max = %d exceeds even b = %d", epsMax, len(g.BorderEvents()))
+	}
+	// The ring is safe: the token game never doubles a token.
+	m := sg.NewMarking(g)
+	for step := 0; step < 400; step++ {
+		en := m.EnabledEvents()
+		if len(en) == 0 {
+			break
+		}
+		if err := m.Fire(en[step%len(en)]); err != nil {
+			t.Fatalf("Fire: %v", err)
+		}
+		if m.MaxTokens() > 1 {
+			t.Fatalf("ring-7 reached an unsafe marking; counterexample analysis invalid")
+		}
+	}
+}
+
+// TestProp6NeedsSafety documents a finding of this reproduction: as
+// stated, Prop. 6 fails for graphs that are initially-safe but not safe.
+// A five-ring with four tokens has a single cycle with ε = 4, yet any
+// single event is a cut set (k_min = 1). The paper's algorithm is
+// unaffected — it simulates b periods, and ε <= b always holds (here
+// b = 4) — but the "minimum cut set periods suffice" refinement of
+// Prop. 7 is sound only for safe graphs, such as those extracted from
+// speed-independent circuits.
+func TestProp6NeedsSafety(t *testing.T) {
+	b := sg.NewBuilder("ring5t4")
+	names := []string{"v0", "v1", "v2", "v3", "v4"}
+	b.Events(names...)
+	for i := range names {
+		next := names[(i+1)%5]
+		if i == 0 {
+			b.Arc(names[i], next, 1) // the single unmarked arc
+		} else {
+			b.Arc(names[i], next, 1, sg.Marked())
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	epsMax, err := cycles.MaxOccurrencePeriod(g, 0)
+	if err != nil {
+		t.Fatalf("MaxOccurrencePeriod: %v", err)
+	}
+	min, err := g.MinimumCutSet()
+	if err != nil {
+		t.Fatalf("MinimumCutSet: %v", err)
+	}
+	if epsMax != 4 || len(min) != 1 {
+		t.Fatalf("counterexample broken: ε_max = %d (want 4), k_min = %d (want 1)", epsMax, len(min))
+	}
+	// The graph is initially safe but not safe: the token game reaches
+	// a doubled arc.
+	m := sg.NewMarking(g)
+	unsafe := false
+	for step := 0; step < 20 && !unsafe; step++ {
+		en := m.EnabledEvents()
+		if len(en) == 0 {
+			break
+		}
+		if err := m.Fire(en[0]); err != nil {
+			t.Fatalf("Fire: %v", err)
+		}
+		if m.MaxTokens() > 1 {
+			unsafe = true
+		}
+	}
+	if !unsafe {
+		t.Error("counterexample unexpectedly safe; Prop. 6 analysis invalid")
+	}
+	// The b-period algorithm still gets λ right (λ = 5/4).
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if r := res.CycleTime.Normalize(); r.Num != 5 || r.Den != 4 {
+		t.Errorf("λ = %v, want 5/4", res.CycleTime)
+	}
+	// ... while simulating only k_min = 1 periods (explicit override;
+	// the default is the safe b periods) must fail: no instantiation of
+	// the cut event recurs that soon.
+	if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{CutSet: min, Periods: len(min)}); err == nil {
+		t.Error("k_min-period analysis of the unsafe counterexample succeeded; expected failure")
+	}
+}
+
+// TestAllCriticalContainsBacktracked: every critical cycle the paper's
+// algorithm backtracks must appear in the oracle's complete critical
+// set, and both report the same λ.
+func TestAllCriticalContainsBacktracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(9)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(n), MaxDelay: 7,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		lambda, crit, err := cycles.AllCritical(g, 0)
+		if err != nil {
+			t.Fatalf("AllCritical: %v", err)
+		}
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		if !res.CycleTime.Equal(lambda) {
+			t.Errorf("trial %d: λ mismatch: %v vs %v", trial, res.CycleTime, lambda)
+		}
+		oracle := map[string]bool{}
+		for i := range crit {
+			oracle[cycleKey(crit[i].Arcs)] = true
+		}
+		for _, c := range res.Critical {
+			if !oracle[cycleKey(c.Arcs)] {
+				t.Errorf("trial %d: backtracked cycle %v not in the oracle's critical set",
+					trial, g.EventNames(c.Events))
+			}
+		}
+	}
+}
+
+// cycleKey canonicalises a cycle's arc list up to rotation.
+func cycleKey(arcs []int) string {
+	n := len(arcs)
+	rotations := make([]string, n)
+	for r := 0; r < n; r++ {
+		parts := make([]string, n)
+		for i := 0; i < n; i++ {
+			parts[i] = fmt.Sprint(arcs[(r+i)%n])
+		}
+		rotations[r] = strings.Join(parts, ",")
+	}
+	sort.Strings(rotations)
+	return rotations[0]
+}
+
+// TestAllCriticalOscillator: the oscillator has exactly one critical
+// cycle, C1.
+func TestAllCriticalOscillator(t *testing.T) {
+	g := gen.Oscillator()
+	lambda, crit, err := cycles.AllCritical(g, 0)
+	if err != nil {
+		t.Fatalf("AllCritical: %v", err)
+	}
+	if lambda.Float() != 10 || len(crit) != 1 {
+		t.Fatalf("AllCritical = %v with %d cycles, want 10 with 1", lambda, len(crit))
+	}
+	names := strings.Join(g.EventNames(crit[0].Events), " ")
+	for _, ev := range []string{"a+", "c+", "a-", "c-"} {
+		if !strings.Contains(names, ev) {
+			t.Errorf("critical set = %s, want C1", names)
+		}
+	}
+	// Prop. 6 sanity on the two paper workloads.
+	eps, err := cycles.MaxOccurrencePeriod(g, 0)
+	if err != nil {
+		t.Fatalf("MaxOccurrencePeriod: %v", err)
+	}
+	if eps != 1 {
+		t.Errorf("oscillator ε_max = %d, want 1 (min cut set size 1)", eps)
+	}
+	ring, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	epsR, err := cycles.MaxOccurrencePeriod(ring, 0)
+	if err != nil {
+		t.Fatalf("MaxOccurrencePeriod(ring): %v", err)
+	}
+	minR, err := ring.MinimumCutSet()
+	if err != nil {
+		t.Fatalf("MinimumCutSet(ring): %v", err)
+	}
+	if epsR > len(minR) {
+		t.Errorf("ring ε_max = %d > k_min = %d (violates Prop. 6)", epsR, len(minR))
+	}
+}

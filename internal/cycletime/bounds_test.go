@@ -1,0 +1,70 @@
+package cycletime_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+)
+
+func TestAnalyzeBoundsOscillator(t *testing.T) {
+	g := gen.Oscillator()
+	lo, hi := cycletime.Jitter(0.1)
+	b, err := cycletime.AnalyzeBounds(g, lo, hi)
+	if err != nil {
+		t.Fatalf("AnalyzeBounds: %v", err)
+	}
+	if math.Abs(b.Min.Float()-9) > 1e-9 || math.Abs(b.Max.Float()-11) > 1e-9 {
+		t.Errorf("bounds = [%v, %v], want [9, 11] (±10%% of 10)", b.Min, b.Max)
+	}
+	if b.MinResult == nil || b.MaxResult == nil {
+		t.Error("extreme analyses missing")
+	}
+}
+
+func TestAnalyzeBoundsBracketNominal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		bsz := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: bsz, ExtraArcs: rng.Intn(n), MaxDelay: 9,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		lo, hi := cycletime.Jitter(0.25)
+		b, err := cycletime.AnalyzeBounds(g, lo, hi)
+		if err != nil {
+			t.Fatalf("AnalyzeBounds: %v", err)
+		}
+		lam := res.CycleTime.Float()
+		if b.Min.Float() > lam+1e-9 || b.Max.Float() < lam-1e-9 {
+			t.Errorf("trial %d: nominal λ %v outside bounds [%v, %v]",
+				trial, res.CycleTime, b.Min, b.Max)
+		}
+	}
+}
+
+func TestAnalyzeBoundsErrors(t *testing.T) {
+	g := gen.Oscillator()
+	neg := func(int, float64) float64 { return -1 }
+	id := func(_ int, d float64) float64 { return d }
+	if _, err := cycletime.AnalyzeBounds(g, neg, id); err == nil {
+		t.Error("negative lower delays accepted")
+	}
+	if _, err := cycletime.AnalyzeBounds(g, id, neg); err == nil {
+		t.Error("negative upper delays accepted")
+	}
+	// Crossed interval: lo > hi.
+	double := func(_ int, d float64) float64 { return 2 * d }
+	if _, err := cycletime.AnalyzeBounds(g, double, id); err == nil {
+		t.Error("lo > hi accepted")
+	}
+}

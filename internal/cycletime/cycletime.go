@@ -1,0 +1,337 @@
+// Package cycletime implements the performance-analysis algorithm of
+// Nielsen and Kishinevsky (DAC'94), §VI–§VII: the cycle time λ and a
+// critical cycle of a Timed Signal Graph, computed from event-initiated
+// timing simulations.
+//
+// The algorithm (§VII skeleton):
+//
+//  1. identify the border events — the repetitive events with an
+//     initially marked in-arc; for a live graph they form a cut set;
+//  2. from each of the b border events, run an event-initiated timing
+//     simulation covering b periods of the unfolding;
+//  3. after each new occurrence of the initiating event, record the
+//     average occurrence distance δ_{e_0}(e_i) = t_{e_0}(e_i)/i;
+//  4. the cycle time is the maximum of the collected b² distances
+//     (Prop. 7); border events that never attain it lie off every
+//     critical cycle (Prop. 8);
+//  5. backtracking the simulation that attained the maximum (Prop. 1)
+//     yields a critical cycle.
+//
+// One simulation costs O(b·m); the whole analysis is O(b²·m). Since
+// typically b ≪ n, the algorithm behaves linearly in the specification
+// size in practice (§VII).
+package cycletime
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+	"tsg/internal/timesim"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Periods overrides the number of unfolding periods simulated from
+	// each cut-set event. 0 means the safe default: b, the border-set
+	// size, which always bounds the occurrence period of every simple
+	// cycle (the ε tokens of a simple cycle target ε distinct border
+	// events). Correctness requires Periods >= the maximum occurrence
+	// period ε_max; note that the paper's Prop. 6 bound — ε_max <= the
+	// minimum cut set size — does NOT hold in general (see the
+	// counterexamples in the cycles package tests and EXPERIMENTS.md),
+	// so smaller explicit values are only sound when the caller knows
+	// ε_max (e.g. 1 for the oscillator, whose cycles all have ε = 1).
+	Periods int
+	// CutSet simulates from these events instead of the border set.
+	// The events must form a cut set (verified). Used by the ablation
+	// experiments; the paper's algorithm always uses the border set,
+	// which is available without any search (§VI.B).
+	CutSet []sg.EventID
+	// Parallel runs the b event-initiated simulations on separate
+	// goroutines. The simulations are independent (each touches only
+	// its own trace), so the result is identical to the serial run;
+	// worthwhile for large b on multi-core hosts.
+	Parallel bool
+}
+
+// BorderSeries records the distances collected from one cut-set event.
+type BorderSeries struct {
+	Event sg.EventID
+	// Distances holds δ_{e_0}(e_i) for i = 1..Periods; entries are NaN
+	// when e_0 does not precede e_i (no unfolded cycle of that period
+	// through the event).
+	Distances []float64
+	// Best is the largest collected distance as an exact ratio
+	// (critical-path length over occurrence period).
+	Best stat.Ratio
+	// BestIndex is the smallest i attaining Best (0 when none).
+	BestIndex int
+	// OnCritical reports whether Best equals the global cycle time,
+	// which by Prop. 7/8 holds exactly for the cut-set events lying on
+	// a critical cycle.
+	OnCritical bool
+}
+
+// CriticalCycle is a simple cycle attaining the cycle time.
+type CriticalCycle struct {
+	// Events lists the cycle's events in arc order; Events[0] is
+	// revisited after the last element.
+	Events []sg.EventID
+	// Arcs lists the graph arc indices connecting consecutive events
+	// (Arcs[len-1] closes the cycle back to Events[0]).
+	Arcs []int
+	// Length is the sum of arc delays around the cycle.
+	Length float64
+	// Period is the occurrence period ε: the number of unfolding
+	// periods the cycle covers (= number of marked arcs along it).
+	Period int
+}
+
+// Ratio returns the effective length C/ε of the cycle (§V.A).
+func (c *CriticalCycle) Ratio() stat.Ratio { return stat.NewRatio(c.Length, c.Period) }
+
+// Format renders the cycle like the paper: "a+ -3-> c+ -2-> a- -3-> c- -2-> a+".
+func (c *CriticalCycle) Format(g *sg.Graph) string {
+	if len(c.Events) == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	for i, e := range c.Events {
+		b.WriteString(g.Event(e).Name)
+		b.WriteString(fmt.Sprintf(" -%g-> ", g.Arc(c.Arcs[i]).Delay))
+	}
+	b.WriteString(g.Event(c.Events[0]).Name)
+	return b.String()
+}
+
+// Result is the outcome of a cycle-time analysis.
+type Result struct {
+	// CycleTime is λ as an exact ratio of critical-cycle length to
+	// occurrence period.
+	CycleTime stat.Ratio
+	// Critical holds the distinct critical cycles found by backtracking
+	// from each cut-set event attaining λ (at least one).
+	Critical []CriticalCycle
+	// Series holds the per-cut-set-event distance series, in the order
+	// the events were simulated.
+	Series []BorderSeries
+	// Periods is the number of unfolding periods each simulation covered.
+	Periods int
+}
+
+// Analyze runs the paper's algorithm with default options: event-initiated
+// simulations from every border event over b = |border| periods.
+func Analyze(g *sg.Graph) (*Result, error) {
+	return AnalyzeOpts(g, Options{})
+}
+
+// AnalyzeOpts runs the algorithm with explicit options.
+func AnalyzeOpts(g *sg.Graph, opts Options) (*Result, error) {
+	cut := opts.CutSet
+	if cut == nil {
+		cut = g.BorderEvents()
+	} else {
+		for _, e := range cut {
+			if e < 0 || int(e) >= g.NumEvents() {
+				return nil, fmt.Errorf("cycletime: cut-set event %d out of range", e)
+			}
+			if !g.Event(e).Repetitive {
+				return nil, fmt.Errorf("cycletime: cut-set event %q is not repetitive", g.Event(e).Name)
+			}
+		}
+		if !g.IsCutSet(cut) {
+			return nil, fmt.Errorf("cycletime: events %v do not form a cut set", g.EventNames(cut))
+		}
+	}
+	if len(cut) == 0 {
+		return nil, fmt.Errorf("cycletime: graph %q has no border events (no repetitive behaviour to time)", g.Name())
+	}
+	periods := opts.Periods
+	if periods == 0 {
+		// b bounds ε_max for every initially-safe graph; using it keeps
+		// custom (smaller) cut sets sound: fewer simulations, same depth.
+		periods = len(g.BorderEvents())
+		if periods < len(cut) {
+			periods = len(cut)
+		}
+	}
+	if periods < 1 {
+		return nil, fmt.Errorf("cycletime: periods must be >= 1, got %d", periods)
+	}
+
+	res := &Result{Periods: periods}
+	traces := make([]*timesim.Trace, len(cut))
+	simErrs := make([]error, len(cut))
+	simulate := func(i int) {
+		traces[i], simErrs[i] = timesim.RunFrom(g, cut[i], timesim.Options{
+			Periods:      periods + 1, // instantiations 0..periods
+			TrackParents: true,
+		})
+	}
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i := range cut {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				simulate(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range cut {
+			simulate(i)
+		}
+	}
+	best := stat.Ratio{Num: -1, Den: 1}
+	for i, ev := range cut {
+		if simErrs[i] != nil {
+			return nil, fmt.Errorf("cycletime: simulating from %q: %w", g.Event(ev).Name, simErrs[i])
+		}
+		tr := traces[i]
+		series := BorderSeries{Event: ev, Distances: make([]float64, periods)}
+		seriesBest := stat.Ratio{Num: -1, Den: 1}
+		bestIdx := 0
+		for j := 1; j <= periods; j++ {
+			t, ok := tr.Time(ev, j)
+			if !ok || !tr.Reached(ev, j) {
+				series.Distances[j-1] = nan()
+				continue
+			}
+			series.Distances[j-1] = t / float64(j)
+			if r := stat.NewRatio(t, j); seriesBest.Less(r) {
+				seriesBest = r
+				bestIdx = j
+			}
+		}
+		series.Best = seriesBest
+		series.BestIndex = bestIdx
+		res.Series = append(res.Series, series)
+		if best.Less(seriesBest) {
+			best = seriesBest
+		}
+	}
+	if best.Num < 0 {
+		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
+			periods, g.EventNames(cut))
+	}
+	res.CycleTime = best.Normalize()
+
+	// Prop. 7/8: exactly the cut-set events attaining λ lie on critical
+	// cycles; backtrack each of them.
+	seen := map[string]bool{}
+	for i := range res.Series {
+		s := &res.Series[i]
+		if s.BestIndex == 0 || !s.Best.Equal(best) {
+			continue
+		}
+		s.OnCritical = true
+		cyc, err := backtrack(g, traces[i], s.Event, s.BestIndex, best)
+		if err != nil {
+			return nil, err
+		}
+		key := canonicalKey(cyc)
+		if !seen[key] {
+			seen[key] = true
+			res.Critical = append(res.Critical, *cyc)
+		}
+	}
+	return res, nil
+}
+
+func nan() float64 { return math.NaN() }
+
+// backtrack reconstructs the unfolded critical path from origin_k back to
+// origin_0 via the recorded max-predecessors (Prop. 1) and folds it into
+// a simple cycle attaining the cycle time.
+func backtrack(g *sg.Graph, tr *timesim.Trace, origin sg.EventID, k int, lambda stat.Ratio) (*CriticalCycle, error) {
+	type step struct {
+		event  sg.EventID
+		period int
+		arc    int // arc leading INTO this instantiation along the path
+	}
+	var rev []step
+	e, p := origin, k
+	for !(e == origin && p == 0) {
+		pe, pp, arc, ok := tr.Parent(e, p)
+		if !ok {
+			return nil, fmt.Errorf("cycletime: backtracking from %s_%d stranded at %s_%d",
+				g.Event(origin).Name, k, g.Event(e).Name, p)
+		}
+		rev = append(rev, step{event: e, period: p, arc: arc})
+		e, p = pe, pp
+	}
+	// rev holds the path's non-initial nodes from origin_k down to the
+	// successor of origin_0; reverse into forward order and prepend the
+	// origin. Then nodes[i] --arcs[i]--> nodes[i+1].
+	nodes := make([]sg.EventID, 0, len(rev)+1)
+	periods := make([]int, 0, len(rev)+1)
+	arcs := make([]int, 0, len(rev))
+	nodes = append(nodes, origin)
+	periods = append(periods, 0)
+	for i := len(rev) - 1; i >= 0; i-- {
+		nodes = append(nodes, rev[i].event)
+		periods = append(periods, rev[i].period)
+		arcs = append(arcs, rev[i].arc)
+	}
+
+	// The folded path may revisit an event (a combination of critical
+	// cycles, Prop. 5); the first repeated event closes a simple
+	// sub-cycle, which necessarily attains λ exactly.
+	firstPos := map[sg.EventID]int{}
+	start, end := -1, -1
+	for i, ev := range nodes {
+		if p, dup := firstPos[ev]; dup {
+			start, end = p, i
+			break
+		}
+		firstPos[ev] = i
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("cycletime: critical path from %s has no repeated event", g.Event(origin).Name)
+	}
+	cyc := &CriticalCycle{
+		Events: append([]sg.EventID(nil), nodes[start:end]...),
+		Arcs:   append([]int(nil), arcs[start:end]...),
+		Period: periods[end] - periods[start],
+	}
+	for _, ai := range cyc.Arcs {
+		cyc.Length += g.Arc(ai).Delay
+	}
+	if got := cyc.Ratio(); !got.Equal(lambda) {
+		return nil, fmt.Errorf("cycletime: internal error: extracted cycle ratio %v != cycle time %v",
+			got, lambda)
+	}
+	return cyc, nil
+}
+
+// canonicalKey rotates the cycle's arc list to its lexicographically
+// smallest rotation so that the same cycle discovered from different
+// cut-set events deduplicates.
+func canonicalKey(c *CriticalCycle) string {
+	n := len(c.Arcs)
+	if n == 0 {
+		return ""
+	}
+	bestRot := 0
+	for r := 1; r < n; r++ {
+		for i := 0; i < n; i++ {
+			a, b := c.Arcs[(bestRot+i)%n], c.Arcs[(r+i)%n]
+			if a != b {
+				if b < a {
+					bestRot = r
+				}
+				break
+			}
+		}
+	}
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = fmt.Sprint(c.Arcs[(bestRot+i)%n])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,76 @@
+package cycletime
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/mcr"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// ArcSlack is the timing slack of one arc at the graph's cycle time: how
+// much the arc's delay may grow before the cycle time increases. Tight
+// arcs (zero slack) are the ones lying on critical cycles — the
+// bottleneck set a designer must attack to speed the system up.
+type ArcSlack struct {
+	// Arc indexes the arc in the graph.
+	Arc int
+	// Slack is u(to) − u(from) − (τ − λ·m) for the potential u
+	// certifying λ (the dual solution of the Burns LP).
+	Slack float64
+	// Tight reports Slack == 0 up to rounding. Every arc of every
+	// critical cycle is tight; the converse need not hold, because the
+	// certifying potential is not unique.
+	Tight bool
+}
+
+// slackEps separates rounding noise from genuine slack.
+const slackEps = 1e-9
+
+// Slacks computes per-arc timing slacks at the given cycle time
+// (normally Result.CycleTime). Only arcs of the repetitive core carry a
+// slack; disengageable and prefix arcs are skipped. The sum of (negated)
+// slacks around any cycle equals ε·λ − C, so a cycle is critical iff all
+// its arcs are tight.
+func Slacks(g *sg.Graph, lambda stat.Ratio) ([]ArcSlack, error) {
+	lam := lambda.Float()
+	u, err := mcr.FeasiblePotential(g, lam)
+	if err != nil {
+		return nil, fmt.Errorf("cycletime: slacks at λ=%v: %w", lambda, err)
+	}
+	var out []ArcSlack
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		if a.Once || !g.Event(a.From).Repetitive || !g.Event(a.To).Repetitive {
+			continue
+		}
+		w := a.Delay
+		if a.Marked {
+			w -= lam
+		}
+		s := u[a.To] - u[a.From] - w
+		if math.Abs(s) < slackEps {
+			s = 0
+		}
+		out = append(out, ArcSlack{Arc: i, Slack: s, Tight: s == 0})
+	}
+	return out, nil
+}
+
+// Sensitivity reports how the cycle time responds to a delay change on
+// one arc: it re-analyses the graph with the arc's delay set to the
+// given value. Tight arcs increase λ (by Δ/ε for the critical cycle
+// through them); slack arcs absorb changes up to their slack. The
+// original graph is left untouched.
+func Sensitivity(g *sg.Graph, arc int, newDelay float64) (stat.Ratio, error) {
+	ng, err := g.WithArcDelay(arc, newDelay)
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	res, err := Analyze(ng)
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	return res.CycleTime, nil
+}

@@ -1,0 +1,67 @@
+package exp_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"tsg/internal/exp"
+)
+
+// TestPaperTables runs the fast experiments as acceptance tests: every
+// hard expectation against the paper's tables must hold. The two
+// timing-heavy experiments (COMPLX, BASE) are exercised only under
+// -short=false via TestTimingExperiments.
+func TestPaperTables(t *testing.T) {
+	for _, id := range []string{"EX3", "EX4", "EX5", "EX7", "FIG1C", "FIG1D", "FIG4", "TAB8C", "TAB8D"} {
+		e, ok := exp.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(&sb); err != nil {
+				t.Fatalf("%s failed: %v\noutput so far:\n%s", id, err, sb.String())
+			}
+			if sb.Len() == 0 {
+				t.Errorf("%s produced no output", id)
+			}
+		})
+	}
+}
+
+func TestTimingExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiments skipped with -short")
+	}
+	for _, id := range []string{"PERF8B", "COMPLX", "BASE", "ABLATE"} {
+		e, ok := exp.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			if err := e.Run(io.Discard); err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := exp.All()
+	if len(all) != 13 {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Errorf("registry has %d experiments (%v), want 13", len(all), ids)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("All() not sorted: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+	if _, ok := exp.ByID("NOPE"); ok {
+		t.Error("ByID(NOPE) found something")
+	}
+}

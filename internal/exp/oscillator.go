@@ -1,0 +1,287 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tsg/internal/cycles"
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/textio"
+	"tsg/internal/timesim"
+)
+
+// oscillatorEventOrder is the column order of the paper's tables.
+var oscillatorEventOrder = []string{"e-", "f-", "a+", "b+", "c+", "a-", "b-", "c-"}
+
+func init() {
+	register(Experiment{ID: "EX3", Title: "Example 3: plain timing simulation table", Run: runEX3})
+	register(Experiment{ID: "EX4", Title: "Example 4: b+0-initiated timing simulation table", Run: runEX4})
+	register(Experiment{ID: "EX5", Title: "Example 5/6: simple cycles and effective lengths", Run: runEX5})
+	register(Experiment{ID: "EX7", Title: "Example 7: border set and minimum cut sets", Run: runEX7})
+	register(Experiment{ID: "FIG1C", Title: "Fig. 1c: timing diagram and occurrence distances", Run: runFIG1C})
+	register(Experiment{ID: "FIG1D", Title: "Fig. 1d: a+-initiated timing diagram", Run: runFIG1D})
+	register(Experiment{ID: "FIG4", Title: "Fig. 4: asymptotic δ behaviour on/off the critical cycle", Run: runFIG4})
+	register(Experiment{ID: "TAB8C", Title: "§VIII.C: C-element oscillator analysis", Run: runTAB8C})
+}
+
+func runEX3(w io.Writer) error {
+	g := gen.Oscillator()
+	tr, err := timesim.Run(g, timesim.Options{Periods: 2})
+	if err != nil {
+		return err
+	}
+	want := map[string]float64{
+		"e-_0": 0, "f-_0": 3, "a+_0": 2, "b+_0": 4, "c+_0": 6,
+		"a-_0": 8, "b-_0": 7, "c-_0": 11, "a+_1": 13, "b+_1": 12, "c+_1": 16,
+	}
+	tab := textio.New("Example 3: t over the first two periods", "event", "t (measured)", "t (paper)")
+	for p := 0; p < 2; p++ {
+		for _, name := range oscillatorEventOrder {
+			id := g.MustEvent(name)
+			v, ok := tr.Time(id, p)
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s_%d", name, p)
+			wv, known := want[key]
+			if !known {
+				continue
+			}
+			tab.AddRow(key, v, wv)
+			if err := expect("t("+key+")", v, wv); err != nil {
+				return err
+			}
+		}
+	}
+	return tab.Render(w)
+}
+
+func runEX4(w io.Writer) error {
+	g := gen.Oscillator()
+	tr, err := timesim.RunFrom(g, g.MustEvent("b+"), timesim.Options{Periods: 2})
+	if err != nil {
+		return err
+	}
+	want := map[string]float64{
+		"b+_0": 0, "c+_0": 2, "a-_0": 4, "b-_0": 3, "c-_0": 7,
+		"a+_1": 9, "b+_1": 8, "c+_1": 12,
+	}
+	tab := textio.New("Example 4: b+0-initiated simulation", "event", "t_b+0 (measured)", "t_b+0 (paper)")
+	for p := 0; p < 2; p++ {
+		for _, name := range oscillatorEventOrder {
+			key := fmt.Sprintf("%s_%d", name, p)
+			wv, known := want[key]
+			if !known {
+				continue
+			}
+			v, ok := tr.Time(g.MustEvent(name), p)
+			if !ok {
+				continue
+			}
+			tab.AddRow(key, v, wv)
+			if err := expect("t_b+0("+key+")", v, wv); err != nil {
+				return err
+			}
+		}
+	}
+	return tab.Render(w)
+}
+
+func runEX5(w io.Writer) error {
+	g := gen.Oscillator()
+	all, err := cycles.Enumerate(g, 0)
+	if err != nil {
+		return err
+	}
+	if err := expect("number of simple cycles", len(all), 4); err != nil {
+		return err
+	}
+	tab := textio.New("Example 5/6: simple cycles", "cycle", "length", "ε", "effective length")
+	var lengths []float64
+	for _, c := range all {
+		tab.AddRow(strings.Join(g.EventNames(c.Events), " "), c.Length, c.Tokens, c.Ratio().Float())
+		lengths = append(lengths, c.Length)
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	r, _, err := cycles.MaxRatio(g, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cycle time λ = max{10, 8, 8, 6} = %v (paper: 10)\n", r)
+	return expect("λ (Example 6)", r.Float(), 10.0)
+}
+
+func runEX7(w io.Writer) error {
+	g := gen.Oscillator()
+	border := strings.Join(g.EventNames(g.BorderEvents()), " ")
+	fmt.Fprintf(w, "border set: {%s} (paper: {a+ b+})\n", border)
+	if err := expect("border set", border, "a+ b+"); err != nil {
+		return err
+	}
+	all, err := g.AllMinimumCutSets(0)
+	if err != nil {
+		return err
+	}
+	var sets []string
+	for _, s := range all {
+		sets = append(sets, "{"+strings.Join(g.EventNames(s), " ")+"}")
+	}
+	fmt.Fprintf(w, "minimum cut sets: %s (paper: {c+} and {c-})\n", strings.Join(sets, " "))
+	return expect("minimum cut sets", strings.Join(sets, " "), "{c+} {c-}")
+}
+
+func runFIG1C(w io.Writer) error {
+	g := gen.Oscillator()
+	tr, err := timesim.Run(g, timesim.Options{Periods: 8})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "timing diagram (Fig. 1c):")
+	if err := tr.Diagram().Render(w, 1); err != nil {
+		return err
+	}
+	a := g.MustEvent("a+")
+	tab := textio.New("\noccurrence distances and average distances of a+ (§II)",
+		"i", "t(a+_i)", "distance to next", "δ(a+_i)", "δ paper")
+	wantDelta := []float64{2, 13.0 / 2, 23.0 / 3, 33.0 / 4, 43.0 / 5, 53.0 / 6}
+	for i := 0; i < 6; i++ {
+		t, _ := tr.Time(a, i)
+		d, err := tr.OccurrenceDistance(a, i)
+		if err != nil {
+			return err
+		}
+		delta := t / float64(i+1)
+		tab.AddRow(i, t, d, delta, wantDelta[i])
+		if math.Abs(delta-wantDelta[i]) > 1e-12 {
+			return fmt.Errorf("exp: δ(a+_%d) = %g, paper says %g", i, delta, wantDelta[i])
+		}
+		wantD := 10.0
+		if i == 0 {
+			wantD = 11 // the paper: first occurrence distance is 11
+		}
+		if err := expect(fmt.Sprintf("occurrence distance a+_%d..a+_%d", i, i+1), d, wantD); err != nil {
+			return err
+		}
+	}
+	return tab.Render(w)
+}
+
+func runFIG1D(w io.Writer) error {
+	g := gen.Oscillator()
+	tr, err := timesim.RunFrom(g, g.MustEvent("a+"), timesim.Options{Periods: 4})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "a+-initiated timing diagram (Fig. 1d):")
+	if err := tr.Diagram().Render(w, 1); err != nil {
+		return err
+	}
+	s, err := tr.InitiatedDistances()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nδ_a+0 series: %v (paper: 10 10 10 — the initial history is discarded)\n", s)
+	for i := 0; i < s.Len(); i++ {
+		if err := expect(fmt.Sprintf("δ_a+0(a+_%d)", i+1), s.At(i), 10.0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFIG4(w io.Writer) error {
+	g := gen.Oscillator()
+	const periods = 14
+	tab := textio.New("Fig. 4: δ_{e0}(e_i) for an on-critical (a+) and an off-critical (b+) event",
+		"i", "δ_a+0 (on)", "δ_b+0 (off)")
+	trA, err := timesim.RunFrom(g, g.MustEvent("a+"), timesim.Options{Periods: periods})
+	if err != nil {
+		return err
+	}
+	trB, err := timesim.RunFrom(g, g.MustEvent("b+"), timesim.Options{Periods: periods})
+	if err != nil {
+		return err
+	}
+	sa, err := trA.InitiatedDistances()
+	if err != nil {
+		return err
+	}
+	sb, err := trB.InitiatedDistances()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sa.Len(); i++ {
+		tab.AddRow(i+1, sa.At(i), sb.At(i))
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	// The paper's qualitative claims: the on-critical series attains λ
+	// exactly; the off-critical series approaches it from below without
+	// ever reaching it (Prop. 8).
+	if sa.Max() != 10 {
+		return fmt.Errorf("exp: on-critical series max = %g, want exactly 10", sa.Max())
+	}
+	for i := 0; i < sb.Len(); i++ {
+		if sb.At(i) >= 10 {
+			return fmt.Errorf("exp: off-critical δ_b+0(b+_%d) = %g reached λ, violating Prop. 8", i+1, sb.At(i))
+		}
+	}
+	if !sb.ConvergedTo(10, 1.0, 3) {
+		return fmt.Errorf("exp: off-critical series %v does not approach λ = 10", sb)
+	}
+	fmt.Fprintln(w, "on-critical series attains λ = 10 exactly; off-critical stays strictly below and converges to it.")
+	return nil
+}
+
+func runTAB8C(w io.Writer) error {
+	g := gen.Oscillator()
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		return err
+	}
+	// The two event-initiated simulations of the §VIII.C table.
+	wantRows := map[string][]float64{
+		"a+": {10, 10},
+		"b+": {8, 9},
+	}
+	tab := textio.New("§VIII.C: border-event distance series", "border event", "δ(e_1)", "δ(e_2)", "paper", "on critical cycle")
+	for _, s := range res.Series {
+		name := g.Event(s.Event).Name
+		wr := wantRows[name]
+		tab.AddRow(name, s.Distances[0], s.Distances[1],
+			fmt.Sprintf("%v %v", wr[0], wr[1]), s.OnCritical)
+		for j, wv := range wr {
+			if err := expect(fmt.Sprintf("δ_%s0(%s_%d)", name, name, j+1), s.Distances[j], wv); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cycle time λ = %v (paper: 10)\n", res.CycleTime)
+	if err := expect("λ", res.CycleTime.Float(), 10.0); err != nil {
+		return err
+	}
+	crit := res.Critical[0].Format(g)
+	fmt.Fprintf(w, "critical cycle: %s\n", crit)
+	fmt.Fprintln(w, "(paper erratum: §VIII.C prints a+→c+→b-→c-, which has length 8; the true critical cycle is C1 of Example 5, shown above)")
+	for _, ev := range []string{"a+", "c+", "a-", "c-"} {
+		if !strings.Contains(crit, ev) {
+			return fmt.Errorf("exp: critical cycle %s does not visit %s", crit, ev)
+		}
+	}
+	// The erratum check: C2 = {a+ c+ b- c-} has length 8.
+	for _, c := range res.Critical {
+		if c.Length != 10 {
+			return fmt.Errorf("exp: critical cycle length %g, want 10", c.Length)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/extract"
+	"tsg/internal/gen"
+	"tsg/internal/textio"
+	"tsg/internal/timesim"
+)
+
+func init() {
+	register(Experiment{ID: "TAB8D", Title: "§VIII.D: Muller ring with five elements (gate level -> extraction -> analysis)", Run: runTAB8D})
+}
+
+func runTAB8D(w io.Writer) error {
+	// Full flow: build the gate-level circuit of Fig. 5, extract the
+	// Signal Graph (TRASPEC step), then analyse.
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		return err
+	}
+	g, err := extract.Extract(c, extract.Options{})
+	if err != nil {
+		return err
+	}
+	border := strings.Join(g.EventNames(g.BorderEvents()), " ")
+	fmt.Fprintf(w, "extracted Signal Graph: %d events, %d arcs\n", g.NumEvents(), g.NumArcs())
+	fmt.Fprintf(w, "border events: {%s} (paper: a+ b+ c+ e- as o1+ o2+ o3+ o5-)\n", border)
+	if err := expect("border set", border, "o1+ o2+ o3+ o5-"); err != nil {
+		return err
+	}
+
+	// The paper extends the table to ten periods to show the periodic
+	// distance pattern 6 7 7 | 6 7 7 | ...
+	tr, err := timesim.RunFrom(g, g.MustEvent("o1+"), timesim.Options{Periods: 11})
+	if err != nil {
+		return err
+	}
+	wantT := []float64{6, 13, 20, 26, 33, 40, 46, 53, 60, 66}
+	wantStep := []float64{6, 7, 7, 6, 7, 7, 6, 7, 7, 6}
+	tab := textio.New("§VIII.D: a+-initiated simulation (a = o1)",
+		"i", "t(a+_i)", "paper", "step", "paper step", "δ̄(a+_i)")
+	prev := 0.0
+	for i := 1; i <= 10; i++ {
+		t, ok := tr.Time(g.MustEvent("o1+"), i)
+		if !ok {
+			return fmt.Errorf("exp: no instantiation o1+_%d", i)
+		}
+		tab.AddRow(i, t, wantT[i-1], t-prev, wantStep[i-1], t/float64(i))
+		if err := expect(fmt.Sprintf("t_a+0(a+_%d)", i), t, wantT[i-1]); err != nil {
+			return err
+		}
+		if err := expect(fmt.Sprintf("step at i=%d", i), t-prev, wantStep[i-1]); err != nil {
+			return err
+		}
+		prev = t
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		return err
+	}
+	r := res.CycleTime.Normalize()
+	fmt.Fprintf(w, "cycle time λ = %v (paper: 20/3 ≈ 6.67)\n", res.CycleTime)
+	if r.Num != 20 || r.Den != 3 {
+		return fmt.Errorf("exp: ring cycle time = %v, paper says 20/3", res.CycleTime)
+	}
+	for _, cc := range res.Critical {
+		fmt.Fprintf(w, "critical cycle (ε=%d, length %g): %s\n", cc.Period, cc.Length, cc.Format(g))
+		if cc.Period != 3 {
+			return fmt.Errorf("exp: critical cycle ε = %d, want 3 (covers three periods)", cc.Period)
+		}
+	}
+
+	// Asymptote check: the running average converges to 20/3.
+	s, err := tr.InitiatedDistances()
+	if err != nil {
+		return err
+	}
+	if math.Abs(s.At(s.Len()-1)-20.0/3) > 0.15 {
+		return fmt.Errorf("exp: running δ %v does not sit near 20/3", s)
+	}
+	return nil
+}

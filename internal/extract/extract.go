@@ -1,0 +1,73 @@
+package extract
+
+import (
+	"fmt"
+
+	"tsg/internal/circuit"
+	"tsg/internal/sg"
+)
+
+// Options tunes the extraction.
+type Options struct {
+	// MaxTransitionsPerSignal bounds the canonical trace; repetitive
+	// signals are sampled for this many transitions (default 12, i.e.
+	// six periods — enough to separate the prefix and verify
+	// periodicity).
+	MaxTransitionsPerSignal int
+	// LiveThreshold is the transition count from which a signal counts
+	// as repetitive (default MaxTransitionsPerSignal/2). Signals with
+	// at most 2 transitions are prefix (non-repetitive) events; counts
+	// in between are reported as errors.
+	LiveThreshold int
+	// Inputs scripts the primary-input transitions (the environment's
+	// one-shot actions, like e falling in Fig. 1).
+	Inputs []circuit.InputEvent
+}
+
+// Extract derives the Timed Signal Graph of a circuit from its initial
+// state, following the role of TRASPEC [9] in the paper's flow:
+//
+//  1. execute the circuit's speed-independent behaviour canonically,
+//     one transition at a time, recording at each excitation onset which
+//     input transition instances support it, and checking
+//     semi-modularity along the trace (trace.go);
+//  2. keep only fresh predecessors (those not consumed by the previous
+//     instantiation of the same signal), which under distributivity
+//     yields the unique AND-cause of every instantiation;
+//  3. fold the instances into events (x+ / x-), derive each arc's
+//     marking from the period offset between the instances it connects,
+//     emit quiesced signals as non-repetitive prefix events with
+//     disengageable arcs, and verify the pattern is quasi-periodic
+//     (fold.go).
+//
+// Arc delays are the pin delays of the corresponding gate inputs
+// (§VIII.A). The derived graph's timing simulation coincides with the
+// timed circuit simulation, which the tests assert.
+func Extract(c *circuit.Circuit, opts Options) (*sg.Graph, error) {
+	maxPer := opts.MaxTransitionsPerSignal
+	if maxPer == 0 {
+		maxPer = 12
+	}
+	if maxPer < 6 {
+		return nil, fmt.Errorf("extract: MaxTransitionsPerSignal must be >= 6 (three periods), got %d", maxPer)
+	}
+	liveMin := opts.LiveThreshold
+	if liveMin == 0 {
+		liveMin = maxPer / 2
+	}
+	if liveMin <= 2 {
+		return nil, fmt.Errorf("extract: LiveThreshold must be > 2, got %d", liveMin)
+	}
+	insts, err := trace(c, opts.Inputs, maxPer)
+	if err != nil {
+		return nil, err
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("extract: circuit %q is quiescent; nothing to extract", c.Name())
+	}
+	f, err := newFolder(c, insts, liveMin)
+	if err != nil {
+		return nil, err
+	}
+	return f.fold()
+}

@@ -1,0 +1,270 @@
+package extract_test
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tsg/internal/circuit"
+	"tsg/internal/cycletime"
+	"tsg/internal/extract"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+	"tsg/internal/timesim"
+)
+
+// graphSignature renders a Signal Graph as a canonical multiset of event
+// and arc descriptions, for structural comparison.
+func graphSignature(g *sg.Graph) string {
+	var lines []string
+	for i := 0; i < g.NumEvents(); i++ {
+		ev := g.Event(sg.EventID(i))
+		lines = append(lines, fmt.Sprintf("event %s rep=%v", ev.Name, ev.Repetitive))
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		lines = append(lines, fmt.Sprintf("arc %s->%s δ=%g m=%v once=%v",
+			g.Event(a.From).Name, g.Event(a.To).Name, a.Delay, a.Marked, a.Once))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestExtractOscillator is the headline extraction test: the Fig. 1a
+// circuit must extract to exactly the Fig. 1b Timed Signal Graph.
+func TestExtractOscillator(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	got, err := extract.Extract(c, extract.Options{Inputs: script})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	want := gen.Oscillator()
+	if gs, ws := graphSignature(got), graphSignature(want); gs != ws {
+		t.Errorf("extracted graph differs from Fig. 1b:\n--- extracted ---\n%s\n--- paper ---\n%s", gs, ws)
+	}
+	res, err := cycletime.Analyze(got)
+	if err != nil {
+		t.Fatalf("Analyze(extracted): %v", err)
+	}
+	if res.CycleTime.Float() != 10 {
+		t.Errorf("extracted oscillator cycle time = %v, want 10", res.CycleTime)
+	}
+}
+
+// TestExtractMullerRing checks that the gate-level ring extracts to the
+// same Signal Graph as the direct generator (Fig. 5), for several sizes
+// and initialisations.
+func TestExtractMullerRing(t *testing.T) {
+	cases := []gen.RingOptions{
+		{Stages: 3, InitialHigh: []int{3}},
+		{Stages: 5, InitialHigh: []int{5}},
+		{Stages: 7, InitialHigh: []int{7}},
+		{Stages: 8, InitialHigh: []int{8, 4}},
+	}
+	for _, opts := range cases {
+		name := fmt.Sprintf("stages=%d high=%v", opts.Stages, opts.InitialHigh)
+		c, err := gen.MullerRingCircuit(opts)
+		if err != nil {
+			t.Fatalf("%s: MullerRingCircuit: %v", name, err)
+		}
+		got, err := extract.Extract(c, extract.Options{})
+		if err != nil {
+			t.Fatalf("%s: Extract: %v", name, err)
+		}
+		want, err := gen.MullerRingOpts(opts)
+		if err != nil {
+			t.Fatalf("%s: MullerRingOpts: %v", name, err)
+		}
+		if gs, ws := graphSignature(got), graphSignature(want); gs != ws {
+			t.Errorf("%s: extracted ring differs from generator:\n--- extracted ---\n%s\n--- generator ---\n%s",
+				name, gs, ws)
+		}
+	}
+}
+
+// TestExtractedRingCycleTime runs the paper's §VIII.D analysis on the
+// extracted (not generated) graph: λ = 20/3.
+func TestExtractedRingCycleTime(t *testing.T) {
+	c, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		t.Fatalf("MullerRingCircuit: %v", err)
+	}
+	g, err := extract.Extract(c, extract.Options{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	r := res.CycleTime.Normalize()
+	if r.Num != 20 || r.Den != 3 {
+		t.Errorf("cycle time = %v, want 20/3 (§VIII.D)", res.CycleTime)
+	}
+}
+
+// TestExtractionMatchesTimedSim cross-checks model against reality: the
+// timing simulation of the extracted Signal Graph must reproduce the
+// transition times of the timed circuit simulation, signal by signal.
+func TestExtractionMatchesTimedSim(t *testing.T) {
+	type workload struct {
+		name   string
+		c      *circuit.Circuit
+		script []circuit.InputEvent
+	}
+	var loads []workload
+	oc, os := gen.OscillatorCircuit()
+	loads = append(loads, workload{"oscillator", oc, os})
+	for _, opts := range []gen.RingOptions{
+		{Stages: 5, InitialHigh: []int{5}},
+		{Stages: 4, InitialHigh: []int{4}, CDelay: 3, InvDelay: 2},
+	} {
+		rc, err := gen.MullerRingCircuit(opts)
+		if err != nil {
+			t.Fatalf("MullerRingCircuit: %v", err)
+		}
+		loads = append(loads, workload{rc.Name(), rc, nil})
+	}
+	pc, err := gen.MullerPipelineCircuit(4, 2, 1, 1)
+	if err != nil {
+		t.Fatalf("MullerPipelineCircuit: %v", err)
+	}
+	loads = append(loads, workload{"pipeline-4-2", pc, nil})
+
+	for _, w := range loads {
+		t.Run(w.name, func(t *testing.T) {
+			g, err := extract.Extract(w.c, extract.Options{Inputs: w.script})
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			const periods = 5
+			tr, err := timesim.Run(g, timesim.Options{Periods: periods})
+			if err != nil {
+				t.Fatalf("timesim.Run: %v", err)
+			}
+			sim, err := circuit.Simulate(w.c, circuit.SimOptions{
+				Inputs:         w.script,
+				MaxTransitions: 4 * periods * w.c.NumSignals(),
+			})
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			if len(sim.Hazards) > 0 {
+				t.Fatalf("hazards: %v", sim.Hazards)
+			}
+			for sid := 0; sid < w.c.NumSignals(); sid++ {
+				sigName := w.c.Signal(circuit.SignalID(sid)).Name
+				times := sim.Times(circuit.SignalID(sid))
+				// Transition k of the signal = instantiation k/2 of the
+				// folded event for that direction.
+				for k, tc := range times {
+					var evName string
+					if lvl := levelAfter(w.c, circuit.SignalID(sid), k); lvl == circuit.High {
+						evName = sigName + "+"
+					} else {
+						evName = sigName + "-"
+					}
+					id, ok := g.EventByName(evName)
+					if !ok {
+						t.Fatalf("extracted graph lacks event %s", evName)
+					}
+					tg, ok := tr.Time(id, k/2)
+					if !ok {
+						continue // beyond the simulated periods
+					}
+					if tg != tc {
+						t.Errorf("signal %s transition %d: circuit t=%g, graph t=%g",
+							sigName, k, tc, tg)
+					}
+				}
+			}
+		})
+	}
+}
+
+func levelAfter(c *circuit.Circuit, s circuit.SignalID, k int) circuit.Level {
+	lvl := c.Signal(s).Initial
+	for i := 0; i <= k; i++ {
+		lvl = lvl.Toggle()
+	}
+	return lvl
+}
+
+// TestSemimodularityViolation: an environment that withdraws an input
+// while a gate is excited must be rejected by both the canonical trace
+// and the exhaustive verifier.
+func TestSemimodularityViolation(t *testing.T) {
+	c, err := circuit.NewBuilder("glitchy").
+		Input("p", circuit.Low).
+		Gate(circuit.Buf, "y", []string{"p"}, 1).
+		Gate(circuit.Inv, "z", []string{"y"}, 1).
+		Init("z", circuit.High).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	script := []circuit.InputEvent{
+		{Signal: "p", Time: 0, Level: circuit.High},
+		{Signal: "p", Time: 1, Level: circuit.Low},
+	}
+	var smErr *extract.SemimodularityError
+	if _, err := extract.Extract(c, extract.Options{Inputs: script}); !errors.As(err, &smErr) {
+		t.Errorf("Extract error = %v, want *SemimodularityError", err)
+	} else if smErr.Gate != "y" || smErr.By != "p" {
+		t.Errorf("violation = %+v, want gate y disabled by p", smErr)
+	}
+	if _, err := extract.Verify(c, extract.VerifyOptions{Inputs: script}); !errors.As(err, &smErr) {
+		t.Errorf("Verify error = %v, want *SemimodularityError", err)
+	}
+}
+
+// TestVerifyCleanCircuits: the paper's circuits are distributive, so the
+// exhaustive check must pass and visit a modest state count.
+func TestVerifyCleanCircuits(t *testing.T) {
+	oc, script := gen.OscillatorCircuit()
+	states, err := extract.Verify(oc, extract.VerifyOptions{Inputs: script})
+	if err != nil {
+		t.Errorf("Verify(oscillator): %v", err)
+	}
+	if states < 4 || states > 64 {
+		t.Errorf("oscillator explored %d states, expected a handful (5 signals)", states)
+	}
+	rc, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		t.Fatalf("MullerRingCircuit: %v", err)
+	}
+	if _, err := extract.Verify(rc, extract.VerifyOptions{}); err != nil {
+		t.Errorf("Verify(ring5): %v", err)
+	}
+}
+
+func TestVerifyStateCap(t *testing.T) {
+	rc, err := gen.MullerRingCircuit(gen.RingOptions{Stages: 5, InitialHigh: []int{5}})
+	if err != nil {
+		t.Fatalf("MullerRingCircuit: %v", err)
+	}
+	if _, err := extract.Verify(rc, extract.VerifyOptions{MaxStates: 3}); err == nil {
+		t.Error("Verify with MaxStates=3 succeeded, want cap error")
+	}
+}
+
+func TestExtractOptionErrors(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	if _, err := extract.Extract(c, extract.Options{MaxTransitionsPerSignal: 4}); err == nil {
+		t.Error("MaxTransitionsPerSignal=4 accepted")
+	}
+	if _, err := extract.Extract(c, extract.Options{LiveThreshold: 1, Inputs: script}); err == nil {
+		t.Error("LiveThreshold=1 accepted")
+	}
+	if _, err := extract.Extract(c, extract.Options{
+		Inputs: []circuit.InputEvent{{Signal: "zz", Level: circuit.Low}},
+	}); err == nil {
+		t.Error("unknown scripted input accepted")
+	}
+	// Quiescent circuit without input script: nothing to extract.
+	if _, err := extract.Extract(c, extract.Options{}); err == nil {
+		t.Error("quiescent circuit extraction succeeded")
+	}
+}

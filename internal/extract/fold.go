@@ -1,0 +1,270 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"tsg/internal/circuit"
+	"tsg/internal/sg"
+)
+
+// FoldError reports that the canonical trace does not fold into a
+// well-formed, initially-safe Timed Signal Graph: the causal pattern is
+// aperiodic, an OR-cause is ambiguous (a distributivity violation), or a
+// marking beyond one token would be required.
+type FoldError struct {
+	Circuit string
+	Event   string
+	Reason  string
+}
+
+func (e *FoldError) Error() string {
+	return fmt.Sprintf("extract: circuit %q: event %s: %s", e.Circuit, e.Event, e.Reason)
+}
+
+// folder turns a canonical trace into a Timed Signal Graph.
+type folder struct {
+	c       *circuit.Circuit
+	insts   []instance
+	perSig  [][]instance // instances grouped by signal, in index order
+	live    []bool
+	liveMin int // instances required to classify a signal as repetitive
+}
+
+func newFolder(c *circuit.Circuit, insts []instance, liveMin int) (*folder, error) {
+	f := &folder{c: c, insts: insts, liveMin: liveMin}
+	f.perSig = make([][]instance, c.NumSignals())
+	for _, in := range insts {
+		f.perSig[in.signal] = append(f.perSig[in.signal], in)
+	}
+	f.live = make([]bool, c.NumSignals())
+	for s := 0; s < c.NumSignals(); s++ {
+		n := len(f.perSig[s])
+		switch {
+		case n >= liveMin:
+			f.live[s] = true
+		case n <= 2:
+			// quiesced: at most one rise and one fall -> prefix events
+		default:
+			return nil, &FoldError{
+				Circuit: c.Name(),
+				Event:   c.Signal(circuit.SignalID(s)).Name,
+				Reason: fmt.Sprintf("ambiguous liveness: %d transitions (quiesced signals have <= 2, repetitive ones >= %d); increase the transition budget",
+					n, liveMin),
+			}
+		}
+	}
+	return f, nil
+}
+
+// eventName names the folded event of a transition.
+func (f *folder) eventName(s circuit.SignalID, level circuit.Level) string {
+	suffix := "-"
+	if level == circuit.High {
+		suffix = "+"
+	}
+	return f.c.Signal(s).Name + suffix
+}
+
+// foldedArc is an arc of the folded graph.
+type foldedArc struct {
+	from    string
+	marking int
+	delay   float64
+	once    bool
+}
+
+// eventInfo accumulates a folded event and its arc set.
+type eventInfo struct {
+	name  string
+	first int // position of first occurrence in the trace (ordering)
+	live  bool
+	arcs  map[string]foldedArc // keyed by from+marking
+}
+
+// fold assembles the Timed Signal Graph.
+func (f *folder) fold() (*sg.Graph, error) {
+	events := map[string]*eventInfo{}
+	var order []string
+	record := func(name string, pos int, live bool) *eventInfo {
+		ev, ok := events[name]
+		if !ok {
+			ev = &eventInfo{name: name, first: pos, live: live, arcs: map[string]foldedArc{}}
+			events[name] = ev
+			order = append(order, name)
+		}
+		return ev
+	}
+
+	// Freshness bookkeeping: latest instance of each input consumed by
+	// each signal's transitions.
+	lastConsumed := make([][]int, f.c.NumSignals())
+	for s := range lastConsumed {
+		lastConsumed[s] = make([]int, f.c.NumSignals())
+		for x := range lastConsumed[s] {
+			lastConsumed[s][x] = -1
+		}
+	}
+
+	// Walk the trace in order, attributing real (fresh) predecessors.
+	pos := map[circuit.SignalID]int{} // trace position per signal for "first"
+	for ti, in := range f.insts {
+		if _, seen := pos[in.signal]; !seen {
+			pos[in.signal] = ti
+		}
+		name := f.eventName(in.signal, in.level)
+		if !f.live[in.signal] {
+			if ev, dup := events[name]; dup && !ev.live {
+				return nil, &FoldError{Circuit: f.c.Name(), Event: name,
+					Reason: "quiesced signal transitions twice in the same direction; cannot name distinct prefix events"}
+			}
+		}
+		ev := record(name, ti, f.live[in.signal])
+
+		var real []pred
+		for _, p := range in.preds {
+			if p.instance < 0 {
+				continue // initial level, no causal arc
+			}
+			if p.instance > lastConsumed[in.signal][p.signal] {
+				real = append(real, p)
+				lastConsumed[in.signal][p.signal] = p.instance
+			}
+		}
+		if in.kind == circuit.SupportOr && len(real) > 1 {
+			return nil, &FoldError{Circuit: f.c.Name(), Event: name,
+				Reason: "ambiguous OR-causality (two fresh forcing inputs); the circuit is not distributive here"}
+		}
+
+		period := in.index / 2
+		for _, p := range real {
+			src := f.perSig[p.signal][p.instance]
+			srcName := f.eventName(p.signal, src.level)
+			var m int
+			once := false
+			if f.live[p.signal] {
+				m = period - src.index/2
+			} else {
+				// Prefix cause from a quiesced signal: a disengageable
+				// arc, valid only when it binds the first instantiation.
+				once = f.live[in.signal]
+				if f.live[in.signal] && period != 0 {
+					return nil, &FoldError{Circuit: f.c.Name(), Event: name,
+						Reason: fmt.Sprintf("prefix cause %s binds instantiation of period %d; would need a marked disengageable arc", srcName, period)}
+				}
+			}
+			if m < 0 || m > 1 {
+				return nil, &FoldError{Circuit: f.c.Name(), Event: name,
+					Reason: fmt.Sprintf("arc from %s needs marking %d; only initially-safe graphs (marking 0/1) are supported", srcName, m)}
+			}
+			if f.live[in.signal] && !f.live[p.signal] && !once {
+				once = true
+			}
+			key := fmt.Sprintf("%s/%d", srcName, m)
+			arc := foldedArc{from: srcName, marking: m, delay: p.delay, once: once}
+			if prev, dup := ev.arcs[key]; dup {
+				if prev != arc {
+					return nil, &FoldError{Circuit: f.c.Name(), Event: name,
+						Reason: fmt.Sprintf("inconsistent folded arc from %s (delay %g vs %g)", srcName, prev.delay, arc.delay)}
+				}
+			} else {
+				ev.arcs[key] = arc
+			}
+		}
+	}
+
+	// Consistency: re-walk the trace and check every instantiation's
+	// real predecessors match the folded arc set (the quasi-periodicity
+	// requirement of §III.B — aperiodic causality cannot be folded).
+	if err := f.checkPeriodicity(events); err != nil {
+		return nil, err
+	}
+
+	// Assemble the Signal Graph in first-occurrence order.
+	sort.Slice(order, func(i, j int) bool { return events[order[i]].first < events[order[j]].first })
+	b := sg.NewBuilder(f.c.Name())
+	for _, name := range order {
+		if events[name].live {
+			b.Event(name)
+		} else {
+			b.Event(name, sg.NonRepetitive())
+		}
+	}
+	for _, name := range order {
+		ev := events[name]
+		keys := make([]string, 0, len(ev.arcs))
+		for k := range ev.arcs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := ev.arcs[k]
+			var opts []sg.ArcOption
+			if a.marking == 1 {
+				opts = append(opts, sg.Marked())
+			}
+			if a.once {
+				opts = append(opts, sg.Once())
+			}
+			b.Arc(a.from, name, a.delay, opts...)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("extract: folded graph of circuit %q invalid: %w", f.c.Name(), err)
+	}
+	return g, nil
+}
+
+// checkPeriodicity verifies that every instantiation's fresh predecessor
+// set equals the folded arc set filtered by marking vacuity: an arc with
+// marking m binds instantiations of period >= m, a disengageable arc
+// binds period 0 only.
+func (f *folder) checkPeriodicity(events map[string]*eventInfo) error {
+	lastConsumed := make([][]int, f.c.NumSignals())
+	for s := range lastConsumed {
+		lastConsumed[s] = make([]int, f.c.NumSignals())
+		for x := range lastConsumed[s] {
+			lastConsumed[s][x] = -1
+		}
+	}
+	for _, in := range f.insts {
+		name := f.eventName(in.signal, in.level)
+		ev := events[name]
+		got := map[string]bool{}
+		for _, p := range in.preds {
+			if p.instance < 0 || p.instance <= lastConsumed[in.signal][p.signal] {
+				continue
+			}
+			lastConsumed[in.signal][p.signal] = p.instance
+			src := f.perSig[p.signal][p.instance]
+			srcName := f.eventName(p.signal, src.level)
+			m := 0
+			if f.live[p.signal] {
+				m = in.index/2 - src.index/2
+			}
+			got[fmt.Sprintf("%s/%d", srcName, m)] = true
+		}
+		period := in.index / 2
+		for key, arc := range ev.arcs {
+			expected := false
+			switch {
+			case arc.once:
+				expected = period == 0 || !ev.live
+			default:
+				expected = period >= arc.marking
+			}
+			if expected != got[key] {
+				return &FoldError{Circuit: f.c.Name(), Event: name,
+					Reason: fmt.Sprintf("aperiodic causality at instantiation %d: arc %s expected=%v observed=%v",
+						in.index, key, expected, got[key])}
+			}
+			delete(got, key)
+		}
+		for key := range got {
+			return &FoldError{Circuit: f.c.Name(), Event: name,
+				Reason: fmt.Sprintf("aperiodic causality at instantiation %d: unexpected predecessor %s", in.index, key)}
+		}
+	}
+	return nil
+}

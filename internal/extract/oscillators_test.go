@@ -1,0 +1,154 @@
+package extract_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tsg/internal/circuit"
+	"tsg/internal/cycles"
+	"tsg/internal/cycletime"
+	"tsg/internal/extract"
+	"tsg/internal/gen"
+)
+
+// buildInverterRing builds the classic three-inverter ring oscillator:
+// x1 = INV(x3), x2 = INV(x1), x3 = INV(x2), initial {0, 1, 0} so that
+// only x1 is excited. It exercises the simulator's immediate
+// re-excitation path (every gate fires forever) and extraction from a
+// purely combinational (non-C-element) circuit.
+func buildInverterRing(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.NewBuilder("inv-ring-3").
+		Gate(circuit.Inv, "x1", []string{"x3"}, 1).
+		Gate(circuit.Inv, "x2", []string{"x1"}, 1).
+		Gate(circuit.Inv, "x3", []string{"x2"}, 1).
+		Init("x2", circuit.High).
+		Build()
+	if err != nil {
+		t.Fatalf("inverter ring: %v", err)
+	}
+	return c
+}
+
+func TestInverterRingTimedSim(t *testing.T) {
+	c := buildInverterRing(t)
+	res, err := circuit.Simulate(c, circuit.SimOptions{MaxTransitions: 30})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.Hazards) != 0 {
+		t.Fatalf("hazards: %v", res.Hazards)
+	}
+	// x1 toggles at 0, 3, 6, 9, ... (ring latency 3, period 6).
+	times := res.Times(c.MustSignal("x1"))
+	for i, tm := range times {
+		if want := float64(3 * i); tm != want {
+			t.Errorf("x1 transition %d at t=%g, want %g", i, tm, want)
+		}
+	}
+	if len(times) < 8 {
+		t.Fatalf("x1 only transitioned %d times", len(times))
+	}
+}
+
+func TestInverterRingExtraction(t *testing.T) {
+	c := buildInverterRing(t)
+	g, err := extract.Extract(c, extract.Options{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	// Six events (both transitions of three signals) in a single cycle
+	// with one token: λ = 6.
+	if g.NumEvents() != 6 || g.NumArcs() != 6 {
+		t.Fatalf("extracted %d events / %d arcs, want 6/6: %v", g.NumEvents(), g.NumArcs(), g)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.CycleTime.Float() != 6 {
+		t.Errorf("λ = %v, want 6 (three-inverter ring period)", res.CycleTime)
+	}
+	oracle, _, err := cycles.MaxRatio(g, 0)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !res.CycleTime.Equal(oracle) {
+		t.Errorf("algorithm λ = %v, oracle λ = %v", res.CycleTime, oracle)
+	}
+	// Semi-modularity over all interleavings (8 level states).
+	if _, err := extract.Verify(c, extract.VerifyOptions{}); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestCompletionTree checks the completion-tree oscillator family:
+// λ = 2·(depth·cd + id), validated against extraction + analysis and
+// the enumeration oracle.
+func TestCompletionTree(t *testing.T) {
+	for _, tc := range []struct {
+		depth  int
+		cd, id float64
+		want   float64
+	}{
+		{1, 1, 1, 4},
+		{2, 1, 1, 6},
+		{3, 1, 1, 8},
+		{2, 3, 2, 16}, // 2*(2*3 + 2)
+	} {
+		name := fmt.Sprintf("depth=%d cd=%g id=%g", tc.depth, tc.cd, tc.id)
+		c, err := gen.CompletionTreeCircuit(tc.depth, tc.cd, tc.id)
+		if err != nil {
+			t.Fatalf("%s: CompletionTreeCircuit: %v", name, err)
+		}
+		g, err := extract.Extract(c, extract.Options{})
+		if err != nil {
+			t.Fatalf("%s: Extract: %v", name, err)
+		}
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("%s: Analyze: %v", name, err)
+		}
+		if got := res.CycleTime.Float(); got != tc.want {
+			t.Errorf("%s: λ = %v, want %g", name, res.CycleTime, tc.want)
+		}
+		if tc.depth <= 2 {
+			oracle, _, err := cycles.MaxRatio(g, 0)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", name, err)
+			}
+			if !res.CycleTime.Equal(oracle) {
+				t.Errorf("%s: algorithm λ = %v, oracle λ = %v", name, res.CycleTime, oracle)
+			}
+		}
+		// The timed circuit simulation must agree with the graph.
+		sim, err := circuit.Simulate(c, circuit.SimOptions{MaxTransitions: 200})
+		if err != nil {
+			t.Fatalf("%s: Simulate: %v", name, err)
+		}
+		if len(sim.Hazards) != 0 {
+			t.Fatalf("%s: hazards: %v", name, sim.Hazards)
+		}
+		root := sim.Times(c.MustSignal("root"))
+		if len(root) < 4 {
+			t.Fatalf("%s: root transitioned %d times", name, len(root))
+		}
+		for i := 2; i < len(root); i++ {
+			if d := root[i] - root[i-2]; d != tc.want {
+				t.Errorf("%s: root period = %g, want %g", name, d, tc.want)
+			}
+		}
+	}
+}
+
+func TestCompletionTreeErrors(t *testing.T) {
+	if _, err := gen.CompletionTreeCircuit(0, 1, 1); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := gen.CompletionTreeCircuit(11, 1, 1); err == nil {
+		t.Error("depth 11 accepted")
+	}
+	if _, err := gen.CompletionTreeCircuit(2, -1, 1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package extract
+
+import (
+	"fmt"
+
+	"tsg/internal/circuit"
+)
+
+// VerifyOptions bounds the exhaustive semi-modularity check.
+type VerifyOptions struct {
+	// MaxStates caps the explored state count (default 1 << 16). The
+	// state space is bounded by 2^signals × script positions.
+	MaxStates int
+	// Inputs scripts the primary-input transitions, as in Extract.
+	Inputs []circuit.InputEvent
+}
+
+// Verify exhaustively explores the circuit's reachable state space under
+// interleaving semantics and checks semi-modularity: an excited gate must
+// stay excited under any other transition. This is the verification half
+// of TRASPEC's job ([9]: "verifies that the circuit is distributive...
+// otherwise it finds the states where a violation occurs"); unlike the
+// canonical-trace check in Extract it covers every execution, at
+// exponential cost, so it is intended for small circuits and for tests.
+//
+// It returns the number of distinct states explored, and an error of
+// type *SemimodularityError describing the first violation, if any.
+func Verify(c *circuit.Circuit, opts VerifyOptions) (states int, err error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 16
+	}
+	if c.NumSignals() > 62 {
+		return 0, fmt.Errorf("extract: Verify supports at most 62 signals, got %d", c.NumSignals())
+	}
+	script := map[circuit.SignalID][]circuit.Level{}
+	for _, ev := range opts.Inputs {
+		id, ok := c.SignalByName(ev.Signal)
+		if !ok {
+			return 0, fmt.Errorf("extract: scripted input %q not found", ev.Signal)
+		}
+		if !c.Signal(id).IsInput {
+			return 0, fmt.Errorf("extract: scripted signal %q is not a primary input", ev.Signal)
+		}
+		script[id] = append(script[id], ev.Level)
+	}
+
+	type state struct {
+		levels uint64
+		// progress through each input's script, packed 4 bits per input
+		inputPos uint64
+	}
+	encode := func(levels []circuit.Level, pos map[circuit.SignalID]int) state {
+		var st state
+		for i, l := range levels {
+			if l == circuit.High {
+				st.levels |= 1 << uint(i)
+			}
+		}
+		shift := 0
+		for _, id := range c.Inputs() {
+			st.inputPos |= uint64(pos[id]) << uint(shift)
+			shift += 4
+		}
+		return st
+	}
+
+	levels0 := c.InitialLevels()
+	pos0 := map[circuit.SignalID]int{}
+	type node struct {
+		levels []circuit.Level
+		pos    map[circuit.SignalID]int
+	}
+	start := node{levels: levels0, pos: pos0}
+	seen := map[state]bool{encode(levels0, pos0): true}
+	queue := []node{start}
+
+	enabled := func(n node) []circuit.SignalID {
+		var out []circuit.SignalID
+		for _, id := range c.Inputs() {
+			if n.pos[id] < len(script[id]) && script[id][n.pos[id]] != n.levels[id] {
+				out = append(out, id)
+			}
+		}
+		for gi := 0; gi < c.NumGates(); gi++ {
+			if c.Excited(gi, n.levels) {
+				out = append(out, c.Gate(gi).Out)
+			}
+		}
+		return out
+	}
+	fire := func(n node, s circuit.SignalID) node {
+		nl := append([]circuit.Level(nil), n.levels...)
+		np := map[circuit.SignalID]int{}
+		for k, v := range n.pos {
+			np[k] = v
+		}
+		if c.Signal(s).IsInput {
+			nl[s] = script[s][np[s]]
+			np[s]++
+		} else {
+			nl[s] = nl[s].Toggle()
+		}
+		return node{levels: nl, pos: np}
+	}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		en := enabled(n)
+		for _, s := range en {
+			next := fire(n, s)
+			// Semi-modularity: every other enabled gate stays excited.
+			for _, other := range en {
+				if other == s || c.Signal(other).IsInput {
+					continue
+				}
+				gi := c.Signal(other).Driver
+				if !c.Excited(gi, next.levels) {
+					return len(seen), &SemimodularityError{
+						Circuit: c.Name(),
+						Gate:    c.Gate(gi).Name,
+						By:      c.Signal(s).Name,
+						Step:    len(seen),
+					}
+				}
+			}
+			st := encode(next.levels, next.pos)
+			if !seen[st] {
+				if len(seen) >= maxStates {
+					return len(seen), fmt.Errorf("extract: Verify exceeded %d states on circuit %q", maxStates, c.Name())
+				}
+				seen[st] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return len(seen), nil
+}

@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"fmt"
+
+	"tsg/internal/circuit"
+	"tsg/internal/sg"
+)
+
+// OscillatorCircuit reconstructs the gate-level circuit of Fig. 1a: a
+// C-element, two NOR gates and a buffer driven by the one-shot input e.
+// The structure and per-pin delays are recovered from the Timed Signal
+// Graph of Fig. 1b (every arc delay is the pin delay of the
+// corresponding gate input):
+//
+//	a = NOR(e, c)   pins e:2 c:2
+//	b = NOR(f, c)   pins f:1 c:1
+//	c = C(a, b)     pins a:3 b:2
+//	f = BUF(e)      pin  e:3
+//
+// Initial state {a,b,c,f,e} = {0,0,0,1,1}; the environment lowers e at
+// time 0 (the initial event e- of the Signal Graph). The returned input
+// script carries that single transition.
+func OscillatorCircuit() (*circuit.Circuit, []circuit.InputEvent) {
+	c, err := circuit.NewBuilder("oscillator").
+		Input("e", circuit.High).
+		Gate(circuit.Buf, "f", []string{"e"}, 3).
+		Gate(circuit.Nor, "a", []string{"e", "c"}, 2, 2).
+		Gate(circuit.Nor, "b", []string{"f", "c"}, 1, 1).
+		Gate(circuit.CElement, "c", []string{"a", "b"}, 3, 2).
+		Init("f", circuit.High).
+		Build()
+	if err != nil {
+		panic(fmt.Sprintf("gen: oscillator circuit fixture invalid: %v", err)) // unreachable
+	}
+	return c, []circuit.InputEvent{{Signal: "e", Time: 0, Level: circuit.Low}}
+}
+
+// MullerRingCircuit builds the gate-level Muller ring of Fig. 5: stage k
+// is a C-element o_k = C(o_{k-1}, i_k) with inverter i_k = INV(o_{k+1}),
+// indices mod n. The options mirror MullerRingOpts; the paper's ring has
+// five stages, stage 5 initially high, and unit delays everywhere.
+func MullerRingCircuit(opts RingOptions) (*circuit.Circuit, error) {
+	n := opts.Stages
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Muller ring needs >= 3 stages, got %d", n)
+	}
+	cd, id := opts.CDelay, opts.InvDelay
+	if cd == 0 {
+		cd = 1
+	}
+	if id == 0 {
+		id = 1
+	}
+	high := make([]bool, n+1)
+	for _, s := range opts.InitialHigh {
+		if s < 1 || s > n {
+			return nil, fmt.Errorf("gen: initial-high stage %d out of range 1..%d", s, n)
+		}
+		high[s] = true
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("muller-ring-%d", n))
+	for k := 1; k <= n; k++ {
+		prev, next := mod1(k-1, n), mod1(k+1, n)
+		b.Gate(circuit.CElement, o(k), []string{o(prev), i(k)}, cd)
+		b.Gate(circuit.Inv, i(k), []string{o(next)}, id)
+	}
+	for k := 1; k <= n; k++ {
+		if high[k] {
+			b.Init(o(k), circuit.High)
+		}
+		if !high[mod1(k+1, n)] {
+			b.Init(i(k), circuit.High)
+		}
+	}
+	return b.Build()
+}
+
+// MullerPipelineCircuit builds an open n-stage Muller pipeline with the
+// environment folded in: a producer feeding stage 1 and a consumer
+// draining stage n, both modelled as extra ring stages, which closes the
+// structure into an (n+1)-stage ring carrying the given number of
+// initial data tokens (spread from the producer end). This is the
+// standard autonomous closure used for throughput analysis.
+func MullerPipelineCircuit(stages, tokens int, cd, id float64) (*circuit.Circuit, error) {
+	if stages < 2 {
+		return nil, fmt.Errorf("gen: pipeline needs >= 2 stages, got %d", stages)
+	}
+	n := stages + 1
+	if tokens < 1 || tokens >= n {
+		return nil, fmt.Errorf("gen: pipeline of %d stages holds 1..%d tokens, got %d", stages, n-1, tokens)
+	}
+	return MullerRingCircuit(RingOptions{Stages: n, InitialHigh: spreadTokens(n, tokens), CDelay: cd, InvDelay: id})
+}
+
+// MullerPipeline is the Signal Graph twin of MullerPipelineCircuit: the
+// same autonomous ring closure, expressed directly as a Timed Signal
+// Graph.
+func MullerPipeline(stages, tokens int, cd, id float64) (*sg.Graph, error) {
+	if stages < 2 {
+		return nil, fmt.Errorf("gen: pipeline needs >= 2 stages, got %d", stages)
+	}
+	n := stages + 1
+	if tokens < 1 || tokens >= n {
+		return nil, fmt.Errorf("gen: pipeline of %d stages holds 1..%d tokens, got %d", stages, n-1, tokens)
+	}
+	return MullerRingOpts(RingOptions{Stages: n, InitialHigh: spreadTokens(n, tokens), CDelay: cd, InvDelay: id})
+}
+
+// spreadTokens places data tokens at maximal spacing around an n-stage
+// ring: adjacent initially-high stages would merge into a single token
+// (the rings use NRZ encoding, one token per high/low boundary).
+func spreadTokens(n, tokens int) []int {
+	var high []int
+	for t := 0; t < tokens; t++ {
+		high = append(high, n-(t*n)/tokens)
+	}
+	return high
+}

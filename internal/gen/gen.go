@@ -1,0 +1,41 @@
+// Package gen constructs the workloads of the paper's evaluation section
+// and parameterised families around them: the C-element oscillator of
+// Fig. 1, Muller rings and pipelines (Fig. 5, §VIII.D), an asynchronous
+// stack control graph with constant response time (§VIII.B), and random
+// live Timed Signal Graphs with controlled size and border-set size for
+// the complexity experiments (§VII).
+package gen
+
+import (
+	"fmt"
+
+	"tsg/internal/sg"
+)
+
+// Oscillator returns the Timed Signal Graph of Fig. 1b / Fig. 2c: the
+// C-element oscillator with gate delays as printed in the paper. Its
+// cycle time is 10 with the critical cycle a+ → c+ → a- → c- (§II,
+// Example 6), border set {a+, b+} (Example 7) and minimum cut sets {c+}
+// and {c-}.
+func Oscillator() *sg.Graph {
+	g, err := sg.NewBuilder("oscillator").
+		Event("e-", sg.NonRepetitive()).
+		Event("f-", sg.NonRepetitive()).
+		Events("a+", "a-", "b+", "b-", "c+", "c-").
+		Arc("e-", "a+", 2, sg.Once()).
+		Arc("e-", "f-", 3).
+		Arc("f-", "b+", 1, sg.Once()).
+		Arc("a+", "c+", 3).
+		Arc("b+", "c+", 2).
+		Arc("c+", "a-", 2).
+		Arc("c+", "b-", 1).
+		Arc("a-", "c-", 3).
+		Arc("b-", "c-", 2).
+		Arc("c-", "a+", 2, sg.Marked()).
+		Arc("c-", "b+", 1, sg.Marked()).
+		Build()
+	if err != nil {
+		panic(fmt.Sprintf("gen: oscillator fixture invalid: %v", err)) // unreachable: fixed fixture
+	}
+	return g
+}

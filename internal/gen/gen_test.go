@@ -1,0 +1,170 @@
+package gen_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+func TestOscillatorFixture(t *testing.T) {
+	g := gen.Oscillator()
+	if g.NumEvents() != 8 || g.NumArcs() != 11 {
+		t.Errorf("oscillator = %d events / %d arcs, want 8/11", g.NumEvents(), g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestMullerRingSizes(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 16, 33} {
+		g, err := gen.MullerRing(n)
+		if err != nil {
+			t.Fatalf("MullerRing(%d): %v", n, err)
+		}
+		if g.NumEvents() != 4*n {
+			t.Errorf("ring-%d has %d events, want %d", n, g.NumEvents(), 4*n)
+		}
+		if g.NumArcs() != 6*n {
+			t.Errorf("ring-%d has %d arcs, want %d", n, g.NumArcs(), 6*n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("ring-%d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestMullerRingErrors(t *testing.T) {
+	if _, err := gen.MullerRing(2); err == nil {
+		t.Error("MullerRing(2) succeeded, want error")
+	}
+	if _, err := gen.MullerRingOpts(gen.RingOptions{Stages: 5}); err == nil {
+		t.Error("ring without tokens succeeded, want error")
+	}
+	if _, err := gen.MullerRingOpts(gen.RingOptions{Stages: 5, InitialHigh: []int{1, 2, 3, 4, 5}}); err == nil {
+		t.Error("ring without bubbles succeeded, want error")
+	}
+	if _, err := gen.MullerRingOpts(gen.RingOptions{Stages: 5, InitialHigh: []int{9}}); err == nil {
+		t.Error("out-of-range stage succeeded, want error")
+	}
+	if _, err := gen.MullerRingOpts(gen.RingOptions{Stages: 5, InitialHigh: []int{5}, CDelay: -1}); err == nil {
+		t.Error("negative delay succeeded, want error")
+	}
+}
+
+func TestStackSizes(t *testing.T) {
+	for _, n := range []int{1, 4, 31} {
+		g, err := gen.Stack(n)
+		if err != nil {
+			t.Fatalf("Stack(%d): %v", n, err)
+		}
+		if got, want := g.NumEvents(), 2*n+4; got != want {
+			t.Errorf("stack-%d events = %d, want %d", n, got, want)
+		}
+		if got, want := g.NumArcs(), 4*n+4; got != want {
+			t.Errorf("stack-%d arcs = %d, want %d", n, got, want)
+		}
+	}
+	if _, err := gen.Stack(0); err == nil {
+		t.Error("Stack(0) succeeded, want error")
+	}
+	if _, err := gen.StackOpts(gen.StackOptions{Cells: 3, ShiftDelay: -1}); err == nil {
+		t.Error("negative shift delay succeeded, want error")
+	}
+}
+
+func TestMullerPipeline(t *testing.T) {
+	g, err := gen.MullerPipeline(4, 2, 1, 1)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("pipeline invalid: %v", err)
+	}
+	if _, err := gen.MullerPipeline(1, 1, 1, 1); err == nil {
+		t.Error("1-stage pipeline succeeded, want error")
+	}
+	if _, err := gen.MullerPipeline(4, 9, 1, 1); err == nil {
+		t.Error("over-tokened pipeline succeeded, want error")
+	}
+}
+
+func TestRandomLiveProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(40)
+		b := 1 + rng.Intn(n)
+		extra := rng.Intn(3 * n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{Events: n, Border: b, ExtraArcs: extra})
+		if err != nil {
+			// Chord placement can fail for extreme parameters; that is
+			// a documented, explicit error, not a bug.
+			if !strings.Contains(err.Error(), "chord") {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			continue
+		}
+		if g.NumEvents() != n {
+			t.Errorf("trial %d: events = %d, want %d", trial, g.NumEvents(), n)
+		}
+		if g.NumArcs() != n+extra {
+			t.Errorf("trial %d: arcs = %d, want %d", trial, g.NumArcs(), n+extra)
+		}
+		if got := len(g.BorderEvents()); got != b {
+			t.Errorf("trial %d: border = %d, want %d", trial, got, b)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("trial %d: invalid graph: %v", trial, err)
+		}
+		// The token game must progress (live graph).
+		m := sg.NewMarking(g)
+		if _, ok := m.RunPeriods(2, 100*n); !ok {
+			t.Errorf("trial %d: token game stalled on a supposedly live graph", trial)
+		}
+	}
+}
+
+func TestRandomLiveErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := gen.RandomLive(rng, gen.RandomOptions{Events: 1, Border: 1}); err == nil {
+		t.Error("Events=1 succeeded, want error")
+	}
+	if _, err := gen.RandomLive(rng, gen.RandomOptions{Events: 5, Border: 9}); err == nil {
+		t.Error("Border>Events succeeded, want error")
+	}
+	if _, err := gen.RandomLive(rng, gen.RandomOptions{Events: 5, Border: 0}); err == nil {
+		t.Error("Border=0 succeeded, want error")
+	}
+	if _, err := gen.RandomLive(rng, gen.RandomOptions{Events: 5, Border: 1, MaxDelay: -2}); err == nil {
+		t.Error("negative MaxDelay succeeded, want error")
+	}
+}
+
+func TestOscillatorCircuitFixture(t *testing.T) {
+	c, script := gen.OscillatorCircuit()
+	if c.NumGates() != 4 {
+		t.Errorf("gates = %d, want 4", c.NumGates())
+	}
+	if len(script) != 1 {
+		t.Errorf("script = %v, want one event", script)
+	}
+}
+
+func TestMullerPipelineCircuit(t *testing.T) {
+	c, err := gen.MullerPipelineCircuit(4, 2, 1, 1)
+	if err != nil {
+		t.Fatalf("MullerPipelineCircuit: %v", err)
+	}
+	if c.NumGates() != 10 { // 5 stages x (C + INV)
+		t.Errorf("gates = %d, want 10", c.NumGates())
+	}
+	if _, err := gen.MullerPipelineCircuit(1, 1, 1, 1); err == nil {
+		t.Error("1-stage pipeline circuit succeeded, want error")
+	}
+	if _, err := gen.MullerPipelineCircuit(4, 0, 1, 1); err == nil {
+		t.Error("0-token pipeline circuit succeeded, want error")
+	}
+}

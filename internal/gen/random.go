@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tsg/internal/sg"
+)
+
+// RandomOptions parameterises RandomLive.
+type RandomOptions struct {
+	// Events is the number of (repetitive) events n (>= 2).
+	Events int
+	// Border is the exact number of border events b (1 <= b <= n).
+	Border int
+	// ExtraArcs is the number of chord arcs added on top of the
+	// backbone cycle, so m = Events + ExtraArcs.
+	ExtraArcs int
+	// MaxDelay bounds the integer arc delays: delays are drawn
+	// uniformly from {0, 1, ..., MaxDelay}. Default 16.
+	MaxDelay int
+}
+
+// RandomLive generates a random live, strongly connected Timed Signal
+// Graph with exactly the requested number of events, border events and
+// arcs. It is the workload for the O(b²m) complexity experiments: m can
+// be scaled at fixed b, and b at fixed m.
+//
+// Construction: the events form a Hamiltonian backbone cycle with
+// exactly Border marked arcs; chords are added only in the forward
+// direction of the unmarked backbone segments, so the unmarked subgraph
+// stays acyclic (liveness) while strong connectivity comes from the
+// backbone. Chords are unmarked, keeping the border size exact. Integer
+// delays keep cycle times exactly representable.
+func RandomLive(rng *rand.Rand, opts RandomOptions) (*sg.Graph, error) {
+	n, b := opts.Events, opts.Border
+	if n < 2 {
+		return nil, fmt.Errorf("gen: random graph needs >= 2 events, got %d", n)
+	}
+	if b < 1 || b > n {
+		return nil, fmt.Errorf("gen: border size %d out of range 1..%d", b, n)
+	}
+	maxDelay := opts.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = 16
+	}
+	if maxDelay < 0 {
+		return nil, fmt.Errorf("gen: negative MaxDelay %d", maxDelay)
+	}
+	delay := func() float64 { return float64(rng.Intn(maxDelay + 1)) }
+
+	// Choose which backbone arcs v_k -> v_{k+1 mod n} are marked: b
+	// distinct positions.
+	markedPos := make(map[int]bool, b)
+	for len(markedPos) < b {
+		markedPos[rng.Intn(n)] = true
+	}
+
+	bld := sg.NewBuilder(fmt.Sprintf("random-n%d-b%d-m%d", n, b, n+opts.ExtraArcs))
+	name := func(k int) string { return fmt.Sprintf("v%d", k) }
+	for k := 0; k < n; k++ {
+		bld.Event(name(k))
+	}
+	for k := 0; k < n; k++ {
+		if markedPos[k] {
+			bld.Arc(name(k), name((k+1)%n), delay(), sg.Marked())
+		} else {
+			bld.Arc(name(k), name((k+1)%n), delay())
+		}
+	}
+
+	// Topological position of each event in the unmarked backbone
+	// forest: walk each segment starting right after a marked arc.
+	pos := make([]int, n)
+	next := 0
+	for k := 0; k < n; k++ {
+		if !markedPos[(k-1+n)%n] {
+			continue // not a segment head
+		}
+		for v := k; ; v = (v + 1) % n {
+			pos[v] = next
+			next++
+			if markedPos[v] {
+				break // segment ends after its trailing marked arc
+			}
+		}
+	}
+
+	// Forward chords (unmarked, so they cannot close an unmarked cycle
+	// and do not enlarge the border set).
+	added := 0
+	attempts := 0
+	maxAttempts := 100 * (opts.ExtraArcs + 1)
+	for added < opts.ExtraArcs && attempts < maxAttempts {
+		attempts++
+		u, v := rng.Intn(n), rng.Intn(n)
+		if pos[u] >= pos[v] {
+			continue
+		}
+		bld.Arc(name(u), name(v), delay())
+		added++
+	}
+	if added < opts.ExtraArcs {
+		return nil, fmt.Errorf("gen: could only place %d of %d chord arcs (try more events or fewer borders)",
+			added, opts.ExtraArcs)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		return nil, fmt.Errorf("gen: random graph invalid: %w", err)
+	}
+	if got := len(g.BorderEvents()); got != b {
+		return nil, fmt.Errorf("gen: random graph has %d border events, expected %d", got, b)
+	}
+	return g, nil
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"fmt"
+
+	"tsg/internal/sg"
+)
+
+// RingOptions parameterises a Muller ring (§VIII.D, Fig. 5): n C-elements
+// o_1..o_n closed into a ring, where stage k computes
+//
+//	o_k = C(o_{k-1}, i_k),   i_k = INV(o_{k+1})   (indices mod n).
+//
+// A stage whose output is initially high holds a "data token".
+type RingOptions struct {
+	// Stages is the number of C-elements (>= 3).
+	Stages int
+	// InitialHigh lists the 1-based stages whose outputs start at 1.
+	// The paper's five-element ring initialises stage 5 high.
+	InitialHigh []int
+	// CDelay and InvDelay are the C-element and inverter delays; the
+	// paper uses 1 for both. Zero values default to 1.
+	CDelay, InvDelay float64
+}
+
+// MullerRing builds the Signal Graph of the Muller ring of §VIII.D with
+// the paper's initialisation (one data token in the last stage) and unit
+// delays. For five stages the paper reports the border set
+// {o1+, o2+, o3+, o5-} (a↑ b↑ c↑ e↓) and cycle time 20/3.
+func MullerRing(stages int) (*sg.Graph, error) {
+	return MullerRingOpts(RingOptions{Stages: stages, InitialHigh: []int{stages}})
+}
+
+// MullerRingOpts builds a Muller ring Signal Graph with full control over
+// initialisation and delays.
+//
+// The graph is derived from the circuit structure: each gate input
+// contributes the two causal arcs for the output's rising and falling
+// transitions, and an arc u→v is initially marked iff the source signal's
+// initial value already equals the value u establishes AND v is the
+// target signal's first transition — i.e. v's first occurrence consumes
+// the initial state rather than a fresh transition of u. This is the
+// same marking the state-space extractor derives from the execution.
+func MullerRingOpts(opts RingOptions) (*sg.Graph, error) {
+	n := opts.Stages
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Muller ring needs >= 3 stages, got %d", n)
+	}
+	cd, id := opts.CDelay, opts.InvDelay
+	if cd == 0 {
+		cd = 1
+	}
+	if id == 0 {
+		id = 1
+	}
+	if cd < 0 || id < 0 {
+		return nil, fmt.Errorf("gen: negative delays (C=%g, INV=%g)", cd, id)
+	}
+	high := make([]bool, n+1) // 1-based stages
+	for _, s := range opts.InitialHigh {
+		if s < 1 || s > n {
+			return nil, fmt.Errorf("gen: initial-high stage %d out of range 1..%d", s, n)
+		}
+		high[s] = true
+	}
+	anyHigh, anyLow := false, false
+	for s := 1; s <= n; s++ {
+		if high[s] {
+			anyHigh = true
+		} else {
+			anyLow = true
+		}
+	}
+	if !anyHigh || !anyLow {
+		return nil, fmt.Errorf("gen: ring needs at least one token and one bubble (got all-%v)", anyHigh)
+	}
+
+	// Signal names: o1..on and i1..in; initial values.
+	init := map[string]bool{}
+	for k := 1; k <= n; k++ {
+		init[o(k)] = high[k]
+		init[i(k)] = !high[mod1(k+1, n)] // i_k = INV(o_{k+1})
+	}
+
+	b := sg.NewBuilder(fmt.Sprintf("muller-ring-%d", n))
+	for k := 1; k <= n; k++ {
+		b.Events(o(k)+"+", o(k)+"-", i(k)+"+", i(k)+"-")
+	}
+	// arc adds u -> v with the marking rule from the doc comment.
+	arc := func(u, v string, delay float64) {
+		ux, upost := splitTrans(u)
+		vx, vdir := splitTrans(v)
+		firstDir := "+"
+		if init[vx] {
+			firstDir = "-"
+		}
+		if init[ux] == (upost == "+") && vdir == firstDir {
+			b.Arc(u, v, delay, sg.Marked())
+		} else {
+			b.Arc(u, v, delay)
+		}
+	}
+	for k := 1; k <= n; k++ {
+		prev := mod1(k-1, n)
+		next := mod1(k+1, n)
+		// C-element o_k inputs: o_{prev}, i_k.
+		arc(o(prev)+"+", o(k)+"+", cd)
+		arc(i(k)+"+", o(k)+"+", cd)
+		arc(o(prev)+"-", o(k)+"-", cd)
+		arc(i(k)+"-", o(k)+"-", cd)
+		// Inverter i_k input: o_{next}.
+		arc(o(next)+"+", i(k)+"-", id)
+		arc(o(next)+"-", i(k)+"+", id)
+	}
+	return b.Build()
+}
+
+func o(k int) string { return fmt.Sprintf("o%d", k) }
+func i(k int) string { return fmt.Sprintf("i%d", k) }
+
+func mod1(k, n int) int { return (k-1+n)%n + 1 }
+
+func splitTrans(name string) (signal, dir string) {
+	return name[:len(name)-1], name[len(name)-1:]
+}

@@ -1,0 +1,54 @@
+package gen
+
+import (
+	"fmt"
+
+	"tsg/internal/circuit"
+)
+
+// CompletionTreeCircuit builds a completion-tree oscillator: 2^depth
+// leaf inverters watch the root, a binary tree of C-elements merges the
+// leaves' acknowledgements, and the root of the tree drives the leaves
+// back — the classic completion-detection structure of asynchronous
+// datapaths, closed into an autonomous oscillator. With C-element delay
+// cd and inverter delay id the cycle time is 2·(depth·cd + id).
+//
+// All signals start low except the leaf inverters, which see the low
+// root and are therefore the initially excited gates.
+func CompletionTreeCircuit(depth int, cd, id float64) (*circuit.Circuit, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("gen: completion tree needs depth >= 1, got %d", depth)
+	}
+	if depth > 10 {
+		return nil, fmt.Errorf("gen: completion tree depth %d too large (max 10)", depth)
+	}
+	if cd == 0 {
+		cd = 1
+	}
+	if id == 0 {
+		id = 1
+	}
+	if cd < 0 || id < 0 {
+		return nil, fmt.Errorf("gen: negative delays (C=%g, INV=%g)", cd, id)
+	}
+	b := circuit.NewBuilder(fmt.Sprintf("ctree-%d", depth))
+	// node(level, i): level 0 = leaves (2^depth of them), level depth = root.
+	node := func(level, i int) string {
+		if level == depth {
+			return "root"
+		}
+		return fmt.Sprintf("n%d_%d", level, i)
+	}
+	leaves := 1 << depth
+	for i := 0; i < leaves; i++ {
+		b.Gate(circuit.Inv, node(0, i), []string{node(depth, 0)}, id)
+		b.Init(node(0, i), circuit.Low) // low; excited because root is low
+	}
+	for level := 1; level <= depth; level++ {
+		for i := 0; i < leaves>>level; i++ {
+			b.Gate(circuit.CElement, node(level, i),
+				[]string{node(level-1, 2*i), node(level-1, 2*i+1)}, cd)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,27 @@
+package maxplus
+
+import (
+	"tsg/internal/mcr"
+	"tsg/internal/sg"
+)
+
+// FromGraph builds the token-to-token max-plus matrix of a Timed Signal
+// Graph: A[i][j] is the longest delay from token j's consumption to
+// token i's reproduction, so that x(k+1) = A ⊗ x(k) advances the vector
+// of token-event occurrence times by one token generation. The second
+// return value lists the marked arc each matrix row corresponds to.
+func FromGraph(g *sg.Graph) (Matrix, []int, error) {
+	w, arcs, err := mcr.TokenSystem(g)
+	if err != nil {
+		return Matrix{}, nil, err
+	}
+	m := New(len(arcs))
+	for i := range w {
+		for j, v := range w[i] {
+			// TokenSystem gives weights in from->to orientation; the
+			// recurrence needs A[to][from].
+			m.Set(j, i, v)
+		}
+	}
+	return m, arcs, nil
+}

@@ -1,0 +1,252 @@
+// Package maxplus implements the (max, +) linear-algebra view of Timed
+// Signal Graph behaviour that §I of the paper attributes to Gunawardena
+// [7] and Baccelli et al. [1]: the occurrence times of the token events
+// satisfy a max-plus linear recurrence
+//
+//	x(k+1) = A ⊗ x(k),
+//
+// where A is the token-to-token longest-path matrix and ⊗ the (max, +)
+// matrix product. The timing behaviour is "eventually periodic": for an
+// irreducible A there are a transient k₀ and a cyclicity c with
+//
+//	x(k+c) = c·λ + x(k)   for all k >= k₀,
+//
+// λ being the max-plus eigenvalue of A — exactly the cycle time the
+// paper computes by timing simulation. The package provides the algebra,
+// the eigenvalue (via Karp's theorem on the matrix digraph), and the
+// transient/cyclicity detection; tests cross-validate all of it against
+// the paper's algorithm.
+package maxplus
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/stat"
+)
+
+// NegInf is the (max, +) additive identity ε.
+var NegInf = math.Inf(-1)
+
+// Matrix is a dense square matrix over the (max, +) semiring.
+type Matrix struct {
+	n int
+	a []float64 // row-major
+}
+
+// New returns an n×n matrix filled with ε (-Inf).
+func New(n int) Matrix {
+	if n < 1 {
+		panic(fmt.Sprintf("maxplus: matrix size %d", n))
+	}
+	m := Matrix{n: n, a: make([]float64, n*n)}
+	for i := range m.a {
+		m.a[i] = NegInf
+	}
+	return m
+}
+
+// Identity returns the (max, +) identity: 0 on the diagonal, ε elsewhere.
+func Identity(n int) Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+	}
+	return m
+}
+
+// Dim returns the matrix dimension.
+func (m Matrix) Dim() int { return m.n }
+
+// At returns entry (i, j).
+func (m Matrix) At(i, j int) float64 { return m.a[i*m.n+j] }
+
+// Set assigns entry (i, j).
+func (m Matrix) Set(i, j int, v float64) { m.a[i*m.n+j] = v }
+
+// Mul returns the (max, +) product a ⊗ b.
+func Mul(a, b Matrix) Matrix {
+	if a.n != b.n {
+		panic(fmt.Sprintf("maxplus: dimension mismatch %d vs %d", a.n, b.n))
+	}
+	out := New(a.n)
+	for i := 0; i < a.n; i++ {
+		for k := 0; k < a.n; k++ {
+			aik := a.At(i, k)
+			if math.IsInf(aik, -1) {
+				continue
+			}
+			for j := 0; j < a.n; j++ {
+				if v := aik + b.At(k, j); v > out.At(i, j) {
+					out.Set(i, j, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a ⊗ x for a column vector x.
+func MulVec(a Matrix, x []float64) []float64 {
+	if len(x) != a.n {
+		panic(fmt.Sprintf("maxplus: vector length %d for %d×%d matrix", len(x), a.n, a.n))
+	}
+	out := make([]float64, a.n)
+	for i := range out {
+		out[i] = NegInf
+		for j := 0; j < a.n; j++ {
+			aij := a.At(i, j)
+			if math.IsInf(aij, -1) || math.IsInf(x[j], -1) {
+				continue
+			}
+			if v := aij + x[j]; v > out[i] {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// Irreducible reports whether the matrix digraph (edges where entries
+// are finite) is strongly connected.
+func (m Matrix) Irreducible() bool {
+	reach := func(transpose bool) []bool {
+		seen := make([]bool, m.n)
+		stack := []int{0}
+		seen[0] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for w := 0; w < m.n; w++ {
+				var e float64
+				if transpose {
+					e = m.At(w, v)
+				} else {
+					e = m.At(v, w)
+				}
+				if !math.IsInf(e, -1) && !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		return seen
+	}
+	fwd, bwd := reach(false), reach(true)
+	for i := 0; i < m.n; i++ {
+		if !fwd[i] || !bwd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eigenvalue returns the unique max-plus eigenvalue of an irreducible
+// matrix — the maximum mean cycle of its digraph — computed exactly via
+// Karp's theorem. Reducible matrices are rejected: their spectrum is
+// not a single value.
+func (m Matrix) Eigenvalue() (stat.Ratio, error) {
+	if !m.Irreducible() {
+		return stat.Ratio{}, fmt.Errorf("maxplus: matrix is reducible; eigenvalue undefined")
+	}
+	n := m.n
+	// Karp: D[k][v] = max weight of a k-edge walk from node 0 to v.
+	D := make([][]float64, n+1)
+	for k := range D {
+		D[k] = make([]float64, n)
+		for v := range D[k] {
+			D[k][v] = NegInf
+		}
+	}
+	D[0][0] = 0
+	for k := 1; k <= n; k++ {
+		for u := 0; u < n; u++ {
+			if math.IsInf(D[k-1][u], -1) {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				w := m.At(u, v)
+				if math.IsInf(w, -1) {
+					continue
+				}
+				if d := D[k-1][u] + w; d > D[k][v] {
+					D[k][v] = d
+				}
+			}
+		}
+	}
+	best := stat.Ratio{Num: -1, Den: 1}
+	found := false
+	for v := 0; v < n; v++ {
+		if math.IsInf(D[n][v], -1) {
+			continue
+		}
+		var vmin stat.Ratio
+		vset := false
+		for k := 0; k < n; k++ {
+			if math.IsInf(D[k][v], -1) {
+				continue
+			}
+			r := stat.NewRatio(D[n][v]-D[k][v], n-k)
+			if !vset || r.Less(vmin) {
+				vmin = r
+				vset = true
+			}
+		}
+		if vset && (!found || best.Less(vmin)) {
+			best = vmin
+			found = true
+		}
+	}
+	if !found {
+		return stat.Ratio{}, fmt.Errorf("maxplus: no cycle in matrix digraph")
+	}
+	return best.Normalize(), nil
+}
+
+// Periodicity locates the transient k₀ and cyclicity c of the orbit
+// x(k) = A^k ⊗ x0: the smallest pair with x(k+c) = c·λ + x(k) exactly
+// for all sampled k >= k₀ (the max-plus cyclicity theorem for
+// irreducible matrices). The search is bounded by maxTransient and
+// maxCyclicity; an error means the bounds were too small.
+func (m Matrix) Periodicity(x0 []float64, lambda float64, maxTransient, maxCyclicity int) (k0, c int, err error) {
+	if maxTransient < 0 || maxCyclicity < 1 {
+		return 0, 0, fmt.Errorf("maxplus: invalid periodicity bounds (%d, %d)", maxTransient, maxCyclicity)
+	}
+	// Orbit up to maxTransient + 2*maxCyclicity steps.
+	steps := maxTransient + 2*maxCyclicity + 1
+	orbit := make([][]float64, steps)
+	orbit[0] = append([]float64(nil), x0...)
+	for k := 1; k < steps; k++ {
+		orbit[k] = MulVec(m, orbit[k-1])
+	}
+	equalShifted := func(a, b []float64, shift float64) bool {
+		for i := range a {
+			ia, ib := math.IsInf(a[i], -1), math.IsInf(b[i], -1)
+			if ia || ib {
+				if ia != ib {
+					return false
+				}
+				continue
+			}
+			if b[i]-a[i] != shift {
+				return false
+			}
+		}
+		return true
+	}
+	for k := 0; k <= maxTransient; k++ {
+		for cc := 1; cc <= maxCyclicity; cc++ {
+			if k+2*cc >= steps {
+				break
+			}
+			shift := lambda * float64(cc)
+			if equalShifted(orbit[k], orbit[k+cc], shift) &&
+				equalShifted(orbit[k+cc], orbit[k+2*cc], shift) {
+				return k, cc, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("maxplus: no periodicity within transient %d, cyclicity %d",
+		maxTransient, maxCyclicity)
+}

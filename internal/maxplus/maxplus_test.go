@@ -1,0 +1,184 @@
+package maxplus_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/maxplus"
+)
+
+func TestAlgebraBasics(t *testing.T) {
+	a := maxplus.New(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 3)
+	a.Set(1, 0, 2)
+	// a(1,1) stays ε.
+	id := maxplus.Identity(2)
+	prod := maxplus.Mul(a, id)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if prod.At(i, j) != a.At(i, j) {
+				t.Errorf("A ⊗ I differs at (%d,%d): %g vs %g", i, j, prod.At(i, j), a.At(i, j))
+			}
+		}
+	}
+	sq := maxplus.Mul(a, a)
+	// (A²)(0,0) = max(1+1, 3+2) = 5.
+	if sq.At(0, 0) != 5 {
+		t.Errorf("A²(0,0) = %g, want 5", sq.At(0, 0))
+	}
+	// (A²)(1,1) = 2+3 = 5 through node 0.
+	if sq.At(1, 1) != 5 {
+		t.Errorf("A²(1,1) = %g, want 5", sq.At(1, 1))
+	}
+	x := maxplus.MulVec(a, []float64{0, 0})
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("A ⊗ 0 = %v, want [3 2]", x)
+	}
+	if !a.Irreducible() {
+		t.Error("strongly connected matrix reported reducible")
+	}
+	r := maxplus.New(2)
+	r.Set(0, 1, 1) // only 0 -> 1: reducible
+	if r.Irreducible() {
+		t.Error("reducible matrix reported irreducible")
+	}
+	if _, err := r.Eigenvalue(); err == nil {
+		t.Error("Eigenvalue of reducible matrix succeeded")
+	}
+}
+
+func TestEigenvalueSmall(t *testing.T) {
+	// Single self-loop of weight 7: λ = 7.
+	a := maxplus.New(1)
+	a.Set(0, 0, 7)
+	r, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatalf("Eigenvalue: %v", err)
+	}
+	if r.Float() != 7 {
+		t.Errorf("λ = %v, want 7", r)
+	}
+	// Two-cycle 0->1 (3), 1->0 (5): λ = (3+5)/2 = 4.
+	b := maxplus.New(2)
+	b.Set(0, 1, 3)
+	b.Set(1, 0, 5)
+	r, err = b.Eigenvalue()
+	if err != nil {
+		t.Fatalf("Eigenvalue: %v", err)
+	}
+	if rn := r.Normalize(); rn.Num != 4 || rn.Den != 1 {
+		t.Errorf("λ = %v, want 4", r)
+	}
+}
+
+// TestPeriodicityTheorem: the orbit of the token matrix becomes exactly
+// periodic after a finite transient, with the period shift c·λ (the
+// max-plus cyclicity theorem, §I's "eventually periodic behaviour of
+// the corresponding max-functions").
+func TestPeriodicityTheorem(t *testing.T) {
+	g := gen.Oscillator()
+	a, arcs, err := maxplus.FromGraph(g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if len(arcs) != 2 {
+		t.Fatalf("oscillator has %d tokens, want 2", len(arcs))
+	}
+	lam, err := a.Eigenvalue()
+	if err != nil {
+		t.Fatalf("Eigenvalue: %v", err)
+	}
+	if lam.Float() != 10 {
+		t.Fatalf("token-matrix eigenvalue = %v, want 10", lam)
+	}
+	x0 := make([]float64, a.Dim())
+	k0, c, err := a.Periodicity(x0, lam.Float(), 16, 8)
+	if err != nil {
+		t.Fatalf("Periodicity: %v", err)
+	}
+	if c != 1 {
+		t.Errorf("cyclicity = %d, want 1 (all oscillator cycles have ε = 1)", c)
+	}
+	if k0 > 4 {
+		t.Errorf("transient k0 = %d, unexpectedly long", k0)
+	}
+
+	ring, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	ra, _, err := maxplus.FromGraph(ring)
+	if err != nil {
+		t.Fatalf("FromGraph(ring): %v", err)
+	}
+	rlam, err := ra.Eigenvalue()
+	if err != nil {
+		t.Fatalf("Eigenvalue(ring): %v", err)
+	}
+	if rn := rlam.Normalize(); rn.Num != 20 || rn.Den != 3 {
+		t.Fatalf("ring eigenvalue = %v, want 20/3", rlam)
+	}
+	x0r := make([]float64, ra.Dim())
+	_, cr, err := ra.Periodicity(x0r, rlam.Float(), 32, 12)
+	if err != nil {
+		t.Fatalf("Periodicity(ring): %v", err)
+	}
+	if cr%3 != 0 {
+		t.Errorf("ring cyclicity = %d, want a multiple of 3 (critical ε = 3)", cr)
+	}
+	if _, _, err := ra.Periodicity(x0r, rlam.Float(), 0, 1); err == nil {
+		t.Error("Periodicity with tiny bounds succeeded")
+	}
+	if _, _, err := ra.Periodicity(x0r, rlam.Float(), -1, 0); err == nil {
+		t.Error("Periodicity with invalid bounds succeeded")
+	}
+}
+
+// TestRandomAgreement: eigenvalue == Analyze λ on random graphs.
+func TestRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(12)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(2 * n), MaxDelay: 9,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		a, _, err := maxplus.FromGraph(g)
+		if err != nil {
+			t.Fatalf("FromGraph: %v", err)
+		}
+		lam, err := a.Eigenvalue()
+		if err != nil {
+			t.Fatalf("trial %d: Eigenvalue: %v", trial, err)
+		}
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("trial %d: Analyze: %v", trial, err)
+		}
+		if !res.CycleTime.Equal(lam) {
+			t.Errorf("trial %d: %s: eigenvalue %v != λ %v", trial, g, lam, res.CycleTime)
+		}
+		// The orbit growth rate approaches λ as well.
+		x := make([]float64, a.Dim())
+		const K = 40
+		for k := 0; k < K; k++ {
+			x = maxplus.MulVec(a, x)
+		}
+		max0 := 0.0
+		for _, v := range x {
+			if v > max0 {
+				max0 = v
+			}
+		}
+		if lam.Float() > 0 && math.Abs(max0/K-lam.Float()) > lam.Float() {
+			t.Errorf("trial %d: orbit growth %g far from λ %v", trial, max0/K, lam)
+		}
+	}
+}

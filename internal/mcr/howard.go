@@ -1,0 +1,183 @@
+package mcr
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// howardEps separates "equal" from "better" in Howard's value tests;
+// ratios themselves are recomputed exactly from the final policy cycle.
+const howardEps = 1e-12
+
+// Howard computes the cycle time by Howard's policy-iteration algorithm
+// for the maximum cycle ratio (max-plus spectral theory, Baccelli et
+// al. [1]; the variant follows Dasdan's survey formulation). Every event
+// of the repetitive core holds a policy arc; each iteration evaluates the
+// ratio and potential of the single cycle each policy chain leads to,
+// then greedily improves policies. Live graphs guarantee every policy
+// cycle carries a token, so ratios are always finite.
+//
+// The returned ratio is exact: it is the delay sum over the token count
+// of the final critical policy cycle. Howard's iteration count is small
+// in practice; a defensive cap of n·m iterations turns non-convergence
+// (which would indicate a bug) into an error.
+func Howard(g *sg.Graph) (stat.Ratio, error) {
+	// Collect the repetitive core's arcs per source event.
+	type arc struct {
+		to     sg.EventID
+		delay  float64
+		tokens int
+		index  int
+	}
+	n := g.NumEvents()
+	out := make([][]arc, n)
+	nodes := g.RepetitiveEvents()
+	if len(nodes) == 0 {
+		return stat.Ratio{}, fmt.Errorf("mcr: graph %q has no repetitive events", g.Name())
+	}
+	mArcs := 0
+	for _, v := range nodes {
+		for _, ai := range g.OutArcs(v) {
+			a := g.Arc(ai)
+			if a.Once || !g.Event(a.To).Repetitive {
+				continue
+			}
+			tok := 0
+			if a.Marked {
+				tok = 1
+			}
+			out[v] = append(out[v], arc{to: a.To, delay: a.Delay, tokens: tok, index: ai})
+			mArcs++
+		}
+	}
+	for _, v := range nodes {
+		if len(out[v]) == 0 {
+			return stat.Ratio{}, fmt.Errorf("mcr: repetitive event %q has no core out-arc", g.Event(v).Name)
+		}
+	}
+
+	policy := make([]int, n) // index into out[v]
+	ratioN := make([]float64, n)
+	ratioD := make([]int, n)
+	value := make([]float64, n)
+	visited := make([]int, n) // epoch marker
+	epoch := 0
+
+	evaluate := func() {
+		epoch++
+		// Each policy chain ends in exactly one cycle. Walk chains,
+		// find each cycle, compute its exact ratio, then back-propagate
+		// values.
+		state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
+		var stack []sg.EventID
+		for _, start := range nodes {
+			if state[start] != 0 {
+				continue
+			}
+			// Follow the policy until hitting something processed or
+			// in progress.
+			v := start
+			stack = stack[:0]
+			for state[v] == 0 {
+				state[v] = 1
+				stack = append(stack, v)
+				v = out[v][policy[v]].to
+			}
+			if state[v] == 1 {
+				// Found a new cycle; v is on it. Compute Σδ and Σtok.
+				var dsum float64
+				var tsum int
+				w := v
+				for {
+					a := out[w][policy[w]]
+					dsum += a.delay
+					tsum += a.tokens
+					w = a.to
+					if w == v {
+						break
+					}
+				}
+				if tsum == 0 {
+					// Unreachable on validated graphs (unmarked cycle).
+					dsum, tsum = math.Inf(1), 1
+				}
+				// Anchor the cycle at v.
+				ratioN[v], ratioD[v] = dsum, tsum
+				value[v] = 0
+				visited[v] = epoch
+				// Values around the cycle, walking forward from v.
+				lam := dsum / float64(tsum)
+				x := v
+				for {
+					a := out[x][policy[x]]
+					if a.to == v {
+						break
+					}
+					ratioN[a.to], ratioD[a.to] = dsum, tsum
+					value[a.to] = value[x] - (a.delay - lam*float64(a.tokens))
+					visited[a.to] = epoch
+					state[a.to] = 2
+					x = a.to
+				}
+				state[v] = 2
+			}
+			// Back-substitute along the stack (chain into the cycle or
+			// into previously processed nodes).
+			for i := len(stack) - 1; i >= 0; i-- {
+				u := stack[i]
+				if state[u] == 2 && visited[u] == epoch {
+					continue
+				}
+				a := out[u][policy[u]]
+				ratioN[u], ratioD[u] = ratioN[a.to], ratioD[a.to]
+				lam := ratioN[u] / float64(ratioD[u])
+				value[u] = value[a.to] + a.delay - lam*float64(a.tokens)
+				visited[u] = epoch
+				state[u] = 2
+			}
+		}
+	}
+
+	maxIter := n*mArcs + 16
+	for iter := 0; iter < maxIter; iter++ {
+		evaluate()
+		improved := false
+		for _, v := range nodes {
+			lamV := ratioN[v] / float64(ratioD[v])
+			for i, a := range out[v] {
+				if i == policy[v] {
+					continue
+				}
+				lamT := ratioN[a.to] / float64(ratioD[a.to])
+				switch {
+				case lamT > lamV+howardEps:
+					policy[v] = i
+					lamV = lamT
+					improved = true
+				case math.Abs(lamT-lamV) <= howardEps:
+					if cand := value[a.to] + a.delay - lamV*float64(a.tokens); cand > value[v]+howardEps {
+						policy[v] = i
+						value[v] = cand
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			// Extract the best policy cycle's exact ratio.
+			best := stat.Ratio{Num: -1, Den: 1}
+			for _, v := range nodes {
+				r := stat.NewRatio(ratioN[v], ratioD[v])
+				if best.Less(r) {
+					best = r
+				}
+			}
+			return best.Normalize(), nil
+		}
+	}
+	return stat.Ratio{}, fmt.Errorf("mcr: Howard did not converge on graph %q after %d iterations",
+		g.Name(), maxIter)
+}

@@ -1,0 +1,85 @@
+package mcr
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// Karp computes the cycle time by Karp's maximum-mean-cycle theorem on
+// the token-graph reduction: with D_k(v) the maximum weight of a k-edge
+// walk from a fixed source,
+//
+//	λ = max_v min_{0 <= k < T} (D_T(v) - D_k(v)) / (T - k),
+//
+// where T is the number of token nodes. The result is exact whenever the
+// delays are exactly representable (Karp's formula is a ratio of a delay
+// sum to an integer). Runs in O(T·E) on the token graph after the
+// O(T·m) reduction.
+func Karp(g *sg.Graph) (stat.Ratio, error) {
+	tg, err := buildTokenGraph(g)
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	T := len(tg.arcs)
+	// The token graph of a strongly connected live core is strongly
+	// connected, so any source works; use node 0.
+	neg := math.Inf(-1)
+	D := make([][]float64, T+1)
+	for k := range D {
+		D[k] = make([]float64, T)
+		for v := range D[k] {
+			D[k][v] = neg
+		}
+	}
+	D[0][0] = 0
+	for k := 1; k <= T; k++ {
+		for u := 0; u < T; u++ {
+			if math.IsInf(D[k-1][u], -1) {
+				continue
+			}
+			for v := 0; v < T; v++ {
+				w := tg.w[u][v]
+				if math.IsInf(w, -1) {
+					continue
+				}
+				if d := D[k-1][u] + w; d > D[k][v] {
+					D[k][v] = d
+				}
+			}
+		}
+	}
+	best := stat.Ratio{Num: -1, Den: 1}
+	found := false
+	for v := 0; v < T; v++ {
+		if math.IsInf(D[T][v], -1) {
+			continue
+		}
+		// min over k of (D_T(v) - D_k(v)) / (T-k), as an exact ratio.
+		var vmin stat.Ratio
+		vset := false
+		for k := 0; k < T; k++ {
+			if math.IsInf(D[k][v], -1) {
+				continue
+			}
+			r := stat.NewRatio(D[T][v]-D[k][v], T-k)
+			if !vset || r.Less(vmin) {
+				vmin = r
+				vset = true
+			}
+		}
+		if !vset {
+			continue
+		}
+		if !found || best.Less(vmin) {
+			best = vmin
+			found = true
+		}
+	}
+	if !found {
+		return stat.Ratio{}, fmt.Errorf("mcr: Karp found no cycle in graph %q", g.Name())
+	}
+	return best.Normalize(), nil
+}

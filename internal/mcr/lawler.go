@@ -1,0 +1,116 @@
+package mcr
+
+import (
+	"fmt"
+
+	"tsg/internal/sg"
+)
+
+// DefaultEps is the default convergence width for Lawler's binary search.
+const DefaultEps = 1e-9
+
+// Lawler computes the cycle time by Lawler's parameter search [11]: λ is
+// feasible (λ >= λ*) iff the graph with arc weights τ(a) − λ·m(a) has no
+// positive-weight cycle. Binary search over [0, Σdelays] narrows λ to
+// within eps. This is the decision form of the linear program of
+// Burns [2]: find the least λ admitting a potential function u with
+// u(to) >= u(from) + τ − λ·m for every arc.
+//
+// Runs in O(n·m·log(Δ/eps)). The result carries ±eps absolute error by
+// construction, unlike the exact algorithms.
+func Lawler(g *sg.Graph, eps float64) (float64, error) {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	if _, err := topoUnmarked(g); err != nil {
+		return 0, err // unmarked cycle: λ would be unbounded
+	}
+	hasToken := false
+	for i := 0; i < g.NumArcs(); i++ {
+		if g.Arc(i).Marked {
+			hasToken = true
+			break
+		}
+	}
+	if !hasToken {
+		return 0, fmt.Errorf("mcr: graph %q has no tokens; no cycles to time", g.Name())
+	}
+	lo, hi := 0.0, g.TotalDelay()+1
+	if hasPositiveCycle(g, hi) {
+		return 0, fmt.Errorf("mcr: internal error: positive cycle at λ = Σδ+1 in graph %q", g.Name())
+	}
+	if !hasPositiveCycle(g, lo) {
+		// No cycle has positive length at λ=0: all-zero-delay cycles.
+		return 0, nil
+	}
+	for hi-lo > eps {
+		mid := (lo + hi) / 2
+		if hasPositiveCycle(g, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// hasPositiveCycle runs Bellman–Ford longest-path relaxation restricted
+// to the repetitive core with weights τ − λ·m; a relaxation in round n
+// certifies a positive cycle (i.e. a cycle with ratio > λ).
+func hasPositiveCycle(g *sg.Graph, lambda float64) bool {
+	n := g.NumEvents()
+	dist := make([]float64, n)
+	// Start every node at 0: we only care about positive cycles, not
+	// distances from a particular source.
+	active := true
+	for round := 0; round < n && active; round++ {
+		active = false
+		for i := 0; i < g.NumArcs(); i++ {
+			a := g.Arc(i)
+			if a.Once || !g.Event(a.From).Repetitive || !g.Event(a.To).Repetitive {
+				continue
+			}
+			w := a.Delay
+			if a.Marked {
+				w -= lambda
+			}
+			if d := dist[a.From] + w; d > dist[a.To]+1e-15 {
+				dist[a.To] = d
+				active = true
+			}
+		}
+	}
+	return active
+}
+
+// FeasiblePotential returns a potential (slack) function certifying
+// λ >= λ*: u with u(to) >= u(from) + τ(a) − λ·m(a) for every core arc,
+// or an error when λ < λ* (a positive cycle exists). This is the dual
+// solution of the Burns LP and is exported for the LP-oriented
+// experiments and tests.
+func FeasiblePotential(g *sg.Graph, lambda float64) ([]float64, error) {
+	n := g.NumEvents()
+	dist := make([]float64, n)
+	for round := 0; round < n+1; round++ {
+		active := false
+		for i := 0; i < g.NumArcs(); i++ {
+			a := g.Arc(i)
+			if a.Once || !g.Event(a.From).Repetitive || !g.Event(a.To).Repetitive {
+				continue
+			}
+			w := a.Delay
+			if a.Marked {
+				w -= lambda
+			}
+			if d := dist[a.From] + w; d > dist[a.To]+1e-12 {
+				dist[a.To] = d
+				active = true
+			}
+		}
+		if !active {
+			return dist, nil
+		}
+	}
+	return nil, fmt.Errorf("mcr: λ = %g is below the cycle time of graph %q (no feasible potential)",
+		lambda, g.Name())
+}

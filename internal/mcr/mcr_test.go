@@ -1,0 +1,182 @@
+package mcr_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/cycles"
+	"tsg/internal/gen"
+	"tsg/internal/mcr"
+	"tsg/internal/sg"
+)
+
+func TestKarpOscillator(t *testing.T) {
+	r, err := mcr.Karp(gen.Oscillator())
+	if err != nil {
+		t.Fatalf("Karp: %v", err)
+	}
+	if r.Float() != 10 {
+		t.Errorf("Karp λ = %v, want 10", r)
+	}
+}
+
+func TestHowardOscillator(t *testing.T) {
+	r, err := mcr.Howard(gen.Oscillator())
+	if err != nil {
+		t.Fatalf("Howard: %v", err)
+	}
+	if r.Float() != 10 {
+		t.Errorf("Howard λ = %v, want 10", r)
+	}
+}
+
+func TestLawlerOscillator(t *testing.T) {
+	l, err := mcr.Lawler(gen.Oscillator(), 1e-9)
+	if err != nil {
+		t.Fatalf("Lawler: %v", err)
+	}
+	if math.Abs(l-10) > 1e-6 {
+		t.Errorf("Lawler λ = %g, want 10±1e-6", l)
+	}
+}
+
+func TestRing20Over3(t *testing.T) {
+	g, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	rk, err := mcr.Karp(g)
+	if err != nil {
+		t.Fatalf("Karp: %v", err)
+	}
+	if rk.Num != 20 || rk.Den != 3 {
+		t.Errorf("Karp ring λ = %v, want 20/3", rk)
+	}
+	rh, err := mcr.Howard(g)
+	if err != nil {
+		t.Fatalf("Howard: %v", err)
+	}
+	if rh.Num != 20 || rh.Den != 3 {
+		t.Errorf("Howard ring λ = %v, want 20/3", rh)
+	}
+	rl, err := mcr.Lawler(g, 1e-9)
+	if err != nil {
+		t.Fatalf("Lawler: %v", err)
+	}
+	if math.Abs(rl-20.0/3) > 1e-6 {
+		t.Errorf("Lawler ring λ = %g, want 20/3±1e-6", rl)
+	}
+}
+
+// TestAllAgainstOracle cross-validates the three baselines against the
+// simple-cycle enumeration oracle on random live graphs.
+func TestAllAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(10)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(2 * n), MaxDelay: 9,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: RandomLive: %v", trial, err)
+		}
+		want, _, err := cycles.MaxRatio(g, 0)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		if rk, err := mcr.Karp(g); err != nil {
+			t.Errorf("trial %d: Karp error: %v", trial, err)
+		} else if !rk.Equal(want) {
+			t.Errorf("trial %d: %s: Karp = %v, oracle = %v", trial, g, rk, want)
+		}
+		if rh, err := mcr.Howard(g); err != nil {
+			t.Errorf("trial %d: Howard error: %v", trial, err)
+		} else if !rh.Equal(want) {
+			t.Errorf("trial %d: %s: Howard = %v, oracle = %v", trial, g, rh, want)
+		}
+		if rl, err := mcr.Lawler(g, 1e-9); err != nil {
+			t.Errorf("trial %d: Lawler error: %v", trial, err)
+		} else if math.Abs(rl-want.Float()) > 1e-6 {
+			t.Errorf("trial %d: %s: Lawler = %g, oracle = %v", trial, g, rl, want)
+		}
+	}
+}
+
+func TestFeasiblePotential(t *testing.T) {
+	g := gen.Oscillator()
+	// At λ = λ* = 10 a potential exists and certifies every arc.
+	u, err := mcr.FeasiblePotential(g, 10)
+	if err != nil {
+		t.Fatalf("FeasiblePotential(10): %v", err)
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		if a.Once || !g.Event(a.From).Repetitive || !g.Event(a.To).Repetitive {
+			continue
+		}
+		w := a.Delay
+		if a.Marked {
+			w -= 10
+		}
+		if u[a.To] < u[a.From]+w-1e-9 {
+			t.Errorf("potential violated on arc %s->%s: u=%g, need >= %g",
+				g.Event(a.From).Name, g.Event(a.To).Name, u[a.To], u[a.From]+w)
+		}
+	}
+	// Below λ* no potential exists (Burns LP infeasible).
+	if _, err := mcr.FeasiblePotential(g, 9.5); err == nil {
+		t.Error("FeasiblePotential(9.5) succeeded, want infeasible")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	// Tokenless graph.
+	tokenless, err := sg.NewBuilder("tokenless").Events("a+", "b+").
+		Arc("a+", "b+", 1).Arc("b+", "a+", 1).BuildUnchecked()
+	if err != nil {
+		t.Fatalf("BuildUnchecked: %v", err)
+	}
+	if _, err := mcr.Karp(tokenless); err == nil {
+		t.Error("Karp on unmarked-cycle graph succeeded")
+	}
+	if _, err := mcr.Lawler(tokenless, 0); err == nil {
+		t.Error("Lawler on unmarked-cycle graph succeeded")
+	}
+	// No repetitive events.
+	acyclic, err := sg.NewBuilder("acyclic").
+		Event("e-", sg.NonRepetitive()).
+		Event("f-", sg.NonRepetitive()).
+		Arc("e-", "f-", 1).BuildUnchecked()
+	if err != nil {
+		t.Fatalf("BuildUnchecked: %v", err)
+	}
+	if _, err := mcr.Howard(acyclic); err == nil {
+		t.Error("Howard on acyclic graph succeeded")
+	}
+	if _, err := mcr.Karp(acyclic); err == nil {
+		t.Error("Karp on acyclic graph succeeded")
+	}
+}
+
+func TestStackBaselines(t *testing.T) {
+	g, err := gen.Stack(8)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	rk, err := mcr.Karp(g)
+	if err != nil {
+		t.Fatalf("Karp: %v", err)
+	}
+	if rk.Float() != 4 {
+		t.Errorf("Karp stack λ = %v, want 4", rk)
+	}
+	rh, err := mcr.Howard(g)
+	if err != nil {
+		t.Fatalf("Howard: %v", err)
+	}
+	if rh.Float() != 4 {
+		t.Errorf("Howard stack λ = %v, want 4", rh)
+	}
+}

@@ -1,0 +1,149 @@
+// Package mcr implements the classical maximum-cycle-ratio baselines the
+// paper positions itself against in §I: Karp's algorithm (on a
+// token-graph reduction), Lawler's binary search (equivalent to the
+// linear-programming formulation of Burns [2]), and Howard's policy
+// iteration [1]. For a Timed Signal Graph the cycle time is
+//
+//	λ = max over cycles C of (Σ delays on C) / (Σ tokens on C),
+//
+// a maximum cost-to-time ratio problem with 0/1 transit times [8, 11].
+// All algorithms here operate on the repetitive core of the graph and
+// are cross-validated against the paper's timing-simulation algorithm
+// and the simple-cycle enumeration oracle.
+package mcr
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+)
+
+// tokenGraph is the reduction used by Karp's algorithm: one node per
+// initially marked arc (token); an edge t1 → t2 with weight
+//
+//	w = delay(t1) + longest unmarked path from head(t1) to tail(t2)
+//
+// for every pair connected through the (acyclic) unmarked subgraph.
+// Cycles of k tokens in the token graph correspond to closed walks of
+// the Signal Graph containing k tokens, with weight equal to the walk's
+// total delay, so the maximum mean cycle of the token graph (unit
+// transit per edge) equals the maximum cycle ratio of the Signal Graph.
+type tokenGraph struct {
+	arcs []int // Signal Graph arc index per token node
+	// w[i][j] is the edge weight from token i to token j, -Inf when j's
+	// tail is unreachable from i's head through unmarked arcs.
+	w [][]float64
+}
+
+// buildTokenGraph constructs the reduction. The unmarked subgraph of a
+// validated graph is acyclic, so longest paths are well defined.
+func buildTokenGraph(g *sg.Graph) (*tokenGraph, error) {
+	var tokens []int
+	for i := 0; i < g.NumArcs(); i++ {
+		if g.Arc(i).Marked {
+			tokens = append(tokens, i)
+		}
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("mcr: graph %q has no tokens; no cycles to time", g.Name())
+	}
+	order, err := topoUnmarked(g)
+	if err != nil {
+		return nil, err
+	}
+	tg := &tokenGraph{arcs: tokens, w: make([][]float64, len(tokens))}
+	// Tail lookup: token nodes whose arc starts at a given event.
+	tailsAt := make(map[sg.EventID][]int)
+	for ti, ai := range tokens {
+		tailsAt[g.Arc(ai).From] = append(tailsAt[g.Arc(ai).From], ti)
+	}
+	dist := make([]float64, g.NumEvents())
+	for ti, ai := range tokens {
+		tg.w[ti] = make([]float64, len(tokens))
+		for i := range tg.w[ti] {
+			tg.w[ti][i] = math.Inf(-1)
+		}
+		// Longest unmarked-arc paths from the token's head.
+		for i := range dist {
+			dist[i] = math.Inf(-1)
+		}
+		head := g.Arc(ai).To
+		dist[head] = 0
+		for _, v := range order {
+			if math.IsInf(dist[v], -1) {
+				continue
+			}
+			for _, oi := range g.OutArcs(v) {
+				a := g.Arc(oi)
+				if a.Marked {
+					continue
+				}
+				if d := dist[v] + a.Delay; d > dist[a.To] {
+					dist[a.To] = d
+				}
+			}
+		}
+		base := g.Arc(ai).Delay
+		for v := 0; v < g.NumEvents(); v++ {
+			if math.IsInf(dist[v], -1) {
+				continue
+			}
+			for _, tj := range tailsAt[sg.EventID(v)] {
+				if w := base + dist[v]; w > tg.w[ti][tj] {
+					tg.w[ti][tj] = w
+				}
+			}
+		}
+	}
+	return tg, nil
+}
+
+// topoUnmarked returns a topological order of the unmarked subgraph.
+func topoUnmarked(g *sg.Graph) ([]sg.EventID, error) {
+	n := g.NumEvents()
+	indeg := make([]int, n)
+	for i := 0; i < g.NumArcs(); i++ {
+		if !g.Arc(i).Marked {
+			indeg[g.Arc(i).To]++
+		}
+	}
+	queue := make([]sg.EventID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, sg.EventID(i))
+		}
+	}
+	order := make([]sg.EventID, 0, n)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, ai := range g.OutArcs(v) {
+			a := g.Arc(ai)
+			if a.Marked {
+				continue
+			}
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("mcr: graph %q has an unmarked cycle (not live)", g.Name())
+	}
+	return order, nil
+}
+
+// TokenSystem exposes the token-graph reduction for other analyses (the
+// max-plus view of package maxplus): weights[i][j] is the longest-path
+// weight from token i to token j (-Inf where unconnected), and tokenArcs
+// lists the marked arc index each token sits on.
+func TokenSystem(g *sg.Graph) (weights [][]float64, tokenArcs []int, err error) {
+	tg, err := buildTokenGraph(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tg.w, tg.arcs, nil
+}

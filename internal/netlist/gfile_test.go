@@ -1,0 +1,105 @@
+package netlist_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+)
+
+// TestGRoundTrip: fully repetitive graphs survive a .g round trip.
+func TestGRoundTrip(t *testing.T) {
+	ring, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	stack, err := gen.Stack(5)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	for _, g := range []*sg.Graph{ring, stack} {
+		var buf strings.Builder
+		if err := netlist.WriteG(&buf, g); err != nil {
+			t.Fatalf("WriteG(%s): %v", g.Name(), err)
+		}
+		back, err := netlist.ReadG(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("ReadG(%s): %v\n%s", g.Name(), err, buf.String())
+		}
+		if signature(back) != signature(g) {
+			t.Errorf("%s: .g round trip changed the graph:\n%s\nvs\n%s",
+				g.Name(), signature(back), signature(g))
+		}
+		if back.Name() != g.Name() {
+			t.Errorf("name %q -> %q", g.Name(), back.Name())
+		}
+	}
+}
+
+// TestGReadHandWritten parses a petrify-style file and analyses it.
+func TestGReadHandWritten(t *testing.T) {
+	src := `
+# a simple two-signal handshake
+.model handshake
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.delay r+ a+ 3
+.delay a+ r- 2
+.end
+`
+	g, err := netlist.ReadG(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadG: %v", err)
+	}
+	if g.Name() != "handshake" || g.NumEvents() != 4 || g.NumArcs() != 4 {
+		t.Fatalf("parsed %v", g)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	// 3 + 2 + 1 + 1 (two unlisted arcs default to delay 1).
+	if res.CycleTime.Float() != 7 {
+		t.Errorf("λ = %v, want 7", res.CycleTime)
+	}
+}
+
+func TestGParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no graph", ".model x\n.end\n", "missing .graph"},
+		{"early transitions", ".model x\na+ b+\n", "before .graph"},
+		{"bad directive", ".model x\n.frobnicate\n", "unknown directive"},
+		{"bad marking", ".model x\n.graph\na+ b+\nb+ a+\n.marking { a+ }\n", "want <from,to>"},
+		{"marking unknown arc", ".model x\n.graph\na+ b+\nb+ a+\n.marking { <a+,zz+> }\n", "undeclared arc"},
+		{"bad delay", ".model x\n.graph\na+ b+\n.delay a+ b+ xx\n", "bad delay"},
+		{"short graph line", ".model x\n.graph\na+\n", "at least one successor"},
+		{"content after end", ".model x\n.graph\na+ b+\nb+ a+\n.marking { <b+,a+> }\n.end\na+ b+\n", "after .end"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := netlist.ReadG(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWriteGRejectsPrefixGraphs(t *testing.T) {
+	var buf strings.Builder
+	if err := netlist.WriteG(&buf, gen.Oscillator()); err == nil ||
+		!strings.Contains(err.Error(), "non-repetitive") {
+		t.Errorf("WriteG(oscillator) error = %v, want non-repetitive rejection", err)
+	}
+}

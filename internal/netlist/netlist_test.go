@@ -1,0 +1,192 @@
+package netlist_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tsg/internal/circuit"
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+)
+
+func signature(g *sg.Graph) string {
+	var lines []string
+	for i := 0; i < g.NumEvents(); i++ {
+		ev := g.Event(sg.EventID(i))
+		lines = append(lines, fmt.Sprintf("event %s rep=%v", ev.Name, ev.Repetitive))
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		lines = append(lines, fmt.Sprintf("arc %s->%s δ=%g m=%v once=%v",
+			g.Event(a.From).Name, g.Event(a.To).Name, a.Delay, a.Marked, a.Once))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestTSGRoundTrip(t *testing.T) {
+	for _, build := range []func() (*sg.Graph, error){
+		func() (*sg.Graph, error) { return gen.Oscillator(), nil },
+		func() (*sg.Graph, error) { return gen.MullerRing(5) },
+		func() (*sg.Graph, error) { return gen.Stack(7) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		var buf strings.Builder
+		if err := netlist.WriteTSG(&buf, g); err != nil {
+			t.Fatalf("WriteTSG: %v", err)
+		}
+		back, err := netlist.ReadTSG(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("ReadTSG(%s): %v\n%s", g.Name(), err, buf.String())
+		}
+		if signature(back) != signature(g) {
+			t.Errorf("round trip of %s changed the graph:\n%s\nvs\n%s",
+				g.Name(), signature(back), signature(g))
+		}
+		if back.Name() != g.Name() {
+			t.Errorf("round trip name = %q, want %q", back.Name(), g.Name())
+		}
+	}
+}
+
+func TestTSGParseOscillatorAnalyzes(t *testing.T) {
+	var buf strings.Builder
+	if err := netlist.WriteTSG(&buf, gen.Oscillator()); err != nil {
+		t.Fatalf("WriteTSG: %v", err)
+	}
+	g, err := netlist.ReadTSG(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadTSG: %v", err)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.CycleTime.Float() != 10 {
+		t.Errorf("parsed oscillator cycle time = %v, want 10", res.CycleTime)
+	}
+}
+
+func TestTSGParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no header", "event a+\n", "before tsg header"},
+		{"dup header", "tsg a\ntsg b\n", "duplicate tsg header"},
+		{"bad directive", "tsg a\nfrob x\n", "unknown directive"},
+		{"bad event attr", "tsg a\nevent a+ frob\n", "unknown event attribute"},
+		{"bad delay", "tsg a\nevent a+\nevent b+\narc a+ b+ xyz\n", "bad delay"},
+		{"bad arc attr", "tsg a\nevent a+\nevent b+\narc a+ b+ 1 frob\n", "unknown arc attribute"},
+		{"short arc", "tsg a\nevent a+\narc a+\n", "usage: arc"},
+		{"unknown event", "tsg a\nevent a+\narc a+ zz 1\n", "unknown event"},
+		{"empty", "", "missing tsg header"},
+		{"quoting", "tsg a\nevent \"a\"\n", "quoting"},
+		{"invalid graph", "tsg a\nevent a+\nevent b+\narc a+ b+ 1\narc b+ a+ 1\n", "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := netlist.ReadTSG(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTSGLax(t *testing.T) {
+	src := "tsg a\nevent a+\nevent b+\narc a+ b+ 1\narc b+ a+ 1\n"
+	if _, err := netlist.ReadTSG(strings.NewReader(src)); err == nil {
+		t.Fatal("strict parse of unmarked cycle succeeded")
+	}
+	g, err := netlist.ReadTSGLax(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadTSGLax: %v", err)
+	}
+	if g.NumArcs() != 2 {
+		t.Errorf("lax parse arcs = %d, want 2", g.NumArcs())
+	}
+}
+
+func TestCKTRoundTrip(t *testing.T) {
+	oc, script := gen.OscillatorCircuit()
+	n := &netlist.Netlist{Circuit: oc, Inputs: script}
+	var buf strings.Builder
+	if err := netlist.WriteCKT(&buf, n); err != nil {
+		t.Fatalf("WriteCKT: %v", err)
+	}
+	back, err := netlist.ReadCKT(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadCKT: %v\n%s", err, buf.String())
+	}
+	c := back.Circuit
+	if c.NumGates() != oc.NumGates() || c.NumSignals() != oc.NumSignals() {
+		t.Errorf("round trip: %d gates / %d signals, want %d/%d",
+			c.NumGates(), c.NumSignals(), oc.NumGates(), oc.NumSignals())
+	}
+	if len(back.Inputs) != 1 || back.Inputs[0].Signal != "e" || back.Inputs[0].Level != circuit.Low {
+		t.Errorf("round trip inputs = %v", back.Inputs)
+	}
+	// The reparsed circuit must behave identically.
+	res, err := circuit.Simulate(c, circuit.SimOptions{Inputs: back.Inputs, MaxTransitions: 20})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	cT := res.Times(c.MustSignal("c"))
+	if len(cT) < 2 || cT[0] != 6 || cT[1] != 11 {
+		t.Errorf("reparsed circuit c transitions = %v, want [6 11 ...]", cT)
+	}
+}
+
+func TestCKTParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no header", "input e = 1\n", "before circuit header"},
+		{"dup header", "circuit a\ncircuit b\n", "duplicate circuit header"},
+		{"bad gate type", "circuit a\ninput i = 0\ngate y FROB i\n", "unknown gate type"},
+		{"bad level", "circuit a\ninput i = 2\n", "bad level"},
+		{"bad delay", "circuit a\ninput i = 0\ngate y BUF i : xx\n", "bad delay"},
+		{"no inputs gate", "circuit a\ngate y BUF : 1\n", "no inputs"},
+		{"bad at", "circuit a\ninput i = 0\nat zz i = 1\n", "bad time"},
+		{"at unknown", "circuit a\ninput i = 0\ngate y BUF i\nat 0 q = 1\n", "not declared"},
+		{"at gate", "circuit a\ninput i = 0\ngate y BUF i\nat 0 y = 1\n", "not an input"},
+		{"undriven", "circuit a\ngate y BUF ghost\n", "neither an input nor a gate output"},
+		{"empty", "", "missing circuit header"},
+		{"double colon", "circuit a\ninput i = 0\ngate y BUF i : 1 : 2\n", "duplicate ':'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := netlist.ReadCKT(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "tsg a\nevent a+\nevent b+\narc a+ b+ bogus\n"
+	_, err := netlist.ReadTSG(strings.NewReader(src))
+	var pe *netlist.ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+}
+
+func asParseError(err error, target **netlist.ParseError) bool {
+	pe, ok := err.(*netlist.ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}

@@ -1,0 +1,43 @@
+package netlist_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+)
+
+// TestTSGRoundTripProperty: serialising and reparsing any random live
+// graph yields a structurally identical graph.
+func TestTSGRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(2 * n), MaxDelay: 20,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		var buf strings.Builder
+		if err := netlist.WriteTSG(&buf, g); err != nil {
+			t.Fatalf("WriteTSG: %v", err)
+		}
+		back, err := netlist.ReadTSG(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("ReadTSG: %v\n%s", err, buf.String())
+		}
+		if signature(back) != signature(g) {
+			t.Logf("seed %d: round trip changed the graph", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

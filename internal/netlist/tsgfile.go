@@ -1,0 +1,179 @@
+// Package netlist reads and writes the repository's two text formats:
+//
+//   - .tsg files describe Timed Signal Graphs (events, delay-labelled
+//     arcs, initial marking, disengageable arcs);
+//   - .ckt files describe gate-level circuits (inputs, gates with
+//     per-pin delays, initial state, scripted input transitions).
+//
+// Both formats are line-oriented; '#' starts a comment. Parse errors
+// carry 1-based line numbers.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tsg/internal/sg"
+)
+
+// ParseError is a syntax or semantic error at a specific input line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ReadTSG parses a Timed Signal Graph:
+//
+//	tsg <name>
+//	event <name> [nonrepetitive]
+//	arc <from> <to> <delay> [marked] [once]
+//
+// The graph is validated (sg.Validate); use ReadTSGLax to load invalid
+// graphs for diagnosis.
+func ReadTSG(r io.Reader) (*sg.Graph, error) {
+	b, err := readTSGBuilder(r)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ReadTSGLax parses like ReadTSG but skips semantic validation, so that
+// tools can load a broken graph and report its problems.
+func ReadTSGLax(r io.Reader) (*sg.Graph, error) {
+	b, err := readTSGBuilder(r)
+	if err != nil {
+		return nil, err
+	}
+	return b.BuildUnchecked()
+}
+
+func readTSGBuilder(r io.Reader) (*sg.Builder, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var b *sg.Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		fields, err := splitLine(sc.Text(), line)
+		if err != nil {
+			return nil, err
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "tsg":
+			if b != nil {
+				return nil, errf(line, "duplicate tsg header")
+			}
+			if len(fields) != 2 {
+				return nil, errf(line, "usage: tsg <name>")
+			}
+			b = sg.NewBuilder(fields[1])
+		case "event":
+			if b == nil {
+				return nil, errf(line, "event before tsg header")
+			}
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, errf(line, "usage: event <name> [nonrepetitive]")
+			}
+			var opts []sg.EventOption
+			if len(fields) == 3 {
+				if fields[2] != "nonrepetitive" {
+					return nil, errf(line, "unknown event attribute %q", fields[2])
+				}
+				opts = append(opts, sg.NonRepetitive())
+			}
+			b.Event(fields[1], opts...)
+		case "arc":
+			if b == nil {
+				return nil, errf(line, "arc before tsg header")
+			}
+			if len(fields) < 4 {
+				return nil, errf(line, "usage: arc <from> <to> <delay> [marked] [once]")
+			}
+			delay, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, errf(line, "bad delay %q: %v", fields[3], err)
+			}
+			var opts []sg.ArcOption
+			for _, attr := range fields[4:] {
+				switch attr {
+				case "marked":
+					opts = append(opts, sg.Marked())
+				case "once":
+					opts = append(opts, sg.Once())
+				default:
+					return nil, errf(line, "unknown arc attribute %q", attr)
+				}
+			}
+			b.Arc(fields[1], fields[2], delay, opts...)
+		default:
+			return nil, errf(line, "unknown directive %q", fields[0])
+		}
+		if err := b.Err(); err != nil {
+			return nil, errf(line, "%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, errf(line, "missing tsg header")
+	}
+	return b, nil
+}
+
+// WriteTSG serialises a graph in the format ReadTSG parses; the output
+// round-trips to a structurally identical graph.
+func WriteTSG(w io.Writer, g *sg.Graph) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tsg %s\n", g.Name())
+	for i := 0; i < g.NumEvents(); i++ {
+		ev := g.Event(sg.EventID(i))
+		if ev.Repetitive {
+			fmt.Fprintf(&b, "event %s\n", ev.Name)
+		} else {
+			fmt.Fprintf(&b, "event %s nonrepetitive\n", ev.Name)
+		}
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		fmt.Fprintf(&b, "arc %s %s %g", g.Event(a.From).Name, g.Event(a.To).Name, a.Delay)
+		if a.Marked {
+			b.WriteString(" marked")
+		}
+		if a.Once {
+			b.WriteString(" once")
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitLine tokenises one line, stripping comments.
+func splitLine(s string, line int) ([]string, error) {
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		s = s[:i]
+	}
+	fields := strings.Fields(s)
+	for _, f := range fields {
+		if strings.ContainsAny(f, "\"'") {
+			return nil, errf(line, "quoting is not supported (token %q)", f)
+		}
+	}
+	return fields, nil
+}

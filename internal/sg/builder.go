@@ -1,0 +1,178 @@
+package sg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventOption configures an event added through a Builder.
+type EventOption func(*Event)
+
+// NonRepetitive marks the event as occurring exactly once (like f- in
+// Fig. 1b). Events are repetitive by default.
+func NonRepetitive() EventOption { return func(e *Event) { e.Repetitive = false } }
+
+// ArcOption configures an arc added through a Builder.
+type ArcOption func(*Arc)
+
+// Marked places the initial token on the arc (the bullets of Fig. 1b).
+func Marked() ArcOption { return func(a *Arc) { a.Marked = true } }
+
+// Once marks the arc as disengageable (the crossed arcs of Fig. 1b):
+// it influences the execution exactly once.
+func Once() ArcOption { return func(a *Arc) { a.Once = true } }
+
+// Builder accumulates events and arcs and produces a validated Graph.
+// Methods chain; the first recorded error is reported by Build.
+type Builder struct {
+	name   string
+	events []Event
+	arcs   []Arc
+	byName map[string]EventID
+	err    error
+}
+
+// NewBuilder returns an empty Builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]EventID)}
+}
+
+// Event adds an event. Names ending in '+'/'-' are parsed as rising or
+// falling transitions of the prefix signal. Duplicate names are an error.
+func (b *Builder) Event(name string, opts ...EventOption) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" {
+		b.err = fmt.Errorf("sg: empty event name in graph %q", b.name)
+		return b
+	}
+	if _, dup := b.byName[name]; dup {
+		b.err = fmt.Errorf("sg: duplicate event %q in graph %q", name, b.name)
+		return b
+	}
+	sig, dir := splitName(name)
+	ev := Event{Name: name, Signal: sig, Dir: dir, Repetitive: true}
+	for _, o := range opts {
+		o(&ev)
+	}
+	b.byName[name] = EventID(len(b.events))
+	b.events = append(b.events, ev)
+	return b
+}
+
+// Events adds several repetitive events at once.
+func (b *Builder) Events(names ...string) *Builder {
+	for _, n := range names {
+		b.Event(n)
+	}
+	return b
+}
+
+// Arc adds an arc from one named event to another with the given delay.
+// Both endpoints must have been added already.
+func (b *Builder) Arc(from, to string, delay float64, opts ...ArcOption) *Builder {
+	if b.err != nil {
+		return b
+	}
+	src, ok := b.byName[from]
+	if !ok {
+		b.err = fmt.Errorf("sg: arc references unknown event %q in graph %q", from, b.name)
+		return b
+	}
+	dst, ok := b.byName[to]
+	if !ok {
+		b.err = fmt.Errorf("sg: arc references unknown event %q in graph %q", to, b.name)
+		return b
+	}
+	if delay < 0 {
+		b.err = fmt.Errorf("sg: negative delay %g on arc %s -> %s in graph %q", delay, from, to, b.name)
+		return b
+	}
+	a := Arc{From: src, To: dst, Delay: delay}
+	for _, o := range opts {
+		o(&a)
+	}
+	b.arcs = append(b.arcs, a)
+	return b
+}
+
+// Err returns the first error recorded so far, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Build validates the accumulated structure and returns the immutable
+// Graph. The validation enforces the restrictions of §III.A of the paper
+// (see Validate for the full list).
+func (b *Builder) Build() (*Graph, error) {
+	g, err := b.assemble()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildUnchecked assembles the Graph without semantic validation. It still
+// fails on builder-level errors (unknown events, negative delays). It is
+// intended for tests that exercise Validate's failure paths and for tools
+// that want to load a graph in order to report its problems.
+func (b *Builder) BuildUnchecked() (*Graph, error) {
+	return b.assemble()
+}
+
+func (b *Builder) assemble() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		name:   b.name,
+		events: append([]Event(nil), b.events...),
+		arcs:   append([]Arc(nil), b.arcs...),
+		byName: make(map[string]EventID, len(b.events)),
+	}
+	for name, id := range b.byName {
+		g.byName[name] = id
+	}
+	g.out = make([][]int, len(g.events))
+	g.in = make([][]int, len(g.events))
+	for i, a := range g.arcs {
+		g.out[a.From] = append(g.out[a.From], i)
+		g.in[a.To] = append(g.in[a.To], i)
+	}
+	// Derive Initial: non-repetitive events without in-arcs.
+	for i := range g.events {
+		if !g.events[i].Repetitive && len(g.in[i]) == 0 {
+			g.events[i].Initial = true
+		}
+	}
+	for i, ev := range g.events {
+		if ev.Repetitive {
+			g.repetitive = append(g.repetitive, EventID(i))
+		}
+	}
+	g.border = g.computeBorder()
+	return g, nil
+}
+
+// computeBorder finds the border set: repetitive events with an initially
+// marked in-arc. Cycles involve only repetitive events, and every cycle of
+// a live graph carries a token whose arc ends in a repetitive event, so
+// restricting the border set to repetitive events keeps it a cut set.
+func (g *Graph) computeBorder() []EventID {
+	var border []EventID
+	for i := range g.events {
+		if !g.events[i].Repetitive {
+			continue
+		}
+		for _, ai := range g.in[i] {
+			if g.arcs[ai].Marked {
+				border = append(border, EventID(i))
+				break
+			}
+		}
+	}
+	sort.Slice(border, func(i, j int) bool { return border[i] < border[j] })
+	return border
+}

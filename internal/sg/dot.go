@@ -1,0 +1,53 @@
+package sg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the graph in Graphviz DOT format, mirroring the visual
+// conventions of Fig. 1b of the paper: initially marked arcs carry a
+// bullet in their label, disengageable arcs are dashed, and each arc is
+// labelled with its delay. Non-repetitive events are drawn as boxes.
+func (g *Graph) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDotID(g.name))
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse, fontsize=11];\n")
+	for i, ev := range g.events {
+		attrs := []string{fmt.Sprintf("label=%q", ev.Name)}
+		if !ev.Repetitive {
+			attrs = append(attrs, "shape=box")
+		}
+		if ev.Initial {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, strings.Join(attrs, ", "))
+	}
+	for _, a := range g.arcs {
+		label := trimDelay(a.Delay)
+		if a.Marked {
+			label = "● " + label // bullet: initial token
+		}
+		attrs := []string{fmt.Sprintf("label=%q", label)}
+		if a.Once {
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", a.From, a.To, strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func trimDelay(d float64) string {
+	s := fmt.Sprintf("%g", d)
+	return s
+}
+
+func sanitizeDotID(s string) string {
+	if s == "" {
+		return "tsg"
+	}
+	return s
+}

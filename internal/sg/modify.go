@@ -1,0 +1,51 @@
+package sg
+
+import "fmt"
+
+// WithArcDelay returns a copy of the graph with arc i's delay replaced.
+// The topology is unchanged, so no re-validation is needed; the copy
+// shares the immutable index structures with the original. Used by
+// what-if analyses (cycletime.Sensitivity).
+func (g *Graph) WithArcDelay(i int, delay float64) (*Graph, error) {
+	if i < 0 || i >= len(g.arcs) {
+		return nil, fmt.Errorf("sg: arc index %d out of range [0,%d)", i, len(g.arcs))
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("sg: negative delay %g", delay)
+	}
+	ng := *g
+	ng.arcs = append([]Arc(nil), g.arcs...)
+	ng.arcs[i].Delay = delay
+	return &ng, nil
+}
+
+// Scaled returns a copy of the graph with every delay multiplied by the
+// given non-negative factor. Cycle times scale by the same factor (the
+// homogeneity property used by normalisation tests).
+func (g *Graph) Scaled(factor float64) (*Graph, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("sg: negative scale factor %g", factor)
+	}
+	ng := *g
+	ng.arcs = append([]Arc(nil), g.arcs...)
+	for i := range ng.arcs {
+		ng.arcs[i].Delay *= factor
+	}
+	return &ng, nil
+}
+
+// WithDelays returns a copy of the graph with every arc delay replaced
+// by f(arcIndex, currentDelay). Negative results are rejected. Used by
+// the interval-bound analysis (cycletime.AnalyzeBounds).
+func (g *Graph) WithDelays(f func(arc int, delay float64) float64) (*Graph, error) {
+	ng := *g
+	ng.arcs = append([]Arc(nil), g.arcs...)
+	for i := range ng.arcs {
+		d := f(i, ng.arcs[i].Delay)
+		if d < 0 {
+			return nil, fmt.Errorf("sg: WithDelays produced negative delay %g on arc %d", d, i)
+		}
+		ng.arcs[i].Delay = d
+	}
+	return &ng, nil
+}

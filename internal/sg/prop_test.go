@@ -1,0 +1,128 @@
+package sg_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsg/internal/cycles"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// TestCycleTokenInvariant checks the classical marked-graph invariant
+// (Commoner et al., the basis of §V of the paper): the total token count
+// on every cycle is preserved by firing.
+func TestCycleTokenInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(n), MaxDelay: 5,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		all, err := cycles.Enumerate(g, 1<<14)
+		if err != nil {
+			t.Fatalf("Enumerate: %v", err)
+		}
+		before := make([]int, len(all))
+		count := func(m *sg.Marking, c *cycles.Cycle) int {
+			sum := 0
+			for _, ai := range c.Arcs {
+				sum += m.Tokens(ai)
+			}
+			return sum
+		}
+		m := sg.NewMarking(g)
+		for i := range all {
+			before[i] = count(m, &all[i])
+		}
+		// Random play of the token game.
+		for step := 0; step < 5*n; step++ {
+			enabled := m.EnabledEvents()
+			if len(enabled) == 0 {
+				break
+			}
+			if err := m.Fire(enabled[rng.Intn(len(enabled))]); err != nil {
+				t.Fatalf("Fire: %v", err)
+			}
+		}
+		for i := range all {
+			if got := count(m, &all[i]); got != before[i] {
+				t.Logf("seed %d: cycle %v token count %d -> %d",
+					seed, g.EventNames(all[i].Events), before[i], got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBorderIsCutSet checks §VI.A's claim on random live graphs: the
+// border set is always a cut set.
+func TestBorderIsCutSet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(3 * n), MaxDelay: 5,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		return g.IsCutSet(g.BorderEvents())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinimumCutSetIsMinimalCutSet: every exact minimum cut set must be
+// a cut set, and no single event short of it may be one when its size
+// exceeds 1... verified by trying all single events.
+func TestMinimumCutSetProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(n), MaxDelay: 5,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		min, err := g.MinimumCutSet()
+		if err != nil {
+			t.Fatalf("MinimumCutSet: %v", err)
+		}
+		if !g.IsCutSet(min) {
+			t.Logf("seed %d: minimum cut set %v is not a cut set", seed, g.EventNames(min))
+			return false
+		}
+		if len(min) > len(g.BorderEvents()) {
+			t.Logf("seed %d: minimum cut set larger than border set", seed)
+			return false
+		}
+		if len(min) > 1 {
+			// No single event may be a cut set.
+			for _, e := range g.RepetitiveEvents() {
+				if g.IsCutSet([]sg.EventID{e}) {
+					t.Logf("seed %d: single-event cut set %s beats 'minimum' %v",
+						seed, g.Event(e).Name, g.EventNames(min))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

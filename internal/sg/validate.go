@@ -1,0 +1,288 @@
+package sg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidationKind classifies the structural problems Validate can report.
+type ValidationKind int
+
+// The validation failure classes. They encode the restrictions of §III.A
+// of the paper plus the well-formedness conditions of [9] referenced
+// there ("there are no repetitive events before disengageable arcs").
+const (
+	// ErrEmpty: the graph has no events.
+	ErrEmpty ValidationKind = iota
+	// ErrRepetitiveSource: a repetitive event has no in-arcs; it would
+	// have to fire infinitely often at time zero.
+	ErrRepetitiveSource
+	// ErrUnmarkedCycle: a cycle carries no initial token, so the graph
+	// is not live (Commoner et al.: a marked graph is live iff every
+	// cycle is marked) and the per-period evaluation order would not
+	// exist.
+	ErrUnmarkedCycle
+	// ErrOnceFromRepetitive: a disengageable arc leaves a repetitive
+	// event, violating well-formedness (§III.A).
+	ErrOnceFromRepetitive
+	// ErrNotOnceFromNonRepetitive: a plain arc leads from a
+	// non-repetitive event to a repetitive one; the repetitive target
+	// would starve after one token.
+	ErrNotOnceFromNonRepetitive
+	// ErrRepToNonRep: an arc leads from a repetitive event to a
+	// non-repetitive one; the arc would accumulate unboundedly many
+	// tokens, violating boundedness (§III.A).
+	ErrRepToNonRep
+	// ErrMarkedOnce: an arc is both initially marked and disengageable;
+	// it would influence the execution twice, contradicting
+	// disengageability.
+	ErrMarkedOnce
+	// ErrCoreNotStronglyConnected: the repetitive events do not form a
+	// single strongly connected component (§III.A requires the cyclic
+	// part to be connected).
+	ErrCoreNotStronglyConnected
+)
+
+func (k ValidationKind) String() string {
+	switch k {
+	case ErrEmpty:
+		return "empty graph"
+	case ErrRepetitiveSource:
+		return "repetitive event without in-arcs"
+	case ErrUnmarkedCycle:
+		return "cycle without initial marking (graph not live)"
+	case ErrOnceFromRepetitive:
+		return "disengageable arc from repetitive event"
+	case ErrNotOnceFromNonRepetitive:
+		return "non-disengageable arc from non-repetitive to repetitive event"
+	case ErrRepToNonRep:
+		return "arc from repetitive to non-repetitive event (unbounded)"
+	case ErrMarkedOnce:
+		return "arc both marked and disengageable"
+	case ErrCoreNotStronglyConnected:
+		return "repetitive events not strongly connected"
+	default:
+		return fmt.Sprintf("validation kind %d", int(k))
+	}
+}
+
+// ValidationError describes a structural problem found by Validate.
+type ValidationError struct {
+	Graph  string
+	Kind   ValidationKind
+	Events []string // offending events (cycle members, component, arc ends)
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	msg := fmt.Sprintf("sg: graph %q: %s", e.Graph, e.Kind)
+	if len(e.Events) > 0 {
+		msg += ": " + strings.Join(e.Events, " -> ")
+	}
+	if e.Detail != "" {
+		msg += " (" + e.Detail + ")"
+	}
+	return msg
+}
+
+// Validate checks the restrictions the paper places on Signal Graphs
+// (§III.A) and returns the first violation found, as a *ValidationError.
+//
+// The checks, in order:
+//  1. the graph is non-empty;
+//  2. every repetitive event has at least one in-arc;
+//  3. per-arc well-formedness (disengageable arcs leave only
+//     non-repetitive events; non-repetitive -> repetitive arcs are
+//     disengageable; no repetitive -> non-repetitive arcs; no arc is both
+//     marked and disengageable);
+//  4. the subgraph of unmarked arcs is acyclic (equivalently: every cycle
+//     carries a token, so the graph is live and a per-period topological
+//     evaluation order exists);
+//  5. the repetitive events form one strongly connected component.
+func (g *Graph) Validate() error {
+	if len(g.events) == 0 {
+		return &ValidationError{Graph: g.name, Kind: ErrEmpty}
+	}
+	for i, ev := range g.events {
+		if ev.Repetitive && len(g.in[i]) == 0 {
+			return &ValidationError{Graph: g.name, Kind: ErrRepetitiveSource,
+				Events: []string{ev.Name}}
+		}
+	}
+	for _, a := range g.arcs {
+		from, to := g.events[a.From], g.events[a.To]
+		ends := []string{from.Name, to.Name}
+		switch {
+		case a.Once && from.Repetitive:
+			return &ValidationError{Graph: g.name, Kind: ErrOnceFromRepetitive, Events: ends}
+		case !a.Once && !from.Repetitive && to.Repetitive:
+			return &ValidationError{Graph: g.name, Kind: ErrNotOnceFromNonRepetitive, Events: ends}
+		case from.Repetitive && !to.Repetitive:
+			return &ValidationError{Graph: g.name, Kind: ErrRepToNonRep, Events: ends}
+		case a.Marked && a.Once:
+			return &ValidationError{Graph: g.name, Kind: ErrMarkedOnce, Events: ends}
+		}
+	}
+	if cyc := g.findUnmarkedCycle(); cyc != nil {
+		return &ValidationError{Graph: g.name, Kind: ErrUnmarkedCycle,
+			Events: g.EventNames(cyc)}
+	}
+	if len(g.repetitive) > 0 {
+		comps := g.coreSCCs()
+		if len(comps) > 1 {
+			return &ValidationError{Graph: g.name, Kind: ErrCoreNotStronglyConnected,
+				Events: g.EventNames(comps[0]),
+				Detail: fmt.Sprintf("%d components", len(comps))}
+		}
+	}
+	return nil
+}
+
+// findUnmarkedCycle returns the events of some cycle consisting solely of
+// unmarked arcs, or nil if the unmarked subgraph is acyclic. The returned
+// slice lists the cycle in arc order.
+func (g *Graph) findUnmarkedCycle() []EventID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(g.events))
+	parent := make([]EventID, len(g.events))
+	for i := range parent {
+		parent[i] = None
+	}
+	// Iterative DFS over unmarked arcs.
+	type frame struct {
+		node EventID
+		next int // index into out-arc list
+	}
+	for start := range g.events {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{EventID(start), 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(g.out[f.node]) {
+				ai := g.out[f.node][f.next]
+				f.next++
+				a := g.arcs[ai]
+				if a.Marked {
+					continue
+				}
+				switch color[a.To] {
+				case white:
+					color[a.To] = gray
+					parent[a.To] = f.node
+					stack = append(stack, frame{a.To, 0})
+					advanced = true
+				case gray:
+					// Found a cycle: walk parents from f.node back to a.To.
+					cyc := []EventID{a.To}
+					for v := f.node; v != a.To && v != None; v = parent[v] {
+						cyc = append(cyc, v)
+					}
+					// Reverse into arc order.
+					for l, r := 0, len(cyc)-1; l < r; l, r = l+1, r-1 {
+						cyc[l], cyc[r] = cyc[r], cyc[l]
+					}
+					return cyc
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced && f.next >= len(g.out[f.node]) {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// coreSCCs returns the strongly connected components of the repetitive
+// subgraph (repetitive events and the arcs between them), largest first.
+// Components are computed with Tarjan's algorithm, iteratively.
+func (g *Graph) coreSCCs() [][]EventID {
+	n := len(g.events)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		comps   [][]EventID
+		sccStk  []EventID
+		counter int
+	)
+	type frame struct {
+		node EventID
+		next int
+	}
+	for _, r := range g.repetitive {
+		if index[r] != -1 {
+			continue
+		}
+		stack := []frame{{r, 0}}
+		index[r], low[r] = counter, counter
+		counter++
+		sccStk = append(sccStk, r)
+		onStack[r] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			recursed := false
+			for f.next < len(g.out[f.node]) {
+				ai := g.out[f.node][f.next]
+				f.next++
+				to := g.arcs[ai].To
+				if !g.events[to].Repetitive {
+					continue
+				}
+				if index[to] == -1 {
+					index[to], low[to] = counter, counter
+					counter++
+					sccStk = append(sccStk, to)
+					onStack[to] = true
+					stack = append(stack, frame{to, 0})
+					recursed = true
+					break
+				} else if onStack[to] && index[to] < low[f.node] {
+					low[f.node] = index[to]
+				}
+			}
+			if recursed {
+				continue
+			}
+			if f.next >= len(g.out[f.node]) {
+				v := f.node
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := stack[len(stack)-1].node
+					if low[v] < low[p] {
+						low[p] = low[v]
+					}
+				}
+				if low[v] == index[v] {
+					var comp []EventID
+					for {
+						w := sccStk[len(sccStk)-1]
+						sccStk = sccStk[:len(sccStk)-1]
+						onStack[w] = false
+						comp = append(comp, w)
+						if w == v {
+							break
+						}
+					}
+					comps = append(comps, comp)
+				}
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,103 @@
+// Package stat provides small numeric helpers used across the analyzer:
+// exact rational arithmetic for cycle times, occurrence-distance series,
+// and summary statistics for the experiment harness.
+//
+// Cycle times of Timed Signal Graphs with rational delays are rational
+// (Example 8.D of the paper reports 20/3); carrying them as a ratio of a
+// float64 length and an integer period count keeps results exact whenever
+// the arc delays are integers, which covers every experiment in the paper.
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ratio is a non-negative rational number Num/Den with Den >= 1.
+// Num is a float64 so that graphs with non-integral delays still work;
+// when Num is integral the representation (after Normalize) is canonical
+// and comparisons are exact.
+type Ratio struct {
+	Num float64 // cycle length (sum of delays along the critical cycle)
+	Den int     // occurrence period (number of unfolding periods covered)
+}
+
+// NewRatio returns the ratio num/den. It panics if den <= 0, which would
+// indicate a logic error in the caller (occurrence periods are >= 1).
+func NewRatio(num float64, den int) Ratio {
+	if den <= 0 {
+		panic(fmt.Sprintf("stat: ratio with non-positive denominator %d", den))
+	}
+	return Ratio{Num: num, Den: den}
+}
+
+// Float returns the ratio as a float64.
+func (r Ratio) Float() float64 { return r.Num / float64(r.Den) }
+
+// IsZero reports whether the ratio is exactly zero.
+func (r Ratio) IsZero() bool { return r.Num == 0 }
+
+// Cmp compares r with s exactly via cross-multiplication:
+// -1 if r < s, 0 if r == s, +1 if r > s.
+func (r Ratio) Cmp(s Ratio) int {
+	a := r.Num * float64(s.Den)
+	b := s.Num * float64(r.Den)
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether r < s exactly.
+func (r Ratio) Less(s Ratio) bool { return r.Cmp(s) < 0 }
+
+// Equal reports whether r == s exactly (as rationals, not as floats).
+func (r Ratio) Equal(s Ratio) bool { return r.Cmp(s) == 0 }
+
+// Normalize reduces the ratio by the GCD of its components when the
+// numerator is integral. Non-integral numerators are returned unchanged.
+func (r Ratio) Normalize() Ratio {
+	n := r.Num
+	if n != math.Trunc(n) || math.Abs(n) >= 1<<52 {
+		return r
+	}
+	g := gcd(int64(n), int64(r.Den))
+	if g <= 1 {
+		return r
+	}
+	return Ratio{Num: n / float64(g), Den: r.Den / int(g)}
+}
+
+// String renders the ratio: integral values print as plain numbers,
+// exact fractions as "num/den (float)".
+func (r Ratio) String() string {
+	rn := r.Normalize()
+	if rn.Den == 1 {
+		return trimFloat(rn.Num)
+	}
+	return fmt.Sprintf("%s/%d (%.6g)", trimFloat(rn.Num), rn.Den, rn.Float())
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<52 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

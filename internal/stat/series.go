@@ -1,0 +1,174 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is an ordered sequence of float64 samples, used for
+// average-occurrence-distance sequences (the δ series of §IV.C) and for
+// runtime measurements in the experiment harness.
+type Series struct {
+	vals []float64
+}
+
+// NewSeries returns a Series pre-sized for n samples.
+func NewSeries(n int) *Series { return &Series{vals: make([]float64, 0, n)} }
+
+// Append adds a sample to the series.
+func (s *Series) Append(v float64) { s.vals = append(s.vals, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.vals) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) float64 { return s.vals[i] }
+
+// Values returns a copy of the samples.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Max returns the largest sample, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Min returns the smallest sample, or 0 for an empty series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range s.vals {
+		if v < m {
+			m = v
+		}
+	}
+	if math.IsInf(m, 1) {
+		return 0
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Median returns the median sample, or 0 for an empty series.
+func (s *Series) Median() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	c := s.Values()
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// ConvergedTo reports whether the tail of the series (the last window
+// samples) all lie within tol of limit. It is used to confirm the
+// asymptotic behaviour of δ series (Fig. 4): the average occurrence
+// distance converges to the cycle time for every repetitive event.
+func (s *Series) ConvergedTo(limit, tol float64, window int) bool {
+	if len(s.vals) < window || window <= 0 {
+		return false
+	}
+	for _, v := range s.vals[len(s.vals)-window:] {
+		if math.Abs(v-limit) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MonotoneNondecreasing reports whether the series never decreases.
+// The paper notes δ series need not be monotone (§II); this helper lets
+// tests demonstrate that on concrete graphs.
+func (s *Series) MonotoneNondecreasing() bool {
+	for i := 1; i < len(s.vals); i++ {
+		if s.vals[i] < s.vals[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders up to 12 samples, eliding the middle of long series.
+func (s *Series) String() string {
+	n := len(s.vals)
+	if n <= 12 {
+		return fmt.Sprintf("%v", s.vals)
+	}
+	head := s.vals[:6]
+	tail := s.vals[n-3:]
+	return fmt.Sprintf("%v ... %v (n=%d)", head, tail, n)
+}
+
+// LinFit returns the least-squares slope and intercept of y over x.
+// The complexity experiments use it to verify the O(b²m) claim: runtime
+// versus m at fixed b must fit a line, and sqrt(runtime) versus b at
+// fixed m must fit a line.
+func LinFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, 0
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// R2 returns the coefficient of determination of the fit (slope,
+// intercept) for y over x.
+func R2(x, y []float64, slope, intercept float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,160 @@
+package stat_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tsg/internal/stat"
+)
+
+func TestRatioBasics(t *testing.T) {
+	r := stat.NewRatio(20, 3)
+	if got := r.Float(); math.Abs(got-20.0/3) > 1e-15 {
+		t.Errorf("Float = %g", got)
+	}
+	if r.String() != "20/3 (6.66667)" {
+		t.Errorf("String = %q", r.String())
+	}
+	if got := stat.NewRatio(10, 1).String(); got != "10" {
+		t.Errorf("integral String = %q", got)
+	}
+	if !stat.NewRatio(0, 5).IsZero() {
+		t.Error("IsZero(0/5) = false")
+	}
+	if stat.NewRatio(1, 5).IsZero() {
+		t.Error("IsZero(1/5) = true")
+	}
+}
+
+func TestRatioNormalize(t *testing.T) {
+	r := stat.NewRatio(26, 4).Normalize()
+	if r.Num != 13 || r.Den != 2 {
+		t.Errorf("Normalize(26/4) = %v/%d, want 13/2", r.Num, r.Den)
+	}
+	// Non-integral numerators are left alone.
+	r = stat.NewRatio(2.5, 5).Normalize()
+	if r.Num != 2.5 || r.Den != 5 {
+		t.Errorf("Normalize(2.5/5) = %v/%d, want unchanged", r.Num, r.Den)
+	}
+}
+
+func TestRatioCmpExact(t *testing.T) {
+	// 20/3 vs 6.6667 as 66667/10000: exact comparison must order them.
+	a := stat.NewRatio(20, 3)
+	b := stat.NewRatio(66667, 10000)
+	if !a.Less(b) {
+		t.Error("20/3 < 66667/10000 not detected")
+	}
+	if !a.Equal(stat.NewRatio(40, 6)) {
+		t.Error("20/3 != 40/6")
+	}
+	if a.Cmp(stat.NewRatio(19, 3)) != 1 {
+		t.Error("Cmp ordering broken")
+	}
+}
+
+func TestRatioPanicsOnBadDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRatio with den=0 did not panic")
+		}
+	}()
+	stat.NewRatio(1, 0)
+}
+
+// TestRatioCmpProperty: Cmp must agree with float comparison whenever
+// the float comparison is unambiguous.
+func TestRatioCmpProperty(t *testing.T) {
+	f := func(a uint16, da uint8, b uint16, db uint8) bool {
+		ra := stat.NewRatio(float64(a), int(da)+1)
+		rb := stat.NewRatio(float64(b), int(db)+1)
+		fa, fb := ra.Float(), rb.Float()
+		switch ra.Cmp(rb) {
+		case -1:
+			return fa < fb+1e-9
+		case 0:
+			return math.Abs(fa-fb) < 1e-9
+		default:
+			return fa > fb-1e-9
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := stat.NewSeries(4)
+	for _, v := range []float64{8, 9, 9.5, 9.75} {
+		s.Append(v)
+	}
+	if s.Len() != 4 || s.At(1) != 9 {
+		t.Errorf("Len/At broken: %v", s)
+	}
+	if s.Max() != 9.75 || s.Min() != 8 {
+		t.Errorf("Max/Min = %g/%g", s.Max(), s.Min())
+	}
+	if got := s.Mean(); math.Abs(got-9.0625) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := s.Median(); math.Abs(got-9.25) > 1e-12 {
+		t.Errorf("Median = %g", got)
+	}
+	if !s.MonotoneNondecreasing() {
+		t.Error("monotone series not detected")
+	}
+	s.Append(1)
+	if s.MonotoneNondecreasing() {
+		t.Error("non-monotone series not detected")
+	}
+	if !s.ConvergedTo(9.7, 10, 2) {
+		t.Error("ConvergedTo with wide tolerance failed")
+	}
+	if s.ConvergedTo(9.75, 0.01, 2) {
+		t.Error("ConvergedTo with tight tolerance succeeded")
+	}
+
+	empty := stat.NewSeries(0)
+	if empty.Max() != 0 || empty.Min() != 0 || empty.Mean() != 0 || empty.Median() != 0 {
+		t.Error("empty series aggregates not zero")
+	}
+	if empty.ConvergedTo(1, 1, 1) {
+		t.Error("empty series converged")
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := stat.NewSeries(0)
+	for i := 0; i < 20; i++ {
+		s.Append(float64(i))
+	}
+	if got := s.String(); len(got) == 0 || len(got) > 120 {
+		t.Errorf("long series String = %q", got)
+	}
+	if got := s.Values(); len(got) != 20 || got[3] != 3 {
+		t.Errorf("Values = %v", got)
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := stat.LinFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("LinFit = %g, %g, want 2, 1", slope, intercept)
+	}
+	if r2 := stat.R2(x, y, slope, intercept); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R2 = %g, want 1", r2)
+	}
+	// Degenerate inputs.
+	if s, i := stat.LinFit(nil, nil); s != 0 || i != 0 {
+		t.Error("LinFit(nil) nonzero")
+	}
+	if s, i := stat.LinFit([]float64{2, 2}, []float64{1, 3}); s != 0 || i != 2 {
+		t.Errorf("vertical LinFit = %g, %g", s, i)
+	}
+	if r2 := stat.R2([]float64{1, 2}, []float64{5, 5}, 0, 5); r2 != 1 {
+		t.Errorf("constant R2 = %g, want 1", r2)
+	}
+}

@@ -1,0 +1,75 @@
+package textio_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tsg/internal/textio"
+)
+
+func TestRender(t *testing.T) {
+	tab := textio.New("demo", "event", "t", "δ")
+	tab.AddRow("a+", 10.0, 6.5).AddRow("b+", 8.0, math.NaN())
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "event", "a+", "10", "6.5", "-", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestCell(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want string
+	}{
+		{10.0, "10"},
+		{6.6666666, "6.667"},
+		{math.NaN(), "-"},
+		{nil, "-"},
+		{"text", "text"},
+		{42, "42"},
+		{true, "true"},
+	}
+	for _, tc := range cases {
+		if got := textio.Cell(tc.in); got != tc.want {
+			t.Errorf("Cell(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := textio.New("demo", "name", "value")
+	tab.AddRow("plain", 1.0)
+	tab.AddRow("with,comma", 2.0)
+	tab.AddRow(`with"quote`, 3.0)
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	out := sb.String()
+	wantLines := []string{
+		"name,value",
+		"plain,1",
+		`"with,comma",2`,
+		`"with""quote",3`,
+	}
+	got := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("CSV lines = %d, want %d:\n%s", len(got), len(wantLines), out)
+	}
+	for i, w := range wantLines {
+		if got[i] != w {
+			t.Errorf("CSV line %d = %q, want %q", i, got[i], w)
+		}
+	}
+}

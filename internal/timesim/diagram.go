@@ -1,0 +1,138 @@
+package timesim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"tsg/internal/sg"
+)
+
+// Transition is one signal edge in a timing diagram.
+type Transition struct {
+	Time float64
+	Dir  sg.Direction
+}
+
+// Waveform is the transition history of one signal.
+type Waveform struct {
+	Signal       string
+	InitialLevel int // 0 or 1
+	Transitions  []Transition
+}
+
+// Diagram is a reconstructed timing diagram (Fig. 1c/1d of the paper):
+// per-signal waveforms derived from the occurrence times of a trace.
+type Diagram struct {
+	Waves []Waveform
+	End   float64 // latest transition time
+}
+
+// Diagram assembles a timing diagram from the trace. Only events that
+// are signal transitions ('a+'/'a-') contribute; for event-initiated
+// traces only reached instantiations are plotted, matching Fig. 1d where
+// everything concurrent with and before the initiating event is assumed
+// to have happened in the past. The initial level of each signal is
+// inferred from its first transition's direction.
+func (tr *Trace) Diagram() *Diagram {
+	bySignal := map[string][]Transition{}
+	var names []string
+	end := 0.0
+	for e := 0; e < tr.g.NumEvents(); e++ {
+		ev := tr.g.Event(sg.EventID(e))
+		if ev.Dir == sg.DirNone {
+			continue
+		}
+		for p := 0; p < tr.periods; p++ {
+			v, ok := tr.Time(sg.EventID(e), p)
+			if !ok || !tr.Reached(sg.EventID(e), p) {
+				continue
+			}
+			if _, seen := bySignal[ev.Signal]; !seen {
+				names = append(names, ev.Signal)
+			}
+			bySignal[ev.Signal] = append(bySignal[ev.Signal], Transition{Time: v, Dir: ev.Dir})
+			if v > end {
+				end = v
+			}
+		}
+	}
+	sort.Strings(names)
+	d := &Diagram{End: end}
+	for _, name := range names {
+		ts := bySignal[name]
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Time < ts[j].Time })
+		level := 0
+		if len(ts) > 0 && ts[0].Dir == sg.DirFall {
+			level = 1
+		}
+		d.Waves = append(d.Waves, Waveform{Signal: name, InitialLevel: level, Transitions: ts})
+	}
+	return d
+}
+
+// Render writes an ASCII waveform view, one line per signal, with the
+// given time units per character column (e.g. 1.0). A transition is drawn
+// as '/' or '\', high phases as '‾' and low phases as '_'.
+func (d *Diagram) Render(w io.Writer, unitsPerChar float64) error {
+	if unitsPerChar <= 0 {
+		return fmt.Errorf("timesim: unitsPerChar must be positive, got %g", unitsPerChar)
+	}
+	cols := int(math.Ceil(d.End/unitsPerChar)) + 2
+	nameWidth := 4
+	for _, wf := range d.Waves {
+		if len(wf.Signal)+1 > nameWidth {
+			nameWidth = len(wf.Signal) + 1
+		}
+	}
+	// Time ruler every 5 columns.
+	var ruler strings.Builder
+	ruler.WriteString(strings.Repeat(" ", nameWidth))
+	for c := 0; c < cols; c += 5 {
+		label := fmt.Sprintf("%-5g", float64(c)*unitsPerChar)
+		if len(label) > 5 {
+			label = label[:5]
+		}
+		ruler.WriteString(label)
+	}
+	if _, err := fmt.Fprintln(w, strings.TrimRight(ruler.String(), " ")); err != nil {
+		return err
+	}
+	for _, wf := range d.Waves {
+		line := make([]rune, cols)
+		level := wf.InitialLevel
+		ti := 0
+		for c := 0; c < cols; c++ {
+			t := float64(c) * unitsPerChar
+			fired := false
+			for ti < len(wf.Transitions) && wf.Transitions[ti].Time <= t {
+				level = levelAfter(wf.Transitions[ti].Dir)
+				ti++
+				fired = true
+			}
+			switch {
+			case fired && level == 1:
+				line[c] = '/'
+			case fired && level == 0:
+				line[c] = '\\'
+			case level == 1:
+				line[c] = '‾'
+			default:
+				line[c] = '_'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s%s\n", nameWidth, wf.Signal, string(line)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func levelAfter(d sg.Direction) int {
+	if d == sg.DirRise {
+		return 1
+	}
+	return 0
+}

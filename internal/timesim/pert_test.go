@@ -1,0 +1,77 @@
+package timesim_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsg/internal/sg"
+	"tsg/internal/timesim"
+)
+
+// TestCriticalPathPERT: a small project network (§II relates the timing
+// simulation of acyclic graphs to PERT analysis). Tasks:
+//
+//	start -> dig(3) -> pour(2) -> build(5) -> done
+//	start -> permits(4) ----------^
+//	start -> lumber(1) -----------^
+//
+// build starts after max(3+2, 4, 1) = 5; makespan = 10 via dig/pour.
+func TestCriticalPathPERT(t *testing.T) {
+	g, err := sg.NewBuilder("project").
+		Event("start", sg.NonRepetitive()).
+		Event("dig", sg.NonRepetitive()).
+		Event("pour", sg.NonRepetitive()).
+		Event("permits", sg.NonRepetitive()).
+		Event("lumber", sg.NonRepetitive()).
+		Event("build", sg.NonRepetitive()).
+		Arc("start", "dig", 3).
+		Arc("dig", "pour", 2).
+		Arc("start", "permits", 4).
+		Arc("start", "lumber", 1).
+		Arc("pour", "build", 5).
+		Arc("permits", "build", 5).
+		Arc("lumber", "build", 5).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	makespan, path, err := timesim.CriticalPath(g)
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	if makespan != 10 {
+		t.Errorf("makespan = %g, want 10", makespan)
+	}
+	got := strings.Join(g.EventNames(path), " ")
+	if got != "start dig pour build" {
+		t.Errorf("critical path = %q, want \"start dig pour build\"", got)
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	// Repetitive graphs are rejected.
+	cyc, err := sg.NewBuilder("loop").Events("a+").
+		Arc("a+", "a+", 1, sg.Marked()).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, _, err := timesim.CriticalPath(cyc); err == nil {
+		t.Error("CriticalPath on cyclic graph succeeded")
+	}
+}
+
+// TestCriticalPathSingleEvent: the degenerate one-task project.
+func TestCriticalPathSingleEvent(t *testing.T) {
+	g, err := sg.NewBuilder("one").
+		Event("only", sg.NonRepetitive()).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	makespan, path, err := timesim.CriticalPath(g)
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	if makespan != 0 || len(path) != 1 {
+		t.Errorf("makespan = %g, path = %v; want 0 and the single event", makespan, path)
+	}
+}

@@ -1,0 +1,151 @@
+package timesim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+	"tsg/internal/timesim"
+)
+
+// randomGraph derives a random live graph from quick-generated seeds.
+func randomGraph(t *testing.T, seed int64) *sg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(12)
+	b := 1 + rng.Intn(n)
+	g, err := gen.RandomLive(rng, gen.RandomOptions{
+		Events: n, Border: b, ExtraArcs: rng.Intn(2 * n), MaxDelay: 9,
+	})
+	if err != nil {
+		t.Fatalf("RandomLive(seed=%d): %v", seed, err)
+	}
+	return g
+}
+
+// TestProp3TriangularInequality checks Prop. 3 on random graphs: for an
+// e0-initiated simulation, t(e_k) >= t(e_j) + t(e_{k-j}) for 0 < j < k.
+func TestProp3TriangularInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		const K = 8
+		for _, e := range g.BorderEvents() {
+			tr, err := timesim.RunFrom(g, e, timesim.Options{Periods: K + 1})
+			if err != nil {
+				t.Fatalf("RunFrom: %v", err)
+			}
+			for k := 2; k <= K; k++ {
+				tk, ok := tr.Time(e, k)
+				if !ok || !tr.Reached(e, k) {
+					continue
+				}
+				for j := 1; j < k; j++ {
+					tj, ok1 := tr.Time(e, j)
+					tkj, ok2 := tr.Time(e, k-j)
+					if !ok1 || !ok2 || !tr.Reached(e, j) || !tr.Reached(e, k-j) {
+						continue
+					}
+					if tk < tj+tkj-1e-9 {
+						t.Logf("seed %d event %s: t(e_%d)=%g < t(e_%d)+t(e_%d)=%g",
+							seed, g.Event(e).Name, k, tk, j, k-j, tj+tkj)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProp2CommonCycleTime checks Prop. 2 on random graphs: the average
+// occurrence distance of every repetitive event converges to the same
+// cycle time (within the O(1/P) transient allowance).
+func TestProp2CommonCycleTime(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		lambda := res.CycleTime.Float()
+		const P = 60
+		tr, err := timesim.Run(g, timesim.Options{Periods: P})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		// t(e_P) = λ·P + O(1); the O(1) offset is bounded by the total
+		// delay plus λ times the periods an event can lead or lag by
+		// (at most one per token, i.e. at most n).
+		slack := g.TotalDelay() + lambda*float64(g.NumEvents()) + 1
+		for _, e := range g.RepetitiveEvents() {
+			v, ok := tr.Time(e, P-1)
+			if !ok {
+				t.Fatalf("missing instantiation %s_%d", g.Event(e).Name, P-1)
+			}
+			delta := v / float64(P)
+			if math.Abs(delta-lambda) > slack/float64(P) {
+				t.Logf("seed %d: event %s δ(e_%d) = %g, λ = %g (allowance %g)",
+					seed, g.Event(e).Name, P-1, delta, lambda, slack/float64(P))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProp4DistancesNeverExceedLambda checks the Prop. 4 inequality on
+// random graphs: every initiated average occurrence distance is at most
+// the cycle time (the maximum over all of them attains it).
+func TestProp4DistancesNeverExceedLambda(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(t, seed)
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		lambda := res.CycleTime.Float()
+		attained := false
+		// A critical cycle's occurrence period is at most the minimum
+		// cut set size <= n, so n periods suffice for attainment.
+		periods := g.NumEvents() + 1
+		for _, e := range g.RepetitiveEvents() {
+			tr, err := timesim.RunFrom(g, e, timesim.Options{Periods: periods})
+			if err != nil {
+				t.Fatalf("RunFrom: %v", err)
+			}
+			s, err := tr.InitiatedDistances()
+			if err != nil {
+				t.Fatalf("InitiatedDistances: %v", err)
+			}
+			for i := 0; i < s.Len(); i++ {
+				if v := s.At(i); !math.IsNaN(v) {
+					if v > lambda+1e-9 {
+						t.Logf("seed %d: δ_%s0(%d) = %g > λ = %g",
+							seed, g.Event(e).Name, i+1, v, lambda)
+						return false
+					}
+					if math.Abs(v-lambda) < 1e-9 {
+						attained = true
+					}
+				}
+			}
+		}
+		if !attained {
+			t.Logf("seed %d: no initiated distance attained λ = %g", seed, lambda)
+		}
+		return attained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package timesim implements the timing simulation of §IV of the paper:
+// the evaluation of event occurrence times over the unfolding of a Timed
+// Signal Graph under the MAX rule,
+//
+//	t(f) = 0                                if f ∈ I_u
+//	t(f) = max{ t(e) + τ | e →τ f }         otherwise,
+//
+// and the event-initiated variant t_g (§IV.B), in which every
+// instantiation not strictly preceded by the initiating instantiation g_0
+// is pinned to time 0 and its out-arcs are ignored.
+//
+// The simulation streams period by period in a topological order of the
+// unmarked-arc subgraph, so it needs O(n) working state and O(m) time per
+// period and never materialises the unfolding. Occurrence times for all
+// simulated periods are retained for table and diagram generation, and
+// optional parent pointers support the critical-cycle backtracking of
+// §VI.B (Prop. 1).
+package timesim
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+	"tsg/internal/unfold"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Periods is the number of unfolding periods to simulate (>= 1).
+	Periods int
+	// TrackParents records, per instantiation, the predecessor that
+	// realised the max, enabling critical-cycle backtracking.
+	TrackParents bool
+}
+
+// Trace holds the occurrence times of a finished simulation.
+type Trace struct {
+	g       *sg.Graph
+	origin  sg.EventID
+	periods int
+	order   []sg.EventID
+
+	// times[p][e] is t(e_p); NaN where the instantiation does not exist
+	// (non-repetitive events beyond period 0).
+	times [][]float64
+	// reached[p][e] reports origin ⇒ e_p (or e_p == origin_0); nil for
+	// plain simulations.
+	reached [][]bool
+
+	parentEvent  [][]sg.EventID // sg.None where no parent
+	parentPeriod [][]int32
+	parentArc    [][]int32
+}
+
+// Run executes the plain timing simulation t of §IV.A and returns its
+// trace.
+func Run(g *sg.Graph, opts Options) (*Trace, error) {
+	return run(g, sg.None, opts)
+}
+
+// RunFrom executes the event-initiated timing simulation t_origin of
+// §IV.B, initiated at instantiation 0 of the given event.
+func RunFrom(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
+	if origin < 0 || int(origin) >= g.NumEvents() {
+		return nil, fmt.Errorf("timesim: origin event %d out of range", origin)
+	}
+	return run(g, origin, opts)
+}
+
+func run(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
+	if opts.Periods < 1 {
+		return nil, fmt.Errorf("timesim: periods must be >= 1, got %d", opts.Periods)
+	}
+	order, err := unfold.PeriodOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{g: g, origin: origin, periods: opts.Periods, order: order}
+	tr.times = make([][]float64, opts.Periods)
+	initiated := origin != sg.None
+	if initiated {
+		tr.reached = make([][]bool, opts.Periods)
+	}
+	if opts.TrackParents {
+		tr.parentEvent = make([][]sg.EventID, opts.Periods)
+		tr.parentPeriod = make([][]int32, opts.Periods)
+		tr.parentArc = make([][]int32, opts.Periods)
+	}
+	// Slab-allocate the per-period rows: the analysis runs b of these
+	// traces over b+1 periods each, so row-by-row allocation dominates
+	// the profile otherwise.
+	n := g.NumEvents()
+	timeSlab := make([]float64, opts.Periods*n)
+	var (
+		reachSlab []bool
+		peSlab    []sg.EventID
+		ppSlab    []int32
+		paSlab    []int32
+	)
+	if initiated {
+		reachSlab = make([]bool, opts.Periods*n)
+	}
+	if opts.TrackParents {
+		peSlab = make([]sg.EventID, opts.Periods*n)
+		ppSlab = make([]int32, opts.Periods*n)
+		paSlab = make([]int32, opts.Periods*n)
+	}
+	for p := 0; p < opts.Periods; p++ {
+		tr.times[p] = timeSlab[p*n : (p+1)*n]
+		for i := range tr.times[p] {
+			tr.times[p][i] = math.NaN()
+		}
+		if initiated {
+			tr.reached[p] = reachSlab[p*n : (p+1)*n]
+		}
+		if opts.TrackParents {
+			tr.parentEvent[p] = peSlab[p*n : (p+1)*n]
+			tr.parentPeriod[p] = ppSlab[p*n : (p+1)*n]
+			tr.parentArc[p] = paSlab[p*n : (p+1)*n]
+			for i := range tr.parentEvent[p] {
+				tr.parentEvent[p][i] = sg.None
+				tr.parentPeriod[p][i] = -1
+				tr.parentArc[p][i] = -1
+			}
+		}
+		tr.runPeriod(p, initiated, opts.TrackParents)
+	}
+	return tr, nil
+}
+
+// runPeriod evaluates all instantiations of period p in topological order.
+func (tr *Trace) runPeriod(p int, initiated, parents bool) {
+	g := tr.g
+	for _, f := range tr.order {
+		ev := g.Event(f)
+		if p > 0 && !ev.Repetitive {
+			continue // no instantiation
+		}
+		best := math.Inf(-1)
+		bestE, bestP, bestArc := sg.None, -1, -1
+		anyPred := false
+		for _, ai := range g.InArcs(f) {
+			a := g.Arc(ai)
+			m := 0
+			if a.Marked {
+				m = 1
+			}
+			var (
+				srcPeriod int
+				exists    bool
+			)
+			if g.Event(a.From).Repetitive {
+				srcPeriod = p - m
+				exists = srcPeriod >= 0
+			} else {
+				srcPeriod = 0
+				exists = p == m
+			}
+			if !exists {
+				continue
+			}
+			if initiated && !tr.reached[srcPeriod][a.From] {
+				continue // arc from an event not preceded by the origin
+			}
+			anyPred = true
+			if v := tr.times[srcPeriod][a.From] + a.Delay; v > best {
+				best = v
+				bestE, bestP, bestArc = a.From, srcPeriod, ai
+			}
+		}
+		switch {
+		case initiated && f == tr.origin && p == 0:
+			// t_g(g) = 0 by definition, regardless of in-arcs.
+			tr.times[p][f] = 0
+			tr.reached[p][f] = true
+		case initiated && !anyPred:
+			// g does not precede f_p: pinned to 0, out-arcs ignored
+			// (reached stays false so successors skip it).
+			tr.times[p][f] = 0
+		case !anyPred:
+			tr.times[p][f] = 0 // member of I_u: all in-arcs initially active
+		default:
+			tr.times[p][f] = best
+			if initiated {
+				tr.reached[p][f] = true
+			}
+			if parents {
+				tr.parentEvent[p][f] = bestE
+				tr.parentPeriod[p][f] = int32(bestP)
+				tr.parentArc[p][f] = int32(bestArc)
+			}
+		}
+	}
+}
+
+// Graph returns the simulated graph.
+func (tr *Trace) Graph() *sg.Graph { return tr.g }
+
+// Periods returns the number of simulated periods.
+func (tr *Trace) Periods() int { return tr.periods }
+
+// Origin returns the initiating event, or sg.None for plain simulations.
+func (tr *Trace) Origin() sg.EventID { return tr.origin }
+
+// Time returns t(e_period) and whether that instantiation exists.
+func (tr *Trace) Time(e sg.EventID, period int) (float64, bool) {
+	if period < 0 || period >= tr.periods {
+		return 0, false
+	}
+	v := tr.times[period][e]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// Reached reports whether the origin precedes e_period (always true for
+// existing instantiations of plain simulations; the origin itself counts
+// as reached).
+func (tr *Trace) Reached(e sg.EventID, period int) bool {
+	if period < 0 || period >= tr.periods || math.IsNaN(tr.times[period][e]) {
+		return false
+	}
+	if tr.reached == nil {
+		return true
+	}
+	return tr.reached[period][e]
+}
+
+// Parent returns the predecessor instantiation and graph-arc index that
+// realised the max for e_period. ok is false when the instantiation has
+// no parent (initial, unreached, or parents were not tracked).
+func (tr *Trace) Parent(e sg.EventID, period int) (pe sg.EventID, pp int, arc int, ok bool) {
+	if tr.parentEvent == nil || period < 0 || period >= tr.periods {
+		return sg.None, -1, -1, false
+	}
+	pe = tr.parentEvent[period][e]
+	if pe == sg.None {
+		return sg.None, -1, -1, false
+	}
+	return pe, int(tr.parentPeriod[period][e]), int(tr.parentArc[period][e]), true
+}
+
+// AvgDistances returns the average occurrence distance series of §IV.C
+// for a plain simulation: δ(e_i) = t(e_i)/(i+1) for i = 0..periods-1.
+func (tr *Trace) AvgDistances(e sg.EventID) *stat.Series {
+	s := stat.NewSeries(tr.periods)
+	for p := 0; p < tr.periods; p++ {
+		if v, ok := tr.Time(e, p); ok {
+			s.Append(v / float64(p+1))
+		}
+	}
+	return s
+}
+
+// InitiatedDistances returns the series δ_{g_0}(g_j) = t_{g_0}(g_j)/j for
+// j = 1..periods-1, where g is the initiating event. These are the
+// quantities maximised in Prop. 7 to obtain the cycle time.
+func (tr *Trace) InitiatedDistances() (*stat.Series, error) {
+	if tr.origin == sg.None {
+		return nil, fmt.Errorf("timesim: InitiatedDistances on a plain simulation")
+	}
+	s := stat.NewSeries(tr.periods - 1)
+	for j := 1; j < tr.periods; j++ {
+		if v, ok := tr.Time(tr.origin, j); ok {
+			s.Append(v / float64(j))
+		}
+	}
+	return s, nil
+}
+
+// Distance returns δ_{g_0}(g_j) = t_{g_0}(g_j)/j for the initiating event.
+func (tr *Trace) Distance(j int) (float64, error) {
+	if tr.origin == sg.None {
+		return 0, fmt.Errorf("timesim: Distance on a plain simulation")
+	}
+	if j < 1 || j >= tr.periods {
+		return 0, fmt.Errorf("timesim: Distance index %d out of range [1,%d)", j, tr.periods)
+	}
+	v, ok := tr.Time(tr.origin, j)
+	if !ok {
+		return 0, fmt.Errorf("timesim: origin %s has no instantiation %d",
+			tr.g.Event(tr.origin).Name, j)
+	}
+	return v / float64(j), nil
+}
+
+// OccurrenceDistance returns t(e_{i+1}) - t(e_i): the occurrence distance
+// between successive instantiations (§II), used by the timing-diagram
+// experiments of Fig. 1c/1d.
+func (tr *Trace) OccurrenceDistance(e sg.EventID, i int) (float64, error) {
+	a, ok := tr.Time(e, i)
+	if !ok {
+		return 0, fmt.Errorf("timesim: no instantiation %s_%d", tr.g.Event(e).Name, i)
+	}
+	b, ok := tr.Time(e, i+1)
+	if !ok {
+		return 0, fmt.Errorf("timesim: no instantiation %s_%d", tr.g.Event(e).Name, i+1)
+	}
+	return b - a, nil
+}

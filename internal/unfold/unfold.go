@@ -1,0 +1,294 @@
+// Package unfold materialises the acyclic unfolding of a Signal Graph
+// (§III.B of the paper): a process in which every node is a single
+// instantiation e_i of an event e of the original graph. The unfolding is
+// divided into periods; period 0 holds the first instantiation of every
+// event, later periods hold further instantiations of the repetitive
+// events only. All cyclic Signal Graph processes are quasi-periodic: by
+// construction every period beyond the first follows a fixed pattern.
+//
+// The timing analysis itself (package timesim) streams over periods and
+// never builds this structure; the explicit unfolding exists as the
+// reference semantics — for the longest-path duality of Prop. 1, the
+// precedence (⇒) and concurrency (∥) relations, and cross-checking tests.
+package unfold
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+)
+
+// Inst identifies the Index-th instantiation of an event (e_i in the
+// paper's notation, i >= 0).
+type Inst struct {
+	Event sg.EventID
+	Index int
+}
+
+// Arc is an edge of the unfolding between node positions (indices into
+// the topologically ordered node list).
+type Arc struct {
+	From, To int     // node positions
+	Delay    float64 // copied from the source graph arc
+	GraphArc int     // index of the originating arc in the Signal Graph
+}
+
+// Unfolding is an acyclic process of a Signal Graph covering a fixed
+// number of periods.
+type Unfolding struct {
+	g       *sg.Graph
+	periods int
+	nodes   []Inst       // in topological order
+	pos     map[Inst]int // node -> position
+	arcs    []Arc
+	out     [][]int // arc indices by source position
+	in      [][]int // arc indices by target position
+}
+
+// Build unfolds g over the given number of periods (>= 1). The node order
+// is topological: periods in sequence and, within each period, a
+// topological order of the unmarked-arc subgraph (which is acyclic for
+// every validated graph).
+func Build(g *sg.Graph, periods int) (*Unfolding, error) {
+	if periods < 1 {
+		return nil, fmt.Errorf("unfold: periods must be >= 1, got %d", periods)
+	}
+	order, err := PeriodOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unfolding{g: g, periods: periods, pos: make(map[Inst]int)}
+	for p := 0; p < periods; p++ {
+		for _, e := range order {
+			if p > 0 && !g.Event(e).Repetitive {
+				continue
+			}
+			inst := Inst{Event: e, Index: p}
+			u.pos[inst] = len(u.nodes)
+			u.nodes = append(u.nodes, inst)
+		}
+	}
+	u.out = make([][]int, len(u.nodes))
+	u.in = make([][]int, len(u.nodes))
+	for ai := 0; ai < g.NumArcs(); ai++ {
+		a := g.Arc(ai)
+		m := 0
+		if a.Marked {
+			m = 1
+		}
+		fromRep := g.Event(a.From).Repetitive
+		toRep := g.Event(a.To).Repetitive
+		switch {
+		case fromRep:
+			// f_i depends on e_{i-m} for every i >= m.
+			last := periods - 1
+			if !toRep {
+				last = 0
+			}
+			for i := m; i <= last; i++ {
+				u.addArc(Inst{a.From, i - m}, Inst{a.To, i}, a.Delay, ai)
+			}
+		default:
+			// Non-repetitive source: e occurs once, so the arc
+			// constrains f_m only (disengageable behaviour).
+			if m < periods && (toRep || m == 0) {
+				u.addArc(Inst{a.From, 0}, Inst{a.To, m}, a.Delay, ai)
+			}
+		}
+	}
+	return u, nil
+}
+
+func (u *Unfolding) addArc(from, to Inst, delay float64, graphArc int) {
+	fp, ok := u.pos[from]
+	if !ok {
+		return
+	}
+	tp, ok := u.pos[to]
+	if !ok {
+		return
+	}
+	idx := len(u.arcs)
+	u.arcs = append(u.arcs, Arc{From: fp, To: tp, Delay: delay, GraphArc: graphArc})
+	u.out[fp] = append(u.out[fp], idx)
+	u.in[tp] = append(u.in[tp], idx)
+}
+
+// Graph returns the underlying Signal Graph.
+func (u *Unfolding) Graph() *sg.Graph { return u.g }
+
+// Periods returns the number of unfolded periods.
+func (u *Unfolding) Periods() int { return u.periods }
+
+// NumNodes returns the number of instantiations.
+func (u *Unfolding) NumNodes() int { return len(u.nodes) }
+
+// NumArcs returns the number of unfolding arcs.
+func (u *Unfolding) NumArcs() int { return len(u.arcs) }
+
+// Node returns the instantiation at position p (positions are
+// topologically ordered).
+func (u *Unfolding) Node(p int) Inst { return u.nodes[p] }
+
+// Arc returns the arc with index i.
+func (u *Unfolding) Arc(i int) Arc { return u.arcs[i] }
+
+// In returns the indices of arcs entering position p (shared slice).
+func (u *Unfolding) In(p int) []int { return u.in[p] }
+
+// Out returns the indices of arcs leaving position p (shared slice).
+func (u *Unfolding) Out(p int) []int { return u.out[p] }
+
+// Pos returns the position of an instantiation, or (-1, false) if it is
+// not part of the unfolding.
+func (u *Unfolding) Pos(inst Inst) (int, bool) {
+	p, ok := u.pos[inst]
+	if !ok {
+		return -1, false
+	}
+	return p, true
+}
+
+// Name renders an instantiation as "a+_3".
+func (u *Unfolding) Name(inst Inst) string {
+	return fmt.Sprintf("%s_%d", u.g.Event(inst.Event).Name, inst.Index)
+}
+
+// Reachable returns, for every node position, whether it is reachable
+// from the given instantiation through unfolding arcs (the e_i ⇒ f_j
+// precedence of §III.A extended to cyclic graphs through the unfolding).
+// The source itself is marked reachable.
+func (u *Unfolding) Reachable(from Inst) ([]bool, error) {
+	p, ok := u.pos[from]
+	if !ok {
+		return nil, fmt.Errorf("unfold: instantiation %s outside unfolding", u.Name(from))
+	}
+	reach := make([]bool, len(u.nodes))
+	reach[p] = true
+	// Nodes are topologically ordered, so one forward sweep suffices.
+	for q := p; q < len(u.nodes); q++ {
+		if !reach[q] {
+			continue
+		}
+		for _, ai := range u.out[q] {
+			reach[u.arcs[ai].To] = true
+		}
+	}
+	return reach, nil
+}
+
+// Precedes reports whether x ⇒ y: every feasible sequence containing y
+// has x before it, i.e. there is a directed path from x to y.
+func (u *Unfolding) Precedes(x, y Inst) (bool, error) {
+	reach, err := u.Reachable(x)
+	if err != nil {
+		return false, err
+	}
+	q, ok := u.pos[y]
+	if !ok {
+		return false, fmt.Errorf("unfold: instantiation %s outside unfolding", u.Name(y))
+	}
+	if x == y {
+		return false, nil
+	}
+	return reach[q], nil
+}
+
+// Concurrent reports whether x ∥ y: neither precedes the other (§III.A).
+func (u *Unfolding) Concurrent(x, y Inst) (bool, error) {
+	if x == y {
+		return false, nil
+	}
+	xy, err := u.Precedes(x, y)
+	if err != nil {
+		return false, err
+	}
+	yx, err := u.Precedes(y, x)
+	if err != nil {
+		return false, err
+	}
+	return !xy && !yx, nil
+}
+
+// LongestPathFrom computes, for every node position, the longest-path
+// distance from the given instantiation, or -Inf where no path exists
+// (Prop. 1: the longest path from g_0 to e_k equals t_g(e_k) for events
+// reached by the event-initiated simulation). The distance of the source
+// is 0. It also returns a predecessor-arc table for path reconstruction
+// (-1 where undefined).
+func (u *Unfolding) LongestPathFrom(from Inst) (dist []float64, pred []int, err error) {
+	p, ok := u.pos[from]
+	if !ok {
+		return nil, nil, fmt.Errorf("unfold: instantiation %s outside unfolding", u.Name(from))
+	}
+	dist = make([]float64, len(u.nodes))
+	pred = make([]int, len(u.nodes))
+	for i := range dist {
+		dist[i] = math.Inf(-1)
+		pred[i] = -1
+	}
+	dist[p] = 0
+	for q := p; q < len(u.nodes); q++ {
+		if math.IsInf(dist[q], -1) {
+			continue
+		}
+		for _, ai := range u.out[q] {
+			a := u.arcs[ai]
+			if d := dist[q] + a.Delay; d > dist[a.To] {
+				dist[a.To] = d
+				pred[a.To] = ai
+			}
+		}
+	}
+	return dist, pred, nil
+}
+
+// PeriodOrder returns the events of g in a topological order of its
+// unmarked-arc subgraph: the valid intra-period evaluation order for the
+// unfolding and the streaming timing simulation. Validated graphs always
+// have one; an unmarked cycle yields an error.
+func PeriodOrder(g *sg.Graph) ([]sg.EventID, error) {
+	n := g.NumEvents()
+	indeg := make([]int, n)
+	for i := 0; i < g.NumArcs(); i++ {
+		if !g.Arc(i).Marked {
+			indeg[g.Arc(i).To]++
+		}
+	}
+	// Deterministic Kahn: pick the smallest ready ID each round so tables
+	// and tests are stable across runs.
+	order := make([]sg.EventID, 0, n)
+	ready := make([]bool, n)
+	done := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready[i] = true
+		}
+	}
+	for len(order) < n {
+		picked := sg.None
+		for i := 0; i < n; i++ {
+			if ready[i] && !done[i] {
+				picked = sg.EventID(i)
+				break
+			}
+		}
+		if picked == sg.None {
+			return nil, fmt.Errorf("unfold: graph %q has an unmarked cycle; no period order exists", g.Name())
+		}
+		done[picked] = true
+		order = append(order, picked)
+		for _, ai := range g.OutArcs(picked) {
+			a := g.Arc(ai)
+			if a.Marked {
+				continue
+			}
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				ready[a.To] = true
+			}
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,285 @@
+package unfold_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tsg/internal/sg"
+	"tsg/internal/unfold"
+)
+
+// oscillator builds the Fig. 1b / Fig. 2c Timed Signal Graph.
+func oscillator(t testing.TB) *sg.Graph {
+	t.Helper()
+	g, err := sg.NewBuilder("oscillator").
+		Event("e-", sg.NonRepetitive()).
+		Event("f-", sg.NonRepetitive()).
+		Events("a+", "a-", "b+", "b-", "c+", "c-").
+		Arc("e-", "a+", 2, sg.Once()).
+		Arc("e-", "f-", 3).
+		Arc("f-", "b+", 1, sg.Once()).
+		Arc("a+", "c+", 3).
+		Arc("b+", "c+", 2).
+		Arc("c+", "a-", 2).
+		Arc("c+", "b-", 1).
+		Arc("a-", "c-", 3).
+		Arc("b-", "c-", 2).
+		Arc("c-", "a+", 2, sg.Marked()).
+		Arc("c-", "b+", 1, sg.Marked()).
+		Build()
+	if err != nil {
+		t.Fatalf("oscillator: %v", err)
+	}
+	return g
+}
+
+func inst(g *sg.Graph, name string, i int) unfold.Inst {
+	return unfold.Inst{Event: g.MustEvent(name), Index: i}
+}
+
+func TestBuildStructure(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Fig. 2b: period 0 instantiates all 8 events, period 1 only the 6
+	// repetitive ones.
+	if got, want := u.NumNodes(), 14; got != want {
+		t.Errorf("NumNodes = %d, want %d", got, want)
+	}
+	// 9 intra-period-0 arcs + 2 marked arcs crossing into period 1 +
+	// 6 intra-period-1 arcs.
+	if got, want := u.NumArcs(), 17; got != want {
+		t.Errorf("NumArcs = %d, want %d", got, want)
+	}
+	if u.Periods() != 2 {
+		t.Errorf("Periods = %d, want 2", u.Periods())
+	}
+	// Every node must appear after all its predecessors (topological).
+	for p := 0; p < u.NumNodes(); p++ {
+		for _, ai := range u.In(p) {
+			if a := u.Arc(ai); a.From >= p {
+				t.Errorf("arc %s -> %s violates topological order",
+					u.Name(u.Node(a.From)), u.Name(u.Node(p)))
+			}
+		}
+	}
+	// Non-repetitive events exist in period 0 only.
+	if _, ok := u.Pos(inst(g, "e-", 1)); ok {
+		t.Error("e-_1 exists; non-repetitive events must not repeat")
+	}
+	if _, ok := u.Pos(inst(g, "a+", 1)); !ok {
+		t.Error("a+_1 missing from 2-period unfolding")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	g := oscillator(t)
+	if _, err := unfold.Build(g, 0); err == nil {
+		t.Error("Build with 0 periods succeeded, want error")
+	}
+	bad, err := sg.NewBuilder("bad").Events("a+", "b+").
+		Arc("a+", "b+", 1).Arc("b+", "a+", 1).BuildUnchecked()
+	if err != nil {
+		t.Fatalf("BuildUnchecked: %v", err)
+	}
+	if _, err := unfold.Build(bad, 1); err == nil {
+		t.Error("Build on unmarked-cycle graph succeeded, want error")
+	}
+}
+
+func TestPeriodOrder(t *testing.T) {
+	g := oscillator(t)
+	order, err := unfold.PeriodOrder(g)
+	if err != nil {
+		t.Fatalf("PeriodOrder: %v", err)
+	}
+	pos := map[string]int{}
+	for i, e := range order {
+		pos[g.Event(e).Name] = i
+	}
+	// Intra-period dependencies of Fig. 2b.
+	for _, pair := range [][2]string{
+		{"e-", "f-"}, {"e-", "a+"}, {"f-", "b+"},
+		{"a+", "c+"}, {"b+", "c+"}, {"c+", "a-"}, {"c+", "b-"},
+		{"a-", "c-"}, {"b-", "c-"},
+	} {
+		if pos[pair[0]] >= pos[pair[1]] {
+			t.Errorf("period order has %s at %d not before %s at %d",
+				pair[0], pos[pair[0]], pair[1], pos[pair[1]])
+		}
+	}
+}
+
+// TestExample4Precedence checks the reachability sets of Example 4:
+// the set of events NOT preceded by b+_0 is {e-_0, f-_0, a+_0}, and b+_0
+// precedes everything from c+_0 onward.
+func TestExample4Precedence(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b0 := inst(g, "b+", 0)
+	notPreceded := []unfold.Inst{inst(g, "e-", 0), inst(g, "f-", 0), inst(g, "a+", 0)}
+	for _, x := range notPreceded {
+		p, err := u.Precedes(b0, x)
+		if err != nil {
+			t.Fatalf("Precedes: %v", err)
+		}
+		if p {
+			t.Errorf("b+_0 precedes %s, want not (Example 4)", u.Name(x))
+		}
+	}
+	preceded := []unfold.Inst{
+		inst(g, "c+", 0), inst(g, "a-", 0), inst(g, "b-", 0), inst(g, "c-", 0),
+		inst(g, "a+", 1), inst(g, "b+", 1), inst(g, "c+", 1),
+	}
+	for _, x := range preceded {
+		p, err := u.Precedes(b0, x)
+		if err != nil {
+			t.Fatalf("Precedes: %v", err)
+		}
+		if !p {
+			t.Errorf("b+_0 does not precede %s, want precede (Example 4)", u.Name(x))
+		}
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// a+_0 and b+_0 are causally unordered in the unfolding.
+	conc, err := u.Concurrent(inst(g, "a+", 0), inst(g, "b+", 0))
+	if err != nil {
+		t.Fatalf("Concurrent: %v", err)
+	}
+	if !conc {
+		t.Error("a+_0 and b+_0 not concurrent, want concurrent")
+	}
+	// An event is not concurrent with itself.
+	conc, err = u.Concurrent(inst(g, "a+", 0), inst(g, "a+", 0))
+	if err != nil {
+		t.Fatalf("Concurrent: %v", err)
+	}
+	if conc {
+		t.Error("a+_0 concurrent with itself")
+	}
+	// e-_0 precedes everything, so it is concurrent with nothing.
+	conc, err = u.Concurrent(inst(g, "e-", 0), inst(g, "c-", 0))
+	if err != nil {
+		t.Fatalf("Concurrent: %v", err)
+	}
+	if conc {
+		t.Error("e-_0 concurrent with c-_0, want ordered")
+	}
+}
+
+// TestExample3ViaLongestPath checks Prop. 1's duality on the plain
+// simulation: longest-path distances from the initial event must equal
+// the Example 3 timing-simulation table.
+func TestExample3ViaLongestPath(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dist, pred, err := u.LongestPathFrom(inst(g, "e-", 0))
+	if err != nil {
+		t.Fatalf("LongestPathFrom: %v", err)
+	}
+	want := map[string]float64{
+		"e-_0": 0, "f-_0": 3, "a+_0": 2, "b+_0": 4, "c+_0": 6,
+		"a-_0": 8, "b-_0": 7, "c-_0": 11,
+		"a+_1": 13, "b+_1": 12, "c+_1": 16,
+	}
+	for p := 0; p < u.NumNodes(); p++ {
+		name := u.Name(u.Node(p))
+		w, ok := want[name]
+		if !ok {
+			continue
+		}
+		if dist[p] != w {
+			t.Errorf("longest path to %s = %g, want %g (Example 3)", name, dist[p], w)
+		}
+	}
+	// Path reconstruction: walking pred from c+_1 must reach e-_0.
+	p, _ := u.Pos(inst(g, "c+", 1))
+	steps := 0
+	for pred[p] != -1 {
+		p = u.Arc(pred[p]).From
+		steps++
+		if steps > u.NumNodes() {
+			t.Fatal("pred walk does not terminate")
+		}
+	}
+	if u.Name(u.Node(p)) != "e-_0" {
+		t.Errorf("pred walk from c+_1 ended at %s, want e-_0", u.Name(u.Node(p)))
+	}
+}
+
+// TestQuasiPeriodicity checks the §III.B property that after the first
+// period all succeeding periods follow a fixed graph pattern: the arc
+// multiset entering period p (described relative to p) is identical for
+// every p >= 1.
+func TestQuasiPeriodicity(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 5)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	pattern := func(period int) string {
+		var pat []string
+		for p := 0; p < u.NumNodes(); p++ {
+			to := u.Node(p)
+			if to.Index != period {
+				continue
+			}
+			for _, ai := range u.In(p) {
+				a := u.Arc(ai)
+				from := u.Node(a.From)
+				pat = append(pat, fmt.Sprintf("%s[%d]->%s δ%g",
+					g.Event(from.Event).Name, to.Index-from.Index,
+					g.Event(to.Event).Name, a.Delay))
+			}
+		}
+		sort.Strings(pat)
+		return strings.Join(pat, ";")
+	}
+	ref := pattern(1)
+	if ref == "" {
+		t.Fatal("empty arc pattern for period 1")
+	}
+	for p := 2; p <= 4; p++ {
+		if got := pattern(p); got != ref {
+			t.Errorf("period %d pattern differs from period 1:\n got %s\nwant %s", p, got, ref)
+		}
+	}
+	// Period 0 differs: it contains the disengageable prefix.
+	if pattern(0) == ref {
+		t.Error("period 0 pattern equals steady-state pattern; prefix missing")
+	}
+}
+
+func TestReachableErrors(t *testing.T) {
+	g := oscillator(t)
+	u, err := unfold.Build(g, 2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := u.Reachable(inst(g, "a+", 7)); err == nil {
+		t.Error("Reachable outside unfolding succeeded, want error")
+	}
+	if _, _, err := u.LongestPathFrom(inst(g, "a+", 7)); err == nil {
+		t.Error("LongestPathFrom outside unfolding succeeded, want error")
+	}
+	if _, err := u.Precedes(inst(g, "a+", 7), inst(g, "a+", 0)); err == nil {
+		t.Error("Precedes outside unfolding succeeded, want error")
+	}
+}

@@ -1,0 +1,141 @@
+// Package tsg is a performance analyzer for concurrent systems modelled
+// as Timed Signal Graphs, reproducing Nielsen and Kishinevsky,
+// "Performance Analysis Based on Timing Simulation" (DAC 1994).
+//
+// The package computes the cycle time λ — the average time separation
+// between equivalent events in steady state — and a critical cycle of a
+// Timed Signal Graph in O(b²·m) time, where b is the number of events
+// with initially marked in-arcs (the border events) and m the number of
+// arcs. It also contains everything around the core algorithm that the
+// paper's evaluation relies on: gate-level circuit modelling and timed
+// simulation, Signal Graph extraction from circuits (the TRASPEC step of
+// §VIII.B), classical maximum-cycle-ratio baselines (Karp, Lawler,
+// Howard) and a simple-cycle enumeration oracle, file formats, workload
+// generators, and the experiment harness regenerating every table and
+// figure of the paper (see cmd/tsgbench and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	g, err := tsg.NewGraph("ring").
+//		Events("x+", "y+", "z+").
+//		Arc("x+", "y+", 1).
+//		Arc("y+", "z+", 1).
+//		Arc("z+", "x+", 1, tsg.Marked()).
+//		Build()
+//	res, err := tsg.Analyze(g)
+//	fmt.Println(res.CycleTime) // 3
+//
+// See examples/ for end-to-end programs, including circuit-level flows.
+package tsg
+
+import (
+	"io"
+	"os"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+	"tsg/internal/timesim"
+)
+
+// Graph is an immutable Timed Signal Graph (§III of the paper).
+type Graph = sg.Graph
+
+// GraphBuilder accumulates events and arcs and validates on Build.
+type GraphBuilder = sg.Builder
+
+// EventID identifies an event within a Graph.
+type EventID = sg.EventID
+
+// Event is a vertex of a Signal Graph: a signal transition.
+type Event = sg.Event
+
+// Arc is a delay-labelled edge with initial marking.
+type Arc = sg.Arc
+
+// Ratio is an exact rational cycle time (length over occurrence period).
+type Ratio = stat.Ratio
+
+// NewGraph returns a builder for a Timed Signal Graph.
+func NewGraph(name string) *GraphBuilder { return sg.NewBuilder(name) }
+
+// Event/arc options, re-exported from the model package.
+var (
+	// NonRepetitive marks an event as occurring exactly once.
+	NonRepetitive = sg.NonRepetitive
+	// Marked places the initial token on an arc.
+	Marked = sg.Marked
+	// Once marks an arc as disengageable (active once only).
+	Once = sg.Once
+)
+
+// Result is the outcome of a cycle-time analysis: the exact cycle time,
+// the critical cycle(s) and the per-border-event distance series.
+type Result = cycletime.Result
+
+// CriticalCycle is a simple cycle attaining the cycle time.
+type CriticalCycle = cycletime.CriticalCycle
+
+// BorderSeries records the average occurrence distances collected from
+// one border event (Prop. 7/8).
+type BorderSeries = cycletime.BorderSeries
+
+// AnalysisOptions tunes Analyze (period override, custom cut set).
+type AnalysisOptions = cycletime.Options
+
+// Analyze computes the cycle time and critical cycle of a Timed Signal
+// Graph with the paper's O(b²m) timing-simulation algorithm (§VII).
+func Analyze(g *Graph) (*Result, error) { return cycletime.Analyze(g) }
+
+// AnalyzeOpts is Analyze with explicit options.
+func AnalyzeOpts(g *Graph, opts AnalysisOptions) (*Result, error) {
+	return cycletime.AnalyzeOpts(g, opts)
+}
+
+// Trace holds the occurrence times of a timing simulation (§IV).
+type Trace = timesim.Trace
+
+// SimOptions bounds a timing simulation.
+type SimOptions = timesim.Options
+
+// Simulate runs the plain timing simulation of §IV.A over the given
+// number of unfolding periods.
+func Simulate(g *Graph, periods int) (*Trace, error) {
+	return timesim.Run(g, timesim.Options{Periods: periods})
+}
+
+// SimulateFrom runs the event-initiated timing simulation of §IV.B from
+// instantiation 0 of the origin event.
+func SimulateFrom(g *Graph, origin EventID, periods int) (*Trace, error) {
+	return timesim.RunFrom(g, origin, timesim.Options{Periods: periods})
+}
+
+// ReadGraph parses a .tsg file (see internal/netlist for the format).
+func ReadGraph(r io.Reader) (*Graph, error) { return netlist.ReadTSG(r) }
+
+// WriteGraph serialises a graph in .tsg format.
+func WriteGraph(w io.Writer, g *Graph) error { return netlist.WriteTSG(w, g) }
+
+// LoadGraph reads a .tsg file from disk.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// SaveGraph writes a .tsg file to disk.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
