@@ -1,6 +1,6 @@
 // Benchmarks regenerating every table and figure of the paper (one
-// bench per artefact; see DESIGN.md §3 for the experiment index and
-// EXPERIMENTS.md for recorded results). Run with
+// bench per artefact; see BENCHMARKS.md for the experiment index, how
+// to record results, and the per-PR performance trajectory). Run with
 //
 //	go test -bench=. -benchmem
 package tsg_test
@@ -325,7 +325,7 @@ func BenchmarkAblationParallel(b *testing.B) {
 	}
 	b.Run("serial", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{}); err != nil {
+			if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{Serial: true}); err != nil {
 				b.Fatal(err)
 			}
 		}

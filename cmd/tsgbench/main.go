@@ -8,11 +8,19 @@
 //	tsgbench -list
 //	tsgbench -run TAB8D
 //	tsgbench -run all
+//	tsgbench -run all -json > results.json
+//
+// With -json the human-readable experiment output is suppressed and a
+// JSON array of {id, title, ok, elapsed_ms[, error]} records is written
+// to stdout instead, so successive PRs can append machine-readable runs
+// to the performance trajectory (see BENCHMARKS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,9 +28,18 @@ import (
 	"tsg/internal/exp"
 )
 
+type result struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	OK        bool    `json:"ok"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
+	jsonOut := flag.Bool("json", false, "write results as JSON to stdout (suppresses experiment tables)")
 	flag.Parse()
 
 	if *list {
@@ -46,17 +63,41 @@ func main() {
 		}
 	}
 
+	results := make([]result, 0, len(selected))
 	failed := 0
 	for _, e := range selected {
-		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.ID, err)
-			failed++
+		var out io.Writer = os.Stdout
+		if *jsonOut {
+			out = io.Discard
 		} else {
-			fmt.Printf("ok   %s (%v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
 		}
-		fmt.Println()
+		start := time.Now()
+		err := e.Run(out)
+		elapsed := time.Since(start)
+		r := result{ID: e.ID, Title: e.Title, OK: err == nil,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
+		if err != nil {
+			r.Error = err.Error()
+			failed++
+			if !*jsonOut {
+				fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", e.ID, err)
+			}
+		} else if !*jsonOut {
+			fmt.Printf("ok   %s (%v)\n", e.ID, elapsed.Round(time.Millisecond))
+		}
+		if !*jsonOut {
+			fmt.Println()
+		}
+		results = append(results, r)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "tsgbench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "tsgbench: %d experiment(s) failed\n", failed)

@@ -1,0 +1,3 @@
+module tsg
+
+go 1.24

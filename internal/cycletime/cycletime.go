@@ -25,8 +25,10 @@ package cycletime
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tsg/internal/sg"
 	"tsg/internal/stat"
@@ -42,21 +44,33 @@ type Options struct {
 	// events). Correctness requires Periods >= the maximum occurrence
 	// period ε_max; note that the paper's Prop. 6 bound — ε_max <= the
 	// minimum cut set size — does NOT hold in general (see the
-	// counterexamples in the cycles package tests and EXPERIMENTS.md),
-	// so smaller explicit values are only sound when the caller knows
-	// ε_max (e.g. 1 for the oscillator, whose cycles all have ε = 1).
+	// counterexamples in the cycles package tests and the erratum note
+	// in BENCHMARKS.md), so smaller explicit values are only sound when
+	// the caller knows ε_max (e.g. 1 for the oscillator, whose cycles
+	// all have ε = 1).
 	Periods int
 	// CutSet simulates from these events instead of the border set.
 	// The events must form a cut set (verified). Used by the ablation
 	// experiments; the paper's algorithm always uses the border set,
 	// which is available without any search (§VI.B).
 	CutSet []sg.EventID
-	// Parallel runs the b event-initiated simulations on separate
-	// goroutines. The simulations are independent (each touches only
-	// its own trace), so the result is identical to the serial run;
-	// worthwhile for large b on multi-core hosts.
+	// Parallel forces the b event-initiated simulations onto a bounded
+	// worker pool (at most GOMAXPROCS workers) even for small b. By
+	// default the pool is engaged automatically once b reaches
+	// AutoParallelThreshold. The simulations are independent and the
+	// per-index results exact rationals, so serial and parallel runs
+	// produce identical Results.
 	Parallel bool
+	// Serial forces the simulations onto a single goroutine, disabling
+	// the automatic pool. Takes precedence over Parallel; used by the
+	// scheduling ablation benchmarks.
+	Serial bool
 }
+
+// AutoParallelThreshold is the border-set size at which AnalyzeOpts
+// switches to the bounded worker pool on its own. Below it the pool's
+// goroutine overhead outweighs the win on the O(b·m) simulations.
+const AutoParallelThreshold = 8
 
 // BorderSeries records the distances collected from one cut-set event.
 type BorderSeries struct {
@@ -163,84 +177,160 @@ func AnalyzeOpts(g *sg.Graph, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("cycletime: periods must be >= 1, got %d", periods)
 	}
 
+	sched, err := timesim.Compile(g)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Periods: periods}
-	traces := make([]*timesim.Trace, len(cut))
+
+	// Pass 1 (Prop. 7): simulate from every cut-set event WITHOUT parent
+	// tracking — the distances only need occurrence times and
+	// reachedness, and dropping the three parent arrays roughly quarters
+	// the memory traffic. Each worker extracts the distance series and
+	// immediately returns its slab to the schedule's pool, so at most
+	// `workers` simulations' worth of memory is live at once.
+	simOpts := timesim.Options{Periods: periods + 1} // instantiations 0..periods
+	series := make([]BorderSeries, len(cut))
 	simErrs := make([]error, len(cut))
+	distSlab := make([]float64, len(cut)*periods) // one backing array for all Distances
 	simulate := func(i int) {
-		traces[i], simErrs[i] = timesim.RunFrom(g, cut[i], timesim.Options{
-			Periods:      periods + 1, // instantiations 0..periods
-			TrackParents: true,
-		})
-	}
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i := range cut {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				simulate(i)
-			}(i)
+		tr, err := sched.RunFrom(cut[i], simOpts)
+		if err != nil {
+			simErrs[i] = err
+			return
 		}
-		wg.Wait()
-	} else {
-		for i := range cut {
-			simulate(i)
-		}
+		series[i] = extractSeries(tr, cut[i], periods, distSlab[i*periods:(i+1)*periods:(i+1)*periods])
+		tr.Release()
 	}
+	workers := 1
+	if !opts.Serial && (opts.Parallel || len(cut) >= AutoParallelThreshold) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runIndexed(len(cut), workers, simulate)
 	best := stat.Ratio{Num: -1, Den: 1}
 	for i, ev := range cut {
 		if simErrs[i] != nil {
 			return nil, fmt.Errorf("cycletime: simulating from %q: %w", g.Event(ev).Name, simErrs[i])
 		}
-		tr := traces[i]
-		series := BorderSeries{Event: ev, Distances: make([]float64, periods)}
-		seriesBest := stat.Ratio{Num: -1, Den: 1}
-		bestIdx := 0
-		for j := 1; j <= periods; j++ {
-			t, ok := tr.Time(ev, j)
-			if !ok || !tr.Reached(ev, j) {
-				series.Distances[j-1] = nan()
-				continue
-			}
-			series.Distances[j-1] = t / float64(j)
-			if r := stat.NewRatio(t, j); seriesBest.Less(r) {
-				seriesBest = r
-				bestIdx = j
-			}
-		}
-		series.Best = seriesBest
-		series.BestIndex = bestIdx
-		res.Series = append(res.Series, series)
-		if best.Less(seriesBest) {
-			best = seriesBest
+		if best.Less(series[i].Best) {
+			best = series[i].Best
 		}
 	}
+	res.Series = series
 	if best.Num < 0 {
 		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
 			periods, g.EventNames(cut))
 	}
 	res.CycleTime = best.Normalize()
 
-	// Prop. 7/8: exactly the cut-set events attaining λ lie on critical
-	// cycles; backtrack each of them.
-	seen := map[string]bool{}
+	// Pass 2 (Prop. 7/8): exactly the cut-set events attaining λ lie on
+	// critical cycles. Re-simulate only those winners with parent
+	// tracking and backtrack each (Prop. 1), on the same worker pool —
+	// in symmetric graphs (rings) every border event can attain λ, so
+	// this pass may be as wide as pass 1. Deduplication runs serially
+	// afterwards in winner order, keeping Critical deterministic.
+	parentOpts := simOpts
+	parentOpts.TrackParents = true
+	var winners []int
 	for i := range res.Series {
 		s := &res.Series[i]
 		if s.BestIndex == 0 || !s.Best.Equal(best) {
 			continue
 		}
 		s.OnCritical = true
-		cyc, err := backtrack(g, traces[i], s.Event, s.BestIndex, best)
+		winners = append(winners, i)
+	}
+	cycs := make([]*CriticalCycle, len(winners))
+	cycErrs := make([]error, len(winners))
+	runIndexed(len(winners), workers, func(w int) {
+		s := &res.Series[winners[w]]
+		tr, err := sched.RunFrom(s.Event, parentOpts)
 		if err != nil {
-			return nil, err
+			cycErrs[w] = fmt.Errorf("cycletime: re-simulating from %q: %w", g.Event(s.Event).Name, err)
+			return
 		}
-		key := canonicalKey(cyc)
-		if !seen[key] {
-			seen[key] = true
-			res.Critical = append(res.Critical, *cyc)
+		cyc, err := backtrack(g, tr, s.Event, s.BestIndex, best)
+		tr.Release()
+		if err != nil {
+			cycErrs[w] = err
+			return
+		}
+		cycs[w] = cyc
+	})
+	var anchors []int // least-rotation anchor of each cycle in res.Critical
+	for w := range winners {
+		if cycErrs[w] != nil {
+			return nil, cycErrs[w]
+		}
+		cStart := leastRotation(cycs[w].Arcs)
+		dup := false
+		for k := range res.Critical {
+			if sameCycle(&res.Critical[k], anchors[k], cycs[w], cStart) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			res.Critical = append(res.Critical, *cycs[w])
+			anchors = append(anchors, cStart)
 		}
 	}
 	return res, nil
+}
+
+// runIndexed invokes fn(0..n-1), distributing the indices over at most
+// `workers` goroutines pulling from a shared atomic counter. With one
+// worker (or one index) it runs inline with no goroutine overhead.
+func runIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// extractSeries collects the average occurrence distances δ_{e_0}(e_j) of
+// one event-initiated trace (step 3 of the algorithm) into the provided
+// distances buffer (len periods).
+func extractSeries(tr *timesim.Trace, ev sg.EventID, periods int, dist []float64) BorderSeries {
+	series := BorderSeries{Event: ev, Distances: dist}
+	seriesBest := stat.Ratio{Num: -1, Den: 1}
+	bestIdx := 0
+	for j := 1; j <= periods; j++ {
+		t, ok := tr.Time(ev, j)
+		if !ok || !tr.Reached(ev, j) {
+			series.Distances[j-1] = nan()
+			continue
+		}
+		series.Distances[j-1] = t / float64(j)
+		if r := stat.NewRatio(t, j); seriesBest.Less(r) {
+			seriesBest = r
+			bestIdx = j
+		}
+	}
+	series.Best = seriesBest
+	series.BestIndex = bestIdx
+	return series
 }
 
 func nan() float64 { return math.NaN() }
@@ -309,29 +399,63 @@ func backtrack(g *sg.Graph, tr *timesim.Trace, origin sg.EventID, k int, lambda 
 	return cyc, nil
 }
 
-// canonicalKey rotates the cycle's arc list to its lexicographically
-// smallest rotation so that the same cycle discovered from different
-// cut-set events deduplicates.
-func canonicalKey(c *CriticalCycle) string {
-	n := len(c.Arcs)
-	if n == 0 {
-		return ""
+// sameCycle reports whether a and b are the same simple cycle up to
+// rotation, so that the same cycle discovered from different cut-set
+// events deduplicates. Comparison is allocation-free: each arc sequence
+// is anchored at its lexicographically least rotation (precomputed once
+// per cycle with Booth's algorithm) and compared element-wise.
+func sameCycle(a *CriticalCycle, aStart int, b *CriticalCycle, bStart int) bool {
+	n := len(a.Arcs)
+	if n != len(b.Arcs) || a.Period != b.Period {
+		return false
 	}
-	bestRot := 0
-	for r := 1; r < n; r++ {
-		for i := 0; i < n; i++ {
-			a, b := c.Arcs[(bestRot+i)%n], c.Arcs[(r+i)%n]
-			if a != b {
-				if b < a {
-					bestRot = r
-				}
-				break
-			}
+	for i := 0; i < n; i++ {
+		ai, bi := aStart+i, bStart+i
+		if ai >= n {
+			ai -= n
+		}
+		if bi >= n {
+			bi -= n
+		}
+		if a.Arcs[ai] != b.Arcs[bi] {
+			return false
 		}
 	}
-	parts := make([]string, n)
-	for i := 0; i < n; i++ {
-		parts[i] = fmt.Sprint(c.Arcs[(bestRot+i)%n])
+	return true
+}
+
+// leastRotation returns the start index of the lexicographically least
+// rotation of s (Booth's algorithm, O(len s), no allocation). Arc
+// indices around a simple cycle are distinct, so the least rotation is
+// unique and anchoring both operands at it makes rotation-equality a
+// plain element-wise scan.
+func leastRotation(s []int) int {
+	n := len(s)
+	if n < 2 {
+		return 0
 	}
-	return strings.Join(parts, ",")
+	i, j, k := 0, 1, 0
+	for i < n && j < n && k < n {
+		a, b := s[(i+k)%n], s[(j+k)%n]
+		switch {
+		case a == b:
+			k++
+		case a > b:
+			i += k + 1
+			if i <= j {
+				i = j + 1
+			}
+			k = 0
+		default:
+			j += k + 1
+			if j <= i {
+				j = i + 1
+			}
+			k = 0
+		}
+	}
+	if i < j {
+		return i
+	}
+	return j
 }

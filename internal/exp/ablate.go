@@ -85,7 +85,7 @@ func runABLATE(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "note: custom cut sets default to b simulated periods — Prop. 6's k_min bound")
-	fmt.Fprintln(w, "fails on general graphs (see EXPERIMENTS.md erratum E2); the saving is in")
+	fmt.Fprintln(w, "fails on general graphs (see the erratum note in BENCHMARKS.md); the saving is in")
 	fmt.Fprintln(w, "the number of simulations. The paper's oscillator remark (one period from")
 	fmt.Fprintln(w, "{c+}) still holds with an explicit override, since all its cycles have ε = 1:")
 	res1, err := cycletime.AnalyzeOpts(osc, cycletime.Options{
@@ -103,13 +103,13 @@ func runABLATE(w io.Writer) error {
 	tabP := textio.New("\nserial vs parallel simulations (stack-31, b = 63)",
 		"mode", "time", "λ")
 	tSer, err := timeIt(func() error {
-		_, err := cycletime.AnalyzeOpts(stack, cycletime.Options{})
+		_, err := cycletime.AnalyzeOpts(stack, cycletime.Options{Serial: true})
 		return err
 	})
 	if err != nil {
 		return err
 	}
-	resSer, err := cycletime.AnalyzeOpts(stack, cycletime.Options{})
+	resSer, err := cycletime.AnalyzeOpts(stack, cycletime.Options{Serial: true})
 	if err != nil {
 		return err
 	}

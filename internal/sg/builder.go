@@ -135,12 +135,7 @@ func (b *Builder) assemble() (*Graph, error) {
 	for name, id := range b.byName {
 		g.byName[name] = id
 	}
-	g.out = make([][]int, len(g.events))
-	g.in = make([][]int, len(g.events))
-	for i, a := range g.arcs {
-		g.out[a.From] = append(g.out[a.From], i)
-		g.in[a.To] = append(g.in[a.To], i)
-	}
+	g.buildCSR()
 	// Derive Initial: non-repetitive events without in-arcs.
 	for i := range g.events {
 		if !g.events[i].Repetitive && len(g.in[i]) == 0 {
@@ -153,7 +148,141 @@ func (b *Builder) assemble() (*Graph, error) {
 		}
 	}
 	g.border = g.computeBorder()
+	g.topo, g.topoErr = g.computePeriodOrder()
 	return g, nil
+}
+
+// buildCSR flattens the adjacency into packed CSR arrays: the per-event
+// in/out index slices become views into two shared backing arrays, and
+// the in-arcs additionally get a struct-of-arrays record layout
+// (source, delay, marking offset, arc index) grouped by target. Within
+// each group records appear in ascending arc index, matching the order
+// arcs were added — the tie-breaking order the simulation kernels rely
+// on for bit-identical parent selection.
+func (g *Graph) buildCSR() {
+	n := len(g.events)
+	m := len(g.arcs)
+	inCnt := make([]int32, n+1)
+	outCnt := make([]int32, n+1)
+	for _, a := range g.arcs {
+		inCnt[a.To+1]++
+		outCnt[a.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		inCnt[i+1] += inCnt[i]
+		outCnt[i+1] += outCnt[i]
+	}
+	g.inOff = inCnt
+	g.inSrc = make([]EventID, m)
+	g.inDelay = make([]float64, m)
+	g.inMark = make([]int32, m)
+	g.inPacked = make([]int, m)
+	g.outPacked = make([]int, m)
+	inNext := make([]int32, n)
+	outNext := make([]int32, n)
+	copy(inNext, inCnt[:n])
+	copy(outNext, outCnt[:n])
+	for i, a := range g.arcs {
+		p := inNext[a.To]
+		inNext[a.To]++
+		g.inSrc[p] = a.From
+		g.inDelay[p] = a.Delay
+		if a.Marked {
+			g.inMark[p] = 1
+		}
+		g.inPacked[p] = i
+		q := outNext[a.From]
+		outNext[a.From]++
+		g.outPacked[q] = i
+	}
+	g.in = make([][]int, n)
+	g.out = make([][]int, n)
+	for e := 0; e < n; e++ {
+		g.in[e] = g.inPacked[inCnt[e]:inCnt[e+1]:inCnt[e+1]]
+		g.out[e] = g.outPacked[outCnt[e]:outCnt[e+1]:outCnt[e+1]]
+	}
+}
+
+// rebuildInDelays refreshes the CSR delay column from the arc list.
+// Called by the copy-on-write delay modifiers (modify.go), which share
+// every other index structure with the original graph.
+func (g *Graph) rebuildInDelays() {
+	d := make([]float64, len(g.inPacked))
+	for i, ai := range g.inPacked {
+		d[i] = g.arcs[ai].Delay
+	}
+	g.inDelay = d
+}
+
+// computePeriodOrder runs a deterministic Kahn topological sort over the
+// unmarked-arc subgraph, always extracting the smallest ready ID (via a
+// binary heap, O((n+m) log n)) so tables and traces are stable across
+// runs.
+func (g *Graph) computePeriodOrder() ([]EventID, error) {
+	n := len(g.events)
+	indeg := make([]int32, n)
+	for _, a := range g.arcs {
+		if !a.Marked {
+			indeg[a.To]++
+		}
+	}
+	heap := make([]EventID, 0, n)
+	push := func(e EventID) {
+		heap = append(heap, e)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() EventID {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= len(heap) {
+				break
+			}
+			if c+1 < len(heap) && heap[c+1] < heap[c] {
+				c++
+			}
+			if heap[i] <= heap[c] {
+				break
+			}
+			heap[i], heap[c] = heap[c], heap[i]
+			i = c
+		}
+		return top
+	}
+	for i := n - 1; i >= 0; i-- {
+		if indeg[i] == 0 {
+			push(EventID(i))
+		}
+	}
+	order := make([]EventID, 0, n)
+	for len(heap) > 0 {
+		e := pop()
+		order = append(order, e)
+		for _, ai := range g.out[e] {
+			a := &g.arcs[ai]
+			if a.Marked {
+				continue
+			}
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				push(a.To)
+			}
+		}
+	}
+	if len(order) < n {
+		return nil, fmt.Errorf("sg: graph %q has an unmarked cycle; no period order exists", g.name)
+	}
+	return order, nil
 }
 
 // computeBorder finds the border set: repetitive events with an initially

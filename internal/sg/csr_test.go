@@ -1,0 +1,150 @@
+package sg_test
+
+import (
+	"testing"
+
+	"tsg/internal/sg"
+)
+
+// buildDiamond returns a small graph with multi-in-degree events, marked
+// and unmarked arcs, and a non-repetitive source.
+func buildDiamond(t *testing.T) *sg.Graph {
+	t.Helper()
+	g, err := sg.NewBuilder("diamond").
+		Event("s-", sg.NonRepetitive()).
+		Events("a+", "b+", "c+").
+		Arc("s-", "a+", 2, sg.Once()).
+		Arc("a+", "b+", 3).
+		Arc("a+", "c+", 1).
+		Arc("b+", "c+", 4).
+		Arc("c+", "a+", 5, sg.Marked()).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// TestInCSRMatchesAdjacency checks that the compiled in-arc records
+// agree with the classic adjacency view, record by record and in the
+// same (arc-index) order.
+func TestInCSRMatchesAdjacency(t *testing.T) {
+	g := buildDiamond(t)
+	csr := g.InCSR()
+	if len(csr.Off) != g.NumEvents()+1 {
+		t.Fatalf("Off has %d entries, want %d", len(csr.Off), g.NumEvents()+1)
+	}
+	if int(csr.Off[g.NumEvents()]) != g.NumArcs() {
+		t.Fatalf("Off[n] = %d, want %d", csr.Off[g.NumEvents()], g.NumArcs())
+	}
+	for e := 0; e < g.NumEvents(); e++ {
+		id := sg.EventID(e)
+		in := g.InArcs(id)
+		lo, hi := csr.Off[e], csr.Off[e+1]
+		if int(hi-lo) != len(in) {
+			t.Fatalf("event %s: %d CSR records, %d in-arcs", g.Event(id).Name, hi-lo, len(in))
+		}
+		for k, ai := range in {
+			r := int(lo) + k
+			a := g.Arc(ai)
+			if int(csr.Arc[r]) != ai || csr.Src[r] != a.From || csr.Delay[r] != a.Delay {
+				t.Errorf("event %s record %d: got (arc %d, src %d, τ %g), want (arc %d, src %d, τ %g)",
+					g.Event(id).Name, k, csr.Arc[r], csr.Src[r], csr.Delay[r], ai, a.From, a.Delay)
+			}
+			wantMark := int32(0)
+			if a.Marked {
+				wantMark = 1
+			}
+			if csr.Mark[r] != wantMark {
+				t.Errorf("event %s record %d: mark %d, want %d", g.Event(id).Name, k, csr.Mark[r], wantMark)
+			}
+		}
+	}
+}
+
+// TestPeriodOrderCached checks the Build-time topological order: every
+// event exactly once, sources before targets along unmarked arcs, and
+// the same slice returned on repeated calls (no recomputation).
+func TestPeriodOrderCached(t *testing.T) {
+	g := buildDiamond(t)
+	order, err := g.PeriodOrder()
+	if err != nil {
+		t.Fatalf("PeriodOrder: %v", err)
+	}
+	if len(order) != g.NumEvents() {
+		t.Fatalf("order has %d events, want %d", len(order), g.NumEvents())
+	}
+	pos := make(map[sg.EventID]int, len(order))
+	for i, e := range order {
+		if _, dup := pos[e]; dup {
+			t.Fatalf("event %s appears twice", g.Event(e).Name)
+		}
+		pos[e] = i
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		if !a.Marked && pos[a.From] >= pos[a.To] {
+			t.Errorf("unmarked arc %s -> %s violates the order",
+				g.Event(a.From).Name, g.Event(a.To).Name)
+		}
+	}
+	again, err := g.PeriodOrder()
+	if err != nil {
+		t.Fatalf("PeriodOrder (2nd): %v", err)
+	}
+	if &again[0] != &order[0] {
+		t.Error("PeriodOrder recomputed instead of returning the cached slice")
+	}
+}
+
+// TestModifiedGraphCSRDelays checks that the copy-on-write delay
+// modifiers refresh the CSR delay column (the compiled kernels read
+// delays from the CSR, not from the Arc structs).
+func TestModifiedGraphCSRDelays(t *testing.T) {
+	g := buildDiamond(t)
+	ng, err := g.WithArcDelay(1, 30) // a+ -> b+
+	if err != nil {
+		t.Fatalf("WithArcDelay: %v", err)
+	}
+	csr := ng.InCSR()
+	found := false
+	for r := range csr.Arc {
+		if csr.Arc[r] == 1 {
+			found = true
+			if csr.Delay[r] != 30 {
+				t.Errorf("CSR delay of modified arc = %g, want 30", csr.Delay[r])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("modified arc not present in CSR")
+	}
+	// The original graph is untouched.
+	if d := g.InCSR().Delay[mustRecord(t, g, 1)]; d != 3 {
+		t.Errorf("original CSR delay changed to %g", d)
+	}
+	scaled, err := g.Scaled(2)
+	if err != nil {
+		t.Fatalf("Scaled: %v", err)
+	}
+	sc := scaled.InCSR()
+	for r := range sc.Delay {
+		want := g.Arc(int(sc.Arc[r])).Delay * 2
+		if sc.Delay[r] != want {
+			t.Errorf("scaled CSR record %d delay = %g, want %g", r, sc.Delay[r], want)
+		}
+	}
+}
+
+// mustRecord returns the CSR record index holding the given arc.
+func mustRecord(t *testing.T, g *sg.Graph, arc int) int {
+	t.Helper()
+	csr := g.InCSR()
+	for r := range csr.Arc {
+		if int(csr.Arc[r]) == arc {
+			return r
+		}
+	}
+	t.Fatalf("arc %d not in CSR", arc)
+	return -1
+}

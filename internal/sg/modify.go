@@ -16,6 +16,7 @@ func (g *Graph) WithArcDelay(i int, delay float64) (*Graph, error) {
 	ng := *g
 	ng.arcs = append([]Arc(nil), g.arcs...)
 	ng.arcs[i].Delay = delay
+	ng.rebuildInDelays()
 	return &ng, nil
 }
 
@@ -31,6 +32,7 @@ func (g *Graph) Scaled(factor float64) (*Graph, error) {
 	for i := range ng.arcs {
 		ng.arcs[i].Delay *= factor
 	}
+	ng.rebuildInDelays()
 	return &ng, nil
 }
 
@@ -47,5 +49,6 @@ func (g *Graph) WithDelays(f func(arc int, delay float64) float64) (*Graph, erro
 		}
 		ng.arcs[i].Delay = d
 	}
+	ng.rebuildInDelays()
 	return &ng, nil
 }

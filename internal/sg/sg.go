@@ -74,12 +74,64 @@ type Graph struct {
 	name   string
 	events []Event
 	arcs   []Arc
-	out    [][]int // arc indices leaving each event
-	in     [][]int // arc indices entering each event
+	out    [][]int // arc indices leaving each event (views into outPacked)
+	in     [][]int // arc indices entering each event (views into inPacked)
 	byName map[string]EventID
 
 	repetitive []EventID // cached A_r in ID order
 	border     []EventID // cached border set (§VI.A) in ID order
+
+	// CSR adjacency, built once at assemble time. The per-event slices
+	// above are subslices of the packed arrays, so iteration through
+	// either view walks the same contiguous memory.
+	outPacked []int
+	inPacked  []int
+	// In-arc records in struct-of-arrays form, grouped by target event
+	// (inOff[e]..inOff[e+1]) and ordered by arc index within each group —
+	// the same order InArcs returns. This is the layout the timing
+	// simulation kernel consumes: one linear scan per event, no Arc
+	// struct copies.
+	inOff   []int32
+	inSrc   []EventID
+	inDelay []float64
+	inMark  []int32 // marking offset: 1 when the arc carries the token
+
+	// Topological order of the unmarked-arc subgraph (the period order of
+	// the unfolding), cached so the b simulations of one analysis do not
+	// recompute it. nil with topoErr set when the graph has an unmarked
+	// cycle (possible for BuildUnchecked graphs).
+	topo    []EventID
+	topoErr error
+}
+
+// InCSR is a read-only view of the compiled in-arc layout: for each
+// event e, records Off[e]..Off[e+1] hold the in-arcs of e in arc-index
+// order as parallel arrays. Callers must not modify the slices.
+type InCSR struct {
+	Off   []int32   // len NumEvents+1
+	Src   []EventID // source event per record
+	Delay []float64 // arc delay per record
+	Mark  []int32   // marking offset per record (1 = initially marked)
+	Arc   []int     // originating arc index per record (shared with InArcs)
+}
+
+// InCSR returns the compiled in-arc layout.
+func (g *Graph) InCSR() InCSR {
+	return InCSR{Off: g.inOff, Src: g.inSrc, Delay: g.inDelay, Mark: g.inMark, Arc: g.inPacked}
+}
+
+// PeriodOrder returns the events in a topological order of the
+// unmarked-arc subgraph: the valid intra-period evaluation order for the
+// unfolding and the streaming timing simulation. The order is computed
+// once at Build time (deterministically: the smallest ready ID first)
+// and shared; callers must not modify the slice. Graphs with an unmarked
+// cycle (which fail Validate but can exist via BuildUnchecked) have no
+// period order and yield an error.
+func (g *Graph) PeriodOrder() ([]EventID, error) {
+	if g.topoErr != nil {
+		return nil, g.topoErr
+	}
+	return g.topo, nil
 }
 
 // Name returns the graph's name.

@@ -1,0 +1,340 @@
+package timesim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tsg/internal/sg"
+)
+
+// Schedule is a Timed Signal Graph compiled for repeated simulation. The
+// existence logic of §IV.A — which in-arcs constrain an instantiation in
+// which unfolding period, and from which source period — depends only on
+// the period class, never on the concrete period:
+//
+//   - period 0: exactly the unmarked in-arcs (marked arcs start
+//     satisfied by their token; arcs from non-repetitive sources exist
+//     iff p equals their marking);
+//   - period 1: arcs from repetitive sources, plus marked arcs from
+//     non-repetitive sources (their single occurrence feeds f_1);
+//   - periods >= 2: arcs from repetitive sources only.
+//
+// Compile therefore specialises the graph's in-arc records into three
+// flat struct-of-arrays tables, one per class, in topological order. In
+// every class the source period is p - markingOffset, so the inner loop
+// of a period is a single linear scan with no branching on event or
+// source kinds. All records within one event keep ascending arc-index
+// order, making parent selection (first max wins) bit-identical to the
+// reference kernel.
+//
+// A Schedule is immutable after Compile and safe for concurrent use; the
+// b event-initiated simulations of one cycle-time analysis share one
+// Schedule and draw their working slabs from its pool.
+type Schedule struct {
+	g      *sg.Graph
+	n      int
+	order  []sg.EventID // full period order (evaluated in period 0)
+	orderR []sg.EventID // repetitive events in period order (periods >= 1)
+
+	// Period-0 records, CSR over order positions.
+	off0 []int32
+	src0 []sg.EventID
+	del0 []float64
+	arc0 []int32
+
+	// Period-1 records, CSR over orderR positions.
+	off1  []int32
+	src1  []sg.EventID
+	del1  []float64
+	mark1 []int32
+	arc1  []int32
+
+	// Steady-state (period >= 2) records, CSR over orderR positions.
+	offS  []int32
+	srcS  []sg.EventID
+	delS  []float64
+	markS []int32
+	arcS  []int32
+
+	// rowInit is the times-row template for periods >= 1: NaN at
+	// non-repetitive slots (no instantiation), 0 elsewhere (overwritten
+	// during evaluation).
+	rowInit []float64
+
+	pool sync.Pool // *slab
+}
+
+// slab bundles the working memory of one simulation so traces can return
+// it to the schedule's pool in a single Put.
+type slab struct {
+	times []float64
+	reach []uint64
+	pe    []sg.EventID
+	pp    []int32
+	pa    []int32
+}
+
+// Compile builds the simulation schedule of a graph. The graph must have
+// a period order (guaranteed for validated graphs).
+func Compile(g *sg.Graph) (*Schedule, error) {
+	order, err := g.PeriodOrder()
+	if err != nil {
+		return nil, err
+	}
+	csr := g.InCSR()
+	n := g.NumEvents()
+	s := &Schedule{g: g, n: n, order: order}
+
+	// Exact record counts per class, so the column arrays are allocated
+	// once instead of growing by appends.
+	var n0, n1, nS, nR int
+	for _, f := range order {
+		rep := g.Event(f).Repetitive
+		if rep {
+			nR++
+		}
+		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
+			if csr.Mark[r] == 0 {
+				n0++
+			}
+			if !rep {
+				continue
+			}
+			if g.Event(csr.Src[r]).Repetitive {
+				n1++
+				nS++
+			} else if csr.Mark[r] == 1 {
+				n1++
+			}
+		}
+	}
+	s.src0 = make([]sg.EventID, 0, n0)
+	s.del0 = make([]float64, 0, n0)
+	s.arc0 = make([]int32, 0, n0)
+	s.src1 = make([]sg.EventID, 0, n1)
+	s.del1 = make([]float64, 0, n1)
+	s.mark1 = make([]int32, 0, n1)
+	s.arc1 = make([]int32, 0, n1)
+	s.srcS = make([]sg.EventID, 0, nS)
+	s.delS = make([]float64, 0, nS)
+	s.markS = make([]int32, 0, nS)
+	s.arcS = make([]int32, 0, nS)
+	s.orderR = make([]sg.EventID, 0, nR)
+
+	s.off0 = make([]int32, 1, n+1)
+	for _, f := range order {
+		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
+			if csr.Mark[r] == 0 {
+				s.src0 = append(s.src0, csr.Src[r])
+				s.del0 = append(s.del0, csr.Delay[r])
+				s.arc0 = append(s.arc0, int32(csr.Arc[r]))
+			}
+		}
+		s.off0 = append(s.off0, int32(len(s.src0)))
+	}
+
+	s.rowInit = make([]float64, n)
+	for i := range s.rowInit {
+		s.rowInit[i] = math.NaN()
+	}
+	s.off1 = make([]int32, 1, n+1)
+	s.offS = make([]int32, 1, n+1)
+	for _, f := range order {
+		if !g.Event(f).Repetitive {
+			continue
+		}
+		s.orderR = append(s.orderR, f)
+		s.rowInit[f] = 0
+		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
+			srcRep := g.Event(csr.Src[r]).Repetitive
+			if srcRep || csr.Mark[r] == 1 {
+				s.src1 = append(s.src1, csr.Src[r])
+				s.del1 = append(s.del1, csr.Delay[r])
+				s.mark1 = append(s.mark1, csr.Mark[r])
+				s.arc1 = append(s.arc1, int32(csr.Arc[r]))
+			}
+			if srcRep {
+				s.srcS = append(s.srcS, csr.Src[r])
+				s.delS = append(s.delS, csr.Delay[r])
+				s.markS = append(s.markS, csr.Mark[r])
+				s.arcS = append(s.arcS, int32(csr.Arc[r]))
+			}
+		}
+		s.off1 = append(s.off1, int32(len(s.src1)))
+		s.offS = append(s.offS, int32(len(s.srcS)))
+	}
+	return s, nil
+}
+
+// Graph returns the compiled graph.
+func (s *Schedule) Graph() *sg.Graph { return s.g }
+
+// Run executes the plain timing simulation t of §IV.A.
+func (s *Schedule) Run(opts Options) (*Trace, error) {
+	return s.run(sg.None, opts)
+}
+
+// RunFrom executes the event-initiated simulation t_origin of §IV.B.
+// The returned trace may be handed back to the schedule's slab pool with
+// Trace.Release once its values have been consumed.
+func (s *Schedule) RunFrom(origin sg.EventID, opts Options) (*Trace, error) {
+	if origin < 0 || int(origin) >= s.n {
+		return nil, fmt.Errorf("timesim: origin event %d out of range", origin)
+	}
+	return s.run(origin, opts)
+}
+
+// acquire prepares a slab for a run of the given shape, reusing pooled
+// memory where the capacity suffices.
+func (s *Schedule) acquire(periods int, initiated, parents bool) *slab {
+	need := periods * s.n
+	sl, _ := s.pool.Get().(*slab)
+	if sl == nil {
+		sl = &slab{}
+	}
+	if cap(sl.times) < need {
+		sl.times = make([]float64, need)
+	} else {
+		sl.times = sl.times[:need]
+	}
+	if initiated {
+		words := (need + 63) >> 6
+		if cap(sl.reach) < words {
+			sl.reach = make([]uint64, words)
+		} else {
+			sl.reach = sl.reach[:words]
+			clear(sl.reach)
+		}
+	}
+	if parents {
+		if cap(sl.pe) < need {
+			sl.pe = make([]sg.EventID, need)
+			sl.pp = make([]int32, need)
+			sl.pa = make([]int32, need)
+		} else {
+			sl.pe = sl.pe[:need]
+			sl.pp = sl.pp[:need]
+			sl.pa = sl.pa[:need]
+		}
+		for i := range sl.pe {
+			sl.pe[i] = sg.None
+			sl.pp[i] = -1
+			sl.pa[i] = -1
+		}
+	}
+	return sl
+}
+
+func (s *Schedule) run(origin sg.EventID, opts Options) (*Trace, error) {
+	if opts.Periods < 1 {
+		return nil, fmt.Errorf("timesim: periods must be >= 1, got %d", opts.Periods)
+	}
+	initiated := origin != sg.None
+	sl := s.acquire(opts.Periods, initiated, opts.TrackParents)
+	tr := &Trace{
+		g: s.g, origin: origin, periods: opts.Periods, n: s.n, order: s.order,
+		times: sl.times, sched: s, slab: sl,
+	}
+	if initiated {
+		tr.reached = sl.reach
+	}
+	if opts.TrackParents {
+		tr.parentEvent, tr.parentPeriod, tr.parentArc = sl.pe, sl.pp, sl.pa
+	}
+	s.runPeriod0(tr, initiated, opts.TrackParents)
+	if opts.Periods > 1 {
+		s.runPeriod(tr, 1, s.off1, s.src1, s.del1, s.mark1, s.arc1, initiated, opts.TrackParents)
+	}
+	for p := 2; p < opts.Periods; p++ {
+		s.runPeriod(tr, p, s.offS, s.srcS, s.delS, s.markS, s.arcS, initiated, opts.TrackParents)
+	}
+	return tr, nil
+}
+
+// runPeriod0 evaluates period 0, where every event has an instantiation
+// and every live in-arc has source period 0.
+func (s *Schedule) runPeriod0(tr *Trace, initiated, parents bool) {
+	times := tr.times
+	for idx, f := range s.order {
+		best := math.Inf(-1)
+		bestE := sg.None
+		var bestArc int32 = -1
+		any := false
+		for r := s.off0[idx]; r < s.off0[idx+1]; r++ {
+			src := int(s.src0[r])
+			if initiated && !bitGet(tr.reached, src) {
+				continue
+			}
+			any = true
+			if v := times[src] + s.del0[r]; v > best {
+				best = v
+				bestE = s.src0[r]
+				bestArc = s.arc0[r]
+			}
+		}
+		fi := int(f)
+		switch {
+		case initiated && f == tr.origin:
+			// t_g(g_0) = 0 by definition, regardless of in-arcs.
+			times[fi] = 0
+			bitSet(tr.reached, fi)
+		case !any:
+			// Member of I_u, or (initiated) not preceded by the origin:
+			// pinned to 0; reached stays false so successors skip it.
+			times[fi] = 0
+		default:
+			times[fi] = best
+			if initiated {
+				bitSet(tr.reached, fi)
+			}
+			if parents {
+				tr.parentEvent[fi] = bestE
+				tr.parentPeriod[fi] = 0
+				tr.parentArc[fi] = bestArc
+			}
+		}
+	}
+}
+
+// runPeriod evaluates one period >= 1 against a record class. Source
+// periods are p minus the record's marking offset.
+func (s *Schedule) runPeriod(tr *Trace, p int, off []int32, src []sg.EventID, del []float64, mark []int32, arc []int32, initiated, parents bool) {
+	n := s.n
+	base := p * n
+	times := tr.times
+	copy(times[base:base+n], s.rowInit)
+	for idx, f := range s.orderR {
+		best := math.Inf(-1)
+		bestE := sg.None
+		var bestP, bestArc int32 = -1, -1
+		any := false
+		for r := off[idx]; r < off[idx+1]; r++ {
+			sb := base - int(mark[r])*n + int(src[r])
+			if initiated && !bitGet(tr.reached, sb) {
+				continue
+			}
+			any = true
+			if v := times[sb] + del[r]; v > best {
+				best = v
+				bestE = src[r]
+				bestP = int32(p) - mark[r]
+				bestArc = arc[r]
+			}
+		}
+		fi := base + int(f)
+		if !any {
+			times[fi] = 0
+			continue
+		}
+		times[fi] = best
+		if initiated {
+			bitSet(tr.reached, fi)
+		}
+		if parents {
+			tr.parentEvent[fi] = bestE
+			tr.parentPeriod[fi] = bestP
+			tr.parentArc[fi] = bestArc
+		}
+	}
+}

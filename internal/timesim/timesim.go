@@ -15,6 +15,15 @@
 // simulated periods are retained for table and diagram generation, and
 // optional parent pointers support the critical-cycle backtracking of
 // §VI.B (Prop. 1).
+//
+// Two kernels produce traces. Run and RunFrom go through a compiled
+// Schedule (see Compile): the graph's in-arcs are specialised per
+// unfolding period into flat record arrays, so the inner loop is a
+// linear scan with no existence tests, and the b simulations of one
+// cycle-time analysis share the compiled form and a slab pool.
+// ReferenceRun and ReferenceRunFrom walk the graph's adjacency lists
+// directly; they are retained as the executable specification the
+// compiled kernel is differentially tested against.
 package timesim
 
 import (
@@ -23,7 +32,6 @@ import (
 
 	"tsg/internal/sg"
 	"tsg/internal/stat"
-	"tsg/internal/unfold"
 )
 
 // Options configures a simulation run.
@@ -35,104 +43,117 @@ type Options struct {
 	TrackParents bool
 }
 
-// Trace holds the occurrence times of a finished simulation.
+// Trace holds the occurrence times of a finished simulation. Rows are
+// stored as flat slabs with stride n = NumEvents: the value of
+// instantiation e_p lives at index p*n+e.
 type Trace struct {
 	g       *sg.Graph
 	origin  sg.EventID
 	periods int
+	n       int
 	order   []sg.EventID
 
-	// times[p][e] is t(e_p); NaN where the instantiation does not exist
+	// times[p*n+e] is t(e_p); NaN where the instantiation does not exist
 	// (non-repetitive events beyond period 0).
-	times [][]float64
-	// reached[p][e] reports origin ⇒ e_p (or e_p == origin_0); nil for
-	// plain simulations.
-	reached [][]bool
+	times []float64
+	// reached is a bitset over p*n+e reporting origin ⇒ e_p (or
+	// e_p == origin_0); nil for plain simulations.
+	reached []uint64
 
-	parentEvent  [][]sg.EventID // sg.None where no parent
-	parentPeriod [][]int32
-	parentArc    [][]int32
+	parentEvent  []sg.EventID // sg.None where no parent
+	parentPeriod []int32
+	parentArc    []int32
+
+	// Set for traces whose slabs come from a Schedule's pool; Release
+	// returns them.
+	sched *Schedule
+	slab  *slab
 }
 
-// Run executes the plain timing simulation t of §IV.A and returns its
-// trace.
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Run executes the plain timing simulation t of §IV.A on the compiled
+// kernel and returns its trace. Callers running many simulations of the
+// same graph should Compile once and use Schedule.Run.
 func Run(g *sg.Graph, opts Options) (*Trace, error) {
-	return run(g, sg.None, opts)
-}
-
-// RunFrom executes the event-initiated timing simulation t_origin of
-// §IV.B, initiated at instantiation 0 of the given event.
-func RunFrom(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
-	if origin < 0 || int(origin) >= g.NumEvents() {
-		return nil, fmt.Errorf("timesim: origin event %d out of range", origin)
-	}
-	return run(g, origin, opts)
-}
-
-func run(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
-	if opts.Periods < 1 {
-		return nil, fmt.Errorf("timesim: periods must be >= 1, got %d", opts.Periods)
-	}
-	order, err := unfold.PeriodOrder(g)
+	s, err := Compile(g)
 	if err != nil {
 		return nil, err
 	}
-	tr := &Trace{g: g, origin: origin, periods: opts.Periods, order: order}
-	tr.times = make([][]float64, opts.Periods)
+	return s.Run(opts)
+}
+
+// RunFrom executes the event-initiated timing simulation t_origin of
+// §IV.B, initiated at instantiation 0 of the given event, on the
+// compiled kernel.
+func RunFrom(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
+	s, err := Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunFrom(origin, opts)
+}
+
+// ReferenceRun executes the plain simulation on the uncompiled reference
+// kernel, which walks the graph adjacency directly. It exists for
+// differential testing of the compiled kernel; results are bit-identical
+// to Run.
+func ReferenceRun(g *sg.Graph, opts Options) (*Trace, error) {
+	return referenceRun(g, sg.None, opts)
+}
+
+// ReferenceRunFrom is the event-initiated counterpart of ReferenceRun;
+// results are bit-identical to RunFrom.
+func ReferenceRunFrom(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
+	if origin < 0 || int(origin) >= g.NumEvents() {
+		return nil, fmt.Errorf("timesim: origin event %d out of range", origin)
+	}
+	return referenceRun(g, origin, opts)
+}
+
+func referenceRun(g *sg.Graph, origin sg.EventID, opts Options) (*Trace, error) {
+	if opts.Periods < 1 {
+		return nil, fmt.Errorf("timesim: periods must be >= 1, got %d", opts.Periods)
+	}
+	order, err := g.PeriodOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumEvents()
+	tr := &Trace{g: g, origin: origin, periods: opts.Periods, n: n, order: order}
+	need := opts.Periods * n
+	tr.times = make([]float64, need)
+	for i := range tr.times {
+		tr.times[i] = math.NaN()
+	}
 	initiated := origin != sg.None
 	if initiated {
-		tr.reached = make([][]bool, opts.Periods)
+		tr.reached = make([]uint64, (need+63)>>6)
 	}
 	if opts.TrackParents {
-		tr.parentEvent = make([][]sg.EventID, opts.Periods)
-		tr.parentPeriod = make([][]int32, opts.Periods)
-		tr.parentArc = make([][]int32, opts.Periods)
-	}
-	// Slab-allocate the per-period rows: the analysis runs b of these
-	// traces over b+1 periods each, so row-by-row allocation dominates
-	// the profile otherwise.
-	n := g.NumEvents()
-	timeSlab := make([]float64, opts.Periods*n)
-	var (
-		reachSlab []bool
-		peSlab    []sg.EventID
-		ppSlab    []int32
-		paSlab    []int32
-	)
-	if initiated {
-		reachSlab = make([]bool, opts.Periods*n)
-	}
-	if opts.TrackParents {
-		peSlab = make([]sg.EventID, opts.Periods*n)
-		ppSlab = make([]int32, opts.Periods*n)
-		paSlab = make([]int32, opts.Periods*n)
+		tr.parentEvent = make([]sg.EventID, need)
+		tr.parentPeriod = make([]int32, need)
+		tr.parentArc = make([]int32, need)
+		for i := range tr.parentEvent {
+			tr.parentEvent[i] = sg.None
+			tr.parentPeriod[i] = -1
+			tr.parentArc[i] = -1
+		}
 	}
 	for p := 0; p < opts.Periods; p++ {
-		tr.times[p] = timeSlab[p*n : (p+1)*n]
-		for i := range tr.times[p] {
-			tr.times[p][i] = math.NaN()
-		}
-		if initiated {
-			tr.reached[p] = reachSlab[p*n : (p+1)*n]
-		}
-		if opts.TrackParents {
-			tr.parentEvent[p] = peSlab[p*n : (p+1)*n]
-			tr.parentPeriod[p] = ppSlab[p*n : (p+1)*n]
-			tr.parentArc[p] = paSlab[p*n : (p+1)*n]
-			for i := range tr.parentEvent[p] {
-				tr.parentEvent[p][i] = sg.None
-				tr.parentPeriod[p][i] = -1
-				tr.parentArc[p][i] = -1
-			}
-		}
-		tr.runPeriod(p, initiated, opts.TrackParents)
+		tr.referencePeriod(p, initiated, opts.TrackParents)
 	}
 	return tr, nil
 }
 
-// runPeriod evaluates all instantiations of period p in topological order.
-func (tr *Trace) runPeriod(p int, initiated, parents bool) {
+// referencePeriod evaluates all instantiations of period p in topological
+// order, resolving each in-arc's existence and source period from first
+// principles (§IV.A/§IV.B).
+func (tr *Trace) referencePeriod(p int, initiated, parents bool) {
 	g := tr.g
+	n := tr.n
+	base := p * n
 	for _, f := range tr.order {
 		ev := g.Event(f)
 		if p > 0 && !ev.Repetitive {
@@ -161,38 +182,56 @@ func (tr *Trace) runPeriod(p int, initiated, parents bool) {
 			if !exists {
 				continue
 			}
-			if initiated && !tr.reached[srcPeriod][a.From] {
+			if initiated && !bitGet(tr.reached, srcPeriod*n+int(a.From)) {
 				continue // arc from an event not preceded by the origin
 			}
 			anyPred = true
-			if v := tr.times[srcPeriod][a.From] + a.Delay; v > best {
+			if v := tr.times[srcPeriod*n+int(a.From)] + a.Delay; v > best {
 				best = v
 				bestE, bestP, bestArc = a.From, srcPeriod, ai
 			}
 		}
+		fi := base + int(f)
 		switch {
 		case initiated && f == tr.origin && p == 0:
 			// t_g(g) = 0 by definition, regardless of in-arcs.
-			tr.times[p][f] = 0
-			tr.reached[p][f] = true
+			tr.times[fi] = 0
+			bitSet(tr.reached, fi)
 		case initiated && !anyPred:
 			// g does not precede f_p: pinned to 0, out-arcs ignored
 			// (reached stays false so successors skip it).
-			tr.times[p][f] = 0
+			tr.times[fi] = 0
 		case !anyPred:
-			tr.times[p][f] = 0 // member of I_u: all in-arcs initially active
+			tr.times[fi] = 0 // member of I_u: all in-arcs initially active
 		default:
-			tr.times[p][f] = best
+			tr.times[fi] = best
 			if initiated {
-				tr.reached[p][f] = true
+				bitSet(tr.reached, fi)
 			}
 			if parents {
-				tr.parentEvent[p][f] = bestE
-				tr.parentPeriod[p][f] = int32(bestP)
-				tr.parentArc[p][f] = int32(bestArc)
+				tr.parentEvent[fi] = bestE
+				tr.parentPeriod[fi] = int32(bestP)
+				tr.parentArc[fi] = int32(bestArc)
 			}
 		}
 	}
+}
+
+// Release returns the trace's slabs to the pool of the Schedule that ran
+// it. The trace must not be used afterwards. Traces from the reference
+// kernel (or already released) are left untouched.
+func (tr *Trace) Release() {
+	if tr.sched == nil || tr.slab == nil {
+		return
+	}
+	sl := tr.slab
+	tr.slab = nil
+	tr.times = nil
+	tr.reached = nil
+	tr.parentEvent = nil
+	tr.parentPeriod = nil
+	tr.parentArc = nil
+	tr.sched.pool.Put(sl)
 }
 
 // Graph returns the simulated graph.
@@ -209,7 +248,7 @@ func (tr *Trace) Time(e sg.EventID, period int) (float64, bool) {
 	if period < 0 || period >= tr.periods {
 		return 0, false
 	}
-	v := tr.times[period][e]
+	v := tr.times[period*tr.n+int(e)]
 	if math.IsNaN(v) {
 		return 0, false
 	}
@@ -220,13 +259,17 @@ func (tr *Trace) Time(e sg.EventID, period int) (float64, bool) {
 // existing instantiations of plain simulations; the origin itself counts
 // as reached).
 func (tr *Trace) Reached(e sg.EventID, period int) bool {
-	if period < 0 || period >= tr.periods || math.IsNaN(tr.times[period][e]) {
+	if period < 0 || period >= tr.periods {
+		return false
+	}
+	i := period*tr.n + int(e)
+	if math.IsNaN(tr.times[i]) {
 		return false
 	}
 	if tr.reached == nil {
 		return true
 	}
-	return tr.reached[period][e]
+	return bitGet(tr.reached, i)
 }
 
 // Parent returns the predecessor instantiation and graph-arc index that
@@ -236,11 +279,12 @@ func (tr *Trace) Parent(e sg.EventID, period int) (pe sg.EventID, pp int, arc in
 	if tr.parentEvent == nil || period < 0 || period >= tr.periods {
 		return sg.None, -1, -1, false
 	}
-	pe = tr.parentEvent[period][e]
+	i := period*tr.n + int(e)
+	pe = tr.parentEvent[i]
 	if pe == sg.None {
 		return sg.None, -1, -1, false
 	}
-	return pe, int(tr.parentPeriod[period][e]), int(tr.parentArc[period][e]), true
+	return pe, int(tr.parentPeriod[i]), int(tr.parentArc[i]), true
 }
 
 // AvgDistances returns the average occurrence distance series of §IV.C

@@ -247,48 +247,10 @@ func (u *Unfolding) LongestPathFrom(from Inst) (dist []float64, pred []int, err 
 // PeriodOrder returns the events of g in a topological order of its
 // unmarked-arc subgraph: the valid intra-period evaluation order for the
 // unfolding and the streaming timing simulation. Validated graphs always
-// have one; an unmarked cycle yields an error.
+// have one; an unmarked cycle yields an error. The order is computed
+// once at Build time and cached on the graph (deterministic: smallest
+// ready ID first); this wrapper remains for callers that think in terms
+// of the unfolding.
 func PeriodOrder(g *sg.Graph) ([]sg.EventID, error) {
-	n := g.NumEvents()
-	indeg := make([]int, n)
-	for i := 0; i < g.NumArcs(); i++ {
-		if !g.Arc(i).Marked {
-			indeg[g.Arc(i).To]++
-		}
-	}
-	// Deterministic Kahn: pick the smallest ready ID each round so tables
-	// and tests are stable across runs.
-	order := make([]sg.EventID, 0, n)
-	ready := make([]bool, n)
-	done := make([]bool, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			ready[i] = true
-		}
-	}
-	for len(order) < n {
-		picked := sg.None
-		for i := 0; i < n; i++ {
-			if ready[i] && !done[i] {
-				picked = sg.EventID(i)
-				break
-			}
-		}
-		if picked == sg.None {
-			return nil, fmt.Errorf("unfold: graph %q has an unmarked cycle; no period order exists", g.Name())
-		}
-		done[picked] = true
-		order = append(order, picked)
-		for _, ai := range g.OutArcs(picked) {
-			a := g.Arc(ai)
-			if a.Marked {
-				continue
-			}
-			indeg[a.To]--
-			if indeg[a.To] == 0 {
-				ready[a.To] = true
-			}
-		}
-	}
-	return order, nil
+	return g.PeriodOrder()
 }
