@@ -10,7 +10,11 @@ import (
 
 // This file exposes the secondary analyses around the core algorithm:
 // timing slacks and what-if sensitivity, the classical baselines, the
-// enumeration oracle, and PERT analysis of acyclic graphs.
+// enumeration oracle, and PERT analysis of acyclic graphs. Every
+// function here is a one-shot wrapper that recompiles the graph per
+// call; sessions issuing repeated queries should hold a tsg.Engine
+// (see engine.go), which compiles once and serves slacks,
+// sensitivities and sweeps against the compiled form.
 
 // ArcSlack is the timing slack of one arc at the cycle time.
 type ArcSlack = cycletime.ArcSlack
@@ -18,12 +22,16 @@ type ArcSlack = cycletime.ArcSlack
 // Slacks computes per-arc timing slacks at the given cycle time: tight
 // (zero-slack) arcs include every critical cycle; positive slack is the
 // delay increase the arc can absorb before the cycle time moves.
+// Engine.Slacks is the session form, certified by the engine's own
+// simulation times.
 func Slacks(g *Graph, lambda Ratio) ([]ArcSlack, error) {
 	return cycletime.Slacks(g, lambda)
 }
 
 // Sensitivity re-analyses the graph with one arc's delay replaced,
 // reporting the resulting cycle time. The input graph is not modified.
+// This form recompiles per call; use Engine.Sensitivity or
+// Engine.SensitivitySweep for repeated what-if queries.
 func Sensitivity(g *Graph, arc int, newDelay float64) (Ratio, error) {
 	return cycletime.Sensitivity(g, arc, newDelay)
 }

@@ -262,12 +262,7 @@ func BenchmarkBaselineRing5(b *testing.B) {
 }
 
 func BenchmarkBaselineRandom2000(b *testing.B) {
-	g, err := gen.RandomLive(rand.New(rand.NewSource(31)),
-		gen.RandomOptions{Events: 2000, Border: 8, ExtraArcs: 2000, MaxDelay: 16})
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchmarkAlgos(b, g)
+	benchmarkAlgos(b, random2000(b))
 }
 
 // --- extraction ----------------------------------------------------------
@@ -337,6 +332,98 @@ func BenchmarkAblationParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- PR 2: engine sessions (compile once, answer many) -------------------
+
+// random2000 returns the BenchmarkBaselineRandom2000 workload: 2000
+// events, b = 8, ~4000 arcs, integer delays.
+func random2000(b *testing.B) *tsg.Graph {
+	b.Helper()
+	g, err := gen.RandomLive(rand.New(rand.NewSource(31)),
+		gen.RandomOptions{Events: 2000, Border: 8, ExtraArcs: 2000, MaxDelay: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSweepRandom2000 is the PR 2 headline: a full-arc ×1.5
+// sensitivity sweep over the Random2000 workload. One op is the whole
+// m-candidate sweep — EngineSweep includes the session compile and the
+// slack certification, so the comparison against the per-arc one-shot
+// Sensitivity loop is end-to-end.
+func BenchmarkSweepRandom2000(b *testing.B) {
+	g := random2000(b)
+	cands := make([]tsg.WhatIf, g.NumArcs())
+	for i := range cands {
+		cands[i] = tsg.WhatIf{Arc: i, Delay: g.Arc(i).Delay * 1.5}
+	}
+	b.Run("EngineSweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, err := tsg.NewEngine(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.SensitivitySweep(cands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SensitivityLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				if _, err := tsg.Sensitivity(g, c.Arc, c.Delay); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkWhatIfRandom2000 measures the per-query cost of single
+// what-if queries rotating through the arcs: an engine session (slack
+// fast path, in-place delay refresh) versus the one-shot Sensitivity
+// (graph copy + recompile + full analysis every call).
+func BenchmarkWhatIfRandom2000(b *testing.B) {
+	g := random2000(b)
+	b.Run("Engine", func(b *testing.B) {
+		e, err := tsg.NewEngine(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Slacks(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arc := i % g.NumArcs()
+			if _, err := e.Sensitivity(arc, g.Arc(arc).Delay*1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OneShot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			arc := i % g.NumArcs()
+			if _, err := tsg.Sensitivity(g, arc, g.Arc(arc).Delay*1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBoundsRandom2000 measures the interval-delay bounds, whose
+// two extreme analyses now run concurrently on engine clones.
+func BenchmarkBoundsRandom2000(b *testing.B) {
+	g := random2000(b)
+	lo, hi := tsg.Jitter(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tsg.AnalyzeBounds(g, lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkMaxPlusEigenvalue measures the (max,+) spectral route to the

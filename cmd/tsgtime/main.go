@@ -4,17 +4,26 @@
 // Usage:
 //
 //	tsgtime [-algo nielsen|karp|howard|lawler|oracle] [-periods N]
-//	        [-series] [-dot out.dot] graph.tsg
+//	        [-series] [-slacks] [-sweep factor] [-dot out.dot] graph.tsg
 //
 // The default algorithm is the paper's O(b²m) timing simulation
 // ("nielsen"); the alternatives are the classical maximum-cycle-ratio
 // baselines and the exponential simple-cycle enumeration oracle.
+//
+// The nielsen path runs on a tsg.Engine session, so the secondary
+// reports reuse the one compiled schedule: -slacks prints the per-arc
+// timing slacks certified by the engine's simulation times, and
+// -sweep f answers "what is λ if this arc's delay were scaled by f"
+// for every arc in one sensitivity sweep, reporting the arcs that move
+// the cycle time together with the fast-path statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
 	"tsg"
 	"tsg/internal/cycles"
@@ -26,6 +35,8 @@ func main() {
 	algo := flag.String("algo", "nielsen", "algorithm: nielsen, karp, howard, lawler, oracle")
 	periods := flag.Int("periods", 0, "override simulated periods (nielsen only; 0 = border-set size)")
 	series := flag.Bool("series", false, "print the per-border-event distance series")
+	slacks := flag.Bool("slacks", false, "print per-arc timing slacks (nielsen only)")
+	sweep := flag.Float64("sweep", 0, "sweep every arc at delay×factor and report λ changes (nielsen only; 0 = off)")
 	dotOut := flag.String("dot", "", "write the graph in DOT format to this file")
 	eps := flag.Float64("eps", 1e-9, "convergence width (lawler only)")
 	flag.Parse()
@@ -33,6 +44,10 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tsgtime [flags] graph.tsg")
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *sweep < 0 || math.IsNaN(*sweep) {
+		fmt.Fprintf(os.Stderr, "tsgtime: -sweep factor must be positive, got %g\n", *sweep)
 		os.Exit(2)
 	}
 	g, err := tsg.LoadGraph(flag.Arg(0))
@@ -57,7 +72,11 @@ func main() {
 
 	switch *algo {
 	case "nielsen":
-		res, err := tsg.AnalyzeOpts(g, tsg.AnalysisOptions{Periods: *periods})
+		eng, err := tsg.NewEngineOpts(g, tsg.AnalysisOptions{Periods: *periods})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := eng.Analyze()
 		if err != nil {
 			fatal(err)
 		}
@@ -71,6 +90,25 @@ func main() {
 				tab.AddRow(g.Event(s.Event).Name, fmt.Sprint(s.Distances), s.OnCritical)
 			}
 			if err := tab.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *slacks {
+			sl, err := eng.Slacks()
+			if err != nil {
+				fatal(err)
+			}
+			tab := textio.New("per-arc timing slacks", "arc", "from", "to", "delay", "slack", "tight")
+			for _, s := range sl {
+				a := g.Arc(s.Arc)
+				tab.AddRow(s.Arc, g.Event(a.From).Name, g.Event(a.To).Name, a.Delay, s.Slack, s.Tight)
+			}
+			if err := tab.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *sweep > 0 {
+			if err := runSweep(eng, g, *sweep); err != nil {
 				fatal(err)
 			}
 		}
@@ -104,6 +142,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsgtime: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+}
+
+// runSweep asks the engine "what is λ if this arc's delay were scaled
+// by factor" for every arc in one sweep, then reports the arcs that
+// move the cycle time, most critical first.
+func runSweep(eng *tsg.Engine, g *tsg.Graph, factor float64) error {
+	base, err := eng.Analyze()
+	if err != nil {
+		return err
+	}
+	cands := make([]tsg.WhatIf, g.NumArcs())
+	for i := range cands {
+		cands[i] = tsg.WhatIf{Arc: i, Delay: g.Arc(i).Delay * factor}
+	}
+	lams, err := eng.SensitivitySweep(cands)
+	if err != nil {
+		return err
+	}
+	type hit struct {
+		arc int
+		lam tsg.Ratio
+	}
+	var moved []hit
+	for i, lam := range lams {
+		if !lam.Equal(base.CycleTime) {
+			moved = append(moved, hit{arc: i, lam: lam})
+		}
+	}
+	// Most interesting first: for a slow-down sweep (factor > 1) the
+	// largest resulting λ, for a speed-up sweep the largest reduction.
+	sort.Slice(moved, func(i, j int) bool {
+		if !moved[i].lam.Equal(moved[j].lam) {
+			if factor < 1 {
+				return moved[i].lam.Less(moved[j].lam)
+			}
+			return moved[j].lam.Less(moved[i].lam)
+		}
+		return moved[i].arc < moved[j].arc
+	})
+	const maxRows = 25
+	tab := textio.New(
+		fmt.Sprintf("sensitivity sweep ×%g: %d of %d arcs move λ (showing up to %d)",
+			factor, len(moved), len(cands), maxRows),
+		"arc", "from", "to", "delay", "×factor", "λ")
+	for i, h := range moved {
+		if i == maxRows {
+			break
+		}
+		a := g.Arc(h.arc)
+		tab.AddRow(h.arc, g.Event(a.From).Name, g.Event(a.To).Name, a.Delay, a.Delay*factor, h.lam.String())
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows\n",
+		st.Analyses, st.FastPathHits, st.TableAnswers)
+	return nil
 }
 
 func fatal(err error) {

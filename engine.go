@@ -1,0 +1,42 @@
+package tsg
+
+import "tsg/internal/cycletime"
+
+// This file exposes the compile-once / query-many session layer. The
+// one-shot functions (Analyze, Slacks, Sensitivity, AnalyzeBounds)
+// rebuild the compiled form on every call; an Engine keeps it alive so
+// heavy what-if traffic — the designer's edit-evaluate loop of §I —
+// pays a delay refresh per query instead of a recompile.
+//
+//	e, err := tsg.NewEngine(g)
+//	res, err := e.Analyze()              // compiled once, cached
+//	slacks, err := e.Slacks()            // certified by the simulation
+//	lam, err := e.Sensitivity(arc, 5)    // fast path when within slack
+//	lams, err := e.SensitivitySweep(...) // many what-ifs, worker pool
+//	err = e.SetDelay(arc, 2)             // commit an edit, O(1)
+//
+// See examples/whatif for the full bottleneck-hunting loop.
+
+// Engine is a compiled analysis session: one graph compilation serving
+// arbitrarily many analyses, slack reports, what-if sensitivities,
+// sweeps and interval bounds, with in-place delay edits between
+// queries.
+type Engine = cycletime.Engine
+
+// EngineStats is a snapshot of an engine's query counters (full
+// analyses run vs. queries answered from the slack fast path).
+type EngineStats = cycletime.EngineStats
+
+// WhatIf is one delay assignment of a sensitivity sweep: "what would λ
+// be if Arc's delay were Delay".
+type WhatIf = cycletime.WhatIf
+
+// NewEngine compiles an analysis session for the graph with default
+// options (border-set cut, b periods).
+func NewEngine(g *Graph) (*Engine, error) { return cycletime.NewEngine(g) }
+
+// NewEngineOpts compiles an analysis session with explicit options
+// (custom cut set, period override, scheduling).
+func NewEngineOpts(g *Graph, opts AnalysisOptions) (*Engine, error) {
+	return cycletime.NewEngineOpts(g, opts)
+}

@@ -1,8 +1,6 @@
 package cycletime
 
 import (
-	"fmt"
-
 	"tsg/internal/sg"
 	"tsg/internal/stat"
 )
@@ -24,33 +22,15 @@ type Bounds struct {
 // between. This is the fixed-delay-pair answer to the interval-delay
 // question the paper defers to the min-max function theory of
 // Gunawardena [7].
+//
+// One-shot wrapper over Engine.AnalyzeBounds, which runs the two
+// independent extreme analyses concurrently.
 func AnalyzeBounds(g *sg.Graph, lo, hi func(arc int, nominal float64) float64) (*Bounds, error) {
-	gLo, err := g.WithDelays(lo)
-	if err != nil {
-		return nil, fmt.Errorf("cycletime: lower delays: %w", err)
-	}
-	gHi, err := g.WithDelays(hi)
-	if err != nil {
-		return nil, fmt.Errorf("cycletime: upper delays: %w", err)
-	}
-	for i := 0; i < g.NumArcs(); i++ {
-		if gLo.Arc(i).Delay > gHi.Arc(i).Delay {
-			return nil, fmt.Errorf("cycletime: arc %d has lo %g > hi %g",
-				i, gLo.Arc(i).Delay, gHi.Arc(i).Delay)
-		}
-	}
-	rLo, err := Analyze(gLo)
+	e, err := NewEngine(g)
 	if err != nil {
 		return nil, err
 	}
-	rHi, err := Analyze(gHi)
-	if err != nil {
-		return nil, err
-	}
-	return &Bounds{
-		Min: rLo.CycleTime, Max: rHi.CycleTime,
-		MinResult: rLo, MaxResult: rHi,
-	}, nil
+	return e.AnalyzeBounds(lo, hi)
 }
 
 // Jitter builds the +-fraction interval functions for AnalyzeBounds:

@@ -20,12 +20,18 @@
 // One simulation costs O(b·m); the whole analysis is O(b²·m). Since
 // typically b ≪ n, the algorithm behaves linearly in the specification
 // size in practice (§VII).
+//
+// The package is organised around a compile-once session layer, Engine:
+// a graph is compiled into a delay overlay plus a timesim.Schedule, and
+// analyses, slack reports, what-if sensitivities and sweeps all run
+// against the compiled form (see engine.go). The package-level
+// functions (Analyze, Slacks, Sensitivity, AnalyzeBounds) are one-shot
+// wrappers over a throwaway Engine.
 package cycletime
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -139,155 +145,43 @@ type Result struct {
 
 // Analyze runs the paper's algorithm with default options: event-initiated
 // simulations from every border event over b = |border| periods.
+//
+// Analyze is the one-shot form: it compiles a throwaway Engine and runs
+// a single analysis. Callers issuing repeated queries against the same
+// graph — sensitivity sweeps, slack reports, interval bounds — should
+// hold an Engine instead, which compiles once and reuses the schedule
+// across queries.
 func Analyze(g *sg.Graph) (*Result, error) {
 	return AnalyzeOpts(g, Options{})
 }
 
 // AnalyzeOpts runs the algorithm with explicit options.
 func AnalyzeOpts(g *sg.Graph, opts Options) (*Result, error) {
-	cut := opts.CutSet
-	if cut == nil {
-		cut = g.BorderEvents()
-	} else {
-		for _, e := range cut {
-			if e < 0 || int(e) >= g.NumEvents() {
-				return nil, fmt.Errorf("cycletime: cut-set event %d out of range", e)
-			}
-			if !g.Event(e).Repetitive {
-				return nil, fmt.Errorf("cycletime: cut-set event %q is not repetitive", g.Event(e).Name)
-			}
-		}
-		if !g.IsCutSet(cut) {
-			return nil, fmt.Errorf("cycletime: events %v do not form a cut set", g.EventNames(cut))
-		}
-	}
-	if len(cut) == 0 {
-		return nil, fmt.Errorf("cycletime: graph %q has no border events (no repetitive behaviour to time)", g.Name())
-	}
-	periods := opts.Periods
-	if periods == 0 {
-		// b bounds ε_max for every initially-safe graph; using it keeps
-		// custom (smaller) cut sets sound: fewer simulations, same depth.
-		periods = len(g.BorderEvents())
-		if periods < len(cut) {
-			periods = len(cut)
-		}
-	}
-	if periods < 1 {
-		return nil, fmt.Errorf("cycletime: periods must be >= 1, got %d", periods)
-	}
-
-	sched, err := timesim.Compile(g)
+	e, err := NewEngineOpts(g, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Periods: periods}
-
-	// Pass 1 (Prop. 7): simulate from every cut-set event WITHOUT parent
-	// tracking — the distances only need occurrence times and
-	// reachedness, and dropping the three parent arrays roughly quarters
-	// the memory traffic. Each worker extracts the distance series and
-	// immediately returns its slab to the schedule's pool, so at most
-	// `workers` simulations' worth of memory is live at once.
-	simOpts := timesim.Options{Periods: periods + 1} // instantiations 0..periods
-	series := make([]BorderSeries, len(cut))
-	simErrs := make([]error, len(cut))
-	distSlab := make([]float64, len(cut)*periods) // one backing array for all Distances
-	simulate := func(i int) {
-		tr, err := sched.RunFrom(cut[i], simOpts)
-		if err != nil {
-			simErrs[i] = err
-			return
-		}
-		series[i] = extractSeries(tr, cut[i], periods, distSlab[i*periods:(i+1)*periods:(i+1)*periods])
-		tr.Release()
+	// The engine is throwaway and exclusively owned: return its cached
+	// result directly, skipping Engine.Analyze's defensive deep copy.
+	c, err := e.ensureResult()
+	if err != nil {
+		return nil, err
 	}
-	workers := 1
-	if !opts.Serial && (opts.Parallel || len(cut) >= AutoParallelThreshold) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	runIndexed(len(cut), workers, simulate)
-	best := stat.Ratio{Num: -1, Den: 1}
-	for i, ev := range cut {
-		if simErrs[i] != nil {
-			return nil, fmt.Errorf("cycletime: simulating from %q: %w", g.Event(ev).Name, simErrs[i])
-		}
-		if best.Less(series[i].Best) {
-			best = series[i].Best
-		}
-	}
-	res.Series = series
-	if best.Num < 0 {
-		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
-			periods, g.EventNames(cut))
-	}
-	res.CycleTime = best.Normalize()
-
-	// Pass 2 (Prop. 7/8): exactly the cut-set events attaining λ lie on
-	// critical cycles. Re-simulate only those winners with parent
-	// tracking and backtrack each (Prop. 1), on the same worker pool —
-	// in symmetric graphs (rings) every border event can attain λ, so
-	// this pass may be as wide as pass 1. Deduplication runs serially
-	// afterwards in winner order, keeping Critical deterministic.
-	parentOpts := simOpts
-	parentOpts.TrackParents = true
-	var winners []int
-	for i := range res.Series {
-		s := &res.Series[i]
-		if s.BestIndex == 0 || !s.Best.Equal(best) {
-			continue
-		}
-		s.OnCritical = true
-		winners = append(winners, i)
-	}
-	cycs := make([]*CriticalCycle, len(winners))
-	cycErrs := make([]error, len(winners))
-	runIndexed(len(winners), workers, func(w int) {
-		s := &res.Series[winners[w]]
-		tr, err := sched.RunFrom(s.Event, parentOpts)
-		if err != nil {
-			cycErrs[w] = fmt.Errorf("cycletime: re-simulating from %q: %w", g.Event(s.Event).Name, err)
-			return
-		}
-		cyc, err := backtrack(g, tr, s.Event, s.BestIndex, best)
-		tr.Release()
-		if err != nil {
-			cycErrs[w] = err
-			return
-		}
-		cycs[w] = cyc
-	})
-	var anchors []int // least-rotation anchor of each cycle in res.Critical
-	for w := range winners {
-		if cycErrs[w] != nil {
-			return nil, cycErrs[w]
-		}
-		cStart := leastRotation(cycs[w].Arcs)
-		dup := false
-		for k := range res.Critical {
-			if sameCycle(&res.Critical[k], anchors[k], cycs[w], cStart) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			res.Critical = append(res.Critical, *cycs[w])
-			anchors = append(anchors, cStart)
-		}
-	}
-	return res, nil
+	return c.result, nil
 }
 
-// runIndexed invokes fn(0..n-1), distributing the indices over at most
-// `workers` goroutines pulling from a shared atomic counter. With one
-// worker (or one index) it runs inline with no goroutine overhead.
-func runIndexed(n, workers int, fn func(int)) {
+// runWorkers invokes fn(worker, 0..n-1), distributing the indices over
+// at most `workers` goroutines pulling from a shared atomic counter;
+// the worker id lets callers hand each goroutine private state (the
+// sweep's per-worker engine clones). With one worker (or one index) it
+// runs inline with no goroutine overhead.
+func runWorkers(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -295,18 +189,23 @@ func runIndexed(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// runIndexed is runWorkers for callers that need no per-worker state.
+func runIndexed(n, workers int, fn func(int)) {
+	runWorkers(n, workers, func(_, i int) { fn(i) })
 }
 
 // extractSeries collects the average occurrence distances δ_{e_0}(e_j) of
@@ -392,9 +291,20 @@ func backtrack(g *sg.Graph, tr *timesim.Trace, origin sg.EventID, k int, lambda 
 	for _, ai := range cyc.Arcs {
 		cyc.Length += g.Arc(ai).Delay
 	}
+	// Cycle length is summed in arc order while λ's numerator comes from
+	// the simulation's (topological) summation order; with non-integral
+	// delays the two roundings can differ in the last ulps, so the
+	// consistency check tolerates relative float noise — relative to
+	// the cross-multiplied magnitudes themselves, so the safety net
+	// stays effective at any delay scale — instead of demanding exact
+	// cross-multiplied equality.
 	if got := cyc.Ratio(); !got.Equal(lambda) {
-		return nil, fmt.Errorf("cycletime: internal error: extracted cycle ratio %v != cycle time %v",
-			got, lambda)
+		x := got.Num * float64(lambda.Den)
+		y := lambda.Num * float64(got.Den)
+		if math.Abs(x-y) > 1e-9*math.Max(math.Abs(x), math.Abs(y)) {
+			return nil, fmt.Errorf("cycletime: internal error: extracted cycle ratio %v != cycle time %v",
+				got, lambda)
+		}
 	}
 	return cyc, nil
 }

@@ -1,0 +1,933 @@
+package cycletime
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tsg/internal/mcr"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+	"tsg/internal/timesim"
+)
+
+// Engine is a compiled cycle-time analysis session: compile a Timed
+// Signal Graph once — delay overlay, CSR simulation schedule, period
+// order, cut set, slab pool — and answer arbitrarily many analyses,
+// what-if queries and sensitivity sweeps against the compiled form,
+// with no per-query re-Build or re-Compile. This is the architecture
+// the paper's motivation asks for (§I: performance analysis cheap
+// enough to sit inside a designer's edit-evaluate loop): the one-shot
+// entry points (Analyze, Slacks, Sensitivity, AnalyzeBounds) are thin
+// wrappers that build a throwaway Engine, while sessions with heavy
+// query traffic hold one and reuse it.
+//
+// Query cost model:
+//
+//   - Analyze: one O(b²m) two-pass analysis, cached until delays are
+//     edited;
+//   - Slacks: derived from the cached analysis plus one plain
+//     simulation that seeds the dual (Burns LP) solve, so the slack
+//     certificate costs O(b·m) on top of the analysis instead of an
+//     O(n·m) cold Bellman–Ford;
+//   - Sensitivity/SensitivitySweep: a what-if whose perturbation stays
+//     within the certified slack of its arc (or shrinks an arc that
+//     some cached critical cycle avoids, or touches an arc outside the
+//     repetitive core) is answered λ-unchanged in O(1) without
+//     simulating. Any remaining delay INCREASE is answered exactly
+//     from the per-arc what-if rows — one initiated simulation per
+//     distinct arc head, shared across all queries of the session —
+//     in O(periods) arithmetic. Only uncertified delay DECREASES pay
+//     a delay-column refresh (O(1) per edited arc) plus one λ-only
+//     analysis — never a rebuild or recompile; in sweeps those run on
+//     the bounded worker pool, each worker owning a private overlay +
+//     schedule clone.
+//
+// An Engine is safe for concurrent use: every public method takes the
+// session lock, and the parallel paths (sweep workers, the
+// AnalyzeBounds lo extreme) run on private clones while anything
+// touching the session schedule holds the lock. The one exception is
+// the Graph() view, which reflects in-flight what-if perturbations —
+// read it only between queries, and use Delay() for lock-protected
+// delay reads.
+type Engine struct {
+	mu      sync.Mutex
+	overlay *sg.Overlay
+	g       *sg.Graph // overlay.Graph(): the simulated, delay-current view
+	sched   *timesim.Schedule
+	cut     []sg.EventID
+	periods int
+	opts    Options
+
+	cert     *certificate
+	counters *engineCounters
+
+	// sweepClones are the serial worker engines reused across sweeps;
+	// created on first need, re-synced to the session's baseline delays
+	// before each use (compile once, even for the workers).
+	sweepClones []*Engine
+	// boundsClone runs the lo extreme of AnalyzeBounds concurrently
+	// with the hi extreme on the session schedule; reused across calls.
+	boundsClone *Engine
+}
+
+// certificate caches the analysis of the engine's current baseline
+// delays plus the by-products the sensitivity fast paths need: the
+// certified per-arc slacks (growing an arc within its slack cannot
+// raise λ), the intersection of the cached critical cycles (shrinking
+// an arc avoided by some critical cycle cannot lower λ), and the
+// lazily-built per-arc what-if rows that answer any delay INCREASE
+// exactly in O(periods) after one initiated simulation per arc head.
+type certificate struct {
+	result     *Result
+	slacks     []ArcSlack
+	slackByArc []float64 // NaN for arcs outside the repetitive core
+	onAllCrit  []bool    // arc lies on every cached critical cycle
+
+	// rows[arc][j] is the maximum weight of an unfolded path covering j
+	// periods from the arc's head back to its tail (NaN when none),
+	// extracted from the event-initiated simulation t_head. Closing
+	// such a path with the arc itself yields every cycle through the
+	// arc, so λ after raising the arc's delay to d is
+	//
+	//	max(λ, max_j (rows[arc][j] + d) / (j + marking)),
+	//
+	// exactly: cycles avoiding the arc keep their ratio, paths from a
+	// repetitive head never leave the repetitive core (Validate forbids
+	// repetitive -> non-repetitive arcs), and any non-simple closed
+	// walk the rows include decomposes into simple cycles whose best
+	// ratio bounds it. nil per arc until built; one simulation per
+	// distinct head serves all arcs entering it.
+	rows [][]float64
+}
+
+// engineCounters is shared between an engine and its worker clones so
+// sweep statistics aggregate at the session root.
+type engineCounters struct {
+	analyses     atomic.Int64
+	fastPathHits atomic.Int64
+	tableHits    atomic.Int64
+}
+
+// EngineStats is a snapshot of an engine's query counters.
+type EngineStats struct {
+	// Analyses counts full timing-simulation analyses run by the
+	// engine, including sweep-worker and bounds-extreme analyses.
+	Analyses int64
+	// FastPathHits counts sensitivity queries answered from the slack
+	// certificate without simulating.
+	FastPathHits int64
+	// TableAnswers counts delay-increase queries answered exactly from
+	// the per-arc what-if rows (O(periods) each, one initiated
+	// simulation per distinct arc head) instead of a full O(b²m)
+	// re-analysis.
+	TableAnswers int64
+}
+
+// NewEngine compiles an analysis session with default options: the cut
+// set is the border set, simulated over b periods.
+func NewEngine(g *sg.Graph) (*Engine, error) { return NewEngineOpts(g, Options{}) }
+
+// NewEngineOpts compiles an analysis session with explicit options. The
+// options (cut set, periods, scheduling) are fixed for the session's
+// lifetime; delays are editable through SetDelay/ResetDelays.
+func NewEngineOpts(g *sg.Graph, opts Options) (*Engine, error) {
+	cut := opts.CutSet
+	if cut == nil {
+		cut = g.BorderEvents()
+	} else {
+		// The cut set lives as long as the session (and its clones):
+		// decouple it from the caller's buffer.
+		cut = append([]sg.EventID(nil), cut...)
+		for _, e := range cut {
+			if e < 0 || int(e) >= g.NumEvents() {
+				return nil, fmt.Errorf("cycletime: cut-set event %d out of range", e)
+			}
+			if !g.Event(e).Repetitive {
+				return nil, fmt.Errorf("cycletime: cut-set event %q is not repetitive", g.Event(e).Name)
+			}
+		}
+		if !g.IsCutSet(cut) {
+			return nil, fmt.Errorf("cycletime: events %v do not form a cut set", g.EventNames(cut))
+		}
+	}
+	if len(cut) == 0 {
+		return nil, fmt.Errorf("cycletime: graph %q has no border events (no repetitive behaviour to time)", g.Name())
+	}
+	periods := opts.Periods
+	if periods == 0 {
+		// b bounds ε_max for every initially-safe graph; using it keeps
+		// custom (smaller) cut sets sound: fewer simulations, same depth.
+		periods = len(g.BorderEvents())
+		if periods < len(cut) {
+			periods = len(cut)
+		}
+	}
+	if periods < 1 {
+		return nil, fmt.Errorf("cycletime: periods must be >= 1, got %d", periods)
+	}
+	ov := sg.NewOverlay(g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		overlay:  ov,
+		g:        ov.Graph(),
+		sched:    sched,
+		cut:      cut,
+		periods:  periods,
+		opts:     opts,
+		counters: &engineCounters{},
+	}, nil
+}
+
+// Graph returns the engine's view of the graph. Delays read through it
+// reflect the session's edits; callers must treat it as read-only and
+// must not read it concurrently with in-flight queries (a what-if miss
+// briefly holds the perturbed delay in the view). For concurrent delay
+// reads use Delay, which takes the session lock.
+func (e *Engine) Graph() *sg.Graph { return e.g }
+
+// Periods returns the number of unfolding periods each simulation of
+// the session covers.
+func (e *Engine) Periods() int { return e.periods }
+
+// Stats returns a snapshot of the engine's query counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Analyses:     e.counters.analyses.Load(),
+		FastPathHits: e.counters.fastPathHits.Load(),
+		TableAnswers: e.counters.tableHits.Load(),
+	}
+}
+
+// Delay returns the current (session) delay of an arc.
+func (e *Engine) Delay(arc int) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.overlay.Delay(arc)
+}
+
+// SetDelay permanently edits the session baseline: subsequent analyses,
+// slacks, sensitivities and sweeps see the new delay. The cached
+// analysis certificate is invalidated; the compiled schedule is
+// refreshed in place (no recompile).
+func (e *Engine) SetDelay(arc int, delay float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.overlay.SetDelay(arc, delay); err != nil {
+		return err
+	}
+	e.cert = nil
+	return nil
+}
+
+// ResetDelays restores every arc to the delay it had when the engine
+// was compiled.
+func (e *Engine) ResetDelays() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.overlay.Reset()
+	e.cert = nil
+}
+
+// Analyze runs the paper's two-pass analysis at the session's current
+// delays. The result is cached: repeated calls without intervening
+// delay edits answer without re-simulating. Each call returns a
+// private deep copy, so callers may freely reorder or truncate the
+// returned series and cycles without corrupting the certificate the
+// sensitivity fast paths are derived from.
+func (e *Engine) Analyze() (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, err := e.ensureResult()
+	if err != nil {
+		return nil, err
+	}
+	return cloneResult(c.result), nil
+}
+
+// cloneResult deep-copies an analysis result (series, distances,
+// critical cycles), decoupling the caller's copy from the cached
+// certificate.
+func cloneResult(r *Result) *Result {
+	nr := *r
+	nr.Series = append([]BorderSeries(nil), r.Series...)
+	for i := range nr.Series {
+		nr.Series[i].Distances = append([]float64(nil), r.Series[i].Distances...)
+	}
+	nr.Critical = append([]CriticalCycle(nil), r.Critical...)
+	for i := range nr.Critical {
+		nr.Critical[i].Events = append([]sg.EventID(nil), r.Critical[i].Events...)
+		nr.Critical[i].Arcs = append([]int(nil), r.Critical[i].Arcs...)
+	}
+	return &nr
+}
+
+// CycleTime returns λ at the session's current delays (from the cached
+// analysis when available).
+func (e *Engine) CycleTime() (stat.Ratio, error) {
+	res, err := e.Analyze()
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	return res.CycleTime, nil
+}
+
+// Slacks returns the per-arc timing slacks at the session's cycle time,
+// certified by the engine's own simulation times: the λ-detrended
+// occurrence maxima of one plain simulation seed the dual (Burns LP)
+// solve, which converges in a handful of relaxation rounds instead of
+// the cold Bellman–Ford's O(n) (see mcr.FeasiblePotentialSeeded). The
+// certifying potential is not unique, so individual slack values may
+// differ from the one-shot Slacks — both are valid certificates with
+// the same guarantees (no negative slack, every critical arc tight).
+func (e *Engine) Slacks() ([]ArcSlack, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, err := e.ensureCert()
+	if err != nil {
+		return nil, err
+	}
+	return append([]ArcSlack(nil), c.slacks...), nil
+}
+
+// Sensitivity answers "what is λ if this arc's delay becomes newDelay"
+// without disturbing the session: certified perturbations are answered
+// from the slack certificate without simulating; everything else is a
+// delay refresh plus one full analysis, with the baseline restored
+// afterwards.
+func (e *Engine) Sensitivity(arc int, newDelay float64) (stat.Ratio, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.whatIf(arc, newDelay)
+}
+
+// WhatIf is one delay assignment of a sensitivity sweep.
+type WhatIf struct {
+	Arc   int
+	Delay float64
+}
+
+// SensitivitySweep answers many what-if queries in one call: λ for each
+// candidate as if its arc's delay were replaced, all against the
+// session baseline (candidates do not compose). Results are identical
+// to calling Sensitivity once per candidate — the differential tests
+// assert it — but the sweep answers certified candidates from the slack
+// fast path without simulating, batches the what-if-row simulations of
+// the remaining increases (one per distinct arc head, on the worker
+// pool), and distributes the full analyses of uncertified decreases
+// over the same pool, each worker owning a private overlay + schedule
+// clone so simulations never share mutable state.
+func (e *Engine) SensitivitySweep(cands []WhatIf) ([]stat.Ratio, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, err := e.ensureCert()
+	if err != nil {
+		return nil, err
+	}
+	// Validate every candidate before answering (or counting) any, so
+	// a sweep rejected here leaves the session statistics untouched.
+	for i, cd := range cands {
+		if err := e.validateWhatIf(cd.Arc, cd.Delay); err != nil {
+			return nil, fmt.Errorf("cycletime: sweep candidate %d: %w", i, err)
+		}
+	}
+	out := make([]stat.Ratio, len(cands))
+	var full, incr []int
+	for i, cd := range cands {
+		if lam, ok := fastAnswer(c, e.overlay.Delay(cd.Arc), cd.Arc, cd.Delay); ok {
+			out[i] = lam
+			e.counters.fastPathHits.Add(1)
+			continue
+		}
+		if cd.Delay > e.overlay.Delay(cd.Arc) {
+			incr = append(incr, i)
+		} else {
+			full = append(full, i)
+		}
+	}
+	// Increase misses are answered exactly from the what-if rows: one
+	// initiated simulation per distinct arc head — always cheaper than
+	// the |cut| simulations of even one full analysis — then O(periods)
+	// arithmetic per candidate.
+	if len(incr) > 0 {
+		arcs := make([]int, len(incr))
+		for k, i := range incr {
+			arcs[k] = cands[i].Arc
+		}
+		if err := e.ensureRows(c, arcs); err != nil {
+			return nil, err
+		}
+		for _, i := range incr {
+			out[i] = c.answerFromRow(e.g, cands[i].Arc, cands[i].Delay)
+			e.counters.tableHits.Add(1)
+		}
+	}
+	if len(full) == 0 {
+		return out, nil
+	}
+	workers := 1
+	if !e.opts.Serial && (e.opts.Parallel || len(full) >= 2 && len(full)*len(e.cut) >= AutoParallelThreshold) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(full) {
+		workers = len(full)
+	}
+	if workers <= 1 {
+		for _, i := range full {
+			lam, err := e.whatIfFull(cands[i].Arc, cands[i].Delay)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = lam
+		}
+		return out, nil
+	}
+	clones, err := e.syncedClones(workers)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]error, workers)
+	runWorkers(len(full), workers, func(w, k int) {
+		if errs[w] != nil {
+			return
+		}
+		i := full[k]
+		lam, err := clones[w].whatIfFull(cands[i].Arc, cands[i].Delay)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		out[i] = lam
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AnalyzeBounds computes guaranteed cycle-time bounds when every arc
+// delay may vary inside [lo(a), hi(a)] of the session's current delays:
+// λ is monotone in each delay, so the two extreme assignments bracket
+// every assignment in between. The two extreme analyses are independent
+// and run concurrently — the lo extreme on a cached clone, the hi
+// extreme in place on the session schedule, which is restored after.
+func (e *Engine) AnalyzeBounds(lo, hi func(arc int, nominal float64) float64) (*Bounds, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.g.NumArcs()
+	dLo := make([]float64, m)
+	dHi := make([]float64, m)
+	for i := 0; i < m; i++ {
+		nom := e.overlay.Delay(i)
+		dLo[i], dHi[i] = lo(i, nom), hi(i, nom)
+		if dLo[i] < 0 || math.IsNaN(dLo[i]) {
+			return nil, fmt.Errorf("cycletime: lower delays: arc %d: invalid delay %g", i, dLo[i])
+		}
+		if dHi[i] < 0 || math.IsNaN(dHi[i]) {
+			return nil, fmt.Errorf("cycletime: upper delays: arc %d: invalid delay %g", i, dHi[i])
+		}
+		if dLo[i] > dHi[i] {
+			return nil, fmt.Errorf("cycletime: arc %d has lo %g > hi %g", i, dLo[i], dHi[i])
+		}
+	}
+	analyzeAt := func(we *Engine, d []float64) (*Result, error) {
+		if err := we.overlay.SetDelays(func(i int, _ float64) float64 { return d[i] }); err != nil {
+			return nil, err
+		}
+		we.refreshAll()
+		return we.runAnalysis(false)
+	}
+	// The lo extreme runs on a private clone, the hi extreme reuses the
+	// session's own idle schedule (restored afterwards), so one bounds
+	// query costs a single extra compile, and none once the clone
+	// exists.
+	if e.boundsClone == nil {
+		bc, err := e.clone(false)
+		if err != nil {
+			return nil, err
+		}
+		e.boundsClone = bc
+	}
+	loClone := e.boundsClone
+	cur := make([]float64, m)
+	for i := range cur {
+		cur[i] = e.overlay.Delay(i)
+	}
+	var (
+		rLo, rHi *Result
+		eLo, eHi error
+		wg       sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rLo, eLo = analyzeAt(loClone, dLo)
+	}()
+	rHi, eHi = analyzeAt(e, dHi)
+	// Restore the session baseline exactly; the cached certificate
+	// remains valid.
+	restoreErr := e.overlay.SetDelays(func(i int, _ float64) float64 { return cur[i] })
+	e.refreshAll()
+	wg.Wait()
+	if restoreErr != nil {
+		return nil, restoreErr
+	}
+	if eLo != nil {
+		return nil, eLo
+	}
+	if eHi != nil {
+		return nil, eHi
+	}
+	return &Bounds{
+		Min: rLo.CycleTime, Max: rHi.CycleTime,
+		MinResult: rLo, MaxResult: rHi,
+	}, nil
+}
+
+// --- internals ---------------------------------------------------------
+
+// refresh drains the overlay's dirty arcs into the compiled schedule's
+// delay columns.
+func (e *Engine) refresh() { e.overlay.DrainDirty(e.sched.RefreshArcDelay) }
+
+// refreshAll rewrites every delay column from the overlay graph — the
+// bulk counterpart of refresh for whole-graph delay assignments, where
+// one column scan beats draining m dirty arcs one by one.
+func (e *Engine) refreshAll() {
+	e.sched.RefreshDelays()
+	e.overlay.DrainDirty(func(int, float64) {})
+}
+
+// ensureResult returns the certificate holding the analysis of the
+// current baseline delays, running it if needed.
+func (e *Engine) ensureResult() (*certificate, error) {
+	if e.cert == nil {
+		e.refresh()
+		res, err := e.runAnalysis(false)
+		if err != nil {
+			return nil, err
+		}
+		e.cert = &certificate{result: res}
+	}
+	return e.cert, nil
+}
+
+// ensureCert extends ensureResult with the slack certificate the
+// sensitivity fast path consumes.
+func (e *Engine) ensureCert() (*certificate, error) {
+	c, err := e.ensureResult()
+	if err != nil {
+		return nil, err
+	}
+	if c.slackByArc == nil {
+		if err := e.buildCertificate(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// buildCertificate derives the slack certificate from the cached
+// analysis: one plain simulation seeds the dual solve with the primal
+// evidence the engine already holds (the λ-detrended occurrence maxima
+// max_p (t(e_p) − λ·p) are unfolded-path weights, already feasible
+// along every simulated constraint), and the cached critical cycles are
+// intersected for the delay-decrease fast path.
+func (e *Engine) buildCertificate(c *certificate) error {
+	lam := c.result.CycleTime.Float()
+	tr, err := e.sched.Run(timesim.Options{Periods: e.periods + 1})
+	if err != nil {
+		return err
+	}
+	seed := make([]float64, e.g.NumEvents())
+	for _, ev := range e.g.RepetitiveEvents() {
+		best := 0.0
+		for p := 0; p <= e.periods; p++ {
+			if t, ok := tr.Time(ev, p); ok {
+				if v := t - lam*float64(p); v > best {
+					best = v
+				}
+			}
+		}
+		seed[ev] = best
+	}
+	tr.Release()
+	u, err := mcr.FeasiblePotentialSeeded(e.g, lam, seed)
+	if err != nil {
+		return fmt.Errorf("cycletime: certifying slacks at λ=%v: %w", c.result.CycleTime, err)
+	}
+	c.slacks = slacksFromPotential(e.g, lam, u)
+	c.slackByArc = make([]float64, e.g.NumArcs())
+	for i := range c.slackByArc {
+		c.slackByArc[i] = math.NaN()
+	}
+	for _, s := range c.slacks {
+		c.slackByArc[s.Arc] = s.Slack
+	}
+	c.onAllCrit = make([]bool, e.g.NumArcs())
+	for i, cyc := range c.result.Critical {
+		if i == 0 {
+			for _, ai := range cyc.Arcs {
+				c.onAllCrit[ai] = true
+			}
+			continue
+		}
+		in := make([]bool, e.g.NumArcs())
+		for _, ai := range cyc.Arcs {
+			in[ai] = true
+		}
+		for a := range c.onAllCrit {
+			c.onAllCrit[a] = c.onAllCrit[a] && in[a]
+		}
+	}
+	return nil
+}
+
+// fastAnswer reports (λ, true) when the certificate proves the
+// perturbed graph keeps the baseline cycle time:
+//
+//   - growing an arc within its certified slack keeps the potential u
+//     feasible (λ' <= λ) while growing a delay never lowers the maximum
+//     cycle ratio (λ' >= λ); the slackEps guard keeps the float-derived
+//     certificate strictly on the safe side of the boundary, so a
+//     perturbation landing exactly on the slack runs the full analysis
+//     instead (same answer, simulated);
+//   - shrinking an arc never raises any cycle ratio (λ' <= λ), and if
+//     some cached critical cycle avoids the arc its ratio — and hence
+//     λ — is untouched (λ' >= λ); this direction is exact and needs no
+//     float margin.
+func fastAnswer(c *certificate, current float64, arc int, newDelay float64) (stat.Ratio, bool) {
+	delta := newDelay - current
+	if delta == 0 {
+		return c.result.CycleTime, true
+	}
+	s := c.slackByArc[arc]
+	if math.IsNaN(s) {
+		// Outside the repetitive core: every such arc leaves a
+		// non-repetitive event (Validate forbids repetitive ->
+		// non-repetitive arcs), so no path from a repetitive event —
+		// in particular no cut-set simulation and no cycle — ever
+		// traverses it. λ is independent of its delay.
+		return c.result.CycleTime, true
+	}
+	if delta > 0 {
+		// The guard margin scales with the operand magnitudes so the
+		// float-derived certificate stays on the safe side of the
+		// boundary at any delay scale, not just near unit delays.
+		margin := slackEps * math.Max(1, math.Max(math.Abs(current), math.Abs(newDelay)))
+		if delta <= s-margin {
+			return c.result.CycleTime, true
+		}
+		return stat.Ratio{}, false
+	}
+	if !c.onAllCrit[arc] {
+		return c.result.CycleTime, true
+	}
+	return stat.Ratio{}, false
+}
+
+// ensureRows builds the what-if rows for the given arcs: the arcs are
+// grouped by head event, one event-initiated simulation per distinct
+// head extracts the head→tail path-weight rows for every requested
+// in-arc of that head, and the simulations run on the bounded worker
+// pool. Rows already built are skipped, so a session sweeping
+// repeatedly amortises the simulations across sweeps.
+func (e *Engine) ensureRows(c *certificate, arcs []int) error {
+	if c.rows == nil {
+		c.rows = make([][]float64, e.g.NumArcs())
+	}
+	byHead := map[sg.EventID][]int{}
+	for _, ai := range arcs {
+		if c.rows[ai] == nil {
+			byHead[e.g.Arc(ai).To] = append(byHead[e.g.Arc(ai).To], ai)
+		}
+	}
+	if len(byHead) == 0 {
+		return nil
+	}
+	heads := make([]sg.EventID, 0, len(byHead))
+	for v := range byHead {
+		heads = append(heads, v)
+	}
+	simOpts := timesim.Options{Periods: e.periods + 1}
+	errs := make([]error, len(heads))
+	workers := 1
+	if !e.opts.Serial && (e.opts.Parallel || len(heads) >= AutoParallelThreshold) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runIndexed(len(heads), workers, func(i int) {
+		v := heads[i]
+		tr, err := e.sched.RunFrom(v, simOpts)
+		if err != nil {
+			errs[i] = fmt.Errorf("cycletime: what-if row simulation from %q: %w", e.g.Event(v).Name, err)
+			return
+		}
+		for _, ai := range byHead[v] {
+			u := e.g.Arc(ai).From
+			row := make([]float64, e.periods+1)
+			for j := 0; j <= e.periods; j++ {
+				if t, ok := tr.Time(u, j); ok && tr.Reached(u, j) {
+					row[j] = t
+				} else {
+					row[j] = math.NaN()
+				}
+			}
+			c.rows[ai] = row
+		}
+		tr.Release()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// answerFromRow evaluates λ after raising one arc's delay to newDelay
+// against the arc's what-if row: the best cycle through the arc closes
+// a head→tail path with the perturbed arc, everything else keeps λ.
+// Exact for newDelay >= the baseline delay.
+func (c *certificate) answerFromRow(g *sg.Graph, arc int, newDelay float64) stat.Ratio {
+	m := 0
+	if g.Arc(arc).Marked {
+		m = 1
+	}
+	best := c.result.CycleTime
+	for j, t := range c.rows[arc] {
+		if math.IsNaN(t) || j+m == 0 {
+			continue
+		}
+		if r := stat.NewRatio(t+newDelay, j+m); best.Less(r) {
+			best = r
+		}
+	}
+	return best.Normalize()
+}
+
+// validateWhatIf checks one what-if assignment against the session
+// graph — the single definition of delay validity shared by every
+// sensitivity entry point. Messages carry no package prefix; callers
+// add their own context.
+func (e *Engine) validateWhatIf(arc int, delay float64) error {
+	if arc < 0 || arc >= e.g.NumArcs() {
+		return fmt.Errorf("arc index %d out of range [0,%d)", arc, e.g.NumArcs())
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("invalid delay %g on arc %d", delay, arc)
+	}
+	return nil
+}
+
+// whatIf answers one sensitivity query: slack fast path, else the
+// what-if row (exact for increases), else full analysis.
+func (e *Engine) whatIf(arc int, newDelay float64) (stat.Ratio, error) {
+	if err := e.validateWhatIf(arc, newDelay); err != nil {
+		return stat.Ratio{}, fmt.Errorf("cycletime: %w", err)
+	}
+	c, err := e.ensureCert()
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	if lam, ok := fastAnswer(c, e.overlay.Delay(arc), arc, newDelay); ok {
+		e.counters.fastPathHits.Add(1)
+		return lam, nil
+	}
+	if newDelay > e.overlay.Delay(arc) {
+		if err := e.ensureRows(c, []int{arc}); err != nil {
+			return stat.Ratio{}, err
+		}
+		e.counters.tableHits.Add(1)
+		return c.answerFromRow(e.g, arc, newDelay), nil
+	}
+	return e.whatIfFull(arc, newDelay)
+}
+
+// whatIfFull perturbs one arc in place, re-analyses against the
+// compiled schedule, and restores the baseline delay. The cached
+// certificate stays valid because the baseline is restored exactly.
+// Only λ is needed, so the analysis skips pass 2 (winner re-simulation
+// and critical-cycle backtracking).
+func (e *Engine) whatIfFull(arc int, newDelay float64) (stat.Ratio, error) {
+	old := e.overlay.Delay(arc)
+	if err := e.overlay.SetDelay(arc, newDelay); err != nil {
+		return stat.Ratio{}, err
+	}
+	e.refresh()
+	res, err := e.runAnalysis(true)
+	// Restore before error handling so the session baseline survives a
+	// failed analysis; the nominal delay is always valid.
+	_ = e.overlay.SetDelay(arc, old)
+	e.refresh()
+	if err != nil {
+		return stat.Ratio{}, err
+	}
+	return res.CycleTime, nil
+}
+
+// syncedClones returns n worker engines re-synced to the session's
+// current baseline delays, creating (and caching) any that do not
+// exist yet. Runs serially under the session lock; the clones are then
+// used exclusively by the sweep's worker goroutines.
+func (e *Engine) syncedClones(n int) ([]*Engine, error) {
+	for len(e.sweepClones) < n {
+		we, err := e.clone(true)
+		if err != nil {
+			return nil, err
+		}
+		e.sweepClones = append(e.sweepClones, we)
+	}
+	for _, we := range e.sweepClones[:n] {
+		for i := 0; i < e.g.NumArcs(); i++ {
+			if d := e.overlay.Delay(i); we.overlay.Delay(i) != d {
+				if err := we.overlay.SetDelay(i, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+		we.refresh()
+	}
+	return e.sweepClones[:n], nil
+}
+
+// clone derives an engine over the same current baseline delays with a
+// private overlay and schedule, sharing the parent's counters. Worker
+// clones (serial=true) run their b simulations on one goroutine — the
+// sweep's worker pool already saturates the CPUs — which yields
+// identical Results by the scheduling-determinism guarantee.
+func (e *Engine) clone(serial bool) (*Engine, error) {
+	ov := sg.NewOverlay(e.g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		return nil, err
+	}
+	opts := e.opts
+	if serial {
+		opts.Serial, opts.Parallel = true, false
+	}
+	return &Engine{
+		overlay:  ov,
+		g:        ov.Graph(),
+		sched:    sched,
+		cut:      e.cut,
+		periods:  e.periods,
+		opts:     opts,
+		counters: e.counters,
+	}, nil
+}
+
+// runAnalysis executes the paper's two-pass algorithm (§VII) against
+// the compiled schedule at the schedule's current delays. With
+// lambdaOnly set it stops after pass 1 — λ and the series are complete,
+// only the critical-cycle extraction is skipped — which is what the
+// sensitivity paths use. Callers hold the session lock or own the
+// engine exclusively.
+func (e *Engine) runAnalysis(lambdaOnly bool) (*Result, error) {
+	e.counters.analyses.Add(1)
+	g, cut, periods, sched := e.g, e.cut, e.periods, e.sched
+	res := &Result{Periods: periods}
+
+	// Pass 1 (Prop. 7): simulate from every cut-set event WITHOUT parent
+	// tracking — the distances only need occurrence times and
+	// reachedness, and dropping the three parent arrays roughly quarters
+	// the memory traffic. Each worker extracts the distance series and
+	// immediately returns its slab to the schedule's pool, so at most
+	// `workers` simulations' worth of memory is live at once.
+	simOpts := timesim.Options{Periods: periods + 1} // instantiations 0..periods
+	series := make([]BorderSeries, len(cut))
+	simErrs := make([]error, len(cut))
+	distSlab := make([]float64, len(cut)*periods) // one backing array for all Distances
+	simulate := func(i int) {
+		tr, err := sched.RunFrom(cut[i], simOpts)
+		if err != nil {
+			simErrs[i] = err
+			return
+		}
+		series[i] = extractSeries(tr, cut[i], periods, distSlab[i*periods:(i+1)*periods:(i+1)*periods])
+		tr.Release()
+	}
+	workers := 1
+	if !e.opts.Serial && (e.opts.Parallel || len(cut) >= AutoParallelThreshold) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runIndexed(len(cut), workers, simulate)
+	best := stat.Ratio{Num: -1, Den: 1}
+	for i, ev := range cut {
+		if simErrs[i] != nil {
+			return nil, fmt.Errorf("cycletime: simulating from %q: %w", g.Event(ev).Name, simErrs[i])
+		}
+		if best.Less(series[i].Best) {
+			best = series[i].Best
+		}
+	}
+	res.Series = series
+	if best.Num < 0 {
+		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
+			periods, g.EventNames(cut))
+	}
+	res.CycleTime = best.Normalize()
+	if lambdaOnly {
+		return res, nil
+	}
+
+	// Pass 2 (Prop. 7/8): exactly the cut-set events attaining λ lie on
+	// critical cycles. Re-simulate only those winners with parent
+	// tracking and backtrack each (Prop. 1), on the same worker pool —
+	// in symmetric graphs (rings) every border event can attain λ, so
+	// this pass may be as wide as pass 1. Deduplication runs serially
+	// afterwards in winner order, keeping Critical deterministic.
+	parentOpts := simOpts
+	parentOpts.TrackParents = true
+	var winners []int
+	for i := range res.Series {
+		s := &res.Series[i]
+		if s.BestIndex == 0 || !s.Best.Equal(best) {
+			continue
+		}
+		s.OnCritical = true
+		winners = append(winners, i)
+	}
+	cycs := make([]*CriticalCycle, len(winners))
+	cycErrs := make([]error, len(winners))
+	runIndexed(len(winners), workers, func(w int) {
+		s := &res.Series[winners[w]]
+		tr, err := sched.RunFrom(s.Event, parentOpts)
+		if err != nil {
+			cycErrs[w] = fmt.Errorf("cycletime: re-simulating from %q: %w", g.Event(s.Event).Name, err)
+			return
+		}
+		cyc, err := backtrack(g, tr, s.Event, s.BestIndex, best)
+		tr.Release()
+		if err != nil {
+			cycErrs[w] = err
+			return
+		}
+		cycs[w] = cyc
+	})
+	var anchors []int // least-rotation anchor of each cycle in res.Critical
+	for w := range winners {
+		if cycErrs[w] != nil {
+			return nil, cycErrs[w]
+		}
+		cStart := leastRotation(cycs[w].Arcs)
+		dup := false
+		for k := range res.Critical {
+			if sameCycle(&res.Critical[k], anchors[k], cycs[w], cStart) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			res.Critical = append(res.Critical, *cycs[w])
+			anchors = append(anchors, cStart)
+		}
+	}
+	return res, nil
+}

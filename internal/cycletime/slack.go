@@ -33,12 +33,26 @@ const slackEps = 1e-9
 // slack; disengageable and prefix arcs are skipped. The sum of (negated)
 // slacks around any cycle equals ε·λ − C, so a cycle is critical iff all
 // its arcs are tight.
+//
+// This is the general form accepting an arbitrary λ (it fails when λ is
+// below the cycle time); it cold-starts the dual Bellman–Ford solve.
+// Engine.Slacks is the session form: it certifies λ itself and seeds
+// the solve from its own simulation times, converging in a fraction of
+// the relaxation rounds — onto an equally valid but possibly different
+// certificate (the potential is not unique), so individual slack
+// values may differ between the two forms.
 func Slacks(g *sg.Graph, lambda stat.Ratio) ([]ArcSlack, error) {
 	lam := lambda.Float()
 	u, err := mcr.FeasiblePotential(g, lam)
 	if err != nil {
 		return nil, fmt.Errorf("cycletime: slacks at λ=%v: %w", lambda, err)
 	}
+	return slacksFromPotential(g, lam, u), nil
+}
+
+// slacksFromPotential evaluates the per-arc slacks of the repetitive
+// core against a feasible potential u at λ.
+func slacksFromPotential(g *sg.Graph, lam float64, u []float64) []ArcSlack {
 	var out []ArcSlack
 	for i := 0; i < g.NumArcs(); i++ {
 		a := g.Arc(i)
@@ -55,7 +69,7 @@ func Slacks(g *sg.Graph, lambda stat.Ratio) ([]ArcSlack, error) {
 		}
 		out = append(out, ArcSlack{Arc: i, Slack: s, Tight: s == 0})
 	}
-	return out, nil
+	return out
 }
 
 // Sensitivity reports how the cycle time responds to a delay change on
@@ -63,6 +77,12 @@ func Slacks(g *sg.Graph, lambda stat.Ratio) ([]ArcSlack, error) {
 // given value. Tight arcs increase λ (by Δ/ε for the critical cycle
 // through them); slack arcs absorb changes up to their slack. The
 // original graph is left untouched.
+//
+// This one-shot form pays a full graph copy and recompile per call and
+// is retained as the independent oracle the engine is differentially
+// tested against; sweeps should use Engine.Sensitivity or
+// Engine.SensitivitySweep, which reuse one compiled session and answer
+// certified perturbations without simulating at all.
 func Sensitivity(g *sg.Graph, arc int, newDelay float64) (stat.Ratio, error) {
 	ng, err := g.WithArcDelay(arc, newDelay)
 	if err != nil {

@@ -89,8 +89,30 @@ func hasPositiveCycle(g *sg.Graph, lambda float64) bool {
 // solution of the Burns LP and is exported for the LP-oriented
 // experiments and tests.
 func FeasiblePotential(g *sg.Graph, lambda float64) ([]float64, error) {
+	return FeasiblePotentialSeeded(g, lambda, nil)
+}
+
+// FeasiblePotentialSeeded is FeasiblePotential warm-started from a seed
+// potential (nil means the all-zero cold start). Seeding with values
+// already close to feasibility — e.g. the λ-detrended occurrence times
+// max_p (t(e_p) − λ·p) of a timing simulation, which are unfolded-path
+// weights — converges in a handful of relaxation rounds instead of
+// O(n); this is how the cycle-time engine turns its final simulation
+// times into a slack certificate without re-deriving the dual from
+// scratch. Any converged output is a feasible potential, but a seed
+// exceeding the cold fixpoint somewhere (simulation times include
+// prefix/transient contributions outside the repetitive core) yields a
+// different — equally valid — certificate than the cold start.
+func FeasiblePotentialSeeded(g *sg.Graph, lambda float64, seed []float64) ([]float64, error) {
 	n := g.NumEvents()
 	dist := make([]float64, n)
+	if seed != nil {
+		if len(seed) != n {
+			return nil, fmt.Errorf("mcr: seed potential has %d entries, graph %q has %d events",
+				len(seed), g.Name(), n)
+		}
+		copy(dist, seed)
+	}
 	for round := 0; round < n+1; round++ {
 		active := false
 		for i := 0; i < g.NumArcs(); i++ {

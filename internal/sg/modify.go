@@ -1,6 +1,9 @@
 package sg
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // WithArcDelay returns a copy of the graph with arc i's delay replaced.
 // The topology is unchanged, so no re-validation is needed; the copy
@@ -10,8 +13,8 @@ func (g *Graph) WithArcDelay(i int, delay float64) (*Graph, error) {
 	if i < 0 || i >= len(g.arcs) {
 		return nil, fmt.Errorf("sg: arc index %d out of range [0,%d)", i, len(g.arcs))
 	}
-	if delay < 0 {
-		return nil, fmt.Errorf("sg: negative delay %g", delay)
+	if delay < 0 || math.IsNaN(delay) {
+		return nil, fmt.Errorf("sg: invalid delay %g", delay)
 	}
 	ng := *g
 	ng.arcs = append([]Arc(nil), g.arcs...)
@@ -44,8 +47,8 @@ func (g *Graph) WithDelays(f func(arc int, delay float64) float64) (*Graph, erro
 	ng.arcs = append([]Arc(nil), g.arcs...)
 	for i := range ng.arcs {
 		d := f(i, ng.arcs[i].Delay)
-		if d < 0 {
-			return nil, fmt.Errorf("sg: WithDelays produced negative delay %g on arc %d", d, i)
+		if d < 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("sg: WithDelays produced invalid delay %g on arc %d", d, i)
 		}
 		ng.arcs[i].Delay = d
 	}

@@ -1,0 +1,120 @@
+package sg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Overlay is a mutable delay view over an immutable Graph: a private
+// copy of the graph that shares every index structure (adjacency, CSR
+// layout, period order, border set, name table) with the original while
+// owning its arc list and in-arc delay column, which are edited in
+// place. It replaces the per-query WithArcDelay graph copies in what-if
+// analyses: a session creates one Overlay, edits delays between
+// queries, and a compiled simulation schedule follows the edits through
+// its refresh hooks (timesim.Schedule.RefreshArcDelay), so a delay
+// change costs O(1) instead of an O(m) copy plus a recompile.
+//
+// The overlay records which arcs changed since the last DrainDirty, so
+// a consumer tracking the view (the cycletime engine's schedule) can
+// refresh exactly the touched records. An Overlay is not safe for
+// concurrent use; the session layer serialises edits against
+// simulations.
+type Overlay struct {
+	g       *Graph
+	nominal []float64 // delay snapshot taken when the overlay was created
+	inPos   []int32   // arc index -> position in the graph's in-arc delay column
+	dirty   []int32   // arcs edited since the last DrainDirty, in first-edit order
+	isDirty []bool
+}
+
+// NewOverlay builds a delay overlay of g. The overlay's Graph() starts
+// bit-identical to g; the original graph is never modified through it.
+func NewOverlay(g *Graph) *Overlay {
+	ng := *g
+	ng.arcs = append([]Arc(nil), g.arcs...)
+	ng.inDelay = append([]float64(nil), g.inDelay...)
+	m := len(ng.arcs)
+	o := &Overlay{
+		g:       &ng,
+		nominal: make([]float64, m),
+		inPos:   make([]int32, m),
+		isDirty: make([]bool, m),
+	}
+	for i := range ng.arcs {
+		o.nominal[i] = ng.arcs[i].Delay
+	}
+	for p, ai := range ng.inPacked {
+		o.inPos[ai] = int32(p)
+	}
+	return o
+}
+
+// Graph returns the overlay's graph view. The pointer is stable across
+// edits, and delays read through it always reflect the current overlay
+// state; callers must treat the view as read-only.
+func (o *Overlay) Graph() *Graph { return o.g }
+
+// NumArcs returns the arc count of the underlying graph.
+func (o *Overlay) NumArcs() int { return len(o.g.arcs) }
+
+// Delay returns the current delay of arc i.
+func (o *Overlay) Delay(i int) float64 { return o.g.arcs[i].Delay }
+
+// Nominal returns the delay arc i had when the overlay was created.
+func (o *Overlay) Nominal(i int) float64 { return o.nominal[i] }
+
+// SetDelay replaces arc i's delay in place — both the arc record and
+// the packed in-arc delay column the simulation kernels read — and
+// marks the arc dirty for the next DrainDirty.
+func (o *Overlay) SetDelay(i int, delay float64) error {
+	if i < 0 || i >= len(o.g.arcs) {
+		return fmt.Errorf("sg: arc index %d out of range [0,%d)", i, len(o.g.arcs))
+	}
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("sg: invalid delay %g", delay)
+	}
+	o.g.arcs[i].Delay = delay
+	o.g.inDelay[o.inPos[i]] = delay
+	if !o.isDirty[i] {
+		o.isDirty[i] = true
+		o.dirty = append(o.dirty, int32(i))
+	}
+	return nil
+}
+
+// SetDelays replaces every arc delay with f(arc, nominal), where
+// nominal is the overlay's creation-time delay (so repeated SetDelays
+// calls compose from the same base, like WithDelays on the original
+// graph). Negative results are rejected; already-applied edits of the
+// failing call are kept (the caller typically Resets on error).
+func (o *Overlay) SetDelays(f func(arc int, nominal float64) float64) error {
+	for i := range o.g.arcs {
+		if err := o.SetDelay(i, f(i, o.nominal[i])); err != nil {
+			return fmt.Errorf("sg: overlay delays: arc %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Reset restores every arc to its nominal delay, marking restored arcs
+// dirty so a tracking schedule refreshes them.
+func (o *Overlay) Reset() {
+	for i := range o.g.arcs {
+		if o.g.arcs[i].Delay != o.nominal[i] {
+			// Error impossible: nominal delays were validated >= 0.
+			_ = o.SetDelay(i, o.nominal[i])
+		}
+	}
+}
+
+// DrainDirty invokes fn for every arc edited since the previous drain,
+// in first-edit order, and clears the dirty set. A compiled schedule
+// passes its RefreshArcDelay here to track the overlay.
+func (o *Overlay) DrainDirty(fn func(arc int, delay float64)) {
+	for _, ai := range o.dirty {
+		o.isDirty[ai] = false
+		fn(int(ai), o.g.arcs[ai].Delay)
+	}
+	o.dirty = o.dirty[:0]
+}

@@ -1,0 +1,131 @@
+package sg_test
+
+import (
+	"math"
+	"testing"
+
+	"tsg/internal/sg"
+)
+
+func overlayFixture(t *testing.T) *sg.Graph {
+	t.Helper()
+	g, err := sg.NewBuilder("ov").
+		Events("a+", "b+", "c+").
+		Arc("a+", "b+", 1).
+		Arc("b+", "c+", 2).
+		Arc("c+", "a+", 3, sg.Marked()).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// TestOverlaySetDelay: edits land in both the arc list and the packed
+// in-arc delay column, and never touch the original graph.
+func TestOverlaySetDelay(t *testing.T) {
+	g := overlayFixture(t)
+	o := sg.NewOverlay(g)
+	if err := o.SetDelay(1, 7); err != nil {
+		t.Fatalf("SetDelay: %v", err)
+	}
+	if got := o.Graph().Arc(1).Delay; got != 7 {
+		t.Errorf("overlay arc delay = %g, want 7", got)
+	}
+	if got := o.Delay(1); got != 7 {
+		t.Errorf("Delay(1) = %g, want 7", got)
+	}
+	if got := o.Nominal(1); got != 2 {
+		t.Errorf("Nominal(1) = %g, want 2", got)
+	}
+	// The CSR delay column the kernels read must agree with the arc list.
+	csr := o.Graph().InCSR()
+	for r, ai := range csr.Arc {
+		if csr.Delay[r] != o.Graph().Arc(ai).Delay {
+			t.Errorf("CSR record %d (arc %d): delay %g != arc delay %g",
+				r, ai, csr.Delay[r], o.Graph().Arc(ai).Delay)
+		}
+	}
+	// Original untouched.
+	if g.Arc(1).Delay != 2 {
+		t.Errorf("original graph mutated: arc 1 delay = %g", g.Arc(1).Delay)
+	}
+	ocsr := g.InCSR()
+	for r, ai := range ocsr.Arc {
+		if ai == 1 && ocsr.Delay[r] != 2 {
+			t.Errorf("original CSR mutated: record %d delay = %g", r, ocsr.Delay[r])
+		}
+	}
+	// Errors.
+	if err := o.SetDelay(99, 1); err == nil {
+		t.Error("out-of-range arc accepted")
+	}
+	if err := o.SetDelay(0, -1); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if err := o.SetDelay(0, math.NaN()); err == nil {
+		t.Error("NaN delay accepted")
+	}
+}
+
+// TestOverlayDirtyTracking: DrainDirty reports each edited arc once, in
+// first-edit order, and clears the set; Reset re-dirties restored arcs.
+func TestOverlayDirtyTracking(t *testing.T) {
+	g := overlayFixture(t)
+	o := sg.NewOverlay(g)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(o.SetDelay(2, 5))
+	must(o.SetDelay(0, 4))
+	must(o.SetDelay(2, 6)) // re-edit: still one dirty entry
+	var drained []int
+	o.DrainDirty(func(arc int, delay float64) {
+		drained = append(drained, arc)
+		if want := o.Delay(arc); delay != want {
+			t.Errorf("drained arc %d with delay %g, want %g", arc, delay, want)
+		}
+	})
+	if len(drained) != 2 || drained[0] != 2 || drained[1] != 0 {
+		t.Errorf("drained %v, want [2 0]", drained)
+	}
+	o.DrainDirty(func(arc int, _ float64) {
+		t.Errorf("second drain reported arc %d", arc)
+	})
+	o.Reset()
+	for i := 0; i < o.NumArcs(); i++ {
+		if o.Delay(i) != o.Nominal(i) {
+			t.Errorf("after Reset arc %d delay = %g, want nominal %g", i, o.Delay(i), o.Nominal(i))
+		}
+	}
+	drained = drained[:0]
+	o.DrainDirty(func(arc int, _ float64) { drained = append(drained, arc) })
+	if len(drained) != 2 {
+		t.Errorf("Reset drained %v, want the 2 previously edited arcs", drained)
+	}
+}
+
+// TestOverlaySetDelays: bulk assignment composes from nominal delays
+// and rejects negative results.
+func TestOverlaySetDelays(t *testing.T) {
+	g := overlayFixture(t)
+	o := sg.NewOverlay(g)
+	if err := o.SetDelays(func(_ int, nom float64) float64 { return 2 * nom }); err != nil {
+		t.Fatalf("SetDelays: %v", err)
+	}
+	// A second bulk call still scales the *nominal* delays.
+	if err := o.SetDelays(func(_ int, nom float64) float64 { return 3 * nom }); err != nil {
+		t.Fatalf("SetDelays: %v", err)
+	}
+	for i := 0; i < o.NumArcs(); i++ {
+		if o.Delay(i) != 3*o.Nominal(i) {
+			t.Errorf("arc %d delay = %g, want %g", i, o.Delay(i), 3*o.Nominal(i))
+		}
+	}
+	if err := o.SetDelays(func(int, float64) float64 { return -1 }); err == nil {
+		t.Error("negative bulk delays accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package timesim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+	"tsg/internal/timesim"
+)
+
+// sameTrace fails unless the two traces agree bitwise on times,
+// reachedness and parents over the given periods.
+func sameTrace(t *testing.T, g *sg.Graph, got, want *timesim.Trace, periods int, label string) {
+	t.Helper()
+	for p := 0; p < periods; p++ {
+		for e := 0; e < g.NumEvents(); e++ {
+			ev := sg.EventID(e)
+			gv, gok := got.Time(ev, p)
+			wv, wok := want.Time(ev, p)
+			if gok != wok || (gok && gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv))) {
+				t.Errorf("%s: t(%s_%d) = %v/%v, want %v/%v", label, g.Event(ev).Name, p, gv, gok, wv, wok)
+			}
+			if got.Reached(ev, p) != want.Reached(ev, p) {
+				t.Errorf("%s: reached(%s_%d) differs", label, g.Event(ev).Name, p)
+			}
+			ge, gp, ga, gok2 := got.Parent(ev, p)
+			we, wp, wa, wok2 := want.Parent(ev, p)
+			if gok2 != wok2 || ge != we || gp != wp || ga != wa {
+				t.Errorf("%s: parent(%s_%d) = (%v,%d,%d,%v), want (%v,%d,%d,%v)",
+					label, g.Event(ev).Name, p, ge, gp, ga, gok2, we, wp, wa, wok2)
+			}
+		}
+	}
+}
+
+// TestScheduleRefreshArcDelay: a compiled schedule whose delay columns
+// are refreshed in place produces traces bit-identical to a schedule
+// freshly compiled over the modified graph.
+func TestScheduleRefreshArcDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		b := 1 + rng.Intn(n)
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: n, Border: b, ExtraArcs: rng.Intn(2 * n), MaxDelay: 9,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		ov := sg.NewOverlay(g)
+		sched, err := timesim.Compile(ov.Graph())
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		// Edit a few arcs through the overlay, drain into the schedule.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			if err := ov.SetDelay(rng.Intn(g.NumArcs()), float64(rng.Intn(10))); err != nil {
+				t.Fatalf("SetDelay: %v", err)
+			}
+		}
+		ov.DrainDirty(sched.RefreshArcDelay)
+
+		fresh, err := g.WithDelays(func(i int, _ float64) float64 { return ov.Delay(i) })
+		if err != nil {
+			t.Fatalf("WithDelays: %v", err)
+		}
+		freshSched, err := timesim.Compile(fresh)
+		if err != nil {
+			t.Fatalf("Compile fresh: %v", err)
+		}
+		periods := b + 1
+		opts := timesim.Options{Periods: periods, TrackParents: true}
+		got, err := sched.Run(opts)
+		if err != nil {
+			t.Fatalf("refreshed Run: %v", err)
+		}
+		want, err := freshSched.Run(opts)
+		if err != nil {
+			t.Fatalf("fresh Run: %v", err)
+		}
+		sameTrace(t, g, got, want, periods, "plain")
+		got.Release()
+		want.Release()
+		for _, origin := range ov.Graph().BorderEvents() {
+			g2, err := sched.RunFrom(origin, opts)
+			if err != nil {
+				t.Fatalf("refreshed RunFrom: %v", err)
+			}
+			w2, err := freshSched.RunFrom(origin, opts)
+			if err != nil {
+				t.Fatalf("fresh RunFrom: %v", err)
+			}
+			sameTrace(t, g, g2, w2, periods, "initiated")
+			g2.Release()
+			w2.Release()
+		}
+	}
+}
+
+// TestScheduleRefreshDelays: the O(m) full refresh re-reads every delay
+// from the (overlay) graph, equivalent to per-arc refreshes.
+func TestScheduleRefreshDelays(t *testing.T) {
+	g, err := gen.Stack(7)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	ov := sg.NewOverlay(g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := ov.SetDelays(func(i int, nom float64) float64 { return nom + float64(i%3) }); err != nil {
+		t.Fatalf("SetDelays: %v", err)
+	}
+	sched.RefreshDelays()
+	ov.DrainDirty(func(int, float64) {}) // discard: full refresh already applied
+
+	fresh, err := g.WithDelays(func(i int, nom float64) float64 { return nom + float64(i%3) })
+	if err != nil {
+		t.Fatalf("WithDelays: %v", err)
+	}
+	freshSched, err := timesim.Compile(fresh)
+	if err != nil {
+		t.Fatalf("Compile fresh: %v", err)
+	}
+	periods := len(g.BorderEvents()) + 1
+	opts := timesim.Options{Periods: periods, TrackParents: true}
+	got, err := sched.Run(opts)
+	if err != nil {
+		t.Fatalf("refreshed Run: %v", err)
+	}
+	want, err := freshSched.Run(opts)
+	if err != nil {
+		t.Fatalf("fresh Run: %v", err)
+	}
+	sameTrace(t, g, got, want, periods, "full-refresh")
+}

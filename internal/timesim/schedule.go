@@ -28,9 +28,14 @@ import (
 // order, making parent selection (first max wins) bit-identical to the
 // reference kernel.
 //
-// A Schedule is immutable after Compile and safe for concurrent use; the
-// b event-initiated simulations of one cycle-time analysis share one
-// Schedule and draw their working slabs from its pool.
+// A Schedule is immutable after Compile — except for its delay columns,
+// which RefreshArcDelay and RefreshDelays rewrite in place so one
+// compiled schedule can track the delay edits of an sg.Overlay session
+// (the compile-once/query-many engine of the cycletime package) —
+// and safe for concurrent use between refreshes; the b event-initiated
+// simulations of one cycle-time analysis share one Schedule and draw
+// their working slabs from its pool. Refreshes must not run
+// concurrently with Run/RunFrom; the session layer serialises them.
 type Schedule struct {
 	g      *sg.Graph
 	n      int
@@ -56,6 +61,11 @@ type Schedule struct {
 	delS  []float64
 	markS []int32
 	arcS  []int32
+
+	// rec0/rec1/recS invert the arc columns: graph arc index -> record
+	// position within each class, -1 where the arc has no record of that
+	// class. They make a single-arc delay refresh O(1).
+	rec0, rec1, recS []int32
 
 	// rowInit is the times-row template for periods >= 1: NaN at
 	// non-repetitive slots (no instantiation), 0 elsewhere (overwritten
@@ -122,10 +132,19 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 	s.arcS = make([]int32, 0, nS)
 	s.orderR = make([]sg.EventID, 0, nR)
 
+	m := g.NumArcs()
+	s.rec0 = make([]int32, m)
+	s.rec1 = make([]int32, m)
+	s.recS = make([]int32, m)
+	for i := 0; i < m; i++ {
+		s.rec0[i], s.rec1[i], s.recS[i] = -1, -1, -1
+	}
+
 	s.off0 = make([]int32, 1, n+1)
 	for _, f := range order {
 		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
 			if csr.Mark[r] == 0 {
+				s.rec0[csr.Arc[r]] = int32(len(s.src0))
 				s.src0 = append(s.src0, csr.Src[r])
 				s.del0 = append(s.del0, csr.Delay[r])
 				s.arc0 = append(s.arc0, int32(csr.Arc[r]))
@@ -149,12 +168,14 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
 			srcRep := g.Event(csr.Src[r]).Repetitive
 			if srcRep || csr.Mark[r] == 1 {
+				s.rec1[csr.Arc[r]] = int32(len(s.src1))
 				s.src1 = append(s.src1, csr.Src[r])
 				s.del1 = append(s.del1, csr.Delay[r])
 				s.mark1 = append(s.mark1, csr.Mark[r])
 				s.arc1 = append(s.arc1, int32(csr.Arc[r]))
 			}
 			if srcRep {
+				s.recS[csr.Arc[r]] = int32(len(s.srcS))
 				s.srcS = append(s.srcS, csr.Src[r])
 				s.delS = append(s.delS, csr.Delay[r])
 				s.markS = append(s.markS, csr.Mark[r])
@@ -169,6 +190,39 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 
 // Graph returns the compiled graph.
 func (s *Schedule) Graph() *sg.Graph { return s.g }
+
+// RefreshArcDelay rewrites the compiled delay columns for one arc. It
+// is the O(1) hook an sg.Overlay session drains its dirty set into
+// (Overlay.DrainDirty), keeping the schedule consistent with in-place
+// delay edits without recompiling. Must not run concurrently with
+// Run/RunFrom.
+func (s *Schedule) RefreshArcDelay(arc int, delay float64) {
+	if r := s.rec0[arc]; r >= 0 {
+		s.del0[r] = delay
+	}
+	if r := s.rec1[arc]; r >= 0 {
+		s.del1[r] = delay
+	}
+	if r := s.recS[arc]; r >= 0 {
+		s.delS[r] = delay
+	}
+}
+
+// RefreshDelays re-reads every arc delay from the compiled graph (an
+// overlay view whose delays may have changed wholesale) into the delay
+// columns: the O(m) full-refresh counterpart of RefreshArcDelay. Must
+// not run concurrently with Run/RunFrom.
+func (s *Schedule) RefreshDelays() {
+	for r, a := range s.arc0 {
+		s.del0[r] = s.g.Arc(int(a)).Delay
+	}
+	for r, a := range s.arc1 {
+		s.del1[r] = s.g.Arc(int(a)).Delay
+	}
+	for r, a := range s.arcS {
+		s.delS[r] = s.g.Arc(int(a)).Delay
+	}
+}
 
 // Run executes the plain timing simulation t of §IV.A.
 func (s *Schedule) Run(opts Options) (*Trace, error) {

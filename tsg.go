@@ -25,7 +25,13 @@
 //	res, err := tsg.Analyze(g)
 //	fmt.Println(res.CycleTime) // 3
 //
-// See examples/ for end-to-end programs, including circuit-level flows.
+// Analyze is the one-shot form. Sessions issuing repeated queries —
+// slack reports, what-if sensitivities, full-arc sweeps, interval
+// bounds — should hold an Engine (see engine.go), which compiles the
+// graph once and serves every query against the compiled form.
+//
+// See examples/ for end-to-end programs, including circuit-level flows
+// and the examples/whatif bottleneck-hunting loop.
 package tsg
 
 import (
