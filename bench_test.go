@@ -426,6 +426,126 @@ func BenchmarkBoundsRandom2000(b *testing.B) {
 	}
 }
 
+// --- PR 3: statistical timing (Monte-Carlo on the compiled kernel) -------
+
+// rebuildGraph reconstructs a graph from scratch through the public
+// builder with the given delays: the naive baseline's per-sample cost
+// (re-Build, re-validate, then re-Compile inside Analyze).
+func rebuildGraph(b *testing.B, g *tsg.Graph, delays []float64) *tsg.Graph {
+	b.Helper()
+	bld := tsg.NewGraph(g.Name())
+	for e := 0; e < g.NumEvents(); e++ {
+		ev := g.Event(tsg.EventID(e))
+		if ev.Repetitive {
+			bld.Event(ev.Name)
+		} else {
+			bld.Event(ev.Name, tsg.NonRepetitive())
+		}
+	}
+	for a := 0; a < g.NumArcs(); a++ {
+		arc := g.Arc(a)
+		var opts []tsg.ArcOption
+		if arc.Marked {
+			opts = append(opts, tsg.Marked())
+		}
+		if arc.Once {
+			opts = append(opts, tsg.Once())
+		}
+		bld.Arc(g.Event(arc.From).Name, g.Event(arc.To).Name, delays[a], opts...)
+	}
+	ng, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ng
+}
+
+// BenchmarkMCRandom2000 is the PR 3 headline: Monte-Carlo λ under ±10%
+// uniform jitter on the Random2000 workload. One op is a whole
+// MC_SAMPLES-sample run. CompiledKernel reuses the engine's compiled
+// schedule per sample (batch kernel + upper-bound pruning);
+// NaiveRebuild re-Builds the graph from scratch and re-Compiles
+// (cycletime.Analyze) for every sample — the cost of Monte-Carlo
+// without the statistical subsystem. The acceptance bar is >= 10x
+// samples/sec between the two.
+func BenchmarkMCRandom2000(b *testing.B) {
+	g := random2000(b)
+	model, err := tsg.JitterUniformModel(g, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const mcSamples = 128
+	b.Run("CompiledKernel", func(b *testing.B) {
+		e, err := tsg.NewEngine(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AnalyzeMC(model, tsg.MCOptions{Samples: mcSamples, Seed: 9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(mcSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+	b.Run("NaiveRebuild", func(b *testing.B) {
+		delays := make([]float64, g.NumArcs())
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < mcSamples; s++ {
+				model.SampleInto(9, uint64(s), delays)
+				ng := rebuildGraph(b, g, delays)
+				if _, err := cycletime.Analyze(ng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(mcSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+}
+
+// BenchmarkMCStack66 measures Monte-Carlo throughput on the paper's
+// 66-event stack: λ-only (batch kernel), with criticality attribution
+// (scalar pass + winner re-simulation), and slack distributions, serial
+// vs. the worker pool.
+func BenchmarkMCStack66(b *testing.B) {
+	g, err := gen.Stack(31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := tsg.JitterUniformModel(g, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := tsg.NewEngine(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const mcSamples = 256
+	run := func(b *testing.B, opts tsg.MCOptions) {
+		opts.Samples = mcSamples
+		opts.Seed = 9
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.AnalyzeMC(model, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(mcSamples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	}
+	b.Run("LambdaSerial", func(b *testing.B) { run(b, tsg.MCOptions{Workers: 1}) })
+	b.Run("LambdaPooled", func(b *testing.B) { run(b, tsg.MCOptions{}) })
+	b.Run("Criticality", func(b *testing.B) { run(b, tsg.MCOptions{Criticality: true}) })
+	b.Run("Slacks", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.SlacksMC(model, tsg.MCOptions{Samples: 64, Seed: 9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(64*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+	})
+}
+
 // BenchmarkMaxPlusEigenvalue measures the (max,+) spectral route to the
 // cycle time (token matrix construction + Karp eigenvalue).
 func BenchmarkMaxPlusEigenvalue(b *testing.B) {

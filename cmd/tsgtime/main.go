@@ -4,7 +4,9 @@
 // Usage:
 //
 //	tsgtime [-algo nielsen|karp|howard|lawler|oracle] [-periods N]
-//	        [-series] [-slacks] [-sweep factor] [-dot out.dot] graph.tsg
+//	        [-series] [-slacks] [-sweep factor] [-dot out.dot]
+//	        [-mc N] [-quantiles p,...] [-criticality] [-mctol tol]
+//	        [-mcseed s] [-jitter f] graph.tsg
 //
 // The default algorithm is the paper's O(b²m) timing simulation
 // ("nielsen"); the alternatives are the classical maximum-cycle-ratio
@@ -16,6 +18,14 @@
 // -sweep f answers "what is λ if this arc's delay were scaled by f"
 // for every arc in one sensitivity sweep, reporting the arcs that move
 // the cycle time together with the fast-path statistics.
+//
+// -mc N runs the statistical analysis: N Monte-Carlo samples of the
+// file's delay distributions (the ~uniform(lo,hi)-style arc
+// annotations; with none, -jitter f applies uniform ±f jitter to every
+// delay), reporting λ mean/std/min/max and the -quantiles estimates,
+// with an early stop when -mctol is positive. -criticality additionally
+// ranks arcs by the fraction of samples in which they lie on a critical
+// cycle — the bottleneck list under uncertainty.
 package main
 
 import (
@@ -24,6 +34,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"tsg"
 	"tsg/internal/cycles"
@@ -39,6 +51,12 @@ func main() {
 	sweep := flag.Float64("sweep", 0, "sweep every arc at delay×factor and report λ changes (nielsen only; 0 = off)")
 	dotOut := flag.String("dot", "", "write the graph in DOT format to this file")
 	eps := flag.Float64("eps", 1e-9, "convergence width (lawler only)")
+	mcN := flag.Int("mc", 0, "Monte-Carlo samples over the delay distributions (nielsen only; 0 = off)")
+	mcSeed := flag.Uint64("mcseed", 1, "Monte-Carlo sample seed")
+	mcTol := flag.Float64("mctol", 0, "early-stop tolerance on the λ quantile confidence intervals (0 = run all samples)")
+	quantiles := flag.String("quantiles", "0.5,0.95", "comma-separated λ quantiles to estimate")
+	criticality := flag.Bool("criticality", false, "rank arcs by Monte-Carlo criticality (fraction of samples on a critical cycle)")
+	jitter := flag.Float64("jitter", 0, "apply uniform ±f delay jitter when the file has no distribution annotations")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -50,7 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsgtime: -sweep factor must be positive, got %g\n", *sweep)
 		os.Exit(2)
 	}
-	g, err := tsg.LoadGraph(flag.Arg(0))
+	g, model, err := tsg.LoadGraphDist(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
@@ -109,6 +127,17 @@ func main() {
 		}
 		if *sweep > 0 {
 			if err := runSweep(eng, g, *sweep); err != nil {
+				fatal(err)
+			}
+		}
+		if *mcN > 0 {
+			if model.Deterministic() && *jitter > 0 {
+				model, err = tsg.JitterUniformModel(g, *jitter)
+				if err != nil {
+					fatal(err)
+				}
+			}
+			if err := runMC(eng, g, model, *mcN, *mcSeed, *mcTol, *quantiles, *criticality); err != nil {
 				fatal(err)
 			}
 		}
@@ -199,6 +228,88 @@ func runSweep(eng *tsg.Engine, g *tsg.Graph, factor float64) error {
 	st := eng.Stats()
 	fmt.Printf("engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows\n",
 		st.Analyses, st.FastPathHits, st.TableAnswers)
+	return nil
+}
+
+// runMC runs the Monte-Carlo analysis on the session engine and prints
+// the λ distribution summary, the quantile estimates, and (optionally)
+// the criticality-ranked bottleneck arcs.
+func runMC(eng *tsg.Engine, g *tsg.Graph, model *tsg.DelayModel, samples int, seed uint64, tol float64, quantiles string, criticality bool) error {
+	var qs []float64
+	for _, tok := range strings.Split(quantiles, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		p, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return fmt.Errorf("bad quantile %q: %v", tok, err)
+		}
+		qs = append(qs, p)
+	}
+	if model.Deterministic() {
+		fmt.Println("note: all delays are points (no ~ annotations, no -jitter); the Monte-Carlo λ is degenerate")
+	}
+	res, err := eng.AnalyzeMC(model, tsg.MCOptions{
+		Samples: samples, Seed: seed, Quantiles: qs, Tol: tol, Criticality: criticality,
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Monte-Carlo λ over %d samples (%d of %d arcs uncertain",
+		res.Samples, model.RandomArcs(), g.NumArcs())
+	if res.Converged {
+		title += ", converged early"
+	}
+	title += ")"
+	tab := textio.New(title, "statistic", "value")
+	tab.AddRow("mean", fmt.Sprintf("%.6g ± %.3g", res.Mean, res.MeanCIHalf))
+	tab.AddRow("std", fmt.Sprintf("%.6g", res.Std))
+	tab.AddRow("min", fmt.Sprintf("%.6g", res.Min))
+	tab.AddRow("max", fmt.Sprintf("%.6g", res.Max))
+	for _, q := range res.Quantiles {
+		tab.AddRow(fmt.Sprintf("q%.3g", q.P), fmt.Sprintf("%.6g ± %.3g", q.Value, q.CIHalf))
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	if criticality {
+		type hit struct {
+			arc  int
+			crit float64
+		}
+		var hits []hit
+		for i, c := range res.Criticality {
+			if c > 0 {
+				hits = append(hits, hit{i, c})
+			}
+		}
+		sort.Slice(hits, func(i, j int) bool {
+			if hits[i].crit != hits[j].crit {
+				return hits[i].crit > hits[j].crit
+			}
+			return hits[i].arc < hits[j].arc
+		})
+		const maxRows = 25
+		ctab := textio.New(
+			fmt.Sprintf("arc criticality: %d arcs on a critical cycle in some sample (showing up to %d)",
+				len(hits), maxRows),
+			"arc", "from", "to", "delay", "criticality")
+		for i, h := range hits {
+			if i == maxRows {
+				break
+			}
+			a := g.Arc(h.arc)
+			delay := model.Dist(h.arc).String()
+			if model.Dist(h.arc).IsPoint() {
+				delay = fmt.Sprintf("%g", a.Delay)
+			}
+			ctab.AddRow(h.arc, g.Event(a.From).Name, g.Event(a.To).Name, delay, fmt.Sprintf("%.3f", h.crit))
+		}
+		if err := ctab.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

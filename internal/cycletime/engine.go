@@ -542,28 +542,11 @@ func (e *Engine) ensureCert() (*certificate, error) {
 // intersected for the delay-decrease fast path.
 func (e *Engine) buildCertificate(c *certificate) error {
 	lam := c.result.CycleTime.Float()
-	tr, err := e.sched.Run(timesim.Options{Periods: e.periods + 1})
+	slacks, err := e.certifySlacksAt(lam)
 	if err != nil {
 		return err
 	}
-	seed := make([]float64, e.g.NumEvents())
-	for _, ev := range e.g.RepetitiveEvents() {
-		best := 0.0
-		for p := 0; p <= e.periods; p++ {
-			if t, ok := tr.Time(ev, p); ok {
-				if v := t - lam*float64(p); v > best {
-					best = v
-				}
-			}
-		}
-		seed[ev] = best
-	}
-	tr.Release()
-	u, err := mcr.FeasiblePotentialSeeded(e.g, lam, seed)
-	if err != nil {
-		return fmt.Errorf("cycletime: certifying slacks at λ=%v: %w", c.result.CycleTime, err)
-	}
-	c.slacks = slacksFromPotential(e.g, lam, u)
+	c.slacks = slacks
 	c.slackByArc = make([]float64, e.g.NumArcs())
 	for i := range c.slackByArc {
 		c.slackByArc[i] = math.NaN()
@@ -588,6 +571,39 @@ func (e *Engine) buildCertificate(c *certificate) error {
 		}
 	}
 	return nil
+}
+
+// certifySlacksAt runs one plain simulation at the schedule's current
+// delays, seeds the dual (Burns LP) solve from the λ-detrended
+// occurrence maxima — unfolded-path weights, already feasible along
+// every simulated constraint — and returns the per-arc slack
+// certificate at λ. Callers hold the session lock or own the engine
+// exclusively. Besides the session certificate, this is the per-sample
+// slack evaluation of the Monte-Carlo subsystem (SlacksMC), which is
+// why it takes λ as a parameter instead of reading the cached result.
+func (e *Engine) certifySlacksAt(lam float64) ([]ArcSlack, error) {
+	tr, err := e.sched.Run(timesim.Options{Periods: e.periods + 1})
+	if err != nil {
+		return nil, err
+	}
+	seed := make([]float64, e.g.NumEvents())
+	for _, ev := range e.g.RepetitiveEvents() {
+		best := 0.0
+		for p := 0; p <= e.periods; p++ {
+			if t, ok := tr.Time(ev, p); ok {
+				if v := t - lam*float64(p); v > best {
+					best = v
+				}
+			}
+		}
+		seed[ev] = best
+	}
+	tr.Release()
+	u, err := mcr.FeasiblePotentialSeeded(e.g, lam, seed)
+	if err != nil {
+		return nil, fmt.Errorf("cycletime: certifying slacks at λ=%g: %w", lam, err)
+	}
+	return slacksFromPotential(e.g, lam, u), nil
 }
 
 // fastAnswer reports (λ, true) when the certificate proves the

@@ -1,0 +1,420 @@
+// Package dist models arc-delay uncertainty for the statistical timing
+// subsystem: delay distributions with closed-form quantile functions,
+// and a per-arc delay Model with deterministic seeded sampling and
+// correlation groups.
+//
+// The paper's algorithm takes fixed delays; its own motivation —
+// evaluating a design's performance inside the edit loop — is exactly
+// where delays are uncertain. The statistical-timing literature (see
+// PAPERS.md: post-silicon tuning, statistical criticality) treats
+// delays as distributions and asks for cycle-time quantiles and
+// per-element criticality. This package supplies the distribution
+// layer; internal/cycletime's AnalyzeMC/SlacksMC evaluate it by
+// Monte-Carlo over the compiled simulation kernel.
+//
+// Every distribution exposes its quantile (inverse-CDF) function, so a
+// sample is a deterministic function of one uniform variate. That is
+// what makes the subsystem reproducible (same seed, same estimates —
+// see Model.SampleInto) and what implements correlation: arcs in the
+// same correlation group share the uniform variate of a sample, so
+// they move together through their respective quantiles (comonotone
+// sampling). With proportional supports — e.g. uniform(0.9·d, 1.1·d)
+// on every arc of the group — a shared variate IS a shared scale
+// factor, modelling common process variation.
+//
+// Distributions are restricted to non-negative support: arc delays
+// must stay valid under every sample.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the supported distribution families.
+type Kind uint8
+
+const (
+	// KindPoint is a degenerate distribution: the delay is certain.
+	KindPoint Kind = iota
+	// KindUniform is continuous uniform on [Lo, Hi].
+	KindUniform
+	// KindNormal is a normal distribution truncated to [Lo, Hi].
+	KindNormal
+	// KindTriangular is triangular on [Lo, Hi] with the given mode.
+	KindTriangular
+	// KindDiscrete is a finite empirical distribution (values with
+	// probabilities).
+	KindDiscrete
+)
+
+// Dist is one delay distribution. The zero value is Point(0). A Dist is
+// immutable after construction and safe for concurrent use.
+type Dist struct {
+	kind Kind
+	// a..d hold the family parameters:
+	//   point:      a = value
+	//   uniform:    a = lo, b = hi
+	//   normal:     a = mean, b = sigma, c = lo, d = hi (truncation)
+	//   triangular: a = lo, b = mode, c = hi
+	a, b, c, d float64
+	// vals/cum hold the discrete support, sorted ascending, with the
+	// cumulative probabilities (cum[len-1] == 1).
+	vals, cum []float64
+}
+
+// Point returns the degenerate distribution concentrated at v.
+func Point(v float64) (Dist, error) {
+	if v < 0 || math.IsNaN(v) {
+		return Dist{}, fmt.Errorf("dist: invalid point delay %g", v)
+	}
+	return Dist{kind: KindPoint, a: v}, nil
+}
+
+// Uniform returns the continuous uniform distribution on [lo, hi].
+// lo == hi degenerates to a point.
+func Uniform(lo, hi float64) (Dist, error) {
+	if err := checkRange("uniform", lo, hi); err != nil {
+		return Dist{}, err
+	}
+	return Dist{kind: KindUniform, a: lo, b: hi}, nil
+}
+
+// Normal returns a normal distribution with the given mean and standard
+// deviation, truncated to [max(0, mean-4·sigma), mean+4·sigma] so the
+// support stays non-negative and bounded (bounded supports are what the
+// interval analysis AnalyzeBounds can cross-check).
+func Normal(mean, sigma float64) (Dist, error) {
+	lo := mean - 4*sigma
+	if lo < 0 {
+		lo = 0
+	}
+	return NormalTrunc(mean, sigma, lo, mean+4*sigma)
+}
+
+// NormalTrunc returns a normal distribution truncated to [lo, hi].
+func NormalTrunc(mean, sigma, lo, hi float64) (Dist, error) {
+	if math.IsNaN(mean) || math.IsNaN(sigma) || sigma < 0 {
+		return Dist{}, fmt.Errorf("dist: invalid normal(%g, %g)", mean, sigma)
+	}
+	if err := checkRange("normal truncation", lo, hi); err != nil {
+		return Dist{}, err
+	}
+	if sigma == 0 || lo == hi {
+		v := math.Min(math.Max(mean, lo), hi)
+		return Dist{kind: KindPoint, a: v}, nil
+	}
+	return Dist{kind: KindNormal, a: mean, b: sigma, c: lo, d: hi}, nil
+}
+
+// Triangular returns the triangular distribution on [lo, hi] with the
+// given mode.
+func Triangular(lo, mode, hi float64) (Dist, error) {
+	if err := checkRange("triangular", lo, hi); err != nil {
+		return Dist{}, err
+	}
+	if math.IsNaN(mode) || mode < lo || mode > hi {
+		return Dist{}, fmt.Errorf("dist: triangular mode %g outside [%g, %g]", mode, lo, hi)
+	}
+	if lo == hi {
+		return Dist{kind: KindPoint, a: lo}, nil
+	}
+	return Dist{kind: KindTriangular, a: lo, b: mode, c: hi}, nil
+}
+
+// Discrete returns the empirical distribution taking values[i] with
+// probability weights[i]/Σweights. Weights must be non-negative with a
+// positive sum. Values are sorted internally so the quantile function
+// is monotone (required for comonotone correlation groups).
+func Discrete(values, weights []float64) (Dist, error) {
+	if len(values) == 0 || len(values) != len(weights) {
+		return Dist{}, fmt.Errorf("dist: discrete needs matching non-empty values/weights, got %d/%d",
+			len(values), len(weights))
+	}
+	type vw struct{ v, w float64 }
+	pairs := make([]vw, 0, len(values))
+	total := 0.0
+	for i, v := range values {
+		w := weights[i]
+		if v < 0 || math.IsNaN(v) {
+			return Dist{}, fmt.Errorf("dist: invalid discrete value %g", v)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Dist{}, fmt.Errorf("dist: invalid discrete weight %g", w)
+		}
+		if w == 0 {
+			continue
+		}
+		pairs = append(pairs, vw{v, w})
+		total += w
+	}
+	if total <= 0 {
+		return Dist{}, fmt.Errorf("dist: discrete weights sum to %g, need > 0", total)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	d := Dist{kind: KindDiscrete}
+	acc := 0.0
+	for _, p := range pairs {
+		acc += p.w
+		// Merge duplicate values into one step of the CDF.
+		if n := len(d.vals); n > 0 && d.vals[n-1] == p.v {
+			d.cum[n-1] = acc / total
+			continue
+		}
+		d.vals = append(d.vals, p.v)
+		d.cum = append(d.cum, acc/total)
+	}
+	d.cum[len(d.cum)-1] = 1
+	if len(d.vals) == 1 {
+		return Dist{kind: KindPoint, a: d.vals[0]}, nil
+	}
+	return d, nil
+}
+
+func checkRange(what string, lo, hi float64) error {
+	if lo < 0 || math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(hi, 0) || hi < lo {
+		return fmt.Errorf("dist: invalid %s range [%g, %g]", what, lo, hi)
+	}
+	return nil
+}
+
+// Kind returns the distribution family.
+func (d Dist) Kind() Kind { return d.kind }
+
+// IsPoint reports whether the distribution is degenerate (a certain
+// delay). Point arcs consume no randomness during sampling.
+func (d Dist) IsPoint() bool { return d.kind == KindPoint }
+
+// Support returns the smallest interval containing all probability
+// mass.
+func (d Dist) Support() (lo, hi float64) {
+	switch d.kind {
+	case KindPoint:
+		return d.a, d.a
+	case KindUniform:
+		return d.a, d.b
+	case KindNormal:
+		return d.c, d.d
+	case KindTriangular:
+		return d.a, d.c
+	default:
+		return d.vals[0], d.vals[len(d.vals)-1]
+	}
+}
+
+// Mean returns the expected value.
+func (d Dist) Mean() float64 {
+	switch d.kind {
+	case KindPoint:
+		return d.a
+	case KindUniform:
+		return (d.a + d.b) / 2
+	case KindNormal:
+		// Mean of the truncated normal: μ + σ·(φ(α)−φ(β))/Z.
+		alpha, beta := (d.c-d.a)/d.b, (d.d-d.a)/d.b
+		z := stdCDF(beta) - stdCDF(alpha)
+		if z <= 0 {
+			return math.Min(math.Max(d.a, d.c), d.d)
+		}
+		return d.a + d.b*(stdPDF(alpha)-stdPDF(beta))/z
+	case KindTriangular:
+		return (d.a + d.b + d.c) / 3
+	default:
+		m, prev := 0.0, 0.0
+		for i, v := range d.vals {
+			m += v * (d.cum[i] - prev)
+			prev = d.cum[i]
+		}
+		return m
+	}
+}
+
+// Quantile returns the inverse CDF at u ∈ [0, 1): the value x with
+// P(X <= x) >= u. It is monotone in u, which is what makes shared-
+// variate correlation groups comonotone.
+func (d Dist) Quantile(u float64) float64 {
+	switch d.kind {
+	case KindPoint:
+		return d.a
+	case KindUniform:
+		return d.a + u*(d.b-d.a)
+	case KindNormal:
+		fa, fb := stdCDF((d.c-d.a)/d.b), stdCDF((d.d-d.a)/d.b)
+		x := d.a + d.b*stdQuantile(fa+u*(fb-fa))
+		// Clamp against float drift at the truncation edges.
+		return math.Min(math.Max(x, d.c), d.d)
+	case KindTriangular:
+		span := d.c - d.a
+		fMode := (d.b - d.a) / span
+		if u < fMode {
+			return d.a + math.Sqrt(u*span*(d.b-d.a))
+		}
+		return d.c - math.Sqrt((1-u)*span*(d.c-d.b))
+	default:
+		// First value whose cumulative probability covers u.
+		i := sort.SearchFloat64s(d.cum, u)
+		if i == len(d.cum) || (d.cum[i] == u && i+1 < len(d.cum)) {
+			// cum[i] == u sits exactly on a step boundary: mass up to u
+			// is fully covered by values <= vals[i], and u < 1 means the
+			// draw belongs to the next value.
+			if i == len(d.cum) {
+				i--
+			} else {
+				i++
+			}
+		}
+		if i >= len(d.vals) {
+			i = len(d.vals) - 1
+		}
+		return d.vals[i]
+	}
+}
+
+// String renders the distribution in the .tsg annotation syntax parsed
+// by Parse (and by the netlist reader's ~ arc attribute).
+func (d Dist) String() string {
+	switch d.kind {
+	case KindPoint:
+		return fmt.Sprintf("point(%g)", d.a)
+	case KindUniform:
+		return fmt.Sprintf("uniform(%g,%g)", d.a, d.b)
+	case KindNormal:
+		return fmt.Sprintf("normal(%g,%g,%g,%g)", d.a, d.b, d.c, d.d)
+	case KindTriangular:
+		return fmt.Sprintf("tri(%g,%g,%g)", d.a, d.b, d.c)
+	default:
+		var sb strings.Builder
+		sb.WriteString("choice(")
+		prev := 0.0
+		for i, v := range d.vals {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%g:%g", v, d.cum[i]-prev)
+			prev = d.cum[i]
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	}
+}
+
+// Parse reads the annotation syntax String produces:
+//
+//	point(v)
+//	uniform(lo,hi)
+//	normal(mean,sigma)            truncated to [max(0,μ−4σ), μ+4σ]
+//	normal(mean,sigma,lo,hi)
+//	tri(lo,mode,hi)
+//	choice(v1:w1,v2:w2,...)
+func Parse(s string) (Dist, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Dist{}, fmt.Errorf("dist: malformed distribution %q (want name(args))", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	var args []string
+	if strings.TrimSpace(body) != "" {
+		args = strings.Split(body, ",")
+	}
+	num := func(tok string) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return 0, fmt.Errorf("dist: %s: bad number %q", name, strings.TrimSpace(tok))
+		}
+		return v, nil
+	}
+	nums := func(want int) ([]float64, error) {
+		if len(args) != want {
+			return nil, fmt.Errorf("dist: %s takes %d arguments, got %d", name, want, len(args))
+		}
+		out := make([]float64, want)
+		for i, a := range args {
+			v, err := num(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case "point":
+		v, err := nums(1)
+		if err != nil {
+			return Dist{}, err
+		}
+		return Point(v[0])
+	case "uniform":
+		v, err := nums(2)
+		if err != nil {
+			return Dist{}, err
+		}
+		return Uniform(v[0], v[1])
+	case "normal":
+		if len(args) == 2 {
+			v, err := nums(2)
+			if err != nil {
+				return Dist{}, err
+			}
+			return Normal(v[0], v[1])
+		}
+		v, err := nums(4)
+		if err != nil {
+			return Dist{}, err
+		}
+		return NormalTrunc(v[0], v[1], v[2], v[3])
+	case "tri":
+		v, err := nums(3)
+		if err != nil {
+			return Dist{}, err
+		}
+		return Triangular(v[0], v[1], v[2])
+	case "choice":
+		if len(args) == 0 {
+			return Dist{}, fmt.Errorf("dist: choice needs at least one value:weight pair")
+		}
+		vals := make([]float64, len(args))
+		weights := make([]float64, len(args))
+		for i, a := range args {
+			a = strings.TrimSpace(a)
+			colon := strings.IndexByte(a, ':')
+			if colon < 0 {
+				return Dist{}, fmt.Errorf("dist: choice pair %q missing ':'", a)
+			}
+			v, err := num(a[:colon])
+			if err != nil {
+				return Dist{}, err
+			}
+			w, err := num(a[colon+1:])
+			if err != nil {
+				return Dist{}, err
+			}
+			vals[i], weights[i] = v, w
+		}
+		return Discrete(vals, weights)
+	default:
+		return Dist{}, fmt.Errorf("dist: unknown distribution %q", name)
+	}
+}
+
+// --- standard-normal helpers -------------------------------------------
+
+func stdPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
+func stdCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// stdQuantile is Φ⁻¹, clamped away from the infinities at p ∈ {0, 1}.
+func stdQuantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	default:
+		return math.Sqrt2 * math.Erfinv(2*p-1)
+	}
+}

@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mustDist returns a closure unwrapping (Dist, error) constructor
+// results against the test.
+func mustDist(t *testing.T) func(Dist, error) Dist {
+	return func(d Dist, err error) Dist {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("constructor: %v", err)
+		}
+		return d
+	}
+}
+
+// TestQuantileBasics: quantiles stay inside the support, are monotone
+// in u, and hit the analytic values of each family.
+func TestQuantileBasics(t *testing.T) {
+	md := mustDist(t)
+	dists := map[string]Dist{
+		"point":    md(Point(3)),
+		"uniform":  md(Uniform(2, 6)),
+		"normal":   md(Normal(5, 0.5)),
+		"normaltr": md(NormalTrunc(5, 2, 4, 7)),
+		"tri":      md(Triangular(1, 2, 5)),
+		"choice":   md(Discrete([]float64{4, 1, 2}, []float64{1, 2, 1})),
+	}
+	for name, d := range dists {
+		t.Run(name, func(t *testing.T) {
+			lo, hi := d.Support()
+			if lo < 0 || hi < lo {
+				t.Fatalf("support [%v, %v] invalid", lo, hi)
+			}
+			prev := math.Inf(-1)
+			for u := 0.0; u < 1.0; u += 0.001 {
+				x := d.Quantile(u)
+				if x < lo-1e-12 || x > hi+1e-12 {
+					t.Fatalf("Quantile(%v) = %v outside support [%v, %v]", u, x, lo, hi)
+				}
+				if x < prev-1e-12 {
+					t.Fatalf("Quantile not monotone at u=%v: %v < %v", u, x, prev)
+				}
+				prev = x
+			}
+			// The quantile-sampled mean must converge to Mean().
+			sum := 0.0
+			const n = 20000
+			for i := 0; i < n; i++ {
+				sum += d.Quantile((float64(i) + 0.5) / n)
+			}
+			if got, want := sum/n, d.Mean(); math.Abs(got-want) > 5e-3*(1+math.Abs(want)) {
+				t.Fatalf("quantile-integrated mean %v, Mean() = %v", got, want)
+			}
+		})
+	}
+	if got := dists["uniform"].Quantile(0.5); got != 4 {
+		t.Fatalf("uniform median = %v, want 4", got)
+	}
+	if got := dists["tri"].Quantile(0.25); math.Abs(got-2) > 1e-12 {
+		// F(mode) = (2-1)/(5-1) = 0.25 → the mode sits at u = 0.25.
+		t.Fatalf("triangular quantile(0.25) = %v, want 2", got)
+	}
+	// Discrete: P(1)=0.5, P(2)=0.25, P(4)=0.25 after sorting.
+	d := dists["choice"]
+	if got := d.Quantile(0.2); got != 1 {
+		t.Fatalf("choice quantile(0.2) = %v, want 1", got)
+	}
+	if got := d.Quantile(0.6); got != 2 {
+		t.Fatalf("choice quantile(0.6) = %v, want 2", got)
+	}
+	if got := d.Quantile(0.9); got != 4 {
+		t.Fatalf("choice quantile(0.9) = %v, want 4", got)
+	}
+}
+
+// TestConstructorValidation: negative supports and malformed parameters
+// are rejected; degenerate shapes collapse to points.
+func TestConstructorValidation(t *testing.T) {
+	md := mustDist(t)
+	bad := []error{
+		func() error { _, err := Point(-1); return err }(),
+		func() error { _, err := Uniform(-1, 2); return err }(),
+		func() error { _, err := Uniform(3, 2); return err }(),
+		func() error { _, err := Triangular(1, 0.5, 2); return err }(),
+		func() error { _, err := Triangular(-1, 0, 1); return err }(),
+		func() error { _, err := Discrete(nil, nil); return err }(),
+		func() error { _, err := Discrete([]float64{1}, []float64{0}); return err }(),
+		func() error { _, err := Discrete([]float64{-1}, []float64{1}); return err }(),
+		func() error { _, err := NormalTrunc(1, -0.5, 0, 2); return err }(),
+		func() error { _, err := NormalTrunc(1, 0.5, 2, 1); return err }(),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Fatalf("invalid constructor %d accepted", i)
+		}
+	}
+	if d := md(Uniform(2, 2)); !(d.Kind() == KindUniform) {
+		// lo==hi uniform is fine (degenerate but harmless).
+		_ = d
+	}
+	if d := md(NormalTrunc(3, 0, 1, 5)); !d.IsPoint() {
+		t.Fatalf("zero-sigma normal should collapse to a point")
+	}
+	if d := md(Discrete([]float64{2, 2}, []float64{1, 3})); !d.IsPoint() {
+		t.Fatalf("single-support discrete should collapse to a point")
+	}
+	if d := md(Normal(0.5, 1)); func() bool { lo, _ := d.Support(); return lo < 0 }() {
+		t.Fatalf("Normal support dips below zero")
+	}
+}
+
+// TestParseRoundTrip: String() output parses back to an identical
+// distribution for every family.
+func TestParseRoundTrip(t *testing.T) {
+	md := mustDist(t)
+	dists := []Dist{
+		md(Point(2.5)),
+		md(Uniform(1, 3)),
+		md(Normal(4, 0.25)),
+		md(NormalTrunc(4, 0.25, 3.5, 4.25)),
+		md(Triangular(0, 1, 4)),
+		md(Discrete([]float64{1, 2, 4}, []float64{1, 2, 1})),
+	}
+	for _, d := range dists {
+		s := d.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %q -> %q", s, got.String())
+		}
+		for _, u := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+			if a, b := d.Quantile(u), got.Quantile(u); a != b {
+				t.Fatalf("%q: quantile(%v) %v != %v after round trip", s, u, a, b)
+			}
+		}
+	}
+	// Trailing garbage in a number must error, not silently truncate (a
+	// mistyped annotation must never load as a different distribution).
+	for _, bad := range []string{"", "uniform", "uniform(1)", "uniform(1,x)", "frob(1,2)", "choice()", "choice(1)", "point(1,2)",
+		"uniform(1.8.2,2.2)", "uniform(1.8,2.2x)", "choice(1a:2)", "choice(1:2b)", "tri(1,2,3z)"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+	// Two-argument normal defaults its truncation.
+	d, err := Parse("normal(10,1)")
+	if err != nil {
+		t.Fatalf("Parse(normal/2): %v", err)
+	}
+	if lo, hi := d.Support(); lo != 6 || hi != 14 {
+		t.Fatalf("normal(10,1) support [%v, %v], want [6, 14]", lo, hi)
+	}
+	if !strings.HasPrefix(d.String(), "normal(10,1,") {
+		t.Fatalf("normal String = %q", d.String())
+	}
+}
+
+// TestModelSampling: deterministic counter-based sampling, point pins,
+// support confinement, and comonotone correlation groups.
+func TestModelSampling(t *testing.T) {
+	md := mustDist(t)
+	nominal := []float64{1, 2, 3, 4, 5}
+	m, err := NewModel(nominal)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if !m.Deterministic() {
+		t.Fatalf("fresh model not deterministic")
+	}
+	out := make([]float64, len(nominal))
+	m.SampleInto(1, 0, out)
+	for i, v := range out {
+		if v != nominal[i] {
+			t.Fatalf("point sample arc %d = %v, want %v", i, v, nominal[i])
+		}
+	}
+	// Same uniform on arcs 1 and 3, correlated: identical draws every
+	// sample. Arc 2 independent on a disjoint support.
+	u13 := md(Uniform(10, 20))
+	if err := m.SetArc(1, u13); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetArc(3, u13); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetArc(2, md(Uniform(30, 40))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Correlate(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deterministic() || m.RandomArcs() != 3 {
+		t.Fatalf("model shape wrong: deterministic=%v random=%d", m.Deterministic(), m.RandomArcs())
+	}
+	a := make([]float64, len(nominal))
+	b := make([]float64, len(nominal))
+	seen := map[float64]bool{}
+	for idx := uint64(0); idx < 200; idx++ {
+		m.SampleInto(7, idx, a)
+		m.SampleInto(7, idx, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("sample %d not reproducible at arc %d", idx, i)
+			}
+		}
+		if a[0] != 1 || a[4] != 5 {
+			t.Fatalf("point arcs drifted: %v", a)
+		}
+		if a[1] != a[3] {
+			t.Fatalf("correlated arcs diverged: %v vs %v", a[1], a[3])
+		}
+		if a[1] < 10 || a[1] > 20 || a[2] < 30 || a[2] > 40 {
+			t.Fatalf("sample outside support: %v", a)
+		}
+		seen[a[1]] = true
+	}
+	if len(seen) < 150 {
+		t.Fatalf("only %d distinct draws in 200 samples; RNG too coarse", len(seen))
+	}
+	// Different seeds give different streams.
+	m.SampleInto(8, 0, b)
+	m.SampleInto(7, 0, a)
+	if a[1] == b[1] && a[2] == b[2] {
+		t.Fatalf("seeds 7 and 8 produced identical draws")
+	}
+	// Ungrouping restores independence.
+	if err := m.SetGroup(3, -1); err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for idx := uint64(0); idx < 50 && !diverged; idx++ {
+		m.SampleInto(7, idx, a)
+		diverged = a[1] != a[3]
+	}
+	if !diverged {
+		t.Fatalf("ungrouped arcs still comonotone")
+	}
+}
+
+// TestModelGroupsSurviveEdits: compiling the sampling plan (any
+// sampling/inspection call) must not disturb user-assigned group ids,
+// so a model edited between Monte-Carlo runs keeps its correlation
+// partition intact.
+func TestModelGroupsSurviveEdits(t *testing.T) {
+	md := mustDist(t)
+	m, err := NewModel([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := md(Uniform(10, 20))
+	if err := m.SetArc(0, u); err != nil {
+		t.Fatal(err)
+	}
+	// Arcs 0 and 1 share user group 3; arc 1 is still a point when the
+	// first compile runs.
+	if err := m.SetGroup(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGroup(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	m.Deterministic() // compiles
+	if m.Group(0) != 3 || m.Group(1) != 3 {
+		t.Fatalf("compile rewrote user group ids: %d, %d", m.Group(0), m.Group(1))
+	}
+	// Making arc 1 random afterwards must land it in the same group.
+	if err := m.SetArc(1, u); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	for idx := uint64(0); idx < 20; idx++ {
+		m.SampleInto(5, idx, out)
+		if out[0] != out[1] {
+			t.Fatalf("sample %d: correlated arcs diverged after edit: %v vs %v", idx, out[0], out[1])
+		}
+	}
+}
+
+// TestModelValidation: bad indices and negative supports are rejected.
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel([]float64{1, -2}); err == nil {
+		t.Fatalf("negative nominal accepted")
+	}
+	m, err := NewModel([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetArc(5, Dist{}); err == nil {
+		t.Fatalf("out-of-range arc accepted")
+	}
+	if err := m.SetGroup(-1, 0); err == nil {
+		t.Fatalf("out-of-range group arc accepted")
+	}
+}
+
+// TestJitterModels: the helpers produce supports of exactly ±frac and
+// reject invalid fractions.
+func TestJitterModels(t *testing.T) {
+	nominal := []float64{0, 2, 5}
+	for _, mk := range []func([]float64, float64) (*Model, error){JitterUniform, JitterNormal} {
+		m, err := mk(nominal, 0.1)
+		if err != nil {
+			t.Fatalf("jitter: %v", err)
+		}
+		if lo, hi := m.Support(0); lo != 0 || hi != 0 {
+			t.Fatalf("zero-delay arc jittered: [%v, %v]", lo, hi)
+		}
+		for i, d := range []float64{2, 5} {
+			lo, hi := m.Support(i + 1)
+			if math.Abs(lo-0.9*d) > 1e-12 || math.Abs(hi-1.1*d) > 1e-12 {
+				t.Fatalf("arc %d support [%v, %v], want [%v, %v]", i+1, lo, hi, 0.9*d, 1.1*d)
+			}
+		}
+	}
+	if _, err := JitterUniform(nominal, -0.5); err == nil {
+		t.Fatalf("negative jitter accepted")
+	}
+	if _, err := JitterUniform(nominal, 1.5); err == nil {
+		t.Fatalf("jitter > 1 accepted")
+	}
+	m, err := JitterUniform(nominal, 0)
+	if err != nil || !m.Deterministic() {
+		t.Fatalf("zero jitter should stay deterministic (err %v)", err)
+	}
+}

@@ -1,0 +1,289 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model assigns a delay distribution to every arc of a graph (by arc
+// index) plus optional correlation groups. It is the input to the
+// Monte-Carlo analyses: cycletime.AnalyzeMC draws whole delay vectors
+// from it with SampleInto.
+//
+// A freshly built model is deterministic — every arc a point at its
+// nominal delay — so Monte-Carlo over it reproduces the fixed-delay
+// analysis exactly (the differential pin the tests enforce). SetArc
+// replaces individual distributions; Correlate ties arcs into a group
+// that shares the uniform variate of each sample, so grouped arcs move
+// together through their quantile functions (a common scale factor
+// when their supports are proportional).
+//
+// Sampling is counter-based: sample i is a pure function of (seed, i),
+// independent of which worker evaluates it or in what order, which is
+// what makes the Monte-Carlo engine's estimates reproducible.
+//
+// A Model is not safe for concurrent mutation; concurrent SampleInto
+// calls are safe once the model is no longer being edited.
+type Model struct {
+	dists []Dist
+	group []int32 // correlation group per arc, -1 = independent
+	// compiled sampling plan (rebuilt lazily after edits):
+	dirty      bool
+	compiled   bool
+	base       []float64 // per-arc sample base: point values (random arcs overwritten)
+	randomArcs []int32   // non-point arcs, ascending
+	dense      []int32   // per-arc dense group id (-1 independent); user ids in group stay untouched
+	ngroups    int       // dense groups referenced by a random arc: 0..ngroups-1
+}
+
+// NewModel returns the deterministic model over the given nominal
+// delays: arc i is Point(nominal[i]).
+func NewModel(nominal []float64) (*Model, error) {
+	m := &Model{
+		dists: make([]Dist, len(nominal)),
+		group: make([]int32, len(nominal)),
+	}
+	for i, v := range nominal {
+		d, err := Point(v)
+		if err != nil {
+			return nil, fmt.Errorf("dist: arc %d: %w", i, err)
+		}
+		m.dists[i] = d
+		m.group[i] = -1
+	}
+	return m, nil
+}
+
+// NumArcs returns the number of arcs the model covers.
+func (m *Model) NumArcs() int { return len(m.dists) }
+
+// Dist returns arc i's distribution.
+func (m *Model) Dist(i int) Dist { return m.dists[i] }
+
+// Group returns arc i's correlation group, or -1 when independent.
+func (m *Model) Group(i int) int { return int(m.group[i]) }
+
+// SetArc replaces arc i's delay distribution.
+func (m *Model) SetArc(i int, d Dist) error {
+	if i < 0 || i >= len(m.dists) {
+		return fmt.Errorf("dist: arc index %d out of range [0,%d)", i, len(m.dists))
+	}
+	if lo, _ := d.Support(); lo < 0 || math.IsNaN(lo) {
+		return fmt.Errorf("dist: arc %d: negative delay support %g", i, lo)
+	}
+	m.dists[i] = d
+	m.dirty = true
+	return nil
+}
+
+// SetGroup puts arc i into correlation group g (g >= 0), or makes it
+// independent again (g < 0). Arcs of one group share the uniform
+// variate of every sample.
+func (m *Model) SetGroup(i, g int) error {
+	if i < 0 || i >= len(m.dists) {
+		return fmt.Errorf("dist: arc index %d out of range [0,%d)", i, len(m.dists))
+	}
+	if g < 0 {
+		m.group[i] = -1
+	} else {
+		m.group[i] = int32(g)
+	}
+	m.dirty = true
+	return nil
+}
+
+// Correlate ties the given arcs into a fresh correlation group and
+// returns its id.
+func (m *Model) Correlate(arcs ...int) (int, error) {
+	g := 0
+	for _, gi := range m.group {
+		if int(gi) >= g {
+			g = int(gi) + 1
+		}
+	}
+	for _, i := range arcs {
+		if err := m.SetGroup(i, g); err != nil {
+			return 0, err
+		}
+	}
+	return g, nil
+}
+
+// Deterministic reports whether every arc is a point distribution, in
+// which case every sample equals the nominal delay vector.
+func (m *Model) Deterministic() bool {
+	m.compile()
+	return len(m.randomArcs) == 0
+}
+
+// RandomArcs returns the number of arcs with non-degenerate
+// distributions.
+func (m *Model) RandomArcs() int {
+	m.compile()
+	return len(m.randomArcs)
+}
+
+// Support returns the support bounds of arc i's distribution — the
+// per-arc [lo, hi] interval a bounds analysis (cycletime.AnalyzeBounds)
+// can bracket the Monte-Carlo estimates with.
+func (m *Model) Support(i int) (lo, hi float64) { return m.dists[i].Support() }
+
+// MeanInto fills out with the per-arc expected delays.
+func (m *Model) MeanInto(out []float64) {
+	for i, d := range m.dists {
+		out[i] = d.Mean()
+	}
+}
+
+// compile rebuilds the sampling plan: the ascending list of random
+// arcs, and a private dense renumbering of the correlation groups
+// referenced by them (by first appearance over ascending arcs, so the
+// variate stream depends only on the partition, not on the caller's id
+// choice). The user-assigned ids in m.group are never modified — the
+// model stays editable between sampling runs without groups silently
+// splitting or merging.
+func (m *Model) compile() {
+	if m.compiled && !m.dirty {
+		return
+	}
+	m.randomArcs = m.randomArcs[:0]
+	if m.base == nil {
+		m.base = make([]float64, len(m.dists))
+	}
+	if m.dense == nil {
+		m.dense = make([]int32, len(m.dists))
+	}
+	remap := map[int32]int32{}
+	for i, d := range m.dists {
+		m.base[i] = d.a
+		m.dense[i] = -1
+		if d.IsPoint() {
+			continue
+		}
+		m.randomArcs = append(m.randomArcs, int32(i))
+		if g := m.group[i]; g >= 0 {
+			dg, ok := remap[g]
+			if !ok {
+				dg = int32(len(remap))
+				remap[g] = dg
+			}
+			m.dense[i] = dg
+		}
+	}
+	m.ngroups = len(remap)
+	m.dirty = false
+	m.compiled = true
+}
+
+// SampleInto fills out (len NumArcs) with sample idx of the delay
+// vector under the given seed. Sample idx is a pure function of
+// (model, seed, idx): group variates are drawn first (one per
+// referenced group, in dense group order), then one variate per
+// independent random arc in ascending arc order; point arcs consume no
+// randomness. Safe for concurrent use with distinct out buffers once
+// the model is no longer edited AND the sampling plan has been compiled
+// — any post-edit call to SampleInto, Deterministic or RandomArcs
+// compiles it; concurrent first calls race on the lazy compile.
+func (m *Model) SampleInto(seed, idx uint64, out []float64) {
+	m.compile()
+	copy(out, m.base) // point values; random arcs overwritten below
+	if len(m.randomArcs) == 0 {
+		return
+	}
+	r := newSampleRNG(seed, idx)
+	var groupU [maxStackGroups]float64
+	gu := groupU[:0]
+	if m.ngroups > len(groupU) {
+		gu = make([]float64, 0, m.ngroups)
+	}
+	for g := 0; g < m.ngroups; g++ {
+		gu = append(gu, r.float64())
+	}
+	for _, ai := range m.randomArcs {
+		var u float64
+		if g := m.dense[ai]; g >= 0 {
+			u = gu[g]
+		} else {
+			u = r.float64()
+		}
+		out[ai] = m.dists[ai].Quantile(u)
+	}
+}
+
+const maxStackGroups = 16
+
+// JitterUniform builds the uniform ±frac jitter model over the nominal
+// delays: arc i ~ uniform((1−frac)·d, (1+frac)·d). Zero-delay arcs stay
+// points. This is the distributional counterpart of cycletime.Jitter,
+// supported on exactly the interval the bounds analysis brackets.
+func JitterUniform(nominal []float64, frac float64) (*Model, error) {
+	return jitterModel(nominal, frac, Uniform)
+}
+
+// JitterNormal builds the truncated-normal ±frac jitter model: arc
+// i ~ normal(d, frac·d/3) truncated to [(1−frac)·d, (1+frac)·d], i.e.
+// the same support as JitterUniform with mass concentrated at the
+// nominal.
+func JitterNormal(nominal []float64, frac float64) (*Model, error) {
+	return jitterModel(nominal, frac, func(lo, hi float64) (Dist, error) {
+		mean := (lo + hi) / 2
+		return NormalTrunc(mean, (hi-lo)/6, lo, hi)
+	})
+}
+
+func jitterModel(nominal []float64, frac float64, mk func(lo, hi float64) (Dist, error)) (*Model, error) {
+	if frac < 0 || frac > 1 || math.IsNaN(frac) {
+		return nil, fmt.Errorf("dist: jitter fraction %g outside [0, 1]", frac)
+	}
+	m, err := NewModel(nominal)
+	if err != nil {
+		return nil, err
+	}
+	if frac == 0 {
+		return m, nil
+	}
+	for i, v := range nominal {
+		if v == 0 {
+			continue
+		}
+		d, err := mk((1-frac)*v, (1+frac)*v)
+		if err != nil {
+			return nil, fmt.Errorf("dist: jitter arc %d: %w", i, err)
+		}
+		if err := m.SetArc(i, d); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// --- counter-based RNG --------------------------------------------------
+
+// sampleRNG is a splitmix64 stream keyed by (seed, sample index): cheap,
+// statistically solid for Monte-Carlo, and — crucially — counter-based,
+// so sample i draws the same variates no matter which worker evaluates
+// it. Not cryptographic.
+type sampleRNG struct{ s uint64 }
+
+func newSampleRNG(seed, idx uint64) sampleRNG {
+	// Decorrelate the per-sample streams: mix the index through one
+	// splitmix round before xoring with the seed.
+	z := (idx + 1) * 0xd1342543de82ef95
+	z ^= z >> 32
+	z *= 0x94d049bb133111eb
+	return sampleRNG{s: seed ^ z}
+}
+
+func (r *sampleRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// float64 returns a uniform variate in [0, 1).
+func (r *sampleRNG) float64() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+	"tsg/internal/textio"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "MCSTAT",
+		Title: "statistical extension: Monte-Carlo λ on the compiled kernel (pin, bounds bracket, samples/sec)",
+		Run:   runMCSTAT,
+	})
+}
+
+// runMCSTAT validates the statistical subsystem end to end and measures
+// its throughput:
+//
+//  1. differential pin — Monte-Carlo over all-point distributions must
+//     reproduce the deterministic λ exactly (zero variance, criticality
+//     in {0,1} on the critical-cycle arcs);
+//  2. bounds bracket — under ±10% jitter every sampled λ (min, max and
+//     all quantiles) must lie inside the AnalyzeBounds interval of the
+//     same ±10%, because the model supports are exactly the bounds'
+//     delay intervals and λ is monotone in delays;
+//  3. throughput — samples/sec on the 66-event stack and a random
+//     2000-event graph, serial vs. the worker pool, all on the
+//     compiled kernel (no re-Build/re-Compile per sample).
+func runMCSTAT(w io.Writer) error {
+	// 1. Differential pin on the paper's stack workload.
+	stack, err := gen.Stack(31)
+	if err != nil {
+		return err
+	}
+	det, err := cycletime.Analyze(stack)
+	if err != nil {
+		return err
+	}
+	pm, err := gen.PointModel(stack)
+	if err != nil {
+		return err
+	}
+	pin, err := cycletime.AnalyzeMC(stack, pm, cycletime.MCOptions{Samples: 64, Criticality: true})
+	if err != nil {
+		return err
+	}
+	if err := expect("all-point MC λ mean", pin.Mean, det.CycleTime.Float()); err != nil {
+		return err
+	}
+	if err := expect("all-point MC λ variance", pin.Variance, 0.0); err != nil {
+		return err
+	}
+	onCrit := map[int]bool{}
+	for _, cyc := range det.Critical {
+		for _, ai := range cyc.Arcs {
+			onCrit[ai] = true
+		}
+	}
+	for i, c := range pin.Criticality {
+		want := 0.0
+		if onCrit[i] {
+			want = 1.0
+		}
+		if c != want {
+			return fmt.Errorf("exp: all-point criticality of arc %d = %v, want %v", i, c, want)
+		}
+	}
+
+	// 2. Bounds bracket on a random workload.
+	rng := rand.New(rand.NewSource(17))
+	rnd, err := gen.RandomLive(rng, gen.RandomOptions{Events: 500, Border: 6, ExtraArcs: 500, MaxDelay: 16})
+	if err != nil {
+		return err
+	}
+	const frac = 0.10
+	lo, hi := cycletime.Jitter(frac)
+	bounds, err := cycletime.AnalyzeBounds(rnd, lo, hi)
+	if err != nil {
+		return err
+	}
+	jm, err := gen.UniformJitter(rnd, frac)
+	if err != nil {
+		return err
+	}
+	mc, err := cycletime.AnalyzeMC(rnd, jm, cycletime.MCOptions{
+		Samples: 256, Seed: 3, Quantiles: []float64{0.05, 0.5, 0.95},
+	})
+	if err != nil {
+		return err
+	}
+	bLo, bHi := bounds.Min.Float(), bounds.Max.Float()
+	check := func(what string, v float64) error {
+		if v < bLo || v > bHi {
+			return fmt.Errorf("exp: %s = %v outside AnalyzeBounds [%v, %v]", what, v, bLo, bHi)
+		}
+		return nil
+	}
+	if err := check("MC min λ", mc.Min); err != nil {
+		return err
+	}
+	if err := check("MC max λ", mc.Max); err != nil {
+		return err
+	}
+	for _, q := range mc.Quantiles {
+		if err := check(fmt.Sprintf("MC q%g", q.P), q.Value); err != nil {
+			return err
+		}
+	}
+
+	// 3. Throughput: samples/sec, serial vs pooled, on the compiled
+	// kernel.
+	tab := textio.New("Monte-Carlo throughput (compiled kernel, ±10% uniform jitter)",
+		"workload", "n/m/b", "samples", "serial", "pooled")
+	random2000, err := gen.RandomLive(rand.New(rand.NewSource(31)),
+		gen.RandomOptions{Events: 2000, Border: 8, ExtraArcs: 2000, MaxDelay: 16})
+	if err != nil {
+		return err
+	}
+	for _, wl := range []struct {
+		name    string
+		g       *sg.Graph
+		samples int
+	}{
+		{"stack-66", stack, 256},
+		{"random-2000", random2000, 64},
+	} {
+		g := wl.g
+		model, err := gen.UniformJitter(g, frac)
+		if err != nil {
+			return err
+		}
+		e, err := cycletime.NewEngine(g)
+		if err != nil {
+			return err
+		}
+		run := func(workers int) (float64, error) {
+			start := time.Now()
+			res, err := e.AnalyzeMC(model, cycletime.MCOptions{Samples: wl.samples, Seed: 9, Workers: workers})
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Samples) / time.Since(start).Seconds(), nil
+		}
+		serial, err := run(1)
+		if err != nil {
+			return err
+		}
+		pooled, err := run(0)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(wl.name,
+			fmt.Sprintf("%d/%d/%d", g.NumEvents(), g.NumArcs(), len(g.BorderEvents())),
+			wl.samples,
+			fmt.Sprintf("%.0f samples/s", serial),
+			fmt.Sprintf("%.0f samples/s", pooled))
+	}
+	return tab.Render(w)
+}

@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"fmt"
+
+	"tsg/internal/dist"
+	"tsg/internal/sg"
+)
+
+// Jittered variants of the workloads: every generator in this package
+// produces fixed-delay graphs; the helpers below lift them into the
+// statistical subsystem by attaching a delay model (internal/dist) with
+// controlled uncertainty. They are the workload side of the Monte-Carlo
+// experiments (exp MCSTAT, BenchmarkMC*): the graphs stay identical, so
+// deterministic and distributional results are directly comparable.
+
+// nominalDelays extracts the per-arc delay vector of a graph.
+func nominalDelays(g *sg.Graph) []float64 {
+	out := make([]float64, g.NumArcs())
+	for i := range out {
+		out[i] = g.Arc(i).Delay
+	}
+	return out
+}
+
+// PointModel returns the deterministic model of the graph: Monte-Carlo
+// over it reproduces the fixed-delay analysis exactly (the differential
+// pin of the statistical subsystem).
+func PointModel(g *sg.Graph) (*dist.Model, error) {
+	return dist.NewModel(nominalDelays(g))
+}
+
+// UniformJitter returns the graph's delays jittered uniformly by ±frac:
+// arc i ~ uniform((1−frac)·d_i, (1+frac)·d_i); zero-delay arcs stay
+// points. The supports match cycletime.Jitter(frac), so AnalyzeBounds
+// brackets every sampled λ.
+func UniformJitter(g *sg.Graph, frac float64) (*dist.Model, error) {
+	return dist.JitterUniform(nominalDelays(g), frac)
+}
+
+// NormalJitter is UniformJitter with truncated-normal mass concentrated
+// at the nominal delays, on the same ±frac supports.
+func NormalJitter(g *sg.Graph, frac float64) (*dist.Model, error) {
+	return dist.JitterNormal(nominalDelays(g), frac)
+}
+
+// CorrelatedJitter returns UniformJitter with the jittered arcs tied
+// into the given number of correlation groups round-robin by arc index,
+// modelling common process variation across arc families (groups <= 1
+// puts every jittered arc into one group: fully correlated delays).
+func CorrelatedJitter(g *sg.Graph, frac float64, groups int) (*dist.Model, error) {
+	m, err := UniformJitter(g, frac)
+	if err != nil {
+		return nil, err
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	k := 0
+	for i := 0; i < m.NumArcs(); i++ {
+		if m.Dist(i).IsPoint() {
+			continue
+		}
+		if err := m.SetGroup(i, k%groups); err != nil {
+			return nil, fmt.Errorf("gen: correlated jitter: %w", err)
+		}
+		k++
+	}
+	return m, nil
+}

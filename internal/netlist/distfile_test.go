@@ -1,0 +1,191 @@
+package netlist_test
+
+import (
+	"strings"
+	"testing"
+
+	"tsg/internal/dist"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+)
+
+// TestReadTSGDistAnnotations: the statistical arc annotations parse
+// into the delay model, and files without annotations yield the
+// deterministic model.
+func TestReadTSGDistAnnotations(t *testing.T) {
+	src := `tsg annotated
+event a
+event b
+event c
+arc a b 2 ~uniform(1.8,2.2)
+arc b c 3 ~normal(3,0.1) @proc
+arc c a 1 marked ~tri(0.5,1,2) @proc
+arc a c 4
+`
+	g, m, err := netlist.ReadTSGDist(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	if g.NumArcs() != 4 || m.NumArcs() != 4 {
+		t.Fatalf("parsed %d graph arcs, %d model arcs", g.NumArcs(), m.NumArcs())
+	}
+	if m.Deterministic() {
+		t.Fatalf("annotated model is deterministic")
+	}
+	if got := m.Dist(0).String(); got != "uniform(1.8,2.2)" {
+		t.Fatalf("arc 0 dist %q", got)
+	}
+	if k := m.Dist(1).Kind(); k != dist.KindNormal {
+		t.Fatalf("arc 1 kind %v, want normal", k)
+	}
+	if k := m.Dist(2).Kind(); k != dist.KindTriangular {
+		t.Fatalf("arc 2 kind %v, want triangular", k)
+	}
+	if !m.Dist(3).IsPoint() {
+		t.Fatalf("unannotated arc 3 not a point")
+	}
+	if m.Group(1) < 0 || m.Group(1) != m.Group(2) {
+		t.Fatalf("@proc arcs not grouped: %d vs %d", m.Group(1), m.Group(2))
+	}
+	if m.Group(0) >= 0 || m.Group(3) >= 0 {
+		t.Fatalf("untagged arcs grouped")
+	}
+	// The plain reader accepts (and discards) the same annotations.
+	g2, err := netlist.ReadTSG(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadTSG on annotated file: %v", err)
+	}
+	if g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("plain reader arc count %d, want %d", g2.NumArcs(), g.NumArcs())
+	}
+	// No annotations -> all-point model.
+	_, m3, err := netlist.ReadTSGDist(strings.NewReader("tsg p\nevent x\nevent y\narc x y 1 marked\narc y x 1 marked\n"))
+	if err != nil {
+		t.Fatalf("ReadTSGDist(plain): %v", err)
+	}
+	if !m3.Deterministic() {
+		t.Fatalf("plain file produced a random model")
+	}
+}
+
+// TestReadTSGDistErrors: malformed annotations carry line numbers.
+func TestReadTSGDistErrors(t *testing.T) {
+	cases := []string{
+		"tsg x\nevent a\nevent b\narc a b 1 ~frob(1,2)\narc b a 1 marked\n",
+		"tsg x\nevent a\nevent b\narc a b 1 ~uniform(2,1)\narc b a 1 marked\n",
+		"tsg x\nevent a\nevent b\narc a b 1 ~uniform(1,2) ~uniform(1,2)\narc b a 1 marked\n",
+		"tsg x\nevent a\nevent b\narc a b 1 @\narc b a 1 marked\n",
+		"tsg x\nevent a\nevent b\narc a b 1 @g1 @g2\narc b a 1 marked\n",
+	}
+	for i, src := range cases {
+		if _, _, err := netlist.ReadTSGDist(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d: malformed annotation accepted", i)
+		} else if !strings.Contains(err.Error(), "line 4") {
+			t.Fatalf("case %d: error %q lacks line number", i, err)
+		}
+	}
+}
+
+// TestWriteTSGDistRoundTrip: write -> read preserves the graph, every
+// distribution, and the correlation partition.
+func TestWriteTSGDistRoundTrip(t *testing.T) {
+	g, err := gen.Stack(5)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	m, err := gen.CorrelatedJitter(g, 0.15, 3)
+	if err != nil {
+		t.Fatalf("CorrelatedJitter: %v", err)
+	}
+	// Mix in other families.
+	d1, err := dist.Discrete([]float64{1, 2, 3}, []float64{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetArc(0, d1); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := netlist.WriteTSGDist(&sb, g, m); err != nil {
+		t.Fatalf("WriteTSGDist: %v", err)
+	}
+	g2, m2, err := netlist.ReadTSGDist(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadTSGDist(round trip): %v\n%s", err, sb.String())
+	}
+	if g2.NumArcs() != g.NumArcs() || g2.NumEvents() != g.NumEvents() {
+		t.Fatalf("round trip changed the graph shape")
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		if a, b := m.Dist(i).String(), m2.Dist(i).String(); a != b {
+			t.Fatalf("arc %d dist %q -> %q", i, a, b)
+		}
+	}
+	// Correlation partitions must match (group ids may be renumbered).
+	part := func(mm *dist.Model) map[int][]int {
+		p := map[int][]int{}
+		for i := 0; i < mm.NumArcs(); i++ {
+			if mm.Dist(i).IsPoint() {
+				continue
+			}
+			if gid := mm.Group(i); gid >= 0 {
+				p[gid] = append(p[gid], i)
+			}
+		}
+		return p
+	}
+	pa, pb := part(m), part(m2)
+	if len(pa) != len(pb) {
+		t.Fatalf("round trip changed group count: %d -> %d", len(pa), len(pb))
+	}
+	// Each original group must appear verbatim in the round-tripped
+	// partition (first arc identifies it).
+	for gid, arcs := range pa {
+		found := false
+		for _, arcs2 := range pb {
+			if len(arcs) == len(arcs2) && arcs[0] == arcs2[0] {
+				same := true
+				for k := range arcs {
+					if arcs[k] != arcs2[k] {
+						same = false
+						break
+					}
+				}
+				if same {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("group %d (%v) lost in round trip: %v", gid, arcs, pb)
+		}
+	}
+	// A second round trip is a fixed point (canonical form).
+	var sb2 strings.Builder
+	if err := netlist.WriteTSGDist(&sb2, g2, m2); err != nil {
+		t.Fatalf("WriteTSGDist(2): %v", err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatalf("annotated serialisation not canonical:\n%s\nvs\n%s", sb.String(), sb2.String())
+	}
+	// WriteTSGDist with a nil model degrades to WriteTSG.
+	var sb3, sb4 strings.Builder
+	if err := netlist.WriteTSGDist(&sb3, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteTSG(&sb4, g); err != nil {
+		t.Fatal(err)
+	}
+	if sb3.String() != sb4.String() {
+		t.Fatalf("nil-model WriteTSGDist differs from WriteTSG")
+	}
+	// Mismatched model size is rejected.
+	wrong, err := dist.NewModel([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.WriteTSGDist(&sb3, g, wrong); err == nil {
+		t.Fatalf("arc-count mismatch accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tsg/internal/dist"
 	"tsg/internal/sg"
 )
 
@@ -37,12 +38,15 @@ func errf(line int, format string, args ...interface{}) error {
 //
 //	tsg <name>
 //	event <name> [nonrepetitive]
-//	arc <from> <to> <delay> [marked] [once]
+//	arc <from> <to> <delay> [marked] [once] [~<dist>] [@<group>]
 //
-// The graph is validated (sg.Validate); use ReadTSGLax to load invalid
-// graphs for diagnosis.
+// The optional statistical annotations — a delay distribution such as
+// ~uniform(2,4) and a correlation-group tag such as @corr — are
+// accepted and discarded here; ReadTSGDist returns them as a
+// dist.Model. The graph is validated (sg.Validate); use ReadTSGLax to
+// load invalid graphs for diagnosis.
 func ReadTSG(r io.Reader) (*sg.Graph, error) {
-	b, err := readTSGBuilder(r)
+	b, _, err := readTSGBuilder(r)
 	if err != nil {
 		return nil, err
 	}
@@ -52,23 +56,79 @@ func ReadTSG(r io.Reader) (*sg.Graph, error) {
 // ReadTSGLax parses like ReadTSG but skips semantic validation, so that
 // tools can load a broken graph and report its problems.
 func ReadTSGLax(r io.Reader) (*sg.Graph, error) {
-	b, err := readTSGBuilder(r)
+	b, _, err := readTSGBuilder(r)
 	if err != nil {
 		return nil, err
 	}
 	return b.BuildUnchecked()
 }
 
-func readTSGBuilder(r io.Reader) (*sg.Builder, error) {
+// ReadTSGDist parses a Timed Signal Graph together with its statistical
+// delay annotations: arc lines may carry a distribution (e.g.
+// ~uniform(2,4), ~normal(3,0.2), ~tri(1,2,4), ~choice(1:3,2:1)) and a
+// correlation-group tag (@<name>; arcs sharing a tag share the sample
+// variate, modelling common process variation). Arcs without a
+// distribution stay points at their nominal delay, so a file without
+// annotations yields the deterministic model.
+func ReadTSGDist(r io.Reader) (*sg.Graph, *dist.Model, error) {
+	b, anns, err := readTSGBuilder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	nominal := make([]float64, g.NumArcs())
+	for i := range nominal {
+		nominal[i] = g.Arc(i).Delay
+	}
+	m, err := dist.NewModel(nominal)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := map[string]int{}
+	for _, a := range anns {
+		if a.hasDist {
+			if err := m.SetArc(a.arc, a.d); err != nil {
+				return nil, nil, errf(a.line, "%v", err)
+			}
+		}
+		if a.group != "" {
+			gid, ok := groups[a.group]
+			if !ok {
+				gid = len(groups)
+				groups[a.group] = gid
+			}
+			if err := m.SetGroup(a.arc, gid); err != nil {
+				return nil, nil, errf(a.line, "%v", err)
+			}
+		}
+	}
+	return g, m, nil
+}
+
+// arcAnn is one arc's statistical annotation, collected during parsing.
+type arcAnn struct {
+	arc     int
+	line    int
+	d       dist.Dist
+	hasDist bool
+	group   string
+}
+
+func readTSGBuilder(r io.Reader) (*sg.Builder, []arcAnn, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var b *sg.Builder
+	var anns []arcAnn
 	line := 0
+	arcs := 0
 	for sc.Scan() {
 		line++
 		fields, err := splitLine(sc.Text(), line)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(fields) == 0 {
 			continue
@@ -76,69 +136,105 @@ func readTSGBuilder(r io.Reader) (*sg.Builder, error) {
 		switch fields[0] {
 		case "tsg":
 			if b != nil {
-				return nil, errf(line, "duplicate tsg header")
+				return nil, nil, errf(line, "duplicate tsg header")
 			}
 			if len(fields) != 2 {
-				return nil, errf(line, "usage: tsg <name>")
+				return nil, nil, errf(line, "usage: tsg <name>")
 			}
 			b = sg.NewBuilder(fields[1])
 		case "event":
 			if b == nil {
-				return nil, errf(line, "event before tsg header")
+				return nil, nil, errf(line, "event before tsg header")
 			}
 			if len(fields) < 2 || len(fields) > 3 {
-				return nil, errf(line, "usage: event <name> [nonrepetitive]")
+				return nil, nil, errf(line, "usage: event <name> [nonrepetitive]")
 			}
 			var opts []sg.EventOption
 			if len(fields) == 3 {
 				if fields[2] != "nonrepetitive" {
-					return nil, errf(line, "unknown event attribute %q", fields[2])
+					return nil, nil, errf(line, "unknown event attribute %q", fields[2])
 				}
 				opts = append(opts, sg.NonRepetitive())
 			}
 			b.Event(fields[1], opts...)
 		case "arc":
 			if b == nil {
-				return nil, errf(line, "arc before tsg header")
+				return nil, nil, errf(line, "arc before tsg header")
 			}
 			if len(fields) < 4 {
-				return nil, errf(line, "usage: arc <from> <to> <delay> [marked] [once]")
+				return nil, nil, errf(line, "usage: arc <from> <to> <delay> [marked] [once] [~dist] [@group]")
 			}
 			delay, err := strconv.ParseFloat(fields[3], 64)
 			if err != nil {
-				return nil, errf(line, "bad delay %q: %v", fields[3], err)
+				return nil, nil, errf(line, "bad delay %q: %v", fields[3], err)
 			}
+			ann := arcAnn{arc: arcs, line: line}
 			var opts []sg.ArcOption
 			for _, attr := range fields[4:] {
-				switch attr {
-				case "marked":
+				switch {
+				case attr == "marked":
 					opts = append(opts, sg.Marked())
-				case "once":
+				case attr == "once":
 					opts = append(opts, sg.Once())
+				case strings.HasPrefix(attr, "~"):
+					if ann.hasDist {
+						return nil, nil, errf(line, "duplicate distribution annotation %q", attr)
+					}
+					d, err := dist.Parse(attr[1:])
+					if err != nil {
+						return nil, nil, errf(line, "%v", err)
+					}
+					ann.d, ann.hasDist = d, true
+				case strings.HasPrefix(attr, "@"):
+					if ann.group != "" {
+						return nil, nil, errf(line, "duplicate correlation tag %q", attr)
+					}
+					if attr == "@" {
+						return nil, nil, errf(line, "empty correlation tag")
+					}
+					ann.group = attr[1:]
 				default:
-					return nil, errf(line, "unknown arc attribute %q", attr)
+					return nil, nil, errf(line, "unknown arc attribute %q", attr)
 				}
 			}
 			b.Arc(fields[1], fields[2], delay, opts...)
+			if ann.hasDist || ann.group != "" {
+				anns = append(anns, ann)
+			}
+			arcs++
 		default:
-			return nil, errf(line, "unknown directive %q", fields[0])
+			return nil, nil, errf(line, "unknown directive %q", fields[0])
 		}
 		if err := b.Err(); err != nil {
-			return nil, errf(line, "%v", err)
+			return nil, nil, errf(line, "%v", err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if b == nil {
-		return nil, errf(line, "missing tsg header")
+		return nil, nil, errf(line, "missing tsg header")
 	}
-	return b, nil
+	return b, anns, nil
 }
 
 // WriteTSG serialises a graph in the format ReadTSG parses; the output
 // round-trips to a structurally identical graph.
-func WriteTSG(w io.Writer, g *sg.Graph) error {
+func WriteTSG(w io.Writer, g *sg.Graph) error { return writeTSG(w, g, nil) }
+
+// WriteTSGDist serialises a graph with its delay model: non-point
+// distributions become ~ annotations and correlation groups become
+// @c<k> tags (renumbered by first appearance, so the output is
+// canonical). ReadTSGDist round-trips the result — same distributions,
+// same correlation partition.
+func WriteTSGDist(w io.Writer, g *sg.Graph, m *dist.Model) error {
+	if m != nil && m.NumArcs() != g.NumArcs() {
+		return fmt.Errorf("netlist: delay model covers %d arcs, graph has %d", m.NumArcs(), g.NumArcs())
+	}
+	return writeTSG(w, g, m)
+}
+
+func writeTSG(w io.Writer, g *sg.Graph, m *dist.Model) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tsg %s\n", g.Name())
 	for i := 0; i < g.NumEvents(); i++ {
@@ -149,6 +245,7 @@ func WriteTSG(w io.Writer, g *sg.Graph) error {
 			fmt.Fprintf(&b, "event %s nonrepetitive\n", ev.Name)
 		}
 	}
+	groups := map[int]int{}
 	for i := 0; i < g.NumArcs(); i++ {
 		a := g.Arc(i)
 		fmt.Fprintf(&b, "arc %s %s %g", g.Event(a.From).Name, g.Event(a.To).Name, a.Delay)
@@ -157,6 +254,22 @@ func WriteTSG(w io.Writer, g *sg.Graph) error {
 		}
 		if a.Once {
 			b.WriteString(" once")
+		}
+		if m != nil {
+			random := !m.Dist(i).IsPoint()
+			if random {
+				fmt.Fprintf(&b, " ~%s", m.Dist(i))
+			}
+			// Correlation tags on point arcs carry no sampling meaning;
+			// emit them only where they matter so the output is canonical.
+			if gid := m.Group(i); gid >= 0 && random {
+				k, ok := groups[gid]
+				if !ok {
+					k = len(groups)
+					groups[gid] = k
+				}
+				fmt.Fprintf(&b, " @c%d", k)
+			}
 		}
 		b.WriteByte('\n')
 	}

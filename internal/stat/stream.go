@@ -1,0 +1,248 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the streaming estimators of the Monte-Carlo subsystem
+// (cycletime.AnalyzeMC): Welford moment accumulation with exact pairwise
+// merging, and the P² quantile estimator of Jain & Chlamtac (CACM 1985).
+// Both are O(1) memory per tracked statistic, so a Monte-Carlo run keeps
+// memory proportional to the worker count, not the sample count.
+
+// Welford accumulates count, mean, variance (via the M2 sum of squared
+// deviations), min and max of a stream in one pass. The zero value is
+// an empty accumulator.
+type Welford struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.mean, w.minV, w.maxV = x, x, x
+		return
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+	if x < w.minV {
+		w.minV = x
+	}
+	if x > w.maxV {
+		w.maxV = x
+	}
+}
+
+// Merge folds another accumulator into w (Chan et al. pairwise update).
+// Merging the same accumulators in the same order is deterministic,
+// which is what gives the Monte-Carlo engine bit-identical estimates at
+// a fixed worker count.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+	if o.minV < w.minV {
+		w.minV = o.minV
+	}
+	if o.maxV > w.maxV {
+		w.maxV = o.maxV
+	}
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.minV }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.maxV }
+
+// CIHalf returns the half-width of the normal-approximation confidence
+// interval of the mean at critical value z: z·sqrt(Var/n).
+func (w *Welford) CIHalf(z float64) float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	return z * math.Sqrt(w.Var()/float64(w.n))
+}
+
+// P2Quantile estimates the p-quantile of a stream with the P² algorithm:
+// five markers tracking (min, p/2, p, (1+p)/2, max) positions, adjusted
+// with parabolic interpolation as observations arrive. O(1) memory and
+// deterministic in the insertion order.
+type P2Quantile struct {
+	p    float64
+	n    int64
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired positions
+	inc  [5]float64 // desired-position increments per observation
+	init [5]float64 // first five observations, until n >= 5
+}
+
+// NewP2Quantile returns an estimator of the p-quantile, 0 < p < 1.
+func NewP2Quantile(p float64) (*P2Quantile, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("stat: quantile probability %g outside (0, 1)", p)
+	}
+	e := &P2Quantile{p: p}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e, nil
+}
+
+// P returns the tracked probability.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int64 { return e.n }
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.init[e.n] = x
+		e.n++
+		if e.n == 5 {
+			s := e.init[:]
+			sort.Float64s(s)
+			for i := 0; i < 5; i++ {
+				e.q[i] = s[i]
+				e.pos[i] = float64(i + 1)
+				e.want[i] = 1 + 4*e.inc[i]
+			}
+		}
+		return
+	}
+	e.n++
+	// Locate the cell containing x and update the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+	// Adjust the interior markers towards their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the nearest-rank quantile of the stored
+// prefix.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.init[:e.n]...)
+		sort.Float64s(s)
+		i := int(math.Ceil(e.p*float64(e.n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return e.q[2]
+}
+
+// CIHalf returns an approximate half-width of the confidence interval
+// of the quantile estimate at critical value z, using the asymptotic
+// se(q̂) = sqrt(p(1−p)/n)/f(q) with the density f estimated from the P²
+// markers around the quantile. Degenerate streams (all mass at one
+// value) report 0; streams too short to estimate a density report +Inf.
+func (e *P2Quantile) CIHalf(z float64) float64 {
+	if e.n >= 2 && e.q[0] == e.q[4] && e.n >= 5 {
+		return 0
+	}
+	if e.n < 5 {
+		// Undecided: all equal so far counts as converged-at-zero.
+		allEq := true
+		for i := int64(1); i < e.n; i++ {
+			if e.init[i] != e.init[0] {
+				allEq = false
+				break
+			}
+		}
+		if allEq && e.n >= 2 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	span := e.q[3] - e.q[1]
+	frac := (e.pos[3] - e.pos[1]) / float64(e.n)
+	if span <= 0 || frac <= 0 {
+		return 0 // the central mass is concentrated at a single value
+	}
+	density := frac / span
+	return z * math.Sqrt(e.p*(1-e.p)/float64(e.n)) / density
+}

@@ -1,0 +1,130 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestWelford: the streaming moments match the direct two-pass
+// computation, and ordered merging matches a single stream.
+func TestWelford(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 5
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	wantVar := varSum / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-12 || math.Abs(w.Var()-wantVar) > 1e-9 {
+		t.Fatalf("welford mean/var %v/%v, direct %v/%v", w.Mean(), w.Var(), mean, wantVar)
+	}
+	if w.Min() != mn || w.Max() != mx || w.Count() != int64(len(xs)) {
+		t.Fatalf("welford min/max/count %v/%v/%d", w.Min(), w.Max(), w.Count())
+	}
+	if ci := w.CIHalf(1.96); !(ci > 0 && ci < 1) {
+		t.Fatalf("CI half-width %v implausible", ci)
+	}
+	// Split-and-merge equals single-stream.
+	var a, b Welford
+	for i, x := range xs {
+		if i < 313 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if math.Abs(a.Mean()-w.Mean()) > 1e-12 || math.Abs(a.Var()-w.Var()) > 1e-9 {
+		t.Fatalf("merged mean/var %v/%v, single-stream %v/%v", a.Mean(), a.Var(), w.Mean(), w.Var())
+	}
+	if a.Min() != w.Min() || a.Max() != w.Max() || a.Count() != w.Count() {
+		t.Fatalf("merged min/max/count diverge")
+	}
+	var empty Welford
+	a.Merge(empty)
+	if a.Count() != w.Count() {
+		t.Fatalf("merging an empty accumulator changed the count")
+	}
+	empty.Merge(a)
+	if empty.Count() != a.Count() || empty.Mean() != a.Mean() {
+		t.Fatalf("merge into empty lost state")
+	}
+}
+
+// TestP2Quantile: the streaming estimate converges to the exact sample
+// quantile on smooth data, short streams fall back to nearest-rank, and
+// degenerate streams report zero CI.
+func TestP2Quantile(t *testing.T) {
+	if _, err := NewP2Quantile(0); err == nil {
+		t.Fatalf("p=0 accepted")
+	}
+	if _, err := NewP2Quantile(1); err == nil {
+		t.Fatalf("p=1 accepted")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		e, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = rng.Float64()*10 + 3 // uniform on [3, 13]
+		}
+		for _, x := range xs {
+			e.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		exact := sorted[int(p*float64(len(sorted)))]
+		if math.Abs(e.Value()-exact) > 0.15 {
+			t.Fatalf("p=%v: P² %v vs exact %v", p, e.Value(), exact)
+		}
+		ci := e.CIHalf(1.96)
+		if !(ci > 0 && ci < 0.5) {
+			t.Fatalf("p=%v: CI half-width %v implausible", p, ci)
+		}
+	}
+	// Short stream: nearest-rank fallback.
+	e, _ := NewP2Quantile(0.5)
+	for _, x := range []float64{5, 1, 3} {
+		e.Add(x)
+	}
+	if e.Value() != 3 {
+		t.Fatalf("3-sample median %v, want 3", e.Value())
+	}
+	if !math.IsInf(e.CIHalf(1.96), 1) {
+		t.Fatalf("short mixed stream should report +Inf CI")
+	}
+	// Degenerate stream: exact value, zero CI.
+	d, _ := NewP2Quantile(0.9)
+	for i := 0; i < 100; i++ {
+		d.Add(7)
+	}
+	if d.Value() != 7 || d.CIHalf(1.96) != 0 {
+		t.Fatalf("degenerate stream: value %v CI %v", d.Value(), d.CIHalf(1.96))
+	}
+	var none P2Quantile
+	_ = none
+	e2, _ := NewP2Quantile(0.5)
+	if !math.IsNaN(e2.Value()) {
+		t.Fatalf("empty estimator should report NaN")
+	}
+}

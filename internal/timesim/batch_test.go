@@ -1,0 +1,128 @@
+package timesim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+	"tsg/internal/timesim"
+)
+
+// TestRunFromBatchMatchesScalar: for every origin and a batch of random
+// delay assignments, the batch kernel's origin occurrence times must be
+// bit-identical to per-sample RunFrom runs on a refreshed schedule —
+// including the NaN (unreached) pattern.
+func TestRunFromBatchMatchesScalar(t *testing.T) {
+	fixtures := map[string]*sg.Graph{"oscillator": gen.Oscillator()}
+	if ring, err := gen.MullerRing(4); err == nil {
+		fixtures["ring4"] = ring
+	} else {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	if stack, err := gen.Stack(7); err == nil {
+		fixtures["stack7"] = stack
+	} else {
+		t.Fatalf("Stack: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	if g, err := gen.RandomLive(rng, gen.RandomOptions{Events: 60, Border: 5, ExtraArcs: 60, MaxDelay: 9}); err == nil {
+		fixtures["random60"] = g
+	} else {
+		t.Fatalf("RandomLive: %v", err)
+	}
+	const S = 7
+	const periods = 5
+	for name, g := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			ov := sg.NewOverlay(g)
+			sched, err := timesim.Compile(ov.Graph())
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			// Random delay batch, including zero delays.
+			batch := make([][]float64, S)
+			for s := range batch {
+				batch[s] = make([]float64, g.NumArcs())
+				for a := range batch[s] {
+					batch[s][a] = float64(rng.Intn(8))
+					if rng.Intn(5) == 0 {
+						batch[s][a] += rng.Float64()
+					}
+				}
+			}
+			bd := sched.NewBatchDelays(S)
+			for s := range batch {
+				bd.Set(sched, s, batch[s])
+			}
+			out := make([][]float64, S)
+			for s := range out {
+				out[s] = make([]float64, periods)
+			}
+			for ev := 0; ev < g.NumEvents(); ev++ {
+				origin := sg.EventID(ev)
+				if !g.Event(origin).Repetitive {
+					continue
+				}
+				if err := sched.RunFromBatch(origin, bd, periods, out); err != nil {
+					t.Fatalf("RunFromBatch(%s): %v", g.Event(origin).Name, err)
+				}
+				for s := range batch {
+					for a, d := range batch[s] {
+						if err := ov.SetDelay(a, d); err != nil {
+							t.Fatalf("SetDelay: %v", err)
+						}
+					}
+					sched.RefreshDelays()
+					tr, err := sched.RunFrom(origin, timesim.Options{Periods: periods + 1})
+					if err != nil {
+						t.Fatalf("RunFrom: %v", err)
+					}
+					for j := 1; j <= periods; j++ {
+						want, ok := tr.Time(origin, j)
+						reached := ok && tr.Reached(origin, j)
+						got := out[s][j-1]
+						switch {
+						case !reached:
+							if !math.IsNaN(got) {
+								t.Fatalf("%s: sample %d period %d: batch %v, scalar unreached",
+									g.Event(origin).Name, s, j, got)
+							}
+						case got != want:
+							t.Fatalf("%s: sample %d period %d: batch %v != scalar %v",
+								g.Event(origin).Name, s, j, got, want)
+						}
+					}
+					tr.Release()
+				}
+			}
+		})
+	}
+}
+
+// TestRunFromBatchValidation: shape errors are rejected.
+func TestRunFromBatchValidation(t *testing.T) {
+	g := gen.Oscillator()
+	sched, err := timesim.Compile(g)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	bd := sched.NewBatchDelays(2)
+	out := make([][]float64, 2)
+	for s := range out {
+		out[s] = make([]float64, 3)
+	}
+	if err := sched.RunFromBatch(-1, bd, 3, out); err == nil {
+		t.Fatalf("negative origin accepted")
+	}
+	if err := sched.RunFromBatch(0, bd, 0, out); err == nil {
+		t.Fatalf("zero periods accepted")
+	}
+	if err := sched.RunFromBatch(0, bd, 3, out[:1]); err == nil {
+		t.Fatalf("short output accepted")
+	}
+	if bd.Samples() != 2 {
+		t.Fatalf("Samples() = %d", bd.Samples())
+	}
+}

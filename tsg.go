@@ -60,6 +60,12 @@ type Event = sg.Event
 // Arc is a delay-labelled edge with initial marking.
 type Arc = sg.Arc
 
+// EventOption configures an event added through the builder.
+type EventOption = sg.EventOption
+
+// ArcOption configures an arc added through the builder.
+type ArcOption = sg.ArcOption
+
 // Ratio is an exact rational cycle time (length over occurrence period).
 type Ratio = stat.Ratio
 
