@@ -1,0 +1,288 @@
+// Package client is the Go client of the tsg analysis service
+// (internal/serve, cmd/tsgserved): upload a Timed Signal Graph once,
+// then issue analyze / slacks / batched what-if / Monte-Carlo queries
+// by fingerprint, sharing the server's compiled engine with every
+// other client of the same graph.
+//
+//	cl := client.New("http://127.0.0.1:7436")
+//	up, err := cl.Upload(ctx, g)
+//	res, err := cl.Analyze(ctx, client.ByFingerprint(up.Fingerprint))
+//	fmt.Println(res.Lambda.Text)
+//	wi, err := cl.WhatIf(ctx, client.ByFingerprint(up.Fingerprint),
+//		[]client.WhatIfQuery{{Arc: 3, Delay: 5}, {Arc: 7, Delay: 2}})
+//
+// Upload is an optimisation, not a requirement: every query accepts
+// client.ByGraph(g), which inlines the .tsg text — the server
+// fingerprints it and still shares the engine. tsgtime -serve routes
+// the CLI through this package.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tsg"
+	"tsg/internal/serve"
+)
+
+// Wire types, shared with the server so the protocol cannot drift.
+type (
+	// GraphRef references a graph by inline .tsg text or fingerprint.
+	GraphRef = serve.GraphRef
+	// Lambda is a served cycle time (exact rational + float + text).
+	Lambda = serve.Lambda
+	// CriticalCycle is one served critical cycle, events by name.
+	CriticalCycle = serve.CriticalCycle
+	// AnalyzeResponse is the outcome of Analyze.
+	AnalyzeResponse = serve.AnalyzeResponse
+	// SlacksResponse is the outcome of Slacks.
+	SlacksResponse = serve.SlacksResponse
+	// ArcSlack is one served arc slack.
+	ArcSlack = serve.ArcSlack
+	// WhatIfQuery is one delay assignment of a batched what-if.
+	WhatIfQuery = serve.WhatIfQuery
+	// WhatIfResponse is the outcome of WhatIf.
+	WhatIfResponse = serve.WhatIfResponse
+	// MCRequest tunes a served Monte-Carlo run.
+	MCRequest = serve.MCRequest
+	// MCResponse is the outcome of MC.
+	MCResponse = serve.MCResponse
+	// UploadResponse is the outcome of Upload.
+	UploadResponse = serve.UploadResponse
+	// HealthResponse is the outcome of Health.
+	HealthResponse = serve.HealthResponse
+)
+
+// ByGraph references a query's graph by inline .tsg text.
+func ByGraph(g *tsg.Graph) (GraphRef, error) {
+	var b bytes.Buffer
+	if err := tsg.WriteGraph(&b, g); err != nil {
+		return GraphRef{}, err
+	}
+	return GraphRef{Graph: b.String()}, nil
+}
+
+// ByGraphDist references a graph with its delay model inlined, so
+// served Monte-Carlo runs sample the model's distributions.
+func ByGraphDist(g *tsg.Graph, m *tsg.DelayModel) (GraphRef, error) {
+	var b bytes.Buffer
+	if err := tsg.WriteGraphDist(&b, g, m); err != nil {
+		return GraphRef{}, err
+	}
+	return GraphRef{Graph: b.String()}, nil
+}
+
+// ByFingerprint references a previously uploaded graph. For graphs
+// without distribution annotations the fingerprint equals
+// tsg.Fingerprint(g), so it can be computed without any upload.
+func ByFingerprint(fp string) GraphRef { return GraphRef{Fingerprint: fp} }
+
+// ArcMap translates between a local graph's declaration-order arc
+// indices and the canonical wire indices of the protocol. The
+// fingerprint is invariant under arc declaration order, so clients
+// holding the same graph in different orders share one server engine;
+// the canonical rank (tsg.CanonicalArcOrder) is the index space they
+// also share. Build one ArcMap per graph and translate query arcs
+// with ToWire and response arcs (slacks, critical cycles, criticality)
+// with FromWire. A graph serialized and parsed in the same order maps
+// identically on both sides, so the translation is exact.
+type ArcMap struct {
+	toWire   []int // local arc index -> canonical rank
+	fromWire []int // canonical rank -> local arc index
+}
+
+// NewArcMap builds the wire translation for a local graph.
+func NewArcMap(g *tsg.Graph) *ArcMap {
+	fromWire := tsg.CanonicalArcOrder(g)
+	toWire := make([]int, len(fromWire))
+	for k, i := range fromWire {
+		toWire[i] = k
+	}
+	return &ArcMap{toWire: toWire, fromWire: fromWire}
+}
+
+// ToWire converts a local arc index to its canonical wire index.
+func (m *ArcMap) ToWire(local int) int { return m.toWire[local] }
+
+// FromWire converts a canonical wire index to the local arc index.
+func (m *ArcMap) FromWire(wire int) int { return m.fromWire[wire] }
+
+// NumArcs returns the number of arcs the map covers.
+func (m *ArcMap) NumArcs() int { return len(m.toWire) }
+
+// APIError is a non-2xx service reply.
+type APIError struct {
+	Status int    // HTTP status code
+	Msg    string // the server's error message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("tsg service: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+// Client speaks the analysis-service protocol.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client of the service at baseURL (e.g.
+// "http://127.0.0.1:7436").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// post sends a JSON request and decodes the JSON reply into out.
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e serve.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			e.Error = resp.Status
+		}
+		return &APIError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Upload sends a graph (raw .tsg body) and returns its fingerprint;
+// subsequent queries can reference it with ByFingerprint.
+func (c *Client) Upload(ctx context.Context, g *tsg.Graph) (*UploadResponse, error) {
+	ref, err := ByGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	return c.UploadText(ctx, ref.Graph)
+}
+
+// UploadDist uploads a graph together with its delay model (as
+// ~dist/@group annotations), for served Monte-Carlo by fingerprint.
+func (c *Client) UploadDist(ctx context.Context, g *tsg.Graph, m *tsg.DelayModel) (*UploadResponse, error) {
+	ref, err := ByGraphDist(g, m)
+	if err != nil {
+		return nil, err
+	}
+	return c.UploadText(ctx, ref.Graph)
+}
+
+// UploadText uploads raw .tsg text.
+func (c *Client) UploadText(ctx context.Context, text string) (*UploadResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs", strings.NewReader(text))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	var out UploadResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze returns the cycle time and critical cycles of the graph.
+func (c *Client) Analyze(ctx context.Context, ref GraphRef) (*AnalyzeResponse, error) {
+	var out AnalyzeResponse
+	if err := c.post(ctx, "/v1/analyze", serve.AnalyzeRequest{GraphRef: ref}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Slacks returns the per-arc timing slacks at the graph's cycle time.
+func (c *Client) Slacks(ctx context.Context, ref GraphRef) (*SlacksResponse, error) {
+	var out SlacksResponse
+	if err := c.post(ctx, "/v1/slacks", serve.SlacksRequest{GraphRef: ref}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WhatIf answers a batch of what-if queries — λ as if each arc's delay
+// were replaced, all against the graph's baseline — in one round trip.
+func (c *Client) WhatIf(ctx context.Context, ref GraphRef, queries []WhatIfQuery) (*WhatIfResponse, error) {
+	var out WhatIfResponse
+	if err := c.post(ctx, "/v1/whatif", serve.WhatIfRequest{GraphRef: ref, Queries: queries}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MC runs a served Monte-Carlo cycle-time analysis. req.GraphRef is
+// overwritten with ref.
+func (c *Client) MC(ctx context.Context, ref GraphRef, req MCRequest) (*MCResponse, error) {
+	req.GraphRef = ref
+	var out MCResponse
+	if err := c.post(ctx, "/v1/mc", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks service liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out HealthResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Msg: resp.Status}
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,174 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"tsg"
+	"tsg/client"
+	"tsg/internal/gen"
+	"tsg/internal/serve"
+)
+
+func startServer(t *testing.T) (*client.Client, *serve.Server) {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL, client.WithHTTPClient(srv.Client())), s
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	cl, s := startServer(t)
+	ctx := context.Background()
+
+	g := gen.Oscillator()
+	eng, err := tsg.NewEngine(g)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	want, err := eng.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	up, err := cl.Upload(ctx, g)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	if up.Fingerprint != tsg.Fingerprint(g) {
+		t.Fatalf("upload fingerprint %s != tsg.Fingerprint %s", up.Fingerprint, tsg.Fingerprint(g))
+	}
+
+	res, err := cl.Analyze(ctx, client.ByFingerprint(up.Fingerprint))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.Lambda.Text != want.CycleTime.Normalize().String() {
+		t.Fatalf("served λ %s, want %v", res.Lambda.Text, want.CycleTime)
+	}
+	if !res.EngineCached {
+		t.Fatal("analyze by fingerprint missed the engine cache")
+	}
+
+	sl, err := cl.Slacks(ctx, client.ByFingerprint(up.Fingerprint))
+	if err != nil {
+		t.Fatalf("Slacks: %v", err)
+	}
+	if len(sl.Slacks) == 0 {
+		t.Fatal("no slacks served")
+	}
+
+	// Wire arc indices are canonical; ArcMap translates the local ones.
+	arcs := client.NewArcMap(g)
+	local := []client.WhatIfQuery{
+		{Arc: 0, Delay: g.Arc(0).Delay * 2},
+		{Arc: 1, Delay: g.Arc(1).Delay * 0.5},
+	}
+	queries := make([]client.WhatIfQuery, len(local))
+	for i, q := range local {
+		queries[i] = client.WhatIfQuery{Arc: arcs.ToWire(q.Arc), Delay: q.Delay}
+	}
+	wi, err := cl.WhatIf(ctx, client.ByFingerprint(up.Fingerprint), queries)
+	if err != nil {
+		t.Fatalf("WhatIf: %v", err)
+	}
+	for i, q := range local {
+		oracle, err := eng.Sensitivity(q.Arc, q.Delay)
+		if err != nil {
+			t.Fatalf("Sensitivity: %v", err)
+		}
+		if wi.Lambdas[i].Text != oracle.Normalize().String() {
+			t.Fatalf("what-if %d: served %s, oracle %v", i, wi.Lambdas[i].Text, oracle)
+		}
+	}
+
+	mc, err := cl.MC(ctx, client.ByFingerprint(up.Fingerprint), client.MCRequest{
+		Samples: 32, Seed: 5, Jitter: 0.1, Workers: 1,
+	})
+	if err != nil {
+		t.Fatalf("MC: %v", err)
+	}
+	if mc.Samples != 32 || mc.Min > mc.Mean || mc.Mean > mc.Max {
+		t.Fatalf("MC summary inconsistent: %+v", mc)
+	}
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if !h.OK || h.Graphs != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if metrics == "" {
+		t.Fatal("empty metrics")
+	}
+	if st := s.Cache().Stats(); st.Compiles != 1 {
+		t.Fatalf("%d compiles for one graph, want 1", st.Compiles)
+	}
+}
+
+func TestClientInlineGraphAndDist(t *testing.T) {
+	cl, _ := startServer(t)
+	ctx := context.Background()
+	g := gen.Oscillator()
+
+	ref, err := client.ByGraph(g)
+	if err != nil {
+		t.Fatalf("ByGraph: %v", err)
+	}
+	res, err := cl.Analyze(ctx, ref)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.Fingerprint != tsg.Fingerprint(g) {
+		t.Fatal("inline analyze fingerprint mismatch")
+	}
+
+	// An annotated model keys differently and drives the served MC.
+	model, err := tsg.JitterUniformModel(g, 0.2)
+	if err != nil {
+		t.Fatalf("JitterUniformModel: %v", err)
+	}
+	dref, err := client.ByGraphDist(g, model)
+	if err != nil {
+		t.Fatalf("ByGraphDist: %v", err)
+	}
+	mc, err := cl.MC(ctx, dref, client.MCRequest{Samples: 16, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("MC: %v", err)
+	}
+	if mc.Fingerprint == res.Fingerprint {
+		t.Fatal("annotated graph shares the deterministic fingerprint")
+	}
+	if mc.Std == 0 {
+		t.Fatal("annotated MC degenerate (distributions not applied)")
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	cl, _ := startServer(t)
+	ctx := context.Background()
+	_, err := cl.Analyze(ctx, client.ByFingerprint("deadbeef"))
+	var apiErr *client.APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown fingerprint: err = %v, want APIError 404", err)
+	}
+	_, err = cl.Analyze(ctx, client.GraphRef{})
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("empty ref: err = %v, want APIError 400", err)
+	}
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	if e, ok := err.(*client.APIError); ok {
+		*target = e
+		return true
+	}
+	return false
+}

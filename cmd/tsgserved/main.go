@@ -1,0 +1,90 @@
+// Command tsgserved is the analysis service daemon: it serves the
+// JSON-over-HTTP query protocol of internal/serve — cycle-time
+// analyses, slack reports, batched what-ifs and Monte-Carlo runs — on
+// top of a shared, LRU-bounded engine cache, so many clients asking
+// about the same Timed Signal Graph share one compiled engine and its
+// warm certificate.
+//
+// Usage:
+//
+//	tsgserved [-addr host:port] [-cache-bytes N] [-max-body N]
+//
+// The daemon prints its listen URL on startup (with -addr :0 the
+// kernel picks a free port — the printed URL is how scripts find it),
+// serves until SIGINT/SIGTERM, then drains in-flight requests and
+// logs the cache statistics.
+//
+// Endpoints:
+//
+//	POST /v1/graphs   upload a .tsg body, get its fingerprint
+//	POST /v1/analyze  λ + critical cycles
+//	POST /v1/slacks   per-arc timing slacks
+//	POST /v1/whatif   batched what-if queries
+//	POST /v1/mc       Monte-Carlo λ over delay distributions
+//	GET  /healthz     liveness + resident graph count
+//	GET  /metrics     Prometheus counters (queries, hits, compiles)
+//
+// See the client package for the Go client and EXPERIMENTS.md (SERVE)
+// for the load harness driving the daemon.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tsg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7436", "listen address (use :0 for a kernel-assigned port)")
+	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "engine cache budget in estimated bytes (negative disables caching)")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tsgserved [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	s := serve.New(serve.Config{CacheBytes: *cacheBytes, MaxBodyBytes: *maxBody})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tsgserved: listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{Handler: s}
+
+	// The printed URL is the contract scripts rely on (the CI smoke
+	// step parses it), so it goes to stdout, unbuffered, first.
+	fmt.Printf("tsgserved listening on http://%s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("tsgserved: %v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tsgserved: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tsgserved: serve: %v", err)
+		}
+	}
+	st := s.Cache().Stats()
+	log.Printf("tsgserved: served %d hits / %d misses, %d compiles, %d evictions, %d graphs resident (%d bytes)",
+		st.Hits, st.Misses, st.Compiles, st.Evictions, st.Entries, st.Bytes)
+}

@@ -6,7 +6,7 @@
 //	tsgtime [-algo nielsen|karp|howard|lawler|oracle] [-periods N]
 //	        [-series] [-slacks] [-sweep factor] [-dot out.dot]
 //	        [-mc N] [-quantiles p,...] [-criticality] [-mctol tol]
-//	        [-mcseed s] [-jitter f] graph.tsg
+//	        [-mcseed s] [-jitter f] [-serve http://host:port] graph.tsg
 //
 // The default algorithm is the paper's O(b²m) timing simulation
 // ("nielsen"); the alternatives are the classical maximum-cycle-ratio
@@ -26,6 +26,13 @@
 // with an early stop when -mctol is positive. -criticality additionally
 // ranks arcs by the fraction of samples in which they lie on a critical
 // cycle — the bottleneck list under uncertainty.
+//
+// -serve http://host:port routes the nielsen path through a tsgserved
+// daemon instead of analysing in process: the graph is uploaded once
+// and every report — analysis, -slacks, -sweep, -mc — is answered by
+// the server's shared engine cache. Output is identical to the
+// in-process form (the parity test pins it); -series and -periods need
+// session-local state and are rejected with -serve.
 package main
 
 import (
@@ -57,6 +64,7 @@ func main() {
 	quantiles := flag.String("quantiles", "0.5,0.95", "comma-separated λ quantiles to estimate")
 	criticality := flag.Bool("criticality", false, "rank arcs by Monte-Carlo criticality (fraction of samples on a critical cycle)")
 	jitter := flag.Float64("jitter", 0, "apply uniform ±f delay jitter when the file has no distribution annotations")
+	serveURL := flag.String("serve", "", "route the nielsen path through a tsgserved daemon at this base URL")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -67,6 +75,19 @@ func main() {
 	if *sweep < 0 || math.IsNaN(*sweep) {
 		fmt.Fprintf(os.Stderr, "tsgtime: -sweep factor must be positive, got %g\n", *sweep)
 		os.Exit(2)
+	}
+	if *serveURL != "" {
+		switch {
+		case *algo != "nielsen":
+			fmt.Fprintf(os.Stderr, "tsgtime: -serve supports only -algo nielsen, got %q\n", *algo)
+			os.Exit(2)
+		case *series:
+			fmt.Fprintln(os.Stderr, "tsgtime: -series is not available with -serve (the protocol carries no distance series)")
+			os.Exit(2)
+		case *periods != 0:
+			fmt.Fprintln(os.Stderr, "tsgtime: -periods is not available with -serve (the server owns the session options)")
+			os.Exit(2)
+		}
 	}
 	g, model, err := tsg.LoadGraphDist(flag.Arg(0))
 	if err != nil {
@@ -90,11 +111,21 @@ func main() {
 
 	switch *algo {
 	case "nielsen":
-		eng, err := tsg.NewEngineOpts(g, tsg.AnalysisOptions{Periods: *periods})
-		if err != nil {
-			fatal(err)
+		var sess session
+		if *serveURL != "" {
+			rs, err := newRemoteSession(*serveURL, g)
+			if err != nil {
+				fatal(err)
+			}
+			sess = rs
+		} else {
+			eng, err := tsg.NewEngineOpts(g, tsg.AnalysisOptions{Periods: *periods})
+			if err != nil {
+				fatal(err)
+			}
+			sess = localSession{eng}
 		}
-		res, err := eng.Analyze()
+		res, err := sess.Analyze()
 		if err != nil {
 			fatal(err)
 		}
@@ -112,7 +143,7 @@ func main() {
 			}
 		}
 		if *slacks {
-			sl, err := eng.Slacks()
+			sl, err := sess.Slacks()
 			if err != nil {
 				fatal(err)
 			}
@@ -126,7 +157,7 @@ func main() {
 			}
 		}
 		if *sweep > 0 {
-			if err := runSweep(eng, g, *sweep); err != nil {
+			if err := runSweep(sess, g, *sweep); err != nil {
 				fatal(err)
 			}
 		}
@@ -137,7 +168,7 @@ func main() {
 					fatal(err)
 				}
 			}
-			if err := runMC(eng, g, model, *mcN, *mcSeed, *mcTol, *quantiles, *criticality); err != nil {
+			if err := runMC(sess, g, model, *mcN, *mcSeed, *mcTol, *quantiles, *criticality); err != nil {
 				fatal(err)
 			}
 		}
@@ -176,8 +207,8 @@ func main() {
 // runSweep asks the engine "what is λ if this arc's delay were scaled
 // by factor" for every arc in one sweep, then reports the arcs that
 // move the cycle time, most critical first.
-func runSweep(eng *tsg.Engine, g *tsg.Graph, factor float64) error {
-	base, err := eng.Analyze()
+func runSweep(sess session, g *tsg.Graph, factor float64) error {
+	base, err := sess.Analyze()
 	if err != nil {
 		return err
 	}
@@ -185,7 +216,7 @@ func runSweep(eng *tsg.Engine, g *tsg.Graph, factor float64) error {
 	for i := range cands {
 		cands[i] = tsg.WhatIf{Arc: i, Delay: g.Arc(i).Delay * factor}
 	}
-	lams, err := eng.SensitivitySweep(cands)
+	lams, err := sess.Sweep(cands)
 	if err != nil {
 		return err
 	}
@@ -225,16 +256,14 @@ func runSweep(eng *tsg.Engine, g *tsg.Graph, factor float64) error {
 	if err := tab.Render(os.Stdout); err != nil {
 		return err
 	}
-	st := eng.Stats()
-	fmt.Printf("engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows\n",
-		st.Analyses, st.FastPathHits, st.TableAnswers)
+	fmt.Println(sess.StatsLine())
 	return nil
 }
 
 // runMC runs the Monte-Carlo analysis on the session engine and prints
 // the λ distribution summary, the quantile estimates, and (optionally)
 // the criticality-ranked bottleneck arcs.
-func runMC(eng *tsg.Engine, g *tsg.Graph, model *tsg.DelayModel, samples int, seed uint64, tol float64, quantiles string, criticality bool) error {
+func runMC(sess session, g *tsg.Graph, model *tsg.DelayModel, samples int, seed uint64, tol float64, quantiles string, criticality bool) error {
 	var qs []float64
 	for _, tok := range strings.Split(quantiles, ",") {
 		tok = strings.TrimSpace(tok)
@@ -250,7 +279,7 @@ func runMC(eng *tsg.Engine, g *tsg.Graph, model *tsg.DelayModel, samples int, se
 	if model.Deterministic() {
 		fmt.Println("note: all delays are points (no ~ annotations, no -jitter); the Monte-Carlo λ is degenerate")
 	}
-	res, err := eng.AnalyzeMC(model, tsg.MCOptions{
+	res, err := sess.MC(model, tsg.MCOptions{
 		Samples: samples, Seed: seed, Quantiles: qs, Tol: tol, Criticality: criticality,
 	})
 	if err != nil {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"tsg"
+	"tsg/internal/serve"
+)
+
+// TestServeParity is the CLI/service differential: every testdata
+// graph must produce identical reports through the in-process engine
+// (localSession) and through a tsgserved handler (remoteSession) — λ,
+// critical cycles, slacks, a full-arc sweep, and a seeded Monte-Carlo
+// run with a pinned worker count.
+func TestServeParity(t *testing.T) {
+	srv := httptest.NewServer(serve.New(serve.Config{}))
+	defer srv.Close()
+
+	files, err := filepath.Glob("../../testdata/*.tsg")
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata graphs")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			g, model, err := tsg.LoadGraphDist(file)
+			if err != nil {
+				t.Fatalf("LoadGraphDist: %v", err)
+			}
+			eng, err := tsg.NewEngine(g)
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			local := localSession{eng}
+			remote, err := newRemoteSession(srv.URL, g)
+			if err != nil {
+				t.Fatalf("newRemoteSession: %v", err)
+			}
+
+			// Analysis: λ exact, critical cycles identical.
+			lr, err := local.Analyze()
+			if err != nil {
+				t.Fatalf("local Analyze: %v", err)
+			}
+			rr, err := remote.Analyze()
+			if err != nil {
+				t.Fatalf("remote Analyze: %v", err)
+			}
+			if !lr.CycleTime.Equal(rr.CycleTime) {
+				t.Fatalf("λ differs: local %v, served %v", lr.CycleTime, rr.CycleTime)
+			}
+			if len(lr.Critical) != len(rr.Critical) {
+				t.Fatalf("critical cycle count differs: local %d, served %d", len(lr.Critical), len(rr.Critical))
+			}
+			for i := range lr.Critical {
+				lc, rc := lr.Critical[i], rr.Critical[i]
+				if lc.Format(g) != rc.Format(g) || lc.Period != rc.Period || lc.Length != rc.Length {
+					t.Fatalf("critical cycle %d differs:\nlocal  %s\nserved %s", i, lc.Format(g), rc.Format(g))
+				}
+			}
+
+			// Slacks: both sides answer from the identically-seeded dual
+			// solve on identical engines, so values match exactly.
+			ls, err := local.Slacks()
+			if err != nil {
+				t.Fatalf("local Slacks: %v", err)
+			}
+			rs, err := remote.Slacks()
+			if err != nil {
+				t.Fatalf("remote Slacks: %v", err)
+			}
+			if len(ls) != len(rs) {
+				t.Fatalf("slack count differs: local %d, served %d", len(ls), len(rs))
+			}
+			for i := range ls {
+				if ls[i] != rs[i] {
+					t.Fatalf("slack %d differs: local %+v, served %+v", i, ls[i], rs[i])
+				}
+			}
+
+			// Full-arc ×1.5 sweep (what tsgtime -sweep 1.5 issues).
+			cands := make([]tsg.WhatIf, g.NumArcs())
+			for i := range cands {
+				cands[i] = tsg.WhatIf{Arc: i, Delay: g.Arc(i).Delay * 1.5}
+			}
+			ll, err := local.Sweep(cands)
+			if err != nil {
+				t.Fatalf("local Sweep: %v", err)
+			}
+			rl, err := remote.Sweep(cands)
+			if err != nil {
+				t.Fatalf("remote Sweep: %v", err)
+			}
+			for i := range ll {
+				if !ll[i].Equal(rl[i]) {
+					t.Fatalf("sweep arc %d differs: local %v, served %v", i, ll[i], rl[i])
+				}
+			}
+
+			// Monte-Carlo: same model, seed and worker count on both
+			// sides must be bit-identical (the PR 3 determinism
+			// guarantee carried over the wire).
+			mcModel := model
+			if mcModel.Deterministic() {
+				mcModel, err = tsg.JitterUniformModel(g, 0.1)
+				if err != nil {
+					t.Fatalf("JitterUniformModel: %v", err)
+				}
+			}
+			opts := tsg.MCOptions{Samples: 48, Seed: 11, Workers: 1, Quantiles: []float64{0.5, 0.95}, Criticality: true}
+			lm, err := local.MC(mcModel, opts)
+			if err != nil {
+				t.Fatalf("local MC: %v", err)
+			}
+			rm, err := remote.MC(mcModel, opts)
+			if err != nil {
+				t.Fatalf("remote MC: %v", err)
+			}
+			if lm.Mean != rm.Mean || lm.Std != rm.Std || lm.Min != rm.Min || lm.Max != rm.Max || lm.Samples != rm.Samples {
+				t.Fatalf("MC summary differs:\nlocal  %+v\nserved %+v", lm, rm)
+			}
+			for i := range lm.Quantiles {
+				if lm.Quantiles[i] != rm.Quantiles[i] {
+					t.Fatalf("MC quantile %d differs: local %+v, served %+v", i, lm.Quantiles[i], rm.Quantiles[i])
+				}
+			}
+			if len(lm.Criticality) != len(rm.Criticality) {
+				t.Fatalf("criticality length differs")
+			}
+			for i := range lm.Criticality {
+				if lm.Criticality[i] != rm.Criticality[i] {
+					t.Fatalf("criticality arc %d differs: local %v, served %v", i, lm.Criticality[i], rm.Criticality[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"tsg"
+	"tsg/client"
+)
+
+// session abstracts where the nielsen-path analyses run: in process on
+// a tsg.Engine, or on a tsgserved daemon through the service client
+// (-serve). Both forms answer every query from one compiled session
+// per graph, so the CLI output is identical either way — the parity
+// test in main_test.go pins that on the testdata graphs.
+type session interface {
+	// Analyze returns the full analysis; the remote form carries no
+	// distance series (reject -series with -serve).
+	Analyze() (*tsg.Result, error)
+	Slacks() ([]tsg.ArcSlack, error)
+	Sweep(cands []tsg.WhatIf) ([]tsg.Ratio, error)
+	MC(model *tsg.DelayModel, opts tsg.MCOptions) (*tsg.MCResult, error)
+	// StatsLine renders the statistics line printed after a sweep; the
+	// remote form reports the server engine's cumulative counters.
+	StatsLine() string
+}
+
+// localSession runs on an in-process engine.
+type localSession struct{ eng *tsg.Engine }
+
+func (s localSession) Analyze() (*tsg.Result, error)   { return s.eng.Analyze() }
+func (s localSession) Slacks() ([]tsg.ArcSlack, error) { return s.eng.Slacks() }
+func (s localSession) Sweep(c []tsg.WhatIf) ([]tsg.Ratio, error) {
+	return s.eng.SensitivitySweep(c)
+}
+func (s localSession) MC(m *tsg.DelayModel, o tsg.MCOptions) (*tsg.MCResult, error) {
+	return s.eng.AnalyzeMC(m, o)
+}
+func (s localSession) StatsLine() string {
+	st := s.eng.Stats()
+	return fmt.Sprintf("engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows",
+		st.Analyses, st.FastPathHits, st.TableAnswers)
+}
+
+// remoteSession routes queries through a tsgserved daemon: the graph
+// is uploaded once, everything after references its fingerprint and
+// shares the server's cached engine with every other client.
+type remoteSession struct {
+	ctx   context.Context
+	cl    *client.Client
+	g     *tsg.Graph
+	arcs  *client.ArcMap // local declaration order <-> canonical wire indices
+	ref   client.GraphRef
+	stats client.WhatIfResponse // last what-if reply, for StatsLine
+}
+
+func newRemoteSession(baseURL string, g *tsg.Graph) (*remoteSession, error) {
+	s := &remoteSession{ctx: context.Background(), cl: client.New(baseURL), g: g, arcs: client.NewArcMap(g)}
+	up, err := s.cl.Upload(s.ctx, g)
+	if err != nil {
+		return nil, fmt.Errorf("uploading graph to %s: %w", baseURL, err)
+	}
+	s.ref = client.ByFingerprint(up.Fingerprint)
+	return s, nil
+}
+
+func (s *remoteSession) lambda(l client.Lambda) tsg.Ratio {
+	return tsg.Ratio{Num: l.Num, Den: l.Den}
+}
+
+func (s *remoteSession) Analyze() (*tsg.Result, error) {
+	res, err := s.cl.Analyze(s.ctx, s.ref)
+	if err != nil {
+		return nil, err
+	}
+	out := &tsg.Result{CycleTime: s.lambda(res.Lambda)}
+	for _, c := range res.Critical {
+		arcs := make([]int, len(c.Arcs))
+		for i, a := range c.Arcs {
+			arcs[i] = s.arcs.FromWire(a)
+		}
+		cyc := tsg.CriticalCycle{
+			Arcs:   arcs,
+			Length: c.Length,
+			Period: c.Period,
+		}
+		for _, name := range c.Events {
+			id, ok := s.g.EventByName(name)
+			if !ok {
+				return nil, fmt.Errorf("server cycle references unknown event %q", name)
+			}
+			cyc.Events = append(cyc.Events, id)
+		}
+		out.Critical = append(out.Critical, cyc)
+	}
+	return out, nil
+}
+
+func (s *remoteSession) Slacks() ([]tsg.ArcSlack, error) {
+	res, err := s.cl.Slacks(s.ctx, s.ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tsg.ArcSlack, len(res.Slacks))
+	for i, sl := range res.Slacks {
+		out[i] = tsg.ArcSlack{Arc: s.arcs.FromWire(sl.Arc), Slack: sl.Slack, Tight: sl.Tight}
+	}
+	return out, nil
+}
+
+func (s *remoteSession) Sweep(cands []tsg.WhatIf) ([]tsg.Ratio, error) {
+	queries := make([]client.WhatIfQuery, len(cands))
+	for i, c := range cands {
+		queries[i] = client.WhatIfQuery{Arc: s.arcs.ToWire(c.Arc), Delay: c.Delay}
+	}
+	res, err := s.cl.WhatIf(s.ctx, s.ref, queries)
+	if err != nil {
+		return nil, err
+	}
+	s.stats = *res
+	out := make([]tsg.Ratio, len(res.Lambdas))
+	for i, l := range res.Lambdas {
+		out[i] = s.lambda(l)
+	}
+	return out, nil
+}
+
+func (s *remoteSession) MC(model *tsg.DelayModel, opts tsg.MCOptions) (*tsg.MCResult, error) {
+	// The model may differ from the uploaded annotations (the -jitter
+	// fallback), so Monte-Carlo inlines graph + model; the server
+	// fingerprints the pair and caches its engine like any upload.
+	ref, err := client.ByGraphDist(s.g, model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.cl.MC(s.ctx, ref, client.MCRequest{
+		Samples:     opts.Samples,
+		MinSamples:  opts.MinSamples,
+		Seed:        opts.Seed,
+		Quantiles:   opts.Quantiles,
+		Tol:         opts.Tol,
+		Confidence:  opts.Confidence,
+		Criticality: opts.Criticality,
+		Workers:     opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &tsg.MCResult{
+		Samples:    res.Samples,
+		Converged:  res.Converged,
+		Mean:       res.Mean,
+		Variance:   res.Variance,
+		Std:        res.Std,
+		Min:        res.Min,
+		Max:        res.Max,
+		MeanCIHalf: res.MeanCIHalf,
+	}
+	if res.Criticality != nil {
+		out.Criticality = make([]float64, len(res.Criticality))
+		for i := range out.Criticality {
+			out.Criticality[i] = res.Criticality[s.arcs.ToWire(i)]
+		}
+	}
+	for _, q := range res.Quantiles {
+		out.Quantiles = append(out.Quantiles, tsg.QuantileEstimate{P: q.P, Value: q.Value, CIHalf: q.CIHalf})
+	}
+	return out, nil
+}
+
+func (s *remoteSession) StatsLine() string {
+	st := s.stats.Stats
+	return fmt.Sprintf("server engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows",
+		st.Analyses, st.FastPathHits, st.TableAnswers)
+}

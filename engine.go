@@ -20,11 +20,20 @@ import "tsg/internal/cycletime"
 // Engine is a compiled analysis session: one graph compilation serving
 // arbitrarily many analyses, slack reports, what-if sensitivities,
 // sweeps and interval bounds, with in-place delay edits between
-// queries.
+// queries. An Engine is safe for concurrent use under a
+// readers/writer session lock: queries answered from the cached
+// certificate run fully in parallel, while SetDelay commits (and
+// anything that must simulate or mutate session state) take the lock
+// exclusively — the discipline that lets the serving layer
+// (internal/serve, cmd/tsgserved) share one engine across thousands
+// of clients. Graph() exposes the engine's graph view, Stats() its
+// query counters, and SizeHint() the estimated resident bytes the
+// serving cache uses for cost accounting.
 type Engine = cycletime.Engine
 
 // EngineStats is a snapshot of an engine's query counters (full
-// analyses run vs. queries answered from the slack fast path).
+// analyses run vs. queries answered from the slack fast path vs. the
+// what-if rows).
 type EngineStats = cycletime.EngineStats
 
 // WhatIf is one delay assignment of a sensitivity sweep: "what would λ

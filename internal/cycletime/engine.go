@@ -45,15 +45,22 @@ import (
 //     the bounded worker pool, each worker owning a private overlay +
 //     schedule clone.
 //
-// An Engine is safe for concurrent use: every public method takes the
-// session lock, and the parallel paths (sweep workers, the
-// AnalyzeBounds lo extreme) run on private clones while anything
-// touching the session schedule holds the lock. The one exception is
-// the Graph() view, which reflects in-flight what-if perturbations —
-// read it only between queries, and use Delay() for lock-protected
-// delay reads.
+// An Engine is safe for concurrent use under a readers/writer session
+// lock: queries answered from the cached certificate — a warm Analyze,
+// a warm Slacks, sensitivity fast-path hits and what-if-row answers —
+// run concurrently under the shared lock, so many goroutines (the
+// request handlers of a serving layer, see internal/serve) read one
+// engine in parallel. Anything that mutates session state — a delay
+// commit (SetDelay/ResetDelays), the first analysis after an edit,
+// building what-if rows, bounds and Monte-Carlo runs, uncertified
+// what-if decreases — takes the lock exclusively; the parallel paths
+// inside those (sweep workers, the AnalyzeBounds lo extreme) run on
+// private clones while the session schedule stays under the exclusive
+// lock. The one exception is the Graph() view, which reflects
+// in-flight exclusive-path perturbations — read it only between
+// queries, and use Delay() for lock-protected delay reads.
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	overlay *sg.Overlay
 	g       *sg.Graph // overlay.Graph(): the simulated, delay-current view
 	sched   *timesim.Schedule
@@ -206,9 +213,51 @@ func (e *Engine) Stats() EngineStats {
 
 // Delay returns the current (session) delay of an arc.
 func (e *Engine) Delay(arc int) float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.overlay.Delay(arc)
+}
+
+// SizeHint estimates the resident heap bytes of the compiled session:
+// the delay overlay, the compiled schedule's record columns, one pooled
+// simulation slab, the cached certificate (slacks and what-if rows) and
+// any worker/bounds clones. It deliberately excludes the immutable
+// graph, which the engine shares with its builder. Serving caches use
+// the hint as the per-entry cost when bounding total engine memory
+// (internal/serve.Cache).
+func (e *Engine) SizeHint() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sz := e.sizeHintShallow()
+	if c := e.cert; c != nil {
+		m := int64(e.g.NumArcs())
+		sz += int64(len(c.slacks))*24 + m*9 // slackByArc + onAllCrit
+		for _, row := range c.rows {
+			sz += int64(len(row)) * 8
+		}
+		if c.rows != nil {
+			sz += m * 24 // row headers
+		}
+	}
+	for _, we := range e.sweepClones {
+		sz += we.sizeHintShallow()
+	}
+	if e.boundsClone != nil {
+		sz += e.boundsClone.sizeHintShallow()
+	}
+	return sz
+}
+
+// sizeHintShallow estimates one engine's own overlay + schedule + slab
+// memory, without certificate or clones.
+func (e *Engine) sizeHintShallow() int64 {
+	n := int64(e.g.NumEvents())
+	m := int64(e.g.NumArcs())
+	sz := int64(1024)                // struct headers, cut set, options
+	sz += m * 72                     // overlay: arc copies, delay column, nominal, dirty tracking
+	sz += e.sched.MemEstimate()      // compiled record columns
+	sz += int64(e.periods+2) * n * 9 // one pooled slab: times + reached bitset
+	return sz
 }
 
 // SetDelay permanently edits the session baseline: subsequent analyses,
@@ -241,6 +290,16 @@ func (e *Engine) ResetDelays() {
 // returned series and cycles without corrupting the certificate the
 // sensitivity fast paths are derived from.
 func (e *Engine) Analyze() (*Result, error) {
+	// Warm path: the certificate already holds the analysis of the
+	// committed baseline — clone it under the shared lock so concurrent
+	// readers never serialise.
+	e.mu.RLock()
+	if c := e.cert; c != nil {
+		res := cloneResult(c.result)
+		e.mu.RUnlock()
+		return res, nil
+	}
+	e.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	c, err := e.ensureResult()
@@ -259,22 +318,61 @@ func cloneResult(r *Result) *Result {
 	for i := range nr.Series {
 		nr.Series[i].Distances = append([]float64(nil), r.Series[i].Distances...)
 	}
-	nr.Critical = append([]CriticalCycle(nil), r.Critical...)
-	for i := range nr.Critical {
-		nr.Critical[i].Events = append([]sg.EventID(nil), r.Critical[i].Events...)
-		nr.Critical[i].Arcs = append([]int(nil), r.Critical[i].Arcs...)
-	}
+	nr.Critical = cloneCycles(r.Critical)
 	return &nr
 }
 
-// CycleTime returns λ at the session's current delays (from the cached
-// analysis when available).
+// cloneCycles deep-copies a critical-cycle list.
+func cloneCycles(cycs []CriticalCycle) []CriticalCycle {
+	out := append([]CriticalCycle(nil), cycs...)
+	for i := range out {
+		out[i].Events = append([]sg.EventID(nil), cycs[i].Events...)
+		out[i].Arcs = append([]int(nil), cycs[i].Arcs...)
+	}
+	return out
+}
+
+// Summary returns the cycle time and a private copy of the critical
+// cycles at the session's current delays. It is the serving layer's
+// hot read: unlike Analyze it does not clone the per-cut-event
+// distance series — b·periods floats that protocol responses never
+// carry.
+func (e *Engine) Summary() (stat.Ratio, []CriticalCycle, error) {
+	e.mu.RLock()
+	if c := e.cert; c != nil {
+		lam, cycs := c.result.CycleTime, cloneCycles(c.result.Critical)
+		e.mu.RUnlock()
+		return lam, cycs, nil
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, err := e.ensureResult()
+	if err != nil {
+		return stat.Ratio{}, nil, err
+	}
+	return c.result.CycleTime, cloneCycles(c.result.Critical), nil
+}
+
+// CycleTime returns λ at the session's current delays. The warm path
+// is a plain value read off the certificate under the shared lock —
+// no result cloning at all — making this the cheapest repeated query
+// an engine serves.
 func (e *Engine) CycleTime() (stat.Ratio, error) {
-	res, err := e.Analyze()
+	e.mu.RLock()
+	if c := e.cert; c != nil {
+		lam := c.result.CycleTime
+		e.mu.RUnlock()
+		return lam, nil
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, err := e.ensureResult()
 	if err != nil {
 		return stat.Ratio{}, err
 	}
-	return res.CycleTime, nil
+	return c.result.CycleTime, nil
 }
 
 // Slacks returns the per-arc timing slacks at the session's cycle time,
@@ -286,6 +384,13 @@ func (e *Engine) CycleTime() (stat.Ratio, error) {
 // differ from the one-shot Slacks — both are valid certificates with
 // the same guarantees (no negative slack, every critical arc tight).
 func (e *Engine) Slacks() ([]ArcSlack, error) {
+	e.mu.RLock()
+	if c := e.cert; c != nil && c.slackByArc != nil {
+		out := append([]ArcSlack(nil), c.slacks...)
+		e.mu.RUnlock()
+		return out, nil
+	}
+	e.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	c, err := e.ensureCert()
@@ -301,9 +406,39 @@ func (e *Engine) Slacks() ([]ArcSlack, error) {
 // delay refresh plus one full analysis, with the baseline restored
 // afterwards.
 func (e *Engine) Sensitivity(arc int, newDelay float64) (stat.Ratio, error) {
+	if lam, done, err := e.whatIfShared(arc, newDelay); done {
+		return lam, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.whatIf(arc, newDelay)
+}
+
+// whatIfShared answers one sensitivity query under the shared (reader)
+// lock when no session mutation is needed: validation failures, slack
+// fast-path hits, and delay increases whose what-if row is already
+// built. done=false sends the caller to the exclusive path; the answer
+// is recomputed there from scratch, so the race between dropping the
+// read lock and acquiring the write lock is harmless.
+func (e *Engine) whatIfShared(arc int, newDelay float64) (lam stat.Ratio, done bool, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := e.validateWhatIf(arc, newDelay); err != nil {
+		return stat.Ratio{}, true, fmt.Errorf("cycletime: %w", err)
+	}
+	c := e.cert
+	if c == nil || c.slackByArc == nil {
+		return stat.Ratio{}, false, nil
+	}
+	if lam, ok := fastAnswer(c, e.overlay.Delay(arc), arc, newDelay); ok {
+		e.counters.fastPathHits.Add(1)
+		return lam, true, nil
+	}
+	if newDelay > e.overlay.Delay(arc) && c.rows != nil && c.rows[arc] != nil {
+		e.counters.tableHits.Add(1)
+		return c.answerFromRow(e.g, arc, newDelay), true, nil
+	}
+	return stat.Ratio{}, false, nil
 }
 
 // WhatIf is one delay assignment of a sensitivity sweep.
@@ -323,8 +458,55 @@ type WhatIf struct {
 // over the same pool, each worker owning a private overlay + schedule
 // clone so simulations never share mutable state.
 func (e *Engine) SensitivitySweep(cands []WhatIf) ([]stat.Ratio, error) {
+	if out, done, err := e.sweepShared(cands); done {
+		return out, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.sweepLocked(cands)
+}
+
+// sweepShared answers a whole sweep under the shared (reader) lock when
+// every candidate is covered by the existing certificate — fast-path
+// certified or served by an already-built what-if row. A single
+// candidate needing simulation aborts the attempt (done=false) and the
+// sweep reruns exclusively; counters are only flushed on full success,
+// so an aborted attempt leaves the session statistics untouched.
+func (e *Engine) sweepShared(cands []WhatIf) (out []stat.Ratio, done bool, err error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, cd := range cands {
+		if err := e.validateWhatIf(cd.Arc, cd.Delay); err != nil {
+			return nil, true, fmt.Errorf("cycletime: sweep candidate %d: %w", i, err)
+		}
+	}
+	c := e.cert
+	if c == nil || c.slackByArc == nil {
+		return nil, false, nil
+	}
+	out = make([]stat.Ratio, len(cands))
+	var fast, table int64
+	for i, cd := range cands {
+		if lam, ok := fastAnswer(c, e.overlay.Delay(cd.Arc), cd.Arc, cd.Delay); ok {
+			out[i] = lam
+			fast++
+			continue
+		}
+		if cd.Delay > e.overlay.Delay(cd.Arc) && c.rows != nil && c.rows[cd.Arc] != nil {
+			out[i] = c.answerFromRow(e.g, cd.Arc, cd.Delay)
+			table++
+			continue
+		}
+		return nil, false, nil
+	}
+	e.counters.fastPathHits.Add(fast)
+	e.counters.tableHits.Add(table)
+	return out, true, nil
+}
+
+// sweepLocked is the exclusive-path sweep; callers hold the session
+// lock.
+func (e *Engine) sweepLocked(cands []WhatIf) ([]stat.Ratio, error) {
 	c, err := e.ensureCert()
 	if err != nil {
 		return nil, err

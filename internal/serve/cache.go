@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/dist"
+	"tsg/internal/sg"
+)
+
+// Entry is one cached compiled session: the graph, its statistical
+// delay model (all-point when the upload carried no annotations) and
+// the shared engine every client of the graph queries through. The
+// engine is safe for concurrent readers (cycletime's session lock
+// discipline), so an Entry is handed out to request handlers without
+// further locking; an entry evicted while requests still hold it stays
+// valid and is collected when the last request finishes.
+type Entry struct {
+	// Key is the content key the entry is cached under (see ContentKey).
+	Key string
+	// Graph is the compiled graph; treat as read-only.
+	Graph *sg.Graph
+	// Model is the graph's delay model (never nil; all-point when the
+	// upload had no ~ annotations).
+	Model *dist.Model
+	// Engine is the shared compiled session.
+	Engine *cycletime.Engine
+
+	// Canon and Rank translate between the wire protocol's canonical
+	// arc indices (sg.CanonicalArcOrder — the space every structurally
+	// identical graph shares, whatever its declaration order) and this
+	// entry's graph: Canon[k] is the entry arc at canonical rank k,
+	// Rank[i] the canonical rank of entry arc i. Requests arrive in
+	// canonical space and responses leave in it, so a client whose
+	// .tsg declares the arcs in a different order than the cached
+	// upload still reads every index correctly.
+	Canon []int
+	Rank  []int
+
+	cost   int64        // current byte charge; guarded by the cache mutex
+	access atomic.Int64 // hits since insert, counted outside the cache mutex
+	elem   *list.Element
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int64
+	// Hits counts requests served by a resident engine; Misses counts
+	// requests that had to compile (or join an in-flight compile).
+	Hits, Misses int64
+	// Compiles counts engines actually built — under singleflight many
+	// concurrent misses share one compile, so Compiles <= Misses.
+	Compiles int64
+	// FlightShared counts misses that joined another request's
+	// in-flight compile instead of building their own.
+	FlightShared int64
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64
+}
+
+// Cache is the engine cache: an LRU bounded by total estimated bytes
+// (each entry costs its engine's SizeHint plus graph overhead) with
+// singleflight compile deduplication — concurrent first requests for
+// the same key trigger exactly one compile; the rest wait and share
+// the result.
+//
+// A Cache with maxBytes <= 0 is a pass-through: nothing is stored and
+// nothing is deduplicated, so every request pays the full parse +
+// compile cost. The load experiments use that mode as the cold
+// (per-request rebuild) baseline.
+type Cache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	ll      *list.List // front = most recently used
+	bytes   int64
+	flight  map[string]*flightCall
+
+	hits, misses, compiles, shared, evictions atomic.Int64
+}
+
+// flightCall is one in-flight compile other requests can join.
+type flightCall struct {
+	wg  sync.WaitGroup
+	ent *Entry
+	err error
+}
+
+// costRefreshEvery bounds how stale an entry's cost estimate may get:
+// engines grow as certificates and what-if rows build up, so the hint
+// is re-read every this many hits (an O(m) walk — negligible against
+// the requests that caused the growth).
+const costRefreshEvery = 128
+
+// Disabled reports whether the cache is in pass-through mode (nothing
+// stored, every request compiles). The server rejects fingerprint
+// uploads in that mode — a returned fingerprint would 404 on its very
+// next use.
+func (c *Cache) Disabled() bool { return c.maxBytes <= 0 }
+
+// NewCache returns an engine cache bounded by maxBytes of estimated
+// engine memory. maxBytes <= 0 disables caching entirely.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  map[string]*Entry{},
+		ll:       list.New(),
+		flight:   map[string]*flightCall{},
+	}
+}
+
+// newEntry compiles a graph + model into a cache entry.
+func newEntry(key string, g *sg.Graph, m *dist.Model) (*Entry, error) {
+	eng, err := cycletime.NewEngine(g)
+	if err != nil {
+		return nil, err
+	}
+	canon := sg.CanonicalArcOrder(g)
+	rank := make([]int, len(canon))
+	for k, i := range canon {
+		rank[i] = k
+	}
+	ent := &Entry{Key: key, Graph: g, Model: m, Engine: eng, Canon: canon, Rank: rank}
+	ent.cost = ent.estimateCost()
+	return ent, nil
+}
+
+// estimateCost is the entry's byte charge: the engine's size hint plus
+// the graph and model the entry keeps alive.
+func (e *Entry) estimateCost() int64 {
+	n, m := int64(e.Graph.NumEvents()), int64(e.Graph.NumArcs())
+	return e.Engine.SizeHint() + n*96 + m*112 // graph events/arcs/CSR + model columns
+}
+
+// GetOrCompile returns the entry for key, compiling it with build —
+// a (graph, model) producer — when absent. hit reports whether a
+// resident engine served the request (joining an in-flight compile
+// counts as a miss). The compile runs outside the cache lock, so slow
+// compiles never block hits on other keys.
+func (c *Cache) GetOrCompile(key string, build func() (*sg.Graph, *dist.Model, error)) (ent *Entry, hit bool, err error) {
+	if c.maxBytes <= 0 {
+		// Pass-through mode: the cold baseline. Every request compiles.
+		c.misses.Add(1)
+		g, m, err := build()
+		if err != nil {
+			return nil, false, err
+		}
+		ent, err := newEntry(key, g, m)
+		if err == nil {
+			c.compiles.Add(1)
+		}
+		return ent, false, err
+	}
+
+	c.mu.Lock()
+	if ent := c.entries[key]; ent != nil {
+		c.ll.MoveToFront(ent.elem)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.maybeRefreshCost(ent)
+		return ent, true, nil
+	}
+	if cl := c.flight[key]; cl != nil {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		c.shared.Add(1)
+		cl.wg.Wait()
+		return cl.ent, false, cl.err
+	}
+	cl := &flightCall{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	g, m, err := build()
+	if err == nil {
+		cl.ent, cl.err = newEntry(key, g, m)
+		if cl.err == nil {
+			c.compiles.Add(1)
+		}
+	} else {
+		cl.err = err
+	}
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if cl.err == nil {
+		c.insert(cl.ent)
+	}
+	c.mu.Unlock()
+	cl.wg.Done()
+	return cl.ent, false, cl.err
+}
+
+// Get returns the resident entry for key, or nil. Fingerprint-only
+// requests use it: a miss is a client error (the graph was never
+// uploaded or has been evicted), not a compile trigger.
+func (c *Cache) Get(key string) *Entry {
+	c.mu.Lock()
+	ent := c.entries[key]
+	if ent != nil {
+		c.ll.MoveToFront(ent.elem)
+	}
+	c.mu.Unlock()
+	if ent != nil {
+		c.hits.Add(1)
+		c.maybeRefreshCost(ent)
+	}
+	return ent
+}
+
+// maybeRefreshCost re-reads an entry's cost estimate every
+// costRefreshEvery hits. The estimate blocks on the engine's shared
+// session lock (SizeHint), so it runs strictly outside the cache
+// mutex: a long exclusive engine operation (a big Monte-Carlo run)
+// may delay this one request's refresh, but never stalls the cache —
+// and with it every other graph's traffic.
+func (c *Cache) maybeRefreshCost(ent *Entry) {
+	if ent.access.Add(1)%costRefreshEvery != 0 {
+		return
+	}
+	nc := ent.estimateCost()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[ent.Key] != ent { // evicted meanwhile
+		return
+	}
+	c.bytes += nc - ent.cost
+	ent.cost = nc
+	c.evictLocked(ent)
+}
+
+// insert adds a compiled entry and evicts LRU entries while the byte
+// budget is exceeded. The newest entry is never evicted by its own
+// insert — a single oversized graph still gets served, it just owns
+// the whole budget until the next insert. Callers hold c.mu.
+func (c *Cache) insert(ent *Entry) {
+	if old := c.entries[ent.Key]; old != nil {
+		// Unreachable under the singleflight invariant — a flight for a
+		// key is only registered while no entry exists, and at most one
+		// flight per key is live — kept purely as defence against a
+		// future restructuring inserting from a second path.
+		return
+	}
+	ent.elem = c.ll.PushFront(ent)
+	c.entries[ent.Key] = ent
+	c.bytes += ent.cost
+	c.evictLocked(ent)
+}
+
+// evictLocked drops LRU entries until the budget holds, never evicting
+// keep. Callers hold c.mu.
+func (c *Cache) evictLocked(keep *Entry) {
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		tail := c.ll.Back()
+		victim := tail.Value.(*Entry)
+		if victim == keep {
+			break
+		}
+		c.ll.Remove(tail)
+		delete(c.entries, victim.Key)
+		c.bytes -= victim.cost
+		c.evictions.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:      entries,
+		Bytes:        bytes,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Compiles:     c.compiles.Load(),
+		FlightShared: c.shared.Load(),
+		Evictions:    c.evictions.Load(),
+	}
+}
+
+// ContentKey is the cache key of a (graph, model) pair: the structural
+// fingerprint (sg.Fingerprint — invariant under declaration order,
+// display name excluded) for deterministic models, extended with a
+// canonical hash of the distribution annotations when the model is
+// statistical. Graphs that differ only in their ~dist/@group
+// annotations therefore get distinct engines — a Monte-Carlo answer is
+// a function of the distributions, not just the nominal delays — while
+// the common un-annotated interactive case keys on the public
+// tsg.Fingerprint, which clients can compute locally.
+func ContentKey(g *sg.Graph, m *dist.Model) string {
+	fp := sg.Fingerprint(g)
+	if m == nil || m.Deterministic() {
+		return fp
+	}
+	// One record per arc, every field length-prefixed so the encoding
+	// is unambiguous (event names may contain any non-whitespace byte,
+	// including would-be separators); records sort by their encoded
+	// bytes, and correlation groups are renumbered by first appearance
+	// in sorted order, so the key is invariant under declaration order
+	// and group id assignment (up to identical-record ties).
+	var scratch [8]byte
+	putStr := func(b []byte, f string) []byte {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(f)))
+		b = append(b, scratch[:]...)
+		return append(b, f...)
+	}
+	type rec struct {
+		enc []byte
+		gid int
+	}
+	recs := make([]rec, g.NumArcs())
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		var b []byte
+		b = putStr(b, g.Event(a.From).Name)
+		b = putStr(b, g.Event(a.To).Name)
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(a.Delay))
+		b = append(b, scratch[:]...)
+		b = putStr(b, m.Dist(i).String())
+		recs[i] = rec{enc: b, gid: m.Group(i)}
+	}
+	// Ties between byte-identical records keep declaration order
+	// (stable sort). When such ties belong to DIFFERENT correlation
+	// groups — parallel arcs with identical endpoints, delay and
+	// distribution but distinct @group tags — the group renumbering
+	// below can depend on the declaration order, so two orderings of
+	// that degenerate graph may key separately. The only consequence is
+	// a second compiled engine (reduced sharing), never a wrong answer:
+	// each key still identifies its exact (graph, model) content.
+	sort.SliceStable(recs, func(i, j int) bool { return bytes.Compare(recs[i].enc, recs[j].enc) < 0 })
+	rank := map[int]int{}
+	h := sha256.New()
+	h.Write([]byte(fp))
+	var buf [8]byte
+	for _, r := range recs {
+		h.Write(r.enc)
+		k := -1
+		if r.gid >= 0 {
+			var ok bool
+			k, ok = rank[r.gid]
+			if !ok {
+				k = len(rank)
+				rank[r.gid] = k
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(k+1))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

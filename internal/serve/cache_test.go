@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsg/internal/dist"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+)
+
+// ringGraph builds a distinct 3-event ring whose delays depend on k,
+// so each k yields a distinct fingerprint.
+func ringGraph(t testing.TB, k int) *sg.Graph {
+	t.Helper()
+	g, err := sg.NewBuilder(fmt.Sprintf("ring%d", k)).
+		Events("x+", "y+", "z+").
+		Arc("x+", "y+", float64(k+1)).
+		Arc("y+", "z+", 1).
+		Arc("z+", "x+", 1, sg.Marked()).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func pointModel(t testing.TB, g *sg.Graph) *dist.Model {
+	t.Helper()
+	nominal := make([]float64, g.NumArcs())
+	for i := range nominal {
+		nominal[i] = g.Arc(i).Delay
+	}
+	m, err := dist.NewModel(nominal)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestCacheHitAndSharing(t *testing.T) {
+	c := NewCache(DefaultCacheBytes)
+	g := ringGraph(t, 0)
+	key := ContentKey(g, nil)
+	build := func() (*sg.Graph, *dist.Model, error) { return g, pointModel(t, g), nil }
+
+	e1, hit, err := c.GetOrCompile(key, build)
+	if err != nil {
+		t.Fatalf("GetOrCompile: %v", err)
+	}
+	if hit {
+		t.Fatal("first request reported a hit")
+	}
+	e2, hit, err := c.GetOrCompile(key, build)
+	if err != nil {
+		t.Fatalf("GetOrCompile: %v", err)
+	}
+	if !hit {
+		t.Fatal("second request missed")
+	}
+	if e1 != e2 || e1.Engine != e2.Engine {
+		t.Fatal("second request did not share the compiled engine")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Compiles != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 compile / 1 entry", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("cache bytes = %d, want positive", st.Bytes)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(DefaultCacheBytes)
+	g := ringGraph(t, 1)
+	key := ContentKey(g, nil)
+
+	var builds atomic.Int64
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	build := func() (*sg.Graph, *dist.Model, error) {
+		builds.Add(1)
+		close(started)
+		<-gate // hold the builder until every joiner is in flight
+		return g, pointModel(t, g), nil
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	engines := make([]*Entry, clients)
+	errs := make([]error, clients)
+	launch := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			engines[i], _, errs[i] = c.GetOrCompile(key, build)
+		}()
+	}
+	// Deterministic rendezvous: the first client registers the flight
+	// and blocks in build; the joiners then enter while it is pending
+	// (each bumps FlightShared before waiting), and only then is the
+	// builder released.
+	launch(0)
+	<-started
+	for i := 1; i < clients; i++ {
+		launch(i)
+	}
+	for start := time.Now(); c.Stats().FlightShared < clients-1; {
+		if time.Since(start) > 10*time.Second {
+			t.Fatalf("joiners never registered: %+v", c.Stats())
+		}
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if engines[i] == nil || engines[i].Engine != engines[0].Engine {
+			t.Fatalf("client %d got a different engine", i)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d compiles for %d concurrent first requests, want exactly 1 (singleflight)", n, clients)
+	}
+	st := c.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("stats report %d compiles, want 1", st.Compiles)
+	}
+	if st.FlightShared != clients-1 {
+		t.Fatalf("stats report %d shared flights, want %d", st.FlightShared, clients-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget for roughly two small engines: inserting a third must
+	// evict the least recently used.
+	g0, g1, g2 := ringGraph(t, 0), ringGraph(t, 1), ringGraph(t, 2)
+	probe := NewCache(DefaultCacheBytes)
+	ent, _, err := probe.GetOrCompile(ContentKey(g0, nil), func() (*sg.Graph, *dist.Model, error) {
+		return g0, pointModel(t, g0), nil
+	})
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	c := NewCache(ent.cost*2 + ent.cost/2)
+
+	add := func(g *sg.Graph) string {
+		key := ContentKey(g, nil)
+		if _, _, err := c.GetOrCompile(key, func() (*sg.Graph, *dist.Model, error) {
+			return g, pointModel(t, g), nil
+		}); err != nil {
+			t.Fatalf("GetOrCompile: %v", err)
+		}
+		return key
+	}
+	k0 := add(g0)
+	k1 := add(g1)
+	// Touch g0 so g1 is the LRU victim.
+	if ent := c.Get(k0); ent == nil {
+		t.Fatal("g0 missing before eviction")
+	}
+	add(g2)
+
+	if c.Get(k1) != nil {
+		t.Fatal("LRU entry survived over budget")
+	}
+	if c.Get(k0) == nil {
+		t.Fatal("recently used entry was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestCachePassThroughMode(t *testing.T) {
+	c := NewCache(0)
+	g := ringGraph(t, 3)
+	key := ContentKey(g, nil)
+	build := func() (*sg.Graph, *dist.Model, error) { return g, pointModel(t, g), nil }
+	e1, hit1, err := c.GetOrCompile(key, build)
+	if err != nil {
+		t.Fatalf("GetOrCompile: %v", err)
+	}
+	e2, hit2, err := c.GetOrCompile(key, build)
+	if err != nil {
+		t.Fatalf("GetOrCompile: %v", err)
+	}
+	if hit1 || hit2 {
+		t.Fatal("pass-through cache reported a hit")
+	}
+	if e1.Engine == e2.Engine {
+		t.Fatal("pass-through cache shared an engine")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Compiles != 2 {
+		t.Fatalf("stats = %+v, want 0 entries / 2 compiles", st)
+	}
+}
+
+func TestContentKeyDistinguishesModels(t *testing.T) {
+	text := "tsg g\nevent a+\nevent b+\narc a+ b+ 2\narc b+ a+ 2 marked\n"
+	annotated := "tsg g\nevent a+\nevent b+\narc a+ b+ 2 ~uniform(1.5,2.5)\narc b+ a+ 2 marked\n"
+
+	gPlain, mPlain, err := netlist.ReadTSGDist(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	gAnn, mAnn, err := netlist.ReadTSGDist(strings.NewReader(annotated))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	kPlain := ContentKey(gPlain, mPlain)
+	kAnn := ContentKey(gAnn, mAnn)
+	if kPlain == kAnn {
+		t.Fatal("distribution annotations did not change the content key")
+	}
+	// A deterministic model keys on the bare structural fingerprint, so
+	// clients can compute it locally via tsg.Fingerprint.
+	if kPlain != sg.Fingerprint(gPlain) {
+		t.Fatal("deterministic content key differs from the structural fingerprint")
+	}
+	// Same annotated content in a different declaration order shares
+	// the key.
+	reordered := "tsg g\nevent b+\nevent a+\narc b+ a+ 2 marked\narc a+ b+ 2 ~uniform(1.5,2.5)\n"
+	gRe, mRe, err := netlist.ReadTSGDist(strings.NewReader(reordered))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	if ContentKey(gRe, mRe) != kAnn {
+		t.Fatal("annotated content key is not declaration-order invariant")
+	}
+}
+
+func TestContentKeyUnambiguous(t *testing.T) {
+	// Swapping the distributions of two annotated arcs must change the
+	// key: a Monte-Carlo answer is a function of which arc carries
+	// which distribution, not just the multiset of annotations.
+	a := "tsg g\nevent x\nevent y\nevent z\narc x y 2 ~uniform(0,4)\narc y z 2 ~uniform(1,3)\narc z x 2 marked\n"
+	b := "tsg g\nevent x\nevent y\nevent z\narc x y 2 ~uniform(1,3)\narc y z 2 ~uniform(0,4)\narc z x 2 marked\n"
+	ga, ma, err := netlist.ReadTSGDist(strings.NewReader(a))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	gb, mb, err := netlist.ReadTSGDist(strings.NewReader(b))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	if ContentKey(ga, ma) == ContentKey(gb, mb) {
+		t.Fatal("swapped distributions share a content key")
+	}
+
+	// Event names may contain any non-whitespace byte, including
+	// would-be field separators; the length-prefixed encoding must keep
+	// ("x|y" -> "z") and ("x" -> "y|z") distinct.
+	c := "tsg g\nevent x|y\nevent z\narc x|y z 2 ~uniform(1,3)\narc z x|y 2 marked\n"
+	d := "tsg g\nevent x\nevent y|z\narc x y|z 2 ~uniform(1,3)\narc y|z x 2 marked\n"
+	gc, mc, err := netlist.ReadTSGDist(strings.NewReader(c))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	gd, md, err := netlist.ReadTSGDist(strings.NewReader(d))
+	if err != nil {
+		t.Fatalf("ReadTSGDist: %v", err)
+	}
+	if ContentKey(gc, mc) == ContentKey(gd, md) {
+		t.Fatal("separator-bearing event names collide in the content key")
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	// Race smoke over hits, misses, evictions and singleflight at once;
+	// runs under the CI race step.
+	c := NewCache(1 << 20) // small budget: forces evictions
+	graphs := make([]*sg.Graph, 6)
+	keys := make([]string, 6)
+	for i := range graphs {
+		graphs[i] = ringGraph(t, i)
+		keys[i] = ContentKey(graphs[i], nil)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				k := (w + i) % len(graphs)
+				ent, _, err := c.GetOrCompile(keys[k], func() (*sg.Graph, *dist.Model, error) {
+					return graphs[k], pointModel(t, graphs[k]), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompile: %v", err)
+					return
+				}
+				if _, err := ent.Engine.Analyze(); err != nil {
+					t.Errorf("Analyze: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

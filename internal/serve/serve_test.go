@@ -1,0 +1,421 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+)
+
+// tsgText serialises a graph to .tsg text.
+func tsgText(t testing.TB, g *sg.Graph) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := netlist.WriteTSG(&b, g); err != nil {
+		t.Fatalf("WriteTSG: %v", err)
+	}
+	return b.String()
+}
+
+// postJSON posts a JSON request and decodes the JSON response into out,
+// failing the test on a non-wantStatus reply.
+func postJSON(t testing.TB, srv *httptest.Server, path string, req, out interface{}, wantStatus int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (want %d): %s", path, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	g := gen.Oscillator()
+	text := tsgText(t, g)
+	want, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Upload by raw .tsg body (the curl path).
+	resp, err := srv.Client().Post(srv.URL+"/v1/graphs", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var up UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatalf("decoding upload: %v", err)
+	}
+	resp.Body.Close()
+	if up.Fingerprint != sg.Fingerprint(g) {
+		t.Fatalf("upload fingerprint %s != structural fingerprint %s", up.Fingerprint, sg.Fingerprint(g))
+	}
+	if up.Events != g.NumEvents() || up.Arcs != g.NumArcs() {
+		t.Fatalf("upload summary %d/%d, want %d/%d", up.Events, up.Arcs, g.NumEvents(), g.NumArcs())
+	}
+	if up.EngineCached {
+		t.Fatal("first upload reported a cached engine")
+	}
+
+	// Analyze by fingerprint reference: must match the in-process λ and
+	// report the warm engine.
+	var an AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &an, http.StatusOK)
+	if an.Lambda.Float != want.CycleTime.Float() || an.Lambda.Text != want.CycleTime.Normalize().String() {
+		t.Fatalf("served λ = %+v, want %v", an.Lambda, want.CycleTime)
+	}
+	if !an.EngineCached {
+		t.Fatal("fingerprint analyze did not hit the engine cache")
+	}
+	if len(an.Critical) == 0 || len(an.Critical[0].Events) == 0 {
+		t.Fatalf("no critical cycles served: %+v", an)
+	}
+
+	// Analyze by inline text: same fingerprint, still a cache hit.
+	var an2 AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Graph: text}}, &an2, http.StatusOK)
+	if an2.Fingerprint != up.Fingerprint || !an2.EngineCached {
+		t.Fatalf("inline analyze: fingerprint %s cached=%v, want %s cached=true", an2.Fingerprint, an2.EngineCached, up.Fingerprint)
+	}
+
+	// Slacks: feasible and tight where the critical cycle runs.
+	var sl SlacksResponse
+	postJSON(t, srv, "/v1/slacks", SlacksRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &sl, http.StatusOK)
+	if len(sl.Slacks) == 0 {
+		t.Fatal("no slacks served")
+	}
+	tight := 0
+	for _, s := range sl.Slacks {
+		if s.Slack < 0 {
+			t.Fatalf("negative slack: %+v", s)
+		}
+		if s.Tight {
+			tight++
+		}
+	}
+	if tight == 0 {
+		t.Fatal("no tight arcs in the slack report")
+	}
+
+	// Batched what-if: answers must match the engine oracle. Wire arc
+	// indices are canonical ranks, so local indices map through the
+	// canonical order.
+	eng, err := cycletime.NewEngine(g)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	order := sg.CanonicalArcOrder(g)
+	rank := make([]int, len(order))
+	for k, i := range order {
+		rank[i] = k
+	}
+	var queries []WhatIfQuery
+	var cands []cycletime.WhatIf
+	for i := 0; i < g.NumArcs(); i++ {
+		d := g.Arc(i).Delay * 2
+		queries = append(queries, WhatIfQuery{Arc: rank[i], Delay: d})
+		cands = append(cands, cycletime.WhatIf{Arc: i, Delay: d})
+	}
+	wantLams, err := eng.SensitivitySweep(cands)
+	if err != nil {
+		t.Fatalf("SensitivitySweep: %v", err)
+	}
+	var wi WhatIfResponse
+	postJSON(t, srv, "/v1/whatif", WhatIfRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}, Queries: queries}, &wi, http.StatusOK)
+	if len(wi.Lambdas) != len(queries) {
+		t.Fatalf("%d what-if answers for %d queries", len(wi.Lambdas), len(queries))
+	}
+	for i, lam := range wi.Lambdas {
+		if lam.Text != wantLams[i].Normalize().String() {
+			t.Fatalf("what-if %d: served %s, oracle %v", i, lam.Text, wantLams[i])
+		}
+	}
+	if wi.Stats.FastPathHits+wi.Stats.TableAnswers+wi.Stats.Analyses == 0 {
+		t.Fatalf("what-if stats empty: %+v", wi.Stats)
+	}
+
+	// Monte-Carlo under explicit jitter, pinned workers for
+	// reproducibility against the in-process oracle.
+	var mc MCResponse
+	postJSON(t, srv, "/v1/mc", MCRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Samples:  64, Seed: 7, Jitter: 0.1, Workers: 1,
+		Quantiles: []float64{0.5},
+	}, &mc, http.StatusOK)
+	jm, err := gen.UniformJitter(g, 0.1)
+	if err != nil {
+		t.Fatalf("UniformJitter: %v", err)
+	}
+	wantMC, err := eng.AnalyzeMC(jm, cycletime.MCOptions{Samples: 64, Seed: 7, Workers: 1, Quantiles: []float64{0.5}})
+	if err != nil {
+		t.Fatalf("AnalyzeMC: %v", err)
+	}
+	if mc.Mean != wantMC.Mean || mc.Samples != wantMC.Samples || mc.Min != wantMC.Min || mc.Max != wantMC.Max {
+		t.Fatalf("served MC %+v, oracle mean=%g min=%g max=%g", mc, wantMC.Mean, wantMC.Min, wantMC.Max)
+	}
+
+	// A tiny sample budget leaves the confidence intervals undefined
+	// (+Inf in process); the wire must still be valid JSON with the -1
+	// sentinel, never an empty 200.
+	var tiny MCResponse
+	postJSON(t, srv, "/v1/mc", MCRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Samples:  1, Seed: 7, Jitter: 0.1, Workers: 1, Quantiles: []float64{0.5},
+	}, &tiny, http.StatusOK)
+	if tiny.Samples != 1 || tiny.MeanCIHalf != -1 {
+		t.Fatalf("tiny MC run: %+v, want samples=1 with mean_ci_half=-1", tiny)
+	}
+	for _, q := range tiny.Quantiles {
+		if q.CIHalf != -1 {
+			t.Fatalf("tiny MC quantile CI = %g, want -1 sentinel", q.CIHalf)
+		}
+	}
+
+	// Health and metrics.
+	hr, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	hr.Body.Close()
+	if !health.OK || health.Graphs != 1 {
+		t.Fatalf("healthz = %+v, want ok with 1 graph", health)
+	}
+	mr, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(mr.Body); err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	mr.Body.Close()
+	metrics := mb.String()
+	for _, want := range []string{
+		"tsgserve_queries_total{endpoint=\"analyze\"} 2",
+		"tsgserve_queries_total{endpoint=\"whatif\"} 1",
+		"tsgserve_engine_compiles_total 1",
+		"tsgserve_engine_cache_entries 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServerCrossDeclarationOrder pins the canonical-index contract:
+// two clients hold the same graph with the arcs declared in different
+// orders, share one cached engine (the fingerprint is order-invariant)
+// — and still each read every wire arc index correctly, because wire
+// indices are canonical ranks both sides compute locally.
+func TestServerCrossDeclarationOrder(t *testing.T) {
+	textA := "tsg g\nevent x\nevent y\narc x y 1\narc y x 2 marked\n"
+	textB := "tsg g\nevent y\nevent x\narc y x 2 marked\narc x y 1\n"
+	gB, err := netlist.ReadTSG(strings.NewReader(textB))
+	if err != nil {
+		t.Fatalf("ReadTSG: %v", err)
+	}
+
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Client A uploads its ordering.
+	resp, err := srv.Client().Post(srv.URL+"/v1/graphs", "text/plain", strings.NewReader(textA))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var up UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatalf("decoding upload: %v", err)
+	}
+	resp.Body.Close()
+	if up.Fingerprint != sg.Fingerprint(gB) {
+		t.Fatal("fixture broken: orderings do not share a fingerprint")
+	}
+
+	// Client B queries by fingerprint about ITS local arc 0 (y->x,
+	// delay 2): raising it to 9 must give λ = 10 (cycle 1+9), which is
+	// what B's own engine says — and would NOT be what A's arc 0
+	// (x->y, delay 1) gives.
+	orderB := sg.CanonicalArcOrder(gB)
+	rankB := make([]int, len(orderB))
+	for k, i := range orderB {
+		rankB[i] = k
+	}
+	engB, err := cycletime.NewEngine(gB)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	want, err := engB.Sensitivity(0, 9)
+	if err != nil {
+		t.Fatalf("Sensitivity: %v", err)
+	}
+	var wi WhatIfResponse
+	postJSON(t, srv, "/v1/whatif", WhatIfRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Queries:  []WhatIfQuery{{Arc: rankB[0], Delay: 9}},
+	}, &wi, http.StatusOK)
+	if wi.Lambdas[0].Text != want.Normalize().String() {
+		t.Fatalf("cross-order what-if: served %s, B's oracle %v", wi.Lambdas[0].Text, want)
+	}
+	if st := s.Cache().Stats(); st.Compiles != 1 {
+		t.Fatalf("%d compiles — the orderings did not share the engine", st.Compiles)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Unknown fingerprint: 404.
+	postJSON(t, srv, "/v1/analyze",
+		AnalyzeRequest{GraphRef: GraphRef{Fingerprint: strings.Repeat("ab", 32)}}, nil, http.StatusNotFound)
+	// No graph reference at all: 400.
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{}, nil, http.StatusBadRequest)
+	// Unparsable graph: 400.
+	postJSON(t, srv, "/v1/analyze",
+		AnalyzeRequest{GraphRef: GraphRef{Graph: "not a tsg file"}}, nil, http.StatusBadRequest)
+	// Parsable but uncompilable graph (nothing repetitive to time):
+	// still the client's data, still 400 — not a server failure.
+	postJSON(t, srv, "/v1/analyze",
+		AnalyzeRequest{GraphRef: GraphRef{Graph: "tsg t\nevent a nonrepetitive\nevent b nonrepetitive\narc a b 1 once\n"}},
+		nil, http.StatusBadRequest)
+	// Empty what-if batch: 400.
+	g := gen.Oscillator()
+	postJSON(t, srv, "/v1/whatif",
+		WhatIfRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}}, nil, http.StatusBadRequest)
+	// Out-of-range what-if arc: 400.
+	postJSON(t, srv, "/v1/whatif",
+		WhatIfRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}, Queries: []WhatIfQuery{{Arc: 9999, Delay: 1}}},
+		nil, http.StatusBadRequest)
+	// Malformed JSON: 400.
+	resp, err := srv.Client().Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	// Uploading to a cache-disabled (pass-through) server: 503 with a
+	// clear message, never a fingerprint that would 404 on first use.
+	passthrough := httptest.NewServer(New(Config{CacheBytes: -1}))
+	defer passthrough.Close()
+	resp0, err := passthrough.Client().Post(passthrough.URL+"/v1/graphs", "text/plain", strings.NewReader(tsgText(t, g)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("upload to pass-through server: status %d, want 503", resp0.StatusCode)
+	}
+	// Inline queries still work there.
+	postJSON(t, passthrough, "/v1/analyze",
+		AnalyzeRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}}, nil, http.StatusOK)
+
+	// Body over the limit: 413.
+	small := New(Config{MaxBodyBytes: 64})
+	srv2 := httptest.NewServer(small)
+	defer srv2.Close()
+	resp, err = srv2.Client().Post(srv2.URL+"/v1/graphs", "text/plain",
+		strings.NewReader(strings.Repeat("x", 1024)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	// Many clients, two graphs, mixed analyze/what-if traffic; all
+	// answers must agree with the per-graph oracle. Runs under the CI
+	// race step.
+	osc := gen.Oscillator()
+	ring, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	graphs := []*sg.Graph{osc, ring}
+	texts := []string{tsgText(t, osc), tsgText(t, ring)}
+	var wantLam [2]string
+	for i, g := range graphs {
+		res, err := cycletime.Analyze(g)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		wantLam[i] = res.CycleTime.Normalize().String()
+	}
+
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const clients = 8
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for i := 0; i < 12; i++ {
+				k := (c + i) % 2
+				var an AnalyzeResponse
+				body, _ := json.Marshal(AnalyzeRequest{GraphRef: GraphRef{Graph: texts[k]}})
+				resp, err := srv.Client().Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&an)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if an.Lambda.Text != wantLam[k] {
+					errCh <- fmt.Errorf("client %d: graph %d λ = %s, want %s", c, k, an.Lambda.Text, wantLam[k])
+					return
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Cache().Stats()
+	if st.Compiles != 2 {
+		t.Fatalf("%d compiles for 2 distinct graphs under concurrency, want 2 (singleflight + cache)", st.Compiles)
+	}
+}

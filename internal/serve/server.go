@@ -1,0 +1,484 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/dist"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheBytes bounds the engine cache (estimated engine memory).
+	// 0 selects DefaultCacheBytes; negative disables caching, making
+	// every request pay a full parse + compile (the cold baseline of
+	// the load experiments).
+	CacheBytes int64
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// DefaultCacheBytes is the default engine-cache budget: enough for a
+// few hundred interactive-scale graphs.
+const DefaultCacheBytes = 1 << 30
+
+// Server is the analysis service: an http.Handler serving the /v1
+// query protocol on top of a shared engine cache.
+type Server struct {
+	cache    *Cache
+	maxBody  int64
+	start    time.Time
+	mux      *http.ServeMux
+	queries  [endpoints]atomic.Int64
+	failures atomic.Int64
+}
+
+// endpoint indices for the per-endpoint query counters.
+const (
+	epAnalyze = iota
+	epSlacks
+	epWhatIf
+	epMC
+	epUpload
+	endpoints
+)
+
+var endpointNames = [endpoints]string{"analyze", "slacks", "whatif", "mc", "upload"}
+
+// New returns a Server ready to serve the protocol.
+func New(cfg Config) *Server {
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	s := &Server{
+		cache:   NewCache(cacheBytes),
+		maxBody: maxBody,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/slacks", s.handleSlacks)
+	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the engine cache (the daemon's shutdown log and the
+// load experiments read its statistics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// httpError is an error with a client-facing status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...interface{}) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON encodes a 200 response. An encode failure cannot rescind
+// the implied 200, but it is at least counted — responses must be
+// constructed JSON-encodable (finite floats; see sanitizeCI).
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.failures.Add(1)
+	}
+}
+
+// sanitizeCI maps an undefined confidence half-width (±Inf/NaN — the
+// stream estimators return +Inf below their minimum sample counts) to
+// the wire sentinel -1, since JSON cannot carry non-finite numbers.
+func sanitizeCI(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// writeError encodes a failure response.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.failures.Add(1)
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// decode parses a JSON request body.
+func decode(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return err
+		}
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+// resolve turns a GraphRef into the cached entry serving it, compiling
+// on first sight of inline graph text.
+func (s *Server) resolve(ref GraphRef) (*Entry, bool, error) {
+	if ref.Graph != "" {
+		g, m, err := netlist.ReadTSGDist(strings.NewReader(ref.Graph))
+		if err != nil {
+			return nil, false, badRequest("parsing graph: %v", err)
+		}
+		key := ContentKey(g, m)
+		ent, hit, err := s.cache.GetOrCompile(key, func() (*sg.Graph, *dist.Model, error) {
+			return g, m, nil
+		})
+		if err != nil {
+			// Compile failures of an inline graph (e.g. no border
+			// events, so nothing repetitive to time) are defects of the
+			// uploaded data, not of the server.
+			return nil, false, badRequest("compiling graph: %v", err)
+		}
+		return ent, hit, nil
+	}
+	if ref.Fingerprint == "" {
+		return nil, false, badRequest("request references no graph: set \"graph\" (.tsg text) or \"fingerprint\"")
+	}
+	ent := s.cache.Get(ref.Fingerprint)
+	if ent == nil {
+		return nil, false, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("no graph with fingerprint %s is resident: upload it (POST /v1/graphs) or inline it", ref.Fingerprint)}
+	}
+	return ent, true, nil
+}
+
+// wireLambda converts an exact cycle time to its wire form.
+func wireLambda(r stat.Ratio) Lambda {
+	n := r.Normalize()
+	return Lambda{Num: n.Num, Den: n.Den, Float: n.Float(), Text: n.String()}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	s.queries[epUpload].Add(1)
+	if s.cache.Disabled() {
+		// Honouring the upload would hand back a fingerprint that 404s
+		// on its first use (nothing stays resident in pass-through
+		// mode); fail the contract loudly instead.
+		s.writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: "the engine cache is disabled on this server; inline the graph (\"graph\" field) in each request instead of uploading"})
+		return
+	}
+	var text string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Graph string `json:"graph"`
+		}
+		if err := decode(r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		text = req.Graph
+	} else {
+		// Raw .tsg body: curl --data-binary @graph.tsg …/v1/graphs
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		text = string(b)
+	}
+	if strings.TrimSpace(text) == "" {
+		s.writeError(w, badRequest("empty graph upload"))
+		return
+	}
+	ent, hit, err := s.resolve(GraphRef{Graph: text})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, UploadResponse{
+		Fingerprint:  ent.Key,
+		Events:       ent.Graph.NumEvents(),
+		Arcs:         ent.Graph.NumArcs(),
+		Border:       len(ent.Graph.BorderEvents()),
+		EngineCached: hit,
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.queries[epAnalyze].Add(1)
+	var req AnalyzeRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ent, hit, err := s.resolve(req.GraphRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	lam, critical, err := ent.Engine.Summary()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := AnalyzeResponse{
+		Fingerprint:  ent.Key,
+		Lambda:       wireLambda(lam),
+		EngineCached: hit,
+	}
+	for _, c := range critical {
+		arcs := make([]int, len(c.Arcs))
+		for i, a := range c.Arcs {
+			arcs[i] = ent.Rank[a]
+		}
+		resp.Critical = append(resp.Critical, CriticalCycle{
+			Events: ent.Graph.EventNames(c.Events),
+			Arcs:   arcs,
+			Length: c.Length,
+			Period: c.Period,
+		})
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+	s.queries[epSlacks].Add(1)
+	var req SlacksRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ent, _, err := s.resolve(req.GraphRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	lam, err := ent.Engine.CycleTime()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	slacks, err := ent.Engine.Slacks()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := SlacksResponse{Fingerprint: ent.Key, Lambda: wireLambda(lam)}
+	for _, sl := range slacks {
+		a := ent.Graph.Arc(sl.Arc)
+		resp.Slacks = append(resp.Slacks, ArcSlack{
+			Arc:   ent.Rank[sl.Arc],
+			From:  ent.Graph.Event(a.From).Name,
+			To:    ent.Graph.Event(a.To).Name,
+			Delay: a.Delay,
+			Slack: sl.Slack,
+			Tight: sl.Tight,
+		})
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	s.queries[epWhatIf].Add(1)
+	var req WhatIfRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, badRequest("whatif request batches no queries"))
+		return
+	}
+	ent, _, err := s.resolve(req.GraphRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cands := make([]cycletime.WhatIf, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.Arc < 0 || q.Arc >= len(ent.Canon) {
+			s.writeError(w, badRequest("query %d: arc index %d out of range [0,%d)", i, q.Arc, len(ent.Canon)))
+			return
+		}
+		if q.Delay < 0 || math.IsNaN(q.Delay) {
+			s.writeError(w, badRequest("query %d: invalid delay %g", i, q.Delay))
+			return
+		}
+		cands[i] = cycletime.WhatIf{Arc: ent.Canon[q.Arc], Delay: q.Delay}
+	}
+	// Queries are fully validated above; a sweep failure past this
+	// point is the server's problem, not the client's (500).
+	lams, err := ent.Engine.SensitivitySweep(cands)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := WhatIfResponse{Fingerprint: ent.Key, Lambdas: make([]Lambda, len(lams))}
+	for i, lam := range lams {
+		resp.Lambdas[i] = wireLambda(lam)
+	}
+	st := ent.Engine.Stats()
+	resp.Stats = EngineStats{Analyses: st.Analyses, FastPathHits: st.FastPathHits, TableAnswers: st.TableAnswers}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	s.queries[epMC].Add(1)
+	var req MCRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Option validation up front, so an engine failure below is a
+	// genuine 500 rather than a misclassified client error.
+	if req.Samples < 0 || req.MinSamples < 0 || req.Workers < 0 {
+		s.writeError(w, badRequest("negative sample/worker counts"))
+		return
+	}
+	if req.Tol < 0 || math.IsNaN(req.Tol) || req.Jitter < 0 || math.IsNaN(req.Jitter) {
+		s.writeError(w, badRequest("invalid tol %g or jitter %g", req.Tol, req.Jitter))
+		return
+	}
+	if req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1) {
+		s.writeError(w, badRequest("confidence %g outside (0, 1)", req.Confidence))
+		return
+	}
+	for _, q := range req.Quantiles {
+		if q <= 0 || q >= 1 {
+			s.writeError(w, badRequest("quantile %g outside (0, 1)", q))
+			return
+		}
+	}
+	ent, _, err := s.resolve(req.GraphRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	model := ent.Model
+	if model.Deterministic() && req.Jitter > 0 {
+		nominal := make([]float64, ent.Graph.NumArcs())
+		for i := range nominal {
+			nominal[i] = ent.Graph.Arc(i).Delay
+		}
+		model, err = dist.JitterUniform(nominal, req.Jitter)
+		if err != nil {
+			s.writeError(w, badRequest("jitter model: %v", err))
+			return
+		}
+	}
+	res, err := ent.Engine.AnalyzeMC(model, cycletime.MCOptions{
+		Samples:     req.Samples,
+		MinSamples:  req.MinSamples,
+		Seed:        req.Seed,
+		Quantiles:   req.Quantiles,
+		Tol:         req.Tol,
+		Confidence:  req.Confidence,
+		Criticality: req.Criticality,
+		Workers:     req.Workers,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var criticality []float64
+	if res.Criticality != nil {
+		criticality = make([]float64, len(res.Criticality))
+		for k, i := range ent.Canon {
+			criticality[k] = res.Criticality[i]
+		}
+	}
+	resp := MCResponse{
+		Fingerprint: ent.Key,
+		Samples:     res.Samples,
+		Converged:   res.Converged,
+		Mean:        res.Mean,
+		Variance:    res.Variance,
+		Std:         res.Std,
+		Min:         res.Min,
+		Max:         res.Max,
+		MeanCIHalf:  sanitizeCI(res.MeanCIHalf),
+		Criticality: criticality,
+	}
+	for _, q := range res.Quantiles {
+		resp.Quantiles = append(resp.Quantiles, QuantileEstimate{P: q.P, Value: q.Value, CIHalf: sanitizeCI(q.CIHalf)})
+	}
+	s.writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	s.writeJSON(w, HealthResponse{
+		OK:        true,
+		Graphs:    st.Entries,
+		UptimeSec: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the counters in Prometheus text exposition
+// format: query/hit/compile counters plus cache residency gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP tsgserve_queries_total Queries received, by endpoint.\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_queries_total counter\n")
+	for i, name := range endpointNames {
+		fmt.Fprintf(&b, "tsgserve_queries_total{endpoint=%q} %d\n", name, s.queries[i].Load())
+	}
+	fmt.Fprintf(&b, "# TYPE tsgserve_request_failures_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_request_failures_total %d\n", s.failures.Load())
+	fmt.Fprintf(&b, "# HELP tsgserve_engine_cache_hits_total Requests served by a resident engine.\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_engine_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_engine_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(&b, "# HELP tsgserve_engine_compiles_total Engines compiled (singleflight dedups concurrent misses).\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_compiles_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_engine_compiles_total %d\n", st.Compiles)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_flight_shared_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_engine_flight_shared_total %d\n", st.FlightShared)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_engine_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_entries gauge\n")
+	fmt.Fprintf(&b, "tsgserve_engine_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_bytes gauge\n")
+	fmt.Fprintf(&b, "tsgserve_engine_cache_bytes %d\n", st.Bytes)
+	fmt.Fprintf(&b, "# TYPE tsgserve_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "tsgserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
+	_, _ = io.WriteString(w, b.String())
+}

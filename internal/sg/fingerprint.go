@@ -1,0 +1,124 @@
+package sg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a content hash of the graph: a hex-encoded
+// SHA-256 over the canonical form of its events (name, repetitive
+// flag) and arcs (endpoint names, delay, marking, disengageability).
+// The fingerprint is invariant under event and arc declaration order —
+// two builders adding the same events and arcs in any order produce
+// the same fingerprint — and changes whenever any event name, arc,
+// delay, marking or once flag differs. The graph's display name is
+// deliberately excluded: structurally identical graphs fingerprint
+// identically, which is what lets a serving cache share one compiled
+// engine across clients that uploaded the same graph under different
+// names.
+//
+// Parallel arcs are preserved as a multiset, and delays are hashed by
+// their exact float64 bits, so graphs differing by any representable
+// delay perturbation get distinct fingerprints.
+func Fingerprint(g *Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeUint := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	// Length-prefixed strings keep the encoding unambiguous (no pair of
+	// distinct canonical forms shares a byte stream).
+	writeStr := func(s string) {
+		writeUint(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	events := make([]Event, len(g.events))
+	copy(events, g.events)
+	sort.Slice(events, func(i, j int) bool { return events[i].Name < events[j].Name })
+	writeUint(uint64(len(events)))
+	for _, ev := range events {
+		writeStr(ev.Name)
+		if ev.Repetitive {
+			writeUint(1)
+		} else {
+			writeUint(0)
+		}
+	}
+
+	order := CanonicalArcOrder(g)
+	writeUint(uint64(len(order)))
+	for _, i := range order {
+		a := g.arcs[i]
+		writeStr(g.events[a.From].Name)
+		writeStr(g.events[a.To].Name)
+		writeUint(math.Float64bits(a.Delay))
+		flags := uint64(0)
+		if a.Marked {
+			flags |= 1
+		}
+		if a.Once {
+			flags |= 2
+		}
+		writeUint(flags)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalArcOrder returns the permutation placing the graph's arcs
+// in the canonical (fingerprint) order: sorted by endpoint names, then
+// delay bits, marking and once flag, with ties between fully identical
+// arcs broken by declaration order. order[k] is the declaration index
+// of the arc at canonical rank k.
+//
+// The canonical rank is what makes arc indices portable between
+// parties that hold structurally identical graphs in different
+// declaration orders: both sides compute the same ranking
+// independently, so a rank names the same arc everywhere. (Fully
+// identical parallel arcs are mutually interchangeable — same
+// endpoints, delay and flags — so their tie-break is semantically
+// irrelevant.) The serving protocol (internal/serve) transmits arc
+// indices in this space.
+func CanonicalArcOrder(g *Graph) []int {
+	order := make([]int, len(g.arcs))
+	for i := range order {
+		order[i] = i
+	}
+	less := func(x, y Arc) int {
+		if c := strings.Compare(g.events[x.From].Name, g.events[y.From].Name); c != 0 {
+			return c
+		}
+		if c := strings.Compare(g.events[x.To].Name, g.events[y.To].Name); c != 0 {
+			return c
+		}
+		bx, by := math.Float64bits(x.Delay), math.Float64bits(y.Delay)
+		switch {
+		case bx < by:
+			return -1
+		case bx > by:
+			return 1
+		}
+		if x.Marked != y.Marked {
+			if !x.Marked {
+				return -1
+			}
+			return 1
+		}
+		if x.Once != y.Once {
+			if !x.Once {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return less(g.arcs[order[i]], g.arcs[order[j]]) < 0
+	})
+	return order
+}

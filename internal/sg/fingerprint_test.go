@@ -1,0 +1,130 @@
+package sg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fpFixture builds a small graph, permuting the declaration order of
+// its events and arcs according to the permutations pe and pa.
+func fpFixture(t *testing.T, pe, pa []int) *Graph {
+	t.Helper()
+	events := []struct {
+		name string
+		opts []EventOption
+	}{
+		{"a+", nil}, {"b+", nil}, {"c+", nil}, {"init", []EventOption{NonRepetitive()}},
+	}
+	type arcDecl struct {
+		from, to string
+		delay    float64
+		opts     []ArcOption
+	}
+	arcs := []arcDecl{
+		{"a+", "b+", 1, nil},
+		{"b+", "c+", 2.5, nil},
+		{"c+", "a+", 3, []ArcOption{Marked()}},
+		{"init", "a+", 0.5, []ArcOption{Once()}},
+		// A parallel arc: multiset semantics must be preserved.
+		{"a+", "b+", 1, nil},
+	}
+	b := NewBuilder("fixture")
+	for _, i := range pe {
+		b.Event(events[i].name, events[i].opts...)
+	}
+	for _, i := range pa {
+		a := arcs[i]
+		b.Arc(a.from, a.to, a.delay, a.opts...)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestFingerprintDeclarationOrderInvariant(t *testing.T) {
+	base := fpFixture(t, []int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4})
+	want := Fingerprint(base)
+	if len(want) != 64 {
+		t.Fatalf("fingerprint %q is not a 64-hex-digit SHA-256", want)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		pe := rng.Perm(4)
+		pa := rng.Perm(5)
+		g := fpFixture(t, pe, pa)
+		if got := Fingerprint(g); got != want {
+			t.Fatalf("fingerprint changed under declaration order pe=%v pa=%v: %s != %s", pe, pa, got, want)
+		}
+	}
+}
+
+func TestFingerprintIgnoresGraphName(t *testing.T) {
+	a := fpFixture(t, []int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4})
+	b, err := NewBuilder("other-name").
+		Events("a+", "b+", "c+").
+		Event("init", NonRepetitive()).
+		Arc("a+", "b+", 1).
+		Arc("b+", "c+", 2.5).
+		Arc("c+", "a+", 3, Marked()).
+		Arc("init", "a+", 0.5, Once()).
+		Arc("a+", "b+", 1).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("fingerprint depends on the graph display name")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpFixture(t, []int{0, 1, 2, 3}, []int{0, 1, 2, 3, 4})
+	fp := Fingerprint(base)
+
+	build := func(mod func(b *Builder)) string {
+		b := NewBuilder("fixture").
+			Events("a+", "b+", "c+").
+			Event("init", NonRepetitive())
+		mod(b)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return Fingerprint(g)
+	}
+	full := func(b *Builder, skip int, delay3 float64, markArc int) {
+		type d struct {
+			from, to string
+			delay    float64
+			opts     []ArcOption
+		}
+		decls := []d{
+			{"a+", "b+", 1, nil},
+			{"b+", "c+", 2.5, nil},
+			{"c+", "a+", 3, nil},
+			{"init", "a+", delay3, []ArcOption{Once()}},
+			{"a+", "b+", 1, nil},
+		}
+		decls[markArc].opts = append(decls[markArc].opts, Marked())
+		for i, a := range decls {
+			if i == skip {
+				continue
+			}
+			b.Arc(a.from, a.to, a.delay, a.opts...)
+		}
+	}
+
+	// Changing a delay, moving the marking, or dropping the parallel
+	// duplicate must all change the fingerprint.
+	if got := build(func(b *Builder) { full(b, -1, 0.75, 2) }); got == fp {
+		t.Error("delay change did not change the fingerprint")
+	}
+	if got := build(func(b *Builder) { full(b, -1, 0.5, 1) }); got == fp {
+		t.Error("moving the marking did not change the fingerprint")
+	}
+	if got := build(func(b *Builder) { full(b, 4, 0.5, 2) }); got == fp {
+		t.Error("dropping a parallel arc did not change the fingerprint")
+	}
+}

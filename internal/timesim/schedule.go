@@ -191,6 +191,22 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 // Graph returns the compiled graph.
 func (s *Schedule) Graph() *sg.Graph { return s.g }
 
+// MemEstimate returns the approximate heap bytes of the compiled
+// schedule's own arrays — the three per-class record tables, their
+// offset and inverse columns, the order views and the row template —
+// excluding the graph, which the schedule shares with its compiler,
+// and excluding pooled slabs, whose size depends on the simulated
+// period count (the session layer accounts for those; see
+// cycletime.Engine.SizeHint).
+func (s *Schedule) MemEstimate() int64 {
+	recs := int64(len(s.src0)+len(s.src1)+len(s.srcS)) * 24 // src+del+arc columns
+	recs += int64(len(s.mark1)+len(s.markS)) * 4
+	offs := int64(len(s.off0)+len(s.off1)+len(s.offS)) * 4
+	inv := int64(len(s.rec0)+len(s.rec1)+len(s.recS)) * 4
+	views := int64(len(s.order)+len(s.orderR)+len(s.rowInit)) * 8
+	return recs + offs + inv + views
+}
+
 // RefreshArcDelay rewrites the compiled delay columns for one arc. It
 // is the O(1) hook an sg.Overlay session drains its dirty set into
 // (Overlay.DrainDirty), keeping the schedule consistent with in-place

@@ -123,6 +123,23 @@ func SimulateFrom(g *Graph, origin EventID, periods int) (*Trace, error) {
 	return timesim.RunFrom(g, origin, timesim.Options{Periods: periods})
 }
 
+// Fingerprint returns the canonical content hash of a graph: a
+// hex-encoded SHA-256 over its events and arcs (names, delays,
+// markings, once flags) that is invariant under event/arc declaration
+// order and ignores the graph's display name. Structurally identical
+// graphs — however they were built or parsed — share a fingerprint,
+// which is the key the serving layer's engine cache (internal/serve,
+// cmd/tsgserved) uses to share one compiled engine across clients.
+func Fingerprint(g *Graph) string { return sg.Fingerprint(g) }
+
+// CanonicalArcOrder returns the permutation placing the graph's arcs
+// in the canonical (fingerprint) order: order[k] is the declaration
+// index of the arc at canonical rank k. Canonical ranks are the arc
+// index space of the serving protocol — portable between parties
+// holding structurally identical graphs in different declaration
+// orders. See client.ArcMap for the ready-made translation.
+func CanonicalArcOrder(g *Graph) []int { return sg.CanonicalArcOrder(g) }
+
 // ReadGraph parses a .tsg file (see internal/netlist for the format).
 func ReadGraph(r io.Reader) (*Graph, error) { return netlist.ReadTSG(r) }
 
