@@ -413,6 +413,44 @@ func BenchmarkWhatIfRandom2000(b *testing.B) {
 	})
 }
 
+// BenchmarkEditAnalyzeRandom2000 measures one committed single-arc
+// edit plus λ re-analysis — the edit→analyze loop of the INCR
+// experiment: the incremental engine patches its retained traces
+// through the edit's dirty cone, the NoIncremental engine re-simulates
+// all b event-initiated runs.
+func BenchmarkEditAnalyzeRandom2000(b *testing.B) {
+	g := random2000(b)
+	run := func(b *testing.B, e *tsg.Engine) {
+		if _, err := e.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			arc := i % g.NumArcs()
+			if err := e.SetDelay(arc, g.Arc(arc).Delay*1.5); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.CycleTime(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Incremental", func(b *testing.B) {
+		e, err := tsg.NewEngine(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, e)
+	})
+	b.Run("FullResim", func(b *testing.B) {
+		e, err := tsg.NewEngineOpts(g, tsg.AnalysisOptions{NoIncremental: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, e)
+	})
+}
+
 // BenchmarkBoundsRandom2000 measures the interval-delay bounds, whose
 // two extreme analyses now run concurrently on engine clones.
 func BenchmarkBoundsRandom2000(b *testing.B) {

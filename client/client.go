@@ -48,10 +48,16 @@ type (
 	WhatIfQuery = serve.WhatIfQuery
 	// WhatIfResponse is the outcome of WhatIf.
 	WhatIfResponse = serve.WhatIfResponse
+	// EngineStats mirrors the serving engine's cumulative counters.
+	EngineStats = serve.EngineStats
 	// MCRequest tunes a served Monte-Carlo run.
 	MCRequest = serve.MCRequest
 	// MCResponse is the outcome of MC.
 	MCResponse = serve.MCResponse
+	// DelayEdit is one committed delay assignment of an Edit.
+	DelayEdit = serve.DelayEdit
+	// EditResponse is the outcome of Edit.
+	EditResponse = serve.EditResponse
 	// UploadResponse is the outcome of Upload.
 	UploadResponse = serve.UploadResponse
 	// HealthResponse is the outcome of Health.
@@ -240,6 +246,33 @@ func (c *Client) Slacks(ctx context.Context, ref GraphRef) (*SlacksResponse, err
 func (c *Client) WhatIf(ctx context.Context, ref GraphRef, queries []WhatIfQuery) (*WhatIfResponse, error) {
 	var out WhatIfResponse
 	if err := c.post(ctx, "/v1/whatif", serve.WhatIfRequest{GraphRef: ref, Queries: queries}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Edit commits delay edits to the graph's server-side engine session
+// and returns λ at the new baseline — the edit→analyze loop in one
+// round trip. Edits are durable and shared: every later query of
+// every client of this fingerprint sees them, until further edits or
+// a Reset. The server answers the post-edit analysis incrementally,
+// re-propagating only the forward cone of the edited arcs through its
+// retained simulation traces; critical cycles are deliberately not
+// extracted (set serve.EditRequest.Criticals over the raw protocol,
+// or follow up with Analyze, to get them).
+func (c *Client) Edit(ctx context.Context, ref GraphRef, edits []DelayEdit) (*EditResponse, error) {
+	var out EditResponse
+	if err := c.post(ctx, "/v1/edit", serve.EditRequest{GraphRef: ref, Edits: edits}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reset restores the graph's server-side engine session to its
+// compile-time delays, then applies the given edits (if any).
+func (c *Client) Reset(ctx context.Context, ref GraphRef, edits []DelayEdit) (*EditResponse, error) {
+	var out EditResponse
+	if err := c.post(ctx, "/v1/edit", serve.EditRequest{GraphRef: ref, Edits: edits, Reset: true}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

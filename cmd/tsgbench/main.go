@@ -9,11 +9,19 @@
 //	tsgbench -run TAB8D
 //	tsgbench -run all
 //	tsgbench -run all -json > results.json
+//	tsgbench -run INCR -quick -json            # CI correctness smoke
+//	tsgbench -run PERF8B -cpuprofile cpu.out   # profile kernel hot loops
 //
 // With -json the human-readable experiment output is suppressed and a
 // JSON array of {id, title, ok, elapsed_ms[, error]} records is written
 // to stdout instead, so successive PRs can append machine-readable runs
 // to the performance trajectory (see BENCHMARKS.md).
+//
+// -quick trims experiments to smoke-test size and disables their
+// timing gates (correctness assertions stay), so CI can run them on
+// loaded shared runners. -cpuprofile/-memprofile write pprof profiles
+// covering the selected experiments — the way to see where kernel time
+// goes without editing code (see BENCHMARKS.md "Profiling").
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,17 +46,60 @@ type result struct {
 	Error     string  `json:"error,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain returns the process exit code instead of calling os.Exit
+// directly, so the deferred profile writers (-cpuprofile/-memprofile)
+// always flush, even on experiment failure.
+func realMain() int {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
 	jsonOut := flag.Bool("json", false, "write results as JSON to stdout (suppresses experiment tables)")
+	quick := flag.Bool("quick", false, "smoke-test mode: shrink experiments and drop timing gates (correctness checks stay)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+	exp.Quick = *quick
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsgbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tsgbench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tsgbench: closing CPU profile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tsgbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "tsgbench: writing heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tsgbench: closing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var selected []exp.Experiment
@@ -57,7 +110,7 @@ func main() {
 			e, ok := exp.ByID(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "tsgbench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -96,11 +149,12 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintf(os.Stderr, "tsgbench: encoding results: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "tsgbench: %d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -5,6 +5,7 @@
 //
 //	tsgtime [-algo nielsen|karp|howard|lawler|oracle] [-periods N]
 //	        [-series] [-slacks] [-sweep factor] [-dot out.dot]
+//	        [-edit arc=delay,...]
 //	        [-mc N] [-quantiles p,...] [-criticality] [-mctol tol]
 //	        [-mcseed s] [-jitter f] [-serve http://host:port] graph.tsg
 //
@@ -18,6 +19,19 @@
 // -sweep f answers "what is λ if this arc's delay were scaled by f"
 // for every arc in one sensitivity sweep, reporting the arcs that move
 // the cycle time together with the fast-path statistics.
+//
+// -edit "arc=delay,arc=delay,…" replays a batch of committed delay
+// edits against the session, REPL-style: each edit is applied in order
+// and λ is re-reported after it, exercising the paper's edit→analyze
+// loop. The engine answers each re-analysis incrementally — only the
+// forward cone of the edited arc is re-propagated through the retained
+// simulation traces (the statistics line shows full vs incremental
+// analyses). The later -slacks and -sweep reports see the edited
+// baseline; -mc does NOT — the Monte-Carlo samples are drawn from the
+// file's delay-distribution model, which is independent of committed
+// point edits (remotely it even analyses under its own fingerprint).
+// With -serve the edits commit to the shared server session for this
+// graph's fingerprint.
 //
 // -mc N runs the statistical analysis: N Monte-Carlo samples of the
 // file's delay distributions (the ~uniform(lo,hi)-style arc
@@ -56,6 +70,7 @@ func main() {
 	series := flag.Bool("series", false, "print the per-border-event distance series")
 	slacks := flag.Bool("slacks", false, "print per-arc timing slacks (nielsen only)")
 	sweep := flag.Float64("sweep", 0, "sweep every arc at delay×factor and report λ changes (nielsen only; 0 = off)")
+	edit := flag.String("edit", "", "comma-separated arc=delay commits applied in order, λ re-reported after each (nielsen only)")
 	dotOut := flag.String("dot", "", "write the graph in DOT format to this file")
 	eps := flag.Float64("eps", 1e-9, "convergence width (lawler only)")
 	mcN := flag.Int("mc", 0, "Monte-Carlo samples over the delay distributions (nielsen only; 0 = off)")
@@ -74,6 +89,10 @@ func main() {
 	}
 	if *sweep < 0 || math.IsNaN(*sweep) {
 		fmt.Fprintf(os.Stderr, "tsgtime: -sweep factor must be positive, got %g\n", *sweep)
+		os.Exit(2)
+	}
+	if *edit != "" && *algo != "nielsen" {
+		fmt.Fprintf(os.Stderr, "tsgtime: -edit supports only -algo nielsen, got %q\n", *algo)
 		os.Exit(2)
 	}
 	if *serveURL != "" {
@@ -142,6 +161,11 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *edit != "" {
+			if err := runEdits(sess, g, *edit); err != nil {
+				fatal(err)
+			}
+		}
 		if *slacks {
 			sl, err := sess.Slacks()
 			if err != nil {
@@ -202,6 +226,62 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tsgtime: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+}
+
+// runEdits parses and replays a -edit batch: each arc=delay commit is
+// applied to the session in order and λ is re-reported after it, so
+// the printed column is the trajectory of the edit→analyze loop. The
+// statistics line then shows how many of those re-analyses were
+// answered incrementally.
+func runEdits(sess session, g *tsg.Graph, spec string) error {
+	type delayEdit struct {
+		arc   int
+		delay float64
+	}
+	var edits []delayEdit
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		eq := strings.IndexByte(tok, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad -edit entry %q: want arc=delay", tok)
+		}
+		arc, err := strconv.Atoi(strings.TrimSpace(tok[:eq]))
+		if err != nil {
+			return fmt.Errorf("bad -edit arc in %q: %v", tok, err)
+		}
+		if arc < 0 || arc >= g.NumArcs() {
+			return fmt.Errorf("-edit entry %q: arc index out of range [0,%d)", tok, g.NumArcs())
+		}
+		d, err := strconv.ParseFloat(strings.TrimSpace(tok[eq+1:]), 64)
+		if err != nil {
+			return fmt.Errorf("bad -edit delay in %q: %v", tok, err)
+		}
+		if d < 0 || math.IsNaN(d) {
+			return fmt.Errorf("-edit entry %q: invalid delay %g", tok, d)
+		}
+		edits = append(edits, delayEdit{arc: arc, delay: d})
+	}
+	if len(edits) == 0 {
+		return fmt.Errorf("-edit %q contains no edits", spec)
+	}
+	tab := textio.New(fmt.Sprintf("edit→analyze loop: %d committed edits", len(edits)),
+		"#", "arc", "from", "to", "delay", "λ after commit")
+	for i, ed := range edits {
+		lam, err := sess.Edit(ed.arc, ed.delay)
+		if err != nil {
+			return fmt.Errorf("edit %d (arc %d = %g): %w", i, ed.arc, ed.delay, err)
+		}
+		a := g.Arc(ed.arc)
+		tab.AddRow(i, ed.arc, g.Event(a.From).Name, g.Event(a.To).Name, ed.delay, lam.String())
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println(sess.StatsLine())
+	return nil
 }
 
 // runSweep asks the engine "what is λ if this arc's delay were scaled

@@ -136,6 +136,39 @@ func TestServeParity(t *testing.T) {
 					t.Fatalf("criticality arc %d differs: local %v, served %v", i, lm.Criticality[i], rm.Criticality[i])
 				}
 			}
+
+			// Edit→analyze loop (what tsgtime -edit issues): identical
+			// commits on both sides must report identical λ after every
+			// step, and the post-edit slack reports must still match —
+			// both sides answer the re-analyses incrementally.
+			for step := 0; step < 3; step++ {
+				arc := (step * 5) % g.NumArcs()
+				d := g.Arc(arc).Delay + float64(step) + 0.5
+				llam, err := local.Edit(arc, d)
+				if err != nil {
+					t.Fatalf("local Edit: %v", err)
+				}
+				rlam, err := remote.Edit(arc, d)
+				if err != nil {
+					t.Fatalf("remote Edit: %v", err)
+				}
+				if !llam.Equal(rlam) {
+					t.Fatalf("edit step %d: λ differs: local %v, served %v", step, llam, rlam)
+				}
+			}
+			les, err := local.Slacks()
+			if err != nil {
+				t.Fatalf("local post-edit Slacks: %v", err)
+			}
+			res, err := remote.Slacks()
+			if err != nil {
+				t.Fatalf("remote post-edit Slacks: %v", err)
+			}
+			for i := range les {
+				if les[i] != res[i] {
+					t.Fatalf("post-edit slack %d differs: local %+v, served %+v", i, les[i], res[i])
+				}
+			}
 		})
 	}
 }

@@ -19,6 +19,11 @@ type session interface {
 	Analyze() (*tsg.Result, error)
 	Slacks() ([]tsg.ArcSlack, error)
 	Sweep(cands []tsg.WhatIf) ([]tsg.Ratio, error)
+	// Edit commits one delay edit to the session baseline and returns
+	// λ after it — every later report sees the edit. The in-process
+	// form (and the server behind the remote form) answers the
+	// post-edit analysis incrementally by dirty-cone patching.
+	Edit(arc int, delay float64) (tsg.Ratio, error)
 	MC(model *tsg.DelayModel, opts tsg.MCOptions) (*tsg.MCResult, error)
 	// StatsLine renders the statistics line printed after a sweep; the
 	// remote form reports the server engine's cumulative counters.
@@ -33,13 +38,19 @@ func (s localSession) Slacks() ([]tsg.ArcSlack, error) { return s.eng.Slacks() }
 func (s localSession) Sweep(c []tsg.WhatIf) ([]tsg.Ratio, error) {
 	return s.eng.SensitivitySweep(c)
 }
+func (s localSession) Edit(arc int, delay float64) (tsg.Ratio, error) {
+	if err := s.eng.SetDelay(arc, delay); err != nil {
+		return tsg.Ratio{}, err
+	}
+	return s.eng.CycleTime()
+}
 func (s localSession) MC(m *tsg.DelayModel, o tsg.MCOptions) (*tsg.MCResult, error) {
 	return s.eng.AnalyzeMC(m, o)
 }
 func (s localSession) StatsLine() string {
 	st := s.eng.Stats()
-	return fmt.Sprintf("engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows",
-		st.Analyses, st.FastPathHits, st.TableAnswers)
+	return fmt.Sprintf("engine: %d full analyses, %d incremental; %d answers from the slack certificate, %d from the what-if rows",
+		st.Analyses, st.IncrementalAnalyses, st.FastPathHits, st.TableAnswers)
 }
 
 // remoteSession routes queries through a tsgserved daemon: the graph
@@ -51,7 +62,7 @@ type remoteSession struct {
 	g     *tsg.Graph
 	arcs  *client.ArcMap // local declaration order <-> canonical wire indices
 	ref   client.GraphRef
-	stats client.WhatIfResponse // last what-if reply, for StatsLine
+	stats client.EngineStats // last reported server counters, for StatsLine
 }
 
 func newRemoteSession(baseURL string, g *tsg.Graph) (*remoteSession, error) {
@@ -117,12 +128,21 @@ func (s *remoteSession) Sweep(cands []tsg.WhatIf) ([]tsg.Ratio, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.stats = *res
+	s.stats = res.Stats
 	out := make([]tsg.Ratio, len(res.Lambdas))
 	for i, l := range res.Lambdas {
 		out[i] = s.lambda(l)
 	}
 	return out, nil
+}
+
+func (s *remoteSession) Edit(arc int, delay float64) (tsg.Ratio, error) {
+	res, err := s.cl.Edit(s.ctx, s.ref, []client.DelayEdit{{Arc: s.arcs.ToWire(arc), Delay: delay}})
+	if err != nil {
+		return tsg.Ratio{}, err
+	}
+	s.stats = res.Stats
+	return s.lambda(res.Lambda), nil
 }
 
 func (s *remoteSession) MC(model *tsg.DelayModel, opts tsg.MCOptions) (*tsg.MCResult, error) {
@@ -169,7 +189,7 @@ func (s *remoteSession) MC(model *tsg.DelayModel, opts tsg.MCOptions) (*tsg.MCRe
 }
 
 func (s *remoteSession) StatsLine() string {
-	st := s.stats.Stats
-	return fmt.Sprintf("server engine: %d full analyses; %d answers from the slack certificate, %d from the what-if rows",
-		st.Analyses, st.FastPathHits, st.TableAnswers)
+	st := s.stats
+	return fmt.Sprintf("server engine: %d full analyses, %d incremental; %d answers from the slack certificate, %d from the what-if rows",
+		st.Analyses, st.IncrementalAnalyses, st.FastPathHits, st.TableAnswers)
 }

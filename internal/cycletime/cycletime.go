@@ -71,6 +71,14 @@ type Options struct {
 	// the automatic pool. Takes precedence over Parallel; used by the
 	// scheduling ablation benchmarks.
 	Serial bool
+	// NoIncremental disables the incremental commit path of an Engine:
+	// the session never retains its simulation traces, and every
+	// analysis after a SetDelay/ResetDelays commit re-simulates from
+	// scratch. Results are identical either way (the differential tests
+	// pin it); this exists as the ablation baseline of the INCR
+	// experiment and as an opt-out for sessions that commit rarely and
+	// would rather not hold the retained traces' memory.
+	NoIncremental bool
 }
 
 // AutoParallelThreshold is the border-set size at which AnalyzeOpts
@@ -165,6 +173,9 @@ func AnalyzeOpts(g *sg.Graph, opts Options) (*Result, error) {
 	// result directly, skipping Engine.Analyze's defensive deep copy.
 	c, err := e.ensureResult()
 	if err != nil {
+		return nil, err
+	}
+	if err := e.ensureCriticals(c); err != nil {
 		return nil, err
 	}
 	return c.result, nil

@@ -1,6 +1,7 @@
 package cycletime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -27,7 +28,18 @@ import (
 // Query cost model:
 //
 //   - Analyze: one O(b²m) two-pass analysis, cached until delays are
-//     edited;
+//     edited. Pass 2 (winner re-simulation and critical-cycle
+//     backtracking) is lazy: λ-only queries (CycleTime) stop after
+//     pass 1, and the first Analyze/Summary/Slacks per committed
+//     baseline pays the extraction once;
+//   - SetDelay/ResetDelays (committed edits): O(1) at commit time.
+//     Once a session has committed an edit, its analyses retain the b
+//     committed traces, and every later post-commit analysis patches
+//     only the forward cone of the dirty arcs through them
+//     (timesim.Schedule.Patch) — a localized edit re-analyses λ with
+//     zero simulations, and a flooding edit is capped at about one
+//     plain re-simulation per trace by the patch bail-out. Disable
+//     with Options.NoIncremental;
 //   - Slacks: derived from the cached analysis plus one plain
 //     simulation that seeds the dual (Burns LP) solve, so the slack
 //     certificate costs O(b·m) on top of the analysis instead of an
@@ -71,6 +83,29 @@ type Engine struct {
 	cert     *certificate
 	counters *engineCounters
 
+	// Incremental commit state. A committed delay edit (SetDelay /
+	// ResetDelays) drops the certificate but records the edited arcs in
+	// pendingDirty; once the session has seen a commit (incr), analyses
+	// retain their cut-event traces in simTraces, and every later
+	// post-commit analysis patches those traces through the dirty cone
+	// (timesim.Schedule.Patch) instead of re-simulating — a localized
+	// edit re-analyses λ without running a single simulation. The
+	// traces are parentless (pass 2 is lazy and re-simulates only λ
+	// winners when critical cycles are requested). slackTrace is the
+	// committed plain simulation seeding the slack dual solve, patched
+	// alongside; rows are the per-arc what-if rows (previously
+	// certificate-owned), session-level so a commit can invalidate only
+	// the arcs inside the structural forward cone of the edit. All
+	// fields are guarded by the session lock.
+	incr         bool
+	pendingDirty []int
+	pendingSet   []bool
+	simTraces    []*timesim.Trace
+	slackTrace   *timesim.Trace
+	rows         [][]float64
+	reachMark    []bool       // scratch for the row-invalidation BFS
+	reachQueue   []sg.EventID // scratch for the row-invalidation BFS
+
 	// sweepClones are the serial worker engines reused across sweeps;
 	// created on first need, re-synced to the session's baseline delays
 	// before each use (compile once, even for the workers).
@@ -83,37 +118,29 @@ type Engine struct {
 // certificate caches the analysis of the engine's current baseline
 // delays plus the by-products the sensitivity fast paths need: the
 // certified per-arc slacks (growing an arc within its slack cannot
-// raise λ), the intersection of the cached critical cycles (shrinking
-// an arc avoided by some critical cycle cannot lower λ), and the
-// lazily-built per-arc what-if rows that answer any delay INCREASE
-// exactly in O(periods) after one initiated simulation per arc head.
+// raise λ) and the intersection of the cached critical cycles
+// (shrinking an arc avoided by some critical cycle cannot lower λ).
+// The per-arc what-if rows live on the Engine itself (Engine.rows):
+// they stay valid across a commit for every arc outside the edit's
+// forward cone, so they outlive the certificate.
 type certificate struct {
-	result     *Result
+	result *Result
+	// criticals reports that pass 2 ran: result.Critical and the
+	// series' OnCritical flags are valid. λ and the series are complete
+	// after pass 1 alone, so λ-only traffic — CycleTime, the
+	// edit→analyze loop, what-if decisions — never pays the winner
+	// backtracking; the first Analyze/Summary/Slacks runs it lazily.
+	criticals  bool
 	slacks     []ArcSlack
 	slackByArc []float64 // NaN for arcs outside the repetitive core
 	onAllCrit  []bool    // arc lies on every cached critical cycle
-
-	// rows[arc][j] is the maximum weight of an unfolded path covering j
-	// periods from the arc's head back to its tail (NaN when none),
-	// extracted from the event-initiated simulation t_head. Closing
-	// such a path with the arc itself yields every cycle through the
-	// arc, so λ after raising the arc's delay to d is
-	//
-	//	max(λ, max_j (rows[arc][j] + d) / (j + marking)),
-	//
-	// exactly: cycles avoiding the arc keep their ratio, paths from a
-	// repetitive head never leave the repetitive core (Validate forbids
-	// repetitive -> non-repetitive arcs), and any non-simple closed
-	// walk the rows include decomposes into simple cycles whose best
-	// ratio bounds it. nil per arc until built; one simulation per
-	// distinct head serves all arcs entering it.
-	rows [][]float64
 }
 
 // engineCounters is shared between an engine and its worker clones so
 // sweep statistics aggregate at the session root.
 type engineCounters struct {
 	analyses     atomic.Int64
+	incremental  atomic.Int64
 	fastPathHits atomic.Int64
 	tableHits    atomic.Int64
 }
@@ -123,6 +150,10 @@ type EngineStats struct {
 	// Analyses counts full timing-simulation analyses run by the
 	// engine, including sweep-worker and bounds-extreme analyses.
 	Analyses int64
+	// IncrementalAnalyses counts post-commit analyses answered by
+	// patching the committed traces through the edit's dirty cone
+	// instead of re-simulating (see SetDelay).
+	IncrementalAnalyses int64
 	// FastPathHits counts sensitivity queries answered from the slack
 	// certificate without simulating.
 	FastPathHits int64
@@ -205,9 +236,10 @@ func (e *Engine) Periods() int { return e.periods }
 // Stats returns a snapshot of the engine's query counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Analyses:     e.counters.analyses.Load(),
-		FastPathHits: e.counters.fastPathHits.Load(),
-		TableAnswers: e.counters.tableHits.Load(),
+		Analyses:            e.counters.analyses.Load(),
+		IncrementalAnalyses: e.counters.incremental.Load(),
+		FastPathHits:        e.counters.fastPathHits.Load(),
+		TableAnswers:        e.counters.tableHits.Load(),
 	}
 }
 
@@ -232,12 +264,18 @@ func (e *Engine) SizeHint() int64 {
 	if c := e.cert; c != nil {
 		m := int64(e.g.NumArcs())
 		sz += int64(len(c.slacks))*24 + m*9 // slackByArc + onAllCrit
-		for _, row := range c.rows {
-			sz += int64(len(row)) * 8
-		}
-		if c.rows != nil {
-			sz += m * 24 // row headers
-		}
+	}
+	for _, row := range e.rows {
+		sz += int64(len(row)) * 8
+	}
+	if e.rows != nil {
+		sz += int64(e.g.NumArcs()) * 24 // row headers
+	}
+	for _, tr := range e.simTraces {
+		sz += tr.MemEstimate()
+	}
+	if e.slackTrace != nil {
+		sz += e.slackTrace.MemEstimate()
 	}
 	for _, we := range e.sweepClones {
 		sz += we.sizeHintShallow()
@@ -262,25 +300,72 @@ func (e *Engine) sizeHintShallow() int64 {
 
 // SetDelay permanently edits the session baseline: subsequent analyses,
 // slacks, sensitivities and sweeps see the new delay. The cached
-// analysis certificate is invalidated; the compiled schedule is
-// refreshed in place (no recompile).
+// analysis certificate is invalidated, but the edit is remembered as a
+// dirty arc: once a session has committed an edit, its analyses retain
+// their simulation traces, and the first analysis after each commit
+// re-propagates only the forward cone of the dirty arcs through the
+// retained traces (bit-identical to a from-scratch analysis, typically
+// orders of magnitude cheaper for localized edits). A no-op edit (the
+// arc already has that delay) keeps the certificate. The compiled
+// schedule is refreshed in place (no recompile).
 func (e *Engine) SetDelay(arc int, delay float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if arc >= 0 && arc < e.overlay.NumArcs() && e.overlay.Delay(arc) == delay {
+		return nil
+	}
 	if err := e.overlay.SetDelay(arc, delay); err != nil {
 		return err
 	}
-	e.cert = nil
+	e.commitArc(arc)
 	return nil
 }
 
 // ResetDelays restores every arc to the delay it had when the engine
-// was compiled.
+// was compiled. Like SetDelay it is an incremental commit: only the
+// arcs that actually change become dirty.
 func (e *Engine) ResetDelays() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for i := 0; i < e.overlay.NumArcs(); i++ {
+		if e.overlay.Delay(i) != e.overlay.Nominal(i) {
+			e.commitArc(i)
+		}
+	}
 	e.overlay.Reset()
+}
+
+// commitArc records one committed baseline edit: the certificate is
+// dropped, the arc joins the pending dirty set consumed by the next
+// analysis, and (unless the session opts out) incremental mode is
+// armed so that analysis retains its traces. Callers hold the session
+// lock and have validated the arc.
+func (e *Engine) commitArc(arc int) {
 	e.cert = nil
+	if !e.opts.NoIncremental {
+		e.incr = true
+	}
+	if e.pendingSet == nil {
+		e.pendingSet = make([]bool, e.g.NumArcs())
+	}
+	if !e.pendingSet[arc] {
+		e.pendingSet[arc] = true
+		e.pendingDirty = append(e.pendingDirty, arc)
+	}
+}
+
+// drainPending consumes the committed dirty set accumulated since the
+// last analysis. Callers hold the session lock.
+func (e *Engine) drainPending() []int {
+	if len(e.pendingDirty) == 0 {
+		return nil
+	}
+	out := append([]int(nil), e.pendingDirty...)
+	for _, a := range out {
+		e.pendingSet[a] = false
+	}
+	e.pendingDirty = e.pendingDirty[:0]
+	return out
 }
 
 // Analyze runs the paper's two-pass analysis at the session's current
@@ -291,10 +376,10 @@ func (e *Engine) ResetDelays() {
 // sensitivity fast paths are derived from.
 func (e *Engine) Analyze() (*Result, error) {
 	// Warm path: the certificate already holds the analysis of the
-	// committed baseline — clone it under the shared lock so concurrent
-	// readers never serialise.
+	// committed baseline, critical cycles included — clone it under the
+	// shared lock so concurrent readers never serialise.
 	e.mu.RLock()
-	if c := e.cert; c != nil {
+	if c := e.cert; c != nil && c.criticals {
 		res := cloneResult(c.result)
 		e.mu.RUnlock()
 		return res, nil
@@ -304,6 +389,9 @@ func (e *Engine) Analyze() (*Result, error) {
 	defer e.mu.Unlock()
 	c, err := e.ensureResult()
 	if err != nil {
+		return nil, err
+	}
+	if err := e.ensureCriticals(c); err != nil {
 		return nil, err
 	}
 	return cloneResult(c.result), nil
@@ -339,7 +427,7 @@ func cloneCycles(cycs []CriticalCycle) []CriticalCycle {
 // carry.
 func (e *Engine) Summary() (stat.Ratio, []CriticalCycle, error) {
 	e.mu.RLock()
-	if c := e.cert; c != nil {
+	if c := e.cert; c != nil && c.criticals {
 		lam, cycs := c.result.CycleTime, cloneCycles(c.result.Critical)
 		e.mu.RUnlock()
 		return lam, cycs, nil
@@ -349,6 +437,9 @@ func (e *Engine) Summary() (stat.Ratio, []CriticalCycle, error) {
 	defer e.mu.Unlock()
 	c, err := e.ensureResult()
 	if err != nil {
+		return stat.Ratio{}, nil, err
+	}
+	if err := e.ensureCriticals(c); err != nil {
 		return stat.Ratio{}, nil, err
 	}
 	return c.result.CycleTime, cloneCycles(c.result.Critical), nil
@@ -434,9 +525,9 @@ func (e *Engine) whatIfShared(arc int, newDelay float64) (lam stat.Ratio, done b
 		e.counters.fastPathHits.Add(1)
 		return lam, true, nil
 	}
-	if newDelay > e.overlay.Delay(arc) && c.rows != nil && c.rows[arc] != nil {
+	if newDelay > e.overlay.Delay(arc) && e.rows != nil && e.rows[arc] != nil {
 		e.counters.tableHits.Add(1)
-		return c.answerFromRow(e.g, arc, newDelay), true, nil
+		return e.answerFromRow(c.result.CycleTime, arc, newDelay), true, nil
 	}
 	return stat.Ratio{}, false, nil
 }
@@ -492,8 +583,8 @@ func (e *Engine) sweepShared(cands []WhatIf) (out []stat.Ratio, done bool, err e
 			fast++
 			continue
 		}
-		if cd.Delay > e.overlay.Delay(cd.Arc) && c.rows != nil && c.rows[cd.Arc] != nil {
-			out[i] = c.answerFromRow(e.g, cd.Arc, cd.Delay)
+		if cd.Delay > e.overlay.Delay(cd.Arc) && e.rows != nil && e.rows[cd.Arc] != nil {
+			out[i] = e.answerFromRow(c.result.CycleTime, cd.Arc, cd.Delay)
 			table++
 			continue
 		}
@@ -541,11 +632,11 @@ func (e *Engine) sweepLocked(cands []WhatIf) ([]stat.Ratio, error) {
 		for k, i := range incr {
 			arcs[k] = cands[i].Arc
 		}
-		if err := e.ensureRows(c, arcs); err != nil {
+		if err := e.ensureRows(arcs); err != nil {
 			return nil, err
 		}
 		for _, i := range incr {
-			out[i] = c.answerFromRow(e.g, cands[i].Arc, cands[i].Delay)
+			out[i] = e.answerFromRow(c.result.CycleTime, cands[i].Arc, cands[i].Delay)
 			e.counters.tableHits.Add(1)
 		}
 	}
@@ -687,18 +778,202 @@ func (e *Engine) refreshAll() {
 	e.overlay.DrainDirty(func(int, float64) {})
 }
 
-// ensureResult returns the certificate holding the analysis of the
-// current baseline delays, running it if needed.
+// ensureResult returns the certificate holding the pass-1 analysis (λ
+// and the distance series) of the current baseline delays, running it
+// if needed. After a committed edit the retained traces, when present,
+// are patched through the dirty cone instead of re-simulating; a
+// session that has committed at least one edit starts retaining traces
+// here. Critical cycles are NOT guaranteed by this certificate —
+// callers that need them follow up with ensureCriticals.
 func (e *Engine) ensureResult() (*certificate, error) {
-	if e.cert == nil {
-		e.refresh()
-		res, err := e.runAnalysis(false)
-		if err != nil {
-			return nil, err
-		}
-		e.cert = &certificate{result: res}
+	if e.cert != nil {
+		return e.cert, nil
 	}
+	e.refresh()
+	dirty := e.drainPending()
+	e.invalidateRows(dirty)
+	var (
+		res *Result
+		err error
+	)
+	if e.simTraces != nil {
+		res, err = e.patchedAnalysis(dirty)
+	} else {
+		res, err = e.pass1Analysis(e.incr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.cert = &certificate{result: res}
 	return e.cert, nil
+}
+
+// ensureCriticals runs pass 2 (Prop. 7/8) against the certificate if
+// it has not run yet: exactly the cut-set events attaining λ lie on
+// critical cycles; each winner is re-simulated with parent tracking on
+// the bounded worker pool and backtracked (Prop. 1), and the cycles
+// deduplicated. The outcome is cached on the certificate until the
+// next commit, so a session answering λ-only traffic (the edit→analyze
+// loop) never pays it, and a session asking for critical cycles pays
+// it once per committed baseline. Callers hold the session lock.
+func (e *Engine) ensureCriticals(c *certificate) error {
+	if c.criticals {
+		return nil
+	}
+	if err := e.extractCriticals(c.result); err != nil {
+		return err
+	}
+	c.criticals = true
+	return nil
+}
+
+// extractCriticals is pass 2 (Prop. 7/8) against a pass-1 result:
+// exactly the cut-set events attaining λ lie on critical cycles; only
+// those winners are re-simulated with parent tracking, on the bounded
+// worker pool — in symmetric graphs (rings) every border event can
+// attain λ, so this pass may be as wide as pass 1 — and each is
+// backtracked (Prop. 1). Deduplication runs serially afterwards in
+// winner order, keeping Critical deterministic.
+func (e *Engine) extractCriticals(res *Result) error {
+	var winners []int
+	for i := range res.Series {
+		s := &res.Series[i]
+		if s.BestIndex == 0 || !s.Best.Equal(res.CycleTime) {
+			continue
+		}
+		s.OnCritical = true
+		winners = append(winners, i)
+	}
+	parentOpts := timesim.Options{Periods: e.periods + 1, TrackParents: true}
+	cycs := make([]*CriticalCycle, len(winners))
+	cycErrs := make([]error, len(winners))
+	runIndexed(len(winners), e.workerCount(len(winners)), func(k int) {
+		s := &res.Series[winners[k]]
+		tr, err := e.sched.RunFrom(s.Event, parentOpts)
+		if err != nil {
+			cycErrs[k] = fmt.Errorf("cycletime: re-simulating from %q: %w", e.g.Event(s.Event).Name, err)
+			return
+		}
+		cyc, err := backtrack(e.g, tr, s.Event, s.BestIndex, res.CycleTime)
+		tr.Release()
+		if err != nil {
+			cycErrs[k] = err
+			return
+		}
+		cycs[k] = cyc
+	})
+	for _, err := range cycErrs {
+		if err != nil {
+			return err
+		}
+	}
+	res.Critical = dedupeCycles(cycs)
+	return nil
+}
+
+// workerCount sizes the bounded worker pool for n independent
+// simulations under the session's scheduling options.
+func (e *Engine) workerCount(n int) int {
+	workers := 1
+	if !e.opts.Serial && (e.opts.Parallel || n >= AutoParallelThreshold) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// patchedAnalysis re-analyses after a commit without simulating: the
+// retained cut-event traces (and the slack-seed trace, when built) are
+// patched through the forward cone of the dirty arcs — each trace
+// independently, on the bounded worker pool — and the result is
+// re-assembled from them. Bit-identical to a from-scratch analysis:
+// the patched traces equal fresh parent-tracked simulations (the Patch
+// contract), and result assembly is shared with the full path.
+func (e *Engine) patchedAnalysis(dirty []int) (*Result, error) {
+	e.counters.incremental.Add(1)
+	if len(dirty) > 0 {
+		traces := e.simTraces
+		if e.slackTrace != nil {
+			traces = append(append([]*timesim.Trace(nil), traces...), e.slackTrace)
+		}
+		errs := make([]error, len(traces))
+		runIndexed(len(traces), e.workerCount(len(traces)), func(i int) {
+			errs[i] = e.sched.Patch(traces[i], dirty)
+		})
+		for _, err := range errs {
+			if err != nil {
+				// A patch failure (misuse-class only) leaves the trace set
+				// inconsistent; drop it so the next analysis re-simulates.
+				e.dropTraces()
+				return nil, fmt.Errorf("cycletime: patching committed traces: %w", err)
+			}
+		}
+	}
+	return e.resultFromTraces(e.simTraces)
+}
+
+// dropTraces releases the retained committed traces back to the
+// schedule pool. The next analysis re-simulates (and re-retains).
+func (e *Engine) dropTraces() {
+	for _, tr := range e.simTraces {
+		tr.Release()
+	}
+	e.simTraces = nil
+	if e.slackTrace != nil {
+		e.slackTrace.Release()
+		e.slackTrace = nil
+	}
+}
+
+// invalidateRows drops the what-if rows of every arc inside the
+// structural forward cone of the dirty arcs — the arcs whose tail's
+// initiated-simulation times may have moved. Rows outside the cone
+// answer exactly as before: a row is a function of path weights from
+// the arc's head to its tail, and no path reaches the tail through a
+// dirty arc unless the tail is forward-reachable from a dirty arc's
+// head. O(n+m) only when rows exist and arcs are dirty.
+func (e *Engine) invalidateRows(dirty []int) {
+	if e.rows == nil || len(dirty) == 0 {
+		return
+	}
+	if e.reachMark == nil {
+		e.reachMark = make([]bool, e.g.NumEvents())
+	}
+	queue := e.reachQueue[:0]
+	for _, ai := range dirty {
+		if to := e.g.Arc(ai).To; !e.reachMark[to] {
+			e.reachMark[to] = true
+			queue = append(queue, to)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		for _, ai := range e.g.OutArcs(queue[head]) {
+			if to := e.g.Arc(ai).To; !e.reachMark[to] {
+				e.reachMark[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	kept := 0
+	for ai, row := range e.rows {
+		if row == nil {
+			continue
+		}
+		if e.reachMark[e.g.Arc(ai).From] {
+			e.rows[ai] = nil
+		} else {
+			kept++
+		}
+	}
+	if kept == 0 {
+		e.rows = nil
+	}
+	for _, ev := range queue {
+		e.reachMark[ev] = false
+	}
+	e.reachQueue = queue[:0]
 }
 
 // ensureCert extends ensureResult with the slack certificate the
@@ -723,8 +998,21 @@ func (e *Engine) ensureCert() (*certificate, error) {
 // along every simulated constraint), and the cached critical cycles are
 // intersected for the delay-decrease fast path.
 func (e *Engine) buildCertificate(c *certificate) error {
+	// The decrease fast path intersects the critical cycles, so the
+	// lazy pass 2 must have run.
+	if err := e.ensureCriticals(c); err != nil {
+		return err
+	}
 	lam := c.result.CycleTime.Float()
-	slacks, err := e.certifySlacksAt(lam)
+	var (
+		slacks []ArcSlack
+		err    error
+	)
+	if e.incr {
+		slacks, err = e.certifySlacksSession(lam)
+	} else {
+		slacks, err = e.certifySlacksAt(lam)
+	}
 	if err != nil {
 		return err
 	}
@@ -768,6 +1056,32 @@ func (e *Engine) certifySlacksAt(lam float64) ([]ArcSlack, error) {
 	if err != nil {
 		return nil, err
 	}
+	slacks, err := e.certifySlacksFromTrace(tr, lam)
+	tr.Release()
+	return slacks, err
+}
+
+// certifySlacksSession is certifySlacksAt for incremental sessions: the
+// certifying plain simulation is retained as the session's committed
+// slack trace, and after a commit it is patched through the dirty cone
+// alongside the cut-event traces (patchedAnalysis) instead of being
+// re-run — the dual solve then reseeds from the patched times, so only
+// the cheap relaxation part of the certificate is rebuilt. Callers
+// hold the session lock.
+func (e *Engine) certifySlacksSession(lam float64) ([]ArcSlack, error) {
+	if e.slackTrace == nil {
+		tr, err := e.sched.Run(timesim.Options{Periods: e.periods + 1})
+		if err != nil {
+			return nil, err
+		}
+		e.slackTrace = tr
+	}
+	return e.certifySlacksFromTrace(e.slackTrace, lam)
+}
+
+// certifySlacksFromTrace seeds the dual solve from a plain simulation
+// at the schedule's current delays and returns the slack certificate.
+func (e *Engine) certifySlacksFromTrace(tr *timesim.Trace, lam float64) ([]ArcSlack, error) {
 	seed := make([]float64, e.g.NumEvents())
 	for _, ev := range e.g.RepetitiveEvents() {
 		best := 0.0
@@ -780,7 +1094,6 @@ func (e *Engine) certifySlacksAt(lam float64) ([]ArcSlack, error) {
 		}
 		seed[ev] = best
 	}
-	tr.Release()
 	u, err := mcr.FeasiblePotentialSeeded(e.g, lam, seed)
 	if err != nil {
 		return nil, fmt.Errorf("cycletime: certifying slacks at λ=%g: %w", lam, err)
@@ -836,14 +1149,31 @@ func fastAnswer(c *certificate, current float64, arc int, newDelay float64) (sta
 // head extracts the head→tail path-weight rows for every requested
 // in-arc of that head, and the simulations run on the bounded worker
 // pool. Rows already built are skipped, so a session sweeping
-// repeatedly amortises the simulations across sweeps.
-func (e *Engine) ensureRows(c *certificate, arcs []int) error {
-	if c.rows == nil {
-		c.rows = make([][]float64, e.g.NumArcs())
+// repeatedly amortises the simulations across sweeps — and across
+// commits: a commit invalidates only the rows inside the edit's
+// forward cone (see invalidateRows).
+//
+// rows[arc][j] is the maximum weight of an unfolded path covering j
+// periods from the arc's head back to its tail (NaN when none),
+// extracted from the event-initiated simulation t_head. Closing such a
+// path with the arc itself yields every cycle through the arc, so λ
+// after raising the arc's delay to d is
+//
+//	max(λ, max_j (rows[arc][j] + d) / (j + marking)),
+//
+// exactly: cycles avoiding the arc keep their ratio, paths from a
+// repetitive head never leave the repetitive core (Validate forbids
+// repetitive -> non-repetitive arcs), and any non-simple closed walk
+// the rows include decomposes into simple cycles whose best ratio
+// bounds it. nil per arc until built; one simulation per distinct head
+// serves all arcs entering it.
+func (e *Engine) ensureRows(arcs []int) error {
+	if e.rows == nil {
+		e.rows = make([][]float64, e.g.NumArcs())
 	}
 	byHead := map[sg.EventID][]int{}
 	for _, ai := range arcs {
-		if c.rows[ai] == nil {
+		if e.rows[ai] == nil {
 			byHead[e.g.Arc(ai).To] = append(byHead[e.g.Arc(ai).To], ai)
 		}
 	}
@@ -877,7 +1207,7 @@ func (e *Engine) ensureRows(c *certificate, arcs []int) error {
 					row[j] = math.NaN()
 				}
 			}
-			c.rows[ai] = row
+			e.rows[ai] = row
 		}
 		tr.Release()
 	})
@@ -891,15 +1221,15 @@ func (e *Engine) ensureRows(c *certificate, arcs []int) error {
 
 // answerFromRow evaluates λ after raising one arc's delay to newDelay
 // against the arc's what-if row: the best cycle through the arc closes
-// a head→tail path with the perturbed arc, everything else keeps λ.
-// Exact for newDelay >= the baseline delay.
-func (c *certificate) answerFromRow(g *sg.Graph, arc int, newDelay float64) stat.Ratio {
+// a head→tail path with the perturbed arc, everything else keeps the
+// baseline λ. Exact for newDelay >= the baseline delay.
+func (e *Engine) answerFromRow(lam stat.Ratio, arc int, newDelay float64) stat.Ratio {
 	m := 0
-	if g.Arc(arc).Marked {
+	if e.g.Arc(arc).Marked {
 		m = 1
 	}
-	best := c.result.CycleTime
-	for j, t := range c.rows[arc] {
+	best := lam
+	for j, t := range e.rows[arc] {
 		if math.IsNaN(t) || j+m == 0 {
 			continue
 		}
@@ -939,11 +1269,11 @@ func (e *Engine) whatIf(arc int, newDelay float64) (stat.Ratio, error) {
 		return lam, nil
 	}
 	if newDelay > e.overlay.Delay(arc) {
-		if err := e.ensureRows(c, []int{arc}); err != nil {
+		if err := e.ensureRows([]int{arc}); err != nil {
 			return stat.Ratio{}, err
 		}
 		e.counters.tableHits.Add(1)
-		return c.answerFromRow(e.g, arc, newDelay), nil
+		return e.answerFromRow(c.result.CycleTime, arc, newDelay), nil
 	}
 	return e.whatIfFull(arc, newDelay)
 }
@@ -961,8 +1291,14 @@ func (e *Engine) whatIfFull(arc int, newDelay float64) (stat.Ratio, error) {
 	e.refresh()
 	res, err := e.runAnalysis(true)
 	// Restore before error handling so the session baseline survives a
-	// failed analysis; the nominal delay is always valid.
-	_ = e.overlay.SetDelay(arc, old)
+	// failed analysis. The old delay was valid when it was read, so a
+	// restore failure means the session invariants are already broken;
+	// it must surface, never be discarded — a silently kept perturbation
+	// would corrupt every later answer of the session.
+	if restoreErr := e.overlay.SetDelay(arc, old); restoreErr != nil {
+		err = errors.Join(err, fmt.Errorf(
+			"cycletime: restoring baseline delay %g on arc %d after what-if: %w", old, arc, restoreErr))
+	}
 	e.refresh()
 	if err != nil {
 		return stat.Ratio{}, err
@@ -982,11 +1318,16 @@ func (e *Engine) syncedClones(n int) ([]*Engine, error) {
 		}
 		e.sweepClones = append(e.sweepClones, we)
 	}
-	for _, we := range e.sweepClones[:n] {
+	for ci, we := range e.sweepClones[:n] {
 		for i := 0; i < e.g.NumArcs(); i++ {
 			if d := e.overlay.Delay(i); we.overlay.Delay(i) != d {
 				if err := we.overlay.SetDelay(i, d); err != nil {
-					return nil, err
+					// The session delay was valid, so this clone's overlay
+					// has broken invariants and is now partially synced:
+					// drop it from the pool so no later sweep can reuse the
+					// corrupted delay state, and surface the failure.
+					e.sweepClones = append(e.sweepClones[:ci], e.sweepClones[ci+1:]...)
+					return nil, fmt.Errorf("cycletime: syncing sweep clone %d (arc %d to %g): %w", ci, i, d, err)
 				}
 			}
 		}
@@ -1022,110 +1363,135 @@ func (e *Engine) clone(serial bool) (*Engine, error) {
 }
 
 // runAnalysis executes the paper's two-pass algorithm (§VII) against
-// the compiled schedule at the schedule's current delays. With
-// lambdaOnly set it stops after pass 1 — λ and the series are complete,
-// only the critical-cycle extraction is skipped — which is what the
-// sensitivity paths use. Callers hold the session lock or own the
-// engine exclusively.
+// the compiled schedule at the schedule's current delays, without
+// touching the session's retained traces — the form the what-if,
+// bounds and Monte-Carlo paths use on temporarily perturbed delays.
+// With lambdaOnly set it stops after pass 1 — λ and the series are
+// complete, only the critical-cycle extraction is skipped. Callers
+// hold the session lock or own the engine exclusively.
 func (e *Engine) runAnalysis(lambdaOnly bool) (*Result, error) {
-	e.counters.analyses.Add(1)
-	g, cut, periods, sched := e.g, e.cut, e.periods, e.sched
-	res := &Result{Periods: periods}
-
-	// Pass 1 (Prop. 7): simulate from every cut-set event WITHOUT parent
-	// tracking — the distances only need occurrence times and
-	// reachedness, and dropping the three parent arrays roughly quarters
-	// the memory traffic. Each worker extracts the distance series and
-	// immediately returns its slab to the schedule's pool, so at most
-	// `workers` simulations' worth of memory is live at once.
-	simOpts := timesim.Options{Periods: periods + 1} // instantiations 0..periods
-	series := make([]BorderSeries, len(cut))
-	simErrs := make([]error, len(cut))
-	distSlab := make([]float64, len(cut)*periods) // one backing array for all Distances
-	simulate := func(i int) {
-		tr, err := sched.RunFrom(cut[i], simOpts)
-		if err != nil {
-			simErrs[i] = err
-			return
-		}
-		series[i] = extractSeries(tr, cut[i], periods, distSlab[i*periods:(i+1)*periods:(i+1)*periods])
-		tr.Release()
+	res, err := e.pass1Analysis(false)
+	if err != nil {
+		return nil, err
 	}
-	workers := 1
-	if !e.opts.Serial && (e.opts.Parallel || len(cut) >= AutoParallelThreshold) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	runIndexed(len(cut), workers, simulate)
-	best := stat.Ratio{Num: -1, Den: 1}
-	for i, ev := range cut {
-		if simErrs[i] != nil {
-			return nil, fmt.Errorf("cycletime: simulating from %q: %w", g.Event(ev).Name, simErrs[i])
-		}
-		if best.Less(series[i].Best) {
-			best = series[i].Best
-		}
-	}
-	res.Series = series
-	if best.Num < 0 {
-		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
-			periods, g.EventNames(cut))
-	}
-	res.CycleTime = best.Normalize()
 	if lambdaOnly {
 		return res, nil
 	}
-
-	// Pass 2 (Prop. 7/8): exactly the cut-set events attaining λ lie on
-	// critical cycles. Re-simulate only those winners with parent
-	// tracking and backtrack each (Prop. 1), on the same worker pool —
-	// in symmetric graphs (rings) every border event can attain λ, so
-	// this pass may be as wide as pass 1. Deduplication runs serially
-	// afterwards in winner order, keeping Critical deterministic.
-	parentOpts := simOpts
-	parentOpts.TrackParents = true
-	var winners []int
-	for i := range res.Series {
-		s := &res.Series[i]
-		if s.BestIndex == 0 || !s.Best.Equal(best) {
-			continue
-		}
-		s.OnCritical = true
-		winners = append(winners, i)
+	if err := e.extractCriticals(res); err != nil {
+		return nil, err
 	}
-	cycs := make([]*CriticalCycle, len(winners))
-	cycErrs := make([]error, len(winners))
-	runIndexed(len(winners), workers, func(w int) {
-		s := &res.Series[winners[w]]
-		tr, err := sched.RunFrom(s.Event, parentOpts)
-		if err != nil {
-			cycErrs[w] = fmt.Errorf("cycletime: re-simulating from %q: %w", g.Event(s.Event).Name, err)
-			return
-		}
-		cyc, err := backtrack(g, tr, s.Event, s.BestIndex, best)
-		tr.Release()
-		if err != nil {
-			cycErrs[w] = err
-			return
-		}
-		cycs[w] = cyc
-	})
-	var anchors []int // least-rotation anchor of each cycle in res.Critical
-	for w := range winners {
-		if cycErrs[w] != nil {
-			return nil, cycErrs[w]
-		}
-		cStart := leastRotation(cycs[w].Arcs)
+	return res, nil
+}
+
+// dedupeCycles collapses rotation-equal cycles, keeping first-seen
+// (winner) order — shared by the full and patched analysis paths so
+// both produce identical Critical lists.
+func dedupeCycles(cycs []*CriticalCycle) []CriticalCycle {
+	var out []CriticalCycle
+	var anchors []int // least-rotation anchor of each cycle in out
+	for _, cyc := range cycs {
+		cStart := leastRotation(cyc.Arcs)
 		dup := false
-		for k := range res.Critical {
-			if sameCycle(&res.Critical[k], anchors[k], cycs[w], cStart) {
+		for k := range out {
+			if sameCycle(&out[k], anchors[k], cyc, cStart) {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			res.Critical = append(res.Critical, *cycs[w])
+			out = append(out, *cyc)
 			anchors = append(anchors, cStart)
 		}
 	}
-	return res, nil
+	return out
+}
+
+// pass1Analysis runs pass 1 of the session analysis (Prop. 7): the b
+// event-initiated simulations and their distance series, yielding λ.
+// With retain set the simulations are kept as the session's committed
+// traces, which later post-commit analyses patch in place. Retained
+// traces deliberately do NOT track parents — patches and their flood
+// bail-outs then move a third of the memory, and the lazy pass 2
+// re-simulates only the λ winners with parents when critical cycles
+// are actually requested. Without retain each trace's slab is returned
+// to the pool as soon as its series is extracted (at most `workers`
+// simulations of memory live at once). Callers hold the session lock.
+func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
+	e.counters.analyses.Add(1)
+	cut := e.cut
+	simOpts := timesim.Options{Periods: e.periods + 1}
+	workers := e.workerCount(len(cut))
+	if retain {
+		traces := make([]*timesim.Trace, len(cut))
+		simErrs := make([]error, len(cut))
+		runIndexed(len(cut), workers, func(i int) {
+			traces[i], simErrs[i] = e.sched.RunFrom(cut[i], simOpts)
+		})
+		release := func() {
+			for _, tr := range traces {
+				if tr != nil {
+					tr.Release()
+				}
+			}
+		}
+		for i, err := range simErrs {
+			if err != nil {
+				release()
+				return nil, fmt.Errorf("cycletime: simulating from %q: %w", e.g.Event(cut[i]).Name, err)
+			}
+		}
+		res, err := e.resultFromTraces(traces)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		e.simTraces = traces
+		return res, nil
+	}
+	series := make([]BorderSeries, len(cut))
+	simErrs := make([]error, len(cut))
+	distSlab := make([]float64, len(cut)*e.periods)
+	runIndexed(len(cut), workers, func(i int) {
+		tr, err := e.sched.RunFrom(cut[i], simOpts)
+		if err != nil {
+			simErrs[i] = err
+			return
+		}
+		series[i] = extractSeries(tr, cut[i], e.periods, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
+		tr.Release()
+	})
+	for i, err := range simErrs {
+		if err != nil {
+			return nil, fmt.Errorf("cycletime: simulating from %q: %w", e.g.Event(cut[i]).Name, err)
+		}
+	}
+	return e.assembleSeries(series)
+}
+
+// resultFromTraces assembles the pass-1 Result from committed
+// cut-event traces without simulating: series extraction plus λ. The
+// traces are bit-identical to what a from-scratch pass 1 would
+// simulate, so the Result is too.
+func (e *Engine) resultFromTraces(traces []*timesim.Trace) (*Result, error) {
+	series := make([]BorderSeries, len(e.cut))
+	distSlab := make([]float64, len(e.cut)*e.periods)
+	for i, ev := range e.cut {
+		series[i] = extractSeries(traces[i], ev, e.periods, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
+	}
+	return e.assembleSeries(series)
+}
+
+// assembleSeries folds the per-cut-event series into a pass-1 Result.
+func (e *Engine) assembleSeries(series []BorderSeries) (*Result, error) {
+	best := stat.Ratio{Num: -1, Den: 1}
+	for i := range series {
+		if best.Less(series[i].Best) {
+			best = series[i].Best
+		}
+	}
+	if best.Num < 0 {
+		return nil, fmt.Errorf("cycletime: no cut-set event re-occurred within %d periods; graph has no cycles through %v",
+			e.periods, e.g.EventNames(e.cut))
+	}
+	return &Result{Periods: e.periods, Series: series, CycleTime: best.Normalize()}, nil
 }

@@ -22,6 +22,14 @@ type Experiment struct {
 	Run func(w io.Writer) error
 }
 
+// Quick trims experiments to smoke-test size: fewer iterations and no
+// timing gates, keeping only the correctness assertions. CI sets it
+// (tsgbench -quick) so the experiment harness can run on loaded shared
+// runners without flaking on wall-clock expectations; the recorded
+// BENCH numbers always come from full (non-quick) runs. Set before
+// running experiments; experiments read it, never write it.
+var Quick bool
+
 var registry = map[string]Experiment{}
 
 func register(e Experiment) {

@@ -276,6 +276,31 @@ func (c *Cache) evictLocked(keep *Entry) {
 	}
 }
 
+// AggregateEngineStats sums the query counters of every resident
+// engine — the serving layer's view of how much analysis work was
+// simulated in full versus answered by incremental dirty-cone
+// patching or the certificate fast paths. Counters of evicted engines
+// leave the aggregate, so expose it as a gauge, not a counter. Engine
+// stats are read outside the cache mutex (they take each engine's
+// session lock).
+func (c *Cache) AggregateEngineStats() cycletime.EngineStats {
+	c.mu.Lock()
+	engines := make([]*cycletime.Engine, 0, len(c.entries))
+	for _, ent := range c.entries {
+		engines = append(engines, ent.Engine)
+	}
+	c.mu.Unlock()
+	var out cycletime.EngineStats
+	for _, eng := range engines {
+		st := eng.Stats()
+		out.Analyses += st.Analyses
+		out.IncrementalAnalyses += st.IncrementalAnalyses
+		out.FastPathHits += st.FastPathHits
+		out.TableAnswers += st.TableAnswers
+	}
+	return out
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -3,8 +3,10 @@
 // fingerprints, singleflight compile deduplication so concurrent first
 // requests for a graph trigger exactly one compile, and a JSON-over-
 // HTTP protocol for the paper's interactive queries — analyze, slacks,
-// batched what-ifs, Monte-Carlo — so thousands of clients asking about
-// the same graph share one compiled engine and its warm certificate.
+// batched what-ifs, Monte-Carlo, committed edits (POST /v1/edit, the
+// edit→analyze loop on a shared session) — so thousands of clients
+// asking about the same graph share one compiled engine and its warm
+// certificate.
 // cmd/tsgserved wraps the handler in a daemon; the client package
 // speaks the protocol from Go.
 //
@@ -112,9 +114,10 @@ type WhatIfRequest struct {
 
 // EngineStats mirrors the engine's query counters on the wire.
 type EngineStats struct {
-	Analyses     int64 `json:"analyses"`
-	FastPathHits int64 `json:"fast_path_hits"`
-	TableAnswers int64 `json:"table_answers"`
+	Analyses            int64 `json:"analyses"`
+	IncrementalAnalyses int64 `json:"incremental_analyses"`
+	FastPathHits        int64 `json:"fast_path_hits"`
+	TableAnswers        int64 `json:"table_answers"`
 }
 
 // WhatIfResponse is the outcome of POST /v1/whatif: one λ per query,
@@ -123,6 +126,51 @@ type WhatIfResponse struct {
 	Fingerprint string      `json:"fingerprint"`
 	Lambdas     []Lambda    `json:"lambdas"`
 	Stats       EngineStats `json:"stats"`
+}
+
+// DelayEdit is one committed delay assignment of an edit request.
+// Arc is a canonical rank, like every arc index on the wire.
+type DelayEdit struct {
+	Arc   int     `json:"arc"`
+	Delay float64 `json:"delay"`
+}
+
+// EditRequest commits delay edits to the graph's resident engine —
+// the server half of the paper's edit→analyze loop. Unlike what-if
+// queries, edits are durable and compose: they move the session
+// baseline that every later query of every client of this fingerprint
+// sees, until further edits or a reset. Reset restores the engine's
+// compile-time delays before the edits (if any) are applied. The
+// response carries λ at the new baseline; the analysis behind it is
+// incremental — the engine re-propagates only the forward cone of the
+// edited arcs through its retained simulation traces.
+//
+// Note the fingerprint still names the graph as uploaded: an edited
+// engine's current delays diverge from the upload until reset. The
+// fingerprint is a session handle here, not a content proof.
+type EditRequest struct {
+	GraphRef
+	Edits []DelayEdit `json:"edits,omitempty"`
+	Reset bool        `json:"reset,omitempty"`
+	// Criticals additionally returns the critical cycles at the edited
+	// baseline. Off by default: extracting them forces the engine's
+	// lazy pass 2 (parent-tracked winner re-simulation) on every edit,
+	// while the λ-only answer keeps the loop simulation-free for
+	// localized edits.
+	Criticals bool `json:"criticals,omitempty"`
+}
+
+// EditResponse is the outcome of POST /v1/edit: λ at the edited
+// baseline (plus the critical cycles when requested), and the serving
+// engine's cumulative statistics (Analyses vs IncrementalAnalyses
+// shows the edit being answered by dirty-cone patching rather than
+// re-simulation).
+type EditResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	Applied     int             `json:"applied"`
+	Lambda      Lambda          `json:"lambda"`
+	Critical    []CriticalCycle `json:"critical,omitempty"`
+	Stats       EngineStats     `json:"stats"`
 }
 
 // MCRequest asks for a Monte-Carlo cycle-time analysis over the

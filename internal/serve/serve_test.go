@@ -292,6 +292,124 @@ func TestServerCrossDeclarationOrder(t *testing.T) {
 	}
 }
 
+// TestServerEdit drives the edit→analyze loop over HTTP: committed
+// edits move the shared session baseline for every later query, the
+// post-edit λ matches an in-process analysis of the edited graph, the
+// analyses are incremental (the stats split pins it), and reset
+// restores the upload.
+func TestServerEdit(t *testing.T) {
+	g, err := gen.Stack(7)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var up UploadResponse
+	resp, err := srv.Client().Post(srv.URL+"/v1/graphs", "text/plain", strings.NewReader(tsgText(t, g)))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatalf("decoding upload: %v", err)
+	}
+	resp.Body.Close()
+	ref := GraphRef{Fingerprint: up.Fingerprint}
+
+	// Warm the engine, then commit a few edits and pin each λ against
+	// the in-process analysis of the accumulated edits.
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: ref}, nil, http.StatusOK)
+	order := sg.CanonicalArcOrder(g)
+	cur := g
+	var lastStats EngineStats
+	for step, wireArc := range []int{0, 3, 0, 7} {
+		d := cur.Arc(order[wireArc]).Delay + float64(step) + 1.5
+		// Critical cycles only on request (the λ-only default keeps the
+		// loop simulation-free); alternate to cover both forms.
+		wantCrit := step%2 == 1
+		var er EditResponse
+		postJSON(t, srv, "/v1/edit",
+			EditRequest{GraphRef: ref, Edits: []DelayEdit{{Arc: wireArc, Delay: d}}, Criticals: wantCrit},
+			&er, http.StatusOK)
+		if cur, err = cur.WithArcDelay(order[wireArc], d); err != nil {
+			t.Fatalf("WithArcDelay: %v", err)
+		}
+		want, err := cycletime.Analyze(cur)
+		if err != nil {
+			t.Fatalf("oracle Analyze: %v", err)
+		}
+		if er.Lambda.Text != want.CycleTime.Normalize().String() {
+			t.Fatalf("step %d: edited λ = %s, want %v", step, er.Lambda.Text, want.CycleTime)
+		}
+		if er.Applied != 1 {
+			t.Fatalf("step %d: applied = %d, want 1", step, er.Applied)
+		}
+		if gotCrit := len(er.Critical) > 0; gotCrit != wantCrit {
+			t.Fatalf("step %d: criticals present = %v, requested %v", step, gotCrit, wantCrit)
+		}
+		if wantCrit && len(er.Critical) != len(want.Critical) {
+			t.Fatalf("step %d: %d critical cycles, want %d", step, len(er.Critical), len(want.Critical))
+		}
+		lastStats = er.Stats
+	}
+	if lastStats.IncrementalAnalyses == 0 {
+		t.Errorf("edit loop never used the incremental path: stats %+v", lastStats)
+	}
+	// Later plain queries see the edited baseline…
+	var ar AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: ref}, &ar, http.StatusOK)
+	want, err := cycletime.Analyze(cur)
+	if err != nil {
+		t.Fatalf("oracle Analyze: %v", err)
+	}
+	if ar.Lambda.Text != want.CycleTime.Normalize().String() {
+		t.Fatalf("post-edit analyze λ = %s, want %v", ar.Lambda.Text, want.CycleTime)
+	}
+	// …and reset restores the upload.
+	var rr EditResponse
+	postJSON(t, srv, "/v1/edit", EditRequest{GraphRef: ref, Reset: true}, &rr, http.StatusOK)
+	base, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatalf("base Analyze: %v", err)
+	}
+	if rr.Lambda.Text != base.CycleTime.Normalize().String() {
+		t.Fatalf("reset λ = %s, want %v", rr.Lambda.Text, base.CycleTime)
+	}
+	// The metrics split reports the incremental analyses.
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var mb bytes.Buffer
+	if _, err := mb.ReadFrom(mresp.Body); err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	mresp.Body.Close()
+	metrics := mb.String()
+	for _, want := range []string{
+		"tsgserve_queries_total{endpoint=\"edit\"} 5",
+		"tsgserve_engine_analyses{mode=\"full\"}",
+		"tsgserve_engine_analyses{mode=\"incremental\"}",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Edit validation and pass-through behavior.
+	postJSON(t, srv, "/v1/edit", EditRequest{GraphRef: ref}, nil, http.StatusBadRequest)
+	postJSON(t, srv, "/v1/edit",
+		EditRequest{GraphRef: ref, Edits: []DelayEdit{{Arc: 9999, Delay: 1}}}, nil, http.StatusBadRequest)
+	postJSON(t, srv, "/v1/edit",
+		EditRequest{GraphRef: ref, Edits: []DelayEdit{{Arc: 0, Delay: -1}}}, nil, http.StatusBadRequest)
+	passthrough := httptest.NewServer(New(Config{CacheBytes: -1}))
+	defer passthrough.Close()
+	postJSON(t, passthrough, "/v1/edit",
+		EditRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}, Edits: []DelayEdit{{Arc: 0, Delay: 1}}},
+		nil, http.StatusServiceUnavailable)
+}
+
 func TestServerErrors(t *testing.T) {
 	s := New(Config{})
 	srv := httptest.NewServer(s)

@@ -51,10 +51,11 @@ const (
 	epWhatIf
 	epMC
 	epUpload
+	epEdit
 	endpoints
 )
 
-var endpointNames = [endpoints]string{"analyze", "slacks", "whatif", "mc", "upload"}
+var endpointNames = [endpoints]string{"analyze", "slacks", "whatif", "mc", "upload", "edit"}
 
 // New returns a Server ready to serve the protocol.
 func New(cfg Config) *Server {
@@ -77,6 +78,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/slacks", s.handleSlacks)
 	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
+	s.mux.HandleFunc("POST /v1/edit", s.handleEdit)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -352,8 +354,98 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	for i, lam := range lams {
 		resp.Lambdas[i] = wireLambda(lam)
 	}
-	st := ent.Engine.Stats()
-	resp.Stats = EngineStats{Analyses: st.Analyses, FastPathHits: st.FastPathHits, TableAnswers: st.TableAnswers}
+	resp.Stats = wireStats(ent.Engine.Stats())
+	s.writeJSON(w, resp)
+}
+
+// wireStats converts engine counters to their wire form.
+func wireStats(st cycletime.EngineStats) EngineStats {
+	return EngineStats{
+		Analyses:            st.Analyses,
+		IncrementalAnalyses: st.IncrementalAnalyses,
+		FastPathHits:        st.FastPathHits,
+		TableAnswers:        st.TableAnswers,
+	}
+}
+
+// handleEdit commits delay edits to the graph's resident engine and
+// returns λ at the new baseline — the server half of the edit→analyze
+// loop. Edits are durable session state; in pass-through mode (cache
+// disabled) there is no session to edit, so the request fails loudly,
+// like uploads do.
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	s.queries[epEdit].Add(1)
+	if s.cache.Disabled() {
+		s.writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: "the engine cache is disabled on this server; edits need a resident engine session"})
+		return
+	}
+	var req EditRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Edits) == 0 && !req.Reset {
+		s.writeError(w, badRequest("edit request commits no edits and no reset"))
+		return
+	}
+	ent, _, err := s.resolve(req.GraphRef)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	for i, ed := range req.Edits {
+		if ed.Arc < 0 || ed.Arc >= len(ent.Canon) {
+			s.writeError(w, badRequest("edit %d: arc index %d out of range [0,%d)", i, ed.Arc, len(ent.Canon)))
+			return
+		}
+		if ed.Delay < 0 || math.IsNaN(ed.Delay) {
+			s.writeError(w, badRequest("edit %d: invalid delay %g", i, ed.Delay))
+			return
+		}
+	}
+	// Edits are fully validated; failures past this point are 500s.
+	if req.Reset {
+		ent.Engine.ResetDelays()
+	}
+	for _, ed := range req.Edits {
+		if err := ent.Engine.SetDelay(ent.Canon[ed.Arc], ed.Delay); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	// λ-only by default: CycleTime stops after pass 1, so a localized
+	// edit is answered without any simulation; Criticals opts into the
+	// winner re-simulation of the lazy pass 2.
+	resp := EditResponse{Fingerprint: ent.Key, Applied: len(req.Edits)}
+	if req.Criticals {
+		lam, critical, err := ent.Engine.Summary()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Lambda = wireLambda(lam)
+		for _, c := range critical {
+			arcs := make([]int, len(c.Arcs))
+			for i, a := range c.Arcs {
+				arcs[i] = ent.Rank[a]
+			}
+			resp.Critical = append(resp.Critical, CriticalCycle{
+				Events: ent.Graph.EventNames(c.Events),
+				Arcs:   arcs,
+				Length: c.Length,
+				Period: c.Period,
+			})
+		}
+	} else {
+		lam, err := ent.Engine.CycleTime()
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Lambda = wireLambda(lam)
+	}
+	resp.Stats = wireStats(ent.Engine.Stats())
 	s.writeJSON(w, resp)
 }
 
@@ -478,6 +570,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "tsgserve_engine_cache_entries %d\n", st.Entries)
 	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_bytes gauge\n")
 	fmt.Fprintf(&b, "tsgserve_engine_cache_bytes %d\n", st.Bytes)
+	es := s.cache.AggregateEngineStats()
+	fmt.Fprintf(&b, "# HELP tsgserve_engine_analyses Analyses run by resident engines, split by mode: full re-simulation vs incremental dirty-cone patching after a committed edit. Gauge: evicted engines leave the aggregate.\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_analyses gauge\n")
+	fmt.Fprintf(&b, "tsgserve_engine_analyses{mode=\"full\"} %d\n", es.Analyses)
+	fmt.Fprintf(&b, "tsgserve_engine_analyses{mode=\"incremental\"} %d\n", es.IncrementalAnalyses)
+	fmt.Fprintf(&b, "# TYPE tsgserve_engine_fast_path_answers gauge\n")
+	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"certificate\"} %d\n", es.FastPathHits)
+	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"whatif_row\"} %d\n", es.TableAnswers)
 	fmt.Fprintf(&b, "# TYPE tsgserve_uptime_seconds gauge\n")
 	fmt.Fprintf(&b, "tsgserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	_, _ = io.WriteString(w, b.String())

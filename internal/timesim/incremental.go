@@ -1,0 +1,304 @@
+package timesim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"tsg/internal/sg"
+)
+
+// Patch is the incremental re-simulation kernel: it updates a finished
+// trace in place so that it becomes bit-identical to a fresh Run (or
+// RunFrom, for event-initiated traces) of the schedule at its CURRENT
+// delay columns, given that the trace was produced at delay columns
+// that differ only on the listed dirty arcs.
+//
+// The algorithm re-propagates only the forward cone of the dirty arc
+// heads. The worklist is one bitset per period over topological
+// positions, swept in ascending bit order — exactly the (period, topo)
+// evaluation order of the full kernel; every set position is
+// recomputed with the same per-class record scan as Run — same record
+// order, same comparison association, same first-max-wins parent
+// selection — against rows whose already-final entries are either
+// untouched (outside the cone) or previously recomputed (inside it, at
+// a smaller position). An instantiation whose recomputed time equals
+// its old value bitwise stops the expansion: its successors read only
+// the time, so nothing downstream can change. Parent pointers, when
+// the trace tracks them, are rewritten on every recomputation but
+// never propagate on their own — a changed parent with an unchanged
+// time is a local repair. Same-period propagation only ever targets
+// positions after the sweep cursor (unmarked arcs respect the topo
+// order), and marked arcs target later periods, so the sweep never
+// misses a queued position.
+//
+// Reachedness is structural: which instantiations exist and which are
+// preceded by the origin depends only on the graph and the origin,
+// never on delays, so the trace's reached bitset (and its NaN holes)
+// are read but never written.
+//
+// Cost: O(periods · n/64) to sweep the bitset words plus the record
+// scans of the cone members — for a localized edit a small fraction of
+// the O(periods·m) full run. An edit whose cone floods the unfolding
+// would cost MORE than a full run patched node by node (each changed
+// node pays an out-arc scan and worklist bookkeeping on top of the
+// in-record scan), so the patch watches its own cone: past
+// patchBailFraction of the instantiations it abandons the worklist and
+// simply re-evaluates every row in place with the straight kernel —
+// bit-identical either way, and the worst case is capped at one plain
+// simulation.
+//
+// The trace must have been produced by this schedule and not yet
+// released; callers must serialise Patch with Run/RunFrom/refreshes on
+// the same trace, but patches of DIFFERENT traces may run concurrently
+// (each Patch draws private scratch from a pool).
+func (s *Schedule) Patch(tr *Trace, dirty []int) error {
+	if tr.sched != s {
+		return fmt.Errorf("timesim: Patch on a trace from a different schedule")
+	}
+	if tr.slab == nil {
+		return fmt.Errorf("timesim: Patch on a released trace")
+	}
+	n := s.n
+	P := tr.periods
+	ps := s.acquirePatch(P, n)
+	defer s.patchPool.Put(ps)
+
+	// Validate before seeding any bits, so an error return cannot pool
+	// the scratch with pending bits set (its contract is empty bitsets
+	// between patches).
+	for _, ai := range dirty {
+		if ai < 0 || ai >= len(s.rec0) {
+			return fmt.Errorf("timesim: dirty arc %d out of range [0,%d)", ai, len(s.rec0))
+		}
+	}
+	// Seed the worklist: every instantiation whose in-record delay
+	// column changed, in every period class the arc has a record in.
+	for _, ai := range dirty {
+		to := s.arcTo[ai]
+		if s.rec0[ai] >= 0 {
+			ps.set(0, int(s.pos0[to]))
+		}
+		if P > 1 && s.rec1[ai] >= 0 {
+			ps.set(1, int(s.posR[to]))
+		}
+		if s.recS[ai] >= 0 {
+			for p := 2; p < P; p++ {
+				ps.set(p, int(s.posR[to]))
+			}
+		}
+	}
+
+	initiated := tr.origin != sg.None
+	parents := tr.parentEvent != nil
+	// The flood budget: beyond this many recomputations, re-evaluating
+	// the remaining rows outright is cheaper than worklist propagation.
+	budget := (len(s.order) + (P-1)*len(s.orderR)) / patchBailFraction
+	for p := 0; p < P; p++ {
+		pend := ps.pend[p*ps.words : (p+1)*ps.words]
+		for w := 0; w < ps.words; w++ {
+			for pend[w] != 0 {
+				if budget--; budget < 0 {
+					ps.clear()
+					s.reevaluate(tr, p, initiated, parents)
+					return nil
+				}
+				b := pend[w] & (-pend[w])
+				pend[w] &^= b
+				pos := w<<6 + bits.TrailingZeros64(b)
+				var changed bool
+				var f sg.EventID
+				if p == 0 {
+					f = s.order[pos]
+					changed = s.repatch0(tr, pos, initiated, parents)
+				} else {
+					f = s.orderR[pos]
+					changed = s.repatch(tr, p, pos, initiated, parents)
+				}
+				if !changed {
+					continue
+				}
+				// Forward the change to every successor instantiation
+				// that exists within the simulated horizon. The
+				// record-class inverse columns double as the existence
+				// test of §IV.A: an arc has a class record exactly when
+				// it constrains the target period.
+				for _, ai := range s.g.OutArcs(f) {
+					t := p + int(s.arcMark[ai])
+					if t >= P {
+						continue
+					}
+					switch {
+					case t == 0:
+						if s.rec0[ai] >= 0 {
+							ps.set(0, int(s.pos0[s.arcTo[ai]]))
+						}
+					case t == 1:
+						if s.rec1[ai] >= 0 {
+							ps.set(1, int(s.posR[s.arcTo[ai]]))
+						}
+					default:
+						if s.recS[ai] >= 0 {
+							ps.set(t, int(s.posR[s.arcTo[ai]]))
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// patchBailFraction tunes the flood bail-out: a patch abandons its
+// worklist once it has recomputed more than 1/patchBailFraction of the
+// trace's instantiations. Worklist propagation costs roughly two to
+// three times the straight kernel's per-node work (out-arc scan +
+// bitset bookkeeping on top of the in-record scan), so a flood that
+// bails after 1/8 of the instantiations has wasted about a third of
+// one plain evaluation before switching to it — while cones an order
+// of magnitude smaller than the unfolding (the localized-edit case the
+// kernel exists for) never hit the budget.
+const patchBailFraction = 8
+
+// reevaluate abandons an in-flight patch: every row from period p on
+// is re-evaluated in place with the straight kernel loops. Rows before
+// p are already final (the worklist sweep finishes a period before
+// entering the next). Reached bits are structural and already set, and
+// the kernel rewrites every row cell and every tracked parent entry,
+// so the trace is bit-identical to a fresh run.
+func (s *Schedule) reevaluate(tr *Trace, p int, initiated, parents bool) {
+	if p == 0 {
+		s.runPeriod0(tr, initiated, parents)
+		p = 1
+	}
+	if p == 1 && tr.periods > 1 {
+		s.runPeriod(tr, 1, s.off1, s.src1, s.del1, s.mark1, s.arc1, initiated, parents)
+		p = 2
+	}
+	for ; p < tr.periods; p++ {
+		s.runPeriod(tr, p, s.offS, s.srcS, s.delS, s.markS, s.arcS, initiated, parents)
+	}
+}
+
+// repatch0 recomputes one period-0 instantiation — the single-event
+// body of runPeriod0 — and reports whether its time changed.
+func (s *Schedule) repatch0(tr *Trace, pos int, initiated, parents bool) bool {
+	f := s.order[pos]
+	times := tr.times
+	best := math.Inf(-1)
+	bestE := sg.None
+	var bestArc int32 = -1
+	any := false
+	for r := s.off0[pos]; r < s.off0[pos+1]; r++ {
+		src := int(s.src0[r])
+		if initiated && !bitGet(tr.reached, src) {
+			continue
+		}
+		any = true
+		if v := times[src] + s.del0[r]; v > best {
+			best = v
+			bestE = s.src0[r]
+			bestArc = s.arc0[r]
+		}
+	}
+	if (initiated && f == tr.origin) || !any {
+		// Pinned to 0 by definition or structure — delay-independent.
+		return false
+	}
+	fi := int(f)
+	changed := times[fi] != best
+	times[fi] = best
+	if parents {
+		tr.parentEvent[fi] = bestE
+		tr.parentPeriod[fi] = 0
+		tr.parentArc[fi] = bestArc
+	}
+	return changed
+}
+
+// repatch recomputes one instantiation of a period >= 1 — the
+// single-event body of runPeriod — and reports whether its time
+// changed.
+func (s *Schedule) repatch(tr *Trace, p, pos int, initiated, parents bool) bool {
+	off, src, del, mark, arc := s.offS, s.srcS, s.delS, s.markS, s.arcS
+	if p == 1 {
+		off, src, del, mark, arc = s.off1, s.src1, s.del1, s.mark1, s.arc1
+	}
+	n := s.n
+	base := p * n
+	times := tr.times
+	f := s.orderR[pos]
+	best := math.Inf(-1)
+	bestE := sg.None
+	var bestP, bestArc int32 = -1, -1
+	any := false
+	for r := off[pos]; r < off[pos+1]; r++ {
+		sb := base - int(mark[r])*n + int(src[r])
+		if initiated && !bitGet(tr.reached, sb) {
+			continue
+		}
+		any = true
+		if v := times[sb] + del[r]; v > best {
+			best = v
+			bestE = src[r]
+			bestP = int32(p) - mark[r]
+			bestArc = arc[r]
+		}
+	}
+	if !any {
+		return false
+	}
+	fi := base + int(f)
+	changed := times[fi] != best
+	times[fi] = best
+	if parents {
+		tr.parentEvent[fi] = bestE
+		tr.parentPeriod[fi] = bestP
+		tr.parentArc[fi] = bestArc
+	}
+	return changed
+}
+
+// patchScratch is the private working memory of one Patch: one pending
+// bitset per period over topological positions. Setting a bit queues
+// an instantiation (idempotently); the sweep clears each bit before
+// recomputing, so a finished patch leaves the bitsets empty for the
+// next acquisition.
+type patchScratch struct {
+	pend  []uint64 // periods × words, all zero between patches
+	words int      // words per period
+}
+
+// set queues position pos of period p.
+func (ps *patchScratch) set(p, pos int) {
+	ps.pend[p*ps.words+pos>>6] |= 1 << (uint(pos) & 63)
+}
+
+// clear resets every pending bit (the bail-out path; a completed sweep
+// leaves the bitsets empty on its own).
+func (ps *patchScratch) clear() {
+	clear(ps.pend)
+}
+
+// acquirePatch prepares pooled patch scratch for periods × n keys.
+func (s *Schedule) acquirePatch(periods, n int) *patchScratch {
+	ps, _ := s.patchPool.Get().(*patchScratch)
+	words := (n + 63) >> 6
+	need := periods * words
+	if ps == nil || ps.words != words || len(ps.pend) < need {
+		ps = &patchScratch{pend: make([]uint64, need), words: words}
+	}
+	return ps
+}
+
+// MemEstimate returns the approximate heap bytes of the trace's
+// retained slabs: the times rows plus, when present, the reached
+// bitset and the three parent arrays. Session layers retaining
+// committed traces for incremental re-simulation account them with
+// this (see cycletime.Engine.SizeHint).
+func (tr *Trace) MemEstimate() int64 {
+	sz := int64(len(tr.times)) * 8
+	sz += int64(len(tr.reached)) * 8
+	sz += int64(len(tr.parentEvent)) * 16 // EventID + period + arc columns
+	return sz
+}

@@ -1,6 +1,7 @@
 package timesim_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -96,6 +97,129 @@ func TestScheduleRefreshArcDelay(t *testing.T) {
 			g2.Release()
 			w2.Release()
 		}
+	}
+}
+
+// refreshVsFresh edits the given arcs to the given delays through the
+// overlay, drains into the schedule, and asserts both the plain and
+// every border-initiated trace against a schedule freshly compiled
+// over the edited graph.
+func refreshVsFresh(t *testing.T, g *sg.Graph, ov *sg.Overlay, sched *timesim.Schedule, edits map[int]float64, label string) {
+	t.Helper()
+	for arc, d := range edits {
+		if err := ov.SetDelay(arc, d); err != nil {
+			t.Fatalf("%s: SetDelay(%d, %g): %v", label, arc, d, err)
+		}
+	}
+	ov.DrainDirty(sched.RefreshArcDelay)
+	fresh, err := g.WithDelays(func(i int, _ float64) float64 { return ov.Delay(i) })
+	if err != nil {
+		t.Fatalf("%s: WithDelays: %v", label, err)
+	}
+	freshSched, err := timesim.Compile(fresh)
+	if err != nil {
+		t.Fatalf("%s: Compile fresh: %v", label, err)
+	}
+	periods := len(g.BorderEvents()) + 2
+	opts := timesim.Options{Periods: periods, TrackParents: true}
+	got, err := sched.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: refreshed Run: %v", label, err)
+	}
+	want, err := freshSched.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: fresh Run: %v", label, err)
+	}
+	sameTrace(t, g, got, want, periods, label+"/plain")
+	got.Release()
+	want.Release()
+	for _, origin := range ov.Graph().BorderEvents() {
+		g2, err := sched.RunFrom(origin, opts)
+		if err != nil {
+			t.Fatalf("%s: refreshed RunFrom: %v", label, err)
+		}
+		w2, err := freshSched.RunFrom(origin, opts)
+		if err != nil {
+			t.Fatalf("%s: fresh RunFrom: %v", label, err)
+		}
+		sameTrace(t, g, g2, w2, periods, label+"/initiated")
+		g2.Release()
+		w2.Release()
+	}
+}
+
+// markedMultiArcGraph exercises every record class at once: unmarked
+// parallel arcs between one event pair, marked (initial-token) arcs —
+// including a parallel marked pair — and a marked self-loop.
+func markedMultiArcGraph(t *testing.T) *sg.Graph {
+	t.Helper()
+	g, err := sg.NewBuilder("refresh-classes").
+		Events("a", "b", "c").
+		Arc("a", "b", 2).
+		Arc("a", "b", 5). // parallel unmarked multi-arc
+		Arc("b", "c", 1).
+		Arc("c", "a", 3, sg.Marked()).
+		Arc("c", "a", 7, sg.Marked()). // parallel marked multi-arc
+		Arc("b", "b", 4, sg.Marked()). // marked self-loop
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// TestScheduleRefreshMarkedArc: refreshing a marked (initial-token)
+// arc must rewrite its period-1 and steady-state record columns — a
+// marked arc has no period-0 record at all, so a refresh that only
+// handled the unmarked layout would silently keep the old delay.
+func TestScheduleRefreshMarkedArc(t *testing.T) {
+	g := markedMultiArcGraph(t)
+	ov := sg.NewOverlay(g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for arc := 0; arc < g.NumArcs(); arc++ {
+		if !g.Arc(arc).Marked {
+			continue
+		}
+		refreshVsFresh(t, g, ov, sched, map[int]float64{arc: g.Arc(arc).Delay + 2.5},
+			fmt.Sprintf("marked arc %d", arc))
+	}
+}
+
+// TestScheduleRefreshMultiArc: parallel arcs between the same event
+// pair have distinct records; refreshing one must not disturb the
+// other, and refreshing both to swapped delays must swap the winner.
+func TestScheduleRefreshMultiArc(t *testing.T) {
+	g := markedMultiArcGraph(t)
+	ov := sg.NewOverlay(g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Arcs 0 and 1 are the unmarked a->b pair; 3 and 4 the marked c->a
+	// pair. Raise only one of each pair above its sibling…
+	refreshVsFresh(t, g, ov, sched, map[int]float64{0: 9}, "unmarked pair, first arc")
+	refreshVsFresh(t, g, ov, sched, map[int]float64{3: 11}, "marked pair, first arc")
+	// …then swap the delays inside each pair in one drain.
+	refreshVsFresh(t, g, ov, sched, map[int]float64{0: 5, 1: 9, 3: 7, 4: 11}, "swapped pairs")
+}
+
+// TestScheduleRefreshRepeated: refresh-after-refresh of the same arc —
+// including a refresh back to the original delay — always leaves the
+// columns at the last written value.
+func TestScheduleRefreshRepeated(t *testing.T) {
+	g := markedMultiArcGraph(t)
+	ov := sg.NewOverlay(g)
+	sched, err := timesim.Compile(ov.Graph())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	const arc = 2 // b->c, unmarked
+	for _, d := range []float64{6, 0, 3.25, g.Arc(arc).Delay, 8} {
+		refreshVsFresh(t, g, ov, sched, map[int]float64{arc: d},
+			fmt.Sprintf("re-refresh to %g", d))
 	}
 }
 

@@ -67,6 +67,18 @@ type Schedule struct {
 	// class. They make a single-arc delay refresh O(1).
 	rec0, rec1, recS []int32
 
+	// pos0/posR invert the order views: event -> position in order
+	// (period 0) and in orderR (periods >= 1; -1 for non-repetitive
+	// events). The incremental kernel (Patch) uses them to address the
+	// per-class record ranges of a single event. arcTo/arcMark are the
+	// flat head-event and marking columns of the graph's arcs, so the
+	// kernel's propagation loop never copies Arc structs.
+	pos0, posR []int32
+	arcTo      []sg.EventID
+	arcMark    []int32
+
+	patchPool sync.Pool // *patchScratch
+
 	// rowInit is the times-row template for periods >= 1: NaN at
 	// non-repetitive slots (no instantiation), 0 elsewhere (overwritten
 	// during evaluation).
@@ -153,6 +165,24 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 		s.off0 = append(s.off0, int32(len(s.src0)))
 	}
 
+	s.pos0 = make([]int32, n)
+	s.posR = make([]int32, n)
+	for i := range s.posR {
+		s.posR[i] = -1
+	}
+	for idx, f := range order {
+		s.pos0[f] = int32(idx)
+	}
+	s.arcTo = make([]sg.EventID, m)
+	s.arcMark = make([]int32, m)
+	for i := 0; i < m; i++ {
+		a := g.Arc(i)
+		s.arcTo[i] = a.To
+		if a.Marked {
+			s.arcMark[i] = 1
+		}
+	}
+
 	s.rowInit = make([]float64, n)
 	for i := range s.rowInit {
 		s.rowInit[i] = math.NaN()
@@ -163,6 +193,7 @@ func Compile(g *sg.Graph) (*Schedule, error) {
 		if !g.Event(f).Repetitive {
 			continue
 		}
+		s.posR[f] = int32(len(s.orderR))
 		s.orderR = append(s.orderR, f)
 		s.rowInit[f] = 0
 		for r := csr.Off[f]; r < csr.Off[f+1]; r++ {
@@ -202,7 +233,7 @@ func (s *Schedule) MemEstimate() int64 {
 	recs := int64(len(s.src0)+len(s.src1)+len(s.srcS)) * 24 // src+del+arc columns
 	recs += int64(len(s.mark1)+len(s.markS)) * 4
 	offs := int64(len(s.off0)+len(s.off1)+len(s.offS)) * 4
-	inv := int64(len(s.rec0)+len(s.rec1)+len(s.recS)) * 4
+	inv := int64(len(s.rec0)+len(s.rec1)+len(s.recS)+len(s.pos0)+len(s.posR)+len(s.arcMark))*4 + int64(len(s.arcTo))*8
 	views := int64(len(s.order)+len(s.orderR)+len(s.rowInit)) * 8
 	return recs + offs + inv + views
 }
