@@ -20,11 +20,18 @@ package client
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"tsg"
 	"tsg/internal/serve"
@@ -125,52 +132,204 @@ func (m *ArcMap) NumArcs() int { return len(m.toWire) }
 type APIError struct {
 	Status int    // HTTP status code
 	Msg    string // the server's error message
+	// RetryAfter is the server's Retry-After hint on a 503 (0 when the
+	// reply carried none). The client's retry loop honours it.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("tsg service: %s (HTTP %d)", e.Msg, e.Status)
 }
 
+// UnreachableError reports that every attempt at a request failed at
+// the transport level — no HTTP reply at all. It is what a caller sees
+// when the server is down, unresolvable, or unroutable; tsgtime -serve
+// turns it into its "server unreachable" exit.
+type UnreachableError struct {
+	URL      string // the service base URL
+	Attempts int    // connection attempts made (1 + retries)
+	Err      error  // the last transport error
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("server unreachable after %d attempts: %s (%v)", e.Attempts, e.URL, e.Err)
+}
+
+func (e *UnreachableError) Unwrap() error { return e.Err }
+
 // Client speaks the analysis-service protocol.
+//
+// Resilience defaults: requests time out (30s unless overridden) and
+// failed attempts are retried with jittered exponential backoff —
+// transport errors and 503 overload sheds only, honouring the server's
+// Retry-After hint. Every protocol call is safe to retry: queries are
+// read-only, uploads are idempotent by content, and edits are stamped
+// with a per-client sequence number the server deduplicates, so a
+// retried edit whose original was applied-but-unacknowledged applies
+// exactly once. Once attempts are exhausted, pure connection failures
+// surface as *UnreachableError.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int // attempts after the first
+	backoff time.Duration
+	maxWait time.Duration
+
+	// Edit idempotency: a process-unique client id plus a monotonic
+	// sequence stamp on every Edit/Reset.
+	clientID string
+	seq      atomic.Uint64
 }
 
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles).
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, test doubles). Its Timeout is respected as given.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds each individual request attempt (default 30s;
+// 0 disables the per-attempt timeout).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		hc := *c.hc
+		hc.Timeout = d
+		c.hc = &hc
+	}
+}
+
+// WithRetries sets how many times a failed attempt is retried
+// (default 3; 0 disables retries).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff tunes the retry backoff: full-jitter exponential from
+// base, capped at max (defaults 100ms / 2s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxWait = base, max }
 }
 
 // New returns a client of the service at baseURL (e.g.
 // "http://127.0.0.1:7436").
 func New(baseURL string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 3,
+		backoff: 100 * time.Millisecond,
+		maxWait: 2 * time.Second,
+	}
+	var id [6]byte
+	if _, err := crand.Read(id[:]); err == nil {
+		c.clientID = "cli-" + hex.EncodeToString(id[:])
+	} else {
+		c.clientID = fmt.Sprintf("cli-pid-%d", time.Now().UnixNano())
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
 }
 
-// post sends a JSON request and decodes the JSON reply into out.
+// ClientID returns the idempotency id this client stamps edits with.
+func (c *Client) ClientID() string { return c.clientID }
+
+// post sends a JSON request and decodes the JSON reply into out,
+// retrying per the client's policy.
 func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.roundTrip(ctx, http.MethodPost, path, "application/json", body, out)
 }
 
-func (c *Client) do(req *http.Request, out interface{}) error {
+// roundTrip runs one logical request through the retry loop. Each
+// attempt rebuilds the http.Request (bodies must be fresh readers).
+func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body []byte, out interface{}) error {
+	var last error
+	transportOnly := true
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		err = c.doOnce(req, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		retryable, isTransport, hint := classifyFailure(err)
+		transportOnly = transportOnly && isTransport
+		if !retryable || attempt >= c.retries {
+			break
+		}
+		if err := c.sleepBackoff(ctx, attempt, hint); err != nil {
+			break // context ended while waiting; report the request error
+		}
+	}
+	if transportOnly {
+		return &UnreachableError{URL: c.base, Attempts: c.retries + 1, Err: last}
+	}
+	return last
+}
+
+// classifyFailure decides whether an attempt's failure is worth
+// retrying: transport errors (no reply — the server may be mid-restart
+// and the WAL guarantees committed state survives) and 503 sheds (the
+// server explicitly asked for a backoff retry). Context expiry is the
+// caller's deadline, never retried; other HTTP statuses are genuine
+// answers (4xx: the request is wrong; 5xx: retrying the same bytes
+// won't fix the server).
+func classifyFailure(err error) (retryable, isTransport bool, retryAfter time.Duration) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, false, 0
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		if api.Status == http.StatusServiceUnavailable {
+			return true, false, api.RetryAfter
+		}
+		return false, false, 0
+	}
+	return true, true, 0
+}
+
+// sleepBackoff waits the attempt's backoff: the server's Retry-After
+// hint when given, else full-jitter exponential — a uniformly random
+// slice of base·2^attempt, capped — so a thundering herd of shed
+// clients decorrelates instead of re-colliding.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+	d := c.backoff << uint(attempt)
+	if d > c.maxWait || d <= 0 {
+		d = c.maxWait
+	}
+	d = time.Duration(mrand.Int63n(int64(d) + 1))
+	if hint > 0 {
+		d = hint
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doOnce runs a single attempt.
+func (c *Client) doOnce(req *http.Request, out interface{}) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -181,7 +340,13 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 			e.Error = resp.Status
 		}
-		return &APIError{Status: resp.StatusCode, Msg: e.Error}
+		apiErr := &APIError{Status: resp.StatusCode, Msg: e.Error}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -209,15 +374,11 @@ func (c *Client) UploadDist(ctx context.Context, g *tsg.Graph, m *tsg.DelayModel
 	return c.UploadText(ctx, ref.Graph)
 }
 
-// UploadText uploads raw .tsg text.
+// UploadText uploads raw .tsg text. Retried attempts are idempotent:
+// the fingerprint is a pure function of the content.
 func (c *Client) UploadText(ctx context.Context, text string) (*UploadResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/graphs", strings.NewReader(text))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "text/plain")
 	var out UploadResponse
-	if err := c.do(req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/graphs", "text/plain", []byte(text), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -260,9 +421,15 @@ func (c *Client) WhatIf(ctx context.Context, ref GraphRef, queries []WhatIfQuery
 // retained simulation traces; critical cycles are deliberately not
 // extracted (set serve.EditRequest.Criticals over the raw protocol,
 // or follow up with Analyze, to get them).
+// Every edit is stamped with the client's idempotency id and a fresh
+// sequence number, so a retry of a response lost in transit (the edit
+// may or may not have applied) re-commits under the same stamp and the
+// server applies it exactly once.
 func (c *Client) Edit(ctx context.Context, ref GraphRef, edits []DelayEdit) (*EditResponse, error) {
 	var out EditResponse
-	if err := c.post(ctx, "/v1/edit", serve.EditRequest{GraphRef: ref, Edits: edits}, &out); err != nil {
+	if err := c.post(ctx, "/v1/edit", serve.EditRequest{
+		GraphRef: ref, Edits: edits, Client: c.clientID, Seq: c.seq.Add(1),
+	}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -272,7 +439,9 @@ func (c *Client) Edit(ctx context.Context, ref GraphRef, edits []DelayEdit) (*Ed
 // compile-time delays, then applies the given edits (if any).
 func (c *Client) Reset(ctx context.Context, ref GraphRef, edits []DelayEdit) (*EditResponse, error) {
 	var out EditResponse
-	if err := c.post(ctx, "/v1/edit", serve.EditRequest{GraphRef: ref, Edits: edits, Reset: true}, &out); err != nil {
+	if err := c.post(ctx, "/v1/edit", serve.EditRequest{
+		GraphRef: ref, Edits: edits, Reset: true, Client: c.clientID, Seq: c.seq.Add(1),
+	}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -291,12 +460,8 @@ func (c *Client) MC(ctx context.Context, ref GraphRef, req MCRequest) (*MCRespon
 
 // Health checks service liveness.
 func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return nil, err
-	}
 	var out HealthResponse
-	if err := c.do(req, &out); err != nil {
+	if err := c.roundTrip(ctx, http.MethodGet, "/healthz", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -8,11 +8,29 @@
 // Usage:
 //
 //	tsgserved [-addr host:port] [-cache-bytes N] [-max-body N]
+//	          [-data-dir dir] [-max-concurrent N] [-max-queue N]
+//	          [-request-timeout d]
 //
 // The daemon prints its listen URL on startup (with -addr :0 the
 // kernel picks a free port — the printed URL is how scripts find it),
 // serves until SIGINT/SIGTERM, then drains in-flight requests and
 // logs the cache statistics.
+//
+// -data-dir makes the daemon durable: uploaded graph bodies and
+// committed edits are appended to a checksummed write-ahead log in
+// that directory (fsync'd before acknowledgement), and a restart on
+// the same directory replays the log — recompiling every graph,
+// re-applying every edit, restoring the exactly-once edit dedupe
+// table — so the node comes back with λ bit-identical to an
+// uninterrupted run even after kill -9. Warm-restart work is counted
+// separately in /metrics (tsgserve_warm_restart_*).
+//
+// -max-concurrent bounds in-flight requests per endpoint; excess
+// requests wait in a bounded queue (-max-queue, default 4× the
+// concurrency) and are shed with 503 + Retry-After when the queue is
+// full or their deadline would expire while queued. -request-timeout
+// bounds each request end to end; expiry cancels the analysis
+// cooperatively and answers 503 + Retry-After.
 //
 // Endpoints:
 //
@@ -42,12 +60,17 @@ import (
 	"time"
 
 	"tsg/internal/serve"
+	"tsg/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7436", "listen address (use :0 for a kernel-assigned port)")
 	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "engine cache budget in estimated bytes (negative disables caching)")
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body size in bytes")
+	dataDir := flag.String("data-dir", "", "durable state directory (write-ahead log; empty = in-memory only)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max in-flight requests per endpoint (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max queued requests per endpoint beyond -max-concurrent (0 = 4x concurrency)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; expiry cancels the analysis and answers 503 (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tsgserved [flags]")
@@ -55,7 +78,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	s := serve.New(serve.Config{CacheBytes: *cacheBytes, MaxBodyBytes: *maxBody})
+	var (
+		st  *store.Store
+		rec *store.Recovery
+	)
+	if *dataDir != "" {
+		var err error
+		st, rec, err = store.Open(*dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("tsgserved: opening data dir %s: %v", *dataDir, err)
+		}
+		defer st.Close()
+	}
+
+	s := serve.New(serve.Config{
+		CacheBytes:     *cacheBytes,
+		MaxBodyBytes:   *maxBody,
+		Store:          st,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *requestTimeout,
+	})
+	if rec != nil {
+		if err := s.Recover(rec); err != nil {
+			log.Fatalf("tsgserved: recovering from %s: %v", *dataDir, err)
+		}
+		graphs, edits := s.WarmRestartCounts()
+		if graphs > 0 || edits > 0 || rec.TruncatedBytes > 0 {
+			log.Printf("tsgserved: warm restart from %s: %d graphs recompiled, %d edits re-applied (%d log records)",
+				*dataDir, graphs, edits, rec.Records)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("tsgserved: listen %s: %v", *addr, err)
@@ -84,7 +137,7 @@ func main() {
 			log.Fatalf("tsgserved: serve: %v", err)
 		}
 	}
-	st := s.Cache().Stats()
+	cst := s.Cache().Stats()
 	log.Printf("tsgserved: served %d hits / %d misses, %d compiles, %d evictions, %d graphs resident (%d bytes)",
-		st.Hits, st.Misses, st.Compiles, st.Evictions, st.Entries, st.Bytes)
+		cst.Hits, cst.Misses, cst.Compiles, cst.Evictions, cst.Entries, cst.Bytes)
 }

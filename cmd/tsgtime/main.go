@@ -50,6 +50,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -59,6 +60,7 @@ import (
 	"strings"
 
 	"tsg"
+	"tsg/client"
 	"tsg/internal/cycles"
 	"tsg/internal/mcr"
 	"tsg/internal/textio"
@@ -423,6 +425,12 @@ func runMC(sess session, g *tsg.Graph, model *tsg.DelayModel, samples int, seed 
 }
 
 func fatal(err error) {
+	var unreach *client.UnreachableError
+	if errors.As(err, &unreach) {
+		fmt.Fprintf(os.Stderr, "tsgtime: server unreachable after %d attempts: %s — is tsgserved running at that address? (%v)\n",
+			unreach.Attempts, unreach.URL, unreach.Err)
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "tsgtime:", err)
 	os.Exit(1)
 }

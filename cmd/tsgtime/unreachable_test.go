@@ -1,0 +1,38 @@
+package main
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/gen"
+)
+
+// TestServeUnreachable pins the -serve failure contract: a dead server
+// surfaces as *client.UnreachableError through the session layer's
+// wrapping, which fatal() turns into the non-zero "server unreachable
+// after N attempts — is tsgserved running" exit.
+func TestServeUnreachable(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close() // connection refused from here on
+
+	g := gen.Oscillator()
+	start := time.Now()
+	_, err := newRemoteSession(url, g)
+	if err == nil {
+		t.Fatal("newRemoteSession succeeded against a closed server")
+	}
+	var unreach *client.UnreachableError
+	if !errors.As(err, &unreach) {
+		t.Fatalf("error %v (%T) does not unwrap to *client.UnreachableError", err, err)
+	}
+	if unreach.Attempts < 2 {
+		t.Fatalf("gave up after %d attempts; retries did not run", unreach.Attempts)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("unreachable detection took %v", d)
+	}
+}

@@ -1,6 +1,7 @@
 package cycletime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -549,12 +550,24 @@ type WhatIf struct {
 // over the same pool, each worker owning a private overlay + schedule
 // clone so simulations never share mutable state.
 func (e *Engine) SensitivitySweep(cands []WhatIf) ([]stat.Ratio, error) {
+	return e.SensitivitySweepCtx(context.Background(), cands)
+}
+
+// SensitivitySweepCtx is SensitivitySweep with cooperative cancellation:
+// the sweep checks ctx before every full what-if analysis it runs or
+// distributes to the worker pool, and returns ctx.Err() once it fires —
+// a request whose deadline expired (or whose client went away) stops
+// burning cores mid-sweep. Certified candidates answered from the
+// warm certificate never block, so cancellation costs nothing on the
+// fast path. A cancelled sweep leaves the session baseline untouched
+// (sweeps never commit state), so the engine is immediately reusable.
+func (e *Engine) SensitivitySweepCtx(ctx context.Context, cands []WhatIf) ([]stat.Ratio, error) {
 	if out, done, err := e.sweepShared(cands); done {
 		return out, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.sweepLocked(cands)
+	return e.sweepLocked(ctx, cands)
 }
 
 // sweepShared answers a whole sweep under the shared (reader) lock when
@@ -597,7 +610,7 @@ func (e *Engine) sweepShared(cands []WhatIf) (out []stat.Ratio, done bool, err e
 
 // sweepLocked is the exclusive-path sweep; callers hold the session
 // lock.
-func (e *Engine) sweepLocked(cands []WhatIf) ([]stat.Ratio, error) {
+func (e *Engine) sweepLocked(ctx context.Context, cands []WhatIf) ([]stat.Ratio, error) {
 	c, err := e.ensureCert()
 	if err != nil {
 		return nil, err
@@ -652,6 +665,9 @@ func (e *Engine) sweepLocked(cands []WhatIf) ([]stat.Ratio, error) {
 	}
 	if workers <= 1 {
 		for _, i := range full {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			lam, err := e.whatIfFull(cands[i].Arc, cands[i].Delay)
 			if err != nil {
 				return nil, err
@@ -667,6 +683,13 @@ func (e *Engine) sweepLocked(cands []WhatIf) ([]stat.Ratio, error) {
 	errs := make([]error, workers)
 	runWorkers(len(full), workers, func(w, k int) {
 		if errs[w] != nil {
+			return
+		}
+		// Cooperative cancellation: each worker checks the deadline
+		// before every full analysis it claims, so a cancelled sweep
+		// stops within one candidate's work per worker.
+		if err := ctx.Err(); err != nil {
+			errs[w] = err
 			return
 		}
 		i := full[k]

@@ -1,6 +1,7 @@
 package cycletime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -149,9 +150,20 @@ type ArcSlackStats struct {
 // worker owns a cloned overlay + schedule and pays one in-place delay
 // refresh per sample instead of a re-Build/re-Compile.
 func (e *Engine) AnalyzeMC(m *dist.Model, opts MCOptions) (*MCResult, error) {
+	return e.AnalyzeMCCtx(context.Background(), m, opts)
+}
+
+// AnalyzeMCCtx is AnalyzeMC with cooperative cancellation: workers
+// check ctx between samples (and between cut-event batch simulations
+// inside a block), so a run whose request deadline expired — or whose
+// client disconnected — stops burning its worker pool within one
+// sample's work per worker and returns ctx.Err(). A cancelled run
+// commits nothing: the engine's baseline delays and certificate are
+// untouched, so the session is immediately reusable.
+func (e *Engine) AnalyzeMCCtx(ctx context.Context, m *dist.Model, opts MCOptions) (*MCResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	acc, err := e.runMC(m, opts, opts.Criticality, false)
+	acc, err := e.runMC(ctx, m, opts, opts.Criticality, false)
 	if err != nil {
 		return nil, err
 	}
@@ -165,9 +177,15 @@ func (e *Engine) AnalyzeMC(m *dist.Model, opts MCOptions) (*MCResult, error) {
 // The returned rows cover the arcs of the repetitive core, in arc
 // order, alongside the λ statistics of the same run.
 func (e *Engine) SlacksMC(m *dist.Model, opts MCOptions) ([]ArcSlackStats, *MCResult, error) {
+	return e.SlacksMCCtx(context.Background(), m, opts)
+}
+
+// SlacksMCCtx is SlacksMC with cooperative cancellation, with the same
+// contract as AnalyzeMCCtx.
+func (e *Engine) SlacksMCCtx(ctx context.Context, m *dist.Model, opts MCOptions) ([]ArcSlackStats, *MCResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	acc, err := e.runMC(m, opts, opts.Criticality, true)
+	acc, err := e.runMC(ctx, m, opts, opts.Criticality, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -330,7 +348,7 @@ func mcBounds(we *Engine, m *dist.Model) (bounds []stat.Ratio, order []int, err 
 }
 
 // runMC is the shared sampling loop. Callers hold the session lock.
-func (e *Engine) runMC(m *dist.Model, opts MCOptions, needCrit, needSlacks bool) (*mcAccum, error) {
+func (e *Engine) runMC(ctx context.Context, m *dist.Model, opts MCOptions, needCrit, needSlacks bool) (*mcAccum, error) {
 	if m == nil {
 		return nil, fmt.Errorf("cycletime: nil delay model")
 	}
@@ -478,6 +496,13 @@ func (e *Engine) runMC(m *dist.Model, opts MCOptions, needCrit, needSlacks bool)
 			w.best[i-lo] = stat.Ratio{Num: -1, Den: 1}
 		}
 		for _, ci := range order {
+			// Cooperative cancellation between batch simulations: each
+			// RunFromBatch is the block's unit of work, so an expired
+			// deadline stops the worker within one cut event's pass.
+			if err := ctx.Err(); err != nil {
+				w.err = err
+				return
+			}
 			b := bounds[ci]
 			active := false
 			for s := 0; s < cnt; s++ {
@@ -542,6 +567,14 @@ func (e *Engine) runMC(m *dist.Model, opts MCOptions, needCrit, needSlacks bool)
 			return
 		}
 		for i := lo; i < hi; i++ {
+			// Cooperative cancellation between samples: the scalar path's
+			// unit of work is one sample (simulation fan + optional pass 2
+			// and certificate), so an expired deadline stops the worker
+			// within one sample's cost.
+			if err := ctx.Err(); err != nil {
+				w.err = err
+				return
+			}
 			m.SampleInto(opts.Seed, uint64(i), w.delays)
 			if err := we.overlay.SetDelays(func(a int, _ float64) float64 { return w.delays[a] }); err != nil {
 				w.err = fmt.Errorf("cycletime: MC sample %d: %w", i, err)
@@ -588,6 +621,9 @@ func (e *Engine) runMC(m *dist.Model, opts MCOptions, needCrit, needSlacks bool)
 	// Wave loop: one statically assigned block per worker, a barrier,
 	// then an ordered coordinator merge and a convergence check.
 	for waveStart := 0; waveStart < nBlocks && !acc.converged; waveStart += workers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cnt := nBlocks - waveStart
 		if cnt > workers {
 			cnt = workers

@@ -1,0 +1,483 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/gen"
+	"tsg/internal/netlist"
+	"tsg/internal/serve"
+	"tsg/internal/sg"
+	"tsg/internal/store"
+	"tsg/internal/textio"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "CHAOS",
+		Title: "fault injection: kill -9 durability (WAL replay, bit-identical λ) and overload shedding (admission control, deadlines)",
+		Run:   runCHAOS,
+	})
+}
+
+// runCHAOS is the robustness proof for the durable serving layer, in
+// two phases.
+//
+// Phase 1 (durability): a durable server takes uploads and a committed
+// edit sequence — including a deliberately duplicated (client, seq)
+// retry — then dies mid-write (an injected torn-frame crash, the
+// kill -9 moment). A restart on the same data directory must replay
+// the write-ahead log into a state BIT-IDENTICAL to an uninterrupted
+// oracle run of the same traffic: same λ (exact rational), same
+// critical cycles, the exactly-once dedupe table intact across the
+// crash. Compaction then rewrites the log and a third boot re-verifies
+// the same state from the compacted form.
+//
+// Phase 2 (overload): a server with deliberately tiny capacity
+// (1 in-flight + 2 queued per endpoint, 400ms request deadline) takes
+// a burst of expensive Monte-Carlo traffic at several times capacity.
+// Admitted requests must complete or be deadline-cancelled within the
+// deadline plus scheduling grace — never hang — and shed requests must
+// get clean 503s carrying Retry-After; fast traffic on other endpoints
+// keeps flowing throughout (admission is per-endpoint).
+func runCHAOS(w io.Writer) error {
+	if err := chaosDurability(w); err != nil {
+		return err
+	}
+	return chaosOverload(w)
+}
+
+// chaosScript is one graph's committed-edit traffic: canonical arc
+// ranks with new delays, applied in order under one client's stamps.
+type chaosScript struct {
+	name  string
+	text  string
+	edits []serve.DelayEdit
+}
+
+// chaosScripts builds the durability workload: two graphs and an edit
+// walk over each (delays nudged off their compile-time values so the
+// recovered baseline is distinguishable from a mere recompile).
+func chaosScripts() ([]chaosScript, error) {
+	stack, err := gen.Stack(31)
+	if err != nil {
+		return nil, err
+	}
+	random, err := gen.RandomLive(rand.New(rand.NewSource(94)),
+		gen.RandomOptions{Events: 300, Border: 8, ExtraArcs: 300, MaxDelay: 16})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chaosScript, 0, 2)
+	for _, gw := range []struct {
+		name string
+		g    *sg.Graph
+	}{{"stack-66", stack}, {"random-300", random}} {
+		var buf bytes.Buffer
+		if err := netlist.WriteTSG(&buf, gw.g); err != nil {
+			return nil, err
+		}
+		order := sg.CanonicalArcOrder(gw.g)
+		edits := make([]serve.DelayEdit, 6)
+		for i := range edits {
+			rank := (i * 7) % len(order)
+			edits[i] = serve.DelayEdit{Arc: rank, Delay: gw.g.Arc(order[rank]).Delay + float64(i) + 0.5}
+		}
+		out = append(out, chaosScript{name: gw.name, text: buf.String(), edits: edits})
+	}
+	return out, nil
+}
+
+// postEdit posts one raw edit request (explicit (client, seq) stamps —
+// the experiment controls duplication deliberately, so it bypasses the
+// client package's automatic stamping).
+func postEdit(base string, req serve.EditRequest) (*serve.EditResponse, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(base+"/v1/edit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, resp.StatusCode, nil
+	}
+	var out serve.EditResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &out, resp.StatusCode, nil
+}
+
+// chaosState is the comparable end state of one graph's traffic: the
+// exact λ and the critical-cycle report.
+type chaosState struct {
+	lambda   serve.Lambda
+	critical string
+}
+
+// driveChaosTraffic applies every script against the server: upload,
+// then the edit walk under client stamp "chaos" with seqs 1..n, with
+// edit 2 deliberately re-sent (the retry of a lost response — it must
+// dedupe, not re-apply). Returns the final analyze state per graph.
+func driveChaosTraffic(base string, scripts []chaosScript) (map[string]chaosState, error) {
+	cl := client.New(base, client.WithRetries(0))
+	ctx := context.Background()
+	out := map[string]chaosState{}
+	for _, sc := range scripts {
+		up, err := cl.UploadText(ctx, sc.text)
+		if err != nil {
+			return nil, fmt.Errorf("upload %s: %w", sc.name, err)
+		}
+		ref := serve.GraphRef{Fingerprint: up.Fingerprint}
+		for i, ed := range sc.edits {
+			res, status, err := postEdit(base, serve.EditRequest{
+				GraphRef: ref, Edits: []serve.DelayEdit{ed}, Client: "chaos", Seq: uint64(i + 1),
+			})
+			if err != nil || status != http.StatusOK {
+				return nil, fmt.Errorf("edit %d on %s: status %d, err %v", i, sc.name, status, err)
+			}
+			if res.Deduped {
+				return nil, fmt.Errorf("fresh edit %d on %s deduped", i, sc.name)
+			}
+			if i == 2 { // the duplicated retry
+				dup, status, err := postEdit(base, serve.EditRequest{
+					GraphRef: ref, Edits: []serve.DelayEdit{ed}, Client: "chaos", Seq: uint64(i + 1),
+				})
+				if err != nil || status != http.StatusOK {
+					return nil, fmt.Errorf("duplicate edit on %s: status %d, err %v", sc.name, status, err)
+				}
+				if !dup.Deduped {
+					return nil, fmt.Errorf("duplicate (chaos, %d) on %s re-applied instead of deduping", i+1, sc.name)
+				}
+				if dup.Lambda != res.Lambda {
+					return nil, fmt.Errorf("deduped ack λ %s differs from original %s on %s", dup.Lambda.Text, res.Lambda.Text, sc.name)
+				}
+			}
+		}
+		st, err := chaosAnalyze(cl, up.Fingerprint)
+		if err != nil {
+			return nil, fmt.Errorf("final analyze %s: %w", sc.name, err)
+		}
+		out[sc.name] = st
+	}
+	return out, nil
+}
+
+func chaosAnalyze(cl *client.Client, fp string) (chaosState, error) {
+	res, err := cl.Analyze(context.Background(), client.ByFingerprint(fp))
+	if err != nil {
+		return chaosState{}, err
+	}
+	return chaosState{lambda: res.Lambda, critical: fmt.Sprintf("%v", res.Critical)}, nil
+}
+
+func chaosDurability(w io.Writer) error {
+	scripts, err := chaosScripts()
+	if err != nil {
+		return err
+	}
+
+	// Oracle: the same traffic against a plain in-memory server,
+	// uninterrupted. This is the state the crashed node must recover.
+	oracleSrv := httptest.NewServer(serve.New(serve.Config{}))
+	oracle, err := driveChaosTraffic(oracleSrv.URL, scripts)
+	oracleSrv.Close()
+	if err != nil {
+		return fmt.Errorf("exp: oracle run: %w", err)
+	}
+
+	dir, err := os.MkdirTemp("", "tsg-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Boot 1: durable server takes the full traffic, then dies on an
+	// injected torn write — the WAL frame of the next edit is half
+	// written when the process "loses power". Every acknowledged edit
+	// is already fsync'd; the torn frame was never acknowledged.
+	st, _, err := store.Open(dir, store.Options{NoAutoCompact: true})
+	if err != nil {
+		return err
+	}
+	s1 := serve.New(serve.Config{Store: st})
+	srv1 := httptest.NewServer(s1)
+	if _, err := driveChaosTraffic(srv1.URL, scripts); err != nil {
+		srv1.Close()
+		return fmt.Errorf("exp: durable run: %w", err)
+	}
+	st.Arm(store.FailPartialWrite)
+	res, status, err := postEdit(srv1.URL, serve.EditRequest{
+		GraphRef: serve.GraphRef{Graph: scripts[0].text},
+		Edits:    []serve.DelayEdit{{Arc: 0, Delay: 99}}, Client: "chaos", Seq: 100,
+	})
+	if err != nil {
+		return fmt.Errorf("exp: crash edit transport: %w", err)
+	}
+	if status != http.StatusInternalServerError || res != nil {
+		return fmt.Errorf("exp: edit during crash answered %d, want 500 (the WAL write died mid-frame)", status)
+	}
+	srv1.Close()
+	st.Close()
+
+	// Boot 2: reopen the same directory. Recovery must truncate the
+	// torn tail, replay every acknowledged record, and restore a state
+	// bit-identical to the oracle — including the dedupe table.
+	st2, rec, err := store.Open(dir, store.Options{NoAutoCompact: true})
+	if err != nil {
+		return fmt.Errorf("exp: reopen after crash: %w", err)
+	}
+	defer st2.Close()
+	if rec.TruncatedBytes == 0 {
+		return fmt.Errorf("exp: recovery found no torn tail; the injected crash did not tear a frame")
+	}
+	s2 := serve.New(serve.Config{Store: st2})
+	if err := s2.Recover(rec); err != nil {
+		return fmt.Errorf("exp: recover: %w", err)
+	}
+	srv2 := httptest.NewServer(s2)
+	defer srv2.Close()
+	graphs, edits := s2.WarmRestartCounts()
+	if graphs != int64(len(scripts)) {
+		return fmt.Errorf("exp: warm restart recompiled %d graphs, want %d", graphs, len(scripts))
+	}
+
+	tab := textio.New("CHAOS phase 1: kill -9 mid-write -> restart on the same data-dir",
+		"graph", "oracle λ", "recovered λ", "criticals", "verdict")
+	cl2 := client.New(srv2.URL, client.WithRetries(0))
+	checkAll := func(label string) error {
+		for _, sc := range scripts {
+			up, err := cl2.UploadText(context.Background(), sc.text)
+			if err != nil {
+				return err
+			}
+			got, err := chaosAnalyze(cl2, up.Fingerprint)
+			if err != nil {
+				return err
+			}
+			want := oracle[sc.name]
+			if got.lambda != want.lambda || got.critical != want.critical {
+				return fmt.Errorf("exp: %s state after %s: λ %s, oracle %s (criticals equal: %v)",
+					sc.name, label, got.lambda.Text, want.lambda.Text, got.critical == want.critical)
+			}
+			if label == "recovery" {
+				tab.AddRow(sc.name, want.lambda.Text, got.lambda.Text, "identical", "bit-identical")
+			}
+			// The dedupe table survived: the last applied (chaos, seq)
+			// stamp still acks without re-applying.
+			dup, status, err := postEdit(srv2.URL, serve.EditRequest{
+				GraphRef: serve.GraphRef{Fingerprint: up.Fingerprint},
+				Edits:    []serve.DelayEdit{sc.edits[len(sc.edits)-1]},
+				Client:   "chaos", Seq: uint64(len(sc.edits)),
+			})
+			if err != nil || status != http.StatusOK {
+				return fmt.Errorf("exp: cross-restart retry on %s: status %d, err %v", sc.name, status, err)
+			}
+			if !dup.Deduped {
+				return fmt.Errorf("exp: cross-restart retry on %s re-applied; the dedupe table did not survive %s", sc.name, label)
+			}
+		}
+		return nil
+	}
+	if err := checkAll("recovery"); err != nil {
+		return err
+	}
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recovery: %d log records replayed, torn tail of %d bytes dropped, %d graphs recompiled, %d edits re-applied\n",
+		rec.Records, rec.TruncatedBytes, graphs, edits)
+
+	// Compaction: rewrite the log to its live state and prove a third
+	// boot recovers the identical state from the compacted form.
+	before := st2.Size()
+	if err := st2.Compact(); err != nil {
+		return fmt.Errorf("exp: compact: %w", err)
+	}
+	srv2.Close()
+	st2.Close()
+	st3, rec3, err := store.Open(dir, store.Options{NoAutoCompact: true})
+	if err != nil {
+		return fmt.Errorf("exp: reopen after compaction: %w", err)
+	}
+	defer st3.Close()
+	s3 := serve.New(serve.Config{Store: st3})
+	if err := s3.Recover(rec3); err != nil {
+		return fmt.Errorf("exp: recover from compacted log: %w", err)
+	}
+	srv3 := httptest.NewServer(s3)
+	defer srv3.Close()
+	cl2 = client.New(srv3.URL, client.WithRetries(0))
+	// Re-point the closure's server at boot 3.
+	checkAll3 := func() error {
+		for _, sc := range scripts {
+			up, err := cl2.UploadText(context.Background(), sc.text)
+			if err != nil {
+				return err
+			}
+			got, err := chaosAnalyze(cl2, up.Fingerprint)
+			if err != nil {
+				return err
+			}
+			want := oracle[sc.name]
+			if got.lambda != want.lambda || got.critical != want.critical {
+				return fmt.Errorf("exp: %s state after compaction: λ %s, oracle %s", sc.name, got.lambda.Text, want.lambda.Text)
+			}
+			dup, status, err := postEdit(srv3.URL, serve.EditRequest{
+				GraphRef: serve.GraphRef{Fingerprint: up.Fingerprint},
+				Edits:    []serve.DelayEdit{sc.edits[len(sc.edits)-1]},
+				Client:   "chaos", Seq: uint64(len(sc.edits)),
+			})
+			if err != nil || status != http.StatusOK || !dup.Deduped {
+				return fmt.Errorf("exp: dedupe table lost by compaction on %s (status %d, err %v)", sc.name, status, err)
+			}
+		}
+		return nil
+	}
+	if err := checkAll3(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "compaction: log %d -> %d bytes; third boot recovers the identical state from the compacted form\n",
+		before, st3.Size())
+	return nil
+}
+
+// chaosOverload floods a deliberately tiny server and gates the
+// shedding contract.
+func chaosOverload(w io.Writer) error {
+	random, err := gen.RandomLive(rand.New(rand.NewSource(95)),
+		gen.RandomOptions{Events: 500, Border: 8, ExtraArcs: 500, MaxDelay: 16})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := netlist.WriteTSG(&buf, random); err != nil {
+		return err
+	}
+
+	const deadline = 400 * time.Millisecond
+	const grace = 3 * time.Second // queue/scheduler slack on a loaded runner
+	s := serve.New(serve.Config{MaxConcurrent: 1, MaxQueue: 2, RequestTimeout: deadline})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	ctx := context.Background()
+
+	cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()), client.WithRetries(0))
+	up, err := cl.UploadText(ctx, buf.String())
+	if err != nil {
+		return fmt.Errorf("exp: overload upload: %w", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+	if _, err := cl.Analyze(ctx, ref); err != nil {
+		return fmt.Errorf("exp: overload prime: %w", err)
+	}
+
+	burst, iters, samples := 10, 3, 50_000_000
+	if Quick {
+		burst, iters, samples = 6, 2, 10_000_000
+	}
+	type tally struct {
+		ok, shed, other int
+		noRetryAfter    int
+		slow            int // responses later than deadline+grace
+		maxLatency      time.Duration
+	}
+	var mu sync.Mutex
+	var mc, an tally
+	var wg sync.WaitGroup
+	record := func(t *tally, latency time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if latency > t.maxLatency {
+			t.maxLatency = latency
+		}
+		if latency > deadline+grace {
+			t.slow++
+		}
+		if err == nil {
+			t.ok++
+			return
+		}
+		var api *client.APIError
+		if errors.As(err, &api) && api.Status == http.StatusServiceUnavailable {
+			t.shed++
+			if api.RetryAfter <= 0 {
+				t.noRetryAfter++
+			}
+			return
+		}
+		t.other++
+	}
+	for c := 0; c < burst; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()), client.WithRetries(0))
+			for i := 0; i < iters; i++ {
+				// Expensive: a Monte-Carlo run far beyond the deadline.
+				// Every one of these either queues briefly, runs until the
+				// deadline cancels it, or is shed outright — all three end
+				// inside deadline+grace.
+				start := time.Now()
+				_, err := cl.MC(ctx, ref, client.MCRequest{Samples: samples, Workers: 1, Jitter: 0.2, Seed: 7})
+				record(&mc, time.Since(start), err)
+				// Fast: analyze on its own endpoint keeps flowing —
+				// admission is per-endpoint, so MC saturation must not
+				// starve it.
+				start = time.Now()
+				_, err = cl.Analyze(ctx, ref)
+				record(&an, time.Since(start), err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	tab := textio.New(fmt.Sprintf("CHAOS phase 2: %d clients x %d rounds against capacity 1 (+2 queued), %s deadline",
+		burst, iters, deadline),
+		"endpoint", "ok", "shed (503)", "other", "max latency")
+	tab.AddRow("/v1/mc", mc.ok, mc.shed, mc.other, mc.maxLatency.Round(time.Millisecond))
+	tab.AddRow("/v1/analyze", an.ok, an.shed, an.other, an.maxLatency.Round(time.Millisecond))
+	if err := tab.Render(w); err != nil {
+		return err
+	}
+
+	if mc.shed == 0 {
+		return fmt.Errorf("exp: %dx-capacity burst shed nothing; admission control is not engaging", burst)
+	}
+	if mc.noRetryAfter > 0 || an.noRetryAfter > 0 {
+		return fmt.Errorf("exp: %d sheds arrived without Retry-After", mc.noRetryAfter+an.noRetryAfter)
+	}
+	if mc.other > 0 || an.other > 0 {
+		return fmt.Errorf("exp: %d non-503 failures under overload", mc.other+an.other)
+	}
+	if mc.slow > 0 || an.slow > 0 {
+		return fmt.Errorf("exp: %d responses later than deadline+%s; requests are hanging past their deadline", mc.slow+an.slow, grace)
+	}
+	if an.ok == 0 {
+		return fmt.Errorf("exp: analyze starved during MC overload; per-endpoint admission is not isolating")
+	}
+
+	// The burst over, the MC endpoint must be fully recovered: a cheap
+	// run admitted and answered.
+	if _, err := cl.MC(ctx, ref, client.MCRequest{Samples: 16, Workers: 1, Jitter: 0.2, Seed: 7}); err != nil {
+		return fmt.Errorf("exp: MC endpoint did not recover after the burst: %w", err)
+	}
+	fmt.Fprintf(w, "overload: %d/%d MC requests shed with 503+Retry-After, every response within %s+%s, analyze endpoint unaffected, endpoint recovered after the burst\n",
+		mc.shed, burst*iters, deadline, grace)
+	return nil
+}

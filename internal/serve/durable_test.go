@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tsg/internal/gen"
+	"tsg/internal/store"
+)
+
+// durableServer boots a Server over a WAL in dir, replaying whatever
+// the log holds.
+func durableServer(t testing.TB, dir string, cfg Config) (*Server, *store.Store) {
+	t.Helper()
+	st, rec, err := store.Open(dir, store.Options{NoAutoCompact: true})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	cfg.Store = st
+	s := New(cfg)
+	if err := s.Recover(rec); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return s, st
+}
+
+// TestDurableRestartRecoversStateExactly is the in-process form of the
+// CHAOS durability gate: upload + edit against a durable server, drop
+// the server (its store simulates a crash), boot a fresh server on the
+// same log, and require the recovered λ — and the dedupe table — to be
+// bit-identical to the pre-crash state.
+func TestDurableRestartRecoversStateExactly(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Oscillator()
+	text := tsgText(t, g)
+
+	s1, st1 := durableServer(t, dir, Config{})
+	srv1 := httptest.NewServer(s1)
+
+	var up UploadResponse
+	resp, err := srv1.Client().Post(srv1.URL+"/v1/graphs", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatalf("decode upload: %v", err)
+	}
+	resp.Body.Close()
+
+	var ed1, ed2 EditResponse
+	postJSON(t, srv1, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 0, Delay: 9.25}},
+		Client:   "cli-a", Seq: 1,
+	}, &ed1, http.StatusOK)
+	postJSON(t, srv1, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 1, Delay: 4.5}},
+		Client:   "cli-a", Seq: 2,
+	}, &ed2, http.StatusOK)
+	if ed1.Deduped || ed2.Deduped {
+		t.Fatal("fresh edits reported deduped")
+	}
+	srv1.Close()
+	st1.Close() // crash stand-in: the log's acknowledged records are already fsync'd
+
+	// Restart on the same data-dir.
+	s2, st2 := durableServer(t, dir, Config{})
+	defer st2.Close()
+	srv2 := httptest.NewServer(s2)
+	defer srv2.Close()
+
+	graphs, edits := s2.WarmRestartCounts()
+	if graphs != 1 || edits != 2 {
+		t.Fatalf("warm restart recovered %d graphs / %d edits, want 1/2", graphs, edits)
+	}
+	// The recovered session answers by fingerprint — no re-upload — with
+	// λ exactly equal to the pre-crash edited baseline.
+	var an AnalyzeResponse
+	postJSON(t, srv2, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &an, http.StatusOK)
+	if an.Lambda.Text != ed2.Lambda.Text || an.Lambda.Float != ed2.Lambda.Float {
+		t.Fatalf("recovered λ %+v != pre-crash λ %+v", an.Lambda, ed2.Lambda)
+	}
+	// The dedupe table survived: a retry of seq 2 across the restart
+	// must not re-apply.
+	var ed3 EditResponse
+	postJSON(t, srv2, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 1, Delay: 4.5}},
+		Client:   "cli-a", Seq: 2,
+	}, &ed3, http.StatusOK)
+	if !ed3.Deduped || ed3.Applied != 0 {
+		t.Fatalf("cross-restart retry not deduped: %+v", ed3)
+	}
+	if ed3.Lambda.Text != ed2.Lambda.Text {
+		t.Fatalf("deduped retry λ %s != original %s", ed3.Lambda.Text, ed2.Lambda.Text)
+	}
+	// /metrics exposes the warm-restart path (the CI crash smoke greps
+	// this line).
+	mresp, err := srv2.Client().Get(srv2.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	mb, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "tsgserve_warm_restart_graphs_total 1") {
+		t.Fatalf("metrics missing warm restart counter:\n%s", mb)
+	}
+}
+
+// TestEditDedupeExactlyOnce: a duplicate (client, seq) within one
+// server's lifetime applies exactly once, and a WAL append failure
+// (injected crash) is a 500 with nothing applied — never an
+// acknowledged-but-lost edit.
+func TestEditDedupeExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Oscillator()
+	s, st := durableServer(t, dir, Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var up UploadResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}}, &up, http.StatusOK)
+	req := EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 0, Delay: 7.5}},
+		Client:   "c", Seq: 1,
+	}
+	var first, dup EditResponse
+	postJSON(t, srv, "/v1/edit", req, &first, http.StatusOK)
+	postJSON(t, srv, "/v1/edit", req, &dup, http.StatusOK)
+	if first.Deduped || !dup.Deduped {
+		t.Fatalf("dedupe flags: first %v dup %v", first.Deduped, dup.Deduped)
+	}
+	if dup.Lambda.Text != first.Lambda.Text {
+		t.Fatalf("duplicate λ %s != original %s", dup.Lambda.Text, first.Lambda.Text)
+	}
+
+	// Stamp validation.
+	postJSON(t, srv, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 0, Delay: 1}},
+		Client:   "c", // Seq 0
+	}, nil, http.StatusBadRequest)
+	postJSON(t, srv, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 0, Delay: 1}},
+		Seq:      3, // no client
+	}, nil, http.StatusBadRequest)
+
+	// An injected WAL crash: the edit must fail (500), not apply, and
+	// not advance the seq table.
+	st.Arm(store.FailBeforeWrite)
+	postJSON(t, srv, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Edits:    []DelayEdit{{Arc: 1, Delay: 2.25}},
+		Client:   "c", Seq: 2,
+	}, nil, http.StatusInternalServerError)
+	var an AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &an, http.StatusOK)
+	if an.Lambda.Text != first.Lambda.Text {
+		t.Fatalf("failed durable edit changed λ: %s -> %s", first.Lambda.Text, an.Lambda.Text)
+	}
+}
+
+// TestInlineEditPersistsCanonicalBody: an edit against an inline-only
+// graph (never uploaded) must log a canonical body first, so the edit
+// survives restart.
+func TestInlineEditPersistsCanonicalBody(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.MullerRing(4)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	text := tsgText(t, g)
+
+	s1, st1 := durableServer(t, dir, Config{})
+	srv1 := httptest.NewServer(s1)
+	var ed EditResponse
+	postJSON(t, srv1, "/v1/edit", EditRequest{
+		GraphRef: GraphRef{Graph: text}, // inline, no prior upload
+		Edits:    []DelayEdit{{Arc: 2, Delay: 6.5}},
+		Client:   "c", Seq: 1,
+	}, &ed, http.StatusOK)
+	srv1.Close()
+	st1.Close()
+
+	s2, st2 := durableServer(t, dir, Config{})
+	defer st2.Close()
+	srv2 := httptest.NewServer(s2)
+	defer srv2.Close()
+	var an AnalyzeResponse
+	postJSON(t, srv2, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: ed.Fingerprint}}, &an, http.StatusOK)
+	if an.Lambda.Text != ed.Lambda.Text {
+		t.Fatalf("recovered inline-edit λ %s != pre-crash %s", an.Lambda.Text, ed.Lambda.Text)
+	}
+}
+
+// TestAdmissionControlSheds: saturate a 1-slot endpoint and require
+// clean 503s with Retry-After for the overflow, while admitted
+// requests still succeed.
+func TestAdmissionControlSheds(t *testing.T) {
+	g := gen.Oscillator()
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 1, RequestTimeout: 30 * time.Second})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var up UploadResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}}, &up, http.StatusOK)
+
+	// Hold the single MC slot with a long request, then overflow the
+	// queue. MC with many samples on 1 worker is slow enough to hold.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body, _ := json.Marshal(MCRequest{
+			GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+			Samples:  2000000, Jitter: 0.2, Workers: 1,
+		})
+		resp, err := srv.Client().Post(srv.URL+"/v1/mc", "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the holder to occupy the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.limits[epMC].waiters.Load() == 0 && len(s.limits[epMC].sem) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fire a burst: with 1 running + 1 queue slot, at least one of
+	// these three must shed with 503 + Retry-After.
+	var mu sync.Mutex
+	sheds := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(MCRequest{
+				GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+				Samples:  2000000, Jitter: 0.2, Workers: 1,
+			})
+			resp, err := srv.Client().Post(srv.URL+"/v1/mc", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("503 without Retry-After")
+				}
+				mu.Lock()
+				sheds++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if sheds == 0 {
+		t.Fatal("burst past capacity shed nothing")
+	}
+	<-done
+	// Shed counters are exported.
+	var total int64
+	for r := 0; r < shedReasons; r++ {
+		total += s.sheds[epMC][r].Load()
+	}
+	if total == 0 {
+		t.Fatal("sheds not counted")
+	}
+	// The endpoint still serves once the load drains.
+	var an AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &an, http.StatusOK)
+}
+
+// TestRequestDeadlineCancelsMC: a server-imposed deadline must stop a
+// long Monte-Carlo run and answer 503 + Retry-After, and the engine
+// must remain usable.
+func TestRequestDeadlineCancelsMC(t *testing.T) {
+	g := gen.Oscillator()
+	s := New(Config{RequestTimeout: 50 * time.Millisecond})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	var up UploadResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Graph: tsgText(t, g)}}, &up, http.StatusOK)
+
+	body, _ := json.Marshal(MCRequest{
+		GraphRef: GraphRef{Fingerprint: up.Fingerprint},
+		Samples:  50_000_000, Jitter: 0.2, Workers: 1,
+	})
+	startT := time.Now()
+	resp, err := srv.Client().Post(srv.URL+"/v1/mc", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("mc: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-bust MC answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("deadline 503 without Retry-After")
+	}
+	if el := time.Since(startT); el > 5*time.Second {
+		t.Fatalf("cancellation took %v — cooperative checks not firing", el)
+	}
+	// Session unharmed.
+	var an AnalyzeResponse
+	postJSON(t, srv, "/v1/analyze", AnalyzeRequest{GraphRef: GraphRef{Fingerprint: up.Fingerprint}}, &an, http.StatusOK)
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler answers 500 and
+// bumps tsgserve_panics_total; the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(Config{})
+	s.mux.HandleFunc("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("boom: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic answered %d, want 500", resp.StatusCode)
+	}
+	if s.panics.Load() != 1 {
+		t.Fatalf("panics counter = %d, want 1", s.panics.Load())
+	}
+	// Still alive, and the counter is exported.
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics after panic: %v", err)
+	}
+	defer mresp.Body.Close()
+	mb, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "tsgserve_panics_total 1") {
+		t.Fatal("metrics missing tsgserve_panics_total 1")
+	}
+}

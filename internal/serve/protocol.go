@@ -158,6 +158,16 @@ type EditRequest struct {
 	// while the λ-only answer keeps the loop simulation-free for
 	// localized edits.
 	Criticals bool `json:"criticals,omitempty"`
+	// Client and Seq make the edit idempotent under retries: a request
+	// stamped with a (client, seq) pair the server has already applied
+	// is acknowledged without re-applying (Deduped in the response), so
+	// a client that lost the response to a timeout can retry the SAME
+	// request safely — it applies exactly once. Seq must be >= 1 and
+	// strictly increase per (fingerprint, client); the table survives
+	// server restarts when the server runs durable. Unstamped edits
+	// (empty client) keep the old at-least-once behavior.
+	Client string `json:"client,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
 }
 
 // EditResponse is the outcome of POST /v1/edit: λ at the edited
@@ -166,11 +176,16 @@ type EditRequest struct {
 // shows the edit being answered by dirty-cone patching rather than
 // re-simulation).
 type EditResponse struct {
-	Fingerprint string          `json:"fingerprint"`
-	Applied     int             `json:"applied"`
-	Lambda      Lambda          `json:"lambda"`
-	Critical    []CriticalCycle `json:"critical,omitempty"`
-	Stats       EngineStats     `json:"stats"`
+	Fingerprint string `json:"fingerprint"`
+	Applied     int    `json:"applied"`
+	// Deduped reports that the request's (client, seq) stamp was already
+	// applied: nothing was re-applied (Applied is 0) and Lambda is the
+	// current baseline — for a genuine retry, exactly the λ the lost
+	// response carried.
+	Deduped  bool            `json:"deduped,omitempty"`
+	Lambda   Lambda          `json:"lambda"`
+	Critical []CriticalCycle `json:"critical,omitempty"`
+	Stats    EngineStats     `json:"stats"`
 }
 
 // MCRequest asks for a Monte-Carlo cycle-time analysis over the

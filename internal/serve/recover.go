@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+
+	"tsg/internal/store"
+)
+
+// Recover replays a write-ahead log recovery into the server: every
+// persisted graph body is re-parsed and recompiled into the engine
+// cache, every committed edit is re-applied to its engine in log
+// order, and the exactly-once (client, seq) table is rebuilt. A node
+// killed mid-traffic and rebooted on the same data-dir therefore
+// comes back with its whole working set — same fingerprints, same
+// edited baselines, λ bit-identical to an uninterrupted run (replay
+// applies the same canonical-rank delay assignments to the same
+// compiled kernel; the CHAOS experiment gates on exact rational
+// equality).
+//
+// Recovery is resilient by design: a record that no longer replays —
+// unparseable body, fingerprint mismatch, an edit for a graph that
+// failed recovery — is logged and skipped, never fatal. Losing one
+// graph to corruption must not take down the node and the rest of its
+// working set. Recovered compiles and edits are counted separately
+// (tsgserve_warm_restart_* in /metrics), so operators can tell a warm
+// boot's work from request traffic.
+//
+// Call Recover once, after New and before serving traffic.
+func (s *Server) Recover(rec *store.Recovery) error {
+	if rec == nil {
+		return nil
+	}
+	if s.cache.Disabled() && (len(rec.Graphs) > 0 || len(rec.Edits) > 0) {
+		return fmt.Errorf("serve: cannot recover %d graphs / %d edits into a disabled engine cache",
+			len(rec.Graphs), len(rec.Edits))
+	}
+	if rec.TruncatedBytes > 0 {
+		log.Printf("serve: recovery dropped a torn log tail of %d bytes (the in-flight record of the crash; it was never acknowledged)", rec.TruncatedBytes)
+	}
+	recovered := map[string]bool{}
+	for _, gb := range rec.Graphs {
+		ent, hit, err := s.resolveRecovered(gb)
+		if err != nil {
+			log.Printf("serve: skipping logged graph %s: %v", gb.Fingerprint, err)
+			continue
+		}
+		if !hit {
+			s.warmGraphs.Add(1)
+		}
+		recovered[ent.Key] = true
+	}
+	for _, ed := range rec.Edits {
+		if !recovered[ed.Fingerprint] {
+			log.Printf("serve: skipping logged edit for unrecovered graph %s", ed.Fingerprint)
+			continue
+		}
+		ent := s.cache.Get(ed.Fingerprint)
+		if ent == nil {
+			// Evicted between its own recovery and this edit: the cache
+			// budget cannot hold the logged working set.
+			log.Printf("serve: skipping logged edit for %s: evicted during recovery (cache budget too small for the logged working set)", ed.Fingerprint)
+			continue
+		}
+		if err := s.applyRecoveredEdit(ent, ed); err != nil {
+			log.Printf("serve: skipping logged edit for %s: %v", ed.Fingerprint, err)
+			continue
+		}
+		if ed.Reset || len(ed.Edits) > 0 {
+			s.warmEdits.Add(1)
+		}
+	}
+	return nil
+}
+
+// resolveRecovered recompiles one logged graph body into the cache,
+// verifying the parsed content still keys to the logged fingerprint
+// (the durability invariant: the log maps fingerprints to bodies that
+// produce them).
+func (s *Server) resolveRecovered(gb store.GraphBody) (*Entry, bool, error) {
+	ent, hit, err := s.resolve(GraphRef{Graph: string(gb.Body)})
+	if err != nil {
+		return nil, false, err
+	}
+	if ent.Key != gb.Fingerprint {
+		return nil, false, fmt.Errorf("logged body keys to %s, not the logged fingerprint", ent.Key)
+	}
+	return ent, hit, nil
+}
+
+// applyRecoveredEdit re-applies one logged edit: canonical wire ranks
+// map through the entry's Canon table exactly as the original request
+// did, and the (client, seq) dedupe table is restored, so a client
+// retrying across the restart still applies exactly once.
+func (s *Server) applyRecoveredEdit(ent *Entry, ed store.Edit) error {
+	if ed.Reset {
+		ent.Engine.ResetDelays()
+	}
+	for _, d := range ed.Edits {
+		if d.Arc < 0 || d.Arc >= len(ent.Canon) {
+			return fmt.Errorf("logged arc rank %d out of range [0,%d)", d.Arc, len(ent.Canon))
+		}
+		if err := ent.Engine.SetDelay(ent.Canon[d.Arc], d.Delay); err != nil {
+			return err
+		}
+	}
+	if ed.Client != "" {
+		s.editMu.Lock()
+		m := s.seqs[ent.Key]
+		if m == nil {
+			m = map[string]uint64{}
+			s.seqs[ent.Key] = m
+		}
+		if ed.Seq > m[ed.Client] {
+			m[ed.Client] = ed.Seq
+		}
+		s.editMu.Unlock()
+	}
+	return nil
+}
+
+// WarmRestartCounts reports how many engines were recompiled and edit
+// records re-applied by Recover (the daemon's boot log and the CHAOS
+// experiment read them without scraping /metrics).
+func (s *Server) WarmRestartCounts() (graphs, edits int64) {
+	return s.warmGraphs.Load(), s.warmEdits.Load()
+}

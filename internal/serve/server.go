@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"tsg/internal/netlist"
 	"tsg/internal/sg"
 	"tsg/internal/stat"
+	"tsg/internal/store"
 )
 
 // Config tunes a Server.
@@ -27,6 +30,26 @@ type Config struct {
 	CacheBytes int64
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// Store, when set, makes the server durable: every upload body and
+	// every committed edit is appended to the write-ahead log BEFORE it
+	// is acknowledged, and Recover replays the log on boot so a killed
+	// node comes back with its whole working set at bit-identical λ.
+	// With no Store the server is a volatile cache, exactly as before.
+	Store *store.Store
+	// MaxConcurrent bounds concurrently executing requests per POST
+	// endpoint; excess requests wait in a bounded queue or are shed with
+	// 503 + Retry-After. 0 means unlimited (no admission control).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting per endpoint when MaxConcurrent
+	// is saturated (default 4× MaxConcurrent). Waiters past the bound —
+	// or whose deadline expires while waiting — are shed.
+	MaxQueue int
+	// RequestTimeout is the per-request deadline. It bounds admission
+	// waiting and propagates as the request context into the engine's
+	// cancellable analyses (Monte-Carlo, sensitivity sweeps), so an
+	// admitted request never holds workers past its deadline. 0 means
+	// no server-imposed deadline.
+	RequestTimeout time.Duration
 }
 
 // DefaultCacheBytes is the default engine-cache budget: enough for a
@@ -42,6 +65,27 @@ type Server struct {
 	mux      *http.ServeMux
 	queries  [endpoints]atomic.Int64
 	failures atomic.Int64
+
+	// Durability (nil store = volatile server).
+	store *store.Store
+	// editMu serialises the edit commit path: dedupe check, WAL append
+	// and engine apply happen under one hold, so WAL order is apply
+	// order and a retried (client, seq) can never apply twice.
+	editMu sync.Mutex
+	// seqs is the exactly-once table: fingerprint → client → highest
+	// applied sequence number. Guarded by editMu; rebuilt by Recover.
+	seqs map[string]map[string]uint64
+
+	// Overload protection.
+	limits  [endpoints]*limiter
+	timeout time.Duration
+	sheds   [endpoints][shedReasons]atomic.Int64
+	panics  atomic.Int64
+
+	// Warm-restart accounting: engines recompiled and edits re-applied
+	// by Recover, counted separately from request-driven compiles.
+	warmGraphs atomic.Int64
+	warmEdits  atomic.Int64
 }
 
 // endpoint indices for the per-endpoint query counters.
@@ -72,22 +116,43 @@ func New(cfg Config) *Server {
 		maxBody: maxBody,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
+		store:   cfg.Store,
+		seqs:    map[string]map[string]uint64{},
+		timeout: cfg.RequestTimeout,
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
-	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("POST /v1/slacks", s.handleSlacks)
-	s.mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
-	s.mux.HandleFunc("POST /v1/mc", s.handleMC)
-	s.mux.HandleFunc("POST /v1/edit", s.handleEdit)
+	if cfg.MaxConcurrent > 0 {
+		maxQueue := cfg.MaxQueue
+		if maxQueue <= 0 {
+			maxQueue = 4 * cfg.MaxConcurrent
+		}
+		for ep := 0; ep < endpoints; ep++ {
+			s.limits[ep] = newLimiter(cfg.MaxConcurrent, maxQueue)
+		}
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.admit(epUpload, s.handleUpload))
+	s.mux.HandleFunc("POST /v1/analyze", s.admit(epAnalyze, s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/slacks", s.admit(epSlacks, s.handleSlacks))
+	s.mux.HandleFunc("POST /v1/whatif", s.admit(epWhatIf, s.handleWhatIf))
+	s.mux.HandleFunc("POST /v1/mc", s.admit(epMC, s.handleMC))
+	s.mux.HandleFunc("POST /v1/edit", s.admit(epEdit, s.handleEdit))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: panic recovery outermost (a
+// panicking handler costs one 500, never the daemon), then the body
+// bound, then the request deadline (which admission waits and engine
+// analyses both observe), then the routed handler behind its
+// admission gate.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	s.mux.ServeHTTP(w, r)
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.withRecovery(w, r, s.mux)
 }
 
 // Cache exposes the engine cache (the daemon's shutdown log and the
@@ -126,7 +191,11 @@ func sanitizeCI(v float64) float64 {
 	return v
 }
 
-// writeError encodes a failure response.
+// writeError encodes a failure response. Requests that ran out of
+// deadline mid-analysis (the engine's cancellable loops return the
+// context error) answer 503 + Retry-After like a shed request: the
+// failure is the server's load, not the request, and the client's
+// backoff retry is the right reaction to both.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.failures.Add(1)
 	status := http.StatusInternalServerError
@@ -138,9 +207,22 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &maxErr) {
 		status = http.StatusRequestEntityTooLarge
 	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		err = fmt.Errorf("request deadline exceeded during analysis: %w", err)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// writeErrorStatus encodes a failure with an explicit status, without
+// the failure-counter side effect (callers count their own).
+func (s *Server) writeErrorStatus(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }
 
 // decode parses a JSON request body.
@@ -231,6 +313,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, err)
 		return
+	}
+	// Durability before acknowledgement: the fingerprint this response
+	// hands out must survive a crash, so the body is logged (once per
+	// fingerprint) before the client learns it. A WAL failure fails the
+	// upload — acknowledging an unlogged fingerprint would be a silent
+	// durability lie.
+	if s.store != nil && !s.store.HasGraph(ent.Key) {
+		if err := s.store.AppendGraph(ent.Key, []byte(text)); err != nil {
+			s.writeError(w, fmt.Errorf("persisting graph: %w", err))
+			return
+		}
 	}
 	s.writeJSON(w, UploadResponse{
 		Fingerprint:  ent.Key,
@@ -344,8 +437,9 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		cands[i] = cycletime.WhatIf{Arc: ent.Canon[q.Arc], Delay: q.Delay}
 	}
 	// Queries are fully validated above; a sweep failure past this
-	// point is the server's problem, not the client's (500).
-	lams, err := ent.Engine.SensitivitySweep(cands)
+	// point is the server's problem, not the client's (500) — except a
+	// deadline expiry, which writeError maps to a retryable 503.
+	lams, err := ent.Engine.SensitivitySweepCtx(r.Context(), cands)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -404,20 +498,27 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// Edits are fully validated; failures past this point are 500s.
-	if req.Reset {
-		ent.Engine.ResetDelays()
+	if req.Client == "" && req.Seq != 0 {
+		s.writeError(w, badRequest("edit sequence number %d without a client id", req.Seq))
+		return
 	}
-	for _, ed := range req.Edits {
-		if err := ent.Engine.SetDelay(ent.Canon[ed.Arc], ed.Delay); err != nil {
-			s.writeError(w, err)
-			return
-		}
+	if req.Client != "" && req.Seq == 0 {
+		s.writeError(w, badRequest("client %q stamped no sequence number (seq must be >= 1)", req.Client))
+		return
+	}
+	// Edits are fully validated; failures past this point are 500s.
+	deduped, err := s.commitEdit(ent, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
 	}
 	// λ-only by default: CycleTime stops after pass 1, so a localized
 	// edit is answered without any simulation; Criticals opts into the
 	// winner re-simulation of the lazy pass 2.
-	resp := EditResponse{Fingerprint: ent.Key, Applied: len(req.Edits)}
+	resp := EditResponse{Fingerprint: ent.Key, Deduped: deduped}
+	if !deduped {
+		resp.Applied = len(req.Edits)
+	}
 	if req.Criticals {
 		lam, critical, err := ent.Engine.Summary()
 		if err != nil {
@@ -447,6 +548,77 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Stats = wireStats(ent.Engine.Stats())
 	s.writeJSON(w, resp)
+}
+
+// commitEdit is the serialised commit path of a validated edit:
+// duplicate detection, write-ahead logging and engine application
+// under one editMu hold, so the WAL's record order is the engines'
+// apply order (replay is then trivially equivalent) and a retried
+// (client, seq) pair applies exactly once.
+//
+// The dedupe contract: a request stamped with a (client, seq) the
+// server has already applied is acknowledged without re-applying —
+// deduped=true, and the caller answers λ at the CURRENT baseline.
+// Since the client package only retries an edit it never saw
+// acknowledged, and stamps the retry with the same seq, the duplicate
+// can only be the immediately preceding edit — whose post-state is the
+// current baseline — so the retried response equals the lost one.
+func (s *Server) commitEdit(ent *Entry, req *EditRequest) (deduped bool, err error) {
+	s.editMu.Lock()
+	defer s.editMu.Unlock()
+	if req.Client != "" {
+		if req.Seq <= s.seqs[ent.Key][req.Client] {
+			return true, nil
+		}
+	}
+	if s.store != nil {
+		// An edit is session state against a fingerprint: for replay to
+		// re-apply it, the body must be in the log too. Inline-text
+		// sessions (never uploaded) get a canonical re-serialisation of
+		// the entry's graph + model logged on their first durable edit.
+		if !s.store.HasGraph(ent.Key) {
+			var b strings.Builder
+			if err := netlist.WriteTSGDist(&b, ent.Graph, ent.Model); err != nil {
+				return false, fmt.Errorf("serialising graph for the log: %w", err)
+			}
+			if err := s.store.AppendGraph(ent.Key, []byte(b.String())); err != nil {
+				return false, fmt.Errorf("persisting graph: %w", err)
+			}
+		}
+		rec := store.Edit{
+			Fingerprint: ent.Key,
+			Reset:       req.Reset,
+			Client:      req.Client,
+			Seq:         req.Seq,
+		}
+		for _, ed := range req.Edits {
+			rec.Edits = append(rec.Edits, store.EditDelta{Arc: ed.Arc, Delay: ed.Delay})
+		}
+		// Write-ahead: the edit is logged before it is applied, so an
+		// acknowledged edit is never lost — and an edit lost to a crash
+		// here was never acknowledged (the request fails with 500 and the
+		// client's retry re-commits it under the same seq).
+		if err := s.store.AppendEdit(rec); err != nil {
+			return false, fmt.Errorf("persisting edit: %w", err)
+		}
+	}
+	if req.Reset {
+		ent.Engine.ResetDelays()
+	}
+	for _, ed := range req.Edits {
+		if err := ent.Engine.SetDelay(ent.Canon[ed.Arc], ed.Delay); err != nil {
+			return false, err
+		}
+	}
+	if req.Client != "" {
+		m := s.seqs[ent.Key]
+		if m == nil {
+			m = map[string]uint64{}
+			s.seqs[ent.Key] = m
+		}
+		m[req.Client] = req.Seq
+	}
+	return false, nil
 }
 
 func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
@@ -493,7 +665,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := ent.Engine.AnalyzeMC(model, cycletime.MCOptions{
+	res, err := ent.Engine.AnalyzeMCCtx(r.Context(), model, cycletime.MCOptions{
 		Samples:     req.Samples,
 		MinSamples:  req.MinSamples,
 		Seed:        req.Seed,
@@ -578,6 +750,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE tsgserve_engine_fast_path_answers gauge\n")
 	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"certificate\"} %d\n", es.FastPathHits)
 	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"whatif_row\"} %d\n", es.TableAnswers)
+	fmt.Fprintf(&b, "# HELP tsgserve_panics_total Handler panics recovered to a 500 instead of killing the daemon.\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_panics_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_panics_total %d\n", s.panics.Load())
+	fmt.Fprintf(&b, "# HELP tsgserve_shed_total Requests shed by admission control with 503 + Retry-After, by endpoint and reason.\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_shed_total counter\n")
+	for ep, name := range endpointNames {
+		for rs, reason := range shedReasonNames {
+			fmt.Fprintf(&b, "tsgserve_shed_total{endpoint=%q,reason=%q} %d\n", name, reason, s.sheds[ep][rs].Load())
+		}
+	}
+	fmt.Fprintf(&b, "# HELP tsgserve_warm_restart_graphs_total Engines recompiled from the write-ahead log on boot (counted separately from request-driven compiles).\n")
+	fmt.Fprintf(&b, "# TYPE tsgserve_warm_restart_graphs_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_warm_restart_graphs_total %d\n", s.warmGraphs.Load())
+	fmt.Fprintf(&b, "# TYPE tsgserve_warm_restart_edits_total counter\n")
+	fmt.Fprintf(&b, "tsgserve_warm_restart_edits_total %d\n", s.warmEdits.Load())
+	if s.store != nil {
+		fmt.Fprintf(&b, "# TYPE tsgserve_wal_bytes gauge\n")
+		fmt.Fprintf(&b, "tsgserve_wal_bytes %d\n", s.store.Size())
+		fmt.Fprintf(&b, "# TYPE tsgserve_wal_compaction_runs_total counter\n")
+		fmt.Fprintf(&b, "tsgserve_wal_compaction_runs_total %d\n", s.store.Compactions())
+	}
 	fmt.Fprintf(&b, "# TYPE tsgserve_uptime_seconds gauge\n")
 	fmt.Fprintf(&b, "tsgserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
 	_, _ = io.WriteString(w, b.String())

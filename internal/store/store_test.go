@@ -1,0 +1,347 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir, Options{NoAutoCompact: true})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := open(t, dir)
+	if rec.Records != 0 || len(rec.Graphs) != 0 || len(rec.Edits) != 0 {
+		t.Fatalf("fresh log recovered state: %+v", rec)
+	}
+	if err := s.AppendGraph("fpA", []byte("graph A body")); err != nil {
+		t.Fatalf("AppendGraph: %v", err)
+	}
+	if err := s.AppendGraph("fpB", []byte("graph B body")); err != nil {
+		t.Fatalf("AppendGraph: %v", err)
+	}
+	if !s.HasGraph("fpA") || !s.HasGraph("fpB") || s.HasGraph("fpC") {
+		t.Fatal("HasGraph mismatch")
+	}
+	edits := []Edit{
+		{Fingerprint: "fpA", Client: "c1", Seq: 1, Edits: []EditDelta{{Arc: 0, Delay: 9.5}, {Arc: 3, Delay: 2}}},
+		{Fingerprint: "fpA", Reset: true, Client: "c1", Seq: 2},
+		{Fingerprint: "fpB", Client: "c2", Seq: 7, Edits: []EditDelta{{Arc: 1, Delay: 0.25}}},
+	}
+	for _, e := range edits {
+		if err := s.AppendEdit(e); err != nil {
+			t.Fatalf("AppendEdit: %v", err)
+		}
+	}
+	s.Close()
+
+	s2, rec2 := open(t, dir)
+	defer s2.Close()
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean log reported %d truncated bytes", rec2.TruncatedBytes)
+	}
+	if rec2.Records != 5 {
+		t.Fatalf("Records = %d, want 5", rec2.Records)
+	}
+	if len(rec2.Graphs) != 2 || rec2.Graphs[0].Fingerprint != "fpA" || rec2.Graphs[1].Fingerprint != "fpB" {
+		t.Fatalf("Graphs = %+v", rec2.Graphs)
+	}
+	if string(rec2.Graphs[0].Body) != "graph A body" {
+		t.Fatalf("body round trip: %q", rec2.Graphs[0].Body)
+	}
+	if len(rec2.Edits) != 3 {
+		t.Fatalf("Edits = %+v", rec2.Edits)
+	}
+	e := rec2.Edits[0]
+	if e.Fingerprint != "fpA" || e.Client != "c1" || e.Seq != 1 || len(e.Edits) != 2 ||
+		e.Edits[0] != (EditDelta{Arc: 0, Delay: 9.5}) || e.Edits[1] != (EditDelta{Arc: 3, Delay: 2}) {
+		t.Fatalf("edit 0 round trip: %+v", e)
+	}
+	if !rec2.Edits[1].Reset || rec2.Edits[1].Seq != 2 {
+		t.Fatalf("edit 1 round trip: %+v", rec2.Edits[1])
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	if err := s.AppendGraph("fpA", []byte("intact body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEdit(Edit{Fingerprint: "fpA", Edits: []EditDelta{{Arc: 2, Delay: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	good := s.Size()
+	s.Close()
+
+	// Simulate a crash that tore the last append: a garbage tail of
+	// varying lengths, including one long enough to parse as a header.
+	// Each iteration appends one more (intact) edit after recovery.
+	for i, tail := range [][]byte{{0x17}, {1, 2, 3, 4, 5, 6, 7}, make([]byte, 64)} {
+		path := filepath.Join(dir, "wal.log")
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write(tail)
+		f.Close()
+
+		s2, rec := open(t, dir)
+		if rec.TruncatedBytes != int64(len(tail)) {
+			t.Fatalf("tail %d: TruncatedBytes = %d", len(tail), rec.TruncatedBytes)
+		}
+		if rec.Records != 2+i || len(rec.Graphs) != 1 || len(rec.Edits) != 1+i {
+			t.Fatalf("tail %d: recovery lost records: %+v", len(tail), rec)
+		}
+		if s2.Size() != good {
+			t.Fatalf("tail %d: size %d after truncation, want %d", len(tail), s2.Size(), good)
+		}
+		// The truncated log must accept further appends.
+		if err := s2.AppendEdit(Edit{Fingerprint: "fpA", Edits: []EditDelta{{Arc: 0, Delay: 1}}}); err != nil {
+			t.Fatalf("tail %d: append after truncation: %v", len(tail), err)
+		}
+		good = s2.Size()
+		s2.Close()
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	s.AppendGraph("fpA", []byte("first"))
+	mid := s.Size()
+	s.AppendGraph("fpB", []byte("second"))
+	s.Close()
+
+	// Flip a payload byte of the second record: its checksum fails, so
+	// replay must stop after the first record and drop the rest.
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[mid+20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.Records != 1 || len(rec.Graphs) != 1 || rec.Graphs[0].Fingerprint != "fpA" {
+		t.Fatalf("recovery past corruption: %+v", rec)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("corrupt record not reported as truncated")
+	}
+	if s2.HasGraph("fpB") {
+		t.Fatal("corrupt record replayed as data")
+	}
+}
+
+func TestCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	s.AppendGraph("fpA", []byte("graph A"))
+	s.AppendGraph("fpB", []byte("graph B"))
+	// A churny edit history whose live state is small: repeated
+	// assignments to the same arcs, a reset, a re-edit.
+	for i := 0; i < 50; i++ {
+		s.AppendEdit(Edit{Fingerprint: "fpA", Client: "c1", Seq: uint64(i + 1),
+			Edits: []EditDelta{{Arc: 0, Delay: float64(i)}, {Arc: 1, Delay: float64(2 * i)}}})
+	}
+	s.AppendEdit(Edit{Fingerprint: "fpA", Reset: true, Client: "c1", Seq: 51})
+	s.AppendEdit(Edit{Fingerprint: "fpA", Client: "c1", Seq: 52, Edits: []EditDelta{{Arc: 4, Delay: 7.5}}})
+	s.AppendEdit(Edit{Fingerprint: "fpB", Client: "c2", Seq: 3, Edits: []EditDelta{{Arc: 2, Delay: 1.5}}})
+	before := s.Size()
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if s.Size() >= before {
+		t.Fatalf("compaction did not shrink: %d -> %d", before, s.Size())
+	}
+	if s.Compactions() != 1 {
+		t.Fatalf("Compactions = %d", s.Compactions())
+	}
+	// Appends after compaction must land in the compacted log.
+	if err := s.AppendEdit(Edit{Fingerprint: "fpB", Client: "c2", Seq: 4, Edits: []EditDelta{{Arc: 0, Delay: 9}}}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	s.Close()
+
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if rec.TruncatedBytes != 0 {
+		t.Fatalf("compacted log torn: %d bytes", rec.TruncatedBytes)
+	}
+	if len(rec.Graphs) != 2 || rec.Graphs[0].Fingerprint != "fpA" || rec.Graphs[1].Fingerprint != "fpB" {
+		t.Fatalf("graphs after compaction: %+v", rec.Graphs)
+	}
+	// Replaying the compacted log must yield the same final per-arc
+	// delays: fpA reset + arc4=7.5; fpB arc2=1.5 then arc0=9.
+	delays := map[string]map[int]float64{}
+	resets := map[string]bool{}
+	seqs := map[string]map[string]uint64{}
+	for _, e := range rec.Edits {
+		if e.Reset {
+			delays[e.Fingerprint] = nil
+			resets[e.Fingerprint] = true
+		}
+		for _, d := range e.Edits {
+			if delays[e.Fingerprint] == nil {
+				delays[e.Fingerprint] = map[int]float64{}
+			}
+			delays[e.Fingerprint][d.Arc] = d.Delay
+		}
+		if e.Client != "" {
+			if seqs[e.Fingerprint] == nil {
+				seqs[e.Fingerprint] = map[string]uint64{}
+			}
+			if e.Seq > seqs[e.Fingerprint][e.Client] {
+				seqs[e.Fingerprint][e.Client] = e.Seq
+			}
+		}
+	}
+	if !resets["fpA"] {
+		t.Fatal("fpA reset lost in compaction")
+	}
+	if got := delays["fpA"]; len(got) != 1 || got[4] != 7.5 {
+		t.Fatalf("fpA delays after compaction: %v", got)
+	}
+	if got := delays["fpB"]; len(got) != 2 || got[2] != 1.5 || got[0] != 9 {
+		t.Fatalf("fpB delays after compaction: %v", got)
+	}
+	// The dedupe table must survive: highest seq per (fp, client).
+	if seqs["fpA"]["c1"] != 52 || seqs["fpB"]["c2"] != 4 {
+		t.Fatalf("seqs after compaction: %v", seqs)
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{CompactFloor: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AppendGraph("fpA", []byte("tiny"))
+	for i := 0; i < 400; i++ {
+		if err := s.AppendEdit(Edit{Fingerprint: "fpA", Edits: []EditDelta{{Arc: 0, Delay: float64(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Compactions() == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	if s.Size() > 4096 {
+		t.Fatalf("log grew unbounded under churn: %d bytes", s.Size())
+	}
+}
+
+func TestCrashPoints(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		point    FailPoint
+		mayMiss  bool // the crashed append's record may be absent on replay
+		mustMiss bool // ...must be absent
+	}{
+		{"before-write", FailBeforeWrite, true, true},
+		{"partial-write", FailPartialWrite, true, true},
+		{"before-sync", FailBeforeSync, true, false}, // bytes written, not synced: present on this FS
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := open(t, dir)
+			if err := s.AppendGraph("fpA", []byte("survivor")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AppendEdit(Edit{Fingerprint: "fpA", Client: "c", Seq: 1, Edits: []EditDelta{{Arc: 0, Delay: 3}}}); err != nil {
+				t.Fatal(err)
+			}
+			s.Arm(tc.point)
+			err := s.AppendEdit(Edit{Fingerprint: "fpA", Client: "c", Seq: 2, Edits: []EditDelta{{Arc: 1, Delay: 4}}})
+			if err != ErrCrashed {
+				t.Fatalf("armed append: %v, want ErrCrashed", err)
+			}
+			// Dead process emulation: every later operation fails too.
+			if err := s.AppendGraph("fpB", nil); err != ErrCrashed {
+				t.Fatalf("append after crash: %v, want ErrCrashed", err)
+			}
+			if err := s.Compact(); err != ErrCrashed {
+				t.Fatalf("compact after crash: %v, want ErrCrashed", err)
+			}
+
+			// Restart: acknowledged records always recover; the crashed
+			// append never replays as garbage.
+			s2, rec := open(t, dir)
+			defer s2.Close()
+			if len(rec.Graphs) != 1 || string(rec.Graphs[0].Body) != "survivor" {
+				t.Fatalf("acknowledged graph lost: %+v", rec)
+			}
+			if len(rec.Edits) < 1 || rec.Edits[0].Seq != 1 {
+				t.Fatalf("acknowledged edit lost: %+v", rec.Edits)
+			}
+			crashed := len(rec.Edits) == 2
+			if crashed && tc.mustMiss {
+				t.Fatalf("%s: unacknowledged record replayed", tc.name)
+			}
+			if !crashed && !tc.mayMiss {
+				t.Fatalf("%s: fully-written record lost", tc.name)
+			}
+			if crashed && rec.Edits[1].Seq != 2 {
+				t.Fatalf("surviving record corrupt: %+v", rec.Edits[1])
+			}
+			if tc.point == FailPartialWrite && rec.TruncatedBytes == 0 {
+				t.Fatal("torn write left no truncated tail")
+			}
+		})
+	}
+}
+
+func TestCrashBeforeCompactRename(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := open(t, dir)
+	s.AppendGraph("fpA", []byte("graph A"))
+	for i := 0; i < 10; i++ {
+		s.AppendEdit(Edit{Fingerprint: "fpA", Client: "c", Seq: uint64(i + 1),
+			Edits: []EditDelta{{Arc: 0, Delay: float64(i)}}})
+	}
+	s.Arm(FailBeforeCompactRename)
+	if err := s.Compact(); err != ErrCrashed {
+		t.Fatalf("armed compact: %v, want ErrCrashed", err)
+	}
+
+	// The old log is untouched; the orphan temp file is ignored.
+	s2, rec := open(t, dir)
+	defer s2.Close()
+	if len(rec.Graphs) != 1 || len(rec.Edits) != 10 {
+		t.Fatalf("state lost to crashed compaction: %d graphs, %d edits", len(rec.Graphs), len(rec.Edits))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.compact")); !os.IsNotExist(err) {
+		t.Fatalf("orphan compaction file not cleaned: %v", err)
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("compaction after recovery: %v", err)
+	}
+}
+
+func TestEmptyAndMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	s, rec := open(t, dir)
+	if rec.Records != 0 {
+		t.Fatalf("missing dir recovered records: %+v", rec)
+	}
+	if err := s.AppendGraph("fp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.AppendGraph("fp2", nil); err != ErrCrashed {
+		t.Fatalf("append after close: %v", err)
+	}
+}
