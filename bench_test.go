@@ -16,6 +16,7 @@ import (
 	"tsg/internal/cycletime"
 	"tsg/internal/exp"
 	"tsg/internal/gen"
+	"tsg/internal/hier"
 	"tsg/internal/maxplus"
 	"tsg/internal/mcr"
 	"tsg/internal/timesim"
@@ -616,4 +617,61 @@ func BenchmarkVerifySemimodularity(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- PR 7: hierarchical compression + the memory-bounded kernel ----------
+
+// BenchmarkFlatPipeGrid100k compares the two pass-1 layouts on a
+// 10^5-event pipegrid: the full per-period trace slab against the
+// two-row rolling window (results are bit-identical; the window trades
+// the O(n·periods) slab for O(n)). LambdaOnly matches how the SCALE
+// experiment runs the flat reference at this size.
+func BenchmarkFlatPipeGrid100k(b *testing.B) {
+	g, err := gen.PipeGridSized(100_000, 16, 4, 7003)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		wb   int64
+	}{{"slab", -1}, {"window", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cycletime.AnalyzeOpts(g, cycletime.Options{
+					WindowBytes: mode.wb, LambdaOnly: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHierPipeGrid100k is the PR 7 headline: compress the
+// 10^5-event pipegrid to its boundary skeleton, analyze the compressed
+// graph, and expand the λ-winners back to concrete flat cycles. One op
+// is the whole pipeline (Compress + kernel + expansion), the unit the
+// SCALE experiment gates against the flat reference.
+func BenchmarkHierPipeGrid100k(b *testing.B) {
+	g, err := gen.PipeGridSized(100_000, 16, 4, 7003)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := hier.Analyze(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Stats.Fallback {
+			b.Fatal("unexpected flat fallback")
+		}
+	}
+}
+
+// BenchmarkScaleExperiment regenerates the full scalability-wall sweep
+// (10^3..10^6 events, hier vs flat λ bit-equality and per-row heap
+// budget gates included).
+func BenchmarkScaleExperiment(b *testing.B) {
+	runExp(b, "SCALE")
 }

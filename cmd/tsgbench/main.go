@@ -19,7 +19,10 @@
 //
 // -quick trims experiments to smoke-test size and disables their
 // timing gates (correctness assertions stay), so CI can run them on
-// loaded shared runners. -cpuprofile/-memprofile write pprof profiles
+// loaded shared runners. -peakrss adds peak-memory columns per
+// experiment (sampled Go heap peak + process VmHWM) to both the human
+// and JSON output — the CI scale smoke runs SCALE standalone with it
+// so the process high-water mark is attributable. -cpuprofile/-memprofile write pprof profiles
 // covering the selected experiments — the way to see where kernel time
 // goes without editing code (see BENCHMARKS.md "Profiling").
 package main
@@ -44,6 +47,12 @@ type result struct {
 	OK        bool    `json:"ok"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Error     string  `json:"error,omitempty"`
+	// Peak-memory columns, present with -peakrss: the sampled peak Go
+	// heap occupancy over the experiment (attributable to it) and the
+	// process resident-set high-water mark after it (monotone across the
+	// whole process; meaningful when tsgbench runs one experiment).
+	HeapPeakMB float64 `json:"heap_peak_mb,omitempty"`
+	VmHWMMB    float64 `json:"vm_hwm_mb,omitempty"`
 }
 
 func main() { os.Exit(realMain()) }
@@ -56,6 +65,7 @@ func realMain() int {
 	run := flag.String("run", "all", "experiment ID to run, or 'all'")
 	jsonOut := flag.Bool("json", false, "write results as JSON to stdout (suppresses experiment tables)")
 	quick := flag.Bool("quick", false, "smoke-test mode: shrink experiments and drop timing gates (correctness checks stay)")
+	peakRSS := flag.Bool("peakrss", false, "record peak memory per experiment: sampled Go heap peak and /proc self VmHWM (JSON columns heap_peak_mb, vm_hwm_mb)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
@@ -125,11 +135,20 @@ func realMain() int {
 		} else {
 			fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
 		}
+		var sampler *exp.HeapSampler
+		if *peakRSS {
+			runtime.GC() // make the sampled peak attributable to this experiment
+			sampler = exp.StartHeapSampler(5 * time.Millisecond)
+		}
 		start := time.Now()
 		err := e.Run(out)
 		elapsed := time.Since(start)
 		r := result{ID: e.ID, Title: e.Title, OK: err == nil,
 			ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
+		if sampler != nil {
+			r.HeapPeakMB = float64(sampler.Stop()) / (1 << 20)
+			r.VmHWMMB = float64(exp.VmHWMBytes()) / (1 << 20)
+		}
 		if err != nil {
 			r.Error = err.Error()
 			failed++
@@ -138,6 +157,9 @@ func realMain() int {
 			}
 		} else if !*jsonOut {
 			fmt.Printf("ok   %s (%v)\n", e.ID, elapsed.Round(time.Millisecond))
+			if sampler != nil {
+				fmt.Printf("     heap peak %.1f MB, process VmHWM %.1f MB\n", r.HeapPeakMB, r.VmHWMMB)
+			}
 		}
 		if !*jsonOut {
 			fmt.Println()

@@ -10,6 +10,14 @@
 //	tsggen -kind stack -cells 31       > stack.tsg
 //	tsggen -kind pipeline -stages 8 -tokens 2 > pipe.tsg
 //	tsggen -kind random -events 1000 -border 8 -arcs 2000 -seed 7 > rnd.tsg
+//	tsggen -kind pipegrid -sites 16 -pipedepth 64 -pipewidth 4    > grid.tsg
+//	tsggen -kind mesh -mesh 64x16                                 > mesh.tsg
+//	tsggen -kind treering -sites 6 -levels 8 -fanout 2            > tor.tsg
+//
+// The pipegrid, mesh and treering kinds are the huge structured
+// families of the SCALE experiment: a small ring of token sites with
+// token-free fabric between them, so graphs scale to millions of
+// events while the border (and the analysis period count) stays tiny.
 package main
 
 import (
@@ -25,7 +33,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "oscillator", "oscillator, ring, stack, pipeline, random")
+	kind := flag.String("kind", "oscillator", "oscillator, ring, stack, pipeline, random, pipegrid, mesh, treering")
 	ckt := flag.Bool("ckt", false, "emit the gate-level .ckt netlist instead of the .tsg graph (oscillator, ring, pipeline)")
 	stages := flag.Int("stages", 5, "ring/pipeline stages")
 	tokens := flag.Int("tokens", 1, "pipeline data tokens")
@@ -34,6 +42,13 @@ func main() {
 	border := flag.Int("border", 8, "random graph border size")
 	arcs := flag.Int("arcs", 2000, "random graph total arcs")
 	seed := flag.Int64("seed", 1994, "random seed")
+	sites := flag.Int("sites", 16, "pipegrid/treering token sites on the ring (the border size)")
+	pipeDepth := flag.Int("pipedepth", 64, "pipegrid stages per lane")
+	pipeWidth := flag.Int("pipewidth", 4, "pipegrid parallel lanes per segment")
+	mesh := flag.String("mesh", "64x16", "mesh dimensions WxH (W >= H >= 2)")
+	levels := flag.Int("levels", 6, "treering fan-out tree levels")
+	fanout := flag.Int("fanout", 2, "treering tree fanout")
+	maxDelay := flag.Int("maxdelay", 8, "pipegrid/mesh/treering max integer delay")
 	flag.Parse()
 
 	var (
@@ -78,6 +93,22 @@ func main() {
 		g, err = gen.RandomLive(rand.New(rand.NewSource(*seed)), gen.RandomOptions{
 			Events: *events, Border: *border, ExtraArcs: extra,
 		})
+	case "pipegrid":
+		g, err = gen.PipeGrid(gen.PipeGridOptions{
+			Sites: *sites, Depth: *pipeDepth, Width: *pipeWidth,
+			MaxDelay: *maxDelay, Seed: uint64(*seed),
+		})
+	case "mesh":
+		w, h, perr := parseMesh(*mesh)
+		if perr != nil {
+			fatal(perr)
+		}
+		g, err = gen.Mesh(gen.MeshOptions{W: w, H: h, MaxDelay: *maxDelay, Seed: uint64(*seed)})
+	case "treering":
+		g, err = gen.TreeOfRings(gen.TreeRingOptions{
+			Sites: *sites, Levels: *levels, Fanout: *fanout,
+			MaxDelay: *maxDelay, Seed: uint64(*seed),
+		})
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
@@ -90,6 +121,15 @@ func main() {
 	if err := tsg.WriteGraph(os.Stdout, g); err != nil {
 		fatal(err)
 	}
+}
+
+// parseMesh parses the -mesh WxH flag value.
+func parseMesh(s string) (w, h int, err error) {
+	var rest string
+	if n, serr := fmt.Sscanf(s, "%dx%d%s", &w, &h, &rest); serr == nil && n == 3 || w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("-mesh wants WxH (e.g. 64x16), got %q", s)
+	}
+	return w, h, nil
 }
 
 func emitCKT(c *tsg.Circuit, inputs []tsg.InputEvent) {

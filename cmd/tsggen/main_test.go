@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"tsg"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+func TestParseMesh(t *testing.T) {
+	w, h, err := parseMesh("64x16")
+	if err != nil || w != 64 || h != 16 {
+		t.Fatalf("parseMesh(64x16) = %d, %d, %v", w, h, err)
+	}
+	for _, bad := range []string{"", "bogus", "64", "64x", "x16", "0x5", "4x-2", "8x4x2"} {
+		if _, _, err := parseMesh(bad); err == nil {
+			t.Errorf("parseMesh(%q) accepted", bad)
+		}
+	}
+}
+
+// TestHugeKindsRoundTrip pins that the graphs the new tsggen kinds emit
+// survive the .tsg text format: write, re-read, identical fingerprint.
+func TestHugeKindsRoundTrip(t *testing.T) {
+	build := map[string]func() (*sg.Graph, error){
+		"pipegrid": func() (*sg.Graph, error) {
+			return gen.PipeGrid(gen.PipeGridOptions{Sites: 4, Depth: 6, Width: 3, Seed: 9})
+		},
+		"mesh": func() (*sg.Graph, error) {
+			return gen.Mesh(gen.MeshOptions{W: 8, H: 4, Seed: 9})
+		},
+		"treering": func() (*sg.Graph, error) {
+			return gen.TreeOfRings(gen.TreeRingOptions{Sites: 3, Levels: 3, Fanout: 2, Seed: 9})
+		},
+	}
+	for name, fn := range build {
+		t.Run(name, func(t *testing.T) {
+			g, err := fn()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := tsg.WriteGraph(&buf, g); err != nil {
+				t.Fatalf("WriteGraph: %v", err)
+			}
+			back, err := tsg.ReadGraph(&buf)
+			if err != nil {
+				t.Fatalf("ReadGraph: %v", err)
+			}
+			if sg.Fingerprint(back) != sg.Fingerprint(g) {
+				t.Fatal("fingerprint changed across the .tsg round trip")
+			}
+		})
+	}
+}

@@ -290,12 +290,18 @@ func (e *Engine) SizeHint() int64 {
 // sizeHintShallow estimates one engine's own overlay + schedule + slab
 // memory, without certificate or clones.
 func (e *Engine) sizeHintShallow() int64 {
-	n := int64(e.g.NumEvents())
 	m := int64(e.g.NumArcs())
-	sz := int64(1024)                // struct headers, cut set, options
-	sz += m * 72                     // overlay: arc copies, delay column, nominal, dirty tracking
-	sz += e.sched.MemEstimate()      // compiled record columns
-	sz += int64(e.periods+2) * n * 9 // one pooled slab: times + reached bitset
+	sz := int64(1024)           // struct headers, cut set, options
+	sz += m * 72                // overlay: arc copies, delay column, nominal, dirty tracking
+	sz += e.sched.MemEstimate() // compiled record columns
+	if !e.incr && e.windowPass1() {
+		// Windowed λ-only sessions hold two rows, not a slab. Pass 2
+		// still slabs transiently per λ winner; steady state is the
+		// window.
+		sz += e.sched.WindowBytes()
+	} else {
+		sz += e.sched.SlabBytes(e.periods + 2) // one pooled slab: times + reached bitset
+	}
 	return sz
 }
 
@@ -1438,7 +1444,10 @@ func dedupeCycles(cycs []*CriticalCycle) []CriticalCycle {
 // re-simulates only the λ winners with parents when critical cycles
 // are actually requested. Without retain each trace's slab is returned
 // to the pool as soon as its series is extracted (at most `workers`
-// simulations of memory live at once). Callers hold the session lock.
+// simulations of memory live at once) — and when even one slab would
+// blow the window budget (Options.WindowBytes), the simulations run
+// the two-row memory-bounded kernel instead, which materialises no
+// slab at all. Callers hold the session lock.
 func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
 	e.counters.analyses.Add(1)
 	cut := e.cut
@@ -1474,21 +1483,47 @@ func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
 	series := make([]BorderSeries, len(cut))
 	simErrs := make([]error, len(cut))
 	distSlab := make([]float64, len(cut)*e.periods)
-	runIndexed(len(cut), workers, func(i int) {
-		tr, err := e.sched.RunFrom(cut[i], simOpts)
-		if err != nil {
-			simErrs[i] = err
-			return
-		}
-		series[i] = extractSeries(tr, cut[i], e.periods, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
-		tr.Release()
-	})
+	if e.windowPass1() {
+		runIndexed(len(cut), workers, func(i int) {
+			out := make([]float64, e.periods)
+			if err := e.sched.RunFromWindow(cut[i], e.periods, out); err != nil {
+				simErrs[i] = err
+				return
+			}
+			series[i] = seriesFromWindow(cut[i], out, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
+		})
+	} else {
+		runIndexed(len(cut), workers, func(i int) {
+			tr, err := e.sched.RunFrom(cut[i], simOpts)
+			if err != nil {
+				simErrs[i] = err
+				return
+			}
+			series[i] = extractSeries(tr, cut[i], e.periods, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
+			tr.Release()
+		})
+	}
 	for i, err := range simErrs {
 		if err != nil {
 			return nil, fmt.Errorf("cycletime: simulating from %q: %w", e.g.Event(cut[i]).Name, err)
 		}
 	}
 	return e.assembleSeries(series)
+}
+
+// windowPass1 reports whether a non-retaining pass 1 should use the
+// memory-bounded two-row kernel: windowing is enabled and one full
+// trace slab would exceed the budget. Retaining sessions never
+// window — incremental patching needs the materialised traces.
+func (e *Engine) windowPass1() bool {
+	wb := e.opts.WindowBytes
+	if wb < 0 {
+		return false
+	}
+	if wb == 0 {
+		wb = DefaultWindowBytes
+	}
+	return e.sched.SlabBytes(e.periods+2) > wb
 }
 
 // resultFromTraces assembles the pass-1 Result from committed

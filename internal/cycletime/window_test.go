@@ -1,0 +1,130 @@
+package cycletime_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// windowFixtures are the graphs the windowed pass-1 path is
+// differentially tested on: the generator families plus the huge-graph
+// families at mid size.
+func windowFixtures(t *testing.T) map[string]*sg.Graph {
+	t.Helper()
+	fx := map[string]*sg.Graph{"oscillator": gen.Oscillator()}
+	ring, err := gen.MullerRing(5)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	fx["ring5"] = ring
+	st, err := gen.Stack(13)
+	if err != nil {
+		t.Fatalf("Stack: %v", err)
+	}
+	fx["stack13"] = st
+	pipe, err := gen.MullerPipeline(8, 3, 2, 3)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	fx["pipeline8"] = pipe
+	pg, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 6, Depth: 9, Width: 4, Seed: 21})
+	if err != nil {
+		t.Fatalf("PipeGrid: %v", err)
+	}
+	fx["pipegrid"] = pg
+	mesh, err := gen.Mesh(gen.MeshOptions{W: 11, H: 5, Seed: 22})
+	if err != nil {
+		t.Fatalf("Mesh: %v", err)
+	}
+	fx["mesh"] = mesh
+	tor, err := gen.TreeOfRings(gen.TreeRingOptions{Sites: 5, Levels: 3, Fanout: 2, Seed: 23})
+	if err != nil {
+		t.Fatalf("TreeOfRings: %v", err)
+	}
+	fx["treering"] = tor
+	rng := rand.New(rand.NewSource(888))
+	for seed := 0; seed < 4; seed++ {
+		g, err := gen.RandomLive(rng, gen.RandomOptions{
+			Events: 100 + 40*seed, Border: 3 + 2*seed, ExtraArcs: 180, MaxDelay: 16,
+		})
+		if err != nil {
+			t.Fatalf("RandomLive: %v", err)
+		}
+		fx[fmt.Sprintf("random%d", seed)] = g
+	}
+	return fx
+}
+
+// TestAnalyzeWindowedMatchesSlab forces the memory-bounded pass-1
+// kernel (WindowBytes: 1 — any slab exceeds one byte) against the slab
+// kernel (WindowBytes: -1) and requires the full Result — λ, series
+// distances bit for bit, and critical cycles — to be identical.
+func TestAnalyzeWindowedMatchesSlab(t *testing.T) {
+	for name, g := range windowFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			slab, err := cycletime.AnalyzeOpts(g, cycletime.Options{WindowBytes: -1})
+			if err != nil {
+				t.Fatalf("slab Analyze: %v", err)
+			}
+			windowed, err := cycletime.AnalyzeOpts(g, cycletime.Options{WindowBytes: 1})
+			if err != nil {
+				t.Fatalf("windowed Analyze: %v", err)
+			}
+			diffResults(t, windowed, slab)
+		})
+	}
+}
+
+// TestAnalyzeWindowedDefaultThreshold checks that the default budget
+// leaves ordinary graphs on the slab path (results equal either way,
+// so this is about not perturbing the small-graph default) and that an
+// explicit byte budget picks the windowed path deterministically.
+func TestAnalyzeWindowedDefaultThreshold(t *testing.T) {
+	g, err := gen.MullerRing(9)
+	if err != nil {
+		t.Fatalf("MullerRing: %v", err)
+	}
+	def, err := cycletime.AnalyzeOpts(g, cycletime.Options{})
+	if err != nil {
+		t.Fatalf("default Analyze: %v", err)
+	}
+	slab, err := cycletime.AnalyzeOpts(g, cycletime.Options{WindowBytes: -1})
+	if err != nil {
+		t.Fatalf("slab Analyze: %v", err)
+	}
+	diffResults(t, def, slab)
+}
+
+// TestEngineWindowedSizeHint pins that a windowed engine advertises a
+// smaller footprint than a slab engine on a graph big enough for the
+// slab to dominate.
+func TestEngineWindowedSizeHint(t *testing.T) {
+	g, err := gen.PipeGridSized(20000, 8, 4, 77)
+	if err != nil {
+		t.Fatalf("PipeGridSized: %v", err)
+	}
+	we, err := cycletime.NewEngineOpts(g, cycletime.Options{WindowBytes: 1, NoIncremental: true})
+	if err != nil {
+		t.Fatalf("NewEngineOpts(window): %v", err)
+	}
+	se, err := cycletime.NewEngineOpts(g, cycletime.Options{WindowBytes: -1, NoIncremental: true})
+	if err != nil {
+		t.Fatalf("NewEngineOpts(slab): %v", err)
+	}
+	if we.SizeHint() >= se.SizeHint() {
+		t.Fatalf("windowed SizeHint %d not below slab SizeHint %d", we.SizeHint(), se.SizeHint())
+	}
+	wres, err := we.Analyze()
+	if err != nil {
+		t.Fatalf("windowed engine Analyze: %v", err)
+	}
+	sres, err := se.Analyze()
+	if err != nil {
+		t.Fatalf("slab engine Analyze: %v", err)
+	}
+	diffResults(t, wres, sres)
+}

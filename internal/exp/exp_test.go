@@ -34,7 +34,7 @@ func TestTimingExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiments skipped with -short")
 	}
-	for _, id := range []string{"PERF8B", "COMPLX", "BASE", "ABLATE", "MCSTAT", "SERVE", "INCR", "CHAOS"} {
+	for _, id := range []string{"PERF8B", "COMPLX", "BASE", "ABLATE", "MCSTAT", "SERVE", "INCR", "CHAOS", "SCALE"} {
 		e, ok := exp.ByID(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -49,12 +49,12 @@ func TestTimingExperiments(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := exp.All()
-	if len(all) != 17 {
+	if len(all) != 18 {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
 		}
-		t.Errorf("registry has %d experiments (%v), want 17", len(all), ids)
+		t.Errorf("registry has %d experiments (%v), want 18", len(all), ids)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].ID >= all[i].ID {

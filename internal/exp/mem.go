@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HeapSampler tracks the peak Go heap occupancy (runtime HeapInuse)
+// over a measured region by polling ReadMemStats from a background
+// goroutine. Unlike the process high-water mark (VmHWM), the sampled
+// peak is attributable to the region being measured even when other
+// experiments ran earlier in the same process, so it is what the SCALE
+// experiment gates on; VmHWM is reported alongside for standalone runs.
+type HeapSampler struct {
+	mu   sync.Mutex
+	peak uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeapSampler begins sampling at the given interval.
+func StartHeapSampler(interval time.Duration) *HeapSampler {
+	s := &HeapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.sample()
+			}
+		}
+	}()
+	return s
+}
+
+func (s *HeapSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if ms.HeapInuse > s.peak {
+		s.peak = ms.HeapInuse
+	}
+	s.mu.Unlock()
+}
+
+// Stop takes a final sample and returns the peak HeapInuse in bytes.
+func (s *HeapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
+}
+
+// VmHWMBytes reads the process resident-set high-water mark from
+// /proc/self/status (Linux). Returns 0 where unavailable; callers
+// treat 0 as "not measured".
+func VmHWMBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

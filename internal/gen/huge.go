@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+
+	"tsg/internal/sg"
+)
+
+// Huge structured workloads for the scalability experiments (SCALE).
+//
+// The analysis cost of the paper's algorithm is O(b · periods · m) with
+// periods defaulting to b — quadratic in the border size. The Muller
+// fixtures pin b to Θ(n) (every C-element stage holds a token), so no
+// amount of kernel tuning reaches 10⁶ events on them. The families
+// below instead follow the shape hierarchical compression exploits:
+// a small ring of S token "sites" carries every initial marking, and
+// the fabric between consecutive sites is a huge token-free DAG.
+// The border is exactly the S sites, every cycle threads all of them,
+// and macro-compression collapses each fabric segment into a handful
+// of site-to-site delay arcs.
+//
+// All delays are small positive integers derived deterministically from
+// the seed (splitmix64 over the element coordinates), so float64 sums
+// along any path are exact and flat-versus-hierarchical comparisons can
+// demand bit equality.
+
+// delayHash maps (seed, coordinates) to an integer delay in [1, max].
+func delayHash(seed uint64, a, b, c, d int, max int) float64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	for _, v := range [4]int{a, b, c, d} {
+		x += uint64(v) + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return float64(1 + x%uint64(max))
+}
+
+// PipeGridOptions sizes a pipelines-of-pipelines workload: a ring of
+// Sites token sites, each segment filled with Width parallel lanes of
+// Depth-stage unmarked pipelines. n = Sites·(1 + Depth·Width).
+type PipeGridOptions struct {
+	Sites    int // token sites on the ring (the border size), >= 2
+	Depth    int // stages per lane, >= 1
+	Width    int // parallel lanes per segment, >= 1
+	MaxDelay int // delays drawn from [1, MaxDelay]; default 8
+	Seed     uint64
+}
+
+// PipeGrid builds the pipelines-of-pipelines family. Every cycle passes
+// all Sites token arcs, so the cycle time is the site-ring mean
+// Σᵢ maxₗ laneDelay(i,l) / Sites.
+func PipeGrid(o PipeGridOptions) (*sg.Graph, error) {
+	if o.Sites < 2 || o.Depth < 1 || o.Width < 1 {
+		return nil, fmt.Errorf("gen: PipeGrid needs Sites >= 2, Depth >= 1, Width >= 1, got %+v", o)
+	}
+	maxd := o.MaxDelay
+	if maxd <= 0 {
+		maxd = 8
+	}
+	n := o.Sites * (1 + o.Depth*o.Width)
+	m := o.Sites * o.Width * (o.Depth + 1)
+	b := sg.NewDenseBuilder(fmt.Sprintf("pipegrid-s%d-d%d-w%d", o.Sites, o.Depth, o.Width), n, m)
+	sites := make([]sg.EventID, o.Sites)
+	for i := range sites {
+		sites[i] = b.AddEvent("s" + strconv.Itoa(i))
+	}
+	for i := 0; i < o.Sites; i++ {
+		next := sites[(i+1)%o.Sites]
+		for l := 0; l < o.Width; l++ {
+			prev := sites[i]
+			for k := 0; k < o.Depth; k++ {
+				cell := b.AddEvent("p" + strconv.Itoa(i) + "_" + strconv.Itoa(l) + "_" + strconv.Itoa(k))
+				b.AddArc(prev, cell, delayHash(o.Seed, i, l, k, 0, maxd), false)
+				prev = cell
+			}
+			// The lane tail hands the segment's token to the next site.
+			b.AddArc(prev, next, delayHash(o.Seed, i, l, o.Depth, 1, maxd), true)
+		}
+	}
+	return b.Build()
+}
+
+// PipeGridSized picks a Depth so the graph has roughly n events at the
+// given ring shape (used by the SCALE sweep).
+func PipeGridSized(n, sites, width int, seed uint64) (*sg.Graph, error) {
+	depth := (n/sites - 1) / width
+	if depth < 1 {
+		depth = 1
+	}
+	return PipeGrid(PipeGridOptions{Sites: sites, Depth: depth, Width: width, Seed: seed})
+}
+
+// MeshOptions sizes a 2-D mesh workload: a W×H grid streamed left to
+// right with straight and diagonal (row+1 mod H) coupling arcs, and an
+// initially marked wrap column feeding the last column back into the
+// first. n = W·H; the border is the H events of column 0.
+type MeshOptions struct {
+	W, H     int // W >= H >= 2: fewer columns than rows would disconnect the wrap
+	MaxDelay int // default 8
+	Seed     uint64
+}
+
+// Mesh builds the 2-D mesh family. Cycles wrap the mesh k times (until
+// their diagonal displacement cancels mod H), so the analysis sees
+// genuinely long cycles with up to H tokens.
+func Mesh(o MeshOptions) (*sg.Graph, error) {
+	if o.H < 2 || o.W < o.H {
+		return nil, fmt.Errorf("gen: Mesh needs W >= H >= 2 (strong connectivity of the wrap), got %+v", o)
+	}
+	maxd := o.MaxDelay
+	if maxd <= 0 {
+		maxd = 8
+	}
+	n := o.W * o.H
+	m := 2*o.H*(o.W-1) + o.H
+	b := sg.NewDenseBuilder(fmt.Sprintf("mesh-%dx%d", o.W, o.H), n, m)
+	id := func(w, h int) sg.EventID { return sg.EventID(w*o.H + h) }
+	for w := 0; w < o.W; w++ {
+		for h := 0; h < o.H; h++ {
+			b.AddEvent("m" + strconv.Itoa(w) + "_" + strconv.Itoa(h))
+		}
+	}
+	for w := 0; w < o.W-1; w++ {
+		for h := 0; h < o.H; h++ {
+			b.AddArc(id(w, h), id(w+1, h), delayHash(o.Seed, w, h, 0, 0, maxd), false)
+			b.AddArc(id(w, h), id(w+1, (h+1)%o.H), delayHash(o.Seed, w, h, 1, 0, maxd), false)
+		}
+	}
+	for h := 0; h < o.H; h++ {
+		b.AddArc(id(o.W-1, h), id(0, h), delayHash(o.Seed, o.W-1, h, 2, 0, maxd), true)
+	}
+	return b.Build()
+}
+
+// TreeRingOptions sizes a trees-of-rings workload: a ring of Sites
+// token sites whose segments are diamonds — a Fanout-ary tree fanning
+// out for Levels levels and a mirrored tree joining back before the
+// next site.
+type TreeRingOptions struct {
+	Sites    int // >= 2
+	Levels   int // >= 1
+	Fanout   int // >= 2
+	MaxDelay int // default 8
+	Seed     uint64
+}
+
+// TreeOfRings builds the trees-of-rings family.
+func TreeOfRings(o TreeRingOptions) (*sg.Graph, error) {
+	if o.Sites < 2 || o.Levels < 1 || o.Fanout < 2 {
+		return nil, fmt.Errorf("gen: TreeOfRings needs Sites >= 2, Levels >= 1, Fanout >= 2, got %+v", o)
+	}
+	maxd := o.MaxDelay
+	if maxd <= 0 {
+		maxd = 8
+	}
+	// Per segment: out-tree nodes at depths 1..L plus in-tree nodes at
+	// depths L-1..0 (the out-tree leaves double as the in-tree's deepest
+	// level). treeSz = Σ_{d=1..L} F^d.
+	treeSz, width := 0, 1
+	for d := 1; d <= o.Levels; d++ {
+		width *= o.Fanout
+		treeSz += width
+	}
+	joinSz := (treeSz - width) + 1 // Σ_{d=0..L-1} F^d
+	n := o.Sites * (1 + treeSz + joinSz)
+	m := o.Sites * (2*treeSz + 1)
+	b := sg.NewDenseBuilder(fmt.Sprintf("treering-s%d-l%d-f%d", o.Sites, o.Levels, o.Fanout), n, m)
+	sites := make([]sg.EventID, o.Sites)
+	for i := range sites {
+		sites[i] = b.AddEvent("s" + strconv.Itoa(i))
+	}
+	for i := 0; i < o.Sites; i++ {
+		// Fan out: level d holds F^d nodes, node j's parent is j/F.
+		prev := []sg.EventID{sites[i]}
+		for d := 1; d <= o.Levels; d++ {
+			lvl := make([]sg.EventID, len(prev)*o.Fanout)
+			for j := range lvl {
+				lvl[j] = b.AddEvent("t" + strconv.Itoa(i) + "o" + strconv.Itoa(d) + "_" + strconv.Itoa(j))
+				b.AddArc(prev[j/o.Fanout], lvl[j], delayHash(o.Seed, i, d, j, 0, maxd), false)
+			}
+			prev = lvl
+		}
+		// Join back: level d holds F^d nodes, each collecting its F children.
+		for d := o.Levels - 1; d >= 0; d-- {
+			lvl := make([]sg.EventID, len(prev)/o.Fanout)
+			for j := range lvl {
+				lvl[j] = b.AddEvent("t" + strconv.Itoa(i) + "j" + strconv.Itoa(d) + "_" + strconv.Itoa(j))
+				for k := 0; k < o.Fanout; k++ {
+					b.AddArc(prev[j*o.Fanout+k], lvl[j], delayHash(o.Seed, i, d, j*o.Fanout+k, 1, maxd), false)
+				}
+			}
+			prev = lvl
+		}
+		b.AddArc(prev[0], sites[(i+1)%o.Sites], delayHash(o.Seed, i, 0, 0, 2, maxd), true)
+	}
+	return b.Build()
+}

@@ -1,0 +1,212 @@
+package gen_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/gen"
+	"tsg/internal/mcr"
+	"tsg/internal/netlist"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+func TestPipeGridLambdaExact(t *testing.T) {
+	const S, D, W = 4, 7, 3
+	g, err := gen.PipeGrid(gen.PipeGridOptions{Sites: S, Depth: D, Width: W, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumEvents(), S*(1+D*W); got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	if got, want := g.NumArcs(), S*W*(D+1); got != want {
+		t.Fatalf("arcs = %d, want %d", got, want)
+	}
+	if got := len(g.BorderEvents()); got != S {
+		t.Fatalf("border = %d, want %d", got, S)
+	}
+
+	// First-principles λ: per segment, the max lane delay; lanes are
+	// disjoint chains so summing arc delays per lane is direct. Cell
+	// names are "p<site>_<lane>_<stage>"; every arc touches exactly one
+	// cell, which identifies its lane.
+	parseCell := func(name string) (site, lane int) {
+		var stage int
+		if _, err := fmt.Sscanf(name, "p%d_%d_%d", &site, &lane, &stage); err != nil {
+			t.Fatalf("parse %q: %v", name, err)
+		}
+		return site, lane
+	}
+	laneSum := make(map[[2]int]float64)
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		from, to := g.Event(a.From).Name, g.Event(a.To).Name
+		var site, lane int
+		if from[0] == 's' { // site -> first cell
+			site, lane = parseCell(to)
+		} else {
+			site, lane = parseCell(from)
+		}
+		laneSum[[2]int{site, lane}] += a.Delay
+	}
+	total := 0.0
+	for i := 0; i < S; i++ {
+		seg := 0.0
+		for l := 0; l < W; l++ {
+			if v := laneSum[[2]int{i, l}]; v > seg {
+				seg = v
+			}
+		}
+		total += seg
+	}
+	want := stat.NewRatio(total, S).Normalize()
+
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CycleTime.Equal(want) {
+		t.Fatalf("λ = %v, first principles say %v", res.CycleTime, want)
+	}
+	how, err := mcr.Howard(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CycleTime.Equal(how) {
+		t.Fatalf("λ = %v, Howard says %v", res.CycleTime, how)
+	}
+}
+
+func TestMeshFamily(t *testing.T) {
+	const W, H = 12, 5
+	g, err := gen.Mesh(gen.MeshOptions{W: W, H: H, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumEvents(), W*H; got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	if got, want := g.NumArcs(), 2*H*(W-1)+H; got != want {
+		t.Fatalf("arcs = %d, want %d", got, want)
+	}
+	if got := len(g.BorderEvents()); got != H {
+		t.Fatalf("border = %d, want %d", got, H)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	how, err := mcr.Howard(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CycleTime.Equal(how) {
+		t.Fatalf("λ = %v, Howard says %v", res.CycleTime, how)
+	}
+	if _, err := gen.Mesh(gen.MeshOptions{W: 4, H: 6}); err == nil {
+		t.Fatal("W < H must be rejected (wrap would disconnect)")
+	}
+}
+
+func TestTreeOfRingsFamily(t *testing.T) {
+	const S, L, F = 3, 3, 2
+	g, err := gen.TreeOfRings(gen.TreeRingOptions{Sites: S, Levels: L, Fanout: F, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeSz := F + F*F + F*F*F
+	joinSz := 1 + F + F*F
+	if got, want := g.NumEvents(), S*(1+treeSz+joinSz); got != want {
+		t.Fatalf("events = %d, want %d", got, want)
+	}
+	if got, want := g.NumArcs(), S*(2*treeSz+1); got != want {
+		t.Fatalf("arcs = %d, want %d", got, want)
+	}
+	if got := len(g.BorderEvents()); got != S {
+		t.Fatalf("border = %d, want %d", got, S)
+	}
+	res, err := cycletime.Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	how, err := mcr.Howard(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CycleTime.Equal(how) {
+		t.Fatalf("λ = %v, Howard says %v", res.CycleTime, how)
+	}
+}
+
+// TestHugeRoundTrip streams each family through the .tsg writer and
+// reader and demands an identical fingerprint.
+func TestHugeRoundTrip(t *testing.T) {
+	graphs := []*sg.Graph{}
+	g, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 4, Width: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g)
+	if g, err = gen.Mesh(gen.MeshOptions{W: 6, H: 4, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g)
+	if g, err = gen.TreeOfRings(gen.TreeRingOptions{Sites: 2, Levels: 2, Fanout: 3, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	graphs = append(graphs, g)
+	for _, g := range graphs {
+		var buf bytes.Buffer
+		if err := netlist.WriteTSG(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name(), err)
+		}
+		back, err := netlist.ReadTSG(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name(), err)
+		}
+		if sg.Fingerprint(back) != sg.Fingerprint(g) {
+			t.Fatalf("%s: fingerprint changed across .tsg round trip", g.Name())
+		}
+	}
+}
+
+// TestHugeDeterminism: same options, same graph; different seed,
+// different delays.
+func TestHugeDeterminism(t *testing.T) {
+	a, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 5, Width: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 5, Width: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Fingerprint(a) != sg.Fingerprint(b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 5, Width: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Fingerprint(a) == sg.Fingerprint(c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// TestPipeGridSizedStreams builds a mid-size instance to exercise the
+// streamed construction path end to end.
+func TestPipeGridSizedStreams(t *testing.T) {
+	g, err := gen.PipeGridSized(100_000, 8, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.NumEvents(); n < 90_000 || n > 110_000 {
+		t.Fatalf("PipeGridSized(100k) built %d events", n)
+	}
+	if got := len(g.BorderEvents()); got != 8 {
+		t.Fatalf("border = %d, want 8", got)
+	}
+}

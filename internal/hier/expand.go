@@ -1,0 +1,273 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/cycletime"
+	"tsg/internal/mcr"
+	"tsg/internal/sg"
+	"tsg/internal/stat"
+)
+
+// sweepFrom runs one scalar interior longest-path sweep from the flat
+// entry event u, recording the in-record realising each maximum so
+// paths can be reconstructed. dist and pred must have len(interior);
+// dist is -Inf where u does not reach.
+func (c *Compressed) sweepFrom(u sg.EventID, dist []float64, pred []int32) {
+	neg := math.Inf(-1)
+	for q := range dist {
+		dist[q] = neg
+		pred[q] = -1
+	}
+	ni := len(c.interior)
+	for q := 0; q < ni; q++ {
+		best := neg
+		bestR := int32(-1)
+		for r := c.iOff[q]; r < c.iOff[q+1]; r++ {
+			sp := c.iSrcPos[r]
+			d := c.iDel[r]
+			var v float64
+			if sp >= 0 {
+				if dist[sp] == neg {
+					continue
+				}
+				v = dist[sp] + d
+			} else {
+				if sg.EventID(^sp) != u {
+					continue
+				}
+				v = d
+			}
+			if v > best {
+				best = v
+				bestR = r
+			}
+		}
+		dist[q] = best
+		pred[q] = bestR
+	}
+}
+
+// expandMacro reconstructs a concrete flat path realising the macro arc
+// `ca` of the compressed graph: the events strictly between the macro's
+// endpoints and the flat arcs connecting them (len(arcs) = len(events)+1).
+// The path's delay sum equals the macro delay exactly for integral
+// delays (both are the same MAX-rule longest path, summed over the same
+// arcs).
+func (c *Compressed) expandMacro(ca int) (events []sg.EventID, arcs []int, err error) {
+	kind := c.kind[ca]
+	if kind == kindDirect {
+		return nil, []int{int(c.flatArc[ca])}, nil
+	}
+	u := c.entry[ca]
+	a := c.comp.Arc(ca)
+	w := c.toFlat[a.To]
+	want := a.Delay
+
+	ni := len(c.interior)
+	sc, _ := c.sweepPool.Get().(*sweepScratch)
+	if sc == nil {
+		sc = &sweepScratch{dist: make([]float64, ni), pred: make([]int32, ni)}
+	}
+	defer c.sweepPool.Put(sc)
+	dist, pred := sc.dist, sc.pred
+	c.sweepFrom(u, dist, pred)
+
+	// Find the escape record realising the macro: an out-arc of an
+	// interior event v to head w with the macro's marking class and
+	// dist(v) + d == delay.
+	neg := math.Inf(-1)
+	bestQ, bestArc := -1, -1
+	bestV := neg
+	for q := 0; q < ni; q++ {
+		if dist[q] == neg {
+			continue
+		}
+		for r := c.eOff[q]; r < c.eOff[q+1]; r++ {
+			if c.eHead[r] != w || c.eMarked[r] != (kind == kindMarkedMacro) {
+				continue
+			}
+			if v := dist[q] + c.eDel[r]; v > bestV {
+				bestV = v
+				bestQ, bestArc = q, int(c.eArc[r])
+			}
+		}
+	}
+	if bestQ < 0 {
+		return nil, nil, fmt.Errorf("hier: macro arc %d (%s -> %s) has no realising path", ca,
+			c.flat.Event(u).Name, c.flat.Event(w).Name)
+	}
+	if !closeEnough(bestV, want) {
+		return nil, nil, fmt.Errorf("hier: macro arc %d re-sweep found delay %g, compressed says %g",
+			ca, bestV, want)
+	}
+	// Walk predecessors from the escape point back to the entry.
+	var revEvents []sg.EventID
+	var revArcs []int
+	revArcs = append(revArcs, bestArc)
+	q := bestQ
+	for {
+		revEvents = append(revEvents, c.interior[q])
+		r := pred[q]
+		if r < 0 {
+			return nil, nil, fmt.Errorf("hier: macro expansion stranded at %s",
+				c.flat.Event(c.interior[q]).Name)
+		}
+		revArcs = append(revArcs, int(c.iArc[r]))
+		sp := c.iSrcPos[r]
+		if sp < 0 {
+			if sg.EventID(^sp) != u {
+				return nil, nil, fmt.Errorf("hier: macro expansion escaped to wrong entry")
+			}
+			break
+		}
+		q = int(sp)
+	}
+	// Reverse into forward order.
+	for l, r := 0, len(revEvents)-1; l < r; l, r = l+1, r-1 {
+		revEvents[l], revEvents[r] = revEvents[r], revEvents[l]
+	}
+	for l, r := 0, len(revArcs)-1; l < r; l, r = l+1, r-1 {
+		revArcs[l], revArcs[r] = revArcs[r], revArcs[l]
+	}
+	return revEvents, revArcs, nil
+}
+
+// closeEnough tolerates last-ulp float noise between two path sums over
+// the same arcs accumulated in different orders (exact for integers).
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// ExpandCycle maps a critical cycle of the compressed graph back to a
+// simple critical cycle of the flat graph: each macro arc is replaced
+// by a concrete realising path, and the resulting closed walk — which
+// attains λ but may revisit events — is folded at the first repeated
+// event into a simple sub-cycle, which then attains λ exactly (the
+// standard decomposition: every simple cycle of a λ-attaining closed
+// walk is itself λ-attaining).
+func (c *Compressed) ExpandCycle(cc *cycletime.CriticalCycle) (*cycletime.CriticalCycle, error) {
+	if len(cc.Events) == 0 {
+		return nil, fmt.Errorf("hier: empty compressed cycle")
+	}
+	var nodes []sg.EventID
+	var arcs []int
+	for i, ce := range cc.Events {
+		nodes = append(nodes, c.toFlat[ce])
+		evs, as, err := c.expandMacro(cc.Arcs[i])
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, evs...)
+		arcs = append(arcs, as...)
+	}
+	// nodes[i] --arcs[i]--> nodes[i+1 mod len]: a closed flat walk.
+	// Fold at the first repeated event.
+	first := make(map[sg.EventID]int, len(nodes))
+	start, end := -1, len(nodes)
+	for i, ev := range nodes {
+		if p, dup := first[ev]; dup {
+			start, end = p, i
+			break
+		}
+		first[ev] = i
+	}
+	if start < 0 {
+		start = 0 // the walk is already simple; close it as a whole
+	}
+	out := &cycletime.CriticalCycle{
+		Events: append([]sg.EventID(nil), nodes[start:end]...),
+		Arcs:   append([]int(nil), arcs[start:end]...),
+	}
+	for _, ai := range out.Arcs {
+		a := c.flat.Arc(ai)
+		out.Length += a.Delay
+		if a.Marked {
+			out.Period++
+		}
+	}
+	if out.Period == 0 {
+		return nil, fmt.Errorf("hier: expanded cycle carries no token (unmarked flat cycle?)")
+	}
+	want := cc.Ratio()
+	got := out.Ratio()
+	if !got.Equal(want) {
+		x := got.Num * float64(want.Den)
+		y := want.Num * float64(got.Den)
+		if math.Abs(x-y) > 1e-9*math.Max(math.Abs(x), math.Abs(y)) {
+			return nil, fmt.Errorf("hier: expanded cycle ratio %v != compressed ratio %v", got, want)
+		}
+	}
+	return out, nil
+}
+
+// Potential extends a feasible potential of the compressed graph at λ
+// to the whole flat graph: boundary events take the compressed
+// potential, interior events the forward max-plus closure
+// pot(v) = max over in-arcs (pot(src) + τ). The result certifies λ on
+// every flat arc — the macro delays dominate every interior path, so
+// feasibility transfers — and can be fed to slack evaluation.
+func (c *Compressed) Potential(lambda stat.Ratio) ([]float64, error) {
+	lam := lambda.Float()
+	uc, err := mcr.FeasiblePotential(c.comp, lam)
+	if err != nil {
+		return nil, fmt.Errorf("hier: potential at λ=%v: %w", lambda, err)
+	}
+	pot := make([]float64, c.flat.NumEvents())
+	for ci, fe := range c.toFlat {
+		pot[fe] = uc[ci]
+	}
+	neg := math.Inf(-1)
+	for q, fe := range c.interior {
+		best := neg
+		for r := c.iOff[q]; r < c.iOff[q+1]; r++ {
+			sp := c.iSrcPos[r]
+			var base float64
+			if sp >= 0 {
+				base = pot[c.interior[sp]]
+			} else {
+				base = pot[sg.EventID(^sp)]
+			}
+			if v := base + c.iDel[r]; v > best {
+				best = v
+			}
+		}
+		pot[fe] = best
+	}
+	return pot, nil
+}
+
+// Slacks evaluates per-arc timing slacks of the FLAT graph at λ using
+// the extended potential. Slack values depend on the certificate, which
+// is not unique (see cycletime.Slacks), so they need not equal the flat
+// engine's values number-for-number — but validity (slack >= 0) and
+// tightness of every arc on every critical cycle hold for both.
+func (c *Compressed) Slacks(lambda stat.Ratio) ([]cycletime.ArcSlack, error) {
+	pot, err := c.Potential(lambda)
+	if err != nil {
+		return nil, err
+	}
+	lam := lambda.Float()
+	g := c.flat
+	var out []cycletime.ArcSlack
+	for i := 0; i < g.NumArcs(); i++ {
+		a := g.Arc(i)
+		if a.Once || !g.Event(a.From).Repetitive || !g.Event(a.To).Repetitive {
+			continue
+		}
+		w := a.Delay
+		if a.Marked {
+			w -= lam
+		}
+		s := pot[a.To] - pot[a.From] - w
+		if math.Abs(s) < 1e-9 {
+			s = 0
+		}
+		out = append(out, cycletime.ArcSlack{Arc: i, Slack: s, Tight: s == 0})
+	}
+	return out, nil
+}

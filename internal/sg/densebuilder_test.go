@@ -1,0 +1,131 @@
+package sg
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestDenseBuilderMatchesBuilder builds the same small graph through
+// both construction paths and checks every derived structure agrees.
+func TestDenseBuilderMatchesBuilder(t *testing.T) {
+	chain := NewBuilder("twin").
+		Events("a+", "a-", "b+", "b-").
+		Arc("a+", "b+", 2).
+		Arc("b+", "a-", 1).
+		Arc("a-", "b-", 2).
+		Arc("b-", "a+", 1, Marked()).
+		Arc("a+", "a-", 3).
+		Arc("b+", "b-", 3)
+	want, err := chain.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDenseBuilder("twin", 4, 6)
+	ap := d.AddEvent("a+")
+	am := d.AddEvent("a-")
+	bp := d.AddEvent("b+")
+	bm := d.AddEvent("b-")
+	d.AddArc(ap, bp, 2, false)
+	d.AddArc(bp, am, 1, false)
+	d.AddArc(am, bm, 2, false)
+	d.AddArc(bm, ap, 1, true)
+	d.AddArc(ap, am, 3, false)
+	d.AddArc(bp, bm, 3, false)
+	got, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if Fingerprint(got) != Fingerprint(want) {
+		t.Fatalf("dense build fingerprint %s != chaining build %s", Fingerprint(got), Fingerprint(want))
+	}
+	if got.NumEvents() != want.NumEvents() || got.NumArcs() != want.NumArcs() {
+		t.Fatalf("size mismatch: %v vs %v", got, want)
+	}
+	gw, _ := want.PeriodOrder()
+	gg, _ := got.PeriodOrder()
+	for i := range gw {
+		if gw[i] != gg[i] {
+			t.Fatalf("period order differs at %d: %v vs %v", i, gg, gw)
+		}
+	}
+	if len(got.BorderEvents()) != len(want.BorderEvents()) {
+		t.Fatalf("border differs: %v vs %v", got.BorderEvents(), want.BorderEvents())
+	}
+	if id, ok := got.EventByName("b-"); !ok || id != bm {
+		t.Fatalf("EventByName(b-) = %d,%v", id, ok)
+	}
+}
+
+func TestDenseBuilderErrors(t *testing.T) {
+	d := NewDenseBuilder("over", 1, 1)
+	d.AddEvent("a+")
+	d.AddEvent("b+") // exceeds declared count
+	if _, err := d.Build(); err == nil {
+		t.Fatal("expected event-overflow error")
+	}
+
+	d = NewDenseBuilder("dup", 2, 1)
+	a := d.AddEvent("x")
+	d.AddEvent("x")
+	d.AddArc(a, a, 1, true)
+	if _, err := d.Build(); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+
+	d = NewDenseBuilder("neg", 2, 1)
+	a = d.AddEvent("x")
+	b := d.AddEvent("y")
+	d.AddArc(a, b, -1, false)
+	if _, err := d.Build(); err == nil {
+		t.Fatal("expected negative-delay error")
+	}
+
+	d = NewDenseBuilder("range", 1, 1)
+	a = d.AddEvent("x")
+	d.AddArc(a, EventID(7), 1, false)
+	if _, err := d.Build(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+
+	d = NewDenseBuilder("reuse", 1, 1)
+	a = d.AddEvent("x")
+	d.AddArc(a, a, 1, true)
+	if _, err := d.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Build(); err == nil {
+		t.Fatal("expected reuse-after-Build error")
+	}
+}
+
+// TestDenseBuilderAllocations pins the construction cost: element
+// streaming must not reallocate the declared slices.
+func TestDenseBuilderAllocations(t *testing.T) {
+	const n = 2000
+	d := NewDenseBuilder("ring", n, n)
+	ids := make([]EventID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = d.AddEvent("e" + strconv.Itoa(i))
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < n; i++ {
+			d.AddArc(ids[i], ids[(i+1)%n], 1, i == 0)
+		}
+		d.arcs = d.arcs[:0]
+	})
+	if allocs > 0 {
+		t.Fatalf("AddArc allocated %.0f times per %d arcs, want 0", allocs, n)
+	}
+	for i := 0; i < n; i++ {
+		d.AddArc(ids[i], ids[(i+1)%n], 1, i == 0)
+	}
+	g, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.BorderEvents()); got != 1 {
+		t.Fatalf("border = %d events, want 1", got)
+	}
+}

@@ -24,25 +24,41 @@ import (
 // Parallel arcs are preserved as a multiset, and delays are hashed by
 // their exact float64 bits, so graphs differing by any representable
 // delay perturbation get distinct fingerprints.
+//
+// The hash streams through index permutations and one reused byte
+// buffer: allocations are a small constant regardless of graph size
+// (the serving cache fingerprints every upload, and the SCALE families
+// reach 10^6 events), and the byte stream — hence the hash — is
+// identical to what the original copy-and-sort implementation
+// produced.
 func Fingerprint(g *Graph) string {
 	h := sha256.New()
-	var buf [8]byte
+	var nbuf [8]byte
 	writeUint := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(nbuf[:], v)
+		h.Write(nbuf[:])
 	}
 	// Length-prefixed strings keep the encoding unambiguous (no pair of
-	// distinct canonical forms shares a byte stream).
+	// distinct canonical forms shares a byte stream). The string bytes
+	// pass through a reused scratch buffer: a direct []byte(s)
+	// conversion would allocate per call.
+	sbuf := make([]byte, 0, 64)
 	writeStr := func(s string) {
 		writeUint(uint64(len(s)))
-		h.Write([]byte(s))
+		sbuf = append(sbuf[:0], s...)
+		h.Write(sbuf)
 	}
 
-	events := make([]Event, len(g.events))
-	copy(events, g.events)
-	sort.Slice(events, func(i, j int) bool { return events[i].Name < events[j].Name })
-	writeUint(uint64(len(events)))
-	for _, ev := range events {
+	// Events in name order, via an index permutation — the Event structs
+	// themselves are never copied.
+	evOrder := make([]int32, len(g.events))
+	for i := range evOrder {
+		evOrder[i] = int32(i)
+	}
+	sort.Sort(&eventNameSorter{g: g, order: evOrder})
+	writeUint(uint64(len(evOrder)))
+	for _, i := range evOrder {
+		ev := &g.events[i]
 		writeStr(ev.Name)
 		if ev.Repetitive {
 			writeUint(1)
@@ -54,7 +70,7 @@ func Fingerprint(g *Graph) string {
 	order := CanonicalArcOrder(g)
 	writeUint(uint64(len(order)))
 	for _, i := range order {
-		a := g.arcs[i]
+		a := &g.arcs[i]
 		writeStr(g.events[a.From].Name)
 		writeStr(g.events[a.To].Name)
 		writeUint(math.Float64bits(a.Delay))
@@ -69,6 +85,20 @@ func Fingerprint(g *Graph) string {
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
+
+// eventNameSorter sorts an event index permutation by event name.
+// A concrete sort.Interface implementation keeps the hot path free of
+// the per-comparison closure calls of sort.Slice.
+type eventNameSorter struct {
+	g     *Graph
+	order []int32
+}
+
+func (s *eventNameSorter) Len() int { return len(s.order) }
+func (s *eventNameSorter) Less(i, j int) bool {
+	return s.g.events[s.order[i]].Name < s.g.events[s.order[j]].Name
+}
+func (s *eventNameSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
 
 // CanonicalArcOrder returns the permutation placing the graph's arcs
 // in the canonical (fingerprint) order: sorted by endpoint names, then
@@ -89,36 +119,50 @@ func CanonicalArcOrder(g *Graph) []int {
 	for i := range order {
 		order[i] = i
 	}
-	less := func(x, y Arc) int {
-		if c := strings.Compare(g.events[x.From].Name, g.events[y.From].Name); c != 0 {
-			return c
-		}
-		if c := strings.Compare(g.events[x.To].Name, g.events[y.To].Name); c != 0 {
-			return c
-		}
-		bx, by := math.Float64bits(x.Delay), math.Float64bits(y.Delay)
-		switch {
-		case bx < by:
-			return -1
-		case bx > by:
-			return 1
-		}
-		if x.Marked != y.Marked {
-			if !x.Marked {
-				return -1
-			}
-			return 1
-		}
-		if x.Once != y.Once {
-			if !x.Once {
-				return -1
-			}
-			return 1
-		}
-		return 0
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return less(g.arcs[order[i]], g.arcs[order[j]]) < 0
-	})
+	sort.Stable(&arcCanonSorter{g: g, order: order})
 	return order
+}
+
+// arcCanonSorter sorts an arc index permutation into canonical order
+// (see CanonicalArcOrder). Stable sorting preserves declaration order
+// between fully identical arcs.
+type arcCanonSorter struct {
+	g     *Graph
+	order []int
+}
+
+func (s *arcCanonSorter) Len() int { return len(s.order) }
+func (s *arcCanonSorter) Less(i, j int) bool {
+	return arcCanonLess(s.g, &s.g.arcs[s.order[i]], &s.g.arcs[s.order[j]]) < 0
+}
+func (s *arcCanonSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+
+// arcCanonLess is the canonical arc comparison.
+func arcCanonLess(g *Graph, x, y *Arc) int {
+	if c := strings.Compare(g.events[x.From].Name, g.events[y.From].Name); c != 0 {
+		return c
+	}
+	if c := strings.Compare(g.events[x.To].Name, g.events[y.To].Name); c != 0 {
+		return c
+	}
+	bx, by := math.Float64bits(x.Delay), math.Float64bits(y.Delay)
+	switch {
+	case bx < by:
+		return -1
+	case bx > by:
+		return 1
+	}
+	if x.Marked != y.Marked {
+		if !x.Marked {
+			return -1
+		}
+		return 1
+	}
+	if x.Once != y.Once {
+		if !x.Once {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }

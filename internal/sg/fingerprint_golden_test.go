@@ -1,0 +1,81 @@
+package sg_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// TestFingerprintGolden pins the exact hash output of Fingerprint on
+// known graphs. The fingerprint is a wire-level contract — the serving
+// cache keys compiled engines by it and clients compare it across
+// upload/download — so implementation rewrites (like the streaming
+// allocation-flat one) must reproduce the byte stream exactly. These
+// values were captured from the original copy-and-sort implementation.
+func TestFingerprintGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*sg.Graph, error)
+		want  string
+	}{
+		{"oscillator", func() (*sg.Graph, error) { return gen.Oscillator(), nil },
+			"78e0ad775d95e389bf0f88566922b8086f64b1fd807b3679c6c9f70a090088df"},
+		{"pipegrid-3-4-2", func() (*sg.Graph, error) {
+			return gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 4, Width: 2, Seed: 5})
+		}, "d8a7688a1fd1b102da940d79b0e34ced55491f44313b12509375e7246e53a4ca"},
+		{"ring5", func() (*sg.Graph, error) { return gen.MullerRing(5) },
+			"b34f3386e2e88deca30d43c022c8d22fdf3872e4c7babe7e169d37a2c14524d8"},
+	}
+	for _, tc := range cases {
+		g, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := sg.Fingerprint(g); got != tc.want {
+			t.Errorf("%s: fingerprint %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestFingerprintAllocsFlat pins the streaming property: allocations
+// per Fingerprint call are a small constant, independent of graph size.
+func TestFingerprintAllocsFlat(t *testing.T) {
+	small, err := gen.PipeGrid(gen.PipeGridOptions{Sites: 3, Depth: 4, Width: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := gen.PipeGridSized(20000, 8, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *sg.Graph
+	}{{"small", small}, {"big-20k", big}} {
+		allocs := testing.AllocsPerRun(5, func() { _ = sg.Fingerprint(tc.g) })
+		// Budget: hash state, two permutations, scratch buffer, sorter
+		// boxes, digest and hex string. Anything O(n) or O(m) blows this.
+		if allocs > 16 {
+			t.Errorf("%s: %.0f allocs per Fingerprint, want a small constant (<= 16)", tc.name, allocs)
+		}
+	}
+}
+
+// BenchmarkFingerprint sweeps sizes; ns/event should stay roughly flat
+// (the sort's log factor aside) and allocs constant.
+func BenchmarkFingerprint(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		g, err := gen.PipeGridSized(n, 8, 4, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = sg.Fingerprint(g)
+			}
+		})
+	}
+}

@@ -84,7 +84,8 @@ type Schedule struct {
 	// during evaluation).
 	rowInit []float64
 
-	pool sync.Pool // *slab
+	pool    sync.Pool // *slab
+	winPool sync.Pool // *window (the two-row memory-bounded kernel)
 }
 
 // slab bundles the working memory of one simulation so traces can return
@@ -226,9 +227,11 @@ func (s *Schedule) Graph() *sg.Graph { return s.g }
 // schedule's own arrays — the three per-class record tables, their
 // offset and inverse columns, the order views and the row template —
 // excluding the graph, which the schedule shares with its compiler,
-// and excluding pooled slabs, whose size depends on the simulated
-// period count (the session layer accounts for those; see
-// cycletime.Engine.SizeHint).
+// and excluding pooled working memory, whose size depends on the
+// simulation shape — full slabs scale with the period count
+// (SlabBytes), two-row windows with n alone (WindowBytes). The session
+// layer accounts for whichever layout it runs; see
+// cycletime.Engine.SizeHint.
 func (s *Schedule) MemEstimate() int64 {
 	recs := int64(len(s.src0)+len(s.src1)+len(s.srcS)) * 24 // src+del+arc columns
 	recs += int64(len(s.mark1)+len(s.markS)) * 4

@@ -1,0 +1,160 @@
+package timesim
+
+import (
+	"fmt"
+	"math"
+
+	"tsg/internal/sg"
+)
+
+// Windowed scalar kernel: the memory-bounded variant of the pass-1
+// simulation. A λ-only analysis needs nothing from an event-initiated
+// trace but the origin's occurrence time per period (the distance
+// series of Prop. 7) — yet RunFrom materialises the full
+// (periods+1)×n slab. Like the Monte-Carlo batch kernel (batch.go),
+// the existence rules of §IV.A only ever reference the current period
+// (unmarked in-arcs) and the previous one (marked in-arcs), so the
+// scalar kernel too can roll a two-row window: O(n) working state
+// regardless of the period count, emitting just the origin series.
+//
+// Results are bit-identical to RunFrom + Trace.Time/Reached: the
+// record order, and hence every float add, max and tie-break, is the
+// same. The engine's pass 1 switches to this kernel when the full slab
+// would exceed its window budget (cycletime.Options.WindowBytes);
+// pass 2 — which needs parent pointers for backtracking — re-simulates
+// only the handful of λ-winning origins with full traces, which is the
+// spill-on-demand path.
+
+// window is the pooled working set of one windowed simulation.
+type window struct {
+	cur, prev   []float64
+	rCur, rPrev []bool
+}
+
+// acquireWindow draws a two-row window from the schedule's pool.
+func (s *Schedule) acquireWindow() *window {
+	w, _ := s.winPool.Get().(*window)
+	if w == nil {
+		w = &window{}
+	}
+	if cap(w.cur) < s.n {
+		w.cur = make([]float64, s.n)
+		w.prev = make([]float64, s.n)
+		w.rCur = make([]bool, s.n)
+		w.rPrev = make([]bool, s.n)
+	} else {
+		w.cur = w.cur[:s.n]
+		w.prev = w.prev[:s.n]
+		w.rCur = w.rCur[:s.n]
+		w.rPrev = w.rPrev[:s.n]
+	}
+	return w
+}
+
+// WindowBytes returns the approximate heap bytes of one pooled
+// two-row window: the per-simulation working set of the windowed
+// kernel (two float64 rows plus two reachedness rows).
+func (s *Schedule) WindowBytes() int64 { return int64(s.n) * (2*8 + 2) }
+
+// SlabBytes returns the approximate heap bytes of one pooled full
+// trace slab for the given period count (times plus reached bitset;
+// parent columns, used only by pass-2 backtracking, excluded). This is
+// the quantity the windowed kernel avoids.
+func (s *Schedule) SlabBytes(periods int) int64 {
+	return int64(periods)*int64(s.n)*8 + int64(periods)*int64(s.n)/8
+}
+
+// RunFromWindow executes the event-initiated simulation t_origin of
+// §IV.B over periods 0..periods with the two-row window, writing
+// out[j-1] = t_origin(origin_j) for j = 1..periods — NaN when the
+// unfolding has no origin-preceded instantiation origin_j. The values
+// (and NaN pattern) are bit-identical to a RunFrom trace with
+// Periods: periods+1 read back through Time/Reached at the origin.
+func (s *Schedule) RunFromWindow(origin sg.EventID, periods int, out []float64) error {
+	if origin < 0 || int(origin) >= s.n {
+		return fmt.Errorf("timesim: origin event %d out of range", origin)
+	}
+	if periods < 1 {
+		return fmt.Errorf("timesim: periods must be >= 1, got %d", periods)
+	}
+	if len(out) < periods {
+		return fmt.Errorf("timesim: window output has %d entries, need %d", len(out), periods)
+	}
+	w := s.acquireWindow()
+	cur, prev, rCur, rPrev := w.cur, w.prev, w.rCur, w.rPrev
+	for i := range rCur {
+		rCur[i] = false
+	}
+
+	// Period 0: all live in-arc sources sit in the same period.
+	for idx, f := range s.order {
+		best := math.Inf(-1)
+		any := false
+		for r := s.off0[idx]; r < s.off0[idx+1]; r++ {
+			src := int(s.src0[r])
+			if !rCur[src] {
+				continue
+			}
+			any = true
+			if v := cur[src] + s.del0[r]; v > best {
+				best = v
+			}
+		}
+		fi := int(f)
+		switch {
+		case f == origin:
+			cur[fi] = 0
+			rCur[fi] = true
+		case !any:
+			cur[fi] = 0 // pinned; rCur stays false so successors skip it
+		default:
+			cur[fi] = best
+			rCur[fi] = true
+		}
+	}
+
+	for p := 1; p <= periods; p++ {
+		cur, prev = prev, cur
+		rCur, rPrev = rPrev, rCur
+		off, src, del, mark := s.off1, s.src1, s.del1, s.mark1
+		if p >= 2 {
+			off, src, del, mark = s.offS, s.srcS, s.delS, s.markS
+		}
+		for i := range rCur {
+			rCur[i] = false
+		}
+		for idx, f := range s.orderR {
+			best := math.Inf(-1)
+			any := false
+			for r := off[idx]; r < off[idx+1]; r++ {
+				sp := int(src[r])
+				row, reachedRow := cur, rCur
+				if mark[r] == 1 {
+					row, reachedRow = prev, rPrev
+				}
+				if !reachedRow[sp] {
+					continue
+				}
+				any = true
+				if v := row[sp] + del[r]; v > best {
+					best = v
+				}
+			}
+			fi := int(f)
+			if !any {
+				cur[fi] = 0
+				continue
+			}
+			cur[fi] = best
+			rCur[fi] = true
+		}
+		if rCur[origin] {
+			out[p-1] = cur[int(origin)]
+		} else {
+			out[p-1] = math.NaN()
+		}
+	}
+	w.cur, w.prev, w.rCur, w.rPrev = cur, prev, rCur, rPrev
+	s.winPool.Put(w)
+	return nil
+}
