@@ -1,0 +1,35 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayHonorsHint checks the Retry-After precedence rule:
+// a server hint overrides the jittered exponential entirely, and
+// without one the delay stays inside the jitter envelope and cap.
+func TestBackoffDelayHonorsHint(t *testing.T) {
+	c := New("http://example.invalid", WithBackoff(100*time.Millisecond, 2*time.Second))
+
+	if d := c.backoffDelay(0, time.Second); d != time.Second {
+		t.Fatalf("hinted delay %v, want exactly 1s", d)
+	}
+	if d := c.backoffDelay(5, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("hint must bypass the cap: got %v, want 3s", d)
+	}
+	for attempt := 0; attempt < 10; attempt++ {
+		envelope := 100 * time.Millisecond << uint(attempt)
+		if envelope > 2*time.Second || envelope <= 0 {
+			envelope = 2 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			if d := c.backoffDelay(attempt, 0); d < 0 || d > envelope {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, envelope)
+			}
+		}
+	}
+	// Overflow-safe: absurd attempt counts still land under the cap.
+	if d := c.backoffDelay(200, 0); d < 0 || d > 2*time.Second {
+		t.Fatalf("attempt 200: delay %v outside cap", d)
+	}
+}

@@ -141,6 +141,24 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("tsg service: %s (HTTP %d)", e.Msg, e.Status)
 }
 
+// OverloadError reports that the server shed the request with 503 on
+// the final attempt — the retry budget ran out while the service was
+// overloaded. It wraps the last *APIError, so errors.As against either
+// type matches; RetryAfter carries the server's final backoff hint for
+// callers that want to schedule their own retry.
+type OverloadError struct {
+	Attempts   int           // attempts made (1 + retries)
+	Sheds      int           // how many of them were 503 sheds
+	RetryAfter time.Duration // the last Retry-After hint (0 if none)
+	Err        *APIError     // the final 503 reply
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server overloaded after %d attempts (%d sheds): %s", e.Attempts, e.Sheds, e.Err.Msg)
+}
+
+func (e *OverloadError) Unwrap() error { return e.Err }
+
 // UnreachableError reports that every attempt at a request failed at
 // the transport level — no HTTP reply at all. It is what a caller sees
 // when the server is down, unresolvable, or unroutable; tsgtime -serve
@@ -252,6 +270,7 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body []byte, out interface{}) error {
 	var last error
 	transportOnly := true
+	attempts, sheds := 0, 0
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
@@ -265,12 +284,16 @@ func (c *Client) roundTrip(ctx context.Context, method, path, contentType string
 			req.Header.Set("Content-Type", contentType)
 		}
 		err = c.doOnce(req, out)
+		attempts++
 		if err == nil {
 			return nil
 		}
 		last = err
 		retryable, isTransport, hint := classifyFailure(err)
 		transportOnly = transportOnly && isTransport
+		if retryable && !isTransport {
+			sheds++
+		}
 		if !retryable || attempt >= c.retries {
 			break
 		}
@@ -279,7 +302,14 @@ func (c *Client) roundTrip(ctx context.Context, method, path, contentType string
 		}
 	}
 	if transportOnly {
-		return &UnreachableError{URL: c.base, Attempts: c.retries + 1, Err: last}
+		return &UnreachableError{URL: c.base, Attempts: attempts, Err: last}
+	}
+	// A terminal 503 means the overload outlived the retry budget:
+	// surface it as a typed OverloadError (still unwrapping to the
+	// *APIError underneath).
+	var api *APIError
+	if errors.As(last, &api) && api.Status == http.StatusServiceUnavailable {
+		return &OverloadError{Attempts: attempts, Sheds: sheds, RetryAfter: api.RetryAfter, Err: api}
 	}
 	return last
 }
@@ -305,20 +335,27 @@ func classifyFailure(err error) (retryable, isTransport bool, retryAfter time.Du
 	return true, true, 0
 }
 
-// sleepBackoff waits the attempt's backoff: the server's Retry-After
-// hint when given, else full-jitter exponential — a uniformly random
-// slice of base·2^attempt, capped — so a thundering herd of shed
-// clients decorrelates instead of re-colliding.
-func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+// backoffDelay computes the wait before retrying `attempt`: the
+// server's Retry-After hint when given (it knows its own recovery
+// horizon better than any client-side guess), else full-jitter
+// exponential — a uniformly random slice of base·2^attempt, capped —
+// so a thundering herd of shed clients decorrelates instead of
+// re-colliding.
+func (c *Client) backoffDelay(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		return hint
+	}
 	d := c.backoff << uint(attempt)
 	if d > c.maxWait || d <= 0 {
 		d = c.maxWait
 	}
-	d = time.Duration(mrand.Int63n(int64(d) + 1))
-	if hint > 0 {
-		d = hint
-	}
-	t := time.NewTimer(d)
+	return time.Duration(mrand.Int63n(int64(d) + 1))
+}
+
+// sleepBackoff waits out backoffDelay, or returns early with the
+// context's error if it expires first.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+	t := time.NewTimer(c.backoffDelay(attempt, hint))
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -1,0 +1,90 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/serve"
+)
+
+// TestOverloadErrorAndRetryAfterHonored pins the shed contract end to
+// end: a server that always sheds with Retry-After: 1 must (a) make
+// the retry loop actually wait out the hint instead of its own tiny
+// backoff, and (b) surface a typed *OverloadError that still unwraps
+// to the *APIError underneath.
+func TestOverloadErrorAndRetryAfterHonored(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "overloaded: retry"})
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := client.New(srv.URL,
+		client.WithHTTPClient(srv.Client()),
+		client.WithRetries(1),
+		// Microsecond backoff: any real wait must come from the hint.
+		client.WithBackoff(time.Microsecond, 2*time.Microsecond))
+
+	start := time.Now()
+	_, err := cl.Analyze(context.Background(), client.ByFingerprint("deadbeef"))
+	elapsed := time.Since(start)
+
+	var ov *client.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("want *OverloadError, got %T: %v", err, err)
+	}
+	if ov.Attempts != 2 || ov.Sheds != 2 {
+		t.Fatalf("attempts=%d sheds=%d, want 2/2: %v", ov.Attempts, ov.Sheds, ov)
+	}
+	if ov.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ov.RetryAfter)
+	}
+	var api *client.APIError
+	if !errors.As(err, &api) || api.Status != http.StatusServiceUnavailable {
+		t.Fatalf("OverloadError must unwrap to the 503 *APIError, got %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+	// One retry gap, hinted at 1s. Jittered-exponential alone would be
+	// microseconds; honouring the header means we slept ~1s.
+	if elapsed < 900*time.Millisecond {
+		t.Fatalf("elapsed %v: Retry-After hint was not honoured", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("elapsed %v: waited far beyond the hint", elapsed)
+	}
+}
+
+// TestOverloadErrorAbsentOnRecovery checks a request that eventually
+// succeeds, or fails for non-overload reasons, never wears the
+// OverloadError type.
+func TestOverloadErrorAbsentOnRecovery(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "no such graph"})
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := client.New(srv.URL, client.WithHTTPClient(srv.Client()), client.WithRetries(2))
+	_, err := cl.Analyze(context.Background(), client.ByFingerprint("missing"))
+	var ov *client.OverloadError
+	if errors.As(err, &ov) {
+		t.Fatalf("404 must not classify as overload: %v", err)
+	}
+	var api *client.APIError
+	if !errors.As(err, &api) || api.Status != http.StatusNotFound {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+}

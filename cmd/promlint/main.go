@@ -1,0 +1,57 @@
+// Command promlint checks Prometheus text exposition for the
+// conventions the tsg service promises: HELP and TYPE on every family,
+// counters suffixed _total, histograms cumulative with a +Inf bucket
+// and _count consistency, no duplicate or interleaved series.
+//
+// Usage:
+//
+//	promlint [file ...]          # no files = read stdin
+//	curl -s host:7436/metrics | promlint
+//
+// It prints one line per problem and exits 1 when any are found, so CI
+// can gate /metrics scrapes on it (the smoke workflow does).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tsg/internal/obs"
+)
+
+func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "-h" || os.Args[1] == "-help" || os.Args[1] == "--help") {
+		fmt.Fprintln(os.Stderr, "usage: promlint [file ...]  (no files = stdin)")
+		os.Exit(2)
+	}
+	bad := false
+	if len(os.Args) == 1 {
+		bad = lintOne("<stdin>", os.Stdin)
+	} else {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+				os.Exit(1)
+			}
+			bad = lintOne(path, f) || bad
+			f.Close()
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func lintOne(name string, r io.Reader) bool {
+	problems, err := obs.Lint(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: reading %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Printf("%s:%d: %s\n", name, p.Line, p.Msg)
+	}
+	return len(problems) > 0
+}

@@ -9,7 +9,8 @@
 //
 //	tsgserved [-addr host:port] [-cache-bytes N] [-max-body N]
 //	          [-data-dir dir] [-max-concurrent N] [-max-queue N]
-//	          [-request-timeout d]
+//	          [-request-timeout d] [-trace-buffer N] [-metrics-compat]
+//	          [-pprof] [-disable-obs] [-version]
 //
 // The daemon prints its listen URL on startup (with -addr :0 the
 // kernel picks a free port — the printed URL is how scripts find it),
@@ -40,7 +41,18 @@
 //	POST /v1/whatif   batched what-if queries
 //	POST /v1/mc       Monte-Carlo λ over delay distributions
 //	GET  /healthz     liveness + resident graph count
-//	GET  /metrics     Prometheus counters (queries, hits, compiles)
+//	GET  /metrics     Prometheus text exposition (HELP/TYPE on every
+//	                  family; -metrics-compat appends pre-rename names)
+//	GET  /debug/trace    recent request span trees (?graph=, ?format=tree)
+//	GET  /debug/cache    engine cache stats + resident entries
+//	GET  /debug/hotarcs  per-graph what-if/edit arc touch counts
+//	GET  /debug/pprof/*  Go profiler (only with -pprof)
+//
+// Observability is on by default and costs little (lock-free span ring
+// + atomic counters); -disable-obs strips it entirely, turning the
+// /metrics and /debug endpoints off. -trace-buffer sizes the span ring
+// (spans beyond it overwrite the oldest). -version prints the build
+// version and exits.
 //
 // See the client package for the Go client and EXPERIMENTS.md (SERVE)
 // for the load harness driving the daemon.
@@ -56,12 +68,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"tsg/internal/serve"
 	"tsg/internal/store"
 )
+
+// version identifies the build in -version output and the
+// tsgserve_build_info metric. Overridable at link time:
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/tsgserved
+var version = "dev"
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7436", "listen address (use :0 for a kernel-assigned port)")
@@ -71,7 +90,16 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max in-flight requests per endpoint (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "max queued requests per endpoint beyond -max-concurrent (0 = 4x concurrency)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; expiry cancels the analysis and answers 503 (0 = none)")
+	traceBuffer := flag.Int("trace-buffer", 0, "span ring capacity for /debug/trace (0 = default 8192)")
+	metricsCompat := flag.Bool("metrics-compat", false, "also expose pre-rename metric series (tsgserve_queries_total etc.)")
+	enablePprof := flag.Bool("pprof", false, "mount Go profiler endpoints under /debug/pprof/")
+	disableObs := flag.Bool("disable-obs", false, "strip tracing/metrics entirely (/metrics and /debug answer 404)")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("tsgserved %s %s\n", version, runtime.Version())
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tsgserved [flags]")
 		flag.PrintDefaults()
@@ -98,6 +126,11 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *requestTimeout,
+		TraceBuffer:    *traceBuffer,
+		MetricsCompat:  *metricsCompat,
+		EnablePprof:    *enablePprof,
+		DisableObs:     *disableObs,
+		Version:        version,
 	})
 	if rec != nil {
 		if err := s.Recover(rec); err != nil {

@@ -7,7 +7,8 @@
 //	        [-series] [-slacks] [-sweep factor] [-dot out.dot]
 //	        [-edit arc=delay,...]
 //	        [-mc N] [-quantiles p,...] [-criticality] [-mctol tol]
-//	        [-mcseed s] [-jitter f] [-serve http://host:port] graph.tsg
+//	        [-mcseed s] [-jitter f] [-trace]
+//	        [-serve http://host:port] graph.tsg
 //
 // The default algorithm is the paper's O(b²m) timing simulation
 // ("nielsen"); the alternatives are the classical maximum-cycle-ratio
@@ -41,6 +42,13 @@
 // ranks arcs by the fraction of samples in which they lie on a critical
 // cycle — the bottleneck list under uncertainty.
 //
+// -trace records every analysis of the run in an in-process span ring
+// and prints the resulting span tree — compile, pass 1 (window vs
+// slab), lazy pass 2, dirty-cone patches, slack certificates, answer
+// tiers — after the reports, so a slow run explains itself. It needs
+// the in-process engine and is rejected with -serve (the daemon has
+// /debug/trace for the same view).
+//
 // -serve http://host:port routes the nielsen path through a tsgserved
 // daemon instead of analysing in process: the graph is uploaded once
 // and every report — analysis, -slacks, -sweep, -mc — is answered by
@@ -50,6 +58,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,6 +72,7 @@ import (
 	"tsg/client"
 	"tsg/internal/cycles"
 	"tsg/internal/mcr"
+	"tsg/internal/obs"
 	"tsg/internal/textio"
 )
 
@@ -82,6 +92,7 @@ func main() {
 	criticality := flag.Bool("criticality", false, "rank arcs by Monte-Carlo criticality (fraction of samples on a critical cycle)")
 	jitter := flag.Float64("jitter", 0, "apply uniform ±f delay jitter when the file has no distribution annotations")
 	serveURL := flag.String("serve", "", "route the nielsen path through a tsgserved daemon at this base URL")
+	trace := flag.Bool("trace", false, "print the span tree of every analysis after the reports (nielsen only, in-process)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -108,6 +119,9 @@ func main() {
 		case *periods != 0:
 			fmt.Fprintln(os.Stderr, "tsgtime: -periods is not available with -serve (the server owns the session options)")
 			os.Exit(2)
+		case *trace:
+			fmt.Fprintln(os.Stderr, "tsgtime: -trace needs the in-process engine; use the daemon's /debug/trace with -serve")
+			os.Exit(2)
 		}
 	}
 	g, model, err := tsg.LoadGraphDist(flag.Arg(0))
@@ -133,6 +147,7 @@ func main() {
 	switch *algo {
 	case "nielsen":
 		var sess session
+		var tracer *obs.Tracer
 		if *serveURL != "" {
 			rs, err := newRemoteSession(*serveURL, g)
 			if err != nil {
@@ -140,11 +155,16 @@ func main() {
 			}
 			sess = rs
 		} else {
-			eng, err := tsg.NewEngineOpts(g, tsg.AnalysisOptions{Periods: *periods})
+			ctx := context.Background()
+			if *trace {
+				tracer = obs.NewTracer(obs.DefaultRingSize)
+				ctx = obs.WithTracer(ctx, tracer)
+			}
+			eng, err := tsg.NewEngineOptsCtx(ctx, g, tsg.AnalysisOptions{Periods: *periods})
 			if err != nil {
 				fatal(err)
 			}
-			sess = localSession{eng}
+			sess = localSession{ctx: ctx, eng: eng}
 		}
 		res, err := sess.Analyze()
 		if err != nil {
@@ -197,6 +217,10 @@ func main() {
 			if err := runMC(sess, g, model, *mcN, *mcSeed, *mcTol, *quantiles, *criticality); err != nil {
 				fatal(err)
 			}
+		}
+		if tracer != nil {
+			fmt.Printf("trace (%d spans recorded):\n", tracer.Recorded())
+			obs.WriteTree(os.Stdout, tracer.Snapshot())
 		}
 	case "karp":
 		r, err := mcr.Karp(g)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
@@ -35,7 +36,7 @@ func TestServeParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("NewEngine: %v", err)
 			}
-			local := localSession{eng}
+			local := localSession{ctx: context.Background(), eng: eng}
 			remote, err := newRemoteSession(srv.URL, g)
 			if err != nil {
 				t.Fatalf("newRemoteSession: %v", err)

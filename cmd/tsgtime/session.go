@@ -30,22 +30,28 @@ type session interface {
 	StatsLine() string
 }
 
-// localSession runs on an in-process engine.
-type localSession struct{ eng *tsg.Engine }
+// localSession runs on an in-process engine. Its context carries the
+// -trace tracer (context.Background() otherwise), so every query runs
+// through the engine's Ctx entry points and contributes to the span
+// tree the flag prints.
+type localSession struct {
+	ctx context.Context
+	eng *tsg.Engine
+}
 
-func (s localSession) Analyze() (*tsg.Result, error)   { return s.eng.Analyze() }
-func (s localSession) Slacks() ([]tsg.ArcSlack, error) { return s.eng.Slacks() }
+func (s localSession) Analyze() (*tsg.Result, error)   { return s.eng.AnalyzeCtx(s.ctx) }
+func (s localSession) Slacks() ([]tsg.ArcSlack, error) { return s.eng.SlacksCtx(s.ctx) }
 func (s localSession) Sweep(c []tsg.WhatIf) ([]tsg.Ratio, error) {
-	return s.eng.SensitivitySweep(c)
+	return s.eng.SensitivitySweepCtx(s.ctx, c)
 }
 func (s localSession) Edit(arc int, delay float64) (tsg.Ratio, error) {
 	if err := s.eng.SetDelay(arc, delay); err != nil {
 		return tsg.Ratio{}, err
 	}
-	return s.eng.CycleTime()
+	return s.eng.CycleTimeCtx(s.ctx)
 }
 func (s localSession) MC(m *tsg.DelayModel, o tsg.MCOptions) (*tsg.MCResult, error) {
-	return s.eng.AnalyzeMC(m, o)
+	return s.eng.AnalyzeMCCtx(s.ctx, m, o)
 }
 func (s localSession) StatsLine() string {
 	st := s.eng.Stats()

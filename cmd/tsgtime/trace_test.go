@@ -1,0 +1,40 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tsg"
+	"tsg/internal/gen"
+	"tsg/internal/obs"
+)
+
+// TestLocalSessionTracing pins the -trace wiring: a localSession built
+// on a traced context must record the compile and an answer span with
+// kernel phases underneath, and WriteTree must render them.
+func TestLocalSessionTracing(t *testing.T) {
+	g := gen.Oscillator()
+	tr := obs.NewTracer(256)
+	ctx := obs.WithTracer(context.Background(), tr)
+	eng, err := tsg.NewEngineOptsCtx(ctx, g, tsg.AnalysisOptions{})
+	if err != nil {
+		t.Fatalf("NewEngineOptsCtx: %v", err)
+	}
+	sess := localSession{ctx: ctx, eng: eng}
+	if _, err := sess.Analyze(); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if _, err := sess.Edit(0, g.Arc(0).Delay+1); err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+
+	var sb strings.Builder
+	obs.WriteTree(&sb, tr.Snapshot())
+	out := sb.String()
+	for _, want := range []string{"engine.compile", "engine.answer", "engine.pass1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace tree missing %s:\n%s", want, out)
+		}
+	}
+}

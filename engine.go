@@ -1,6 +1,10 @@
 package tsg
 
-import "tsg/internal/cycletime"
+import (
+	"context"
+
+	"tsg/internal/cycletime"
+)
 
 // This file exposes the compile-once / query-many session layer. The
 // one-shot functions (Analyze, Slacks, Sensitivity, AnalyzeBounds)
@@ -48,4 +52,13 @@ func NewEngine(g *Graph) (*Engine, error) { return cycletime.NewEngine(g) }
 // (custom cut set, period override, scheduling).
 func NewEngineOpts(g *Graph, opts AnalysisOptions) (*Engine, error) {
 	return cycletime.NewEngineOpts(g, opts)
+}
+
+// NewEngineOptsCtx is NewEngineOpts with a context: a tracer attached
+// to ctx (internal/obs) records the compile as an engine.compile span,
+// and the engine's *Ctx query methods (AnalyzeCtx, CycleTimeCtx, ...)
+// continue the span tree down to the kernel phases. With a plain
+// context it behaves exactly like NewEngineOpts.
+func NewEngineOptsCtx(ctx context.Context, g *Graph, opts AnalysisOptions) (*Engine, error) {
+	return cycletime.NewEngineOptsCtx(ctx, g, opts)
 }

@@ -30,6 +30,7 @@
 package cycletime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -203,12 +204,12 @@ func AnalyzeOpts(g *sg.Graph, opts Options) (*Result, error) {
 	}
 	// The engine is throwaway and exclusively owned: return its cached
 	// result directly, skipping Engine.Analyze's defensive deep copy.
-	c, err := e.ensureResult()
+	c, err := e.ensureResult(context.Background())
 	if err != nil {
 		return nil, err
 	}
 	if !opts.LambdaOnly {
-		if err := e.ensureCriticals(c); err != nil {
+		if err := e.ensureCriticals(context.Background(), c); err != nil {
 			return nil, err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"tsg/internal/mcr"
+	"tsg/internal/obs"
 	"tsg/internal/sg"
 	"tsg/internal/stat"
 	"tsg/internal/timesim"
@@ -144,6 +145,11 @@ type engineCounters struct {
 	incremental  atomic.Int64
 	fastPathHits atomic.Int64
 	tableHits    atomic.Int64
+	windowedP1   atomic.Int64
+	slabP1       atomic.Int64
+	patchFloods  atomic.Int64
+	lazySkips    atomic.Int64
+	pass2Runs    atomic.Int64
 }
 
 // EngineStats is a snapshot of an engine's query counters.
@@ -163,6 +169,23 @@ type EngineStats struct {
 	// simulation per distinct arc head) instead of a full O(b²m)
 	// re-analysis.
 	TableAnswers int64
+	// WindowedPass1 counts pass-1 runs that chose the memory-bounded
+	// two-row window kernel; SlabPass1 counts runs on the materialised
+	// slab kernel (including trace-retaining incremental sessions,
+	// which never window). Together they expose the kernel-selection
+	// policy (Options.WindowBytes) per session.
+	WindowedPass1 int64
+	SlabPass1     int64
+	// PatchFloods counts per-trace incremental patches whose dirty
+	// cone exceeded the flood budget and fell back to straight
+	// re-evaluation (timesim.PatchStats.Flooded).
+	PatchFloods int64
+	// LazyPass2Skips counts certificates dropped by a delay commit
+	// before pass 2 (winner re-simulation and critical-cycle
+	// backtracking) ever ran — analyses where laziness saved the whole
+	// pass. Pass2Runs counts the extractions that did run.
+	LazyPass2Skips int64
+	Pass2Runs      int64
 }
 
 // NewEngine compiles an analysis session with default options: the cut
@@ -173,6 +196,17 @@ func NewEngine(g *sg.Graph) (*Engine, error) { return NewEngineOpts(g, Options{}
 // options (cut set, periods, scheduling) are fixed for the session's
 // lifetime; delays are editable through SetDelay/ResetDelays.
 func NewEngineOpts(g *sg.Graph, opts Options) (*Engine, error) {
+	return NewEngineOptsCtx(context.Background(), g, opts)
+}
+
+// NewEngineOptsCtx is NewEngineOpts with an observability context: when
+// a tracer rides ctx, session compilation (overlay + CSR schedule) is
+// recorded as an engine.compile span sized by the graph.
+func NewEngineOptsCtx(ctx context.Context, g *sg.Graph, opts Options) (*Engine, error) {
+	sp := obs.LeafN(ctx, spanCompile)
+	sp.AnnotateN(keyEvents, uint64(g.NumEvents()))
+	sp.AnnotateN(keyArcs, uint64(g.NumArcs()))
+	defer sp.End()
 	cut := opts.CutSet
 	if cut == nil {
 		cut = g.BorderEvents()
@@ -241,6 +275,11 @@ func (e *Engine) Stats() EngineStats {
 		IncrementalAnalyses: e.counters.incremental.Load(),
 		FastPathHits:        e.counters.fastPathHits.Load(),
 		TableAnswers:        e.counters.tableHits.Load(),
+		WindowedPass1:       e.counters.windowedP1.Load(),
+		SlabPass1:           e.counters.slabP1.Load(),
+		PatchFloods:         e.counters.patchFloods.Load(),
+		LazyPass2Skips:      e.counters.lazySkips.Load(),
+		Pass2Runs:           e.counters.pass2Runs.Load(),
 	}
 }
 
@@ -348,6 +387,11 @@ func (e *Engine) ResetDelays() {
 // armed so that analysis retains its traces. Callers hold the session
 // lock and have validated the arc.
 func (e *Engine) commitArc(arc int) {
+	if e.cert != nil && !e.cert.criticals {
+		// The certificate dies having never paid pass 2: the winner
+		// re-simulation the lazy split deferred is now skipped for good.
+		e.counters.lazySkips.Add(1)
+	}
 	e.cert = nil
 	if !e.opts.NoIncremental {
 		e.incr = true
@@ -381,7 +425,16 @@ func (e *Engine) drainPending() []int {
 // private deep copy, so callers may freely reorder or truncate the
 // returned series and cycles without corrupting the certificate the
 // sensitivity fast paths are derived from.
-func (e *Engine) Analyze() (*Result, error) {
+func (e *Engine) Analyze() (*Result, error) { return e.AnalyzeCtx(context.Background()) }
+
+// AnalyzeCtx is Analyze with an observability context: when a tracer
+// rides ctx (obs.WithTracer), the engine records an engine.answer span
+// whose tier names the deepest work the answer required — cached /
+// incremental / lambda-only / full — with the phase spans (pass 1,
+// patch, pass 2, slack certificate) nested beneath it.
+func (e *Engine) AnalyzeCtx(ctx context.Context) (*Result, error) {
+	sp := obs.LeafN(ctx, spanAnswer)
+	defer sp.End()
 	// Warm path: the certificate already holds the analysis of the
 	// committed baseline, critical cycles included — clone it under the
 	// shared lock so concurrent readers never serialise.
@@ -389,16 +442,18 @@ func (e *Engine) Analyze() (*Result, error) {
 	if c := e.cert; c != nil && c.criticals {
 		res := cloneResult(c.result)
 		e.mu.RUnlock()
+		sp.SetTierN(tierCached)
 		return res, nil
 	}
 	e.mu.RUnlock()
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c, err := e.ensureResult()
+	c, err := e.ensureResult(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.ensureCriticals(c); err != nil {
+	if err := e.ensureCriticals(ctx, c); err != nil {
 		return nil, err
 	}
 	return cloneResult(c.result), nil
@@ -433,20 +488,29 @@ func cloneCycles(cycs []CriticalCycle) []CriticalCycle {
 // distance series — b·periods floats that protocol responses never
 // carry.
 func (e *Engine) Summary() (stat.Ratio, []CriticalCycle, error) {
+	return e.SummaryCtx(context.Background())
+}
+
+// SummaryCtx is Summary with an observability context (see AnalyzeCtx).
+func (e *Engine) SummaryCtx(ctx context.Context) (stat.Ratio, []CriticalCycle, error) {
+	sp := obs.LeafN(ctx, spanAnswer)
+	defer sp.End()
 	e.mu.RLock()
 	if c := e.cert; c != nil && c.criticals {
 		lam, cycs := c.result.CycleTime, cloneCycles(c.result.Critical)
 		e.mu.RUnlock()
+		sp.SetTierN(tierCached)
 		return lam, cycs, nil
 	}
 	e.mu.RUnlock()
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c, err := e.ensureResult()
+	c, err := e.ensureResult(ctx)
 	if err != nil {
 		return stat.Ratio{}, nil, err
 	}
-	if err := e.ensureCriticals(c); err != nil {
+	if err := e.ensureCriticals(ctx, c); err != nil {
 		return stat.Ratio{}, nil, err
 	}
 	return c.result.CycleTime, cloneCycles(c.result.Critical), nil
@@ -457,16 +521,27 @@ func (e *Engine) Summary() (stat.Ratio, []CriticalCycle, error) {
 // no result cloning at all — making this the cheapest repeated query
 // an engine serves.
 func (e *Engine) CycleTime() (stat.Ratio, error) {
+	return e.CycleTimeCtx(context.Background())
+}
+
+// CycleTimeCtx is CycleTime with an observability context (see
+// AnalyzeCtx). A cold call records tier lambda-only: pass 1 runs, the
+// winner backtracking stays lazy.
+func (e *Engine) CycleTimeCtx(ctx context.Context) (stat.Ratio, error) {
+	sp := obs.LeafN(ctx, spanAnswer)
+	defer sp.End()
 	e.mu.RLock()
 	if c := e.cert; c != nil {
 		lam := c.result.CycleTime
 		e.mu.RUnlock()
+		sp.SetTierN(tierCached)
 		return lam, nil
 	}
 	e.mu.RUnlock()
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c, err := e.ensureResult()
+	c, err := e.ensureResult(ctx)
 	if err != nil {
 		return stat.Ratio{}, err
 	}
@@ -481,17 +556,24 @@ func (e *Engine) CycleTime() (stat.Ratio, error) {
 // certifying potential is not unique, so individual slack values may
 // differ from the one-shot Slacks — both are valid certificates with
 // the same guarantees (no negative slack, every critical arc tight).
-func (e *Engine) Slacks() ([]ArcSlack, error) {
+func (e *Engine) Slacks() ([]ArcSlack, error) { return e.SlacksCtx(context.Background()) }
+
+// SlacksCtx is Slacks with an observability context (see AnalyzeCtx).
+func (e *Engine) SlacksCtx(ctx context.Context) ([]ArcSlack, error) {
+	sp := obs.LeafN(ctx, spanAnswer)
+	defer sp.End()
 	e.mu.RLock()
 	if c := e.cert; c != nil && c.slackByArc != nil {
 		out := append([]ArcSlack(nil), c.slacks...)
 		e.mu.RUnlock()
+		sp.SetTierN(tierCached)
 		return out, nil
 	}
 	e.mu.RUnlock()
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c, err := e.ensureCert()
+	c, err := e.ensureCert(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -504,12 +586,23 @@ func (e *Engine) Slacks() ([]ArcSlack, error) {
 // delay refresh plus one full analysis, with the baseline restored
 // afterwards.
 func (e *Engine) Sensitivity(arc int, newDelay float64) (stat.Ratio, error) {
-	if lam, done, err := e.whatIfShared(arc, newDelay); done {
+	return e.SensitivityCtx(context.Background(), arc, newDelay)
+}
+
+// SensitivityCtx is Sensitivity with an observability context: the
+// engine.answer span's tier names the answer taken — fast-path (slack
+// certificate, no simulation), cached-row (what-if row arithmetic),
+// lambda-only (one pass-1 re-analysis) or full.
+func (e *Engine) SensitivityCtx(ctx context.Context, arc int, newDelay float64) (stat.Ratio, error) {
+	sp := obs.LeafN(ctx, spanAnswer)
+	defer sp.End()
+	if lam, done, err := e.whatIfShared(sp, arc, newDelay); done {
 		return lam, err
 	}
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.whatIf(arc, newDelay)
+	return e.whatIf(ctx, arc, newDelay)
 }
 
 // whatIfShared answers one sensitivity query under the shared (reader)
@@ -518,7 +611,7 @@ func (e *Engine) Sensitivity(arc int, newDelay float64) (stat.Ratio, error) {
 // built. done=false sends the caller to the exclusive path; the answer
 // is recomputed there from scratch, so the race between dropping the
 // read lock and acquiring the write lock is harmless.
-func (e *Engine) whatIfShared(arc int, newDelay float64) (lam stat.Ratio, done bool, err error) {
+func (e *Engine) whatIfShared(sp *obs.Span, arc int, newDelay float64) (lam stat.Ratio, done bool, err error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if err := e.validateWhatIf(arc, newDelay); err != nil {
@@ -530,10 +623,12 @@ func (e *Engine) whatIfShared(arc int, newDelay float64) (lam stat.Ratio, done b
 	}
 	if lam, ok := fastAnswer(c, e.overlay.Delay(arc), arc, newDelay); ok {
 		e.counters.fastPathHits.Add(1)
+		sp.SetTierN(tierFastPath)
 		return lam, true, nil
 	}
 	if newDelay > e.overlay.Delay(arc) && e.rows != nil && e.rows[arc] != nil {
 		e.counters.tableHits.Add(1)
+		sp.SetTierN(tierCachedRow)
 		return e.answerFromRow(c.result.CycleTime, arc, newDelay), true, nil
 	}
 	return stat.Ratio{}, false, nil
@@ -568,9 +663,15 @@ func (e *Engine) SensitivitySweep(cands []WhatIf) ([]stat.Ratio, error) {
 // fast path. A cancelled sweep leaves the session baseline untouched
 // (sweeps never commit state), so the engine is immediately reusable.
 func (e *Engine) SensitivitySweepCtx(ctx context.Context, cands []WhatIf) ([]stat.Ratio, error) {
+	sp := obs.LeafN(ctx, spanSweep)
+	defer sp.End()
+	sp.AnnotateN(keyCands, uint64(len(cands)))
 	if out, done, err := e.sweepShared(cands); done {
+		sp.SetTierN(tierShared)
 		return out, err
 	}
+	sp.SetTierN(tierExclusive)
+	ctx = obs.ContextWith(ctx, sp) // cold: phases nest under this span
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sweepLocked(ctx, cands)
@@ -617,7 +718,7 @@ func (e *Engine) sweepShared(cands []WhatIf) (out []stat.Ratio, done bool, err e
 // sweepLocked is the exclusive-path sweep; callers hold the session
 // lock.
 func (e *Engine) sweepLocked(ctx context.Context, cands []WhatIf) ([]stat.Ratio, error) {
-	c, err := e.ensureCert()
+	c, err := e.ensureCert(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +752,7 @@ func (e *Engine) sweepLocked(ctx context.Context, cands []WhatIf) ([]stat.Ratio,
 		for k, i := range incr {
 			arcs[k] = cands[i].Arc
 		}
-		if err := e.ensureRows(arcs); err != nil {
+		if err := e.ensureRows(ctx, arcs); err != nil {
 			return nil, err
 		}
 		for _, i := range incr {
@@ -674,7 +775,7 @@ func (e *Engine) sweepLocked(ctx context.Context, cands []WhatIf) ([]stat.Ratio,
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			lam, err := e.whatIfFull(cands[i].Arc, cands[i].Delay)
+			lam, err := e.whatIfFull(ctx, cands[i].Arc, cands[i].Delay)
 			if err != nil {
 				return nil, err
 			}
@@ -699,7 +800,7 @@ func (e *Engine) sweepLocked(ctx context.Context, cands []WhatIf) ([]stat.Ratio,
 			return
 		}
 		i := full[k]
-		lam, err := clones[w].whatIfFull(cands[i].Arc, cands[i].Delay)
+		lam, err := clones[w].whatIfFull(ctx, cands[i].Arc, cands[i].Delay)
 		if err != nil {
 			errs[w] = err
 			return
@@ -744,7 +845,7 @@ func (e *Engine) AnalyzeBounds(lo, hi func(arc int, nominal float64) float64) (*
 			return nil, err
 		}
 		we.refreshAll()
-		return we.runAnalysis(false)
+		return we.runAnalysis(context.Background(), false)
 	}
 	// The lo extreme runs on a private clone, the hi extreme reuses the
 	// session's own idle schedule (restored afterwards), so one bounds
@@ -814,7 +915,7 @@ func (e *Engine) refreshAll() {
 // session that has committed at least one edit starts retaining traces
 // here. Critical cycles are NOT guaranteed by this certificate —
 // callers that need them follow up with ensureCriticals.
-func (e *Engine) ensureResult() (*certificate, error) {
+func (e *Engine) ensureResult(ctx context.Context) (*certificate, error) {
 	if e.cert != nil {
 		return e.cert, nil
 	}
@@ -826,9 +927,11 @@ func (e *Engine) ensureResult() (*certificate, error) {
 		err error
 	)
 	if e.simTraces != nil {
-		res, err = e.patchedAnalysis(dirty)
+		res, err = e.patchedAnalysis(ctx, dirty)
+		obs.FromContext(ctx).SetTierN(tierIncr)
 	} else {
-		res, err = e.pass1Analysis(e.incr)
+		res, err = e.pass1Analysis(ctx, e.incr)
+		obs.FromContext(ctx).SetTierN(tierLambdaOnly)
 	}
 	if err != nil {
 		return nil, err
@@ -845,14 +948,17 @@ func (e *Engine) ensureResult() (*certificate, error) {
 // next commit, so a session answering λ-only traffic (the edit→analyze
 // loop) never pays it, and a session asking for critical cycles pays
 // it once per committed baseline. Callers hold the session lock.
-func (e *Engine) ensureCriticals(c *certificate) error {
+func (e *Engine) ensureCriticals(ctx context.Context, c *certificate) error {
 	if c.criticals {
 		return nil
 	}
-	if err := e.extractCriticals(c.result); err != nil {
+	if err := e.extractCriticals(ctx, c.result); err != nil {
 		return err
 	}
 	c.criticals = true
+	// Pass 2 ran: whatever tier the pass-1 path recorded, this answer
+	// paid for the complete two-pass analysis.
+	obs.FromContext(ctx).SetTierN(tierFull)
 	return nil
 }
 
@@ -863,7 +969,8 @@ func (e *Engine) ensureCriticals(c *certificate) error {
 // attain λ, so this pass may be as wide as pass 1 — and each is
 // backtracked (Prop. 1). Deduplication runs serially afterwards in
 // winner order, keeping Critical deterministic.
-func (e *Engine) extractCriticals(res *Result) error {
+func (e *Engine) extractCriticals(ctx context.Context, res *Result) error {
+	e.counters.pass2Runs.Add(1)
 	var winners []int
 	for i := range res.Series {
 		s := &res.Series[i]
@@ -873,6 +980,9 @@ func (e *Engine) extractCriticals(res *Result) error {
 		s.OnCritical = true
 		winners = append(winners, i)
 	}
+	sp := obs.LeafN(ctx, spanPass2)
+	sp.AnnotateN(keyWinners, uint64(len(winners)))
+	defer sp.End()
 	parentOpts := timesim.Options{Periods: e.periods + 1, TrackParents: true}
 	cycs := make([]*CriticalCycle, len(winners))
 	cycErrs := make([]error, len(winners))
@@ -920,16 +1030,20 @@ func (e *Engine) workerCount(n int) int {
 // re-assembled from them. Bit-identical to a from-scratch analysis:
 // the patched traces equal fresh parent-tracked simulations (the Patch
 // contract), and result assembly is shared with the full path.
-func (e *Engine) patchedAnalysis(dirty []int) (*Result, error) {
+func (e *Engine) patchedAnalysis(ctx context.Context, dirty []int) (*Result, error) {
 	e.counters.incremental.Add(1)
+	sp := obs.LeafN(ctx, spanPatch)
+	defer sp.End()
+	sp.AnnotateN(keyDirty, uint64(len(dirty)))
 	if len(dirty) > 0 {
 		traces := e.simTraces
 		if e.slackTrace != nil {
 			traces = append(append([]*timesim.Trace(nil), traces...), e.slackTrace)
 		}
 		errs := make([]error, len(traces))
+		stats := make([]timesim.PatchStats, len(traces))
 		runIndexed(len(traces), e.workerCount(len(traces)), func(i int) {
-			errs[i] = e.sched.Patch(traces[i], dirty)
+			stats[i], errs[i] = e.sched.Patch(traces[i], dirty)
 		})
 		for _, err := range errs {
 			if err != nil {
@@ -938,6 +1052,21 @@ func (e *Engine) patchedAnalysis(dirty []int) (*Result, error) {
 				e.dropTraces()
 				return nil, fmt.Errorf("cycletime: patching committed traces: %w", err)
 			}
+		}
+		var cone, floods uint64
+		for _, st := range stats {
+			cone += uint64(st.Recomputed)
+			if st.Flooded {
+				floods++
+			}
+		}
+		e.counters.patchFloods.Add(int64(floods))
+		// cone is the total realized dirty-cone size across the patched
+		// traces; floods counts the per-trace bail-outs to straight
+		// re-evaluation.
+		sp.AnnotateN(keyCone, cone)
+		if floods > 0 {
+			sp.SetTierN(tierFlooded)
 		}
 	}
 	return e.resultFromTraces(e.simTraces)
@@ -1007,13 +1136,13 @@ func (e *Engine) invalidateRows(dirty []int) {
 
 // ensureCert extends ensureResult with the slack certificate the
 // sensitivity fast path consumes.
-func (e *Engine) ensureCert() (*certificate, error) {
-	c, err := e.ensureResult()
+func (e *Engine) ensureCert(ctx context.Context) (*certificate, error) {
+	c, err := e.ensureResult(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if c.slackByArc == nil {
-		if err := e.buildCertificate(c); err != nil {
+		if err := e.buildCertificate(ctx, c); err != nil {
 			return nil, err
 		}
 	}
@@ -1026,12 +1155,14 @@ func (e *Engine) ensureCert() (*certificate, error) {
 // max_p (t(e_p) − λ·p) are unfolded-path weights, already feasible
 // along every simulated constraint), and the cached critical cycles are
 // intersected for the delay-decrease fast path.
-func (e *Engine) buildCertificate(c *certificate) error {
+func (e *Engine) buildCertificate(ctx context.Context, c *certificate) error {
 	// The decrease fast path intersects the critical cycles, so the
 	// lazy pass 2 must have run.
-	if err := e.ensureCriticals(c); err != nil {
+	if err := e.ensureCriticals(ctx, c); err != nil {
 		return err
 	}
+	sp := obs.LeafN(ctx, spanSlackcert)
+	defer sp.End()
 	lam := c.result.CycleTime.Float()
 	var (
 		slacks []ArcSlack
@@ -1196,7 +1327,7 @@ func fastAnswer(c *certificate, current float64, arc int, newDelay float64) (sta
 // the rows include decomposes into simple cycles whose best ratio
 // bounds it. nil per arc until built; one simulation per distinct head
 // serves all arcs entering it.
-func (e *Engine) ensureRows(arcs []int) error {
+func (e *Engine) ensureRows(ctx context.Context, arcs []int) error {
 	if e.rows == nil {
 		e.rows = make([][]float64, e.g.NumArcs())
 	}
@@ -1213,6 +1344,9 @@ func (e *Engine) ensureRows(arcs []int) error {
 	for v := range byHead {
 		heads = append(heads, v)
 	}
+	sp := obs.LeafN(ctx, spanRows)
+	sp.AnnotateN(keyHeads, uint64(len(heads)))
+	defer sp.End()
 	simOpts := timesim.Options{Periods: e.periods + 1}
 	errs := make([]error, len(heads))
 	workers := 1
@@ -1285,26 +1419,30 @@ func (e *Engine) validateWhatIf(arc int, delay float64) error {
 
 // whatIf answers one sensitivity query: slack fast path, else the
 // what-if row (exact for increases), else full analysis.
-func (e *Engine) whatIf(arc int, newDelay float64) (stat.Ratio, error) {
+func (e *Engine) whatIf(ctx context.Context, arc int, newDelay float64) (stat.Ratio, error) {
 	if err := e.validateWhatIf(arc, newDelay); err != nil {
 		return stat.Ratio{}, fmt.Errorf("cycletime: %w", err)
 	}
-	c, err := e.ensureCert()
+	c, err := e.ensureCert(ctx)
 	if err != nil {
 		return stat.Ratio{}, err
 	}
+	sp := obs.FromContext(ctx)
 	if lam, ok := fastAnswer(c, e.overlay.Delay(arc), arc, newDelay); ok {
 		e.counters.fastPathHits.Add(1)
+		sp.SetTierN(tierFastPath)
 		return lam, nil
 	}
 	if newDelay > e.overlay.Delay(arc) {
-		if err := e.ensureRows([]int{arc}); err != nil {
+		if err := e.ensureRows(ctx, []int{arc}); err != nil {
 			return stat.Ratio{}, err
 		}
 		e.counters.tableHits.Add(1)
+		sp.SetTierN(tierCachedRow)
 		return e.answerFromRow(c.result.CycleTime, arc, newDelay), nil
 	}
-	return e.whatIfFull(arc, newDelay)
+	sp.SetTierN(tierLambdaOnly)
+	return e.whatIfFull(ctx, arc, newDelay)
 }
 
 // whatIfFull perturbs one arc in place, re-analyses against the
@@ -1312,13 +1450,13 @@ func (e *Engine) whatIf(arc int, newDelay float64) (stat.Ratio, error) {
 // certificate stays valid because the baseline is restored exactly.
 // Only λ is needed, so the analysis skips pass 2 (winner re-simulation
 // and critical-cycle backtracking).
-func (e *Engine) whatIfFull(arc int, newDelay float64) (stat.Ratio, error) {
+func (e *Engine) whatIfFull(ctx context.Context, arc int, newDelay float64) (stat.Ratio, error) {
 	old := e.overlay.Delay(arc)
 	if err := e.overlay.SetDelay(arc, newDelay); err != nil {
 		return stat.Ratio{}, err
 	}
 	e.refresh()
-	res, err := e.runAnalysis(true)
+	res, err := e.runAnalysis(ctx, true)
 	// Restore before error handling so the session baseline survives a
 	// failed analysis. The old delay was valid when it was read, so a
 	// restore failure means the session invariants are already broken;
@@ -1398,15 +1536,15 @@ func (e *Engine) clone(serial bool) (*Engine, error) {
 // With lambdaOnly set it stops after pass 1 — λ and the series are
 // complete, only the critical-cycle extraction is skipped. Callers
 // hold the session lock or own the engine exclusively.
-func (e *Engine) runAnalysis(lambdaOnly bool) (*Result, error) {
-	res, err := e.pass1Analysis(false)
+func (e *Engine) runAnalysis(ctx context.Context, lambdaOnly bool) (*Result, error) {
+	res, err := e.pass1Analysis(ctx, false)
 	if err != nil {
 		return nil, err
 	}
 	if lambdaOnly {
 		return res, nil
 	}
-	if err := e.extractCriticals(res); err != nil {
+	if err := e.extractCriticals(ctx, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -1448,12 +1586,20 @@ func dedupeCycles(cycs []*CriticalCycle) []CriticalCycle {
 // blow the window budget (Options.WindowBytes), the simulations run
 // the two-row memory-bounded kernel instead, which materialises no
 // slab at all. Callers hold the session lock.
-func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
+func (e *Engine) pass1Analysis(ctx context.Context, retain bool) (*Result, error) {
 	e.counters.analyses.Add(1)
 	cut := e.cut
 	simOpts := timesim.Options{Periods: e.periods + 1}
 	workers := e.workerCount(len(cut))
+	sp := obs.LeafN(ctx, spanPass1)
+	sp.AnnotateN(keyCut, uint64(len(cut)))
+	sp.AnnotateN(keyPeriods, uint64(e.periods))
+	defer sp.End()
 	if retain {
+		// Retaining sessions never window: incremental patching needs
+		// the materialised slabs.
+		e.counters.slabP1.Add(1)
+		sp.SetTierN(tierSlab)
 		traces := make([]*timesim.Trace, len(cut))
 		simErrs := make([]error, len(cut))
 		runIndexed(len(cut), workers, func(i int) {
@@ -1484,6 +1630,8 @@ func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
 	simErrs := make([]error, len(cut))
 	distSlab := make([]float64, len(cut)*e.periods)
 	if e.windowPass1() {
+		e.counters.windowedP1.Add(1)
+		sp.SetTierN(tierWindow)
 		runIndexed(len(cut), workers, func(i int) {
 			out := make([]float64, e.periods)
 			if err := e.sched.RunFromWindow(cut[i], e.periods, out); err != nil {
@@ -1493,6 +1641,8 @@ func (e *Engine) pass1Analysis(retain bool) (*Result, error) {
 			series[i] = seriesFromWindow(cut[i], out, distSlab[i*e.periods:(i+1)*e.periods:(i+1)*e.periods])
 		})
 	} else {
+		e.counters.slabP1.Add(1)
+		sp.SetTierN(tierSlab)
 		runIndexed(len(cut), workers, func(i int) {
 			tr, err := e.sched.RunFrom(cut[i], simOpts)
 			if err != nil {

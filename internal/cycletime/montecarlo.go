@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"tsg/internal/dist"
+	"tsg/internal/obs"
 	"tsg/internal/sg"
 	"tsg/internal/stat"
 	"tsg/internal/timesim"
@@ -331,7 +332,7 @@ func mcBounds(we *Engine, m *dist.Model) (bounds []stat.Ratio, order []int, err 
 		return nil, nil, fmt.Errorf("cycletime: MC upper-bound delays: %w", err)
 	}
 	we.refreshAll()
-	hiRes, err := we.runAnalysis(true)
+	hiRes, err := we.runAnalysis(context.Background(), true)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cycletime: MC upper-bound analysis: %w", err)
 	}
@@ -349,6 +350,8 @@ func mcBounds(we *Engine, m *dist.Model) (bounds []stat.Ratio, order []int, err 
 
 // runMC is the shared sampling loop. Callers hold the session lock.
 func (e *Engine) runMC(ctx context.Context, m *dist.Model, opts MCOptions, needCrit, needSlacks bool) (*mcAccum, error) {
+	sp := obs.LeafN(ctx, spanMC)
+	defer sp.End()
 	if m == nil {
 		return nil, fmt.Errorf("cycletime: nil delay model")
 	}
@@ -620,7 +623,9 @@ func (e *Engine) runMC(ctx context.Context, m *dist.Model, opts MCOptions, needC
 
 	// Wave loop: one statically assigned block per worker, a barrier,
 	// then an ordered coordinator merge and a convergence check.
+	rounds := uint64(0)
 	for waveStart := 0; waveStart < nBlocks && !acc.converged; waveStart += workers {
+		rounds++
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -673,6 +678,12 @@ func (e *Engine) runMC(ctx context.Context, m *dist.Model, opts MCOptions, needC
 			}
 			acc.converged = ok
 		}
+	}
+
+	sp.AnnotateN(keyRounds, rounds)
+	sp.AnnotateN(keySamples, uint64(acc.n))
+	if acc.converged {
+		sp.SetTierN(tierConverged)
 	}
 
 	// Ordered worker merges keep the fixed-worker-count determinism

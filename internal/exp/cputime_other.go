@@ -1,0 +1,7 @@
+//go:build !unix
+
+package exp
+
+// cpuSeconds reports 0 where rusage is unavailable; callers fall back
+// to wall-clock timing.
+func cpuSeconds() float64 { return 0 }

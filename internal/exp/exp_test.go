@@ -47,14 +47,35 @@ func TestTimingExperiments(t *testing.T) {
 	}
 }
 
+// TestOBSQuick runs the observability experiment in quick mode: the
+// full fidelity pass (span trees reaching engine phases from every
+// endpoint, hot-arc accounting, /metrics lint) with the throughput
+// gate skipped — the on/off perf ratio needs a quiet machine and is
+// gated by tsgbench/CI, not by the unit suite.
+func TestOBSQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped with -short")
+	}
+	exp.Quick = true
+	defer func() { exp.Quick = false }()
+	e, ok := exp.ByID("OBS")
+	if !ok {
+		t.Fatal("experiment OBS not registered")
+	}
+	var sb strings.Builder
+	if err := e.Run(&sb); err != nil {
+		t.Fatalf("OBS failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := exp.All()
-	if len(all) != 18 {
+	if len(all) != 19 {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
 		}
-		t.Errorf("registry has %d experiments (%v), want 18", len(all), ids)
+		t.Errorf("registry has %d experiments (%v), want 19", len(all), ids)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].ID >= all[i].ID {

@@ -72,10 +72,10 @@ const macroWidth = 8
 
 // Stats summarises one compression.
 type Stats struct {
-	FlatEvents, FlatArcs           int
+	FlatEvents, FlatArcs             int
 	CompressedEvents, CompressedArcs int
-	Boundary, Interior             int
-	MacroArcs                      int
+	Boundary, Interior               int
+	MacroArcs                        int
 	// Fallback is set on Analyze results when compression was skipped
 	// (ErrNoGain) and the flat graph was analysed directly.
 	Fallback bool
@@ -93,9 +93,9 @@ func (s Stats) ArcRatio() float64 {
 
 // arc origin classes of the compressed graph.
 const (
-	kindDirect int8 = iota // verbatim copy of a flat arc
-	kindMacro              // unmarked interior macro
-	kindMarkedMacro        // macro absorbing an initially marked arc
+	kindDirect      int8 = iota // verbatim copy of a flat arc
+	kindMacro                   // unmarked interior macro
+	kindMarkedMacro             // macro absorbing an initially marked arc
 )
 
 // Compressed is a compressed graph together with the mappings and the

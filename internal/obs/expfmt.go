@@ -1,0 +1,409 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a parser and linter for the Prometheus text exposition
+// format — used by the CI smoke step (cmd/promlint) and by tests to
+// assert /metrics stays machine-readable, and by the serve tests to
+// read series back without string grepping.
+
+// Sample is one exposition line: a series name, its labels and value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: HELP/TYPE plus its samples (for
+// histograms, the _bucket/_sum/_count series).
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Problem is one lint finding, anchored to a 1-based line number.
+type Problem struct {
+	Line int
+	Msg  string
+}
+
+func (p Problem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// baseFamily strips histogram/summary suffixes so samples find their
+// declared family.
+func baseFamily(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// Parse reads Prometheus text exposition format, returning the
+// families in input order together with any lint problems found. A
+// non-nil error means the input could not be read at all; malformed
+// content is reported through problems instead.
+func Parse(r io.Reader) ([]*Family, []Problem, error) {
+	var (
+		problems []Problem
+		families []*Family
+		byName   = make(map[string]*Family)
+		types    = make(map[string]string)
+		seen     = make(map[string]int)  // series key -> first line
+		closed   = make(map[string]bool) // family interleaving check
+		lastFam  string
+	)
+	addProblem := func(line int, format string, args ...any) {
+		problems = append(problems, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+	family := func(name string) *Family {
+		f := byName[name]
+		if f == nil {
+			f = &Family{Name: name}
+			byName[name] = f
+			families = append(families, f)
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				addProblem(lineNo, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			f := family(name)
+			switch fields[1] {
+			case "HELP":
+				if f.Help != "" {
+					addProblem(lineNo, "second HELP line for family %s", name)
+				}
+				if len(fields) == 4 {
+					f.Help = fields[3]
+				} else {
+					addProblem(lineNo, "empty HELP text for family %s", name)
+				}
+			case "TYPE":
+				if f.Type != "" {
+					addProblem(lineNo, "second TYPE line for family %s", name)
+				}
+				if len(f.Samples) > 0 {
+					addProblem(lineNo, "TYPE for family %s after its samples", name)
+				}
+				t := ""
+				if len(fields) == 4 {
+					t = fields[3]
+				}
+				switch t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = t
+					types[name] = t
+				default:
+					addProblem(lineNo, "invalid TYPE %q for family %s", t, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != "" {
+			addProblem(lineNo, "%s", perr)
+			continue
+		}
+		fam := baseFamily(name, types)
+		if closed[fam] && fam != lastFam {
+			addProblem(lineNo, "family %s reopened after other families (samples must be contiguous)", fam)
+		}
+		if lastFam != "" && lastFam != fam {
+			closed[lastFam] = true
+		}
+		lastFam = fam
+		f := family(fam)
+		key := seriesKey(name, labels)
+		if first, dup := seen[key]; dup {
+			addProblem(lineNo, "duplicate series %s (first at line %d)", key, first)
+		} else {
+			seen[key] = lineNo
+		}
+		for ln := range labels {
+			if !labelNameRE.MatchString(ln) {
+				addProblem(lineNo, "invalid label name %q", ln)
+			}
+		}
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	// Family-level checks.
+	for _, f := range families {
+		if len(f.Samples) == 0 {
+			// HELP/TYPE with no samples is legal (empty vec); skip.
+			continue
+		}
+		first := seen[seriesKey(f.Samples[0].Name, f.Samples[0].Labels)]
+		if f.Type == "" {
+			addProblem(first, "family %s has samples but no TYPE line", f.Name)
+		}
+		if f.Help == "" {
+			addProblem(first, "family %s has samples but no HELP line", f.Name)
+		}
+		if f.Type == "counter" && !strings.HasSuffix(f.Name, "_total") {
+			addProblem(first, "counter family %s should end in _total", f.Name)
+		}
+		if f.Type == "histogram" {
+			lintHistogram(f, first, addProblem)
+		}
+	}
+	sort.Slice(problems, func(i, j int) bool { return problems[i].Line < problems[j].Line })
+	return families, problems, nil
+}
+
+// Lint is Parse for callers that only care about problems.
+func Lint(r io.Reader) ([]Problem, error) {
+	_, problems, err := Parse(r)
+	return problems, err
+}
+
+// FindSample returns the value of the series with the given name whose
+// labels include all of want, for tests reading metrics back.
+func FindSample(families []*Family, name string, want map[string]string) (float64, bool) {
+	for _, f := range families {
+		for _, s := range f.Samples {
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for k, v := range want {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func lintHistogram(f *Family, line int, addProblem func(int, string, ...any)) {
+	// Group bucket samples by their non-le label signature.
+	type hist struct {
+		les    []float64
+		counts []uint64
+		count  *uint64
+		hasInf bool
+	}
+	groups := make(map[string]*hist)
+	group := func(labels map[string]string) *hist {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		k := seriesKey("", rest)
+		g := groups[k]
+		if g == nil {
+			g = &hist{}
+			groups[k] = g
+		}
+		return g
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			le := s.Labels["le"]
+			if le == "" {
+				addProblem(line, "histogram %s bucket without le label", f.Name)
+				continue
+			}
+			g := group(s.Labels)
+			if le == "+Inf" {
+				g.hasInf = true
+				g.les = append(g.les, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					addProblem(line, "histogram %s bucket with unparsable le=%q", f.Name, le)
+					continue
+				}
+				g.les = append(g.les, b)
+			}
+			g.counts = append(g.counts, uint64(s.Value))
+		case f.Name + "_count":
+			c := uint64(s.Value)
+			group(s.Labels).count = &c
+		}
+	}
+	for _, g := range groups {
+		if !g.hasInf {
+			addProblem(line, "histogram %s missing +Inf bucket", f.Name)
+		}
+		for i := 1; i < len(g.counts); i++ {
+			if g.les[i] >= g.les[i-1] && g.counts[i] < g.counts[i-1] {
+				addProblem(line, "histogram %s buckets not cumulative", f.Name)
+				break
+			}
+		}
+		if g.count != nil && len(g.counts) > 0 && g.hasInf {
+			if last := g.counts[len(g.counts)-1]; last != *g.count {
+				addProblem(line, "histogram %s _count %d != +Inf bucket %d", f.Name, *g.count, last)
+			}
+		}
+	}
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('{')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// parseSample parses `name{l="v",...} value [timestamp]`, returning a
+// problem message on malformed input.
+func parseSample(line string) (name string, labels map[string]string, value float64, problem string) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !metricNameRE.MatchString(name) {
+		return "", nil, 0, fmt.Sprintf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, lbls, perr := parseLabels(rest)
+		if perr != "" {
+			return "", nil, 0, perr
+		}
+		labels = lbls
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Sprintf("expected value (and optional timestamp) after %q", name)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Sprintf("unparsable value %q for %s", fields[0], name)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Sprintf("unparsable timestamp %q for %s", fields[1], name)
+		}
+	}
+	return name, labels, v, ""
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		s = "NaN"
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a `{...}` label block starting at s[0]=='{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (end int, labels map[string]string, problem string) {
+	labels = make(map[string]string)
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, ""
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, "unterminated label block"
+		}
+		lname := strings.TrimSpace(s[start:i])
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Sprintf("label %s value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return 0, nil, fmt.Sprintf("invalid escape \\%c in label %s", s[i], lname)
+				}
+			} else {
+				val.WriteByte(s[i])
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Sprintf("unterminated value for label %s", lname)
+		}
+		i++ // past closing quote
+		if _, dup := labels[lname]; dup {
+			return 0, nil, fmt.Sprintf("duplicate label %s", lname)
+		}
+		labels[lname] = val.String()
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintOf(t *testing.T, text string) []Problem {
+	t.Helper()
+	problems, err := Lint(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+func wantProblem(t *testing.T, problems []Problem, substr string) {
+	t.Helper()
+	for _, p := range problems {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem containing %q in %v", substr, problems)
+}
+
+func TestLintCleanInput(t *testing.T) {
+	clean := `# HELP app_requests_total Requests.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="analyze"} 10
+app_requests_total{endpoint="mc"} 2
+# HELP app_depth Queue depth.
+# TYPE app_depth gauge
+app_depth 0
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 3
+app_latency_seconds_bucket{le="+Inf"} 5
+app_latency_seconds_sum 1.25
+app_latency_seconds_count 5
+`
+	if problems := lintOf(t, clean); len(problems) != 0 {
+		t.Fatalf("clean input flagged: %v", problems)
+	}
+}
+
+func TestLintCatchesMissingHelpAndType(t *testing.T) {
+	wantProblem(t, lintOf(t, "orphan_metric 1\n"), "no TYPE")
+	wantProblem(t, lintOf(t, "orphan_metric 1\n"), "no HELP")
+	wantProblem(t, lintOf(t, "# TYPE typed_only gauge\ntyped_only 1\n"), "no HELP")
+}
+
+func TestLintCatchesBadCounterName(t *testing.T) {
+	text := `# HELP bad_counter C.
+# TYPE bad_counter counter
+bad_counter 1
+`
+	wantProblem(t, lintOf(t, text), "should end in _total")
+}
+
+func TestLintCatchesDuplicateSeries(t *testing.T) {
+	text := `# HELP d_total D.
+# TYPE d_total counter
+d_total{k="a"} 1
+d_total{k="a"} 2
+`
+	wantProblem(t, lintOf(t, text), "duplicate series")
+}
+
+func TestLintCatchesHistogramWithoutInf(t *testing.T) {
+	text := `# HELP h_seconds H.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="1"} 1
+h_seconds_sum 0.5
+h_seconds_count 1
+`
+	wantProblem(t, lintOf(t, text), "missing +Inf")
+}
+
+func TestLintCatchesHistogramCountMismatch(t *testing.T) {
+	text := `# HELP h_seconds H.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="+Inf"} 4
+h_seconds_sum 0.5
+h_seconds_count 5
+`
+	wantProblem(t, lintOf(t, text), "_count 5 != +Inf bucket 4")
+}
+
+func TestLintCatchesMalformedLines(t *testing.T) {
+	wantProblem(t, lintOf(t, "bad-name 1\n"), "invalid metric name")
+	wantProblem(t, lintOf(t, "# HELP ok_total O.\n# TYPE ok_total counter\nok_total notanumber\n"), "unparsable value")
+	wantProblem(t, lintOf(t, "# HELP u_total U.\n# TYPE u_total counter\nu_total{k=\"v\" 1\n"), "unterminated")
+	wantProblem(t, lintOf(t, "# HELP t_total T.\n# TYPE t_total frobnicator\nt_total 1\n"), "invalid TYPE")
+}
+
+func TestLintCatchesInterleavedFamilies(t *testing.T) {
+	text := `# HELP a_total A.
+# TYPE a_total counter
+a_total{k="x"} 1
+# HELP b_total B.
+# TYPE b_total counter
+b_total 1
+a_total{k="y"} 2
+`
+	wantProblem(t, lintOf(t, text), "reopened")
+}
+
+func TestParseReadsValuesBack(t *testing.T) {
+	text := `# HELP v_total V.
+# TYPE v_total counter
+v_total{endpoint="analyze",code="200"} 42
+# HELP inf_gauge I.
+# TYPE inf_gauge gauge
+inf_gauge +Inf
+`
+	fams, problems, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	v, ok := FindSample(fams, "v_total", map[string]string{"endpoint": "analyze"})
+	if !ok || v != 42 {
+		t.Fatalf("FindSample: %v %v", v, ok)
+	}
+	if _, ok := FindSample(fams, "v_total", map[string]string{"endpoint": "mc"}); ok {
+		t.Fatal("FindSample matched wrong labels")
+	}
+}

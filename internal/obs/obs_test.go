@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatal("Start without tracer should return nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without tracer should return the same context")
+	}
+	// All methods must be safe on nil.
+	sp.SetGraph("fp")
+	sp.SetTier("full")
+	sp.Annotate("k", 1)
+	sp.End()
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on bare context should be nil")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := NewTracer(256)
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, root := Start(ctx, "serve.analyze")
+	root.SetGraph("abc123")
+	c1ctx, c1 := Start(rctx, "admission.wait")
+	c1.End()
+	c2ctx, c2 := Start(rctx, "engine.answer")
+	c2.SetTier("full")
+	_, g := Start(c2ctx, "engine.pass1")
+	g.SetTier("slab")
+	g.Annotate("events", 2000)
+	g.Annotate("arcs", 4000)
+	g.Annotate("dropped", 7) // third key is dropped
+	g.End()
+	c2.End()
+	root.End()
+	_ = c1ctx
+
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(spans))
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(trees))
+	}
+	r := trees[0]
+	if r.Name != "serve.analyze" || r.Graph != "abc123" {
+		t.Fatalf("bad root: %+v", r.SpanRecord)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(r.Children))
+	}
+	if r.Children[0].Name != "admission.wait" || r.Children[1].Name != "engine.answer" {
+		t.Fatalf("bad child order: %s, %s", r.Children[0].Name, r.Children[1].Name)
+	}
+	eng := r.Children[1]
+	if eng.Tier != "full" {
+		t.Fatalf("want tier=full, got %q", eng.Tier)
+	}
+	if len(eng.Children) != 1 || eng.Children[0].Name != "engine.pass1" {
+		t.Fatalf("bad grandchild: %+v", eng.Children)
+	}
+	p1 := eng.Children[0]
+	if p1.Tier != "slab" || p1.Attrs["events"] != 2000 || p1.Attrs["arcs"] != 4000 {
+		t.Fatalf("bad pass1 annotations: %+v", p1.SpanRecord)
+	}
+	if _, ok := p1.Attrs["dropped"]; ok {
+		t.Fatal("third annotation should have been dropped")
+	}
+	// Children inherit the graph attribution set on the root before
+	// they started.
+	if p1.Graph != "abc123" {
+		t.Fatalf("grandchild should inherit graph, got %q", p1.Graph)
+	}
+
+	var sb strings.Builder
+	WriteTree(&sb, spans)
+	out := sb.String()
+	for _, want := range []string{"serve.analyze", "  admission.wait", "  engine.answer", "    engine.pass1", "tier=slab", "arcs=4000 events=2000", "graph=abc123"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotGraphFiltersWholeTraces(t *testing.T) {
+	tr := NewTracer(256)
+	ctx := WithTracer(context.Background(), tr)
+	for _, fp := range []string{"g1", "g2", "g1"} {
+		rctx, root := Start(ctx, "serve.analyze")
+		// The engine child starts before attribution lands on it; the
+		// trace-level filter must still pick it up.
+		_, child := Start(rctx, "engine.answer")
+		child.End()
+		root.SetGraph(fp)
+		root.End()
+	}
+	all := tr.Snapshot()
+	if len(all) != 6 {
+		t.Fatalf("want 6 spans, got %d", len(all))
+	}
+	g1 := tr.SnapshotGraph("g1")
+	if len(g1) != 4 {
+		t.Fatalf("want 4 spans for g1 (2 traces x 2 spans), got %d", len(g1))
+	}
+	for _, r := range g1 {
+		if r.Name == "serve.analyze" && r.Graph != "g1" {
+			t.Fatalf("filter leaked trace for graph %q", r.Graph)
+		}
+	}
+	if got := tr.SnapshotGraph("nope"); len(got) != 0 {
+		t.Fatalf("want 0 spans for unknown graph, got %d", len(got))
+	}
+}
+
+func TestRingWrapKeepsRecentSpans(t *testing.T) {
+	tr := NewTracer(64)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 1000; i++ {
+		_, sp := Start(ctx, "wrap.span")
+		sp.End()
+	}
+	if got := tr.Recorded(); got != 1000 {
+		t.Fatalf("want 1000 recorded, got %d", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 64 {
+		t.Fatalf("ring of 64 should retain 64 spans, got %d", len(spans))
+	}
+	// The retained spans must be the newest ones (ids 937..1000 as
+	// allocated by the tracer).
+	for _, r := range spans {
+		if r.ID <= 1000-64 {
+			t.Fatalf("ring retained stale span id %d", r.ID)
+		}
+	}
+}
+
+// TestConcurrentTracing drives many goroutines through Start/End and
+// Snapshot at once; under -race this checks the ring protocol is
+// race-detector clean, and the snapshot must only contain committed,
+// untorn records.
+func TestConcurrentTracing(t *testing.T) {
+	tr := NewTracer(128)
+	ctx := WithTracer(context.Background(), tr)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				rctx, root := Start(ctx, "root")
+				root.SetGraph("g")
+				_, c := Start(rctx, "child")
+				c.Annotate("i", uint64(i))
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range tr.Snapshot() {
+				if r.Name != "root" && r.Name != "child" {
+					t.Errorf("torn record leaked into snapshot: %+v", r)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := tr.Recorded(); got != 4*2000*2 {
+		t.Fatalf("want %d recorded spans, got %d", 4*2000*2, got)
+	}
+}
+
+func TestInternStableAndConcurrent(t *testing.T) {
+	id := Intern("some.phase")
+	if Intern("some.phase") != id {
+		t.Fatal("Intern not stable")
+	}
+	if NameOf(id) != "some.phase" {
+		t.Fatal("NameOf mismatch")
+	}
+	if NameOf(0) != "" {
+		t.Fatal("id 0 must resolve to empty")
+	}
+	var wg sync.WaitGroup
+	ids := make([]uint32, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = Intern("concurrent.phase")
+		}(i)
+	}
+	wg.Wait()
+	for _, got := range ids {
+		if got != ids[0] {
+			t.Fatal("concurrent Intern returned different ids")
+		}
+	}
+}
+
+func TestOnEndHookSeesDurations(t *testing.T) {
+	tr := NewTracer(64)
+	var mu sync.Mutex
+	got := map[string]int{}
+	tr.OnEnd(func(name uint32, seconds float64) {
+		if seconds < 0 {
+			t.Errorf("negative duration %g", seconds)
+		}
+		mu.Lock()
+		got[NameOf(name)]++
+		mu.Unlock()
+	})
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 3; i++ {
+		_, sp := Start(ctx, "hooked")
+		sp.End()
+	}
+	if got["hooked"] != 3 {
+		t.Fatalf("OnEnd saw %d ends, want 3", got["hooked"])
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"net/http"
 	"sync/atomic"
+	"time"
+
+	"tsg/internal/obs"
 )
 
 // Admission control: the overload half of the serving layer's
@@ -83,24 +86,49 @@ func (l *limiter) release() { <-l.sem }
 // requests get 503 + Retry-After and are counted per endpoint and
 // reason; they never reach the handler, so shedding stays cheap no
 // matter how expensive the endpoint is.
-func (s *Server) admit(ep int, h http.HandlerFunc) http.HandlerFunc {
+//
+// Handlers take the context as an argument instead of reading
+// r.Context(): propagating the span-armed context through the request
+// would clone the http.Request per hit (r.WithContext), and that
+// allocation is the difference between tracing being free and tracing
+// costing measurable warm throughput.
+func (s *Server) admit(ep int, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		lim := s.limits[ep]
-		if lim == nil {
-			h(w, r)
-			return
+		// Root span of the request tree: everything the request does —
+		// admission wait, cache lookup, WAL appends, engine phases —
+		// nests under serve.<endpoint>. With observability disabled
+		// (tel == nil) no tracer rides the context, so every span call
+		// below (and in the engine underneath) is a nil no-op.
+		tel := s.tel
+		ctx := r.Context()
+		var root *obs.Span
+		if tel != nil {
+			// Ending the root span also observes the per-endpoint request
+			// duration histogram, via the tracer's OnEnd routing — no
+			// separate clock reads on the unlimited fast path.
+			ctx, root = tel.tracer.StartRoot(ctx, tel.rootNames[ep])
+			defer root.End()
 		}
-		reason, ok := lim.acquire(r.Context())
-		if !ok {
-			s.sheds[ep][reason].Add(1)
-			s.failures.Add(1)
-			w.Header().Set("Retry-After", retryAfterSeconds)
-			s.writeErrorStatus(w, http.StatusServiceUnavailable,
-				"server overloaded: "+endpointNames[ep]+" concurrency limit and queue are full; retry after backoff")
-			return
+		if lim := s.limits[ep]; lim != nil {
+			start := time.Now()
+			wait := obs.LeafN(ctx, nameAdmissionWait)
+			reason, ok := lim.acquire(ctx)
+			wait.End()
+			if tel != nil {
+				tel.admWaitEp[ep].Observe(time.Since(start).Seconds())
+			}
+			if !ok {
+				root.SetTierN(tierShed)
+				s.sheds[ep][reason].Add(1)
+				s.failures.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				s.writeErrorStatus(w, http.StatusServiceUnavailable,
+					"server overloaded: "+endpointNames[ep]+" concurrency limit and queue are full; retry after backoff")
+				return
+			}
+			defer lim.release()
 		}
-		defer lim.release()
-		h(w, r)
+		h(ctx, w, r)
 	}
 }
 

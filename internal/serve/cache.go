@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -13,6 +14,7 @@ import (
 
 	"tsg/internal/cycletime"
 	"tsg/internal/dist"
+	"tsg/internal/obs"
 	"tsg/internal/sg"
 )
 
@@ -48,6 +50,51 @@ type Entry struct {
 	cost   int64        // current byte charge; guarded by the cache mutex
 	access atomic.Int64 // hits since insert, counted outside the cache mutex
 	elem   *list.Element
+
+	// Observability accounting, per entry so eviction naturally bounds
+	// it: requests served against this graph, and per-arc touch counts
+	// of the what-if/edit traffic (canonical ranks — the wire space).
+	reqs  atomic.Int64
+	hotMu sync.Mutex
+	hot   map[int]int64
+	// obsGraph caches the tracer's interned id of Key (0 = not yet
+	// interned), so per-request span attribution is an atomic load
+	// instead of an intern-table hit.
+	obsGraph atomic.Uint32
+}
+
+// noteRequest ticks the entry's request counter (one per resolved
+// request referencing this graph).
+func (e *Entry) noteRequest() { e.reqs.Add(1) }
+
+// Requests reports how many resolved requests referenced this entry.
+func (e *Entry) Requests() int64 { return e.reqs.Load() }
+
+// CostBytes reports the entry's last byte-charge estimate (racy read —
+// diagnostics only).
+func (e *Entry) CostBytes() int64 { return atomic.LoadInt64(&e.cost) }
+
+// touchArc counts one what-if or edit touching the canonical arc rank.
+func (e *Entry) touchArc(arc int) {
+	e.hotMu.Lock()
+	if e.hot == nil {
+		e.hot = make(map[int]int64)
+	}
+	e.hot[arc]++
+	e.hotMu.Unlock()
+}
+
+// hotSummary copies the per-arc touch counts and their total.
+func (e *Entry) hotSummary() (map[int]int64, int64) {
+	e.hotMu.Lock()
+	defer e.hotMu.Unlock()
+	out := make(map[int]int64, len(e.hot))
+	var total int64
+	for a, n := range e.hot {
+		out[a] = n
+		total += n
+	}
+	return out, total
 }
 
 // CacheStats is a snapshot of the cache counters.
@@ -120,9 +167,13 @@ func NewCache(maxBytes int64) *Cache {
 	}
 }
 
-// newEntry compiles a graph + model into a cache entry.
-func newEntry(key string, g *sg.Graph, m *dist.Model) (*Entry, error) {
-	eng, err := cycletime.NewEngine(g)
+// newEntry compiles a graph + model into a cache entry. The compile is
+// recorded as a cache.compile span (nesting the engine.compile phase)
+// when a tracer rides ctx.
+func newEntry(ctx context.Context, key string, g *sg.Graph, m *dist.Model) (*Entry, error) {
+	ctx, sp := obs.StartN(ctx, nameCacheCompile)
+	defer sp.End()
+	eng, err := cycletime.NewEngineOptsCtx(ctx, g, cycletime.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +199,7 @@ func (e *Entry) estimateCost() int64 {
 // resident engine served the request (joining an in-flight compile
 // counts as a miss). The compile runs outside the cache lock, so slow
 // compiles never block hits on other keys.
-func (c *Cache) GetOrCompile(key string, build func() (*sg.Graph, *dist.Model, error)) (ent *Entry, hit bool, err error) {
+func (c *Cache) GetOrCompile(ctx context.Context, key string, build func() (*sg.Graph, *dist.Model, error)) (ent *Entry, hit bool, err error) {
 	if c.maxBytes <= 0 {
 		// Pass-through mode: the cold baseline. Every request compiles.
 		c.misses.Add(1)
@@ -156,7 +207,7 @@ func (c *Cache) GetOrCompile(key string, build func() (*sg.Graph, *dist.Model, e
 		if err != nil {
 			return nil, false, err
 		}
-		ent, err := newEntry(key, g, m)
+		ent, err := newEntry(ctx, key, g, m)
 		if err == nil {
 			c.compiles.Add(1)
 		}
@@ -186,7 +237,7 @@ func (c *Cache) GetOrCompile(key string, build func() (*sg.Graph, *dist.Model, e
 
 	g, m, err := build()
 	if err == nil {
-		cl.ent, cl.err = newEntry(key, g, m)
+		cl.ent, cl.err = newEntry(ctx, key, g, m)
 		if cl.err == nil {
 			c.compiles.Add(1)
 		}
@@ -297,6 +348,23 @@ func (c *Cache) AggregateEngineStats() cycletime.EngineStats {
 		out.IncrementalAnalyses += st.IncrementalAnalyses
 		out.FastPathHits += st.FastPathHits
 		out.TableAnswers += st.TableAnswers
+		out.WindowedPass1 += st.WindowedPass1
+		out.SlabPass1 += st.SlabPass1
+		out.PatchFloods += st.PatchFloods
+		out.LazyPass2Skips += st.LazyPass2Skips
+		out.Pass2Runs += st.Pass2Runs
+	}
+	return out
+}
+
+// Resident snapshots the resident entries in LRU order (most recently
+// used first) for the debug endpoints and per-graph metrics.
+func (c *Cache) Resident() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry))
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -49,14 +50,14 @@ func TestCacheHitAndSharing(t *testing.T) {
 	key := ContentKey(g, nil)
 	build := func() (*sg.Graph, *dist.Model, error) { return g, pointModel(t, g), nil }
 
-	e1, hit, err := c.GetOrCompile(key, build)
+	e1, hit, err := c.GetOrCompile(context.Background(), key, build)
 	if err != nil {
 		t.Fatalf("GetOrCompile: %v", err)
 	}
 	if hit {
 		t.Fatal("first request reported a hit")
 	}
-	e2, hit, err := c.GetOrCompile(key, build)
+	e2, hit, err := c.GetOrCompile(context.Background(), key, build)
 	if err != nil {
 		t.Fatalf("GetOrCompile: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			engines[i], _, errs[i] = c.GetOrCompile(key, build)
+			engines[i], _, errs[i] = c.GetOrCompile(context.Background(), key, build)
 		}()
 	}
 	// Deterministic rendezvous: the first client registers the flight
@@ -144,7 +145,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	// evict the least recently used.
 	g0, g1, g2 := ringGraph(t, 0), ringGraph(t, 1), ringGraph(t, 2)
 	probe := NewCache(DefaultCacheBytes)
-	ent, _, err := probe.GetOrCompile(ContentKey(g0, nil), func() (*sg.Graph, *dist.Model, error) {
+	ent, _, err := probe.GetOrCompile(context.Background(), ContentKey(g0, nil), func() (*sg.Graph, *dist.Model, error) {
 		return g0, pointModel(t, g0), nil
 	})
 	if err != nil {
@@ -154,7 +155,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 	add := func(g *sg.Graph) string {
 		key := ContentKey(g, nil)
-		if _, _, err := c.GetOrCompile(key, func() (*sg.Graph, *dist.Model, error) {
+		if _, _, err := c.GetOrCompile(context.Background(), key, func() (*sg.Graph, *dist.Model, error) {
 			return g, pointModel(t, g), nil
 		}); err != nil {
 			t.Fatalf("GetOrCompile: %v", err)
@@ -189,11 +190,11 @@ func TestCachePassThroughMode(t *testing.T) {
 	g := ringGraph(t, 3)
 	key := ContentKey(g, nil)
 	build := func() (*sg.Graph, *dist.Model, error) { return g, pointModel(t, g), nil }
-	e1, hit1, err := c.GetOrCompile(key, build)
+	e1, hit1, err := c.GetOrCompile(context.Background(), key, build)
 	if err != nil {
 		t.Fatalf("GetOrCompile: %v", err)
 	}
-	e2, hit2, err := c.GetOrCompile(key, build)
+	e2, hit2, err := c.GetOrCompile(context.Background(), key, build)
 	if err != nil {
 		t.Fatalf("GetOrCompile: %v", err)
 	}
@@ -295,7 +296,7 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 40; i++ {
 				k := (w + i) % len(graphs)
-				ent, _, err := c.GetOrCompile(keys[k], func() (*sg.Graph, *dist.Model, error) {
+				ent, _, err := c.GetOrCompile(context.Background(), keys[k], func() (*sg.Graph, *dist.Model, error) {
 					return graphs[k], pointModel(t, graphs[k]), nil
 				})
 				if err != nil {

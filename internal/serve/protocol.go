@@ -118,6 +118,13 @@ type EngineStats struct {
 	IncrementalAnalyses int64 `json:"incremental_analyses"`
 	FastPathHits        int64 `json:"fast_path_hits"`
 	TableAnswers        int64 `json:"table_answers"`
+	// Kernel-selection and laziness counters (PR 8): window vs slab
+	// pass-1 runs, patch flood bail-outs, and lazy pass-2 outcomes.
+	WindowedPass1  int64 `json:"windowed_pass1,omitempty"`
+	SlabPass1      int64 `json:"slab_pass1,omitempty"`
+	PatchFloods    int64 `json:"patch_floods,omitempty"`
+	LazyPass2Skips int64 `json:"lazy_pass2_skips,omitempty"`
+	Pass2Runs      int64 `json:"pass2_runs,omitempty"`
 }
 
 // WhatIfResponse is the outcome of POST /v1/whatif: one λ per query,

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,7 @@ func (s *Server) Recover(rec *store.Recovery) error {
 // (the durability invariant: the log maps fingerprints to bodies that
 // produce them).
 func (s *Server) resolveRecovered(gb store.GraphBody) (*Entry, bool, error) {
-	ent, hit, err := s.resolve(GraphRef{Graph: string(gb.Body)})
+	ent, hit, err := s.resolve(context.Background(), GraphRef{Graph: string(gb.Body)})
 	if err != nil {
 		return nil, false, err
 	}

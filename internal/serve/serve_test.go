@@ -220,8 +220,8 @@ func TestServerEndToEnd(t *testing.T) {
 	mr.Body.Close()
 	metrics := mb.String()
 	for _, want := range []string{
-		"tsgserve_queries_total{endpoint=\"analyze\"} 2",
-		"tsgserve_queries_total{endpoint=\"whatif\"} 1",
+		"tsgserve_http_requests_total{endpoint=\"analyze\"} 2",
+		"tsgserve_http_requests_total{endpoint=\"whatif\"} 1",
 		"tsgserve_engine_compiles_total 1",
 		"tsgserve_engine_cache_entries 1",
 	} {
@@ -388,7 +388,7 @@ func TestServerEdit(t *testing.T) {
 	mresp.Body.Close()
 	metrics := mb.String()
 	for _, want := range []string{
-		"tsgserve_queries_total{endpoint=\"edit\"} 5",
+		"tsgserve_http_requests_total{endpoint=\"edit\"} 5",
 		"tsgserve_engine_analyses{mode=\"full\"}",
 		"tsgserve_engine_analyses{mode=\"incremental\"}",
 	} {

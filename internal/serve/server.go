@@ -16,6 +16,7 @@ import (
 	"tsg/internal/cycletime"
 	"tsg/internal/dist"
 	"tsg/internal/netlist"
+	"tsg/internal/obs"
 	"tsg/internal/sg"
 	"tsg/internal/stat"
 	"tsg/internal/store"
@@ -50,6 +51,25 @@ type Config struct {
 	// admitted request never holds workers past its deadline. 0 means
 	// no server-imposed deadline.
 	RequestTimeout time.Duration
+	// DisableObs turns the observability layer off entirely: no span
+	// tracing, no metrics registry, /metrics and /debug/trace answer
+	// 404. The OBS experiment uses this as the instrumentation-off
+	// baseline when measuring overhead.
+	DisableObs bool
+	// TraceBuffer sizes the span ring (records retained for
+	// /debug/trace); 0 selects the default (8192), rounded up to a
+	// power of two.
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints on a production daemon are opt-in.
+	EnablePprof bool
+	// MetricsCompat appends the pre-rename metric series (e.g.
+	// tsgserve_queries_total) to /metrics alongside their conforming
+	// replacements, for scrapes that have not migrated yet.
+	MetricsCompat bool
+	// Version is stamped into the tsgserve_build_info gauge (and the
+	// daemon's -version output); empty means "dev".
+	Version string
 }
 
 // DefaultCacheBytes is the default engine-cache budget: enough for a
@@ -86,6 +106,11 @@ type Server struct {
 	// by Recover, counted separately from request-driven compiles.
 	warmGraphs atomic.Int64
 	warmEdits  atomic.Int64
+
+	// Observability (nil tel = Config.DisableObs; every span call is a
+	// cheap nil no-op then).
+	tel           *telemetry
+	metricsCompat bool
 }
 
 // endpoint indices for the per-endpoint query counters.
@@ -137,6 +162,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/edit", s.admit(epEdit, s.handleEdit))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.metricsCompat = cfg.MetricsCompat
+	if !cfg.DisableObs {
+		s.tel = newTelemetry(s, cfg)
+	}
+	s.installDebug(cfg.EnablePprof)
 	return s
 }
 
@@ -240,15 +270,36 @@ func decode(r *http.Request, v interface{}) error {
 }
 
 // resolve turns a GraphRef into the cached entry serving it, compiling
-// on first sight of inline graph text.
-func (s *Server) resolve(ref GraphRef) (*Entry, bool, error) {
+// on first sight of inline graph text. On success the request's span
+// tree is attributed to the graph's fingerprint and the entry's
+// request counter ticks.
+func (s *Server) resolve(ctx context.Context, ref GraphRef) (*Entry, bool, error) {
+	ent, hit, err := s.resolveInner(ctx, ref)
+	if err == nil {
+		if tel := s.tel; tel != nil {
+			id := ent.obsGraph.Load()
+			if id == 0 {
+				id = tel.tracer.InternGraph(ent.Key)
+				ent.obsGraph.Store(id)
+			}
+			obs.FromContext(ctx).SetGraphID(id)
+		}
+		ent.noteRequest()
+	}
+	return ent, hit, err
+}
+
+func (s *Server) resolveInner(ctx context.Context, ref GraphRef) (*Entry, bool, error) {
 	if ref.Graph != "" {
+		// Inline text pays a parse and possibly a compile — span it.
+		sp := obs.LeafN(ctx, nameCacheLookup)
+		defer sp.End()
 		g, m, err := netlist.ReadTSGDist(strings.NewReader(ref.Graph))
 		if err != nil {
 			return nil, false, badRequest("parsing graph: %v", err)
 		}
 		key := ContentKey(g, m)
-		ent, hit, err := s.cache.GetOrCompile(key, func() (*sg.Graph, *dist.Model, error) {
+		ent, hit, err := s.cache.GetOrCompile(ctx, key, func() (*sg.Graph, *dist.Model, error) {
 			return g, m, nil
 		})
 		if err != nil {
@@ -257,11 +308,17 @@ func (s *Server) resolve(ref GraphRef) (*Entry, bool, error) {
 			// uploaded data, not of the server.
 			return nil, false, badRequest("compiling graph: %v", err)
 		}
+		sp.SetTierN(lookupTier(hit))
 		return ent, hit, nil
 	}
 	if ref.Fingerprint == "" {
 		return nil, false, badRequest("request references no graph: set \"graph\" (.tsg text) or \"fingerprint\"")
 	}
+	// Fingerprint references resolve with one map read under the cache
+	// mutex; a resident hit — the hottest operation the server has — is
+	// deliberately not spanned. The cache hit/miss counters on /metrics
+	// and the request tree's serve→engine spine carry the signal at a
+	// fraction of the ring-record cost.
 	ent := s.cache.Get(ref.Fingerprint)
 	if ent == nil {
 		return nil, false, &httpError{status: http.StatusNotFound,
@@ -270,13 +327,20 @@ func (s *Server) resolve(ref GraphRef) (*Entry, bool, error) {
 	return ent, true, nil
 }
 
+func lookupTier(hit bool) obs.Name {
+	if hit {
+		return tierHit
+	}
+	return tierMiss
+}
+
 // wireLambda converts an exact cycle time to its wire form.
 func wireLambda(r stat.Ratio) Lambda {
 	n := r.Normalize()
 	return Lambda{Num: n.Num, Den: n.Den, Float: n.Float(), Text: n.String()}
 }
 
-func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleUpload(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epUpload].Add(1)
 	if s.cache.Disabled() {
 		// Honouring the upload would hand back a fingerprint that 404s
@@ -309,7 +373,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("empty graph upload"))
 		return
 	}
-	ent, hit, err := s.resolve(GraphRef{Graph: text})
+	ent, hit, err := s.resolve(ctx, GraphRef{Graph: text})
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -320,7 +384,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// upload — acknowledging an unlogged fingerprint would be a silent
 	// durability lie.
 	if s.store != nil && !s.store.HasGraph(ent.Key) {
-		if err := s.store.AppendGraph(ent.Key, []byte(text)); err != nil {
+		sp := obs.LeafN(ctx, nameWALAppend)
+		sp.AnnotateN(keyBytes, uint64(len(text)))
+		err := s.store.AppendGraph(ent.Key, []byte(text))
+		sp.End()
+		if err != nil {
 			s.writeError(w, fmt.Errorf("persisting graph: %w", err))
 			return
 		}
@@ -334,19 +402,19 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epAnalyze].Add(1)
 	var req AnalyzeRequest
 	if err := decode(r, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	ent, hit, err := s.resolve(req.GraphRef)
+	ent, hit, err := s.resolve(ctx, req.GraphRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	lam, critical, err := ent.Engine.Summary()
+	lam, critical, err := ent.Engine.SummaryCtx(ctx)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -371,24 +439,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
-func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSlacks(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epSlacks].Add(1)
 	var req SlacksRequest
 	if err := decode(r, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
-	ent, _, err := s.resolve(req.GraphRef)
+	ent, _, err := s.resolve(ctx, req.GraphRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	lam, err := ent.Engine.CycleTime()
+	lam, err := ent.Engine.CycleTimeCtx(ctx)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	slacks, err := ent.Engine.Slacks()
+	slacks, err := ent.Engine.SlacksCtx(ctx)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -408,7 +476,7 @@ func (s *Server) handleSlacks(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, resp)
 }
 
-func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleWhatIf(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epWhatIf].Add(1)
 	var req WhatIfRequest
 	if err := decode(r, &req); err != nil {
@@ -419,7 +487,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("whatif request batches no queries"))
 		return
 	}
-	ent, _, err := s.resolve(req.GraphRef)
+	ent, _, err := s.resolve(ctx, req.GraphRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -435,11 +503,12 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cands[i] = cycletime.WhatIf{Arc: ent.Canon[q.Arc], Delay: q.Delay}
+		ent.touchArc(q.Arc)
 	}
 	// Queries are fully validated above; a sweep failure past this
 	// point is the server's problem, not the client's (500) — except a
 	// deadline expiry, which writeError maps to a retryable 503.
-	lams, err := ent.Engine.SensitivitySweepCtx(r.Context(), cands)
+	lams, err := ent.Engine.SensitivitySweepCtx(ctx, cands)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -459,6 +528,11 @@ func wireStats(st cycletime.EngineStats) EngineStats {
 		IncrementalAnalyses: st.IncrementalAnalyses,
 		FastPathHits:        st.FastPathHits,
 		TableAnswers:        st.TableAnswers,
+		WindowedPass1:       st.WindowedPass1,
+		SlabPass1:           st.SlabPass1,
+		PatchFloods:         st.PatchFloods,
+		LazyPass2Skips:      st.LazyPass2Skips,
+		Pass2Runs:           st.Pass2Runs,
 	}
 }
 
@@ -467,7 +541,7 @@ func wireStats(st cycletime.EngineStats) EngineStats {
 // loop. Edits are durable session state; in pass-through mode (cache
 // disabled) there is no session to edit, so the request fails loudly,
 // like uploads do.
-func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEdit(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epEdit].Add(1)
 	if s.cache.Disabled() {
 		s.writeError(w, &httpError{status: http.StatusServiceUnavailable,
@@ -483,7 +557,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("edit request commits no edits and no reset"))
 		return
 	}
-	ent, _, err := s.resolve(req.GraphRef)
+	ent, _, err := s.resolve(ctx, req.GraphRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -506,8 +580,11 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("client %q stamped no sequence number (seq must be >= 1)", req.Client))
 		return
 	}
+	for _, ed := range req.Edits {
+		ent.touchArc(ed.Arc)
+	}
 	// Edits are fully validated; failures past this point are 500s.
-	deduped, err := s.commitEdit(ent, &req)
+	deduped, err := s.commitEdit(ctx, ent, &req)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -520,7 +597,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		resp.Applied = len(req.Edits)
 	}
 	if req.Criticals {
-		lam, critical, err := ent.Engine.Summary()
+		lam, critical, err := ent.Engine.SummaryCtx(ctx)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -539,7 +616,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	} else {
-		lam, err := ent.Engine.CycleTime()
+		lam, err := ent.Engine.CycleTimeCtx(ctx)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -563,7 +640,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 // acknowledged, and stamps the retry with the same seq, the duplicate
 // can only be the immediately preceding edit — whose post-state is the
 // current baseline — so the retried response equals the lost one.
-func (s *Server) commitEdit(ent *Entry, req *EditRequest) (deduped bool, err error) {
+func (s *Server) commitEdit(ctx context.Context, ent *Entry, req *EditRequest) (deduped bool, err error) {
 	s.editMu.Lock()
 	defer s.editMu.Unlock()
 	if req.Client != "" {
@@ -572,6 +649,9 @@ func (s *Server) commitEdit(ent *Entry, req *EditRequest) (deduped bool, err err
 		}
 	}
 	if s.store != nil {
+		sp := obs.LeafN(ctx, nameWALAppend)
+		sp.AnnotateN(keyEdits, uint64(len(req.Edits)))
+		defer sp.End()
 		// An edit is session state against a fingerprint: for replay to
 		// re-apply it, the body must be in the log too. Inline-text
 		// sessions (never uploaded) get a canonical re-serialisation of
@@ -621,7 +701,7 @@ func (s *Server) commitEdit(ent *Entry, req *EditRequest) (deduped bool, err err
 	return false, nil
 }
 
-func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMC(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	s.queries[epMC].Add(1)
 	var req MCRequest
 	if err := decode(r, &req); err != nil {
@@ -648,7 +728,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ent, _, err := s.resolve(req.GraphRef)
+	ent, _, err := s.resolve(ctx, req.GraphRef)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -665,7 +745,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := ent.Engine.AnalyzeMCCtx(r.Context(), model, cycletime.MCOptions{
+	res, err := ent.Engine.AnalyzeMCCtx(ctx, model, cycletime.MCOptions{
 		Samples:     req.Samples,
 		MinSamples:  req.MinSamples,
 		Seed:        req.Seed,
@@ -711,67 +791,4 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Graphs:    st.Entries,
 		UptimeSec: time.Since(s.start).Seconds(),
 	})
-}
-
-// handleMetrics renders the counters in Prometheus text exposition
-// format: query/hit/compile counters plus cache residency gauges.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.cache.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b strings.Builder
-	fmt.Fprintf(&b, "# HELP tsgserve_queries_total Queries received, by endpoint.\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_queries_total counter\n")
-	for i, name := range endpointNames {
-		fmt.Fprintf(&b, "tsgserve_queries_total{endpoint=%q} %d\n", name, s.queries[i].Load())
-	}
-	fmt.Fprintf(&b, "# TYPE tsgserve_request_failures_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_request_failures_total %d\n", s.failures.Load())
-	fmt.Fprintf(&b, "# HELP tsgserve_engine_cache_hits_total Requests served by a resident engine.\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_engine_cache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_engine_cache_misses_total %d\n", st.Misses)
-	fmt.Fprintf(&b, "# HELP tsgserve_engine_compiles_total Engines compiled (singleflight dedups concurrent misses).\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_compiles_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_engine_compiles_total %d\n", st.Compiles)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_flight_shared_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_engine_flight_shared_total %d\n", st.FlightShared)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_evictions_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_engine_cache_evictions_total %d\n", st.Evictions)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_entries gauge\n")
-	fmt.Fprintf(&b, "tsgserve_engine_cache_entries %d\n", st.Entries)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_cache_bytes gauge\n")
-	fmt.Fprintf(&b, "tsgserve_engine_cache_bytes %d\n", st.Bytes)
-	es := s.cache.AggregateEngineStats()
-	fmt.Fprintf(&b, "# HELP tsgserve_engine_analyses Analyses run by resident engines, split by mode: full re-simulation vs incremental dirty-cone patching after a committed edit. Gauge: evicted engines leave the aggregate.\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_analyses gauge\n")
-	fmt.Fprintf(&b, "tsgserve_engine_analyses{mode=\"full\"} %d\n", es.Analyses)
-	fmt.Fprintf(&b, "tsgserve_engine_analyses{mode=\"incremental\"} %d\n", es.IncrementalAnalyses)
-	fmt.Fprintf(&b, "# TYPE tsgserve_engine_fast_path_answers gauge\n")
-	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"certificate\"} %d\n", es.FastPathHits)
-	fmt.Fprintf(&b, "tsgserve_engine_fast_path_answers{kind=\"whatif_row\"} %d\n", es.TableAnswers)
-	fmt.Fprintf(&b, "# HELP tsgserve_panics_total Handler panics recovered to a 500 instead of killing the daemon.\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_panics_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_panics_total %d\n", s.panics.Load())
-	fmt.Fprintf(&b, "# HELP tsgserve_shed_total Requests shed by admission control with 503 + Retry-After, by endpoint and reason.\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_shed_total counter\n")
-	for ep, name := range endpointNames {
-		for rs, reason := range shedReasonNames {
-			fmt.Fprintf(&b, "tsgserve_shed_total{endpoint=%q,reason=%q} %d\n", name, reason, s.sheds[ep][rs].Load())
-		}
-	}
-	fmt.Fprintf(&b, "# HELP tsgserve_warm_restart_graphs_total Engines recompiled from the write-ahead log on boot (counted separately from request-driven compiles).\n")
-	fmt.Fprintf(&b, "# TYPE tsgserve_warm_restart_graphs_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_warm_restart_graphs_total %d\n", s.warmGraphs.Load())
-	fmt.Fprintf(&b, "# TYPE tsgserve_warm_restart_edits_total counter\n")
-	fmt.Fprintf(&b, "tsgserve_warm_restart_edits_total %d\n", s.warmEdits.Load())
-	if s.store != nil {
-		fmt.Fprintf(&b, "# TYPE tsgserve_wal_bytes gauge\n")
-		fmt.Fprintf(&b, "tsgserve_wal_bytes %d\n", s.store.Size())
-		fmt.Fprintf(&b, "# TYPE tsgserve_wal_compaction_runs_total counter\n")
-		fmt.Fprintf(&b, "tsgserve_wal_compaction_runs_total %d\n", s.store.Compactions())
-	}
-	fmt.Fprintf(&b, "# TYPE tsgserve_uptime_seconds gauge\n")
-	fmt.Fprintf(&b, "tsgserve_uptime_seconds %g\n", time.Since(s.start).Seconds())
-	_, _ = io.WriteString(w, b.String())
 }

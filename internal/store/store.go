@@ -59,6 +59,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Record types. On-disk values; never renumber.
@@ -153,7 +154,7 @@ type Store struct {
 	size int64
 	dead bool
 
-	graphs map[string]*graphState
+	graphs      map[string]*graphState
 	nextArrival int
 
 	// compactFloor is the minimum log size before auto-compaction is
@@ -164,6 +165,8 @@ type Store struct {
 
 	armed       FailPoint
 	compactions int64
+
+	syncObs func(bytes int, seconds float64)
 }
 
 // Options tunes Open.
@@ -413,6 +416,16 @@ func (s *Store) AppendEdit(ed Edit) error {
 	return s.maybeCompact()
 }
 
+// SetSyncObserver installs a hook invoked after every durable append
+// with the frame size and the wall time the write+fsync took — the
+// serving layer feeds it into the WAL latency histogram. Pass nil to
+// remove. Safe to call while the store is in use.
+func (s *Store) SetSyncObserver(fn func(bytes int, seconds float64)) {
+	s.mu.Lock()
+	s.syncObs = fn
+	s.mu.Unlock()
+}
+
 // append frames, writes and fsyncs one record. Callers hold s.mu.
 func (s *Store) append(payload []byte) error {
 	if s.dead {
@@ -438,6 +451,7 @@ func (s *Store) append(payload []byte) error {
 		_ = s.f.Sync()
 		return s.crash()
 	}
+	start := time.Now()
 	if _, err := s.f.Write(frame); err != nil {
 		return fmt.Errorf("store: appending record: %w", err)
 	}
@@ -448,6 +462,9 @@ func (s *Store) append(payload []byte) error {
 		return fmt.Errorf("store: syncing log: %w", err)
 	}
 	s.size += int64(len(frame))
+	if s.syncObs != nil {
+		s.syncObs(len(frame), time.Since(start).Seconds())
+	}
 	return nil
 }
 

@@ -52,12 +52,16 @@ import (
 // released; callers must serialise Patch with Run/RunFrom/refreshes on
 // the same trace, but patches of DIFFERENT traces may run concurrently
 // (each Patch draws private scratch from a pool).
-func (s *Schedule) Patch(tr *Trace, dirty []int) error {
+//
+// The returned PatchStats report the dirty-cone size actually swept
+// and whether the flood bail-out fired — the engine surfaces both
+// through spans and Stats().
+func (s *Schedule) Patch(tr *Trace, dirty []int) (PatchStats, error) {
 	if tr.sched != s {
-		return fmt.Errorf("timesim: Patch on a trace from a different schedule")
+		return PatchStats{}, fmt.Errorf("timesim: Patch on a trace from a different schedule")
 	}
 	if tr.slab == nil {
-		return fmt.Errorf("timesim: Patch on a released trace")
+		return PatchStats{}, fmt.Errorf("timesim: Patch on a released trace")
 	}
 	n := s.n
 	P := tr.periods
@@ -69,7 +73,7 @@ func (s *Schedule) Patch(tr *Trace, dirty []int) error {
 	// between patches).
 	for _, ai := range dirty {
 		if ai < 0 || ai >= len(s.rec0) {
-			return fmt.Errorf("timesim: dirty arc %d out of range [0,%d)", ai, len(s.rec0))
+			return PatchStats{}, fmt.Errorf("timesim: dirty arc %d out of range [0,%d)", ai, len(s.rec0))
 		}
 	}
 	// Seed the worklist: every instantiation whose in-record delay
@@ -94,6 +98,7 @@ func (s *Schedule) Patch(tr *Trace, dirty []int) error {
 	// The flood budget: beyond this many recomputations, re-evaluating
 	// the remaining rows outright is cheaper than worklist propagation.
 	budget := (len(s.order) + (P-1)*len(s.orderR)) / patchBailFraction
+	recomputed := 0
 	for p := 0; p < P; p++ {
 		pend := ps.pend[p*ps.words : (p+1)*ps.words]
 		for w := 0; w < ps.words; w++ {
@@ -101,8 +106,9 @@ func (s *Schedule) Patch(tr *Trace, dirty []int) error {
 				if budget--; budget < 0 {
 					ps.clear()
 					s.reevaluate(tr, p, initiated, parents)
-					return nil
+					return PatchStats{Recomputed: recomputed, Flooded: true}, nil
 				}
+				recomputed++
 				b := pend[w] & (-pend[w])
 				pend[w] &^= b
 				pos := w<<6 + bits.TrailingZeros64(b)
@@ -146,7 +152,19 @@ func (s *Schedule) Patch(tr *Trace, dirty []int) error {
 			}
 		}
 	}
-	return nil
+	return PatchStats{Recomputed: recomputed}, nil
+}
+
+// PatchStats reports what one Patch call did.
+type PatchStats struct {
+	// Recomputed counts the instantiations the worklist sweep actually
+	// re-evaluated (the realized dirty-cone size) before finishing or
+	// bailing out.
+	Recomputed int
+	// Flooded is true when the cone exceeded the flood budget and the
+	// patch fell back to straight in-place re-evaluation of the
+	// remaining rows.
+	Flooded bool
 }
 
 // patchBailFraction tunes the flood bail-out: a patch abandons its

@@ -75,11 +75,11 @@ func TestPatchMatchesFreshRun(t *testing.T) {
 
 		for round := 0; round < 4; round++ {
 			dirty := patchRound(t, rng, ov, sched)
-			if err := sched.Patch(plain, dirty); err != nil {
+			if _, err := sched.Patch(plain, dirty); err != nil {
 				t.Fatalf("Patch plain: %v", err)
 			}
 			for _, tr := range initiated {
-				if err := sched.Patch(tr, dirty); err != nil {
+				if _, err := sched.Patch(tr, dirty); err != nil {
 					t.Fatalf("Patch initiated: %v", err)
 				}
 			}
@@ -147,7 +147,7 @@ func TestPatchMarkedAndMultiArc(t *testing.T) {
 				sched.RefreshArcDelay(a, delay)
 				dirty = append(dirty, a)
 			})
-			if err := sched.Patch(tr, dirty); err != nil {
+			if _, err := sched.Patch(tr, dirty); err != nil {
 				t.Fatalf("Patch: %v", err)
 			}
 			fresh, err := g.WithDelays(func(i int, _ float64) float64 { return ov.Delay(i) })
@@ -184,20 +184,20 @@ func TestPatchErrors(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if err := other.Patch(tr, nil); err == nil {
+	if _, err := other.Patch(tr, nil); err == nil {
 		t.Error("Patch accepted a trace from a different schedule")
 	}
-	if err := sched.Patch(tr, []int{-1}); err == nil {
+	if _, err := sched.Patch(tr, []int{-1}); err == nil {
 		t.Error("Patch accepted a negative dirty arc")
 	}
-	if err := sched.Patch(tr, []int{g.NumArcs()}); err == nil {
+	if _, err := sched.Patch(tr, []int{g.NumArcs()}); err == nil {
 		t.Error("Patch accepted an out-of-range dirty arc")
 	}
-	if err := sched.Patch(tr, nil); err != nil {
+	if _, err := sched.Patch(tr, nil); err != nil {
 		t.Errorf("empty Patch failed: %v", err)
 	}
 	tr.Release()
-	if err := sched.Patch(tr, nil); err == nil {
+	if _, err := sched.Patch(tr, nil); err == nil {
 		t.Error("Patch accepted a released trace")
 	}
 }
