@@ -675,3 +675,11 @@ func BenchmarkHierPipeGrid100k(b *testing.B) {
 func BenchmarkScaleExperiment(b *testing.B) {
 	runExp(b, "SCALE")
 }
+
+// BenchmarkClusterExperiment runs the full distributed-tier proof:
+// 3 backends + router, sharding and bit-identical replica convergence,
+// the 2.5x aggregate-throughput gate under the per-node capacity
+// model, and the kill/restart zero-failure cycle.
+func BenchmarkClusterExperiment(b *testing.B) {
+	runExp(b, "CLUSTER")
+}

@@ -63,8 +63,13 @@ type (
 	MCResponse = serve.MCResponse
 	// DelayEdit is one committed delay assignment of an Edit.
 	DelayEdit = serve.DelayEdit
+	// EditRequest is the full edit protocol request, for callers that
+	// manage their own idempotency stamps (see EditStamped).
+	EditRequest = serve.EditRequest
 	// EditResponse is the outcome of Edit.
 	EditResponse = serve.EditResponse
+	// FingerprintResponse is the outcome of Fingerprint.
+	FingerprintResponse = serve.FingerprintResponse
 	// UploadResponse is the outcome of Upload.
 	UploadResponse = serve.UploadResponse
 	// HealthResponse is the outcome of Health.
@@ -230,6 +235,43 @@ func WithBackoff(base, max time.Duration) Option {
 	return func(c *Client) { c.backoff, c.maxWait = base, max }
 }
 
+// RetryPolicy bundles the retry knobs for callers that budget per-hop
+// behavior explicitly — the cluster router runs its backends with a
+// much tighter policy than an end client, because it does its own
+// replica failover above the transport and a slow retry against a dead
+// node just delays that failover.
+//
+// The zero value is the tightest budget: no retries at all
+// (MaxRetries 0 means every attempt is also the last), with the
+// default backoff windows (zero BackoffBase/BackoffCap keep the
+// client's 100ms base and 2s cap — they only matter once MaxRetries
+// is raised).
+type RetryPolicy struct {
+	// MaxRetries is how many times a failed attempt is retried
+	// (0 = never retry; the Client default is 3).
+	MaxRetries int
+	// BackoffBase seeds the full-jitter exponential backoff
+	// (0 keeps the default 100ms).
+	BackoffBase time.Duration
+	// BackoffCap bounds a single backoff wait (0 keeps the default 2s).
+	BackoffCap time.Duration
+}
+
+// WithRetryPolicy applies a RetryPolicy wholesale. Unlike WithRetries
+// it treats MaxRetries 0 as "no retries", so a zero-value policy is a
+// usable tight-budget configuration, not a no-op.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *Client) {
+		c.retries = p.MaxRetries
+		if p.BackoffBase > 0 {
+			c.backoff = p.BackoffBase
+		}
+		if p.BackoffCap > 0 {
+			c.maxWait = p.BackoffCap
+		}
+	}
+}
+
 // New returns a client of the service at baseURL (e.g.
 // "http://127.0.0.1:7436").
 func New(baseURL string, opts ...Option) *Client {
@@ -254,6 +296,11 @@ func New(baseURL string, opts ...Option) *Client {
 
 // ClientID returns the idempotency id this client stamps edits with.
 func (c *Client) ClientID() string { return c.clientID }
+
+// BaseURL returns the service base URL the client was built with
+// (normalized: no trailing slash). The cluster router uses it to key
+// per-node state by the same string it dials.
+func (c *Client) BaseURL() string { return c.base }
 
 // post sends a JSON request and decodes the JSON reply into out,
 // retrying per the client's policy.
@@ -472,6 +519,22 @@ func (c *Client) Edit(ctx context.Context, ref GraphRef, edits []DelayEdit) (*Ed
 	return &out, nil
 }
 
+// EditStamped commits a fully specified edit request verbatim,
+// preserving the request's own (client, seq) idempotency stamps
+// instead of stamping with this client's. It is the pass-through
+// primitive of the cluster router: an end client's stamp must reach
+// every backend replica unchanged, so the server-side exactly-once
+// dedupe works end to end across routing hops and replica replays.
+// Callers own the stamp discipline (seq strictly increasing per
+// client per fingerprint); Edit/Reset remain the safe default.
+func (c *Client) EditStamped(ctx context.Context, req EditRequest) (*EditResponse, error) {
+	var out EditResponse
+	if err := c.post(ctx, "/v1/edit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Reset restores the graph's server-side engine session to its
 // compile-time delays, then applies the given edits (if any).
 func (c *Client) Reset(ctx context.Context, ref GraphRef, edits []DelayEdit) (*EditResponse, error) {
@@ -490,6 +553,17 @@ func (c *Client) MC(ctx context.Context, ref GraphRef, req MCRequest) (*MCRespon
 	req.GraphRef = ref
 	var out MCResponse
 	if err := c.post(ctx, "/v1/mc", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Fingerprint asks the server for the canonical content fingerprint
+// of raw .tsg text without compiling an engine for it — the shard-
+// placement primitive of the cluster router (POST /v1/fingerprint).
+func (c *Client) Fingerprint(ctx context.Context, text string) (*FingerprintResponse, error) {
+	var out FingerprintResponse
+	if err := c.roundTrip(ctx, http.MethodPost, "/v1/fingerprint", "text/plain", []byte(text), &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,141 @@
+// Command tsgrouter is the distributed serving front end: a stateless
+// router that speaks the same /v1 protocol as one tsgserved but spreads
+// graphs across a static pool of backend nodes — rendezvous-hashing
+// each graph's content fingerprint to an ordered replica set, fanning
+// reads (analyze/slacks/whatif/mc) across the replicas by
+// power-of-two-choices on in-flight counts, pinning writes (edit/reset)
+// to the primary, and replaying its write journal to keep every replica
+// bit-identical through node deaths and restarts.
+//
+// Usage:
+//
+//	tsgrouter -nodes URL[,URL...] [-addr host:port] [-replicas N]
+//	          [-probe-interval d] [-fail-threshold N] [-readmit-threshold N]
+//	          [-hop-timeout d] [-hop-retries N] [-max-body N]
+//	          [-trace-buffer N] [-disable-obs] [-version]
+//
+// The router prints its listen URL on startup (with -addr :0 the kernel
+// picks a free port), serves until SIGINT/SIGTERM, then drains.
+//
+// Health: each node is probed every -probe-interval; -fail-threshold
+// consecutive failures (probe or forwarded request) eject it — its
+// fingerprints immediately re-hash to the survivors — and
+// -readmit-threshold consecutive successful probes re-admit it, upon
+// which the router warms it back up by replaying the write journal of
+// every graph placed on it. Clients keep their (client, seq) edit
+// idempotency end to end: stamps pass through the router to every
+// replica unchanged.
+//
+// Endpoints: the /v1 protocol of tsgserved, plus GET /healthz (OK while
+// ≥1 node is live), GET /metrics (tsgrouter_* families), GET
+// /debug/cluster (topology + per-graph sync state), GET /debug/trace.
+//
+// Run the backends durable (-data-dir) for full fault tolerance: an
+// ejected node that restarts re-enters with its WAL state, and the
+// router replays only what it missed. See README.md "Clustering" and
+// EXPERIMENTS.md (CLUSTER) for the measured behavior.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"tsg/internal/cluster"
+)
+
+// version identifies the build in -version output and the
+// tsgrouter_build_info metric. Overridable at link time:
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/tsgrouter
+var version = "dev"
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7440", "listen address (use :0 for a kernel-assigned port)")
+	nodes := flag.String("nodes", "", "comma-separated backend base URLs (required), e.g. http://127.0.0.1:7436,http://127.0.0.1:7437")
+	replicas := flag.Int("replicas", 2, "replica-set size per graph (clamped to the pool size)")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "health-probe period per node")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that eject a node")
+	readmitThreshold := flag.Int("readmit-threshold", 2, "consecutive successful probes that re-admit an ejected node")
+	hopTimeout := flag.Duration("hop-timeout", 15*time.Second, "timeout per forwarded backend attempt")
+	hopRetries := flag.Int("hop-retries", 0, "transport retries per hop (failover across replicas is the main retry policy)")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
+	traceBuffer := flag.Int("trace-buffer", 0, "span ring capacity for /debug/trace (0 = default 4096)")
+	disableObs := flag.Bool("disable-obs", false, "strip tracing/metrics (/metrics and /debug/trace answer 404)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Printf("tsgrouter %s %s\n", version, runtime.Version())
+		return
+	}
+	if flag.NArg() != 0 || *nodes == "" {
+		fmt.Fprintln(os.Stderr, "usage: tsgrouter -nodes URL[,URL...] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var pool []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			pool = append(pool, u)
+		}
+	}
+
+	r, err := cluster.New(cluster.Config{
+		Nodes:            pool,
+		Replicas:         *replicas,
+		ProbeInterval:    *probeInterval,
+		FailThreshold:    *failThreshold,
+		ReadmitThreshold: *readmitThreshold,
+		HopTimeout:       *hopTimeout,
+		HopRetries:       *hopRetries,
+		MaxBodyBytes:     *maxBody,
+		TraceBuffer:      *traceBuffer,
+		DisableObs:       *disableObs,
+		Version:          version,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("tsgrouter: %v", err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("tsgrouter: listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{Handler: r}
+
+	// The printed URL is the contract scripts rely on (the CI smoke
+	// step parses it), so it goes to stdout, unbuffered, first.
+	fmt.Printf("tsgrouter listening on http://%s (%d backends, %d replicas)\n", ln.Addr(), len(pool), *replicas)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("tsgrouter: %v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tsgrouter: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tsgrouter: serve: %v", err)
+		}
+	}
+}

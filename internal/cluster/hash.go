@@ -1,0 +1,70 @@
+// Package cluster is the distributed serving tier: a stateless routing
+// front end that spreads graph fingerprints across a pool of tsgserved
+// backends and keeps each graph's replica set consistent through node
+// failures and restarts.
+//
+// Placement is rendezvous (highest-random-weight) hashing of the
+// canonical content fingerprint (sg.Fingerprint via serve.ContentKey —
+// already the engine-cache key, so the shard key and the cache key are
+// one and the same) over the configured node list. Each graph gets an
+// ordered replica set: the top-R nodes by hash weight. The first live
+// member is the graph's primary (all writes pin there), the rest are
+// read replicas. Rendezvous hashing gives the property consistent-hash
+// schemes want without a ring: when a node dies, only the fingerprints
+// that had it in their replica set move, and they re-hash to the
+// next-highest survivor — everything else stays put.
+//
+// The Router (router.go) serves the same /v1 protocol as a single
+// node, so clients cannot tell a cluster from one tsgserved — except
+// that it survives losing a backend.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// weight is the rendezvous score of (node, fingerprint): a 64-bit FNV-1a
+// over the node identity and the fingerprint, separated so neither can
+// forge a prefix of the other. Pure function — every router instance
+// computes identical placements from the same node list, which is what
+// makes the routing tier stateless and horizontally replicable.
+func weight(node, fp string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(fp))
+	return h.Sum64()
+}
+
+// Placement returns the fingerprint's ordered replica set: the
+// `replicas` highest-weight nodes, primary first. Nodes are distinct by
+// construction (each node scores once). With fewer nodes than replicas
+// the whole pool is returned. The node slice is not modified.
+func Placement(fp string, nodes []string, replicas int) []string {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	type scored struct {
+		node string
+		w    uint64
+	}
+	sc := make([]scored, len(nodes))
+	for i, n := range nodes {
+		sc[i] = scored{node: n, w: weight(n, fp)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].w != sc[j].w {
+			return sc[i].w > sc[j].w
+		}
+		return sc[i].node < sc[j].node // total order even on hash ties
+	})
+	if replicas > len(sc) {
+		replicas = len(sc)
+	}
+	out := make([]string, replicas)
+	for i := range out {
+		out[i] = sc[i].node
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:7436", i+1)
+	}
+	return out
+}
+
+func testFingerprints(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tsg1-%08x-deadbeef", i*2654435761)
+	}
+	return out
+}
+
+// TestPlacementDeterministic pins the stateless-router property: every
+// router instance must compute the identical placement from the same
+// node list, or a multi-router deployment would split each graph's
+// primary.
+func TestPlacementDeterministic(t *testing.T) {
+	nodes := testNodes(5)
+	for _, fp := range testFingerprints(200) {
+		a := Placement(fp, nodes, 2)
+		b := Placement(fp, nodes, 2)
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("placement of %s not deterministic: %v vs %v", fp, a, b)
+		}
+	}
+}
+
+// TestPlacementDistinctReplicas pins that a replica set never lists a
+// node twice (writing both copies to one node is no replication), and
+// that a pool smaller than the replica count returns the whole pool.
+func TestPlacementDistinctReplicas(t *testing.T) {
+	nodes := testNodes(4)
+	for _, fp := range testFingerprints(500) {
+		for r := 1; r <= 6; r++ {
+			p := Placement(fp, nodes, r)
+			wantLen := r
+			if wantLen > len(nodes) {
+				wantLen = len(nodes)
+			}
+			if len(p) != wantLen {
+				t.Fatalf("Placement(%s, 4 nodes, %d replicas): %d entries, want %d", fp, r, len(p), wantLen)
+			}
+			seen := map[string]bool{}
+			for _, n := range p {
+				if seen[n] {
+					t.Fatalf("Placement(%s, r=%d) lists %s twice: %v", fp, r, n, p)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// TestPlacementStabilityOnNodeLoss pins the rendezvous property the
+// whole design leans on: removing one node only moves the fingerprints
+// that had it in their replica set — every other placement is
+// bit-identical — and the moved ones re-hash to surviving nodes.
+func TestPlacementStabilityOnNodeLoss(t *testing.T) {
+	nodes := testNodes(5)
+	fps := testFingerprints(2000)
+	const replicas = 2
+	dead := nodes[2]
+	survivors := append(append([]string{}, nodes[:2]...), nodes[3:]...)
+
+	moved := 0
+	for _, fp := range fps {
+		before := Placement(fp, nodes, replicas)
+		after := Placement(fp, survivors, replicas)
+		hadDead := before[0] == dead || before[1] == dead
+		if !hadDead {
+			if before[0] != after[0] || before[1] != after[1] {
+				t.Fatalf("fingerprint %s moved without containing the dead node: %v -> %v", fp, before, after)
+			}
+			continue
+		}
+		moved++
+		for _, n := range after {
+			if n == dead {
+				t.Fatalf("fingerprint %s still placed on dead node: %v", fp, after)
+			}
+		}
+		// The surviving member keeps its slot order relative to the
+		// replacement: rendezvous only promotes the next-highest weight.
+		var kept string
+		for _, n := range before {
+			if n != dead {
+				kept = n
+			}
+		}
+		if after[0] != kept && after[1] != kept {
+			t.Fatalf("fingerprint %s: surviving replica %s evicted by re-hash: %v -> %v", fp, kept, before, after)
+		}
+	}
+	// E[moved] = fraction of placements containing the dead node
+	// ≈ replicas/len(nodes) = 40%. Accept a generous band.
+	frac := float64(moved) / float64(len(fps))
+	if frac < 0.30 || frac > 0.50 {
+		t.Fatalf("%.1f%% of placements moved on one node loss, want ≈40%%", 100*frac)
+	}
+}
+
+// TestPlacementMovementOnNodeAdd pins the other direction: adding a
+// node steals ≈ replicas/(N+1) of the placements, and every placement
+// that changes at all now contains the new node (nothing shuffles
+// between old nodes).
+func TestPlacementMovementOnNodeAdd(t *testing.T) {
+	nodes := testNodes(5)
+	grown := append(append([]string{}, nodes...), "http://10.0.0.99:7436")
+	fps := testFingerprints(2000)
+	const replicas = 2
+
+	changed := 0
+	for _, fp := range fps {
+		before := Placement(fp, nodes, replicas)
+		after := Placement(fp, grown, replicas)
+		same := before[0] == after[0] && before[1] == after[1]
+		if same {
+			continue
+		}
+		changed++
+		hasNew := after[0] == grown[5] || after[1] == grown[5]
+		if !hasNew {
+			t.Fatalf("fingerprint %s changed placement without adopting the new node: %v -> %v", fp, before, after)
+		}
+	}
+	frac := float64(changed) / float64(len(fps))
+	// E[changed] ≈ replicas/(N+1) = 2/6 ≈ 33%.
+	if frac < 0.23 || frac > 0.43 {
+		t.Fatalf("%.1f%% of placements changed on one node add, want ≈33%%", 100*frac)
+	}
+}
+
+// TestPlacementBalance sanity-checks the load spread: over many
+// fingerprints every node should hold a primary share within 2x of
+// fair (FNV-1a rendezvous is not perfect, but it must not starve or
+// hotspot a node).
+func TestPlacementBalance(t *testing.T) {
+	nodes := testNodes(4)
+	fps := testFingerprints(4000)
+	primaries := map[string]int{}
+	for _, fp := range fps {
+		primaries[Placement(fp, nodes, 2)[0]]++
+	}
+	fair := len(fps) / len(nodes)
+	for _, n := range nodes {
+		if c := primaries[n]; c < fair/2 || c > fair*2 {
+			t.Fatalf("node %s owns %d primaries, fair share is %d: %v", n, c, fair, primaries)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tsg/internal/obs"
+	"tsg/internal/serve"
+)
+
+// graphState is the router's per-fingerprint record: the write journal
+// that lets any replica be (re)built to the current baseline, the sync
+// marks saying which node is caught up to which version, and the
+// router-level exactly-once table.
+//
+// The journal is the replication mechanism, not just bookkeeping.
+// Writes commit to the primary, append here, then replay to the other
+// replicas; a node that was dead, restarted, or newly pulled into the
+// replica set by a re-hash is brought up to date by replaying the
+// journal against it — upload the body, re-send the reset record and
+// every edit it missed, each under its ORIGINAL (client, seq) stamp so
+// a durable node that already holds a prefix in its own WAL dedupes
+// that prefix and applies exactly the suffix it missed. Replay is
+// therefore idempotent against every node state the cluster can reach.
+type graphState struct {
+	mu sync.Mutex
+
+	fp   string
+	text string // journaled .tsg body ("" if the router never saw it)
+	// Structural summary from the parse, for upload responses.
+	events, arcs, border int
+
+	// version numbers accepted writes 1..n; resetAt is the version of
+	// the retained reset record (0 = baseline is compile-time delays).
+	// Edits before the last reset are dropped — the reset record plus
+	// the edits after it fully determine the session state.
+	version  uint64
+	resetAt  uint64
+	resetReq *serve.EditRequest
+	edits    []journalEdit
+
+	// compactions counts last-writer-per-arc journal compactions (the
+	// journal stays bounded by the arc count under sustained edit load).
+	compactions int
+
+	// maxSeq is the router's own exactly-once table: client id → highest
+	// seq accepted through this router. It guards the one hole node
+	// tables can't cover — a retry arriving after compaction dropped the
+	// original record from the journal, which a freshly synced replica
+	// would otherwise re-apply out of order.
+	maxSeq map[string]uint64
+
+	// marks: node id → how far that node is known to be synced. A mark
+	// taken under an older node epoch is void (the node was ejected
+	// since; it may have lost anything).
+	marks map[int]syncMark
+
+	requests atomic.Uint64
+}
+
+// journalEdit is one accepted write, replayable verbatim.
+type journalEdit struct {
+	version uint64
+	req     serve.EditRequest
+}
+
+// syncMark records a node's replication watermark for one graph.
+type syncMark struct {
+	epoch   uint64 // node epoch the mark is valid under
+	version uint64 // journal version applied through
+}
+
+// graph returns (creating if needed) the state for a fingerprint.
+func (r *Router) graph(fp string) *graphState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gs := r.graphs[fp]
+	if gs == nil {
+		gs = &graphState{
+			fp:     fp,
+			maxSeq: map[string]uint64{},
+			marks:  map[int]syncMark{},
+		}
+		r.graphs[fp] = gs
+	}
+	return gs
+}
+
+// journalCompactAt bounds the edit journal: past this many entries it
+// is compacted to the last write per arc. Compaction preserves the
+// final state replay reconstructs (an overwritten write is
+// unobservable) and keeps commit order among survivors; the router's
+// maxSeq table keeps dropped (client, seq) stamps deduplicable.
+const defaultJournalCompactAt = 65536
+
+// appendWriteLocked journals an accepted write and returns its version.
+// Caller holds gs.mu.
+func (gs *graphState) appendWriteLocked(req *serve.EditRequest, compactAt int) uint64 {
+	gs.version++
+	if req.Reset {
+		// The reset supersedes everything before it: the retained record
+		// plus subsequent edits fully rebuild the session.
+		gs.resetAt = gs.version
+		gs.resetReq = req
+		gs.edits = gs.edits[:0]
+	} else {
+		gs.edits = append(gs.edits, journalEdit{version: gs.version, req: *req})
+		if compactAt > 0 && len(gs.edits) > compactAt {
+			gs.compactLocked()
+		}
+	}
+	if req.Client != "" && req.Seq > gs.maxSeq[req.Client] {
+		gs.maxSeq[req.Client] = req.Seq
+	}
+	return gs.version
+}
+
+// compactLocked rewrites the journal to the last write per arc, in
+// commit order. A multi-arc edit request survives if ANY of its arcs
+// has no later writer (re-applying its other arcs on replay is then
+// superseded by the later entries that overwrote them, which replay
+// after it).
+func (gs *graphState) compactLocked() {
+	last := map[int]uint64{} // arc -> version of its last writer
+	for _, je := range gs.edits {
+		for _, ed := range je.req.Edits {
+			last[ed.Arc] = je.version
+		}
+	}
+	kept := gs.edits[:0]
+	for _, je := range gs.edits {
+		for _, ed := range je.req.Edits {
+			if last[ed.Arc] == je.version {
+				kept = append(kept, je)
+				break
+			}
+		}
+	}
+	gs.edits = kept
+	gs.compactions++
+}
+
+// syncLocked brings one node up to the journal's current version:
+// upload the body if the node's mark predates its current epoch (it
+// may have lost everything), then replay the reset record and every
+// edit past its watermark, original stamps intact. On success the mark
+// is current; on failure the mark keeps whatever progress was made, so
+// the next attempt resumes instead of restarting. Caller holds gs.mu.
+func (r *Router) syncLocked(ctx context.Context, n *node, gs *graphState) error {
+	mark, ok := gs.marks[n.id]
+	ep := n.epoch.Load()
+	if ok && mark.epoch == ep && mark.version >= gs.version {
+		return nil
+	}
+	sp := obs.LeafN(ctx, nameSync)
+	sp.AnnotateN(keyNode, uint64(n.id))
+	defer sp.End()
+	replayed := 0
+	if !ok || mark.epoch != ep {
+		// Unknown or post-ejection node: start from nothing. The upload
+		// is idempotent by content (a durable node that kept the graph
+		// answers from cache and skips its own WAL append).
+		if gs.text != "" {
+			if _, err := n.cl.UploadText(ctx, gs.text); err != nil {
+				return fmt.Errorf("sync upload to %s: %w", n.url, err)
+			}
+		}
+		mark = syncMark{epoch: ep, version: 0}
+		gs.marks[n.id] = mark
+	}
+	if gs.resetReq != nil && mark.version < gs.resetAt {
+		if _, err := n.cl.EditStamped(ctx, *gs.resetReq); err != nil {
+			return fmt.Errorf("sync reset to %s: %w", n.url, err)
+		}
+		mark.version = gs.resetAt
+		gs.marks[n.id] = mark
+		replayed++
+	}
+	for _, je := range gs.edits {
+		if je.version <= mark.version {
+			continue
+		}
+		if _, err := n.cl.EditStamped(ctx, je.req); err != nil {
+			r.telSyncReplays(replayed)
+			return fmt.Errorf("sync edit v%d to %s: %w", je.version, n.url, err)
+		}
+		mark.version = je.version
+		gs.marks[n.id] = mark
+		replayed++
+	}
+	// Everything replayable is applied: the node is current even when
+	// compaction left version gaps in the journal.
+	mark.version = gs.version
+	gs.marks[n.id] = mark
+	r.telSyncReplays(replayed)
+	return nil
+}
+
+// invalidateMarkLocked voids a node's watermark for this graph (used
+// when a node 404s a fingerprint the router knows it was given: the
+// node lost state without a detected ejection). Caller holds gs.mu.
+func (gs *graphState) invalidateMarkLocked(n *node) {
+	delete(gs.marks, n.id)
+}
+
+// syncedLocked reports whether the node's mark is current. Caller
+// holds gs.mu.
+func (gs *graphState) syncedLocked(n *node) bool {
+	mark, ok := gs.marks[n.id]
+	return ok && mark.epoch == n.epoch.Load() && mark.version >= gs.version
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsg/client"
+)
+
+// node is one backend in the pool: its transport client, its health
+// state machine, and the counters the router's balancing and telemetry
+// read.
+type node struct {
+	id  int    // index in Config.Nodes — the stable identity
+	url string // the configured base URL, also the rendezvous hash key
+	cl  *client.Client
+	// probeClient is a separate tight-budget client for health probes:
+	// no retries (the health state machine IS the retry policy) and a
+	// short timeout, so a hung node is detected within a few probe
+	// periods instead of a request timeout.
+	probeClient *client.Client
+
+	// healthy is the routing eligibility flag: placement only considers
+	// nodes that are healthy right now. Nodes boot healthy (optimistic:
+	// a router must be routable before its first probe round completes);
+	// the prober and the request path demote them on consecutive
+	// failures, only probes promote them back.
+	healthy atomic.Bool
+
+	// epoch counts ejections. Every per-graph sync mark records the
+	// epoch it was taken under; an ejection bumps the epoch, which
+	// atomically invalidates every mark on this node — the router
+	// assumes an ejected node may have lost or missed anything, and
+	// re-syncs from the journal before trusting it again.
+	epoch atomic.Uint64
+
+	// inflight is the power-of-two-choices signal: requests currently
+	// forwarded to this node.
+	inflight atomic.Int64
+
+	// Telemetry counters.
+	requests  atomic.Uint64
+	failures  atomic.Uint64
+	ejections atomic.Uint64
+
+	// Health state machine, guarded by mu (probe goroutine and request
+	// path both report outcomes).
+	mu          sync.Mutex
+	consecFails int
+	consecOKs   int
+}
+
+// noteFailure records a failed interaction (probe or forwarded
+// request). FailThreshold consecutive failures eject the node: it
+// leaves every placement, its epoch bumps (invalidating sync marks),
+// and only the prober can bring it back.
+func (n *node) noteFailure(failThreshold int, onEject func(*node)) {
+	n.failures.Add(1)
+	n.mu.Lock()
+	n.consecFails++
+	n.consecOKs = 0
+	eject := n.healthy.Load() && n.consecFails >= failThreshold
+	if eject {
+		n.healthy.Store(false)
+		n.epoch.Add(1)
+		n.ejections.Add(1)
+		n.consecFails = 0
+	}
+	n.mu.Unlock()
+	if eject && onEject != nil {
+		onEject(n)
+	}
+}
+
+// noteSuccess records a successful forwarded request: it clears the
+// failure streak on a healthy node but never re-admits an ejected one
+// (requests are not routed to ejected nodes, so a success here cannot
+// certify recovery — that is the prober's job).
+func (n *node) noteSuccess() {
+	n.requests.Add(1)
+	n.mu.Lock()
+	if n.healthy.Load() {
+		n.consecFails = 0
+	}
+	n.mu.Unlock()
+}
+
+// noteProbe feeds one health-probe outcome into the state machine.
+// ReadmitThreshold consecutive probe successes re-admit an ejected
+// node; the sync marks it lost at ejection stay lost, so the first
+// traffic it sees is preceded by a journal replay.
+func (n *node) noteProbe(ok bool, failThreshold, readmitThreshold int, onEject, onReadmit func(*node)) {
+	if !ok {
+		n.noteFailure(failThreshold, onEject)
+		return
+	}
+	n.mu.Lock()
+	readmit := false
+	if n.healthy.Load() {
+		n.consecFails = 0
+	} else {
+		n.consecOKs++
+		if n.consecOKs >= readmitThreshold {
+			n.healthy.Store(true)
+			n.consecOKs = 0
+			n.consecFails = 0
+			readmit = true
+		}
+	}
+	n.mu.Unlock()
+	if readmit && onReadmit != nil {
+		onReadmit(n)
+	}
+}
+
+// probeLoop drives the node's health probe until ctx ends: GET
+// /healthz through a tight-budget client (no retries — the state
+// machine is the retry policy), outcomes fed to noteProbe.
+func (r *Router) probeLoop(ctx context.Context, n *node) {
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		probeCtx, cancel := context.WithTimeout(ctx, r.cfg.ProbeInterval*4)
+		_, err := n.probeClient.Health(probeCtx)
+		cancel()
+		if ctx.Err() != nil {
+			return // shutdown, not a node failure
+		}
+		n.noteProbe(err == nil, r.cfg.FailThreshold, r.cfg.ReadmitThreshold, r.onEject, r.onReadmit)
+	}
+}
+
+// liveNodes returns the URLs of currently healthy nodes, in the stable
+// configured order (the placement input).
+func (r *Router) liveNodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n.healthy.Load() {
+			out = append(out, n.url)
+		}
+	}
+	return out
+}
+
+// nodeByURL resolves a placement entry back to its node.
+func (r *Router) nodeByURL(url string) *node { return r.byURL[url] }

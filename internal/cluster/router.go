@@ -1,0 +1,983 @@
+package cluster
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/obs"
+	"tsg/internal/serve"
+)
+
+// Router endpoint indices, for counters and histogram labels.
+const (
+	rAnalyze = iota
+	rSlacks
+	rWhatIf
+	rMC
+	rUpload
+	rEdit
+	rFingerprint
+	rEndpoints
+)
+
+var rEndpointNames = [rEndpoints]string{"analyze", "slacks", "whatif", "mc", "upload", "edit", "fingerprint"}
+
+// Config tunes a Router. Nodes is the only required field.
+type Config struct {
+	// Nodes is the static backend pool: base URLs of tsgserved instances
+	// (e.g. "http://127.0.0.1:7436"). Order is the stable node identity;
+	// at least one is required, duplicates are rejected.
+	Nodes []string
+
+	// Replicas is each graph's replica-set size (default 2, clamped to
+	// the pool size): writes pin to the first live member, reads balance
+	// across all of them.
+	Replicas int
+
+	// ProbeInterval is the health-probe period per node (default 250ms).
+	ProbeInterval time.Duration
+
+	// FailThreshold ejects a node after this many consecutive failures,
+	// probe or forwarded (default 3).
+	FailThreshold int
+
+	// ReadmitThreshold re-admits an ejected node after this many
+	// consecutive successful probes (default 2).
+	ReadmitThreshold int
+
+	// HopTimeout bounds one forwarded backend attempt (default 15s —
+	// generous because MC and cold compiles are real work; the caller's
+	// request context still cuts hops short when it expires).
+	HopTimeout time.Duration
+
+	// HopRetries is the per-hop transport retry budget (default 0: the
+	// router's failover across replicas IS its retry policy, and an
+	// in-hop retry against a dead node only delays it).
+	HopRetries int
+
+	// MaxBodyBytes caps request bodies at the router edge (default 8 MiB,
+	// matching the serve layer).
+	MaxBodyBytes int64
+
+	// JournalCompactAt bounds the per-graph edit journal: past this many
+	// entries it compacts to the last writer per arc (default 65536).
+	JournalCompactAt int
+
+	// DisableObs turns off tracing and metrics (the counters behind
+	// /debug/cluster stay on — they are plain atomics).
+	DisableObs bool
+
+	// TraceBuffer is the span ring size (default 4096).
+	TraceBuffer int
+
+	// Version is reported in tsgrouter_build_info.
+	Version string
+
+	// Logf, when set, receives one line per topology event (ejections,
+	// re-admissions, failovers). Nil silences them.
+	Logf func(format string, args ...any)
+
+	// HTTPClient, when set, is the shared transport for all backend
+	// clients (tests inject httptest transports here).
+	HTTPClient *http.Client
+}
+
+func (c *Config) fillDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ReadmitThreshold <= 0 {
+		c.ReadmitThreshold = 2
+	}
+	if c.HopTimeout <= 0 {
+		c.HopTimeout = 15 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.JournalCompactAt <= 0 {
+		c.JournalCompactAt = defaultJournalCompactAt
+	}
+}
+
+// Router is the stateless distributed front end: it speaks the same
+// /v1 protocol as one tsgserved, shards graphs across the backend pool
+// by rendezvous-hashed fingerprint, fans reads out across each graph's
+// replica set, pins writes to the primary, and keeps replicas
+// convergent through its write journal. "Stateless" means: everything
+// the router holds (journals, marks, health) is reconstructible from
+// traffic plus the backends' own WALs — losing the router loses no
+// committed state.
+type Router struct {
+	cfg   Config
+	nodes []*node
+	byURL map[string]*node
+	mux   *http.ServeMux
+	tel   *telemetry
+	start time.Time
+
+	// Router-stamped writes: unstamped client edits get an idempotency
+	// stamp here so replication and dedupe work end to end for them too.
+	clientID string
+	seq      atomic.Uint64
+
+	mu     sync.Mutex
+	graphs map[string]*graphState
+
+	queries     [rEndpoints]atomic.Uint64
+	failures    atomic.Uint64
+	failovers   atomic.Uint64
+	syncReplays atomic.Uint64
+	replOK      atomic.Uint64
+	replFail    atomic.Uint64
+	dedupes     atomic.Uint64
+	warmSyncs   atomic.Uint64
+
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+}
+
+// New builds a Router over the configured pool. Probing starts with
+// Start; until then health state is the optimistic boot value (all
+// nodes routable).
+func New(cfg Config) (*Router, error) {
+	cfg.fillDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: Config.Nodes must list at least one backend")
+	}
+	r := &Router{
+		cfg:    cfg,
+		byURL:  make(map[string]*node, len(cfg.Nodes)),
+		graphs: make(map[string]*graphState),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+	}
+	var id [6]byte
+	if _, err := crand.Read(id[:]); err == nil {
+		r.clientID = "router-" + hex.EncodeToString(id[:])
+	} else {
+		r.clientID = fmt.Sprintf("router-%d", time.Now().UnixNano())
+	}
+	for i, raw := range cfg.Nodes {
+		url := strings.TrimRight(raw, "/")
+		if url == "" {
+			return nil, fmt.Errorf("cluster: node %d: empty URL", i)
+		}
+		if _, dup := r.byURL[url]; dup {
+			return nil, fmt.Errorf("cluster: node %q listed twice", url)
+		}
+		opts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{MaxRetries: cfg.HopRetries})}
+		probeOpts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{})}
+		if cfg.HTTPClient != nil {
+			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+			probeOpts = append(probeOpts, client.WithHTTPClient(cfg.HTTPClient))
+		}
+		opts = append(opts, client.WithTimeout(cfg.HopTimeout))
+		probeOpts = append(probeOpts, client.WithTimeout(cfg.ProbeInterval*4))
+		n := &node{
+			id:          i,
+			url:         url,
+			cl:          client.New(url, opts...),
+			probeClient: client.New(url, probeOpts...),
+		}
+		n.healthy.Store(true)
+		r.nodes = append(r.nodes, n)
+		r.byURL[url] = n
+	}
+	if !cfg.DisableObs {
+		r.tel = newTelemetry(r, cfg.TraceBuffer, cfg.Version)
+	}
+
+	r.mux.HandleFunc("POST /v1/graphs", r.instrument(rUpload, r.handleUpload))
+	r.mux.HandleFunc("POST /v1/fingerprint", r.instrument(rFingerprint, r.handleFingerprint))
+	r.mux.HandleFunc("POST /v1/analyze", r.instrument(rAnalyze, r.handleRead))
+	r.mux.HandleFunc("POST /v1/slacks", r.instrument(rSlacks, r.handleRead))
+	r.mux.HandleFunc("POST /v1/whatif", r.instrument(rWhatIf, r.handleRead))
+	r.mux.HandleFunc("POST /v1/mc", r.instrument(rMC, r.handleRead))
+	r.mux.HandleFunc("POST /v1/edit", r.instrument(rEdit, r.handleEdit))
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /debug/cluster", r.handleDebugCluster)
+	r.mux.HandleFunc("GET /debug/trace", r.handleDebugTrace)
+	return r, nil
+}
+
+// Start launches the per-node health probe loops. Stop reverses it.
+func (r *Router) Start() {
+	if r.probeCancel != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.probeCancel = cancel
+	for _, n := range r.nodes {
+		n := n
+		r.probeWG.Add(1)
+		go func() {
+			defer r.probeWG.Done()
+			r.probeLoop(ctx, n)
+		}()
+	}
+}
+
+// Stop halts probing and waits for the loops to exit. In-flight
+// requests are not interrupted.
+func (r *Router) Stop() {
+	if r.probeCancel == nil {
+		return
+	}
+	r.probeCancel()
+	r.probeCancel = nil
+	r.probeWG.Wait()
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// onEject runs when a node leaves the pool: its fingerprints re-hash
+// to the survivors on the next placement; nothing else to do here but
+// say so.
+func (r *Router) onEject(n *node) {
+	r.logf("cluster: node %d (%s) ejected, epoch %d — its shard re-hashes to survivors", n.id, n.url, n.epoch.Load())
+}
+
+// onReadmit runs when the prober certifies a node healthy again: it
+// rejoins placements immediately (syncs happen lazily on first
+// traffic), and a background warm pass replays the journal of every
+// graph now placed on it so the first real request doesn't pay the
+// replay.
+func (r *Router) onReadmit(n *node) {
+	r.logf("cluster: node %d (%s) re-admitted — warming its shard from the journal", n.id, n.url)
+	go r.warmNode(n)
+}
+
+// warmNode eagerly re-syncs every journaled graph whose current
+// placement includes the node.
+func (r *Router) warmNode(n *node) {
+	r.mu.Lock()
+	fps := make([]string, 0, len(r.graphs))
+	states := make([]*graphState, 0, len(r.graphs))
+	for fp, gs := range r.graphs {
+		fps = append(fps, fp)
+		states = append(states, gs)
+	}
+	r.mu.Unlock()
+	live := r.liveNodes()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, fp := range fps {
+		placed := false
+		for _, url := range Placement(fp, live, r.cfg.Replicas) {
+			if url == n.url {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			continue
+		}
+		gs := states[i]
+		gs.mu.Lock()
+		err := r.syncLocked(ctx, n, gs)
+		gs.mu.Unlock()
+		if err != nil {
+			r.logf("cluster: warming %s on node %d: %v", fp[:minInt(12, len(fp))], n.id, err)
+			return // the node is misbehaving again; the prober will notice
+		}
+		r.warmSyncs.Add(1)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ServeHTTP dispatches the router protocol.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// instrument wraps a /v1 handler with the edge bookkeeping every
+// endpoint shares: body cap, request counter, root span.
+func (r *Router) instrument(ep int, fn func(ctx context.Context, w http.ResponseWriter, req *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		r.queries[ep].Add(1)
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		ctx := req.Context()
+		if r.tel != nil {
+			var sp *obs.Span
+			ctx, sp = r.tel.tracer.StartRoot(ctx, r.tel.rootNames[ep])
+			defer sp.End()
+		}
+		fn(ctx, w, req)
+	}
+}
+
+// --- response plumbing ---------------------------------------------------
+
+const retryAfterSeconds = "1"
+
+func (r *Router) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) writeErrorStatus(w http.ResponseWriter, status int, msg string) {
+	if status/100 != 2 {
+		r.failures.Add(1)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(serve.ErrorResponse{Error: msg})
+}
+
+// writeBackendError maps a forwarding failure to the edge status: a
+// backend's own HTTP answer passes through verbatim (with its
+// Retry-After hint), an exhausted-overload becomes 503, a transport
+// failure becomes 502.
+func (r *Router) writeBackendError(w http.ResponseWriter, err error) {
+	var api *client.APIError
+	if errors.As(err, &api) {
+		if api.RetryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(api.RetryAfter/time.Second)))
+		}
+		r.writeErrorStatus(w, api.Status, api.Msg)
+		return
+	}
+	var un *client.UnreachableError
+	if errors.As(err, &un) {
+		r.writeErrorStatus(w, http.StatusBadGateway, "backend unreachable: "+un.Error())
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		r.writeErrorStatus(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	r.writeErrorStatus(w, http.StatusBadGateway, err.Error())
+}
+
+// decodeJSON mirrors the serve layer's decode contract: bad syntax,
+// wrong shape, trailing garbage, and oversized bodies all answer the
+// right 4xx instead of leaking a 500.
+func (r *Router) decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	dec := json.NewDecoder(req.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			r.writeErrorStatus(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		r.writeErrorStatus(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		r.writeErrorStatus(w, http.StatusBadRequest, "decoding request: trailing data after JSON value")
+		return false
+	}
+	return true
+}
+
+// readGraphText extracts .tsg text from an upload/fingerprint body:
+// raw text by default, {"graph": "..."} when the Content-Type says
+// JSON (the serve layer accepts both; the router must too).
+func (r *Router) readGraphText(w http.ResponseWriter, req *http.Request) (string, bool) {
+	if ct := req.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var body struct {
+			Graph string `json:"graph"`
+		}
+		if !r.decodeJSON(w, req, &body) {
+			return "", false
+		}
+		if body.Graph == "" {
+			r.writeErrorStatus(w, http.StatusBadRequest, `JSON upload body must carry a non-empty "graph" field`)
+			return "", false
+		}
+		return body.Graph, true
+	}
+	raw, err := io.ReadAll(req.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			r.writeErrorStatus(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return "", false
+		}
+		r.writeErrorStatus(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return "", false
+	}
+	if len(raw) == 0 {
+		r.writeErrorStatus(w, http.StatusBadRequest, "empty graph body")
+		return "", false
+	}
+	return string(raw), true
+}
+
+// --- placement and forwarding --------------------------------------------
+
+// errNoReplicas is the all-backends-down answer.
+var errNoReplicas = errors.New("no live replica for this graph")
+
+// replicaSet resolves the fingerprint's current replica nodes: the
+// rendezvous placement over the LIVE pool, so a dead node's
+// fingerprints are already re-hashed to survivors by construction.
+func (r *Router) replicaSet(ctx context.Context, fp string) []*node {
+	live := r.liveNodes()
+	if len(live) == 0 {
+		return nil
+	}
+	sp := obs.LeafN(ctx, nameRoute)
+	placed := Placement(fp, live, r.cfg.Replicas)
+	out := make([]*node, 0, len(placed))
+	for _, url := range placed {
+		if n := r.nodeByURL(url); n != nil {
+			out = append(out, n)
+		}
+	}
+	sp.AnnotateN(keyReplicas, uint64(len(out)))
+	sp.End()
+	return out
+}
+
+// orderForRead returns the replica set in read-preference order:
+// power-of-two-choices on in-flight counts picks the first target, the
+// rest queue as failover candidates in placement order.
+func orderForRead(replicas []*node) []*node {
+	if len(replicas) <= 1 {
+		return replicas
+	}
+	i := mrand.Intn(len(replicas))
+	j := mrand.Intn(len(replicas) - 1)
+	if j >= i {
+		j++
+	}
+	if replicas[j].inflight.Load() < replicas[i].inflight.Load() {
+		i = j
+	}
+	out := make([]*node, 0, len(replicas))
+	out = append(out, replicas[i])
+	for k, n := range replicas {
+		if k != i {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// forwardRead runs one read against the replica set with failover:
+// sync the target if the journal says it is behind, forward, and on a
+// backend failure demote it and move to the next replica. A 4xx from a
+// backend is a genuine answer and passes through — except a 404 for a
+// graph the router holds journaled text for, which means the node
+// silently lost state: its mark is voided, it is re-synced once, and
+// the request retried on it before falling over.
+func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*node, call func(context.Context, *node) (any, error)) (any, error) {
+	var lastErr error
+	for attempt, n := range orderForRead(replicas) {
+		if attempt > 0 {
+			r.failovers.Add(1)
+		}
+		if gs != nil {
+			gs.mu.Lock()
+			journaled := gs.text != ""
+			var syncErr error
+			if journaled {
+				syncErr = r.syncLocked(ctx, n, gs)
+			}
+			gs.mu.Unlock()
+			if syncErr != nil {
+				lastErr = syncErr
+				n.noteFailure(r.cfg.FailThreshold, r.onEject)
+				continue
+			}
+		}
+		res, err := r.hop(ctx, n, attempt > 0, call)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		var api *client.APIError
+		if errors.As(err, &api) && api.Status/100 == 4 {
+			if api.Status == http.StatusNotFound && gs != nil && gs.hasText() {
+				// The node answered "unknown graph" for a graph the router
+				// gave it: it lost state without an ejection (e.g. restarted
+				// non-durable). Re-push and retry it once.
+				gs.mu.Lock()
+				gs.invalidateMarkLocked(n)
+				syncErr := r.syncLocked(ctx, n, gs)
+				gs.mu.Unlock()
+				if syncErr == nil {
+					if res, err := r.hop(ctx, n, true, call); err == nil {
+						return res, nil
+					} else {
+						lastErr = err
+					}
+				}
+				n.noteFailure(r.cfg.FailThreshold, r.onEject)
+				continue
+			}
+			return nil, err // a genuine 4xx answer: pass through
+		}
+		n.noteFailure(r.cfg.FailThreshold, r.onEject)
+	}
+	if lastErr == nil {
+		lastErr = errNoReplicas
+	}
+	return nil, lastErr
+}
+
+// hop forwards one call to one node, with the inflight/latency
+// bookkeeping the balancer and telemetry feed on.
+func (r *Router) hop(ctx context.Context, n *node, failover bool, call func(context.Context, *node) (any, error)) (any, error) {
+	sp := obs.LeafN(ctx, nameHop)
+	sp.AnnotateN(keyNode, uint64(n.id))
+	if failover {
+		sp.SetTierN(tierFailover)
+	}
+	n.inflight.Add(1)
+	t0 := time.Now()
+	res, err := call(ctx, n)
+	dt := time.Since(t0)
+	n.inflight.Add(-1)
+	sp.End()
+	if r.tel != nil {
+		r.tel.hopDurNd[n.id].Observe(dt.Seconds())
+	}
+	if err == nil {
+		n.noteSuccess()
+	}
+	return res, err
+}
+
+func (gs *graphState) hasText() bool {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.text != ""
+}
+
+// resolveRef turns a request's GraphRef into (fingerprint, forwardRef,
+// graphState): inline text is fingerprinted locally, journaled (first
+// sight becomes the replication baseline), and rewritten to a
+// by-fingerprint reference so every backend hop is cheap and the
+// replica set is well defined.
+func (r *Router) resolveRef(w http.ResponseWriter, ref serve.GraphRef) (string, serve.GraphRef, *graphState, bool) {
+	if ref.Graph != "" {
+		fp, events, arcs, border, err := serve.FingerprintText(ref.Graph)
+		if err != nil {
+			r.writeErrorStatus(w, http.StatusBadRequest, err.Error())
+			return "", serve.GraphRef{}, nil, false
+		}
+		gs := r.graph(fp)
+		gs.mu.Lock()
+		if gs.text == "" {
+			gs.text = ref.Graph
+			gs.events, gs.arcs, gs.border = events, arcs, border
+		}
+		gs.mu.Unlock()
+		gs.requests.Add(1)
+		return fp, serve.GraphRef{Fingerprint: fp}, gs, true
+	}
+	if ref.Fingerprint == "" {
+		r.writeErrorStatus(w, http.StatusBadRequest, "request must reference a graph by inline text or fingerprint")
+		return "", serve.GraphRef{}, nil, false
+	}
+	gs := r.graph(ref.Fingerprint)
+	gs.requests.Add(1)
+	return ref.Fingerprint, ref, gs, true
+}
+
+// --- handlers -------------------------------------------------------------
+
+// handleUpload fans a graph upload out to every replica: each backend
+// compiles (or finds cached) the engine and appends the graph to its
+// own WAL, so each replica warm-restarts from local state alone. The
+// upload succeeds if the primary-side quorum is at least one node; the
+// journal re-pushes it to any replica that missed it.
+func (r *Router) handleUpload(ctx context.Context, w http.ResponseWriter, req *http.Request) {
+	text, ok := r.readGraphText(w, req)
+	if !ok {
+		return
+	}
+	fp, events, arcs, border, err := serve.FingerprintText(text)
+	if err != nil {
+		r.writeErrorStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	gs := r.graph(fp)
+	gs.requests.Add(1)
+	gs.mu.Lock()
+	if gs.text == "" {
+		gs.text = text
+		gs.events, gs.arcs, gs.border = events, arcs, border
+	}
+	replicas := r.replicaSet(ctx, fp)
+	sp := obs.LeafN(ctx, nameFanout)
+	sp.AnnotateN(keyReplicas, uint64(len(replicas)))
+	okCount := 0
+	var lastErr error
+	for _, n := range replicas {
+		if err := r.syncLocked(ctx, n, gs); err != nil {
+			lastErr = err
+			n.noteFailure(r.cfg.FailThreshold, r.onEject)
+			continue
+		}
+		n.noteSuccess()
+		okCount++
+	}
+	sp.End()
+	gs.mu.Unlock()
+	if okCount == 0 {
+		if lastErr == nil {
+			lastErr = errNoReplicas
+		}
+		r.writeBackendErrorUnavailable(w, lastErr)
+		return
+	}
+	r.writeJSON(w, serve.UploadResponse{Fingerprint: fp, Events: events, Arcs: arcs, Border: border})
+}
+
+// writeBackendErrorUnavailable is writeBackendError, except that
+// transport-level failures surface as 503 + Retry-After (the
+// cluster-level "all replicas down, try again shortly" answer) rather
+// than 502.
+func (r *Router) writeBackendErrorUnavailable(w http.ResponseWriter, err error) {
+	var api *client.APIError
+	if errors.As(err, &api) && api.Status/100 == 4 {
+		r.writeBackendError(w, err)
+		return
+	}
+	r.writeErrorStatus(w, http.StatusServiceUnavailable, "no replica could serve the request: "+err.Error())
+}
+
+// handleFingerprint answers the placement primitive locally: the
+// router can fingerprint without any backend (same parse-only path as
+// the serve layer's /v1/fingerprint).
+func (r *Router) handleFingerprint(ctx context.Context, w http.ResponseWriter, req *http.Request) {
+	text, ok := r.readGraphText(w, req)
+	if !ok {
+		return
+	}
+	fp, events, arcs, border, err := serve.FingerprintText(text)
+	if err != nil {
+		r.writeErrorStatus(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	r.writeJSON(w, serve.FingerprintResponse{Fingerprint: fp, Events: events, Arcs: arcs, Border: border})
+}
+
+// handleRead serves analyze/slacks/whatif/mc: resolve the replica set
+// from the fingerprint, balance by power-of-two-choices, fail over on
+// backend failure.
+func (r *Router) handleRead(ctx context.Context, w http.ResponseWriter, req *http.Request) {
+	var (
+		call func(ref serve.GraphRef) func(context.Context, *node) (any, error)
+		ref  serve.GraphRef
+	)
+	switch req.URL.Path {
+	case "/v1/analyze":
+		var body serve.AnalyzeRequest
+		if !r.decodeJSON(w, req, &body) {
+			return
+		}
+		ref = body.GraphRef
+		call = func(ref serve.GraphRef) func(context.Context, *node) (any, error) {
+			return func(ctx context.Context, n *node) (any, error) { return n.cl.Analyze(ctx, ref) }
+		}
+	case "/v1/slacks":
+		var body serve.SlacksRequest
+		if !r.decodeJSON(w, req, &body) {
+			return
+		}
+		ref = body.GraphRef
+		call = func(ref serve.GraphRef) func(context.Context, *node) (any, error) {
+			return func(ctx context.Context, n *node) (any, error) { return n.cl.Slacks(ctx, ref) }
+		}
+	case "/v1/whatif":
+		var body serve.WhatIfRequest
+		if !r.decodeJSON(w, req, &body) {
+			return
+		}
+		ref = body.GraphRef
+		queries := body.Queries
+		call = func(ref serve.GraphRef) func(context.Context, *node) (any, error) {
+			return func(ctx context.Context, n *node) (any, error) { return n.cl.WhatIf(ctx, ref, queries) }
+		}
+	case "/v1/mc":
+		var body serve.MCRequest
+		if !r.decodeJSON(w, req, &body) {
+			return
+		}
+		ref = body.GraphRef
+		mcReq := body
+		call = func(ref serve.GraphRef) func(context.Context, *node) (any, error) {
+			return func(ctx context.Context, n *node) (any, error) { return n.cl.MC(ctx, ref, mcReq) }
+		}
+	default:
+		r.writeErrorStatus(w, http.StatusNotFound, "unknown read endpoint")
+		return
+	}
+
+	fp, fwdRef, gs, ok := r.resolveRef(w, ref)
+	if !ok {
+		return
+	}
+	replicas := r.replicaSet(ctx, fp)
+	if len(replicas) == 0 {
+		r.writeErrorStatus(w, http.StatusServiceUnavailable, "no live backend nodes")
+		return
+	}
+	res, err := r.forwardRead(ctx, gs, replicas, call(fwdRef))
+	if err != nil {
+		r.writeBackendErrorUnavailable(w, err)
+		return
+	}
+	r.writeJSON(w, res)
+}
+
+// handleEdit is the write path: stamp if the client didn't, dedupe
+// against the router's exactly-once table, commit on the graph's
+// primary (first live replica — falling over to the secondary after a
+// journal replay brings it current), journal the accepted write, then
+// replicate it to the rest of the replica set. Writes to one graph are
+// serialized under its journal lock; that order IS the replication
+// order, so replicas converge to bit-identical state.
+func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *http.Request) {
+	var body serve.EditRequest
+	if !r.decodeJSON(w, req, &body) {
+		return
+	}
+	fp, fwdRef, gs, ok := r.resolveRef(w, body.GraphRef)
+	if !ok {
+		return
+	}
+	body.GraphRef = fwdRef
+	if body.Client == "" {
+		// Unstamped edit: stamp it here so journal replay stays idempotent
+		// on the backends for this write too.
+		body.Client = r.clientID
+		body.Seq = r.seq.Add(1)
+	}
+
+	replicas := r.replicaSet(ctx, fp)
+	if len(replicas) == 0 {
+		r.writeErrorStatus(w, http.StatusServiceUnavailable, "no live backend nodes")
+		return
+	}
+
+	gs.mu.Lock()
+	if body.Seq <= gs.maxSeq[body.Client] {
+		gs.mu.Unlock()
+		r.dedupeAnswer(ctx, w, gs, replicas, fp)
+		return
+	}
+
+	// Commit on the primary; a dead primary fails over down the replica
+	// set. syncLocked first, so the node the edit lands on holds the
+	// full session state the edit composes with (WAL-backed replay).
+	var (
+		resp      *client.EditResponse
+		commitErr error
+		committed *node
+	)
+	for attempt, n := range replicas {
+		if attempt > 0 {
+			r.failovers.Add(1)
+		}
+		if gs.text != "" {
+			if err := r.syncLocked(ctx, n, gs); err != nil {
+				commitErr = err
+				n.noteFailure(r.cfg.FailThreshold, r.onEject)
+				continue
+			}
+		}
+		res, err := r.hop(ctx, n, attempt > 0, func(ctx context.Context, n *node) (any, error) {
+			return n.cl.EditStamped(ctx, body)
+		})
+		if err == nil {
+			resp = res.(*client.EditResponse)
+			committed = n
+			break
+		}
+		commitErr = err
+		var api *client.APIError
+		if errors.As(err, &api) && api.Status/100 == 4 {
+			gs.mu.Unlock()
+			r.writeBackendError(w, err) // genuine answer: the edit is invalid
+			return
+		}
+		n.noteFailure(r.cfg.FailThreshold, r.onEject)
+	}
+	if resp == nil {
+		gs.mu.Unlock()
+		r.writeBackendErrorUnavailable(w, commitErr)
+		return
+	}
+
+	// The write is committed: journal it, advance the committing node's
+	// mark, and push it to the remaining replicas while the lock still
+	// serializes this graph's write order.
+	version := gs.appendWriteLocked(&body, r.cfg.JournalCompactAt)
+	gs.marks[committed.id] = syncMark{epoch: committed.epoch.Load(), version: version}
+	sp := obs.LeafN(ctx, nameFanout)
+	sp.AnnotateN(keyReplicas, uint64(len(replicas)))
+	for _, n := range replicas {
+		if n == committed {
+			continue
+		}
+		if err := r.syncLocked(ctx, n, gs); err != nil {
+			r.replFail.Add(1)
+			n.noteFailure(r.cfg.FailThreshold, r.onEject)
+			continue
+		}
+		r.replOK.Add(1)
+	}
+	sp.End()
+	gs.mu.Unlock()
+	r.writeJSON(w, resp)
+}
+
+// dedupeAnswer acknowledges a write the router already committed (the
+// stamp is at or below the client's high-water mark): the backends may
+// have compacted the original journal record away, so the answer is
+// synthesized — current λ from a replica, Deduped set, nothing
+// re-applied. This is exactly the answer a backend's own dedupe table
+// gives for an in-journal duplicate.
+func (r *Router) dedupeAnswer(ctx context.Context, w http.ResponseWriter, gs *graphState, replicas []*node, fp string) {
+	r.dedupes.Add(1)
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.SetTierN(tierDeduped)
+	}
+	ref := serve.GraphRef{Fingerprint: fp}
+	res, err := r.forwardRead(ctx, gs, replicas, func(ctx context.Context, n *node) (any, error) {
+		return n.cl.Analyze(ctx, ref)
+	})
+	if err != nil {
+		r.writeBackendErrorUnavailable(w, err)
+		return
+	}
+	an := res.(*client.AnalyzeResponse)
+	r.writeJSON(w, serve.EditResponse{Fingerprint: fp, Applied: 0, Deduped: true, Lambda: an.Lambda})
+}
+
+// handleHealthz reports router liveness: OK while at least one backend
+// is routable (a router with zero live nodes answers 503 so load
+// balancers above it can fail over too).
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	live := len(r.liveNodes())
+	r.mu.Lock()
+	graphs := len(r.graphs)
+	r.mu.Unlock()
+	resp := serve.HealthResponse{OK: live > 0, Graphs: graphs, UptimeSec: time.Since(r.start).Seconds()}
+	if !resp.OK {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	r.writeJSON(w, resp)
+}
+
+// ClusterNodeStatus is one backend's row in /debug/cluster.
+type ClusterNodeStatus struct {
+	ID        int    `json:"id"`
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Epoch     uint64 `json:"epoch"`
+	Inflight  int64  `json:"inflight"`
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+	Ejections uint64 `json:"ejections"`
+}
+
+// ClusterGraphStatus is one journaled graph's row in /debug/cluster.
+type ClusterGraphStatus struct {
+	Fingerprint string   `json:"fingerprint"`
+	Version     uint64   `json:"version"`
+	JournalLen  int      `json:"journal_len"`
+	Compactions int      `json:"compactions"`
+	Requests    uint64   `json:"requests"`
+	Replicas    []string `json:"replicas"`
+	Synced      []string `json:"synced"`
+}
+
+// ClusterStatus is the /debug/cluster body.
+type ClusterStatus struct {
+	Nodes     []ClusterNodeStatus  `json:"nodes"`
+	Graphs    []ClusterGraphStatus `json:"graphs"`
+	Failovers uint64               `json:"failovers"`
+	Dedupes   uint64               `json:"dedupe_hits"`
+	WarmSyncs uint64               `json:"warm_syncs"`
+	Replicas  int                  `json:"replicas"`
+}
+
+// handleDebugCluster snapshots the router's live topology view:
+// node health, per-graph placement and sync watermarks.
+func (r *Router) handleDebugCluster(w http.ResponseWriter, req *http.Request) {
+	st := ClusterStatus{
+		Failovers: r.failovers.Load(),
+		Dedupes:   r.dedupes.Load(),
+		WarmSyncs: r.warmSyncs.Load(),
+		Replicas:  r.cfg.Replicas,
+	}
+	for _, n := range r.nodes {
+		st.Nodes = append(st.Nodes, ClusterNodeStatus{
+			ID: n.id, URL: n.url, Healthy: n.healthy.Load(), Epoch: n.epoch.Load(),
+			Inflight: n.inflight.Load(), Requests: n.requests.Load(),
+			Failures: n.failures.Load(), Ejections: n.ejections.Load(),
+		})
+	}
+	live := r.liveNodes()
+	r.mu.Lock()
+	fps := make([]string, 0, len(r.graphs))
+	states := make([]*graphState, 0, len(r.graphs))
+	for fp, gs := range r.graphs {
+		fps = append(fps, fp)
+		states = append(states, gs)
+	}
+	r.mu.Unlock()
+	for i, fp := range fps {
+		gs := states[i]
+		gs.mu.Lock()
+		row := ClusterGraphStatus{
+			Fingerprint: fp,
+			Version:     gs.version,
+			JournalLen:  len(gs.edits),
+			Compactions: gs.compactions,
+			Requests:    gs.requests.Load(),
+			Replicas:    Placement(fp, live, r.cfg.Replicas),
+		}
+		for _, n := range r.nodes {
+			if gs.syncedLocked(n) {
+				row.Synced = append(row.Synced, n.url)
+			}
+		}
+		gs.mu.Unlock()
+		st.Graphs = append(st.Graphs, row)
+	}
+	r.writeJSON(w, st)
+}

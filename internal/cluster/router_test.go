@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsg"
+	"tsg/client"
+	"tsg/internal/gen"
+	"tsg/internal/serve"
+)
+
+// gate wraps a backend handler with a kill switch: while down, every
+// request (probes included) answers 500, which the router classifies
+// as a node failure. Swapping the inner handler models a non-durable
+// restart — the process is back but its state is gone.
+type gate struct {
+	down atomic.Bool
+	h    atomic.Pointer[http.Handler]
+}
+
+func newGate(h http.Handler) *gate {
+	g := &gate{}
+	g.h.Store(&h)
+	return g
+}
+
+func (g *gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.down.Load() {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"node down"}`))
+		return
+	}
+	(*g.h.Load()).ServeHTTP(w, r)
+}
+
+func pipelineText(t testing.TB, stages int) string {
+	t.Helper()
+	g, err := gen.MullerPipeline(stages, 1, 2.0, 1.0)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	var b bytes.Buffer
+	if err := tsg.WriteGraph(&b, g); err != nil {
+		t.Fatalf("WriteGraph: %v", err)
+	}
+	return b.String()
+}
+
+// testCluster is 3 gated backends plus a started router, all torn down
+// with the test.
+type testCluster struct {
+	gates    [3]*gate
+	backends [3]*httptest.Server
+	urls     []string
+	router   *Router
+	front    *httptest.Server
+	cl       *client.Client
+}
+
+func newTestCluster(t *testing.T) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := range tc.gates {
+		tc.gates[i] = newGate(serve.New(serve.Config{}))
+		tc.backends[i] = httptest.NewServer(tc.gates[i])
+		t.Cleanup(tc.backends[i].Close)
+		tc.urls = append(tc.urls, tc.backends[i].URL)
+	}
+	r, err := New(Config{
+		Nodes:            tc.urls,
+		Replicas:         2,
+		ProbeInterval:    10 * time.Millisecond,
+		FailThreshold:    2,
+		ReadmitThreshold: 2,
+		HopTimeout:       5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	tc.router = r
+	tc.front = httptest.NewServer(r)
+	t.Cleanup(tc.front.Close)
+	tc.cl = client.New(tc.front.URL, client.WithRetryPolicy(client.RetryPolicy{}))
+	return tc
+}
+
+func (tc *testCluster) gateOf(url string) *gate {
+	for i, u := range tc.urls {
+		if u == url {
+			return tc.gates[i]
+		}
+	}
+	return nil
+}
+
+func (tc *testCluster) waitHealthy(t *testing.T, url string, want bool) {
+	t.Helper()
+	n := tc.router.nodeByURL(url)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.healthy.Load() == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached healthy=%v", url, want)
+}
+
+// TestRouterServesProtocolAndPlacement pins the basic contract: the
+// router answers the whole read protocol with the same results as a
+// direct backend, and the upload fan-out leaves every replica able to
+// answer by fingerprint on its own.
+func TestRouterServesProtocolAndPlacement(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload through router: %v", err)
+	}
+	res, err := tc.cl.Analyze(ctx, client.ByFingerprint(up.Fingerprint))
+	if err != nil {
+		t.Fatalf("analyze through router: %v", err)
+	}
+
+	// Oracle: a direct single backend.
+	direct := httptest.NewServer(serve.New(serve.Config{}))
+	defer direct.Close()
+	dcl := client.New(direct.URL)
+	dup, err := dcl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("direct upload: %v", err)
+	}
+	if dup.Fingerprint != up.Fingerprint {
+		t.Fatalf("router fingerprint %s != direct %s", up.Fingerprint, dup.Fingerprint)
+	}
+	dres, err := dcl.Analyze(ctx, client.ByFingerprint(dup.Fingerprint))
+	if err != nil {
+		t.Fatalf("direct analyze: %v", err)
+	}
+	if res.Lambda.Text != dres.Lambda.Text {
+		t.Fatalf("router λ %s != direct λ %s", res.Lambda.Text, dres.Lambda.Text)
+	}
+
+	// Slacks and what-if answer through the router too.
+	if _, err := tc.cl.Slacks(ctx, client.ByFingerprint(up.Fingerprint)); err != nil {
+		t.Fatalf("slacks through router: %v", err)
+	}
+	if _, err := tc.cl.WhatIf(ctx, client.ByFingerprint(up.Fingerprint), []client.WhatIfQuery{{Arc: 0, Delay: 3}}); err != nil {
+		t.Fatalf("whatif through router: %v", err)
+	}
+
+	// Fingerprint endpoint answers locally at the router.
+	fpr, err := tc.cl.Fingerprint(ctx, text)
+	if err != nil {
+		t.Fatalf("fingerprint through router: %v", err)
+	}
+	if fpr.Fingerprint != up.Fingerprint {
+		t.Fatalf("fingerprint endpoint %s != upload %s", fpr.Fingerprint, up.Fingerprint)
+	}
+
+	// The upload fanned out: each REPLICA answers directly, and no
+	// non-replica was touched (placement actually shards).
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	for _, url := range placed {
+		ncl := client.New(url, client.WithRetryPolicy(client.RetryPolicy{}))
+		nres, err := ncl.Analyze(ctx, client.ByFingerprint(up.Fingerprint))
+		if err != nil {
+			t.Fatalf("replica %s cannot answer by fingerprint after fan-out: %v", url, err)
+		}
+		if nres.Lambda.Text != dres.Lambda.Text {
+			t.Fatalf("replica %s λ %s != direct %s", url, nres.Lambda.Text, dres.Lambda.Text)
+		}
+	}
+	for _, url := range tc.urls {
+		inSet := false
+		for _, p := range placed {
+			inSet = inSet || p == url
+		}
+		if inSet {
+			continue
+		}
+		ncl := client.New(url, client.WithRetryPolicy(client.RetryPolicy{}))
+		if _, err := ncl.Analyze(ctx, client.ByFingerprint(up.Fingerprint)); err == nil {
+			t.Fatalf("non-replica %s holds the graph — placement did not shard", url)
+		}
+	}
+}
+
+// TestRouterWriteReplicationAndDedupe pins the write path: edits
+// through the router land on every replica bit-identically, client
+// idempotency stamps survive the hop (a retry answers Deduped without
+// re-applying), and a router-level duplicate of a compacted-away stamp
+// is synthesized rather than re-applied.
+func TestRouterWriteReplicationAndDedupe(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+
+	// A run of edits through the router (the client stamps them).
+	var last *client.EditResponse
+	for i := 0; i < 8; i++ {
+		last, err = tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: i % 4, Delay: 2.0 + float64(i)}})
+		if err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+
+	// Every replica answers the edited baseline identically, directly.
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	for _, url := range placed {
+		ncl := client.New(url, client.WithRetryPolicy(client.RetryPolicy{}))
+		nres, err := ncl.Analyze(ctx, ref)
+		if err != nil {
+			t.Fatalf("replica %s: %v", url, err)
+		}
+		if nres.Lambda.Text != last.Lambda.Text {
+			t.Fatalf("replica %s diverged: λ %s, want %s", url, nres.Lambda.Text, last.Lambda.Text)
+		}
+	}
+
+	// A duplicate stamp through the router dedupes end to end.
+	dup, err := tc.cl.EditStamped(ctx, client.EditRequest{
+		GraphRef: ref,
+		Edits:    []client.DelayEdit{{Arc: 0, Delay: 99}},
+		Client:   tc.cl.ClientID(),
+		Seq:      1, // already applied above
+	})
+	if err != nil {
+		t.Fatalf("duplicate edit: %v", err)
+	}
+	if !dup.Deduped {
+		t.Fatalf("duplicate stamped edit not deduped: %+v", dup)
+	}
+	if dup.Lambda.Text != last.Lambda.Text {
+		t.Fatalf("deduped answer λ %s, want current baseline %s", dup.Lambda.Text, last.Lambda.Text)
+	}
+}
+
+// TestRouterEjectionFailoverReadmission is the full lifecycle: kill a
+// graph's primary → requests fail over to the secondary and the node
+// is ejected; restart it with empty state → probes re-admit it, the
+// journal re-warms it, and it serves the edited baseline again.
+func TestRouterEjectionFailoverReadmission(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+	if _, err := tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: 1, Delay: 7}}); err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	primary := placed[0]
+
+	// Kill the primary. Reads and writes must keep succeeding (failover
+	// to the secondary), and the probes must eject the node.
+	tc.gateOf(primary).down.Store(true)
+	tc.waitHealthy(t, primary, false)
+
+	res, err := tc.cl.Analyze(ctx, ref)
+	if err != nil {
+		t.Fatalf("analyze after primary death: %v", err)
+	}
+	edited, err := tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: 2, Delay: 9}})
+	if err != nil {
+		t.Fatalf("edit after primary death (failover): %v", err)
+	}
+	_ = res
+
+	// The dead node's fingerprints re-hash to survivors: placement over
+	// the live set no longer contains it.
+	live := tc.router.liveNodes()
+	for _, u := range Placement(up.Fingerprint, live, 2) {
+		if u == primary {
+			t.Fatalf("dead primary still in live placement")
+		}
+	}
+
+	// "Restart" the node with a FRESH backend — all state lost, like a
+	// non-durable process replaced. Re-admission must re-warm it from
+	// the router's journal before it serves.
+	var fresh http.Handler = serve.New(serve.Config{})
+	tc.gateOf(primary).h.Store(&fresh)
+	tc.gateOf(primary).down.Store(false)
+	tc.waitHealthy(t, primary, true)
+
+	// Give the background warm pass a moment, then the restarted node
+	// must answer the CURRENT edited baseline directly.
+	ncl := client.New(primary, client.WithRetryPolicy(client.RetryPolicy{}))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		nres, err := ncl.Analyze(ctx, ref)
+		if err == nil && nres.Lambda.Text == edited.Lambda.Text {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted node never re-warmed: err=%v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And a read routed through the router may land on it again without
+	// a stale answer.
+	for i := 0; i < 10; i++ {
+		rres, err := tc.cl.Analyze(ctx, ref)
+		if err != nil {
+			t.Fatalf("analyze after re-admission: %v", err)
+		}
+		if rres.Lambda.Text != edited.Lambda.Text {
+			t.Fatalf("stale λ %s after re-admission, want %s", rres.Lambda.Text, edited.Lambda.Text)
+		}
+	}
+}
+
+// TestRouterAllReplicasDown pins the degraded edge: when every node of
+// a graph's replica set is dead, the router answers 503 with a
+// Retry-After hint — the cluster-level shed contract — rather than
+// hanging or answering 500.
+func TestRouterAllReplicasDown(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 3)
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	for _, g := range tc.gates {
+		g.down.Store(true)
+	}
+	for _, u := range tc.urls {
+		tc.waitHealthy(t, u, false)
+	}
+	body, _ := json.Marshal(serve.AnalyzeRequest{GraphRef: serve.GraphRef{Fingerprint: up.Fingerprint}})
+	resp, err := http.Post(tc.front.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST analyze: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-replicas-down analyze: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("all-replicas-down 503 missing Retry-After")
+	}
+}
+
+// TestRouterJournalCompaction pins that sustained edit load keeps the
+// journal bounded (last-writer-per-arc) while replay still rebuilds
+// the exact baseline on a fresh replica.
+func TestRouterJournalCompaction(t *testing.T) {
+	tc := newTestCluster(t)
+	tc.router.cfg.JournalCompactAt = 8
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+	var last *client.EditResponse
+	for i := 0; i < 40; i++ {
+		last, err = tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: i % 3, Delay: 1.0 + float64(i)/7}})
+		if err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+	gs := tc.router.graph(up.Fingerprint)
+	gs.mu.Lock()
+	jlen, compactions := len(gs.edits), gs.compactions
+	gs.mu.Unlock()
+	if compactions == 0 {
+		t.Fatalf("40 edits with compact-at-8 never compacted")
+	}
+	if jlen > 8+1 {
+		t.Fatalf("journal holds %d edits after compaction, want ≤ 9", jlen)
+	}
+
+	// A node that lost everything (fresh backend) still converges to
+	// the exact edited baseline from the compacted journal.
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	victim := placed[len(placed)-1]
+	var fresh http.Handler = serve.New(serve.Config{})
+	tc.gateOf(victim).h.Store(&fresh)
+	gs.mu.Lock()
+	gs.invalidateMarkLocked(tc.router.nodeByURL(victim))
+	gs.mu.Unlock()
+
+	// Route reads until the victim answers: the 404-resync path must
+	// rebuild it.
+	ncl := client.New(victim, client.WithRetryPolicy(client.RetryPolicy{}))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := tc.cl.Analyze(ctx, ref); err != nil {
+			t.Fatalf("routed analyze during victim rebuild: %v", err)
+		}
+		nres, err := ncl.Analyze(ctx, ref)
+		if err == nil {
+			if nres.Lambda.Text != last.Lambda.Text {
+				t.Fatalf("rebuilt replica λ %s, want %s", nres.Lambda.Text, last.Lambda.Text)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never rebuilt from compacted journal: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterErrorPasses pins 4xx pass-through: a genuinely bad request
+// is answered by the backend's (or router's) 4xx, not retried or
+// converted to a 5xx.
+func TestRouterErrorPasses(t *testing.T) {
+	tc := newTestCluster(t)
+	resp, err := http.Post(tc.front.URL+"/v1/analyze", "application/json", strings.NewReader(`{"graph": "not a tsg file"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad graph through router: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(tc.front.URL+"/v1/analyze", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-ref analyze through router: status %d, want 400", resp.StatusCode)
+	}
+}

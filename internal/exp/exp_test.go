@@ -68,14 +68,35 @@ func TestOBSQuick(t *testing.T) {
 	}
 }
 
+// TestCLUSTERQuick runs the distributed-tier experiment in quick
+// mode: the full correctness passes (sharding, bit-identical replicas
+// after every edit, kill/restart with zero failed requests) with the
+// throughput-scaling gate skipped — the 2.5x aggregate bar needs a
+// quiet machine and is gated by tsgbench/CI, not by the unit suite.
+func TestCLUSTERQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped with -short")
+	}
+	exp.Quick = true
+	defer func() { exp.Quick = false }()
+	e, ok := exp.ByID("CLUSTER")
+	if !ok {
+		t.Fatal("experiment CLUSTER not registered")
+	}
+	var sb strings.Builder
+	if err := e.Run(&sb); err != nil {
+		t.Fatalf("CLUSTER failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := exp.All()
-	if len(all) != 19 {
+	if len(all) != 20 {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
 		}
-		t.Errorf("registry has %d experiments (%v), want 19", len(all), ids)
+		t.Errorf("registry has %d experiments (%v), want 20", len(all), ids)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].ID >= all[i].ID {

@@ -16,7 +16,7 @@ import (
 // postEndpoints is every POST route of the protocol; the error-path
 // matrix below runs against each one, so adding an endpoint without
 // extending the matrix fails the count check in TestBodyLimitEveryPOSTEndpoint.
-var postEndpoints = []string{"/v1/graphs", "/v1/analyze", "/v1/slacks", "/v1/whatif", "/v1/edit", "/v1/mc"}
+var postEndpoints = []string{"/v1/graphs", "/v1/analyze", "/v1/slacks", "/v1/whatif", "/v1/edit", "/v1/mc", "/v1/fingerprint"}
 
 // TestBodyLimitEveryPOSTEndpoint pins the MaxBytesReader contract on
 // every POST route: a body over the configured limit answers 413, and

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsg/internal/gen"
+	"tsg/internal/sg"
+)
+
+// TestFingerprintEndpoint pins POST /v1/fingerprint: it returns the
+// same fingerprint an upload would (the cluster router's placement key
+// must equal the cache key) without making anything resident.
+func TestFingerprintEndpoint(t *testing.T) {
+	g, err := gen.MullerPipeline(4, 1, 2.0, 1.0)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	text := tsgText(t, g)
+
+	s := New(Config{})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/fingerprint", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("POST fingerprint: %v", err)
+	}
+	var fpr FingerprintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fpr); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint: status %d", resp.StatusCode)
+	}
+	if fpr.Fingerprint != sg.Fingerprint(g) {
+		t.Fatalf("fingerprint %s != structural %s", fpr.Fingerprint, sg.Fingerprint(g))
+	}
+	if fpr.Events != g.NumEvents() || fpr.Arcs != g.NumArcs() {
+		t.Fatalf("summary %d events/%d arcs, want %d/%d", fpr.Events, fpr.Arcs, g.NumEvents(), g.NumArcs())
+	}
+	// Parse-only: nothing compiled, nothing resident.
+	if st := s.Cache().Stats(); st.Entries != 0 || st.Compiles != 0 {
+		t.Fatalf("fingerprint made state resident: %+v", st)
+	}
+
+	// The JSON body form works too.
+	body, _ := json.Marshal(map[string]string{"graph": text})
+	resp, err = srv.Client().Post(srv.URL+"/v1/fingerprint", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST fingerprint JSON: %v", err)
+	}
+	var fpr2 FingerprintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fpr2); err != nil {
+		t.Fatalf("decoding JSON form: %v", err)
+	}
+	resp.Body.Close()
+	if fpr2.Fingerprint != fpr.Fingerprint {
+		t.Fatalf("JSON form fingerprint %s != raw form %s", fpr2.Fingerprint, fpr.Fingerprint)
+	}
+
+	// Garbage answers 400.
+	resp, err = srv.Client().Post(srv.URL+"/v1/fingerprint", "text/plain", strings.NewReader("not a tsg file"))
+	if err != nil {
+		t.Fatalf("POST bad fingerprint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad graph fingerprint: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFingerprintWorksInPassThroughMode pins that /v1/fingerprint
+// stays available with the cache disabled — it needs no resident
+// state, unlike uploads/edits which refuse in that mode.
+func TestFingerprintWorksInPassThroughMode(t *testing.T) {
+	g, err := gen.MullerPipeline(3, 1, 2.0, 1.0)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	s := New(Config{CacheBytes: -1})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/v1/fingerprint", "text/plain", strings.NewReader(tsgText(t, g)))
+	if err != nil {
+		t.Fatalf("POST fingerprint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fingerprint in pass-through mode: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPassThroughRefusalsCarryRetryAfter pins that EVERY 503 the
+// server emits carries a Retry-After hint — including the
+// pass-through-mode upload/edit refusals, which historically missed it
+// (only admission sheds set the header). The client's retry loop and
+// the cluster router's backoff both key on the hint.
+func TestPassThroughRefusalsCarryRetryAfter(t *testing.T) {
+	g, err := gen.MullerPipeline(3, 1, 2.0, 1.0)
+	if err != nil {
+		t.Fatalf("MullerPipeline: %v", err)
+	}
+	text := tsgText(t, g)
+	s := New(Config{CacheBytes: -1})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Upload refusal.
+	resp, err := srv.Client().Post(srv.URL+"/v1/graphs", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("POST graphs: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pass-through upload: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("pass-through upload 503 missing Retry-After")
+	}
+
+	// Edit refusal.
+	body, _ := json.Marshal(EditRequest{GraphRef: GraphRef{Graph: text}, Edits: []DelayEdit{{Arc: 0, Delay: 1}}})
+	resp, err = srv.Client().Post(srv.URL+"/v1/edit", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("POST edit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pass-through edit: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("pass-through edit 503 missing Retry-After")
+	}
+}

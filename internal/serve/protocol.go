@@ -253,6 +253,19 @@ type UploadResponse struct {
 	EngineCached bool `json:"engine_cached"`
 }
 
+// FingerprintResponse is the outcome of POST /v1/fingerprint: the
+// canonical content fingerprint of the posted .tsg text, computed by
+// parse + hash alone — no engine is compiled and nothing becomes
+// resident. The cluster router uses it (or the equivalent in-process
+// FingerprintText) to place a graph on its replica set without ever
+// holding engine state itself.
+type FingerprintResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Events      int    `json:"events"`
+	Arcs        int    `json:"arcs"`
+	Border      int    `json:"border"`
+}
+
 // HealthResponse is the outcome of GET /healthz.
 type HealthResponse struct {
 	OK        bool    `json:"ok"`

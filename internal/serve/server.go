@@ -121,10 +121,11 @@ const (
 	epMC
 	epUpload
 	epEdit
+	epFingerprint
 	endpoints
 )
 
-var endpointNames = [endpoints]string{"analyze", "slacks", "whatif", "mc", "upload", "edit"}
+var endpointNames = [endpoints]string{"analyze", "slacks", "whatif", "mc", "upload", "edit", "fingerprint"}
 
 // New returns a Server ready to serve the protocol.
 func New(cfg Config) *Server {
@@ -160,6 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/whatif", s.admit(epWhatIf, s.handleWhatIf))
 	s.mux.HandleFunc("POST /v1/mc", s.admit(epMC, s.handleMC))
 	s.mux.HandleFunc("POST /v1/edit", s.admit(epEdit, s.handleEdit))
+	s.mux.HandleFunc("POST /v1/fingerprint", s.admit(epFingerprint, s.handleFingerprint))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.metricsCompat = cfg.MetricsCompat
@@ -225,7 +227,11 @@ func sanitizeCI(v float64) float64 {
 // deadline mid-analysis (the engine's cancellable loops return the
 // context error) answer 503 + Retry-After like a shed request: the
 // failure is the server's load, not the request, and the client's
-// backoff retry is the right reaction to both.
+// backoff retry is the right reaction to both. EVERY 503 this path
+// writes carries Retry-After — including the pass-through-mode
+// refusals of /v1/graphs and /v1/edit — so the backoff signal a
+// failing-over router (or end client) keys on is uniform regardless
+// of which layer shed the request.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.failures.Add(1)
 	status := http.StatusInternalServerError
@@ -239,8 +245,10 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", retryAfterSeconds)
 		err = fmt.Errorf("request deadline exceeded during analysis: %w", err)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -350,27 +358,9 @@ func (s *Server) handleUpload(ctx context.Context, w http.ResponseWriter, r *htt
 			msg: "the engine cache is disabled on this server; inline the graph (\"graph\" field) in each request instead of uploading"})
 		return
 	}
-	var text string
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
-		var req struct {
-			Graph string `json:"graph"`
-		}
-		if err := decode(r, &req); err != nil {
-			s.writeError(w, err)
-			return
-		}
-		text = req.Graph
-	} else {
-		// Raw .tsg body: curl --data-binary @graph.tsg …/v1/graphs
-		b, err := io.ReadAll(r.Body)
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		text = string(b)
-	}
-	if strings.TrimSpace(text) == "" {
-		s.writeError(w, badRequest("empty graph upload"))
+	text, err := readGraphBody(r)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	ent, hit, err := s.resolve(ctx, GraphRef{Graph: text})
@@ -400,6 +390,65 @@ func (s *Server) handleUpload(ctx context.Context, w http.ResponseWriter, r *htt
 		Border:       len(ent.Graph.BorderEvents()),
 		EngineCached: hit,
 	})
+}
+
+// readGraphBody extracts .tsg text from an upload-style request body:
+// either a JSON {"graph": "..."} envelope or the raw .tsg bytes
+// (curl --data-binary @graph.tsg), selected by Content-Type.
+func readGraphBody(r *http.Request) (string, error) {
+	var text string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Graph string `json:"graph"`
+		}
+		if err := decode(r, &req); err != nil {
+			return "", err
+		}
+		text = req.Graph
+	} else {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			return "", err
+		}
+		text = string(b)
+	}
+	if strings.TrimSpace(text) == "" {
+		return "", badRequest("empty graph upload")
+	}
+	return text, nil
+}
+
+// FingerprintText parses .tsg text (with optional ~dist/@group
+// annotations) and returns its canonical content fingerprint — the
+// cache/shard key — plus the parsed structural summary, without
+// compiling anything. This is the in-process form of POST
+// /v1/fingerprint; the cluster router calls it to place graphs on
+// replica sets without ever building an engine.
+func FingerprintText(text string) (fp string, events, arcs, border int, err error) {
+	g, m, err := netlist.ReadTSGDist(strings.NewReader(text))
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("parsing graph: %w", err)
+	}
+	return ContentKey(g, m), g.NumEvents(), g.NumArcs(), len(g.BorderEvents()), nil
+}
+
+// handleFingerprint answers the graph's canonical fingerprint from a
+// parse alone: no compile, no cache insertion, no WAL append. It works
+// in every server mode (including pass-through, where uploads refuse),
+// because it holds no state — it is a pure function of the body.
+func (s *Server) handleFingerprint(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	s.queries[epFingerprint].Add(1)
+	text, err := readGraphBody(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	fp, events, arcs, border, err := FingerprintText(text)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.writeJSON(w, FingerprintResponse{Fingerprint: fp, Events: events, Arcs: arcs, Border: border})
 }
 
 func (s *Server) handleAnalyze(ctx context.Context, w http.ResponseWriter, r *http.Request) {
