@@ -57,6 +57,19 @@ type graphState struct {
 	// since; it may have lost anything).
 	marks map[int]syncMark
 
+	// syncGates: node id → the gate serializing journal replays to that
+	// node. Replays run outside mu (they are network calls); the gate
+	// keeps one replayer per (graph, node) so records land in journal
+	// order while the graph's readers — and replays to other nodes —
+	// proceed under mu.
+	syncGates map[int]*sync.Mutex
+
+	// dropped marks an instance evicted from r.graphs (a pristine
+	// fingerprint-only reference the backends rejected). Writers that
+	// held a stale pointer must re-resolve instead of journaling into
+	// an orphan.
+	dropped bool
+
 	requests atomic.Uint64
 }
 
@@ -86,6 +99,63 @@ func (r *Router) graph(fp string) *graphState {
 		r.graphs[fp] = gs
 	}
 	return gs
+}
+
+// lookupGraph returns the state for a fingerprint, or nil. The read
+// path resolves through here: a fingerprint no backend ever confirmed
+// must not allocate router state, or r.graphs grows without bound
+// under bogus (or merely unknown) fingerprint references.
+func (r *Router) lookupGraph(fp string) *graphState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.graphs[fp]
+}
+
+// lockGraph returns the fingerprint's state with gs.mu held,
+// re-resolving when a concurrent dropIfPristine evicted the instance
+// between lookup and lock (journaling into a dropped orphan would
+// silently lose the record for future replication).
+func (r *Router) lockGraph(fp string) *graphState {
+	for {
+		gs := r.graph(fp)
+		gs.mu.Lock()
+		if !gs.dropped {
+			return gs
+		}
+		gs.mu.Unlock()
+	}
+}
+
+// dropIfPristine evicts the graph's state if it never accumulated text
+// or journal — the trail of a fingerprint-only write the backends
+// rejected. Lock order is r.mu then gs.mu (the only place both are
+// held); callers must hold neither.
+func (r *Router) dropIfPristine(fp string, gs *graphState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.graphs[fp] != gs {
+		return
+	}
+	gs.mu.Lock()
+	if gs.text == "" && gs.version == 0 {
+		gs.dropped = true
+		delete(r.graphs, fp)
+	}
+	gs.mu.Unlock()
+}
+
+// gateLocked returns the node's replay gate, creating it on first use.
+// Caller holds gs.mu.
+func (gs *graphState) gateLocked(id int) *sync.Mutex {
+	if gs.syncGates == nil {
+		gs.syncGates = map[int]*sync.Mutex{}
+	}
+	g := gs.syncGates[id]
+	if g == nil {
+		g = &sync.Mutex{}
+		gs.syncGates[id] = g
+	}
+	return g
 }
 
 // journalCompactAt bounds the edit journal: past this many entries it
@@ -142,12 +212,127 @@ func (gs *graphState) compactLocked() {
 	gs.compactions++
 }
 
-// syncLocked brings one node up to the journal's current version:
-// upload the body if the node's mark predates its current epoch (it
-// may have lost everything), then replay the reset record and every
-// edit past its watermark, original stamps intact. On success the mark
-// is current; on failure the mark keeps whatever progress was made, so
-// the next attempt resumes instead of restarting. Caller holds gs.mu.
+// sync brings one node up to the graph's current journal version
+// WITHOUT holding gs.mu across the network: the suffix the node is
+// missing is snapshotted under the lock and replayed outside it, so a
+// slow or dead-but-not-yet-ejected replica stalls neither this graph's
+// readers nor replays to its other replicas. The per-(graph, node)
+// gate keeps replays to one node serial, so records land in journal
+// order; the write path (syncLocked, under gs.mu) may still replay the
+// same records concurrently with a gated replay's network phase — the
+// backends' per-(client, seq) high-water dedupe makes every such
+// duplicate a no-op, because both streams send consecutive journal
+// records from a confirmed watermark, so the lagging stream only ever
+// re-sends records the leading one already applied. Marks only advance
+// (epoch-validated, never regressing), so a late completion cannot
+// certify past a fresher watermark.
+func (r *Router) sync(ctx context.Context, n *node, gs *graphState) error {
+	gs.mu.Lock()
+	if gs.syncedLocked(n) || (gs.text == "" && gs.version == 0) {
+		gs.mu.Unlock()
+		return nil
+	}
+	gate := gs.gateLocked(n.id)
+	gs.mu.Unlock()
+
+	gate.Lock()
+	defer gate.Unlock()
+
+	// Snapshot the suffix this node is missing. The journal entries are
+	// copied out: compaction rewrites gs.edits' backing array in place,
+	// so a borrowed sub-slice could mutate mid-replay.
+	gs.mu.Lock()
+	ep := n.epoch.Load()
+	mark, ok := gs.marks[n.id]
+	fresh := !ok || mark.epoch != ep
+	if fresh {
+		mark = syncMark{epoch: ep}
+	} else if mark.version >= gs.version {
+		gs.mu.Unlock()
+		return nil
+	}
+	text := ""
+	if fresh {
+		text = gs.text
+	}
+	target := gs.version
+	resetAt := gs.resetAt
+	var resetReq *serve.EditRequest
+	if gs.resetReq != nil && mark.version < gs.resetAt {
+		cp := *gs.resetReq
+		resetReq = &cp
+	}
+	var suffix []journalEdit
+	for _, je := range gs.edits {
+		if je.version > mark.version {
+			suffix = append(suffix, je)
+		}
+	}
+	gs.mu.Unlock()
+
+	sp := obs.LeafN(ctx, nameSync)
+	sp.AnnotateN(keyNode, uint64(n.id))
+	defer sp.End()
+	replayed := 0
+	if fresh && text != "" {
+		// Unknown or post-ejection node: start from nothing. The upload
+		// is idempotent by content (a durable node that kept the graph
+		// answers from cache and skips its own WAL append).
+		if _, err := n.cl.UploadText(ctx, text); err != nil {
+			return fmt.Errorf("sync upload to %s: %w", n.url, err)
+		}
+		gs.advanceMark(n, ep, 0)
+	}
+	if resetReq != nil {
+		if _, err := n.cl.EditStamped(ctx, *resetReq); err != nil {
+			r.telSyncReplays(replayed)
+			return fmt.Errorf("sync reset to %s: %w", n.url, err)
+		}
+		gs.advanceMark(n, ep, resetAt)
+		replayed++
+	}
+	for _, je := range suffix {
+		if _, err := n.cl.EditStamped(ctx, je.req); err != nil {
+			r.telSyncReplays(replayed)
+			return fmt.Errorf("sync edit v%d to %s: %w", je.version, n.url, err)
+		}
+		gs.advanceMark(n, ep, je.version)
+		replayed++
+	}
+	// The snapshot is fully applied: the node is current through the
+	// snapshot version even where compaction left gaps. Anything
+	// journaled since is a later replay's (or the write path's) job.
+	gs.advanceMark(n, ep, target)
+	r.telSyncReplays(replayed)
+	return nil
+}
+
+// advanceMark raises the node's watermark to version, taken under
+// epoch ep. It is a no-op if the node was ejected since ep (everything
+// pushed under the old epoch is suspect) or if a concurrent replay
+// already certified a higher version under this epoch.
+func (gs *graphState) advanceMark(n *node, ep, version uint64) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if n.epoch.Load() != ep {
+		return
+	}
+	if m, ok := gs.marks[n.id]; ok && m.epoch == ep && m.version >= version {
+		return
+	}
+	gs.marks[n.id] = syncMark{epoch: ep, version: version}
+}
+
+// syncLocked is the write path's variant of sync: the edit commit
+// holds gs.mu across dedupe, primary sync, commit, and journal append
+// so journal order is commit order, and the primary's pre-commit
+// replay must happen under that same hold. It brings one node up to
+// the journal's current version: upload the body if the node's mark
+// predates its current epoch (it may have lost everything), then
+// replay the reset record and every edit past its watermark, original
+// stamps intact. On success the mark is current; on failure the mark
+// keeps whatever progress was made, so the next attempt resumes
+// instead of restarting. Caller holds gs.mu.
 func (r *Router) syncLocked(ctx context.Context, n *node, gs *graphState) error {
 	mark, ok := gs.marks[n.id]
 	ep := n.epoch.Load()

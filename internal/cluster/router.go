@@ -151,6 +151,10 @@ type Router struct {
 	dedupes     atomic.Uint64
 	warmSyncs   atomic.Uint64
 
+	// lifecycleMu guards probeCancel across Start/Stop (either may be
+	// called from any goroutine; Stop holds it through the drain so a
+	// concurrent Start cannot Add to probeWG mid-Wait).
+	lifecycleMu sync.Mutex
 	probeCancel context.CancelFunc
 	probeWG     sync.WaitGroup
 }
@@ -222,6 +226,8 @@ func New(cfg Config) (*Router, error) {
 
 // Start launches the per-node health probe loops. Stop reverses it.
 func (r *Router) Start() {
+	r.lifecycleMu.Lock()
+	defer r.lifecycleMu.Unlock()
 	if r.probeCancel != nil {
 		return
 	}
@@ -240,6 +246,8 @@ func (r *Router) Start() {
 // Stop halts probing and waits for the loops to exit. In-flight
 // requests are not interrupted.
 func (r *Router) Stop() {
+	r.lifecycleMu.Lock()
+	defer r.lifecycleMu.Unlock()
 	if r.probeCancel == nil {
 		return
 	}
@@ -297,10 +305,7 @@ func (r *Router) warmNode(n *node) {
 			continue
 		}
 		gs := states[i]
-		gs.mu.Lock()
-		err := r.syncLocked(ctx, n, gs)
-		gs.mu.Unlock()
-		if err != nil {
+		if err := r.sync(ctx, n, gs); err != nil {
 			r.logf("cluster: warming %s on node %d: %v", fp[:minInt(12, len(fp))], n.id, err)
 			return // the node is misbehaving again; the prober will notice
 		}
@@ -502,14 +507,7 @@ func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*no
 			r.failovers.Add(1)
 		}
 		if gs != nil {
-			gs.mu.Lock()
-			journaled := gs.text != ""
-			var syncErr error
-			if journaled {
-				syncErr = r.syncLocked(ctx, n, gs)
-			}
-			gs.mu.Unlock()
-			if syncErr != nil {
+			if syncErr := r.sync(ctx, n, gs); syncErr != nil {
 				lastErr = syncErr
 				n.noteFailure(r.cfg.FailThreshold, r.onEject)
 				continue
@@ -528,9 +526,8 @@ func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*no
 				// non-durable). Re-push and retry it once.
 				gs.mu.Lock()
 				gs.invalidateMarkLocked(n)
-				syncErr := r.syncLocked(ctx, n, gs)
 				gs.mu.Unlock()
-				if syncErr == nil {
+				if syncErr := r.sync(ctx, n, gs); syncErr == nil {
 					if res, err := r.hop(ctx, n, true, call); err == nil {
 						return res, nil
 					} else {
@@ -584,15 +581,19 @@ func (gs *graphState) hasText() bool {
 // sight becomes the replication baseline), and rewritten to a
 // by-fingerprint reference so every backend hop is cheap and the
 // replica set is well defined.
-func (r *Router) resolveRef(w http.ResponseWriter, ref serve.GraphRef) (string, serve.GraphRef, *graphState, bool) {
+//
+// Fingerprint-only references allocate state only when create is set
+// (the write path needs the journal lock); the read path passes false
+// and gets nil for a fingerprint the router never journaled, so bogus
+// or unknown fingerprints cannot grow r.graphs.
+func (r *Router) resolveRef(w http.ResponseWriter, ref serve.GraphRef, create bool) (string, serve.GraphRef, *graphState, bool) {
 	if ref.Graph != "" {
 		fp, events, arcs, border, err := serve.FingerprintText(ref.Graph)
 		if err != nil {
 			r.writeErrorStatus(w, http.StatusBadRequest, err.Error())
 			return "", serve.GraphRef{}, nil, false
 		}
-		gs := r.graph(fp)
-		gs.mu.Lock()
+		gs := r.lockGraph(fp)
 		if gs.text == "" {
 			gs.text = ref.Graph
 			gs.events, gs.arcs, gs.border = events, arcs, border
@@ -605,8 +606,15 @@ func (r *Router) resolveRef(w http.ResponseWriter, ref serve.GraphRef) (string, 
 		r.writeErrorStatus(w, http.StatusBadRequest, "request must reference a graph by inline text or fingerprint")
 		return "", serve.GraphRef{}, nil, false
 	}
-	gs := r.graph(ref.Fingerprint)
-	gs.requests.Add(1)
+	var gs *graphState
+	if create {
+		gs = r.graph(ref.Fingerprint)
+	} else {
+		gs = r.lookupGraph(ref.Fingerprint)
+	}
+	if gs != nil {
+		gs.requests.Add(1)
+	}
 	return ref.Fingerprint, ref, gs, true
 }
 
@@ -627,20 +635,22 @@ func (r *Router) handleUpload(ctx context.Context, w http.ResponseWriter, req *h
 		r.writeErrorStatus(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	gs := r.graph(fp)
-	gs.requests.Add(1)
-	gs.mu.Lock()
+	gs := r.lockGraph(fp)
 	if gs.text == "" {
 		gs.text = text
 		gs.events, gs.arcs, gs.border = events, arcs, border
 	}
+	gs.mu.Unlock()
+	gs.requests.Add(1)
+	// Fan the body out to every replica OUTSIDE the journal lock: a
+	// slow compile on one replica must not stall this graph's readers.
 	replicas := r.replicaSet(ctx, fp)
 	sp := obs.LeafN(ctx, nameFanout)
 	sp.AnnotateN(keyReplicas, uint64(len(replicas)))
 	okCount := 0
 	var lastErr error
 	for _, n := range replicas {
-		if err := r.syncLocked(ctx, n, gs); err != nil {
+		if err := r.sync(ctx, n, gs); err != nil {
 			lastErr = err
 			n.noteFailure(r.cfg.FailThreshold, r.onEject)
 			continue
@@ -649,7 +659,6 @@ func (r *Router) handleUpload(ctx context.Context, w http.ResponseWriter, req *h
 		okCount++
 	}
 	sp.End()
-	gs.mu.Unlock()
 	if okCount == 0 {
 		if lastErr == nil {
 			lastErr = errNoReplicas
@@ -741,7 +750,7 @@ func (r *Router) handleRead(ctx context.Context, w http.ResponseWriter, req *htt
 		return
 	}
 
-	fp, fwdRef, gs, ok := r.resolveRef(w, ref)
+	fp, fwdRef, gs, ok := r.resolveRef(w, ref, false)
 	if !ok {
 		return
 	}
@@ -770,17 +779,11 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 	if !r.decodeJSON(w, req, &body) {
 		return
 	}
-	fp, fwdRef, gs, ok := r.resolveRef(w, body.GraphRef)
+	fp, fwdRef, _, ok := r.resolveRef(w, body.GraphRef, true)
 	if !ok {
 		return
 	}
 	body.GraphRef = fwdRef
-	if body.Client == "" {
-		// Unstamped edit: stamp it here so journal replay stays idempotent
-		// on the backends for this write too.
-		body.Client = r.clientID
-		body.Seq = r.seq.Add(1)
-	}
 
 	replicas := r.replicaSet(ctx, fp)
 	if len(replicas) == 0 {
@@ -788,8 +791,20 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 		return
 	}
 
-	gs.mu.Lock()
-	if body.Seq <= gs.maxSeq[body.Client] {
+	// The journal lock serializes this graph's writes end to end:
+	// stamp, dedupe, primary commit, and journal append all happen
+	// under one hold, so journal order IS primary commit order.
+	gs := r.lockGraph(fp)
+	if body.Client == "" {
+		// Unstamped edit: stamp it so journal replay stays idempotent on
+		// the backends for this write too. The stamp MUST be taken under
+		// the journal lock — two concurrent unstamped edits otherwise
+		// race their seq assignment against commit order, and the
+		// lower-seq edit committing second would be falsely deduped by
+		// the high-water check below (silently never applied).
+		body.Client = r.clientID
+		body.Seq = r.seq.Add(1)
+	} else if body.Seq <= gs.maxSeq[body.Client] {
 		gs.mu.Unlock()
 		r.dedupeAnswer(ctx, w, gs, replicas, fp)
 		return
@@ -799,14 +814,20 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 	// set. syncLocked first, so the node the edit lands on holds the
 	// full session state the edit composes with (WAL-backed replay).
 	var (
-		resp      *client.EditResponse
-		commitErr error
-		committed *node
+		resp           *client.EditResponse
+		commitErr      error
+		committed      *node
+		committedEpoch uint64
 	)
 	for attempt, n := range replicas {
 		if attempt > 0 {
 			r.failovers.Add(1)
 		}
+		// Capture the epoch before the hop: if the node is ejected while
+		// the edit is in flight, a mark recorded under the pre-hop epoch
+		// is void by construction, rather than wrongly certifying a
+		// possibly state-lost node under its post-ejection epoch.
+		ep := n.epoch.Load()
 		if gs.text != "" {
 			if err := r.syncLocked(ctx, n, gs); err != nil {
 				commitErr = err
@@ -820,12 +841,14 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 		if err == nil {
 			resp = res.(*client.EditResponse)
 			committed = n
+			committedEpoch = ep
 			break
 		}
 		commitErr = err
 		var api *client.APIError
 		if errors.As(err, &api) && api.Status/100 == 4 {
 			gs.mu.Unlock()
+			r.dropIfPristine(fp, gs)
 			r.writeBackendError(w, err) // genuine answer: the edit is invalid
 			return
 		}
@@ -833,22 +856,28 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 	}
 	if resp == nil {
 		gs.mu.Unlock()
+		r.dropIfPristine(fp, gs)
 		r.writeBackendErrorUnavailable(w, commitErr)
 		return
 	}
 
-	// The write is committed: journal it, advance the committing node's
-	// mark, and push it to the remaining replicas while the lock still
-	// serializes this graph's write order.
+	// The write is committed: journal it and advance the committing
+	// node's mark under the same hold that ordered the commit.
 	version := gs.appendWriteLocked(&body, r.cfg.JournalCompactAt)
-	gs.marks[committed.id] = syncMark{epoch: committed.epoch.Load(), version: version}
+	gs.marks[committed.id] = syncMark{epoch: committedEpoch, version: version}
+	gs.mu.Unlock()
+
+	// Push it to the remaining replicas OUTSIDE the lock: sync replays
+	// the journal from each node's watermark in journal order, so a
+	// slow replica stalls neither this graph's readers nor its next
+	// writer.
 	sp := obs.LeafN(ctx, nameFanout)
 	sp.AnnotateN(keyReplicas, uint64(len(replicas)))
 	for _, n := range replicas {
 		if n == committed {
 			continue
 		}
-		if err := r.syncLocked(ctx, n, gs); err != nil {
+		if err := r.sync(ctx, n, gs); err != nil {
 			r.replFail.Add(1)
 			n.noteFailure(r.cfg.FailThreshold, r.onEject)
 			continue
@@ -856,7 +885,6 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 		r.replOK.Add(1)
 	}
 	sp.End()
-	gs.mu.Unlock()
 	r.writeJSON(w, resp)
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -252,6 +253,145 @@ func TestRouterWriteReplicationAndDedupe(t *testing.T) {
 	if dup.Lambda.Text != last.Lambda.Text {
 		t.Fatalf("deduped answer λ %s, want current baseline %s", dup.Lambda.Text, last.Lambda.Text)
 	}
+}
+
+// TestRouterConcurrentUnstampedEdits pins the router-stamp commit
+// order: unstamped edits get their (client, seq) stamp from the
+// router, and the stamp must be taken under the journal lock — stamped
+// outside it, two concurrent edits can commit in the opposite order of
+// their seq assignment, and the lower-seq edit is falsely answered
+// Deduped without ever being applied.
+func TestRouterConcurrentUnstampedEdits(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+
+	// Many rounds of barrier-released writers: the original defect
+	// needed two goroutines to interleave between seq assignment and
+	// journal-lock acquisition, which one round rarely provokes.
+	const rounds, writers = 25, 8
+	for round := 0; round < rounds; round++ {
+		var wg, start sync.WaitGroup
+		start.Add(1)
+		errs := make([]string, writers)
+		for i := 0; i < writers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start.Wait()
+				body, _ := json.Marshal(serve.EditRequest{
+					GraphRef: serve.GraphRef{Fingerprint: up.Fingerprint},
+					Edits:    []serve.DelayEdit{{Arc: i % 4, Delay: 1.0 + float64(round*writers+i)/8}},
+				})
+				resp, err := http.Post(tc.front.URL+"/v1/edit", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[i] = err.Error()
+					return
+				}
+				defer resp.Body.Close()
+				var er serve.EditResponse
+				if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+					errs[i] = "decode: " + err.Error()
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = resp.Status
+					return
+				}
+				if er.Deduped || er.Applied != 1 {
+					errs[i] = "falsely deduped: applied=0"
+				}
+			}()
+		}
+		start.Done()
+		wg.Wait()
+		for i, e := range errs {
+			if e != "" {
+				t.Fatalf("round %d, unstamped edit %d: %s", round, i, e)
+			}
+		}
+	}
+
+	// And the replicas converged on one baseline despite the contention.
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	var want string
+	for _, url := range placed {
+		ncl := client.New(url, client.WithRetryPolicy(client.RetryPolicy{}))
+		nres, err := ncl.Analyze(ctx, client.ByFingerprint(up.Fingerprint))
+		if err != nil {
+			t.Fatalf("replica %s: %v", url, err)
+		}
+		if want == "" {
+			want = nres.Lambda.Text
+		} else if nres.Lambda.Text != want {
+			t.Fatalf("replicas diverged after concurrent edits: λ %s vs %s", nres.Lambda.Text, want)
+		}
+	}
+}
+
+// TestRouterUnknownFingerprintsDontGrowState pins the memory bound on
+// r.graphs: reads referencing fingerprints the router never journaled
+// must not allocate state, and a write to a bogus fingerprint must not
+// leave a pristine record behind after the backends reject it.
+func TestRouterUnknownFingerprintsDontGrowState(t *testing.T) {
+	tc := newTestCluster(t)
+	for i := 0; i < 8; i++ {
+		body, _ := json.Marshal(serve.AnalyzeRequest{
+			GraphRef: serve.GraphRef{Fingerprint: strings.Repeat("ab", 20) + string(rune('a'+i))},
+		})
+		resp, err := http.Post(tc.front.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST analyze: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("bogus-fingerprint analyze: status %d, want 404", resp.StatusCode)
+		}
+	}
+	body, _ := json.Marshal(serve.EditRequest{
+		GraphRef: serve.GraphRef{Fingerprint: strings.Repeat("cd", 20)},
+		Edits:    []serve.DelayEdit{{Arc: 0, Delay: 1}},
+	})
+	resp, err := http.Post(tc.front.URL+"/v1/edit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST edit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus-fingerprint edit: status %d, want 404", resp.StatusCode)
+	}
+	tc.router.mu.Lock()
+	n := len(tc.router.graphs)
+	tc.router.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("router retains %d graph states after bogus-fingerprint traffic, want 0", n)
+	}
+}
+
+// TestRouterStartStopConcurrent pins the lifecycle against races:
+// Start/Stop from many goroutines must neither tear the probeCancel
+// field nor leak probe loops (the race detector is the assertion).
+func TestRouterStartStopConcurrent(t *testing.T) {
+	r, err := New(Config{Nodes: []string{"http://127.0.0.1:1"}, ProbeInterval: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Start()
+			r.Stop()
+		}()
+	}
+	wg.Wait()
+	r.Stop()
 }
 
 // TestRouterEjectionFailoverReadmission is the full lifecycle: kill a
