@@ -400,9 +400,17 @@ func (c *Client) backoffDelay(attempt int, hint time.Duration) time.Duration {
 }
 
 // sleepBackoff waits out backoffDelay, or returns early with the
-// context's error if it expires first.
+// context's error if it expires first. A wait the context's deadline
+// cannot outlive is refused up front: sleeping into a deadline burns
+// the caller's remaining budget to produce a DeadlineExceeded that
+// masks the real failure, when returning the last attempt's error
+// immediately costs nothing.
 func (c *Client) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
-	t := time.NewTimer(c.backoffDelay(attempt, hint))
+	d := c.backoffDelay(attempt, hint)
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -1,0 +1,65 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/serve"
+)
+
+// TestBackoffNeverSleepsPastDeadline pins the deadline-aware backoff
+// rule: when the next computed wait (here a 5s Retry-After hint)
+// cannot fit inside the request context's remaining deadline, the
+// retry loop must return the last real failure immediately instead of
+// sleeping into the deadline — burning the caller's budget to
+// manufacture a DeadlineExceeded that hides the actual 503.
+func TestBackoffNeverSleepsPastDeadline(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "overloaded: retry"})
+	}))
+	t.Cleanup(srv.Close)
+
+	cl := client.New(srv.URL,
+		client.WithHTTPClient(srv.Client()),
+		client.WithRetries(3))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Analyze(ctx, client.ByFingerprint("deadbeef"))
+	elapsed := time.Since(start)
+
+	// The 5s hint can never fit in the 200ms deadline: exactly one
+	// attempt, no sleep, immediate return.
+	if elapsed >= 200*time.Millisecond {
+		t.Fatalf("call took %v: backoff slept into the context deadline", elapsed)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server hit %d times, want 1 (no retry fits the deadline)", n)
+	}
+	// The surfaced error is the real failure (503 → OverloadError), not
+	// a context error minted while waiting.
+	var ov *client.OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("want *OverloadError, got %T: %v", err, err)
+	}
+	var api *client.APIError
+	if !errors.As(err, &api) || api.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want wrapped APIError 503, got %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("real failure masked by DeadlineExceeded: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import "sync/atomic"
+
+// tokenBucket is the router's spend-control primitive for retries and
+// hedges, in the Finagle retry-budget style: every incoming request
+// credits a small fraction of a token, every extra attempt (failover
+// retry, hedge launch) spends a whole one. In steady state that caps
+// extra attempts at the credit fraction of traffic; the burst capacity
+// absorbs a short incident without letting a sustained partial outage
+// turn every request into N requests (a retry storm is the one failure
+// mode that makes an overloaded cluster worse).
+//
+// Tokens are stored in milli-token units in a single atomic, so the hot
+// path is one CAS and the fractional per-request credit needs no float
+// math or locks.
+type tokenBucket struct {
+	milli atomic.Int64
+	cap   int64 // burst capacity, milli-tokens
+	rate  int64 // credit per request, milli-tokens
+}
+
+// newTokenBucket builds a bucket holding at most burst tokens, credited
+// perRequest tokens (typically fractional) per incoming request. It
+// starts full: a fresh router must be able to absorb an incident
+// immediately.
+func newTokenBucket(burst, perRequest float64) *tokenBucket {
+	b := &tokenBucket{cap: int64(burst * 1000), rate: int64(perRequest * 1000)}
+	b.milli.Store(b.cap)
+	return b
+}
+
+// credit adds one request's worth of budget, saturating at the cap.
+func (b *tokenBucket) credit() {
+	for {
+		cur := b.milli.Load()
+		if cur >= b.cap {
+			return
+		}
+		next := cur + b.rate
+		if next > b.cap {
+			next = b.cap
+		}
+		if b.milli.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// take spends one whole token; false means the budget is exhausted and
+// the caller must not launch the extra attempt.
+func (b *tokenBucket) take() bool {
+	for {
+		cur := b.milli.Load()
+		if cur < 1000 {
+			return false
+		}
+		if b.milli.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// tokens reports the current balance (for /metrics).
+func (b *tokenBucket) tokens() float64 { return float64(b.milli.Load()) / 1000 }

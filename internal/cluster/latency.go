@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyDigest tracks recent successful hop latencies in a small ring
+// and keeps a cached p95 — the adaptive hedge delay ("The Tail at
+// Scale": a backup request fired after the 95th percentile hedges ~5%
+// of traffic by construction). Two properties matter:
+//
+//   - Only SUCCESSFUL hops feed it. Cancelled hedge losers and failed
+//     attempts would otherwise pollute the quantile the hedge delay
+//     derives from, and in the hedged steady state winners are fast, so
+//     the digest self-stabilizes instead of chasing a slow node's tail.
+//   - The ring overwrites oldest-first, so a slow spell decays out
+//     after ~latWindow observations rather than anchoring the delay
+//     forever.
+const (
+	latWindow      = 256
+	latRecalcEvery = 32 // re-sort cadence: amortizes the O(n log n) cost
+	latMinSamples  = 32 // below this the caller uses its static default
+)
+
+type latencyDigest struct {
+	mu  sync.Mutex
+	buf [latWindow]float64
+	n   int           // filled entries
+	i   int           // next write slot
+	q95 atomic.Uint64 // Float64bits of the cached p95 seconds; 0 = under-sampled
+}
+
+func (d *latencyDigest) observe(dt time.Duration) {
+	d.mu.Lock()
+	d.buf[d.i] = dt.Seconds()
+	d.i = (d.i + 1) % latWindow
+	if d.n < latWindow {
+		d.n++
+	}
+	if d.n >= latMinSamples && d.i%latRecalcEvery == 0 {
+		tmp := make([]float64, d.n)
+		copy(tmp, d.buf[:d.n])
+		sort.Float64s(tmp)
+		d.q95.Store(math.Float64bits(tmp[(len(tmp)*95)/100]))
+	}
+	d.mu.Unlock()
+}
+
+// p95 returns the cached quantile, or 0 while under-sampled.
+func (d *latencyDigest) p95() time.Duration {
+	return time.Duration(math.Float64frombits(d.q95.Load()) * float64(time.Second))
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// nodePool is the router's copy-on-write membership snapshot. Every
+// reader (placement, balancing, telemetry, debug) loads it once and
+// works on an immutable view; ReloadNodes builds a fresh pool and swaps
+// the pointer, so membership changes never race the request path and
+// need no lock on it.
+type nodePool struct {
+	nodes []*node
+	byURL map[string]*node
+}
+
+// poolNodes is the nil-safe pool accessor for telemetry closures, which
+// are registered before New stores the first snapshot.
+func (r *Router) poolNodes() []*node {
+	if p := r.pool.Load(); p != nil {
+		return p.nodes
+	}
+	return nil
+}
+
+// Nodes returns the current pool's base URLs in pool order.
+func (r *Router) Nodes() []string {
+	p := r.pool.Load()
+	out := make([]string, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		out = append(out, n.url)
+	}
+	return out
+}
+
+// ReloadNodes swaps the backend pool to exactly urls (same validation
+// as Config.Nodes). Surviving nodes keep their identity — breaker
+// state, epoch, sync marks, counters all carry over. Added nodes join
+// OPEN when probing is live: they earn admission through the normal
+// probe → half-open path, which warm-syncs them before they take reads
+// (a cold joiner must not serve stale answers). Removed nodes drain
+// gracefully: they leave the pool snapshot immediately — the next
+// placement re-hashes their shard to survivors via rendezvous hashing —
+// while requests already in flight to them complete.
+//
+// cmd/tsgrouter calls this from its -nodes-file watcher and on SIGHUP.
+func (r *Router) ReloadNodes(urls []string) error {
+	norm := make([]string, 0, len(urls))
+	seen := make(map[string]bool, len(urls))
+	for i, raw := range urls {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return fmt.Errorf("cluster: reload node %d: empty URL", i)
+		}
+		if seen[u] {
+			return fmt.Errorf("cluster: reload lists node %q twice", u)
+		}
+		seen[u] = true
+		norm = append(norm, u)
+	}
+	if len(norm) == 0 {
+		return errors.New("cluster: reload would empty the node pool")
+	}
+
+	r.lifecycleMu.Lock()
+	defer r.lifecycleMu.Unlock()
+	old := r.pool.Load()
+	next := &nodePool{byURL: make(map[string]*node, len(norm))}
+	var added, removed []*node
+	for _, u := range norm {
+		if n := old.byURL[u]; n != nil {
+			next.nodes = append(next.nodes, n)
+			next.byURL[u] = n
+			continue
+		}
+		n := r.newNode(r.nextNodeID, u)
+		r.nextNodeID++
+		if r.probeCancel != nil {
+			// Probing is live: the joiner starts open and is admitted by
+			// the prober like a recovered node — readmitThreshold clean
+			// probes, then half-open with a background warm-sync. Backdate
+			// openedAt so the cooldown dwell doesn't delay a healthy joiner.
+			n.healthy.Store(false)
+			n.state.Store(breakerOpen)
+			n.mu.Lock()
+			n.openedAt = time.Now().Add(-r.cfg.BreakerCooldown)
+			n.mu.Unlock()
+		}
+		next.nodes = append(next.nodes, n)
+		next.byURL[u] = n
+		added = append(added, n)
+	}
+	for _, n := range old.nodes {
+		if next.byURL[n.url] == nil {
+			removed = append(removed, n)
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil // same membership (e.g. the nodes file was rewritten unchanged)
+	}
+	for _, n := range removed {
+		n.removed.Store(true)
+		n.healthy.Store(false)
+		r.logf("cluster: node %d (%s) removed from pool — draining, shard re-hashes to survivors", n.id, n.url)
+	}
+	r.pool.Store(next)
+	r.membershipReloads.Add(1)
+	for _, n := range added {
+		r.logf("cluster: node %d (%s) joined the pool", n.id, n.url)
+		if r.probeCancel != nil {
+			n := n
+			r.probeWG.Add(1)
+			go func() {
+				defer r.probeWG.Done()
+				r.probeLoop(r.probeCtx, n)
+			}()
+		}
+	}
+	return nil
+}

@@ -7,117 +7,291 @@ import (
 	"time"
 
 	"tsg/client"
+	"tsg/internal/obs"
 )
 
-// node is one backend in the pool: its transport client, its health
+// Breaker states. Closed is normal service; Open means the node takes
+// no traffic (it left every placement and its epoch bumped, voiding
+// sync marks); HalfOpen means the probes look good again and the node
+// is routable on trial — it re-entered placement, its first reads are
+// preceded by a journal sync, and one more failure re-opens it while a
+// few successes close it.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerTuning bundles the thresholds the state machine runs under
+// (resolved from Config once per call, so tests can tweak cfg live).
+type breakerTuning struct {
+	failThreshold    int           // mixed probe+request streak that trips
+	reqThreshold     int           // request-only streak that trips (faster)
+	readmitThreshold int           // consecutive probe OKs to go half-open
+	cooldown         time.Duration // minimum open dwell before half-open
+	closeAfter       int           // successes in half-open to close
+}
+
+func (r *Router) tuning() breakerTuning {
+	return breakerTuning{
+		failThreshold:    r.cfg.FailThreshold,
+		reqThreshold:     r.cfg.BreakerThreshold,
+		readmitThreshold: r.cfg.ReadmitThreshold,
+		cooldown:         r.cfg.BreakerCooldown,
+		closeAfter:       r.cfg.BreakerCloseAfter,
+	}
+}
+
+// node is one backend in the pool: its transport client, its breaker
 // state machine, and the counters the router's balancing and telemetry
 // read.
 type node struct {
-	id  int    // index in Config.Nodes — the stable identity
+	id  int    // monotonic pool identity (survives across membership reloads)
 	url string // the configured base URL, also the rendezvous hash key
 	cl  *client.Client
 	// probeClient is a separate tight-budget client for health probes:
-	// no retries (the health state machine IS the retry policy) and a
-	// short timeout, so a hung node is detected within a few probe
-	// periods instead of a request timeout.
+	// no retries (the breaker IS the retry policy) and a short timeout,
+	// so a hung node is detected within a few probe periods instead of a
+	// request timeout.
 	probeClient *client.Client
 
 	// healthy is the routing eligibility flag: placement only considers
-	// nodes that are healthy right now. Nodes boot healthy (optimistic:
-	// a router must be routable before its first probe round completes);
-	// the prober and the request path demote them on consecutive
-	// failures, only probes promote them back.
+	// nodes that are healthy right now. It tracks the breaker — true in
+	// Closed and HalfOpen, false in Open. Nodes boot healthy (optimistic:
+	// a router must be routable before its first probe round completes).
 	healthy atomic.Bool
 
-	// epoch counts ejections. Every per-graph sync mark records the
-	// epoch it was taken under; an ejection bumps the epoch, which
-	// atomically invalidates every mark on this node — the router
-	// assumes an ejected node may have lost or missed anything, and
-	// re-syncs from the journal before trusting it again.
+	// state is the breaker state, readable lock-free on the hot path;
+	// transitions happen under mu.
+	state atomic.Int32
+
+	// epoch counts breaker trips. Every per-graph sync mark records the
+	// epoch it was taken under; a trip bumps the epoch, which atomically
+	// invalidates every mark on this node — the router assumes a tripped
+	// node may have lost or missed anything, and re-syncs from the
+	// journal before trusting it again.
 	epoch atomic.Uint64
+
+	// removed marks a node dropped by a membership reload: it is out of
+	// the pool snapshot (so placement already re-hashed its shard), its
+	// probe loop exits at the next tick, and in-flight requests drain
+	// naturally.
+	removed atomic.Bool
 
 	// inflight is the power-of-two-choices signal: requests currently
 	// forwarded to this node.
 	inflight atomic.Int64
 
-	// Telemetry counters.
-	requests  atomic.Uint64
-	failures  atomic.Uint64
-	ejections atomic.Uint64
+	// hopDur is this node's forwarded-request latency histogram,
+	// attached when the node joins the pool (nil with obs disabled).
+	hopDur *obs.Histogram
 
-	// Health state machine, guarded by mu (probe goroutine and request
-	// path both report outcomes).
-	mu          sync.Mutex
-	consecFails int
-	consecOKs   int
+	// Telemetry counters.
+	requests       atomic.Uint64
+	failures       atomic.Uint64
+	ejections      atomic.Uint64
+	trips          atomic.Uint64
+	lastTransition atomic.Int64 // unix nanos of the last breaker transition
+
+	// Breaker internals, guarded by mu (probe goroutine and request path
+	// both report outcomes).
+	mu             sync.Mutex
+	consecFails    int // mixed probe+request failure streak
+	consecReqFails int // request-path-only streak — probe OKs cannot clear it
+	consecOKs      int // consecutive probe OKs while open
+	closeProgress  int // successes accumulated while half-open
+	trialBusy      bool
+	openedAt       time.Time
 }
 
-// noteFailure records a failed interaction (probe or forwarded
-// request). FailThreshold consecutive failures eject the node: it
-// leaves every placement, its epoch bumps (invalidating sync marks),
-// and only the prober can bring it back.
-func (n *node) noteFailure(failThreshold int, onEject func(*node)) {
+// tripLocked opens the breaker: the node leaves every placement, its
+// epoch bumps (invalidating sync marks), and only the prober can bring
+// it back. Caller holds mu.
+func (n *node) tripLocked() {
+	n.state.Store(breakerOpen)
+	n.healthy.Store(false)
+	n.epoch.Add(1)
+	n.ejections.Add(1)
+	n.trips.Add(1)
+	n.consecFails, n.consecReqFails, n.consecOKs, n.closeProgress = 0, 0, 0, 0
+	n.openedAt = time.Now()
+	n.lastTransition.Store(n.openedAt.UnixNano())
+}
+
+// closeLocked completes recovery: HalfOpen → Closed. Caller holds mu.
+func (n *node) closeLocked() {
+	n.state.Store(breakerClosed)
+	n.healthy.Store(true)
+	n.consecFails, n.consecReqFails, n.consecOKs, n.closeProgress = 0, 0, 0, 0
+	n.lastTransition.Store(time.Now().UnixNano())
+}
+
+// noteFailure records a failed forwarded request. The breaker trips on
+// reqThreshold consecutive request failures — deliberately tighter than
+// failThreshold, and tracked in a streak probe successes CANNOT clear:
+// under an asymmetric partition the probe path may stay perfect while
+// every real request dies, and a health model that lets probes absolve
+// request failures never ejects such a node. Any failure while
+// half-open re-opens immediately (the trial failed).
+func (n *node) noteFailure(t breakerTuning, onTrip func(*node)) {
+	n.failures.Add(1)
+	n.mu.Lock()
+	n.consecFails++
+	n.consecReqFails++
+	n.consecOKs = 0
+	n.closeProgress = 0
+	trip := false
+	switch n.state.Load() {
+	case breakerHalfOpen:
+		trip = true
+	case breakerClosed:
+		trip = n.consecReqFails >= t.reqThreshold || n.consecFails >= t.failThreshold
+	}
+	if trip {
+		n.tripLocked()
+	}
+	n.mu.Unlock()
+	if trip && onTrip != nil {
+		onTrip(n)
+	}
+}
+
+// probeFailed records a failed health probe: it feeds the mixed streak
+// only (a probe failure is not a request failure), trips a closed
+// breaker at failThreshold, and re-opens a half-open one.
+func (n *node) probeFailed(t breakerTuning, onTrip func(*node)) {
 	n.failures.Add(1)
 	n.mu.Lock()
 	n.consecFails++
 	n.consecOKs = 0
-	eject := n.healthy.Load() && n.consecFails >= failThreshold
-	if eject {
-		n.healthy.Store(false)
-		n.epoch.Add(1)
-		n.ejections.Add(1)
-		n.consecFails = 0
+	n.closeProgress = 0
+	trip := false
+	switch n.state.Load() {
+	case breakerHalfOpen:
+		trip = true
+	case breakerClosed:
+		trip = n.consecFails >= t.failThreshold
+	}
+	if trip {
+		n.tripLocked()
 	}
 	n.mu.Unlock()
-	if eject && onEject != nil {
-		onEject(n)
+	if trip && onTrip != nil {
+		onTrip(n)
 	}
 }
 
 // noteSuccess records a successful forwarded request: it clears the
-// failure streak on a healthy node but never re-admits an ejected one
-// (requests are not routed to ejected nodes, so a success here cannot
-// certify recovery — that is the prober's job).
-func (n *node) noteSuccess() {
+// request streak, and while half-open it counts toward closing (trial
+// traffic is the recovery evidence). It never re-admits an open node —
+// requests are not routed there, so a success cannot certify recovery.
+func (n *node) noteSuccess(t breakerTuning, onClose func(*node)) {
 	n.requests.Add(1)
 	n.mu.Lock()
-	if n.healthy.Load() {
+	n.consecReqFails = 0
+	closed := false
+	switch n.state.Load() {
+	case breakerClosed:
 		n.consecFails = 0
+	case breakerHalfOpen:
+		n.closeProgress++
+		if n.closeProgress >= t.closeAfter {
+			n.closeLocked()
+			closed = true
+		}
 	}
 	n.mu.Unlock()
+	if closed && onClose != nil {
+		onClose(n)
+	}
 }
 
-// noteProbe feeds one health-probe outcome into the state machine.
-// ReadmitThreshold consecutive probe successes re-admit an ejected
-// node; the sync marks it lost at ejection stay lost, so the first
-// traffic it sees is preceded by a journal replay.
-func (n *node) noteProbe(ok bool, failThreshold, readmitThreshold int, onEject, onReadmit func(*node)) {
+// noteProbe feeds one health-probe outcome into the breaker.
+// readmitThreshold consecutive OKs — after the cooldown dwell — move an
+// open breaker to half-open: the node is routable again, the sync marks
+// it lost at the trip stay lost (first traffic replays the journal),
+// and onReadmit warm-syncs it in the background. A probe OK on a closed
+// breaker clears only the mixed streak, never the request streak.
+func (n *node) noteProbe(ok bool, t breakerTuning, onTrip, onReadmit, onClose func(*node)) {
 	if !ok {
-		n.noteFailure(failThreshold, onEject)
+		n.probeFailed(t, onTrip)
 		return
 	}
 	n.mu.Lock()
-	readmit := false
-	if n.healthy.Load() {
+	readmit, closed := false, false
+	switch n.state.Load() {
+	case breakerClosed:
 		n.consecFails = 0
-	} else {
+	case breakerOpen:
 		n.consecOKs++
-		if n.consecOKs >= readmitThreshold {
+		if n.consecOKs >= t.readmitThreshold && time.Since(n.openedAt) >= t.cooldown {
+			n.state.Store(breakerHalfOpen)
 			n.healthy.Store(true)
-			n.consecOKs = 0
-			n.consecFails = 0
+			n.consecFails, n.consecReqFails, n.consecOKs, n.closeProgress = 0, 0, 0, 0
+			n.lastTransition.Store(time.Now().UnixNano())
 			readmit = true
+		}
+	case breakerHalfOpen:
+		n.closeProgress++
+		if n.closeProgress >= t.closeAfter {
+			n.closeLocked()
+			closed = true
 		}
 	}
 	n.mu.Unlock()
 	if readmit && onReadmit != nil {
 		onReadmit(n)
 	}
+	if closed && onClose != nil {
+		onClose(n)
+	}
 }
 
-// probeLoop drives the node's health probe until ctx ends: GET
-// /healthz through a tight-budget client (no retries — the state
-// machine is the retry policy), outcomes fed to noteProbe.
+// admitTrial gates half-open traffic to one request at a time: the
+// point of half-open is to learn from a single trial, not to dogpile a
+// barely-recovered node. Closed (and open — the caller routed there
+// deliberately as a last resort) nodes admit freely. The returned
+// release must be called when the attempt finishes.
+func (n *node) admitTrial() (release func(), ok bool) {
+	if n.state.Load() != breakerHalfOpen {
+		return func() {}, true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state.Load() != breakerHalfOpen {
+		return func() {}, true
+	}
+	if n.trialBusy {
+		return nil, false
+	}
+	n.trialBusy = true
+	return func() {
+		n.mu.Lock()
+		n.trialBusy = false
+		n.mu.Unlock()
+	}, true
+}
+
+// Router-side wrappers: the request path reports through these so the
+// tuning and transition callbacks stay in one place.
+func (r *Router) noteFailure(n *node) { n.noteFailure(r.tuning(), r.onEject) }
+func (r *Router) noteSuccess(n *node) { n.noteSuccess(r.tuning(), r.onClose) }
+
+// probeLoop drives the node's health probe until ctx ends or the node
+// is removed from the pool: GET /healthz through a tight-budget client
+// (no retries — the breaker is the retry policy), outcomes fed to
+// noteProbe.
 func (r *Router) probeLoop(ctx context.Context, n *node) {
 	t := time.NewTicker(r.cfg.ProbeInterval)
 	defer t.Stop()
@@ -127,21 +301,25 @@ func (r *Router) probeLoop(ctx context.Context, n *node) {
 			return
 		case <-t.C:
 		}
+		if n.removed.Load() {
+			return
+		}
 		probeCtx, cancel := context.WithTimeout(ctx, r.cfg.ProbeInterval*4)
 		_, err := n.probeClient.Health(probeCtx)
 		cancel()
 		if ctx.Err() != nil {
 			return // shutdown, not a node failure
 		}
-		n.noteProbe(err == nil, r.cfg.FailThreshold, r.cfg.ReadmitThreshold, r.onEject, r.onReadmit)
+		n.noteProbe(err == nil, r.tuning(), r.onEject, r.onReadmit, r.onClose)
 	}
 }
 
-// liveNodes returns the URLs of currently healthy nodes, in the stable
-// configured order (the placement input).
+// liveNodes returns the URLs of currently routable nodes, in the stable
+// pool order (the placement input).
 func (r *Router) liveNodes() []string {
-	out := make([]string, 0, len(r.nodes))
-	for _, n := range r.nodes {
+	p := r.pool.Load()
+	out := make([]string, 0, len(p.nodes))
+	for _, n := range p.nodes {
 		if n.healthy.Load() {
 			out = append(out, n.url)
 		}
@@ -150,4 +328,4 @@ func (r *Router) liveNodes() []string {
 }
 
 // nodeByURL resolves a placement entry back to its node.
-func (r *Router) nodeByURL(url string) *node { return r.byURL[url] }
+func (r *Router) nodeByURL(url string) *node { return r.pool.Load().byURL[url] }

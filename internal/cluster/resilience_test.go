@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tsg/client"
+	"tsg/internal/serve"
+)
+
+// slowV1 delays every /v1 request by pause, leaving /healthz untouched
+// — it stretches a journal replay out so a test can flap the breaker
+// while the replay is demonstrably in flight.
+type slowV1 struct {
+	pause time.Duration
+	h     http.Handler
+}
+
+func (s *slowV1) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		time.Sleep(s.pause)
+	}
+	s.h.ServeHTTP(w, r)
+}
+
+// TestWarmSyncRacesProbeFlap pins the epoch discipline under the
+// nastiest interleaving the prober can produce: a journal replay is in
+// flight to a state-lost node while the node is ejected, re-admitted,
+// and ejected AGAIN. Every mark the stale replay certifies was taken
+// under a dead epoch and must be void — if the router nonetheless
+// believes the node is synced, the node must actually hold the current
+// baseline; and once the flapping stops, the replica must converge
+// bit-identically through the normal re-sync machinery.
+func TestWarmSyncRacesProbeFlap(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	text := pipelineText(t, 4)
+	up, err := tc.cl.UploadText(ctx, text)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+	var last *client.EditResponse
+	for i := 0; i < 12; i++ {
+		last, err = tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: i % 3, Delay: 1.0 + float64(i)/3}})
+		if err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+
+	// The victim loses its state (fresh backend) and every /v1 call to
+	// it now takes 25ms, so the 13-record replay stays in flight for
+	// hundreds of milliseconds — a wide-open window to flap in.
+	placed := Placement(up.Fingerprint, tc.urls, 2)
+	victim := placed[len(placed)-1]
+	n := tc.router.nodeByURL(victim)
+	var fresh http.Handler = &slowV1{pause: 25 * time.Millisecond, h: serve.New(serve.Config{})}
+	tc.gateOf(victim).h.Store(&fresh)
+	gs := tc.router.graph(up.Fingerprint)
+	gs.mu.Lock()
+	gs.invalidateMarkLocked(n)
+	gs.mu.Unlock()
+
+	syncDone := make(chan error, 1)
+	go func() { syncDone <- tc.router.sync(ctx, n, gs) }()
+
+	// Flap while the replay runs: eject (trip #1), wait for the prober
+	// to re-admit, eject again (trip #2). Each trip bumps the epoch.
+	time.Sleep(40 * time.Millisecond)
+	ep0 := n.epoch.Load()
+	tc.router.noteFailure(n) // BreakerThreshold defaults to 1 here: trips
+	tc.waitHealthy(t, victim, false)
+	tc.waitHealthy(t, victim, true) // prober re-admits (half-open)
+	tc.router.noteFailure(n)        // half-open: one failure re-trips
+	tc.waitHealthy(t, victim, false)
+	if got := n.epoch.Load(); got < ep0+2 {
+		t.Fatalf("epoch advanced %d -> %d across two trips, want +2", ep0, got)
+	}
+	if err := <-syncDone; err != nil {
+		t.Logf("in-flight sync ended: %v (acceptable — its epoch died under it)", err)
+	}
+
+	// The certification invariant: IF the router believes the victim is
+	// synced right now, the victim must actually answer the current
+	// baseline. A stale-epoch replay that certified a fresh-epoch mark
+	// would break exactly this.
+	gs.mu.Lock()
+	certified := gs.syncedLocked(n)
+	mark, hasMark := gs.marks[n.id]
+	gs.mu.Unlock()
+	if hasMark && mark.epoch > n.epoch.Load() {
+		t.Fatalf("mark epoch %d is ahead of the node epoch %d", mark.epoch, n.epoch.Load())
+	}
+	vcl := client.New(victim, client.WithRetryPolicy(client.RetryPolicy{}))
+	if certified {
+		got, err := vcl.Analyze(ctx, ref)
+		if err != nil || got.Lambda.Text != last.Lambda.Text {
+			t.Fatalf("router certified the flapped node as synced, but it answers err=%v λ=%v (want %s) — a stale-epoch mark was trusted",
+				err, got, last.Lambda.Text)
+		}
+	}
+
+	// Flapping over: the normal machinery (probe re-admission, warm
+	// sync, read-path re-sync) must converge the replica bit-identically.
+	tc.waitHealthy(t, victim, true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := tc.cl.Analyze(ctx, ref); err != nil {
+			t.Fatalf("routed analyze during recovery: %v", err)
+		}
+		got, err := vcl.Analyze(ctx, ref)
+		if err == nil && got.Lambda.Text == last.Lambda.Text {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flapped replica never converged (err=%v)", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// failV1 wraps a backend so every /v1 request answers 500 while
+// /healthz stays healthy — the asymmetric partition shape: the probe
+// path is perfect, the request path is dead.
+type failV1 struct{ h http.Handler }
+
+func (f *failV1) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"asymmetric partition"}`))
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// TestBreakerTripsOnRequestsDespiteGreenProbes pins the reason the
+// breaker keeps a request-only failure streak: probe successes must
+// not absolve request failures, or an asymmetric partition (requests
+// dead, probes perfect) would never eject the node.
+func TestBreakerTripsOnRequestsDespiteGreenProbes(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	up, err := tc.cl.UploadText(ctx, pipelineText(t, 4))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+
+	victim := Placement(up.Fingerprint, tc.urls, 2)[0]
+	var cut http.Handler = &failV1{h: serve.New(serve.Config{})}
+	tc.gateOf(victim).h.Store(&cut)
+
+	// Reads keep succeeding (failover to the healthy replica) while the
+	// request streak trips the victim's breaker — even though every
+	// probe in between reports the node healthy.
+	deadline := time.Now().Add(5 * time.Second)
+	n := tc.router.nodeByURL(victim)
+	for n.trips.Load() == 0 {
+		if _, err := tc.cl.Analyze(ctx, ref); err != nil {
+			t.Fatalf("read during partition failed: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped on request-path failures (probes green)")
+		}
+	}
+	if n.state.Load() != breakerOpen && n.healthy.Load() {
+		t.Fatalf("victim tripped but still routable: state=%s healthy=%v", breakerName(n.state.Load()), n.healthy.Load())
+	}
+}
+
+// TestRetryBudgetBounds pins the token-bucket arithmetic: starts full,
+// spends whole tokens, refuses past empty, credits fractionally up to
+// the cap.
+func TestRetryBudgetBounds(t *testing.T) {
+	b := newTokenBucket(2, 0.5)
+	if got := b.tokens(); got != 2 {
+		t.Fatalf("fresh bucket holds %v tokens, want 2 (starts full)", got)
+	}
+	if !b.take() || !b.take() {
+		t.Fatalf("bucket refused a take while holding tokens")
+	}
+	if b.take() {
+		t.Fatalf("bucket granted a take while empty")
+	}
+	b.credit() // +0.5
+	if b.take() {
+		t.Fatalf("bucket granted a whole token on half a token of credit")
+	}
+	b.credit() // 1.0 total
+	if !b.take() {
+		t.Fatalf("bucket refused a take after a full token of credit")
+	}
+	for i := 0; i < 100; i++ {
+		b.credit()
+	}
+	if got := b.tokens(); got != 2 {
+		t.Fatalf("bucket credited past its cap: %v tokens, want 2", got)
+	}
+}
+
+// TestReloadNodesLifecycle pins dynamic membership end to end: a
+// joiner earns admission (probe → half-open → warm-sync) before
+// serving bit-identical answers, a removed node leaves placement, and
+// invalid or no-op reloads never disturb the pool.
+func TestReloadNodesLifecycle(t *testing.T) {
+	tc := newTestCluster(t)
+	ctx := context.Background()
+	up, err := tc.cl.UploadText(ctx, pipelineText(t, 4))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	ref := client.ByFingerprint(up.Fingerprint)
+	var last *client.EditResponse
+	for i := 0; i < 6; i++ {
+		if last, err = tc.cl.Edit(ctx, ref, []client.DelayEdit{{Arc: i % 3, Delay: 2.0 + float64(i)}}); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+
+	// Rejected reloads: duplicates, empty URL, empty pool.
+	for _, bad := range [][]string{
+		{tc.urls[0], tc.urls[0], tc.urls[1]},
+		{tc.urls[0], " "},
+		{},
+	} {
+		if err := tc.router.ReloadNodes(bad); err == nil {
+			t.Fatalf("ReloadNodes(%q) accepted an invalid pool", bad)
+		}
+	}
+	// A no-op reload (same membership) must not count as a change.
+	before := tc.router.membershipReloads.Load()
+	if err := tc.router.ReloadNodes(tc.urls); err != nil {
+		t.Fatalf("no-op reload: %v", err)
+	}
+	if got := tc.router.membershipReloads.Load(); got != before {
+		t.Fatalf("no-op reload counted as a membership change (%d -> %d)", before, got)
+	}
+
+	// Join: the new backend starts cold and OPEN — it must not serve
+	// until probes admit it and the warm sync runs.
+	joiner := httptest.NewServer(serve.New(serve.Config{}))
+	t.Cleanup(joiner.Close)
+	if err := tc.router.ReloadNodes(append(append([]string{}, tc.urls...), joiner.URL)); err != nil {
+		t.Fatalf("adding joiner: %v", err)
+	}
+	jn := tc.router.nodeByURL(joiner.URL)
+	if jn == nil {
+		t.Fatalf("joiner missing from pool after reload")
+	}
+	tc.waitHealthy(t, joiner.URL, true)
+
+	// The joiner serves bit-identical state for every graph re-hashed
+	// onto it (routed reads trigger the sync).
+	newPool := tc.router.Nodes()
+	if len(newPool) != 4 {
+		t.Fatalf("pool size %d after join, want 4", len(newPool))
+	}
+	onJoiner := false
+	for _, u := range Placement(up.Fingerprint, newPool, 2) {
+		onJoiner = onJoiner || u == joiner.URL
+	}
+	if onJoiner {
+		jcl := client.New(joiner.URL, client.WithRetryPolicy(client.RetryPolicy{}))
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, err := tc.cl.Analyze(ctx, ref); err != nil {
+				t.Fatalf("routed analyze after join: %v", err)
+			}
+			got, err := jcl.Analyze(ctx, ref)
+			if err == nil && got.Lambda.Text == last.Lambda.Text {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("joiner never served the current baseline (err=%v)", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Leave: drop one original node; placement must re-hash to the
+	// remaining pool and reads keep answering.
+	if err := tc.router.ReloadNodes([]string{tc.urls[1], tc.urls[2], joiner.URL}); err != nil {
+		t.Fatalf("removing %s: %v", tc.urls[0], err)
+	}
+	removed := tc.router.nodeByURL(tc.urls[0])
+	if removed != nil {
+		t.Fatalf("removed node still resolvable in the pool")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tc.cl.Analyze(ctx, ref); err != nil {
+			t.Fatalf("read %d after removal: %v", i, err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	mrand "math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,8 +55,42 @@ type Config struct {
 	FailThreshold int
 
 	// ReadmitThreshold re-admits an ejected node after this many
-	// consecutive successful probes (default 2).
+	// consecutive successful probes (default 2). Re-admission lands the
+	// breaker in half-open, not closed: BreakerCloseAfter further
+	// successes finish recovery, one failure re-opens it.
 	ReadmitThreshold int
+
+	// BreakerThreshold trips a node's circuit breaker after this many
+	// consecutive FORWARDED-REQUEST failures (default FailThreshold-1,
+	// min 1 — deliberately tighter than the mixed probe threshold).
+	// Probe successes never clear this streak: under an asymmetric
+	// partition the probe path can stay perfect while every request
+	// dies, and probes must not absolve request failures.
+	BreakerThreshold int
+
+	// BreakerCooldown is the minimum time a tripped breaker stays open
+	// before clean probes can move it to half-open (default
+	// 2×ProbeInterval): a flapping node pays a dwell between trips
+	// instead of oscillating every probe round.
+	BreakerCooldown time.Duration
+
+	// BreakerCloseAfter closes a half-open breaker after this many
+	// consecutive successes, probe or trial request (default 2).
+	BreakerCloseAfter int
+
+	// DisableHedge turns off hedged reads (reads fall back to pure
+	// sequential failover; useful as an ablation and in experiments).
+	DisableHedge bool
+
+	// HedgeFrac is the hedge budget's per-read credit (default 0.05:
+	// hedged attempts are bounded at ~5% of read traffic).
+	HedgeFrac float64
+
+	// RetryBudgetFrac is the retry budget's per-request credit (default
+	// 0.1: failover/retry attempts beyond the first are bounded at ~10%
+	// of traffic, so a partial outage cannot snowball into a retry
+	// storm).
+	RetryBudgetFrac float64
 
 	// HopTimeout bounds one forwarded backend attempt (default 15s —
 	// generous because MC and cold compiles are real work; the caller's
@@ -107,6 +142,24 @@ func (c *Config) fillDefaults() {
 	if c.ReadmitThreshold <= 0 {
 		c.ReadmitThreshold = 2
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = c.FailThreshold - 1
+		if c.BreakerThreshold < 1 {
+			c.BreakerThreshold = 1
+		}
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * c.ProbeInterval
+	}
+	if c.BreakerCloseAfter <= 0 {
+		c.BreakerCloseAfter = 2
+	}
+	if c.HedgeFrac <= 0 || c.HedgeFrac > 1 {
+		c.HedgeFrac = 0.05
+	}
+	if c.RetryBudgetFrac <= 0 || c.RetryBudgetFrac > 1 {
+		c.RetryBudgetFrac = 0.1
+	}
 	if c.HopTimeout <= 0 {
 		c.HopTimeout = 15 * time.Second
 	}
@@ -128,11 +181,19 @@ func (c *Config) fillDefaults() {
 // committed state.
 type Router struct {
 	cfg   Config
-	nodes []*node
-	byURL map[string]*node
+	pool  atomic.Pointer[nodePool] // copy-on-write membership snapshot
 	mux   *http.ServeMux
 	tel   *telemetry
 	start time.Time
+
+	// lat is the router-wide successful-hop latency digest the adaptive
+	// hedge delay derives from.
+	lat latencyDigest
+
+	// retryBudget bounds attempts beyond the first (failover, resync
+	// retries); hedgeBudget bounds hedge launches. See budget.go.
+	retryBudget *tokenBucket
+	hedgeBudget *tokenBucket
 
 	// Router-stamped writes: unstamped client edits get an idempotency
 	// stamp here so replication and dedupe work end to end for them too.
@@ -142,21 +203,29 @@ type Router struct {
 	mu     sync.Mutex
 	graphs map[string]*graphState
 
-	queries     [rEndpoints]atomic.Uint64
-	failures    atomic.Uint64
-	failovers   atomic.Uint64
-	syncReplays atomic.Uint64
-	replOK      atomic.Uint64
-	replFail    atomic.Uint64
-	dedupes     atomic.Uint64
-	warmSyncs   atomic.Uint64
+	queries           [rEndpoints]atomic.Uint64
+	failures          atomic.Uint64
+	failovers         atomic.Uint64
+	syncReplays       atomic.Uint64
+	replOK            atomic.Uint64
+	replFail          atomic.Uint64
+	dedupes           atomic.Uint64
+	warmSyncs         atomic.Uint64
+	hedgeAttempts     atomic.Uint64
+	hedgeWins         atomic.Uint64
+	hedgeDenied       atomic.Uint64
+	retryDenied       atomic.Uint64
+	membershipReloads atomic.Uint64
 
-	// lifecycleMu guards probeCancel across Start/Stop (either may be
-	// called from any goroutine; Stop holds it through the drain so a
-	// concurrent Start cannot Add to probeWG mid-Wait).
+	// lifecycleMu guards probeCancel/probeCtx/nextNodeID across
+	// Start/Stop/ReloadNodes (any may be called from any goroutine; Stop
+	// holds it through the drain so a concurrent Start cannot Add to
+	// probeWG mid-Wait).
 	lifecycleMu sync.Mutex
 	probeCancel context.CancelFunc
+	probeCtx    context.Context
 	probeWG     sync.WaitGroup
+	nextNodeID  int
 }
 
 // New builds a Router over the configured pool. Probing starts with
@@ -168,11 +237,12 @@ func New(cfg Config) (*Router, error) {
 		return nil, errors.New("cluster: Config.Nodes must list at least one backend")
 	}
 	r := &Router{
-		cfg:    cfg,
-		byURL:  make(map[string]*node, len(cfg.Nodes)),
-		graphs: make(map[string]*graphState),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		cfg:         cfg,
+		graphs:      make(map[string]*graphState),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		retryBudget: newTokenBucket(20, cfg.RetryBudgetFrac),
+		hedgeBudget: newTokenBucket(8, cfg.HedgeFrac),
 	}
 	var id [6]byte
 	if _, err := crand.Read(id[:]); err == nil {
@@ -180,35 +250,26 @@ func New(cfg Config) (*Router, error) {
 	} else {
 		r.clientID = fmt.Sprintf("router-%d", time.Now().UnixNano())
 	}
+	if !cfg.DisableObs {
+		// Telemetry first: newNode attaches each node's hop histogram.
+		// The registry closures read r.pool lazily at scrape time.
+		r.tel = newTelemetry(r, cfg.TraceBuffer, cfg.Version)
+	}
+	p := &nodePool{byURL: make(map[string]*node, len(cfg.Nodes))}
 	for i, raw := range cfg.Nodes {
 		url := strings.TrimRight(raw, "/")
 		if url == "" {
 			return nil, fmt.Errorf("cluster: node %d: empty URL", i)
 		}
-		if _, dup := r.byURL[url]; dup {
+		if _, dup := p.byURL[url]; dup {
 			return nil, fmt.Errorf("cluster: node %q listed twice", url)
 		}
-		opts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{MaxRetries: cfg.HopRetries})}
-		probeOpts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{})}
-		if cfg.HTTPClient != nil {
-			opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
-			probeOpts = append(probeOpts, client.WithHTTPClient(cfg.HTTPClient))
-		}
-		opts = append(opts, client.WithTimeout(cfg.HopTimeout))
-		probeOpts = append(probeOpts, client.WithTimeout(cfg.ProbeInterval*4))
-		n := &node{
-			id:          i,
-			url:         url,
-			cl:          client.New(url, opts...),
-			probeClient: client.New(url, probeOpts...),
-		}
-		n.healthy.Store(true)
-		r.nodes = append(r.nodes, n)
-		r.byURL[url] = n
+		n := r.newNode(r.nextNodeID, url)
+		r.nextNodeID++
+		p.nodes = append(p.nodes, n)
+		p.byURL[url] = n
 	}
-	if !cfg.DisableObs {
-		r.tel = newTelemetry(r, cfg.TraceBuffer, cfg.Version)
-	}
+	r.pool.Store(p)
 
 	r.mux.HandleFunc("POST /v1/graphs", r.instrument(rUpload, r.handleUpload))
 	r.mux.HandleFunc("POST /v1/fingerprint", r.instrument(rFingerprint, r.handleFingerprint))
@@ -224,6 +285,33 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// newNode builds one pool member (boot state: closed breaker, healthy —
+// a router must be routable before its first probe round completes).
+// Callers hand out monotonically increasing ids so a node removed and
+// later re-added never aliases stale sync marks.
+func (r *Router) newNode(id int, url string) *node {
+	opts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{MaxRetries: r.cfg.HopRetries})}
+	probeOpts := []client.Option{client.WithRetryPolicy(client.RetryPolicy{})}
+	if r.cfg.HTTPClient != nil {
+		opts = append(opts, client.WithHTTPClient(r.cfg.HTTPClient))
+		probeOpts = append(probeOpts, client.WithHTTPClient(r.cfg.HTTPClient))
+	}
+	opts = append(opts, client.WithTimeout(r.cfg.HopTimeout))
+	probeOpts = append(probeOpts, client.WithTimeout(r.cfg.ProbeInterval*4))
+	n := &node{
+		id:          id,
+		url:         url,
+		cl:          client.New(url, opts...),
+		probeClient: client.New(url, probeOpts...),
+	}
+	n.healthy.Store(true)
+	n.lastTransition.Store(time.Now().UnixNano())
+	if r.tel != nil {
+		n.hopDur = r.tel.hopDur.With(strconv.Itoa(id))
+	}
+	return n
+}
+
 // Start launches the per-node health probe loops. Stop reverses it.
 func (r *Router) Start() {
 	r.lifecycleMu.Lock()
@@ -233,7 +321,8 @@ func (r *Router) Start() {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r.probeCancel = cancel
-	for _, n := range r.nodes {
+	r.probeCtx = ctx
+	for _, n := range r.pool.Load().nodes {
 		n := n
 		r.probeWG.Add(1)
 		go func() {
@@ -253,6 +342,7 @@ func (r *Router) Stop() {
 	}
 	r.probeCancel()
 	r.probeCancel = nil
+	r.probeCtx = nil
 	r.probeWG.Wait()
 }
 
@@ -262,21 +352,26 @@ func (r *Router) logf(format string, args ...any) {
 	}
 }
 
-// onEject runs when a node leaves the pool: its fingerprints re-hash
-// to the survivors on the next placement; nothing else to do here but
-// say so.
+// onEject runs when a node's breaker trips open: it leaves every
+// placement (fingerprints re-hash to the survivors on the next
+// request); nothing else to do here but say so.
 func (r *Router) onEject(n *node) {
-	r.logf("cluster: node %d (%s) ejected, epoch %d — its shard re-hashes to survivors", n.id, n.url, n.epoch.Load())
+	r.logf("cluster: node %d (%s) breaker OPEN, epoch %d — its shard re-hashes to survivors", n.id, n.url, n.epoch.Load())
 }
 
-// onReadmit runs when the prober certifies a node healthy again: it
-// rejoins placements immediately (syncs happen lazily on first
-// traffic), and a background warm pass replays the journal of every
-// graph now placed on it so the first real request doesn't pay the
-// replay.
+// onReadmit runs when the prober moves an open breaker to half-open:
+// the node rejoins placements immediately (per-read syncs keep
+// correctness regardless), and a background warm pass replays the
+// journal of every graph now placed on it so the first real request
+// doesn't pay the replay.
 func (r *Router) onReadmit(n *node) {
-	r.logf("cluster: node %d (%s) re-admitted — warming its shard from the journal", n.id, n.url)
+	r.logf("cluster: node %d (%s) breaker HALF-OPEN — warming its shard from the journal", n.id, n.url)
 	go r.warmNode(n)
+}
+
+// onClose runs when a half-open breaker accumulates enough successes.
+func (r *Router) onClose(n *node) {
+	r.logf("cluster: node %d (%s) breaker CLOSED — fully recovered", n.id, n.url)
 }
 
 // warmNode eagerly re-syncs every journaled graph whose current
@@ -330,6 +425,7 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 func (r *Router) instrument(ep int, fn func(ctx context.Context, w http.ResponseWriter, req *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		r.queries[ep].Add(1)
+		r.retryBudget.credit() // every request earns back a slice of retry budget
 		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
 		ctx := req.Context()
 		if r.tel != nil {
@@ -447,6 +543,10 @@ func (r *Router) readGraphText(w http.ResponseWriter, req *http.Request) (string
 // errNoReplicas is the all-backends-down answer.
 var errNoReplicas = errors.New("no live replica for this graph")
 
+// errBreakerBusy reports a half-open replica already running its one
+// allowed trial request.
+var errBreakerBusy = errors.New("replica breaker half-open with a trial in flight")
+
 // replicaSet resolves the fingerprint's current replica nodes: the
 // rendezvous placement over the LIVE pool, so a dead node's
 // fingerprints are already re-hashed to survivors by construction.
@@ -469,77 +569,199 @@ func (r *Router) replicaSet(ctx context.Context, fp string) []*node {
 }
 
 // orderForRead returns the replica set in read-preference order:
-// power-of-two-choices on in-flight counts picks the first target, the
-// rest queue as failover candidates in placement order.
+// closed-breaker nodes first (half-open nodes take trial traffic, not
+// primary traffic), power-of-two-choices on in-flight counts picks the
+// first target within that class, the rest queue as failover candidates
+// in placement order.
 func orderForRead(replicas []*node) []*node {
 	if len(replicas) <= 1 {
 		return replicas
 	}
-	i := mrand.Intn(len(replicas))
-	j := mrand.Intn(len(replicas) - 1)
-	if j >= i {
-		j++
+	pick := replicas
+	if closed := closedOnly(replicas); len(closed) > 0 {
+		pick = closed
 	}
-	if replicas[j].inflight.Load() < replicas[i].inflight.Load() {
-		i = j
+	i := 0
+	if len(pick) > 1 {
+		i = mrand.Intn(len(pick))
+		j := mrand.Intn(len(pick) - 1)
+		if j >= i {
+			j++
+		}
+		if pick[j].inflight.Load() < pick[i].inflight.Load() {
+			i = j
+		}
 	}
 	out := make([]*node, 0, len(replicas))
-	out = append(out, replicas[i])
-	for k, n := range replicas {
-		if k != i {
+	out = append(out, pick[i])
+	for _, n := range replicas {
+		if n != pick[i] {
 			out = append(out, n)
 		}
 	}
 	return out
 }
 
-// forwardRead runs one read against the replica set with failover:
-// sync the target if the journal says it is behind, forward, and on a
-// backend failure demote it and move to the next replica. A 4xx from a
-// backend is a genuine answer and passes through — except a 404 for a
-// graph the router holds journaled text for, which means the node
-// silently lost state: its mark is voided, it is re-synced once, and
-// the request retried on it before falling over.
-func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*node, call func(context.Context, *node) (any, error)) (any, error) {
-	var lastErr error
-	for attempt, n := range orderForRead(replicas) {
-		if attempt > 0 {
-			r.failovers.Add(1)
+// closedOnly filters replicas to those with a closed breaker; nil when
+// every replica is half-open (the caller then balances over all).
+func closedOnly(replicas []*node) []*node {
+	out := make([]*node, 0, len(replicas))
+	for _, n := range replicas {
+		if n.state.Load() == breakerClosed {
+			out = append(out, n)
 		}
-		if gs != nil {
-			if syncErr := r.sync(ctx, n, gs); syncErr != nil {
-				lastErr = syncErr
-				n.noteFailure(r.cfg.FailThreshold, r.onEject)
-				continue
+	}
+	if len(out) == len(replicas) {
+		return replicas
+	}
+	return out
+}
+
+// takeRetry spends one retry-budget token; a denial is counted and the
+// caller must answer with what it already has instead of launching the
+// extra attempt (bounded retries are what keep a partial outage from
+// amplifying into a storm).
+func (r *Router) takeRetry() bool {
+	if r.retryBudget.take() {
+		return true
+	}
+	r.retryDenied.Add(1)
+	return false
+}
+
+// Hedge delay clamps: floor (a hedge below this races itself for
+// nothing), and the static default used until the latency digest has
+// enough samples. The ceiling is HopTimeout/2 — a hedge that fires
+// later than that cannot beat the timeout it exists to avoid.
+const (
+	minHedgeDelay     = time.Millisecond
+	defaultHedgeDelay = 25 * time.Millisecond
+)
+
+// hedgeDelay derives the adaptive hedge delay from the router's own
+// successful-hop latency digest: p95, so ~5% of requests outlive it —
+// matching the hedge budget by construction.
+func (r *Router) hedgeDelay() time.Duration {
+	d := r.lat.p95()
+	if d == 0 {
+		d = defaultHedgeDelay
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if ceil := r.cfg.HopTimeout / 2; d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// attemptRead runs one full read attempt against one node: journal sync
+// if the node is behind, the hop, and the 404-lost-state resync-retry.
+// passThrough reports a genuine 4xx answer that must return to the
+// client verbatim instead of failing over. Failures are charged to the
+// node's breaker — unless the attempt's context is already dead (the
+// caller gave up, or this was a hedge loser cancelled after the winner
+// answered), which is not the node's fault.
+func (r *Router) attemptRead(ctx context.Context, gs *graphState, n *node, failover bool, call func(context.Context, *node) (any, error)) (res any, err error, passThrough bool) {
+	if gs != nil {
+		// The sync runs detached from the attempt's cancellation (bounded
+		// by the hop timeout instead): a journal replay is shared
+		// convergence work, and aborting it midway because THIS attempt
+		// lost the hedge race — or the caller hung up — would park the
+		// replica on a stale version until some future read resumes the
+		// replay. Completing it keeps replicas converging promptly; the
+		// hop below still honors the attempt's context.
+		syncCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.cfg.HopTimeout)
+		syncErr := r.sync(syncCtx, n, gs)
+		cancel()
+		if syncErr != nil {
+			if ctx.Err() == nil {
+				r.noteFailure(n)
 			}
+			return nil, syncErr, false
 		}
-		res, err := r.hop(ctx, n, attempt > 0, call)
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), false
+		}
+	}
+	res, err = r.hop(ctx, n, failover, call)
+	if err == nil {
+		return res, nil, false
+	}
+	if ctx.Err() != nil {
+		return nil, err, false
+	}
+	var api *client.APIError
+	if errors.As(err, &api) && api.Status/100 == 4 {
+		if api.Status == http.StatusNotFound && gs != nil && gs.hasText() {
+			// The node answered "unknown graph" for a graph the router
+			// gave it: it lost state without a trip (e.g. restarted
+			// non-durable). Re-push and retry it once, on the retry budget.
+			gs.mu.Lock()
+			gs.invalidateMarkLocked(n)
+			gs.mu.Unlock()
+			if !r.takeRetry() {
+				r.noteFailure(n)
+				return nil, err, false
+			}
+			if syncErr := r.sync(ctx, n, gs); syncErr == nil {
+				res, err2 := r.hop(ctx, n, true, call)
+				if err2 == nil {
+					return res, nil, false
+				}
+				err = err2
+			}
+			r.noteFailure(n)
+			return nil, err, false
+		}
+		return nil, err, true // a genuine 4xx answer: pass through
+	}
+	r.noteFailure(n)
+	return nil, err, false
+}
+
+// forwardRead runs one read against the replica set: a hedged attempt
+// over the two preferred replicas first (unless disabled), then
+// sequential budgeted failover over the rest. A 4xx from a backend is a
+// genuine answer and passes through; everything else demotes the node
+// and moves on.
+func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*node, call func(context.Context, *node) (any, error)) (any, error) {
+	r.hedgeBudget.credit()
+	ordered := orderForRead(replicas)
+	var lastErr error
+	next := 0
+	if !r.cfg.DisableHedge && len(ordered) > 1 {
+		res, err, passThrough, tried := r.hedgedRead(ctx, gs, ordered, call)
 		if err == nil {
 			return res, nil
 		}
-		lastErr = err
-		var api *client.APIError
-		if errors.As(err, &api) && api.Status/100 == 4 {
-			if api.Status == http.StatusNotFound && gs != nil && gs.hasText() {
-				// The node answered "unknown graph" for a graph the router
-				// gave it: it lost state without an ejection (e.g. restarted
-				// non-durable). Re-push and retry it once.
-				gs.mu.Lock()
-				gs.invalidateMarkLocked(n)
-				gs.mu.Unlock()
-				if syncErr := r.sync(ctx, n, gs); syncErr == nil {
-					if res, err := r.hop(ctx, n, true, call); err == nil {
-						return res, nil
-					} else {
-						lastErr = err
-					}
-				}
-				n.noteFailure(r.cfg.FailThreshold, r.onEject)
-				continue
-			}
-			return nil, err // a genuine 4xx answer: pass through
+		if passThrough {
+			return nil, err
 		}
-		n.noteFailure(r.cfg.FailThreshold, r.onEject)
+		lastErr = err
+		next = tried
+	}
+	for i := next; i < len(ordered); i++ {
+		n := ordered[i]
+		if i > 0 {
+			if !r.takeRetry() {
+				break
+			}
+			r.failovers.Add(1)
+		}
+		release, ok := n.admitTrial()
+		if !ok {
+			continue // half-open with a trial in flight: not a failure, just skip
+		}
+		res, err, passThrough := r.attemptRead(ctx, gs, n, i > 0, call)
+		release()
+		if err == nil {
+			return res, nil
+		}
+		if passThrough {
+			return nil, err
+		}
+		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = errNoReplicas
@@ -547,8 +769,83 @@ func (r *Router) forwardRead(ctx context.Context, gs *graphState, replicas []*no
 	return nil, lastErr
 }
 
+// hedgedRead races the preferred replica against a delayed backup: the
+// primary attempt starts immediately; if it hasn't answered within the
+// adaptive hedge delay and the hedge budget grants a token, the same
+// call fires at the second replica. The first success wins and the
+// loser is cancelled through its context; both failing hands the last
+// error back to forwardRead's sequential pass. tried reports how many
+// of ordered's prefix this consumed (1 or 2), so the caller resumes
+// failover at the right replica.
+func (r *Router) hedgedRead(ctx context.Context, gs *graphState, ordered []*node, call func(context.Context, *node) (any, error)) (res any, err error, passThrough bool, tried int) {
+	type outcome struct {
+		res   any
+		err   error
+		pt    bool
+		hedge bool
+	}
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	ch := make(chan outcome, 2) // buffered: the loser's late result must not leak its goroutine
+	launch := func(n *node, hedge bool) bool {
+		release, ok := n.admitTrial()
+		if !ok {
+			return false
+		}
+		go func() {
+			defer release()
+			res, err, pt := r.attemptRead(hctx, gs, n, hedge, call)
+			ch <- outcome{res, err, pt, hedge}
+		}()
+		return true
+	}
+	if !launch(ordered[0], false) {
+		// Primary is half-open with a trial in flight: skip it entirely.
+		return nil, errBreakerBusy, false, 1
+	}
+	pending, launched := 1, 1
+	timer := time.NewTimer(r.hedgeDelay())
+	defer timer.Stop()
+	timerC := timer.C
+	for {
+		select {
+		case out := <-ch:
+			if out.err == nil {
+				if out.hedge {
+					r.hedgeWins.Add(1)
+				}
+				hcancel() // the loser stops burning backend time
+				return out.res, nil, false, launched
+			}
+			if out.pt {
+				hcancel()
+				return nil, out.err, true, launched
+			}
+			pending--
+			err = out.err
+			if pending == 0 {
+				return nil, err, false, launched
+			}
+		case <-timerC:
+			timerC = nil
+			if launched > 1 {
+				continue
+			}
+			if !r.hedgeBudget.take() {
+				r.hedgeDenied.Add(1)
+				continue
+			}
+			if launch(ordered[1], true) {
+				r.hedgeAttempts.Add(1)
+				pending++
+				launched = 2
+			}
+		}
+	}
+}
+
 // hop forwards one call to one node, with the inflight/latency
-// bookkeeping the balancer and telemetry feed on.
+// bookkeeping the balancer, telemetry, and hedge delay feed on.
 func (r *Router) hop(ctx context.Context, n *node, failover bool, call func(context.Context, *node) (any, error)) (any, error) {
 	sp := obs.LeafN(ctx, nameHop)
 	sp.AnnotateN(keyNode, uint64(n.id))
@@ -561,11 +858,12 @@ func (r *Router) hop(ctx context.Context, n *node, failover bool, call func(cont
 	dt := time.Since(t0)
 	n.inflight.Add(-1)
 	sp.End()
-	if r.tel != nil {
-		r.tel.hopDurNd[n.id].Observe(dt.Seconds())
+	if n.hopDur != nil {
+		n.hopDur.Observe(dt.Seconds())
 	}
 	if err == nil {
-		n.noteSuccess()
+		r.noteSuccess(n)
+		r.lat.observe(dt) // successes only: the hedge delay must not chase failures
 	}
 	return res, err
 }
@@ -652,10 +950,10 @@ func (r *Router) handleUpload(ctx context.Context, w http.ResponseWriter, req *h
 	for _, n := range replicas {
 		if err := r.sync(ctx, n, gs); err != nil {
 			lastErr = err
-			n.noteFailure(r.cfg.FailThreshold, r.onEject)
+			r.noteFailure(n)
 			continue
 		}
-		n.noteSuccess()
+		r.noteSuccess(n)
 		okCount++
 	}
 	sp.End()
@@ -821,17 +1119,23 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 	)
 	for attempt, n := range replicas {
 		if attempt > 0 {
+			// Failover attempts spend retry budget like any other retry; an
+			// exhausted budget answers 503 with what we know rather than
+			// piling more attempts onto a struggling pool.
+			if !r.takeRetry() {
+				break
+			}
 			r.failovers.Add(1)
 		}
-		// Capture the epoch before the hop: if the node is ejected while
-		// the edit is in flight, a mark recorded under the pre-hop epoch
-		// is void by construction, rather than wrongly certifying a
-		// possibly state-lost node under its post-ejection epoch.
+		// Capture the epoch before the hop: if the node's breaker trips
+		// while the edit is in flight, a mark recorded under the pre-hop
+		// epoch is void by construction, rather than wrongly certifying a
+		// possibly state-lost node under its post-trip epoch.
 		ep := n.epoch.Load()
 		if gs.text != "" {
 			if err := r.syncLocked(ctx, n, gs); err != nil {
 				commitErr = err
-				n.noteFailure(r.cfg.FailThreshold, r.onEject)
+				r.noteFailure(n)
 				continue
 			}
 		}
@@ -852,7 +1156,9 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 			r.writeBackendError(w, err) // genuine answer: the edit is invalid
 			return
 		}
-		n.noteFailure(r.cfg.FailThreshold, r.onEject)
+		if ctx.Err() == nil {
+			r.noteFailure(n)
+		}
 	}
 	if resp == nil {
 		gs.mu.Unlock()
@@ -879,7 +1185,7 @@ func (r *Router) handleEdit(ctx context.Context, w http.ResponseWriter, req *htt
 		}
 		if err := r.sync(ctx, n, gs); err != nil {
 			r.replFail.Add(1)
-			n.noteFailure(r.cfg.FailThreshold, r.onEject)
+			r.noteFailure(n)
 			continue
 		}
 		r.replOK.Add(1)
@@ -930,16 +1236,24 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	r.writeJSON(w, resp)
 }
 
-// ClusterNodeStatus is one backend's row in /debug/cluster.
+// ClusterNodeStatus is one backend's row in /debug/cluster. The breaker
+// columns answer the operator question "why isn't this node taking
+// traffic": its state, the failure streaks feeding it (request-only and
+// mixed), how often it has tripped, and when it last changed state.
 type ClusterNodeStatus struct {
-	ID        int    `json:"id"`
-	URL       string `json:"url"`
-	Healthy   bool   `json:"healthy"`
-	Epoch     uint64 `json:"epoch"`
-	Inflight  int64  `json:"inflight"`
-	Requests  uint64 `json:"requests"`
-	Failures  uint64 `json:"failures"`
-	Ejections uint64 `json:"ejections"`
+	ID             int       `json:"id"`
+	URL            string    `json:"url"`
+	Healthy        bool      `json:"healthy"`
+	Breaker        string    `json:"breaker"` // closed | open | half-open
+	Epoch          uint64    `json:"epoch"`
+	ConsecFails    int       `json:"consec_fails"`
+	ConsecReqFails int       `json:"consec_req_fails"`
+	Trips          uint64    `json:"breaker_trips"`
+	LastTransition time.Time `json:"last_transition"`
+	Inflight       int64     `json:"inflight"`
+	Requests       uint64    `json:"requests"`
+	Failures       uint64    `json:"failures"`
+	Ejections      uint64    `json:"ejections"`
 }
 
 // ClusterGraphStatus is one journaled graph's row in /debug/cluster.
@@ -955,27 +1269,51 @@ type ClusterGraphStatus struct {
 
 // ClusterStatus is the /debug/cluster body.
 type ClusterStatus struct {
-	Nodes     []ClusterNodeStatus  `json:"nodes"`
-	Graphs    []ClusterGraphStatus `json:"graphs"`
-	Failovers uint64               `json:"failovers"`
-	Dedupes   uint64               `json:"dedupe_hits"`
-	WarmSyncs uint64               `json:"warm_syncs"`
-	Replicas  int                  `json:"replicas"`
+	Nodes             []ClusterNodeStatus  `json:"nodes"`
+	Graphs            []ClusterGraphStatus `json:"graphs"`
+	Failovers         uint64               `json:"failovers"`
+	Dedupes           uint64               `json:"dedupe_hits"`
+	WarmSyncs         uint64               `json:"warm_syncs"`
+	Replicas          int                  `json:"replicas"`
+	HedgeAttempts     uint64               `json:"hedge_attempts"`
+	HedgeWins         uint64               `json:"hedge_wins"`
+	HedgeDenied       uint64               `json:"hedge_denied"`
+	RetryDenied       uint64               `json:"retry_denied"`
+	RetryBudgetTokens float64              `json:"retry_budget_tokens"`
+	HedgeDelayMs      float64              `json:"hedge_delay_ms"`
+	MembershipReloads uint64               `json:"membership_reloads"`
 }
 
 // handleDebugCluster snapshots the router's live topology view:
 // node health, per-graph placement and sync watermarks.
 func (r *Router) handleDebugCluster(w http.ResponseWriter, req *http.Request) {
 	st := ClusterStatus{
-		Failovers: r.failovers.Load(),
-		Dedupes:   r.dedupes.Load(),
-		WarmSyncs: r.warmSyncs.Load(),
-		Replicas:  r.cfg.Replicas,
+		Failovers:         r.failovers.Load(),
+		Dedupes:           r.dedupes.Load(),
+		WarmSyncs:         r.warmSyncs.Load(),
+		Replicas:          r.cfg.Replicas,
+		HedgeAttempts:     r.hedgeAttempts.Load(),
+		HedgeWins:         r.hedgeWins.Load(),
+		HedgeDenied:       r.hedgeDenied.Load(),
+		RetryDenied:       r.retryDenied.Load(),
+		RetryBudgetTokens: r.retryBudget.tokens(),
+		HedgeDelayMs:      float64(r.hedgeDelay()) / float64(time.Millisecond),
+		MembershipReloads: r.membershipReloads.Load(),
 	}
-	for _, n := range r.nodes {
+	p := r.pool.Load()
+	for _, n := range p.nodes {
+		n.mu.Lock()
+		consecFails, consecReqFails := n.consecFails, n.consecReqFails
+		n.mu.Unlock()
 		st.Nodes = append(st.Nodes, ClusterNodeStatus{
-			ID: n.id, URL: n.url, Healthy: n.healthy.Load(), Epoch: n.epoch.Load(),
-			Inflight: n.inflight.Load(), Requests: n.requests.Load(),
+			ID: n.id, URL: n.url, Healthy: n.healthy.Load(),
+			Breaker:        breakerName(n.state.Load()),
+			Epoch:          n.epoch.Load(),
+			ConsecFails:    consecFails,
+			ConsecReqFails: consecReqFails,
+			Trips:          n.trips.Load(),
+			LastTransition: time.Unix(0, n.lastTransition.Load()),
+			Inflight:       n.inflight.Load(), Requests: n.requests.Load(),
 			Failures: n.failures.Load(), Ejections: n.ejections.Load(),
 		})
 	}
@@ -999,7 +1337,7 @@ func (r *Router) handleDebugCluster(w http.ResponseWriter, req *http.Request) {
 			Requests:    gs.requests.Load(),
 			Replicas:    Placement(fp, live, r.cfg.Replicas),
 		}
-		for _, n := range r.nodes {
+		for _, n := range p.nodes {
 			if gs.syncedLocked(n) {
 				row.Synced = append(row.Synced, n.url)
 			}

@@ -42,7 +42,6 @@ type telemetry struct {
 
 	rootNames [rEndpoints]obs.Name
 	reqDurEp  [rEndpoints]*obs.Histogram
-	hopDurNd  []*obs.Histogram // by node id
 }
 
 func newTelemetry(r *Router, traceBuffer int, version string) *telemetry {
@@ -61,10 +60,8 @@ func newTelemetry(r *Router, traceBuffer int, version string) *telemetry {
 		t.reqDurEp[ep] = t.reqDur.With(name)
 		durHist[uint32(t.rootNames[ep])] = t.reqDurEp[ep]
 	}
-	t.hopDurNd = make([]*obs.Histogram, len(r.nodes))
-	for _, n := range r.nodes {
-		t.hopDurNd[n.id] = t.hopDur.With(strconv.Itoa(n.id))
-	}
+	// Per-node hop histograms live on the nodes themselves (attached in
+	// newNode), so dynamically added pool members get one too.
 	t.tracer.OnEnd(func(name uint32, seconds float64) {
 		if h := durHist[name]; h != nil {
 			h.Observe(seconds)
@@ -91,7 +88,7 @@ func newTelemetry(r *Router, traceBuffer int, version string) *telemetry {
 		}),
 		t.reqDur,
 		gauge("tsgrouter_node_healthy", "Health of each backend node: 1 routable, 0 ejected.", []string{"node", "url"}, func(emit func([]string, float64)) {
-			for _, n := range r.nodes {
+			for _, n := range r.poolNodes() {
 				v := 0.0
 				if n.healthy.Load() {
 					v = 1
@@ -100,22 +97,22 @@ func newTelemetry(r *Router, traceBuffer int, version string) *telemetry {
 			}
 		}),
 		counter("tsgrouter_node_ejections_total", "Times each node was ejected after consecutive failures.", []string{"node"}, func(emit func([]string, float64)) {
-			for _, n := range r.nodes {
+			for _, n := range r.poolNodes() {
 				emit([]string{strconv.Itoa(n.id)}, float64(n.ejections.Load()))
 			}
 		}),
 		counter("tsgrouter_node_requests_total", "Requests forwarded to each node that returned an answer.", []string{"node"}, func(emit func([]string, float64)) {
-			for _, n := range r.nodes {
+			for _, n := range r.poolNodes() {
 				emit([]string{strconv.Itoa(n.id)}, float64(n.requests.Load()))
 			}
 		}),
 		counter("tsgrouter_node_failures_total", "Forwarded requests and probes that failed, by node.", []string{"node"}, func(emit func([]string, float64)) {
-			for _, n := range r.nodes {
+			for _, n := range r.poolNodes() {
 				emit([]string{strconv.Itoa(n.id)}, float64(n.failures.Load()))
 			}
 		}),
 		gauge("tsgrouter_node_inflight_requests", "Requests currently forwarded to each node (the power-of-two-choices balancing signal).", []string{"node"}, func(emit func([]string, float64)) {
-			for _, n := range r.nodes {
+			for _, n := range r.poolNodes() {
 				emit([]string{strconv.Itoa(n.id)}, float64(n.inflight.Load()))
 			}
 		}),
@@ -135,6 +132,40 @@ func newTelemetry(r *Router, traceBuffer int, version string) *telemetry {
 		}),
 		counter("tsgrouter_warm_syncs_total", "Background replica-warming syncs run after a node re-admission.", nil, func(emit func([]string, float64)) {
 			emit(nil, float64(r.warmSyncs.Load()))
+		}),
+		gauge("tsgrouter_breaker_state", "Each node's circuit-breaker state: 0 closed, 1 open, 2 half-open.", []string{"node", "url"}, func(emit func([]string, float64)) {
+			for _, n := range r.poolNodes() {
+				emit([]string{strconv.Itoa(n.id), n.url}, float64(n.state.Load()))
+			}
+		}),
+		counter("tsgrouter_breaker_trips_total", "Times each node's circuit breaker tripped open.", []string{"node"}, func(emit func([]string, float64)) {
+			for _, n := range r.poolNodes() {
+				emit([]string{strconv.Itoa(n.id)}, float64(n.trips.Load()))
+			}
+		}),
+		counter("tsgrouter_hedge_attempts_total", "Hedged (backup) read attempts launched after the adaptive delay.", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(r.hedgeAttempts.Load()))
+		}),
+		counter("tsgrouter_hedge_wins_total", "Hedged reads where the backup replica answered first.", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(r.hedgeWins.Load()))
+		}),
+		counter("tsgrouter_hedge_suppressed_total", "Hedge launches suppressed by an exhausted hedge budget.", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(r.hedgeDenied.Load()))
+		}),
+		gauge("tsgrouter_hedge_delay_seconds", "Current adaptive hedge delay (p95 of recent successful hops, clamped).", nil, func(emit func([]string, float64)) {
+			emit(nil, r.hedgeDelay().Seconds())
+		}),
+		counter("tsgrouter_retry_budget_denials_total", "Failover or retry attempts suppressed by an exhausted retry budget.", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(r.retryDenied.Load()))
+		}),
+		gauge("tsgrouter_retry_budget_tokens", "Tokens currently in the retry budget.", nil, func(emit func([]string, float64)) {
+			emit(nil, r.retryBudget.tokens())
+		}),
+		counter("tsgrouter_membership_reloads_total", "Node-pool membership reloads applied (nodes-file change or SIGHUP).", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(r.membershipReloads.Load()))
+		}),
+		gauge("tsgrouter_pool_nodes", "Backend nodes currently in the pool (live or not).", nil, func(emit func([]string, float64)) {
+			emit(nil, float64(len(r.poolNodes())))
 		}),
 		gauge("tsgrouter_graphs", "Fingerprints the router holds journal state for.", nil, func(emit func([]string, float64)) {
 			r.mu.Lock()

@@ -89,14 +89,35 @@ func TestCLUSTERQuick(t *testing.T) {
 	}
 }
 
+// TestCHAOS2Quick runs the network-fault drills in quick mode: all
+// four scenarios' correctness gates (zero failed requests, breaker
+// trips, replica convergence, membership churn) with the latency
+// gates skipped — the p99 bars need a quiet machine and are gated by
+// tsgbench/CI, not by the unit suite.
+func TestCHAOS2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped with -short")
+	}
+	exp.Quick = true
+	defer func() { exp.Quick = false }()
+	e, ok := exp.ByID("CHAOS2")
+	if !ok {
+		t.Fatal("experiment CHAOS2 not registered")
+	}
+	var sb strings.Builder
+	if err := e.Run(&sb); err != nil {
+		t.Fatalf("CHAOS2 failed: %v\noutput so far:\n%s", err, sb.String())
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	all := exp.All()
-	if len(all) != 20 {
+	if len(all) != 21 {
 		ids := make([]string, len(all))
 		for i, e := range all {
 			ids[i] = e.ID
 		}
-		t.Errorf("registry has %d experiments (%v), want 20", len(all), ids)
+		t.Errorf("registry has %d experiments (%v), want 21", len(all), ids)
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].ID >= all[i].ID {
